@@ -1,0 +1,24 @@
+//! # rvz-baselines
+//!
+//! Comparators and ablations for the paper's search schedule.
+//!
+//! The paper's Algorithm 4 pays a `Θ(log(d²/r))` overhead for knowing
+//! *nothing*. Two kinds of baselines quantify that price:
+//!
+//! * [`ArchimedeanSpiral`] — the **omniscient** searcher: it knows the
+//!   visibility radius `r` and lays a spiral of pitch `2r`, achieving
+//!   `≈ π·d²/(2r)` search time. This is the information-rich lower
+//!   envelope the universal algorithm is measured against (experiment
+//!   E11).
+//! * [`schedules`] — **ablations** of the dyadic granularity choice
+//!   `ρ_{j,k} = δ²_{j,k}/2^{k+1}` (design decision ◆4 in `DESIGN.md`):
+//!   replacing the per-annulus granularity ladder with a uniform
+//!   granularity per round blows the round time up from `Θ(k·2^k)` to
+//!   `Θ(2^{3k})`, demonstrating why the paper's schedule is shaped the
+//!   way it is (experiment E12).
+
+pub mod schedules;
+pub mod spiral;
+
+pub use schedules::{GuaranteedSearch, PaperSchedule, SearchScheduleModel, UniformGranularity};
+pub use spiral::ArchimedeanSpiral;

@@ -1,0 +1,92 @@
+//! E12 — design ablation ◆: the paper's per-annulus granularity ladder
+//! `ρ_{j,k} = δ²_{j,k}/2^{k+1}` vs. a uniform per-round granularity.
+//! The ladder keeps round k at `Θ(k·2^k)`; uniform granularity pays
+//! `Θ(2^{3k})` — the gap that justifies the design.
+
+use criterion::{criterion_group, Criterion};
+use rvz_baselines::{PaperSchedule, SearchScheduleModel, UniformGranularity};
+use rvz_bench::{fnum, Table};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_round_cost_table() {
+    let paper = PaperSchedule;
+    let uniform = UniformGranularity;
+    let mut t = Table::new(&["k", "paper round time", "uniform round time", "ratio"]);
+    for k in [2u32, 4, 6, 8, 10, 12] {
+        let p = paper.round_time(k);
+        let u = uniform.round_time(k);
+        t.row_owned(vec![k.to_string(), fnum(p), fnum(u), fnum(u / p)]);
+    }
+    t.print("E12a — per-round cost: Θ(k·2^k) ladder vs Θ(2^{3k}) uniform");
+}
+
+fn print_guaranteed_table() {
+    let paper = PaperSchedule;
+    let uniform = UniformGranularity;
+    let mut t = Table::new(&[
+        "d", "r", "paper round", "paper time", "uniform round", "uniform time", "slowdown",
+    ]);
+    // Non-dyadic distances: on exact powers of two the paper's sweep has a
+    // circle at exactly radius d and wins trivially in round 1.
+    for &d in &[0.77, 1.23, 2.9] {
+        for rexp in [-6, -9, -12] {
+            let r = (rexp as f64).exp2();
+            let p = paper.guaranteed_search(d, r, 31).expect("paper in budget");
+            match uniform.guaranteed_search(d, r, 31) {
+                Some(u) => {
+                    t.row_owned(vec![
+                        fnum(d),
+                        format!("2^{rexp}"),
+                        p.round.to_string(),
+                        fnum(p.time),
+                        u.round.to_string(),
+                        fnum(u.time),
+                        fnum(u.time / p.time),
+                    ]);
+                    assert!(
+                        u.time >= p.time,
+                        "ablation unexpectedly beat the paper at d={d}, r=2^{rexp}"
+                    );
+                }
+                None => t.row_owned(vec![
+                    fnum(d),
+                    format!("2^{rexp}"),
+                    p.round.to_string(),
+                    fnum(p.time),
+                    "-".into(),
+                    "out of budget".into(),
+                    "∞".into(),
+                ]),
+            }
+        }
+    }
+    t.print("E12b — guaranteed search time: paper schedule vs uniform-granularity ablation");
+}
+
+fn benches(c: &mut Criterion) {
+    let paper = PaperSchedule;
+    let uniform = UniformGranularity;
+    c.bench_function("ablation/paper_guaranteed_search", |b| {
+        b.iter(|| paper.guaranteed_search(black_box(1.0), 1e-3, 31))
+    });
+    c.bench_function("ablation/uniform_guaranteed_search", |b| {
+        b.iter(|| uniform.guaranteed_search(black_box(1.0), 1e-3, 31))
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+
+fn main() {
+    print_round_cost_table();
+    print_guaranteed_table();
+    group();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,96 @@
+//! E11 — universal search vs. the omniscient spiral: the measured price
+//! of knowing nothing is the paper's `Θ(log(d²/r))` factor.
+
+use criterion::{criterion_group, Criterion};
+use rvz_baselines::ArchimedeanSpiral;
+use rvz_bench::{fnum, Table};
+use rvz_geometry::Vec2;
+use rvz_model::SearchInstance;
+use rvz_search::first_discovery;
+use rvz_sim::{first_contact, ContactOptions, Stationary};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn spiral_time(target: Vec2, r: f64, budget: f64) -> f64 {
+    let spiral = ArchimedeanSpiral::for_visibility(r);
+    first_contact(
+        &spiral,
+        &Stationary::new(target),
+        r,
+        &ContactOptions::with_horizon(budget),
+    )
+    .contact_time()
+    .expect("spiral always finds within its swept disk")
+}
+
+fn print_table() {
+    let mut t = Table::new(&[
+        "d", "r", "d²/r", "log(d²/r)", "universal T", "spiral T", "overhead", "overhead/log",
+    ]);
+    // Generic (non-dyadic) direction and distance to avoid alignment luck.
+    let dir = Vec2::from_polar(1.0, 2.0);
+    for &d in &[0.67, 1.37, 2.83] {
+        for rexp in [-6, -8, -10] {
+            let r = (rexp as f64).exp2();
+            let target = dir * d;
+            let inst = SearchInstance::new(target, r).unwrap();
+            let universal = first_discovery(&inst, 31).unwrap().time;
+            let spiral = ArchimedeanSpiral::for_visibility(r);
+            let budget = universal.max(spiral.search_time_estimate(d)) * 3.0 + 100.0;
+            let s_time = spiral_time(target, r, budget);
+            let overhead = universal / s_time;
+            let log_difficulty = inst.difficulty().log2();
+            t.row_owned(vec![
+                fnum(d),
+                format!("2^{rexp}"),
+                fnum(inst.difficulty()),
+                fnum(log_difficulty),
+                fnum(universal),
+                fnum(s_time),
+                fnum(overhead),
+                fnum(overhead / log_difficulty),
+            ]);
+        }
+    }
+    t.print(
+        "E11 — universal (knows nothing) vs Archimedean spiral (knows r): \
+         overhead ≈ c·log(d²/r)",
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    let inst = SearchInstance::new(Vec2::new(0.8, 0.9), 1e-2).unwrap();
+    c.bench_function("baseline/universal_analytic", |b| {
+        b.iter(|| first_discovery(black_box(&inst), 31))
+    });
+    let spiral = ArchimedeanSpiral::for_visibility(1e-2);
+    c.bench_function("baseline/spiral_simulated", |b| {
+        b.iter(|| {
+            first_contact(
+                &spiral,
+                &Stationary::new(black_box(inst.target())),
+                1e-2,
+                &ContactOptions::with_horizon(1e6),
+            )
+        })
+    });
+    use rvz_trajectory::Trajectory;
+    c.bench_function("baseline/spiral_position_eval", |b| {
+        b.iter(|| spiral.position(black_box(12345.6)))
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+
+fn main() {
+    print_table();
+    group();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,112 @@
+//! E6 — Theorem 4: the feasibility characterization as a grid, each cell
+//! confirmed by simulation (feasible ⇒ the universal algorithm meets;
+//! infeasible ⇒ adversarial placement keeps the distance ≥ d forever).
+
+use criterion::{criterion_group, Criterion};
+use rvz_bench::Table;
+use rvz_core::{completion_time, WaitAndSearch};
+use rvz_geometry::Vec2;
+use rvz_model::{feasibility, Chirality, Feasibility, RendezvousInstance, RobotAttributes};
+use rvz_sim::{simulate_rendezvous, ContactOptions, SimOutcome};
+use std::hint::black_box;
+use std::time::Duration;
+
+const R: f64 = 0.25;
+const D: f64 = 0.9;
+
+fn confirm(attrs: &RobotAttributes) -> (&'static str, String) {
+    match feasibility(attrs) {
+        Feasibility::Feasible(b) => {
+            let inst = RendezvousInstance::new(Vec2::new(0.4, 0.8), R, *attrs).unwrap();
+            let opts = ContactOptions::with_horizon(completion_time(10)).tolerance(R * 1e-6);
+            match simulate_rendezvous(WaitAndSearch, &inst, &opts) {
+                SimOutcome::Contact { time, .. } => {
+                    ("feasible", format!("met at t={time:.1} via {b}"))
+                }
+                other => ("feasible", format!("NOT CONFIRMED: {other}")),
+            }
+        }
+        Feasibility::Infeasible(reason) => {
+            let dir = reason.invariant_direction();
+            let inst = RendezvousInstance::new(dir * D, R, *attrs).unwrap();
+            let opts = ContactOptions::with_horizon(5e4).tolerance(R * 1e-6);
+            match simulate_rendezvous(WaitAndSearch, &inst, &opts) {
+                SimOutcome::Horizon { min_distance, .. } if min_distance >= D - 1e-9 => {
+                    ("infeasible", format!("distance pinned at {min_distance:.3}"))
+                }
+                other => ("infeasible", format!("NOT CONFIRMED: {other}")),
+            }
+        }
+    }
+}
+
+fn print_table() {
+    let mut t = Table::new(&["v", "τ", "φ", "χ", "Theorem 4", "simulation"]);
+    let mut all_ok = true;
+    for &v in &[0.5, 1.0] {
+        for &tau in &[0.6, 1.0] {
+            for &phi in &[0.0, 1.3] {
+                for &chi in &[Chirality::Consistent, Chirality::Mirrored] {
+                    let attrs = RobotAttributes::new(v, tau, phi, chi);
+                    let (verdict, detail) = confirm(&attrs);
+                    all_ok &= !detail.contains("NOT CONFIRMED");
+                    t.row_owned(vec![
+                        format!("{v}"),
+                        format!("{tau}"),
+                        format!("{phi}"),
+                        chi.to_string(),
+                        verdict.to_string(),
+                        detail,
+                    ]);
+                }
+            }
+        }
+    }
+    t.print("E6 — Theorem 4 feasibility map (d = 0.9, r = 0.25, universal Algorithm 7)");
+    assert!(all_ok, "some cells were not confirmed by simulation");
+}
+
+fn benches(c: &mut Criterion) {
+    let grid: Vec<RobotAttributes> = [0.5, 1.0]
+        .iter()
+        .flat_map(|&v| {
+            [0.6, 1.0].iter().map(move |&tau| {
+                RobotAttributes::new(v, tau, 1.3, Chirality::Consistent)
+            })
+        })
+        .collect();
+    c.bench_function("theorem4/feasibility_predicate", |b| {
+        b.iter(|| {
+            grid.iter()
+                .map(|a| feasibility(black_box(a)).is_feasible())
+                .filter(|&f| f)
+                .count()
+        })
+    });
+    let attrs = RobotAttributes::reference().with_time_unit(0.6);
+    let inst = RendezvousInstance::new(Vec2::new(0.4, 0.8), R, attrs).unwrap();
+    c.bench_function("theorem4/universal_rendezvous_sim", |b| {
+        b.iter(|| {
+            simulate_rendezvous(
+                WaitAndSearch,
+                black_box(&inst),
+                &ContactOptions::with_horizon(completion_time(10)),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+
+fn main() {
+    print_table();
+    group();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,110 @@
+//! E2 — Lemma 2: the closed-form running times of Algorithms 1–4 against
+//! the durations of the explicitly generated trajectories.
+
+use criterion::{criterion_group, Criterion};
+use rvz_bench::{fnum, Table};
+use rvz_search::{search_annulus, search_circle, search_round, times, RoundSchedule};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_circle_table() {
+    let mut t = Table::new(&["δ", "explicit path", "2(π+1)δ", "match"]);
+    for &delta in &[0.125, 0.5, 1.0, 3.0, 17.0] {
+        let explicit = search_circle(delta).duration();
+        let closed = times::search_circle_duration(delta);
+        t.row_owned(vec![
+            fnum(delta),
+            fnum(explicit),
+            fnum(closed),
+            ok(explicit, closed),
+        ]);
+    }
+    t.print("E2a — Lemma 2: SearchCircle(δ) duration");
+}
+
+fn print_annulus_table() {
+    let mut t = Table::new(&["δ₁", "δ₂", "ρ", "m", "explicit path", "2(π+1)(1+m)(δ₁+ρm)", "match"]);
+    for &(d1, d2, rho) in &[
+        (0.5, 1.0, 0.0625),
+        (0.25, 0.5, 0.01),
+        (1.0, 2.0, 0.125),
+        (2.0, 4.0, 0.5),
+        (0.1, 0.9, 0.07),
+    ] {
+        let explicit = search_annulus(d1, d2, rho).duration();
+        let closed = times::search_annulus_duration(d1, d2, rho);
+        t.row_owned(vec![
+            fnum(d1),
+            fnum(d2),
+            fnum(rho),
+            times::annulus_steps(d1, d2, rho).to_string(),
+            fnum(explicit),
+            fnum(closed),
+            ok(explicit, closed),
+        ]);
+    }
+    t.print("E2b — Lemma 2: SearchAnnulus(δ₁, δ₂, ρ) duration");
+}
+
+fn print_round_table() {
+    let mut t = Table::new(&[
+        "k",
+        "explicit Search(k)",
+        "3(π+1)(k+1)2^{k+1}",
+        "first k rounds (stream)",
+        "3(π+1)k·2^{k+2}",
+        "match",
+    ]);
+    let mut acc = 0.0;
+    for k in 1..=8u32 {
+        // k ≤ 8 keeps the explicit stream small enough (≈ 4^k segments).
+        let explicit: f64 = RoundSchedule::new(k).segments().map(|s| s.duration()).sum();
+        let closed = times::round_duration(k);
+        acc += explicit;
+        let total_closed = times::rounds_total(k);
+        let both = approx(explicit, closed) && approx(acc, total_closed);
+        t.row_owned(vec![
+            k.to_string(),
+            fnum(explicit),
+            fnum(closed),
+            fnum(acc),
+            fnum(total_closed),
+            if both { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print("E2c — Lemma 2: Search(k) and Algorithm 4 cumulative durations");
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn ok(a: f64, b: f64) -> String {
+    if approx(a, b) { "yes".into() } else { "NO".into() }
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("lemma2/closed_form_round_duration", |b| {
+        b.iter(|| times::round_duration(black_box(20)))
+    });
+    c.bench_function("lemma2/explicit_round_path_k4", |b| {
+        b.iter(|| search_round(black_box(4)).duration())
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+
+fn main() {
+    print_circle_table();
+    print_annulus_table();
+    print_round_table();
+    group();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,151 @@
+//! E7 + E8 + E10 — Lemma 8 and Figures 1–3: the Algorithm 7 phase
+//! schedule `I(n)`, `A(n)`, the structure of an active phase, and the
+//! Lemma 9/10 overlap amounts vs. direct interval intersection.
+
+use criterion::{criterion_group, Criterion};
+use rvz_bench::{fnum, Table};
+use rvz_core::{
+    overlap::{lemma10_tau_range, lemma9_tau_range},
+    overlap_lemma10, overlap_lemma9, PhaseSchedule, WaitAndSearch,
+};
+use rvz_search::times;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// E7 / Figure 1: the phase boundary closed forms, cross-checked against
+/// stream accumulation for small n.
+fn print_phase_table() {
+    let mut t = Table::new(&[
+        "n", "S(n)=12(π+1)n2ⁿ", "I(n) closed", "A(n) closed", "I(n) stream", "match",
+    ]);
+    let mut acc = 0.0;
+    for n in 1..=10u32 {
+        let s = PhaseSchedule::search_all_duration(n);
+        let i_closed = PhaseSchedule::inactive_start(n);
+        let a_closed = PhaseSchedule::active_start(n);
+        let i_stream = acc;
+        let matches = (i_closed - i_stream).abs() <= 1e-9 * (1.0 + i_stream)
+            && (a_closed - (i_stream + 2.0 * s)).abs() <= 1e-9 * (1.0 + i_stream);
+        t.row_owned(vec![
+            n.to_string(),
+            fnum(s),
+            fnum(i_closed),
+            fnum(a_closed),
+            fnum(i_stream),
+            if matches { "yes".into() } else { "NO".into() },
+        ]);
+        acc += 4.0 * s;
+    }
+    t.print("E7/Fig.1 — Lemma 8 phase boundaries I(n), A(n)");
+}
+
+/// E10 / Figure 2: segment-block decomposition of an active phase.
+fn print_active_structure() {
+    let n = 4u32;
+    let mut t = Table::new(&["block", "Search(k)", "starts", "ends"]);
+    let mut acc = PhaseSchedule::active_start(n);
+    for (i, k) in (1..=n).chain((1..=n).rev()).enumerate() {
+        let d = times::round_duration(k);
+        t.row_owned(vec![
+            format!("{}", i + 1),
+            format!("Search({k})"),
+            fnum(acc),
+            fnum(acc + d),
+        ]);
+        acc += d;
+    }
+    assert!((acc - PhaseSchedule::round_end(n)).abs() < 1e-9 * acc);
+    t.print("E10/Fig.2 — structure of round 4's active phase (SearchAll ‖ SearchAllRev)");
+}
+
+/// E8 / Figure 3: Lemma 9 and Lemma 10 overlap claims vs. computed
+/// interval intersections across their hypothesis regions.
+fn print_overlap_tables() {
+    let mut t9 = Table::new(&["a", "k", "τ", "claimed", "computed", "min(claim, 2S(k))", "hyp"]);
+    for a in 0..2u32 {
+        for &k in &[2 * (a + 1), 3 * (a + 1), 10, 16] {
+            let (lo, hi) = lemma9_tau_range(k, a);
+            for frac in [0.0, 0.5, 1.0] {
+                let tau = lo + frac * (hi - lo);
+                let rep = overlap_lemma9(tau, k, a);
+                let cap = rep.claimed.min(rep.reference_interval.1 - rep.reference_interval.0);
+                t9.row_owned(vec![
+                    a.to_string(),
+                    k.to_string(),
+                    fnum(tau),
+                    fnum(rep.claimed),
+                    fnum(rep.computed),
+                    fnum(cap),
+                    if rep.hypothesis_holds { "yes".into() } else { "no".into() },
+                ]);
+                if rep.hypothesis_holds {
+                    assert!(
+                        (rep.computed - cap).abs() <= 1e-6 * (1.0 + cap),
+                        "Lemma 9 mismatch at a={a}, k={k}, τ={tau}"
+                    );
+                }
+            }
+        }
+    }
+    t9.print("E8/Fig.3a — Lemma 9 overlap: τ·A(k+1+a) − A(k) vs. interval intersection");
+
+    let mut t10 = Table::new(&["a", "k", "τ", "claimed", "computed", "min(claim, 2S(k−1))", "hyp"]);
+    for a in 0..2u32 {
+        for &k in &[2 * (a + 1), 8, 14] {
+            let (lo, hi) = lemma10_tau_range(k, a);
+            for frac in [0.0, 1.0] {
+                let tau = lo + frac * (hi - lo);
+                let rep = overlap_lemma10(tau, k, a);
+                let cap = rep.claimed.min(rep.reference_interval.1 - rep.reference_interval.0);
+                t10.row_owned(vec![
+                    a.to_string(),
+                    k.to_string(),
+                    fnum(tau),
+                    fnum(rep.claimed),
+                    fnum(rep.computed),
+                    fnum(cap),
+                    if rep.hypothesis_holds { "yes".into() } else { "no".into() },
+                ]);
+                if rep.hypothesis_holds {
+                    assert!(
+                        (rep.computed - cap).abs() <= 1e-6 * (1.0 + cap),
+                        "Lemma 10 mismatch at a={a}, k={k}, τ={tau}"
+                    );
+                }
+            }
+        }
+    }
+    t10.print("E8/Fig.3b — Lemma 10 overlap: I(k) − τ·I(k+a) vs. interval intersection");
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("phases/closed_form_boundary", |b| {
+        b.iter(|| PhaseSchedule::active_start(black_box(20)))
+    });
+    use rvz_trajectory::Trajectory;
+    let algo = WaitAndSearch;
+    let t_deep = PhaseSchedule::active_start(12) + 12345.678;
+    c.bench_function("phases/random_access_position_round12", |b| {
+        b.iter(|| algo.position(black_box(t_deep)))
+    });
+    c.bench_function("phases/overlap_lemma9", |b| {
+        b.iter(|| overlap_lemma9(black_box(0.55), 10, 0))
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+
+fn main() {
+    print_phase_table();
+    print_active_structure();
+    print_overlap_tables();
+    group();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,132 @@
+//! E9 — Theorem 3 / Lemmas 11–13: rendezvous round with asymmetric
+//! clocks vs. the Lemma 13 bound `k*`, measured two ways:
+//!
+//! * **analytic** — the first round whose active/inactive overlap is long
+//!   enough for a complete stationary find (independent interval algebra);
+//! * **simulated** — full two-robot conservative-advancement simulation
+//!   (for the parameter cells where `k*` is small enough to be cheap).
+
+use criterion::{criterion_group, Criterion};
+use rvz_bench::{fnum, Table};
+use rvz_core::{
+    completion_time, first_sufficient_overlap_round, lemma13_round_bound,
+    lemma14_time_expression, stationary_contact_time, tau_decomposition, PhaseSchedule,
+    WaitAndSearch,
+};
+use rvz_geometry::Vec2;
+use rvz_model::{RendezvousInstance, RobotAttributes};
+use rvz_search::coverage;
+use rvz_sim::{simulate_rendezvous, ContactOptions};
+use std::hint::black_box;
+use std::time::Duration;
+
+const R: f64 = 0.25;
+const D: Vec2 = Vec2 { x: 0.3, y: 0.8 };
+
+fn print_table() {
+    let mut t = Table::new(&[
+        "τ", "a", "t", "n", "k* (Lemma 13)", "overlap round", "oracle time", "oracle round",
+        "sim round", "sim time", "I(k*) (Lemma 14)",
+    ]);
+    let d = D.norm();
+    let n = coverage::guaranteed_discovery_round(d, R).unwrap();
+    for &tau in &[0.95, 0.9, 0.8, 0.7, 0.6, 0.51, 0.5, 0.4, 0.3, 0.25, 0.125] {
+        let dec = tau_decomposition(tau);
+        let k_star = lemma13_round_bound(tau, n);
+        let analytic = first_sufficient_overlap_round(tau, n)
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| "-".into());
+        // The stationary-contact oracle reaches every cell, including the
+        // ones where step simulation is prohibitive.
+        let (oracle_time, oracle_round) =
+            match stationary_contact_time(tau, D, R, k_star.min(30)) {
+                Some(c) => {
+                    assert!(
+                        c.round <= k_star,
+                        "τ={tau}: oracle round {} exceeds k* {k_star}",
+                        c.round
+                    );
+                    (fnum(c.time), c.round.to_string())
+                }
+                None => ("-".into(), "-".into()),
+            };
+        // Simulate only the cheap cells (simulation cost grows with k*).
+        let (sim_round, sim_time) = if k_star <= 10 {
+            let attrs = RobotAttributes::reference().with_time_unit(tau);
+            let inst = RendezvousInstance::new(D, R, attrs).unwrap();
+            let opts =
+                ContactOptions::with_horizon(completion_time(k_star)).tolerance(R * 1e-6);
+            match simulate_rendezvous(WaitAndSearch, &inst, &opts).contact_time() {
+                Some(time) => {
+                    let round = PhaseSchedule::round_at(time);
+                    assert!(round <= k_star, "τ={tau}: simulated round {round} > k* {k_star}");
+                    (round.to_string(), fnum(time))
+                }
+                None => ("MISS".into(), "-".into()),
+            }
+        } else {
+            ("(skipped)".into(), "-".into())
+        };
+        if let Some(a_round) = first_sufficient_overlap_round(tau, n) {
+            assert!(
+                a_round <= k_star,
+                "τ={tau}: analytic round {a_round} exceeds k* = {k_star}"
+            );
+        }
+        t.row_owned(vec![
+            fnum(tau),
+            dec.a.to_string(),
+            fnum(dec.t),
+            n.to_string(),
+            k_star.to_string(),
+            analytic,
+            oracle_time,
+            oracle_round,
+            sim_round,
+            sim_time,
+            fnum(lemma14_time_expression(k_star.min(31))),
+        ]);
+    }
+    t.print(&format!(
+        "E9 — Theorem 3 / Lemma 13: rendezvous round vs k* (d = {:.3}, r = {R})",
+        d
+    ));
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("theorem3/lemma13_bound", |b| {
+        b.iter(|| lemma13_round_bound(black_box(0.7), 3))
+    });
+    c.bench_function("theorem3/analytic_overlap_round", |b| {
+        b.iter(|| first_sufficient_overlap_round(black_box(0.7), 2))
+    });
+    c.bench_function("theorem3/stationary_contact_oracle", |b| {
+        b.iter(|| stationary_contact_time(black_box(0.6), D, R, 12))
+    });
+    let attrs = RobotAttributes::reference().with_time_unit(0.6);
+    let inst = RendezvousInstance::new(D, R, attrs).unwrap();
+    c.bench_function("theorem3/simulate_wait_and_search", |b| {
+        b.iter(|| {
+            simulate_rendezvous(
+                WaitAndSearch,
+                black_box(&inst),
+                &ContactOptions::with_horizon(completion_time(9)),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+
+fn main() {
+    print_table();
+    group();
+    Criterion::default().configure_from_args().final_summary();
+}

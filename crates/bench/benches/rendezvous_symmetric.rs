@@ -1,0 +1,134 @@
+//! E4 + E5 — Theorem 2: rendezvous time with symmetric clocks across
+//! speed/orientation sweeps for both chiralities, vs. the paper's bounds
+//!
+//! ```text
+//! χ = +1:  T < 6(π+1)·log(d²/(µr))·d²/(µr),  µ = √(v²−2v·cosφ+1)
+//! χ = −1:  T < 6(π+1)·log(d²/((1−v)r))·d²/((1−v)r)
+//! ```
+
+use criterion::{criterion_group, Criterion};
+use rvz_bench::{fnum, Table};
+use rvz_core::{theorem2_bound, EquivalentSearch, Theorem2Bound};
+use rvz_geometry::Vec2;
+use rvz_model::{Chirality, RendezvousInstance, RobotAttributes};
+use rvz_search::UniversalSearch;
+use rvz_sim::{simulate_rendezvous, ContactOptions};
+use std::hint::black_box;
+use std::time::Duration;
+
+const R: f64 = 0.02;
+const D: Vec2 = Vec2 { x: 0.33, y: 0.81 };
+
+fn measure(attrs: RobotAttributes, bound: f64) -> f64 {
+    let inst = RendezvousInstance::new(D, R, attrs).unwrap();
+    let opts = ContactOptions::with_horizon(bound * 1.05).tolerance(R * 1e-9);
+    simulate_rendezvous(UniversalSearch, &inst, &opts)
+        .contact_time()
+        .expect("feasible instance must rendezvous within the bound")
+}
+
+fn print_consistent_table() {
+    let mut t = Table::new(&["v", "φ", "µ", "measured T", "Thm-2 bound", "T/bound"]);
+    for &v in &[0.25, 0.5, 0.75, 0.9, 1.0] {
+        for &phi in &[0.0, 0.8, 1.6, std::f64::consts::PI, 4.7] {
+            let attrs = RobotAttributes::reference().with_speed(v).with_orientation(phi);
+            let inst = RendezvousInstance::new(D, R, attrs).unwrap();
+            match theorem2_bound(&inst) {
+                Theorem2Bound::Finite { time: bound, factor, .. } => {
+                    let measured = measure(attrs, bound);
+                    t.row_owned(vec![
+                        fnum(v),
+                        fnum(phi),
+                        fnum(factor),
+                        fnum(measured),
+                        fnum(bound),
+                        fnum(measured / bound),
+                    ]);
+                    assert!(measured < bound, "Theorem 2 violated at v={v}, φ={phi}");
+                }
+                Theorem2Bound::Infeasible => {
+                    t.row_owned(vec![
+                        fnum(v),
+                        fnum(phi),
+                        "0".into(),
+                        "-".into(),
+                        "infeasible".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    t.print("E4 — Theorem 2, χ = +1 (µ-scaled bound); d = 0.874, r = 0.02");
+}
+
+fn print_mirrored_table() {
+    let mut t = Table::new(&["v", "φ", "1−v", "measured T", "Thm-2 bound", "T/bound"]);
+    for &v in &[0.25, 0.5, 0.75, 1.0] {
+        for &phi in &[0.0, 1.2, 2.9] {
+            let attrs = RobotAttributes::reference()
+                .with_speed(v)
+                .with_orientation(phi)
+                .with_chirality(Chirality::Mirrored);
+            let inst = RendezvousInstance::new(D, R, attrs).unwrap();
+            match theorem2_bound(&inst) {
+                Theorem2Bound::Finite { time: bound, factor, .. } => {
+                    let measured = measure(attrs, bound);
+                    t.row_owned(vec![
+                        fnum(v),
+                        fnum(phi),
+                        fnum(factor),
+                        fnum(measured),
+                        fnum(bound),
+                        fnum(measured / bound),
+                    ]);
+                    assert!(measured < bound, "Theorem 2 (χ=−1) violated at v={v}, φ={phi}");
+                }
+                Theorem2Bound::Infeasible => {
+                    t.row_owned(vec![
+                        fnum(v),
+                        fnum(phi),
+                        "0".into(),
+                        "-".into(),
+                        "infeasible".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    t.print("E5 — Theorem 2, χ = −1 ((1−v)-scaled bound); d = 0.874, r = 0.02");
+}
+
+fn benches(c: &mut Criterion) {
+    let attrs = RobotAttributes::reference().with_speed(0.5);
+    let inst = RendezvousInstance::new(D, R, attrs).unwrap();
+    c.bench_function("theorem2/simulate_rendezvous_v05", |b| {
+        b.iter(|| {
+            simulate_rendezvous(
+                UniversalSearch,
+                black_box(&inst),
+                &ContactOptions::with_horizon(1e7),
+            )
+        })
+    });
+    c.bench_function("theorem2/equivalent_search_reduction", |b| {
+        b.iter(|| EquivalentSearch::new(black_box(&attrs)).qr())
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = benches
+}
+
+fn main() {
+    print_consistent_table();
+    print_mirrored_table();
+    group();
+    Criterion::default().configure_from_args().final_summary();
+}

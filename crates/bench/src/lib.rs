@@ -1,0 +1,149 @@
+//! # rvz-bench
+//!
+//! Shared helpers for the Criterion benches that regenerate the paper's
+//! tables and figures (see `DESIGN.md` §6 and `EXPERIMENTS.md`).
+//!
+//! Every bench is `harness = false`: its `main` first prints the
+//! paper-reproduction table (so `cargo bench` output *is* the artifact),
+//! then runs Criterion measurements of the underlying computation.
+
+/// Minimal fixed-width table printer for bench output.
+///
+/// # Example
+///
+/// ```
+/// use rvz_bench::Table;
+///
+/// let mut t = Table::new(&["d", "r", "measured", "bound"]);
+/// t.row(&["1.0", "0.01", "123.4", "456.7"]);
+/// let s = t.render();
+/// assert!(s.contains("measured"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for i in 0..ncols {
+                let cell = &cells[i];
+                let pad = widths[i] - cell.chars().count();
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+                line.push_str(" | ");
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("|{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "|";
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout with a heading.
+    pub fn print(&self, title: &str) {
+        println!("\n=== {title} ===");
+        print!("{}", self.render());
+        println!();
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["1", "2"]);
+        t.row(&["333333", "4"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same display width.
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1.5), "1.5000");
+        assert_eq!(fnum(123.456), "123.5");
+        assert!(fnum(1e9).contains('e'));
+        assert!(fnum(1e-9).contains('e'));
+    }
+}

@@ -1,0 +1,300 @@
+//! Algorithms 5, 6 and 7: `SearchAll`, `SearchAllRev`, and the universal
+//! wait-and-search rendezvous trajectory.
+//!
+//! Algorithm 7 proceeds in rounds `n = 1, 2, …`:
+//!
+//! 1. **inactive** — wait at the start point for `2S(n)`;
+//! 2. **active** — perform `SearchAll(n)` (rounds `Search(1)…Search(n)` in
+//!    order, Algorithm 5) then `SearchAllRev(n)` (the same rounds in
+//!    reverse order `Search(n)…Search(1)`, Algorithm 6).
+//!
+//! Running both the forward and the reversed sweep is what makes the
+//! overlap argument of Lemmas 9/10 work in *both* alignment cases
+//! (Figure 3): whichever end of the active phase falls inside the other
+//! robot's inactive window contains a complete prefix `Search(1..=n*)`
+//! (forward) or suffix `Search(n*..=1)` (reverse) — either way the full
+//! low-round sweep that finds a stationary robot runs while the other
+//! robot actually is stationary.
+//!
+//! Like Algorithm 4, the trajectory is infinite with Θ(4ⁿ) segments per
+//! round, so [`WaitAndSearch`] provides `O(log)` closed-form random
+//! access plus an explicit segment stream for cross-checks.
+
+use crate::phases::{PhaseSchedule, MAX_PHASE_ROUND};
+use rvz_geometry::Vec2;
+use rvz_search::{times, RoundSchedule};
+use rvz_trajectory::{Segment, Trajectory};
+
+/// The Algorithm 7 trajectory (a ZST — the algorithm is parameter-free).
+///
+/// By Theorem 4 this is the paper's **universal** rendezvous algorithm:
+/// it succeeds whenever `τ ≠ 1`, or `v ≠ 1`, or `χ = +1 ∧ φ ≠ 0`,
+/// without knowing which.
+///
+/// # Example
+///
+/// ```
+/// use rvz_core::{WaitAndSearch, PhaseSchedule};
+/// use rvz_trajectory::Trajectory;
+/// use rvz_geometry::Vec2;
+///
+/// let algo = WaitAndSearch;
+/// // During round 1's inactive phase the robot sits at the origin.
+/// assert_eq!(algo.position(0.5 * PhaseSchedule::active_start(1)), Vec2::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WaitAndSearch;
+
+/// Introspection of Algorithm 7 at a time instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm7Phase {
+    /// Waiting at the start point (round `n`'s inactive phase).
+    Inactive {
+        /// The Algorithm 7 round `n`.
+        n: u32,
+    },
+    /// Inside `SearchAll(n)`, currently executing `Search(k)`.
+    Forward {
+        /// The Algorithm 7 round `n`.
+        n: u32,
+        /// The `Search(k)` block being executed (`1 ≤ k ≤ n`).
+        k: u32,
+    },
+    /// Inside `SearchAllRev(n)`, currently executing `Search(k)`.
+    Reverse {
+        /// The Algorithm 7 round `n`.
+        n: u32,
+        /// The `Search(k)` block being executed (`n ≥ k ≥ 1`).
+        k: u32,
+    },
+}
+
+impl WaitAndSearch {
+    /// The `Search(k)` block index inside a `SearchAll(n)` at local time
+    /// `u ∈ [0, S(n))`, together with the block's local start time.
+    fn forward_block(n: u32, u: f64) -> (u32, f64) {
+        debug_assert!(u >= 0.0 && u < PhaseSchedule::search_all_duration(n));
+        for k in 1..=n {
+            if u < times::rounds_total(k) {
+                return (k, times::rounds_total(k - 1));
+            }
+        }
+        // Float drift at the upper edge: clamp to the final block.
+        (n, times::rounds_total(n - 1))
+    }
+
+    /// The `Search(k)` block inside a `SearchAllRev(n)` at local time
+    /// `u ∈ [0, S(n))`: block `k` occupies `[S(n)−F(k), S(n)−F(k−1))`.
+    fn reverse_block(n: u32, u: f64) -> (u32, f64) {
+        let s_n = PhaseSchedule::search_all_duration(n);
+        debug_assert!(u >= 0.0 && u < s_n);
+        let remaining = s_n - u;
+        for k in 1..=n {
+            if times::rounds_total(k) >= remaining {
+                return (k, s_n - times::rounds_total(k));
+            }
+        }
+        (n, 0.0)
+    }
+
+    /// The segment active at global time `t`, with its global start time.
+    ///
+    /// Exactly matches the explicit [`WaitAndSearch::segments`] stream
+    /// (property-tested) but costs `O(log)` regardless of `t`.
+    pub fn segment_at(t: f64) -> (f64, Segment) {
+        let n = PhaseSchedule::round_at(t);
+        let i_n = PhaseSchedule::inactive_start(n);
+        let a_n = PhaseSchedule::active_start(n);
+        let s_n = PhaseSchedule::search_all_duration(n);
+        if t < a_n {
+            return (i_n, Segment::wait(Vec2::ZERO, 2.0 * s_n));
+        }
+        if t < a_n + s_n {
+            // SearchAll(n).
+            let u = t - a_n;
+            let (k, block_start) = Self::forward_block(n, u);
+            let (local_start, seg) = RoundSchedule::new(k).segment_at(u - block_start);
+            (a_n + block_start + local_start, seg)
+        } else {
+            // SearchAllRev(n).
+            let rev_start = a_n + s_n;
+            let u = t - rev_start;
+            let (k, block_start) = Self::reverse_block(n, u);
+            let (local_start, seg) = RoundSchedule::new(k).segment_at(u - block_start);
+            (rev_start + block_start + local_start, seg)
+        }
+    }
+
+    /// Which phase and `Search(k)` block is active at global time `t`.
+    pub fn locate(t: f64) -> Algorithm7Phase {
+        let n = PhaseSchedule::round_at(t);
+        let a_n = PhaseSchedule::active_start(n);
+        let s_n = PhaseSchedule::search_all_duration(n);
+        if t < a_n {
+            Algorithm7Phase::Inactive { n }
+        } else if t < a_n + s_n {
+            let (k, _) = Self::forward_block(n, t - a_n);
+            Algorithm7Phase::Forward { n, k }
+        } else {
+            let (k, _) = Self::reverse_block(n, t - (a_n + s_n));
+            Algorithm7Phase::Reverse { n, k }
+        }
+    }
+
+    /// Explicit segment stream for rounds `1..=max_n` (Θ(4ⁿ) items per
+    /// round — tests and small demos only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_n` exceeds [`MAX_PHASE_ROUND`].
+    pub fn segments(max_n: u32) -> impl Iterator<Item = Segment> {
+        assert!(max_n <= MAX_PHASE_ROUND, "max_n {max_n} too large");
+        (1..=max_n).flat_map(|n| {
+            let wait = std::iter::once(Segment::wait(
+                Vec2::ZERO,
+                2.0 * PhaseSchedule::search_all_duration(n),
+            ));
+            let forward = (1..=n).flat_map(|k| RoundSchedule::new(k).segments().collect::<Vec<_>>());
+            let reverse =
+                (1..=n).rev().flat_map(|k| RoundSchedule::new(k).segments().collect::<Vec<_>>());
+            wait.chain(forward).chain(reverse)
+        })
+    }
+}
+
+impl Trajectory for WaitAndSearch {
+    fn position(&self, t: f64) -> Vec2 {
+        let (start, seg) = Self::segment_at(t);
+        seg.position_at(t - start)
+    }
+
+    fn speed_bound(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::assert_approx_eq;
+    use rvz_trajectory::StreamCursor;
+
+    #[test]
+    fn inactive_phase_is_at_origin() {
+        let algo = WaitAndSearch;
+        // All of [0, A(1)) is waiting.
+        let a1 = PhaseSchedule::active_start(1);
+        for f in [0.0, 0.3, 0.9] {
+            assert_eq!(algo.position(f * a1), Vec2::ZERO);
+        }
+        assert_eq!(
+            WaitAndSearch::locate(0.5 * a1),
+            Algorithm7Phase::Inactive { n: 1 }
+        );
+    }
+
+    #[test]
+    fn forward_blocks_run_in_increasing_order() {
+        // In round 3's SearchAll the blocks are Search(1), Search(2), Search(3).
+        let a3 = PhaseSchedule::active_start(3);
+        let mut seen = Vec::new();
+        for k in 1..=3u32 {
+            let t = a3 + times::rounds_total(k - 1) + 1.0;
+            match WaitAndSearch::locate(t) {
+                Algorithm7Phase::Forward { n: 3, k: found } => seen.push(found),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reverse_blocks_run_in_decreasing_order() {
+        let n = 3u32;
+        let rev_start = PhaseSchedule::active_start(n) + PhaseSchedule::search_all_duration(n);
+        let s_n = PhaseSchedule::search_all_duration(n);
+        let mut seen = Vec::new();
+        for k in (1..=n).rev() {
+            // Block k occupies [S(n)−F(k), S(n)−F(k−1)); sample just inside.
+            let u = s_n - times::rounds_total(k) + 1.0;
+            match WaitAndSearch::locate(rev_start + u) {
+                Algorithm7Phase::Reverse { n: 3, k: found } => seen.push(found),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(seen, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn reverse_phase_ends_exactly_at_round_end() {
+        // The last reverse block (Search(1)) must finish at I(n+1).
+        let n = 2u32;
+        let end = PhaseSchedule::round_end(n);
+        let algo = WaitAndSearch;
+        // Just before the end the robot is finishing Search(1)'s wait at origin.
+        let p = algo.position(end * (1.0 - 1e-12));
+        assert!(p.norm() < 1e-6);
+        // Exactly at the end, round n+1's inactive phase begins (origin too).
+        assert_eq!(algo.position(end), Vec2::ZERO);
+    }
+
+    /// The closed-form random access agrees with the explicit stream for
+    /// the first three rounds — validating the forward/reverse indexing.
+    #[test]
+    fn random_access_matches_stream() {
+        let algo = WaitAndSearch;
+        let horizon = PhaseSchedule::round_end(3);
+        let mut cursor = StreamCursor::new(WaitAndSearch::segments(3));
+        let n = 3000;
+        for i in 0..n {
+            let t = horizon * (i as f64) / (n as f64);
+            let direct = algo.position(t);
+            let streamed = cursor.position(t);
+            assert!(
+                direct.distance(streamed) < 1e-6,
+                "mismatch at t={t}: {direct} vs {streamed}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_duration_matches_schedule() {
+        for max_n in 1..=3u32 {
+            let total: f64 = WaitAndSearch::segments(max_n).map(|s| s.duration()).sum();
+            assert_approx_eq!(total, PhaseSchedule::round_end(max_n), 1e-9);
+        }
+    }
+
+    #[test]
+    fn active_phase_midpoint_symmetry() {
+        // SearchAll(n) and SearchAllRev(n) have equal durations, so the
+        // active phase midpoint is the forward/reverse boundary.
+        let n = 2u32;
+        let a = PhaseSchedule::active_start(n);
+        let s = PhaseSchedule::search_all_duration(n);
+        match WaitAndSearch::locate(a + s - 1.0) {
+            Algorithm7Phase::Forward { k, .. } => assert_eq!(k, n),
+            other => panic!("unexpected {other:?}"),
+        }
+        match WaitAndSearch::locate(a + s + 1.0) {
+            Algorithm7Phase::Reverse { k, .. } => assert_eq!(k, n),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unit_speed_over_phase_boundaries() {
+        let algo = WaitAndSearch;
+        let dt = 0.05;
+        // Sample across the round-1 → round-2 boundary region.
+        let start = PhaseSchedule::active_start(1);
+        let mut prev = algo.position(start);
+        let mut t = start;
+        while t < PhaseSchedule::active_start(2) + 50.0 {
+            t += dt;
+            let cur = algo.position(t);
+            assert!(prev.distance(cur) <= dt + 1e-9, "speed violated at t={t}");
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Theorem 2: rendezvous time bounds with symmetric clocks.
+//!
+//! Running Algorithm 4 as the common trajectory, rendezvous completes in
+//! time
+//!
+//! ```text
+//! T < 6(π+1)·log(d²/(µr))·d²/(µr)          (χ = +1, µ = √(v²−2v cosφ+1))
+//! T < 6(π+1)·log(d²/((1−v)r))·d²/((1−v)r)  (χ = −1)
+//! ```
+//!
+//! The bounds follow by applying Theorem 1 to the equivalent search
+//! trajectory (Lemmas 6 and 7). They are finite exactly on the feasible
+//! region of Theorem 4 restricted to `τ = 1`, and degenerate to infinity
+//! on the infeasible boundary (`µ → 0`, or `v → 1` for mirrored robots).
+
+use crate::equivalent::EquivalentSearch;
+use rvz_model::{Chirality, RendezvousInstance};
+use rvz_search::times::PI_PLUS_1;
+use std::fmt;
+
+/// The result of evaluating Theorem 2 on an instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Theorem2Bound {
+    /// A finite bound (the instance is feasible at `τ = 1`).
+    Finite {
+        /// The bound on the rendezvous time, in global time units.
+        time: f64,
+        /// The effective difficulty `d²/(factor·r)` the bound is built on.
+        effective_difficulty: f64,
+        /// The symmetry-breaking factor (`µ` for equal chirality, `1−v`
+        /// for opposite).
+        factor: f64,
+    },
+    /// The instance is infeasible (Theorem 4): no finite bound exists.
+    Infeasible,
+}
+
+impl Theorem2Bound {
+    /// The bound as an `Option`.
+    pub fn time(&self) -> Option<f64> {
+        match self {
+            Theorem2Bound::Finite { time, .. } => Some(*time),
+            Theorem2Bound::Infeasible => None,
+        }
+    }
+}
+
+impl fmt::Display for Theorem2Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Theorem2Bound::Finite { time, factor, .. } => {
+                write!(f, "T < {time:.3} (factor {factor:.4})")
+            }
+            Theorem2Bound::Infeasible => write!(f, "no finite bound (infeasible)"),
+        }
+    }
+}
+
+/// The common core of both branches: `6(π+1)·log₂(x)·x` for the effective
+/// difficulty `x`.
+fn theorem1_form(effective_difficulty: f64) -> f64 {
+    6.0 * PI_PLUS_1 * effective_difficulty.log2() * effective_difficulty
+}
+
+/// Evaluates Theorem 2 for `instance` (which must have `τ = 1`).
+///
+/// Follows the paper's WLOG normalization: the reference robot has the
+/// maximum speed, so `v ≤ 1` is required. The bound's logarithm requires
+/// an effective difficulty of at least 2; easier instances rendezvous
+/// within the first rounds and are reported with the difficulty clamped
+/// to 2 (a conservative, still-valid bound).
+///
+/// # Panics
+///
+/// Panics when `instance.attributes().time_unit() != 1` or when
+/// `v > 1` (normalize the instance so the reference robot is the faster
+/// one, as the paper does).
+///
+/// # Example
+///
+/// ```
+/// use rvz_core::{theorem2_bound, Theorem2Bound};
+/// use rvz_model::{RendezvousInstance, RobotAttributes};
+/// use rvz_geometry::Vec2;
+///
+/// let attrs = RobotAttributes::reference().with_speed(0.5);
+/// let inst = RendezvousInstance::new(Vec2::new(0.0, 1.0), 0.01, attrs).unwrap();
+/// match theorem2_bound(&inst) {
+///     Theorem2Bound::Finite { time, .. } => assert!(time > 0.0),
+///     Theorem2Bound::Infeasible => unreachable!("v ≠ 1 is feasible"),
+/// }
+/// ```
+pub fn theorem2_bound(instance: &RendezvousInstance) -> Theorem2Bound {
+    let attrs = instance.attributes();
+    assert!(
+        attrs.time_unit() == 1.0,
+        "Theorem 2 requires symmetric clocks (τ = 1), got τ = {}",
+        attrs.time_unit()
+    );
+    assert!(
+        attrs.speed() <= 1.0,
+        "normalize the instance so the reference robot is fastest (v ≤ 1), got v = {}",
+        attrs.speed()
+    );
+
+    let eq = EquivalentSearch::new(attrs);
+    if eq.is_degenerate() {
+        return Theorem2Bound::Infeasible;
+    }
+
+    let factor = match attrs.chirality() {
+        Chirality::Consistent => eq.mu(),
+        Chirality::Mirrored => 1.0 - attrs.speed(),
+    };
+
+    let d = instance.distance();
+    let r = instance.visibility();
+    let effective_difficulty = (d * d / (factor * r)).max(2.0);
+    Theorem2Bound::Finite {
+        time: theorem1_form(effective_difficulty),
+        effective_difficulty,
+        factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::Vec2;
+    use rvz_model::RobotAttributes;
+    use std::f64::consts::PI;
+
+    fn inst(attrs: RobotAttributes, d: f64, r: f64) -> RendezvousInstance {
+        RendezvousInstance::new(Vec2::new(0.0, d), r, attrs).unwrap()
+    }
+
+    #[test]
+    fn consistent_chirality_uses_mu() {
+        let attrs = RobotAttributes::reference().with_speed(0.5);
+        let b = theorem2_bound(&inst(attrs, 1.0, 0.01));
+        match b {
+            Theorem2Bound::Finite {
+                factor,
+                effective_difficulty,
+                time,
+            } => {
+                assert!((factor - 0.5).abs() < 1e-12); // µ = 1 − v at φ = 0
+                assert!((effective_difficulty - 200.0).abs() < 1e-9);
+                assert!((time - theorem1_form(200.0)).abs() < 1e-9);
+            }
+            _ => panic!("expected finite"),
+        }
+    }
+
+    #[test]
+    fn mirrored_chirality_uses_one_minus_v() {
+        let attrs = RobotAttributes::new(0.75, 1.0, 2.0, rvz_model::Chirality::Mirrored);
+        match theorem2_bound(&inst(attrs, 1.0, 0.01)) {
+            Theorem2Bound::Finite { factor, .. } => assert!((factor - 0.25).abs() < 1e-12),
+            _ => panic!("expected finite"),
+        }
+    }
+
+    #[test]
+    fn orientation_alone_gives_finite_bound() {
+        // v = 1, χ = +1, φ = π: µ = 2 — orientation is the only breaker.
+        let attrs = RobotAttributes::reference().with_orientation(PI);
+        match theorem2_bound(&inst(attrs, 1.0, 0.01)) {
+            Theorem2Bound::Finite { factor, .. } => assert!((factor - 2.0).abs() < 1e-12),
+            _ => panic!("expected finite"),
+        }
+    }
+
+    #[test]
+    fn infeasible_cases_have_no_bound() {
+        // Identical twins.
+        let twins = RobotAttributes::reference();
+        assert_eq!(theorem2_bound(&inst(twins, 1.0, 0.01)), Theorem2Bound::Infeasible);
+        // Mirror twins, any φ.
+        for phi in [0.0, 1.0, PI] {
+            let mirror = RobotAttributes::reference()
+                .with_chirality(rvz_model::Chirality::Mirrored)
+                .with_orientation(phi);
+            assert_eq!(
+                theorem2_bound(&inst(mirror, 1.0, 0.01)),
+                Theorem2Bound::Infeasible
+            );
+        }
+    }
+
+    #[test]
+    fn bound_grows_as_symmetry_weakens() {
+        // As v → 1 with φ = 0, µ → 0 and the bound explodes.
+        let b_half = theorem2_bound(&inst(RobotAttributes::reference().with_speed(0.5), 1.0, 1e-3))
+            .time()
+            .unwrap();
+        let b_near =
+            theorem2_bound(&inst(RobotAttributes::reference().with_speed(0.99), 1.0, 1e-3))
+                .time()
+                .unwrap();
+        assert!(b_near > 10.0 * b_half);
+    }
+
+    #[test]
+    fn easy_instances_clamp_difficulty() {
+        let attrs = RobotAttributes::reference().with_speed(0.5);
+        // Huge r makes the effective difficulty < 2; it is clamped.
+        match theorem2_bound(&inst(attrs, 1.0, 100.0)) {
+            Theorem2Bound::Finite {
+                effective_difficulty,
+                ..
+            } => assert_eq!(effective_difficulty, 2.0),
+            _ => panic!("expected finite"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric clocks")]
+    fn rejects_asymmetric_clocks() {
+        let attrs = RobotAttributes::reference().with_time_unit(0.5);
+        let _ = theorem2_bound(&inst(attrs, 1.0, 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "v ≤ 1")]
+    fn rejects_fast_partner() {
+        let attrs = RobotAttributes::reference().with_speed(2.0);
+        let _ = theorem2_bound(&inst(attrs, 1.0, 0.01));
+    }
+
+    #[test]
+    fn display_formats() {
+        let attrs = RobotAttributes::reference().with_speed(0.5);
+        let s = theorem2_bound(&inst(attrs, 1.0, 0.01)).to_string();
+        assert!(s.starts_with("T <"));
+        assert!(Theorem2Bound::Infeasible.to_string().contains("infeasible"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the paper's core analysis machinery:
+//! equivalent-search algebra, phase schedule, and overlap lemmas.
+
+use proptest::prelude::*;
+use rvz_core::{
+    completion_time, first_sufficient_overlap_round, lemma13_round_bound,
+    overlap::{lemma10_tau_range, lemma9_tau_range},
+    overlap_lemma10, overlap_lemma9, tau_decomposition, EquivalentSearch, PhaseSchedule,
+    WaitAndSearch,
+};
+use rvz_geometry::{Mat2, Vec2};
+use rvz_model::{Chirality, RobotAttributes};
+use rvz_trajectory::Trajectory;
+
+fn chirality() -> impl Strategy<Value = Chirality> {
+    prop_oneof![Just(Chirality::Consistent), Just(Chirality::Mirrored)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Lemma 5 closed form equals the numeric QR for every non-degenerate
+    /// attribute combination.
+    #[test]
+    fn lemma5_closed_form_matches_qr(
+        v in 0.05..0.999f64,
+        phi in 0.0..std::f64::consts::TAU,
+        chi in chirality(),
+    ) {
+        let attrs = RobotAttributes::new(v, 1.0, phi, chi);
+        let eq = EquivalentSearch::new(&attrs);
+        prop_assume!(eq.mu() > 1e-6);
+        let qr = eq.qr().r;
+        let cf = eq.upper_triangular_closed_form();
+        prop_assert!(
+            (qr - cf).frobenius_norm() <= 1e-8 * (1.0 + cf.frobenius_norm()),
+            "v={v} φ={phi} χ={chi:?}: {qr} vs {cf}"
+        );
+    }
+
+    /// |T∘·x| is invariant under the rotation factor: |T∘'·x| = |T∘·x|.
+    #[test]
+    fn rotation_factor_preserves_distances(
+        v in 0.05..0.999f64,
+        phi in 0.0..std::f64::consts::TAU,
+        chi in chirality(),
+        x in -5.0..5.0f64,
+        y in -5.0..5.0f64,
+    ) {
+        let attrs = RobotAttributes::new(v, 1.0, phi, chi);
+        let eq = EquivalentSearch::new(&attrs);
+        let p = Vec2::new(x, y);
+        let full = (eq.matrix() * p).norm();
+        let tri = (eq.qr().r * p).norm();
+        prop_assert!((full - tri).abs() <= 1e-8 * (1.0 + full));
+    }
+
+    /// det(T∘) = (1 − v·e^{iφ} style) determinant identities:
+    /// χ=+1 ⇒ det = µ²; χ=−1 ⇒ det = 1 − v².
+    #[test]
+    fn determinant_closed_forms(
+        v in 0.05..2.0f64,
+        phi in 0.0..std::f64::consts::TAU,
+    ) {
+        let cons = EquivalentSearch::new(&RobotAttributes::new(v, 1.0, phi, Chirality::Consistent));
+        let mu2 = cons.mu() * cons.mu();
+        prop_assert!((cons.determinant() - mu2).abs() <= 1e-9 * (1.0 + mu2));
+        let mirr = EquivalentSearch::new(&RobotAttributes::new(v, 1.0, phi, Chirality::Mirrored));
+        prop_assert!((mirr.determinant() - (1.0 - v * v)).abs() <= 1e-9 * (1.0 + v * v));
+    }
+
+    /// Lemma 4's frame map: the relative position of the two robots
+    /// equals T∘·S(t) − d⃗ at random times (τ = 1).
+    #[test]
+    fn lemma4_relative_motion_identity(
+        v in 0.1..0.999f64,
+        phi in 0.0..std::f64::consts::TAU,
+        chi in chirality(),
+        t in 0.0..5e4f64,
+        dx in -3.0..3.0f64,
+        dy in -3.0..3.0f64,
+    ) {
+        let attrs = RobotAttributes::new(v, 1.0, phi, chi);
+        let d = Vec2::new(dx, dy);
+        let algo = rvz_search::UniversalSearch;
+        let partner = attrs.frame_warp(algo, d);
+        let eq = EquivalentSearch::new(&attrs);
+        let relative = algo.position(t) - partner.position(t);
+        let predicted = eq.matrix() * algo.position(t) - d;
+        prop_assert!(relative.distance(predicted) <= 1e-7 * (1.0 + relative.norm()));
+    }
+
+    /// τ decomposition: τ = t·2^{−a} with t ∈ [1/2, 1).
+    #[test]
+    fn tau_decomposition_contract(tau in 1e-6..0.999_999f64) {
+        let d = tau_decomposition(tau);
+        prop_assert!((0.5..1.0).contains(&d.t));
+        let back = d.t * (-(d.a as f64)).exp2();
+        prop_assert!((back - tau).abs() <= 1e-12 * tau);
+    }
+
+    /// Lemma 13's k* is monotone in n (more rounds needed to find a
+    /// farther/blinder partner ⇒ later guaranteed rendezvous).
+    #[test]
+    fn lemma13_monotone_in_n(tau in 0.01..0.99f64, n in 1u32..=12) {
+        prop_assert!(lemma13_round_bound(tau, n) <= lemma13_round_bound(tau, n + 1));
+    }
+
+    /// In Lemma 9's hypothesis region the computed overlap equals the
+    /// claim capped at the full active length.
+    #[test]
+    fn lemma9_cap_identity(a in 0u32..=2, k_off in 0u32..=12, frac in 0.0..1.0f64) {
+        let k = 2 * (a + 1) + k_off;
+        prop_assume!(k + 1 + a <= 31);
+        let (lo, hi) = lemma9_tau_range(k, a);
+        let tau = lo + frac * (hi - lo);
+        let rep = overlap_lemma9(tau, k, a);
+        prop_assume!(rep.hypothesis_holds);
+        let active = rep.reference_interval.1 - rep.reference_interval.0;
+        let expected = rep.claimed.min(active);
+        prop_assert!((rep.computed - expected).abs() <= 1e-6 * (1.0 + expected));
+    }
+
+    /// Same for Lemma 10.
+    #[test]
+    fn lemma10_cap_identity(a in 0u32..=2, k_off in 0u32..=12, frac in 0.0..1.0f64) {
+        let k = (2 * (a + 1) + k_off).max(2);
+        prop_assume!(k + a <= 31);
+        let (lo, hi) = lemma10_tau_range(k, a);
+        let tau = lo + frac * (hi - lo);
+        let rep = overlap_lemma10(tau, k, a);
+        prop_assume!(rep.hypothesis_holds);
+        let active = rep.reference_interval.1 - rep.reference_interval.0;
+        let expected = rep.claimed.min(active);
+        prop_assert!((rep.computed - expected).abs() <= 1e-6 * (1.0 + expected));
+    }
+
+    /// The analytic sufficient-overlap round respects Lemma 13 for random
+    /// τ and n (whenever within the supported horizon).
+    #[test]
+    fn sufficient_round_bounded_by_lemma13(tau in 0.05..0.95f64, n in 1u32..=4) {
+        let k_star = lemma13_round_bound(tau, n);
+        prop_assume!(k_star <= 28);
+        let measured = first_sufficient_overlap_round(tau, n);
+        prop_assert!(measured.is_some(), "no sufficient round for τ={tau}, n={n}");
+        prop_assert!(measured.unwrap() <= k_star);
+    }
+
+    /// Algorithm 7 is always at the origin during inactive phases, at
+    /// random rounds and offsets.
+    #[test]
+    fn inactive_means_origin(n in 1u32..=12, frac in 0.0..0.999f64) {
+        let (i0, i1) = PhaseSchedule::inactive_interval(n);
+        let t = i0 + frac * (i1 - i0);
+        prop_assert_eq!(WaitAndSearch.position(t), Vec2::ZERO);
+    }
+
+    /// completion_time is strictly increasing.
+    #[test]
+    fn completion_time_increasing(k in 1u32..=30) {
+        prop_assert!(completion_time(k) < completion_time(k + 1));
+    }
+
+    /// The equivalent-search matrix is the identity minus the Lemma 4
+    /// matrix — explicitly, entrywise.
+    #[test]
+    fn t_circ_entrywise(
+        v in 0.05..2.0f64,
+        phi in 0.0..std::f64::consts::TAU,
+        chi in chirality(),
+    ) {
+        let attrs = RobotAttributes::new(v, 1.0, phi, chi);
+        let eq = EquivalentSearch::new(&attrs);
+        let chi_s = chi.sign();
+        let expected = Mat2::new(
+            1.0 - v * phi.cos(),
+            v * chi_s * phi.sin(),
+            -v * phi.sin(),
+            1.0 - v * chi_s * phi.cos(),
+        );
+        prop_assert!((eq.matrix() - expected).frobenius_norm() <= 1e-12);
+    }
+}

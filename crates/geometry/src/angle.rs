@@ -1,0 +1,108 @@
+//! Angle helpers on the half-open interval `[0, 2π)`.
+//!
+//! The paper's orientation attribute is `φ ∈ [0, 2π)`; these helpers
+//! normalize arbitrary radian values into that canonical range.
+
+/// The full turn, `2π`.
+pub const TAU: f64 = std::f64::consts::TAU;
+
+/// Normalizes `angle` (radians) into `[0, 2π)`.
+///
+/// Values that are an exact multiple of `2π` map to `0.0`. Non-finite
+/// inputs are returned unchanged so callers can detect them.
+///
+/// # Example
+///
+/// ```
+/// use rvz_geometry::normalize_angle;
+/// use std::f64::consts::PI;
+///
+/// assert_eq!(normalize_angle(-PI), PI);
+/// assert_eq!(normalize_angle(5.0 * PI), PI);
+/// assert_eq!(normalize_angle(0.0), 0.0);
+/// ```
+pub fn normalize_angle(angle: f64) -> f64 {
+    if !angle.is_finite() {
+        return angle;
+    }
+    let mut a = angle % TAU;
+    if a < 0.0 {
+        a += TAU;
+    }
+    // `a` can still equal TAU after the addition when `angle % TAU` is a
+    // tiny negative number; fold it back to 0.
+    if a >= TAU {
+        a = 0.0;
+    }
+    a
+}
+
+/// The smallest absolute angular difference between two angles, in `[0, π]`.
+///
+/// # Example
+///
+/// ```
+/// use rvz_geometry::angle::angular_distance;
+/// use std::f64::consts::PI;
+///
+/// assert!((angular_distance(0.1, 2.0 * PI - 0.1) - 0.2).abs() < 1e-12);
+/// ```
+pub fn angular_distance(a: f64, b: f64) -> f64 {
+    let d = normalize_angle(a - b);
+    d.min(TAU - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn already_normalized_values_pass_through() {
+        for a in [0.0, 0.5, PI, 6.2] {
+            assert_eq!(normalize_angle(a), a);
+        }
+    }
+
+    #[test]
+    fn negative_values_wrap_up() {
+        assert!((normalize_angle(-0.5) - (TAU - 0.5)).abs() < 1e-15);
+        assert_eq!(normalize_angle(-TAU), 0.0);
+    }
+
+    #[test]
+    fn large_values_wrap_down() {
+        assert!((normalize_angle(TAU + 1.0) - 1.0).abs() < 1e-15);
+        assert_eq!(normalize_angle(3.0 * TAU), 0.0);
+    }
+
+    #[test]
+    fn result_is_always_in_range() {
+        let mut x = -100.0;
+        while x < 100.0 {
+            let n = normalize_angle(x);
+            assert!((0.0..TAU).contains(&n), "normalize_angle({x}) = {n}");
+            x += 0.37;
+        }
+    }
+
+    #[test]
+    fn tiny_negative_does_not_return_tau() {
+        let n = normalize_angle(-1e-18);
+        assert!(n < TAU);
+    }
+
+    #[test]
+    fn non_finite_pass_through() {
+        assert!(normalize_angle(f64::NAN).is_nan());
+        assert_eq!(normalize_angle(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn angular_distance_is_symmetric_and_bounded() {
+        assert!((angular_distance(0.2, TAU - 0.2) - 0.4).abs() < 1e-12);
+        assert_eq!(angular_distance(1.0, 1.0), 0.0);
+        assert!((angular_distance(0.0, PI) - PI).abs() < 1e-12);
+        assert!((angular_distance(PI, 0.0) - PI).abs() < 1e-12);
+    }
+}

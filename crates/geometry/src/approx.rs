@@ -1,0 +1,145 @@
+//! Tolerant floating-point comparison helpers.
+//!
+//! Simulation and closed-form analysis produce values that agree only up to
+//! rounding; these helpers centralize the comparison policy (mixed
+//! absolute/relative tolerance) so every crate in the workspace uses the
+//! same notion of "equal enough".
+
+use crate::vec2::Vec2;
+
+/// Default absolute/relative tolerance used by [`approx_eq`].
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// Compares with mixed absolute and relative tolerance `eps`.
+///
+/// Returns `true` when `|a − b| ≤ eps · max(1, |a|, |b|)`. This behaves
+/// like an absolute comparison near zero and a relative one for large
+/// magnitudes — appropriate for the time values in this workspace, which
+/// span from `1e-6` to `1e12`.
+///
+/// # Example
+///
+/// ```
+/// use rvz_geometry::approx_eq_eps;
+/// assert!(approx_eq_eps(1e12, 1e12 + 1.0, 1e-9));
+/// assert!(!approx_eq_eps(1.0, 1.1, 1e-9));
+/// ```
+#[inline]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    if a == b {
+        return true; // handles infinities of equal sign
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false; // unequal infinities, or NaN
+    }
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= eps * scale
+}
+
+/// [`approx_eq_eps`] with [`DEFAULT_EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, DEFAULT_EPS)
+}
+
+/// Types comparable up to a tolerance.
+///
+/// Implemented for `f64` and [`Vec2`]; downstream crates implement it for
+/// their own aggregates where useful.
+pub trait ApproxEq {
+    /// Returns `true` when `self` and `other` agree within `eps` under the
+    /// mixed absolute/relative policy of [`approx_eq_eps`].
+    fn approx_eq_eps(&self, other: &Self, eps: f64) -> bool;
+
+    /// [`ApproxEq::approx_eq_eps`] with [`DEFAULT_EPS`].
+    fn approx_eq(&self, other: &Self) -> bool {
+        self.approx_eq_eps(other, DEFAULT_EPS)
+    }
+}
+
+impl ApproxEq for f64 {
+    fn approx_eq_eps(&self, other: &Self, eps: f64) -> bool {
+        approx_eq_eps(*self, *other, eps)
+    }
+}
+
+impl ApproxEq for Vec2 {
+    fn approx_eq_eps(&self, other: &Self, eps: f64) -> bool {
+        approx_eq_eps(self.x, other.x, eps) && approx_eq_eps(self.y, other.y, eps)
+    }
+}
+
+/// Asserts that two `f64` values are approximately equal, with a helpful
+/// message on failure.
+///
+/// # Example
+///
+/// ```
+/// rvz_geometry::assert_approx_eq!(2.0_f64.sqrt() * 2.0_f64.sqrt(), 2.0);
+/// ```
+#[macro_export]
+macro_rules! assert_approx_eq {
+    ($a:expr, $b:expr) => {
+        $crate::assert_approx_eq!($a, $b, $crate::approx::DEFAULT_EPS)
+    };
+    ($a:expr, $b:expr, $eps:expr) => {{
+        let (a, b) = (&$a, &$b);
+        assert!(
+            $crate::approx::approx_eq_eps(*a as f64, *b as f64, $eps),
+            "assert_approx_eq failed: {} vs {} (eps {})",
+            a,
+            b,
+            $eps
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_equality_short_circuits() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn nan_is_never_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN));
+        assert!(!approx_eq(f64::NAN, 0.0));
+    }
+
+    #[test]
+    fn absolute_near_zero() {
+        assert!(approx_eq(0.0, 1e-12));
+        assert!(!approx_eq(0.0, 1e-3));
+    }
+
+    #[test]
+    fn relative_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-10)));
+        assert!(!approx_eq(1e12, 1e12 * 1.01));
+    }
+
+    #[test]
+    fn vec2_componentwise() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(1.0 + 1e-12, 2.0 - 1e-12);
+        assert!(a.approx_eq(&b));
+        assert!(!a.approx_eq(&Vec2::new(1.0, 2.1)));
+    }
+
+    #[test]
+    fn macro_passes_and_supports_custom_eps() {
+        assert_approx_eq!(0.1 + 0.2, 0.3);
+        assert_approx_eq!(100.0, 101.0, 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "assert_approx_eq failed")]
+    fn macro_fails_loudly() {
+        assert_approx_eq!(1.0, 2.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use rvz_geometry::{angle, normalize_angle, Mat2, Vec2, TAU};
+
+fn finite_vec() -> impl Strategy<Value = Vec2> {
+    ((-1e6..1e6f64), (-1e6..1e6f64)).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+fn small_mat() -> impl Strategy<Value = Mat2> {
+    (
+        (-10.0..10.0f64),
+        (-10.0..10.0f64),
+        (-10.0..10.0f64),
+        (-10.0..10.0f64),
+    )
+        .prop_map(|(a, b, c, d)| Mat2::new(a, b, c, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Triangle inequality and norm homogeneity.
+    #[test]
+    fn vector_norm_axioms(a in finite_vec(), b in finite_vec(), s in -100.0..100.0f64) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-6);
+        let scaled = (a * s).norm();
+        prop_assert!((scaled - s.abs() * a.norm()).abs() <= 1e-9 * (1.0 + scaled));
+    }
+
+    /// The Cauchy–Schwarz inequality.
+    #[test]
+    fn cauchy_schwarz(a in finite_vec(), b in finite_vec()) {
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() * (1.0 + 1e-12) + 1e-12);
+    }
+
+    /// dot² + cross² = |a|²·|b|² (Lagrange identity in 2-D).
+    #[test]
+    fn lagrange_identity(a in finite_vec(), b in finite_vec()) {
+        let lhs = a.dot(b).powi(2) + a.cross(b).powi(2);
+        let rhs = a.norm_squared() * b.norm_squared();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs));
+    }
+
+    /// Rotation preserves norms and composes additively.
+    #[test]
+    fn rotations_are_isometries(v in finite_vec(), t1 in 0.0..TAU, t2 in 0.0..TAU) {
+        let r = v.rotated(t1);
+        prop_assert!((r.norm() - v.norm()).abs() <= 1e-9 * (1.0 + v.norm()));
+        let composed = v.rotated(t1).rotated(t2);
+        let direct = v.rotated(t1 + t2);
+        prop_assert!(composed.distance(direct) <= 1e-7 * (1.0 + v.norm()));
+    }
+
+    /// perp is rotation by 90° and reverses cross sign.
+    #[test]
+    fn perp_properties(v in finite_vec()) {
+        prop_assert!(v.perp().dot(v).abs() <= 1e-9 * (1.0 + v.norm_squared()));
+        prop_assert!((v.perp().norm() - v.norm()).abs() <= 1e-9 * (1.0 + v.norm()));
+    }
+
+    /// Matrix multiplication is associative and respects determinants.
+    #[test]
+    fn matrix_algebra(m in small_mat(), n in small_mat(), p in small_mat()) {
+        let left = (m * n) * p;
+        let right = m * (n * p);
+        prop_assert!((left - right).frobenius_norm() <= 1e-6);
+        let det_prod = (m * n).det();
+        prop_assert!((det_prod - m.det() * n.det()).abs() <= 1e-6 * (1.0 + det_prod.abs()));
+    }
+
+    /// Inverse (when it exists) really inverts.
+    #[test]
+    fn inverse_roundtrip(m in small_mat()) {
+        prop_assume!(m.det().abs() > 1e-3);
+        let inv = m.inverse().unwrap();
+        let eye = m * inv;
+        prop_assert!((eye - Mat2::IDENTITY).frobenius_norm() <= 1e-6);
+    }
+
+    /// QR: Q orthogonal rotation, R upper triangular, Q·R reconstructs.
+    #[test]
+    fn qr_factorization_properties(m in small_mat()) {
+        let f = m.qr();
+        prop_assert!(f.q.is_orthogonal(1e-9));
+        prop_assert!((f.q.det() - 1.0).abs() <= 1e-9);
+        prop_assert_eq!(f.r.c, 0.0);
+        prop_assert!(f.r.a >= 0.0);
+        prop_assert!(((f.q * f.r) - m).frobenius_norm() <= 1e-7 * (1.0 + m.frobenius_norm()));
+    }
+
+    /// The operator norm really bounds |Mv|/|v| and is attained within 1%.
+    #[test]
+    fn operator_norm_is_tight_bound(m in small_mat()) {
+        let bound = m.operator_norm();
+        let mut attained: f64 = 0.0;
+        let mut theta = 0.0;
+        while theta < TAU {
+            let v = Vec2::from_polar(1.0, theta);
+            let len = (m * v).norm();
+            prop_assert!(len <= bound * (1.0 + 1e-9) + 1e-12);
+            attained = attained.max(len);
+            theta += 0.01;
+        }
+        prop_assert!(attained >= bound * 0.99);
+    }
+
+    /// normalize_angle lands in [0, 2π) and preserves the angle mod 2π.
+    #[test]
+    fn angle_normalization(a in -1e4..1e4f64) {
+        let n = normalize_angle(a);
+        prop_assert!((0.0..TAU).contains(&n));
+        // sin/cos agree ⇒ same angle modulo 2π.
+        prop_assert!((n.sin() - a.sin()).abs() < 1e-7);
+        prop_assert!((n.cos() - a.cos()).abs() < 1e-7);
+    }
+
+    /// Angular distance is a metric on the circle (symmetry + triangle).
+    #[test]
+    fn angular_distance_metric(a in 0.0..TAU, b in 0.0..TAU, c in 0.0..TAU) {
+        let dab = angle::angular_distance(a, b);
+        let dba = angle::angular_distance(b, a);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(dab <= std::f64::consts::PI + 1e-12);
+        let dac = angle::angular_distance(a, c);
+        let dcb = angle::angular_distance(c, b);
+        prop_assert!(dab <= dac + dcb + 1e-9);
+    }
+}

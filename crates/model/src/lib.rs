@@ -1,0 +1,39 @@
+//! # rvz-model
+//!
+//! The problem model of the paper: robot attributes, reference frames, and
+//! the feasibility characterization of Theorem 4.
+//!
+//! Two anonymous robots are dropped at unknown positions in the plane.
+//! Each carries four hidden attributes relative to the (WLOG) reference
+//! robot `R`: a movement speed `v`, a clock time-unit `τ`, a compass
+//! orientation `φ` and a chirality `χ` ([`RobotAttributes`]). Neither
+//! robot knows its own or the other's attributes; the attributes act only
+//! through the frame map of Lemma 4, which [`RobotAttributes::frame_warp`]
+//! constructs.
+//!
+//! The central feasibility question — *for which attribute combinations
+//! can any deterministic symmetric algorithm achieve rendezvous?* — is
+//! answered by Theorem 4 and implemented by [`feasibility`]:
+//!
+//! > Rendezvous is feasible **iff** `τ ≠ 1`, or `v ≠ 1`, or
+//! > (`χ = +1` and `0 < φ < 2π`).
+//!
+//! ## Example
+//!
+//! ```
+//! use rvz_model::{RobotAttributes, feasibility, Feasibility};
+//!
+//! let slow = RobotAttributes::reference().with_speed(0.5);
+//! assert!(matches!(feasibility(&slow), Feasibility::Feasible(_)));
+//!
+//! let twin = RobotAttributes::reference();
+//! assert!(matches!(feasibility(&twin), Feasibility::Infeasible(_)));
+//! ```
+
+pub mod attributes;
+pub mod instance;
+pub mod predicate;
+
+pub use attributes::{Chirality, RobotAttributes};
+pub use instance::{InstanceError, RendezvousInstance, SearchInstance};
+pub use predicate::{feasibility, Feasibility, InfeasibleReason, SymmetryBreaker};

@@ -1,0 +1,281 @@
+//! The Theorem 4 feasibility characterization, as a decidable predicate.
+//!
+//! Rendezvous between the reference robot and a robot with attributes
+//! `(v, τ, φ, χ)` is feasible **iff** at least one of the following
+//! symmetry breakers is available:
+//!
+//! * `τ ≠ 1` — asymmetric clocks (Section 4);
+//! * `v ≠ 1` — different speeds (Section 3, both chiralities);
+//! * `χ = +1 ∧ 0 < φ < 2π` — orientation offset with equal chirality
+//!   (Section 3, via `µ > 0`).
+//!
+//! When none applies the robots are doomed: either they are exact twins
+//! (every trajectory pair stays at constant offset `d⃗`), or they are
+//! mirror twins (`v = τ = 1, χ = −1`), in which case the relative motion
+//! `S(t) − S'(t)` is confined to a line and an adversarial placement of
+//! `R'` perpendicular to that line keeps the distance at least `d`
+//! forever. [`InfeasibleReason::invariant_direction`] exposes that
+//! adversarial direction so the simulator tests can certify infeasibility.
+
+use crate::attributes::{Chirality, RobotAttributes};
+use rvz_geometry::Vec2;
+use std::fmt;
+
+/// Which attribute difference a universal algorithm can exploit.
+///
+/// Ordered by the paper's presentation; when several apply, the
+/// `feasibility` predicate reports the *strongest* one in this order
+/// (clocks, then speeds, then orientation), matching the case analysis of
+/// Theorems 2–4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymmetryBreaker {
+    /// `τ ≠ 1`: Algorithm 7's wait/search phases de-synchronize (Theorem 3).
+    AsymmetricClocks,
+    /// `v ≠ 1`: the equivalent search matrix is non-singular (Theorem 2).
+    DifferentSpeeds,
+    /// `v = 1, τ = 1, χ = +1, φ ≠ 0`: `µ = √(2 − 2cos φ) > 0` (Lemma 6).
+    OrientationOffset,
+}
+
+impl fmt::Display for SymmetryBreaker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymmetryBreaker::AsymmetricClocks => write!(f, "asymmetric clocks (τ ≠ 1)"),
+            SymmetryBreaker::DifferentSpeeds => write!(f, "different speeds (v ≠ 1)"),
+            SymmetryBreaker::OrientationOffset => {
+                write!(f, "orientation offset with equal chirality (φ ≠ 0, χ = +1)")
+            }
+        }
+    }
+}
+
+/// Why no deterministic symmetric algorithm can force rendezvous.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InfeasibleReason {
+    /// All four attributes equal: the robots are indistinguishable twins
+    /// and their distance is invariant under any common algorithm.
+    IdenticalTwins,
+    /// `v = τ = 1, χ = −1`: the relative trajectory `S − S'` is confined
+    /// to the line orthogonal to `invariant_direction`, so a target offset
+    /// along that direction is never approached.
+    MirrorTwins {
+        /// The robots' orientation difference `φ` (any value allowed).
+        orientation: f64,
+    },
+}
+
+impl InfeasibleReason {
+    /// A unit direction `û` such that placing `R'` at `d·û` keeps the
+    /// robots at distance ≥ `d` forever — the adversarial placement used
+    /// to *demonstrate* infeasibility in simulation.
+    ///
+    /// For mirror twins with orientation `φ` this is `(cos φ/2, sin φ/2)`:
+    /// with `v = 1, χ = −1` the equivalent-search matrix
+    /// `T∘ = I − Rot(φ)·Refl(−1)` is the rank-≤1 map `2·sin(φ/2)·…` whose
+    /// range is orthogonal to `û`, hence `(S(t) − S'(t))·û = 0` for all
+    /// `t`. For identical twins any direction works; `û = x̂` is returned.
+    pub fn invariant_direction(&self) -> Vec2 {
+        match *self {
+            InfeasibleReason::IdenticalTwins => Vec2::UNIT_X,
+            InfeasibleReason::MirrorTwins { orientation } => {
+                Vec2::from_polar(1.0, orientation / 2.0)
+            }
+        }
+    }
+}
+
+impl fmt::Display for InfeasibleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfeasibleReason::IdenticalTwins => write!(f, "identical twins (v=τ=1, φ=0, χ=+1)"),
+            InfeasibleReason::MirrorTwins { orientation } => {
+                write!(f, "mirror twins (v=τ=1, χ=−1, φ={orientation:.4})")
+            }
+        }
+    }
+}
+
+/// The verdict of the Theorem 4 characterization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Feasibility {
+    /// Rendezvous is achievable; the payload names an exploitable
+    /// attribute difference.
+    Feasible(SymmetryBreaker),
+    /// No deterministic symmetric algorithm can force rendezvous for
+    /// every initial placement.
+    Infeasible(InfeasibleReason),
+}
+
+impl Feasibility {
+    /// `true` for the feasible verdict.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Feasible(_))
+    }
+}
+
+impl fmt::Display for Feasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feasibility::Feasible(b) => write!(f, "feasible via {b}"),
+            Feasibility::Infeasible(r) => write!(f, "infeasible: {r}"),
+        }
+    }
+}
+
+/// Decides Theorem 4 for the given attributes.
+///
+/// # Example
+///
+/// ```
+/// use rvz_model::{feasibility, Chirality, Feasibility, RobotAttributes, SymmetryBreaker};
+///
+/// // Mirrored robot with same speed and clock: infeasible regardless of φ.
+/// let mirror = RobotAttributes::reference()
+///     .with_chirality(Chirality::Mirrored)
+///     .with_orientation(2.0);
+/// assert!(!feasibility(&mirror).is_feasible());
+///
+/// // ... but give it a different clock and the clock wins:
+/// let fixed = mirror.with_time_unit(0.5);
+/// assert_eq!(
+///     feasibility(&fixed),
+///     Feasibility::Feasible(SymmetryBreaker::AsymmetricClocks)
+/// );
+/// ```
+pub fn feasibility(attrs: &RobotAttributes) -> Feasibility {
+    if attrs.time_unit() != 1.0 {
+        return Feasibility::Feasible(SymmetryBreaker::AsymmetricClocks);
+    }
+    if attrs.speed() != 1.0 {
+        return Feasibility::Feasible(SymmetryBreaker::DifferentSpeeds);
+    }
+    match attrs.chirality() {
+        Chirality::Consistent => {
+            if attrs.orientation() != 0.0 {
+                Feasibility::Feasible(SymmetryBreaker::OrientationOffset)
+            } else {
+                Feasibility::Infeasible(InfeasibleReason::IdenticalTwins)
+            }
+        }
+        Chirality::Mirrored => Feasibility::Infeasible(InfeasibleReason::MirrorTwins {
+            orientation: attrs.orientation(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::Mat2;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn identical_twins_are_infeasible() {
+        let verdict = feasibility(&RobotAttributes::reference());
+        assert_eq!(
+            verdict,
+            Feasibility::Infeasible(InfeasibleReason::IdenticalTwins)
+        );
+        assert!(!verdict.is_feasible());
+    }
+
+    #[test]
+    fn each_single_difference_is_feasible() {
+        let clock = RobotAttributes::reference().with_time_unit(0.5);
+        assert_eq!(
+            feasibility(&clock),
+            Feasibility::Feasible(SymmetryBreaker::AsymmetricClocks)
+        );
+        let speed = RobotAttributes::reference().with_speed(2.0);
+        assert_eq!(
+            feasibility(&speed),
+            Feasibility::Feasible(SymmetryBreaker::DifferentSpeeds)
+        );
+        let orient = RobotAttributes::reference().with_orientation(1.0);
+        assert_eq!(
+            feasibility(&orient),
+            Feasibility::Feasible(SymmetryBreaker::OrientationOffset)
+        );
+    }
+
+    #[test]
+    fn mirrored_without_other_breakers_is_infeasible_for_all_phi() {
+        for phi in [0.0, 0.5, PI, 5.0] {
+            let attrs = RobotAttributes::reference()
+                .with_chirality(Chirality::Mirrored)
+                .with_orientation(phi);
+            let verdict = feasibility(&attrs);
+            assert!(
+                matches!(verdict, Feasibility::Infeasible(InfeasibleReason::MirrorTwins { .. })),
+                "φ={phi} should be infeasible, got {verdict}"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_difference_rescues_mirror_twins() {
+        let attrs = RobotAttributes::reference()
+            .with_chirality(Chirality::Mirrored)
+            .with_time_unit(0.3);
+        assert!(feasibility(&attrs).is_feasible());
+    }
+
+    #[test]
+    fn speed_difference_rescues_mirror_twins() {
+        let attrs = RobotAttributes::reference()
+            .with_chirality(Chirality::Mirrored)
+            .with_speed(0.9);
+        assert_eq!(
+            feasibility(&attrs),
+            Feasibility::Feasible(SymmetryBreaker::DifferentSpeeds)
+        );
+    }
+
+    #[test]
+    fn breaker_priority_is_clock_speed_orientation() {
+        let all = RobotAttributes::new(0.5, 0.5, 1.0, Chirality::Consistent);
+        assert_eq!(
+            feasibility(&all),
+            Feasibility::Feasible(SymmetryBreaker::AsymmetricClocks)
+        );
+        let speed_and_orient = RobotAttributes::new(0.5, 1.0, 1.0, Chirality::Consistent);
+        assert_eq!(
+            feasibility(&speed_and_orient),
+            Feasibility::Feasible(SymmetryBreaker::DifferentSpeeds)
+        );
+    }
+
+    /// The invariant direction really is invariant: for mirror twins the
+    /// matrix T∘ = I − Rot(φ)·Refl(−1) maps every vector orthogonally to û.
+    #[test]
+    fn mirror_invariant_direction_annihilates_relative_motion() {
+        for phi in [0.0, 0.4, 1.0, PI, 4.5] {
+            let reason = InfeasibleReason::MirrorTwins { orientation: phi };
+            let u = reason.invariant_direction();
+            let t_circ =
+                Mat2::IDENTITY - Mat2::rotation(phi) * Mat2::chirality_reflection(-1.0);
+            // Every column of T∘ must be orthogonal to û.
+            assert!(t_circ.col0().dot(u).abs() < 1e-12, "φ={phi}");
+            assert!(t_circ.col1().dot(u).abs() < 1e-12, "φ={phi}");
+            assert!((u.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identical_twins_direction_is_unit() {
+        assert_eq!(
+            InfeasibleReason::IdenticalTwins.invariant_direction(),
+            Vec2::UNIT_X
+        );
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(feasibility(&RobotAttributes::reference())
+            .to_string()
+            .contains("identical twins"));
+        assert!(SymmetryBreaker::AsymmetricClocks.to_string().contains("τ"));
+        let mirror = InfeasibleReason::MirrorTwins { orientation: 1.0 };
+        assert!(mirror.to_string().contains("mirror"));
+    }
+}

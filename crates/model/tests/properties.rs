@@ -1,0 +1,135 @@
+//! Property-based tests for the model crate: the Theorem 4 predicate's
+//! case analysis and the frame-map algebra.
+
+use proptest::prelude::*;
+use rvz_model::{
+    feasibility, Chirality, Feasibility, RendezvousInstance, RobotAttributes, SearchInstance,
+    SymmetryBreaker,
+};
+use rvz_geometry::Vec2;
+use rvz_trajectory::{PathBuilder, Trajectory};
+
+fn chirality() -> impl Strategy<Value = Chirality> {
+    prop_oneof![Just(Chirality::Consistent), Just(Chirality::Mirrored)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Theorem 4 as a formula: feasible ⟺ τ≠1 ∨ v≠1 ∨ (χ=+1 ∧ φ≠0).
+    #[test]
+    fn predicate_equals_formula(
+        v in prop_oneof![Just(1.0f64), 0.1..3.0f64],
+        tau in prop_oneof![Just(1.0f64), 0.1..3.0f64],
+        phi in prop_oneof![Just(0.0f64), 0.0..std::f64::consts::TAU],
+        chi in chirality(),
+    ) {
+        let attrs = RobotAttributes::new(v, tau, phi, chi);
+        let expected = attrs.time_unit() != 1.0
+            || attrs.speed() != 1.0
+            || (attrs.chirality() == Chirality::Consistent && attrs.orientation() != 0.0);
+        prop_assert_eq!(feasibility(&attrs).is_feasible(), expected, "{}", attrs);
+    }
+
+    /// The reported symmetry breaker is truthful: the named attribute
+    /// really differs.
+    #[test]
+    fn breaker_is_truthful(
+        v in 0.1..3.0f64,
+        tau in 0.1..3.0f64,
+        phi in 0.0..std::f64::consts::TAU,
+        chi in chirality(),
+    ) {
+        let attrs = RobotAttributes::new(v, tau, phi, chi);
+        match feasibility(&attrs) {
+            Feasibility::Feasible(SymmetryBreaker::AsymmetricClocks) => {
+                prop_assert!(attrs.time_unit() != 1.0)
+            }
+            Feasibility::Feasible(SymmetryBreaker::DifferentSpeeds) => {
+                prop_assert!(attrs.speed() != 1.0)
+            }
+            Feasibility::Feasible(SymmetryBreaker::OrientationOffset) => {
+                prop_assert!(attrs.orientation() != 0.0);
+                prop_assert_eq!(attrs.chirality(), Chirality::Consistent);
+            }
+            Feasibility::Infeasible(_) => {
+                prop_assert_eq!(attrs.speed(), 1.0);
+                prop_assert_eq!(attrs.time_unit(), 1.0);
+            }
+        }
+    }
+
+    /// µ ∈ [|1−v|, 1+v] with the extremes at φ = 0 and φ = π.
+    #[test]
+    fn mu_bounds(v in 0.05..3.0f64, phi in 0.0..std::f64::consts::TAU) {
+        let mu = RobotAttributes::reference()
+            .with_speed(v)
+            .with_orientation(phi)
+            .mu();
+        prop_assert!(mu >= (1.0 - v).abs() - 1e-12);
+        prop_assert!(mu <= 1.0 + v + 1e-12);
+    }
+
+    /// The frame map's speed bound: a warped unit-speed trajectory moves
+    /// at speed exactly v (time dilation and distance unit cancel).
+    #[test]
+    fn frame_speed_is_v(
+        v in 0.1..3.0f64,
+        tau in 0.1..3.0f64,
+        phi in 0.0..std::f64::consts::TAU,
+        chi in chirality(),
+        t in 0.0..0.9f64,
+    ) {
+        let attrs = RobotAttributes::new(v, tau, phi, chi);
+        let leg = PathBuilder::at(Vec2::ZERO).line_to(Vec2::new(1.0, 0.0)).build();
+        let warped = attrs.frame_warp(leg, Vec2::ZERO);
+        prop_assert!((warped.speed_bound() - v).abs() <= 1e-9 * (1.0 + v));
+        // Sampled speed matches the bound on the moving part.
+        let total = warped.duration().unwrap();
+        let h = total * 1e-6;
+        let t = t * total;
+        let speed = warped.position(t + h).distance(warped.position(t)) / h;
+        prop_assert!(speed <= v * (1.0 + 1e-6));
+    }
+
+    /// The warped trajectory ends after τ·(local duration) global time.
+    #[test]
+    fn frame_duration_scales_by_tau(tau in 0.1..3.0f64) {
+        let attrs = RobotAttributes::reference().with_time_unit(tau);
+        let leg = PathBuilder::at(Vec2::ZERO).line_to(Vec2::new(2.0, 0.0)).build();
+        let warped = attrs.frame_warp(leg, Vec2::ZERO);
+        prop_assert!((warped.duration().unwrap() - 2.0 * tau).abs() < 1e-9);
+    }
+
+    /// Instance difficulty d²/r is shared between a rendezvous instance
+    /// and its stationary-search reduction.
+    #[test]
+    fn reduction_preserves_difficulty(
+        dx in -5.0..5.0f64,
+        dy in -5.0..5.0f64,
+        r in 0.001..1.0f64,
+    ) {
+        let d = Vec2::new(dx, dy);
+        prop_assume!(d.norm() > 1e-6);
+        let inst = RendezvousInstance::new(d, r, RobotAttributes::reference()).unwrap();
+        let search = inst.as_stationary_search();
+        prop_assert_eq!(search.difficulty(), inst.difficulty());
+        prop_assert_eq!(search.target(), inst.offset());
+    }
+
+    /// Orientation is always normalized into [0, 2π).
+    #[test]
+    fn orientation_normalized(phi in -100.0..100.0f64) {
+        let a = RobotAttributes::reference().with_orientation(phi);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&a.orientation()));
+    }
+
+    /// Validation rejects exactly the bad inputs.
+    #[test]
+    fn instance_validation(r in -1.0..1.0f64, dx in -1.0..1.0f64) {
+        let target = Vec2::new(dx, 0.0);
+        let result = SearchInstance::new(target, r);
+        let should_be_ok = r > 0.0 && target != Vec2::ZERO;
+        prop_assert_eq!(result.is_ok(), should_be_ok);
+    }
+}

@@ -1,0 +1,161 @@
+//! The principal branch of the Lambert W function.
+//!
+//! Lemma 12 of the paper solves `z·e^z = y` for the rendezvous round via
+//! `z = W(y)`, and then simplifies with the asymptotic
+//! `W(x) ≈ ln x − ln ln x` (citing Hoorfar–Hassani). Both forms are
+//! provided here; the exact solver is used by the bound calculators in
+//! `rvz-core` and the asymptotic is used to reproduce the paper's final
+//! inequality chain.
+
+/// Evaluates the principal branch `W₀(y)` for `y ≥ 0`.
+///
+/// Solves `W·e^W = y` by Halley iteration from a branch-appropriate
+/// initial guess; converges to machine precision in ≤ 6 iterations on the
+/// whole domain used by the workspace (`0 ≤ y ≤ 1e300`).
+///
+/// # Panics
+///
+/// Panics if `y` is negative or NaN — the paper only evaluates `W` at
+/// positive arguments, so a negative argument is always a caller bug.
+///
+/// # Example
+///
+/// ```
+/// use rvz_numerics::lambert_w0;
+///
+/// // W(e) = 1 because 1·e¹ = e.
+/// assert!((lambert_w0(std::f64::consts::E) - 1.0).abs() < 1e-14);
+/// assert_eq!(lambert_w0(0.0), 0.0);
+/// ```
+pub fn lambert_w0(y: f64) -> f64 {
+    assert!(y >= 0.0, "lambert_w0 requires y >= 0, got {y}");
+    if y == 0.0 {
+        return 0.0;
+    }
+    if y.is_infinite() {
+        return f64::INFINITY;
+    }
+
+    // Initial guess: for small y, W(y) ≈ y·(1 − y); for large y the
+    // asymptotic ln y − ln ln y; in between, ln(1 + y) is a serviceable
+    // bridge (it is exact at 0 and grows logarithmically).
+    let mut w = if y < 1.0 {
+        y * (1.0 - y).max(0.5)
+    } else if y > std::f64::consts::E {
+        let l = y.ln();
+        l - l.ln()
+    } else {
+        (1.0 + y).ln()
+    };
+
+    // Halley iteration on f(w) = w·e^w − y.
+    for _ in 0..50 {
+        let ew = w.exp();
+        let f = w * ew - y;
+        if f == 0.0 {
+            break;
+        }
+        let w1 = w + 1.0;
+        let denom = ew * w1 - (w + 2.0) * f / (2.0 * w1);
+        let step = f / denom;
+        w -= step;
+        if step.abs() <= 1e-16 * (1.0 + w.abs()) {
+            break;
+        }
+    }
+    w
+}
+
+/// The paper's asymptotic approximation `W(x) ≈ ln x − ln ln x`.
+///
+/// Valid for `x ≥ e`; this is the form used in the proof of Lemma 12 to
+/// turn the W-expression for the rendezvous round into the closed bound
+/// `k* < n + ⌈log(n / (1 − γ))⌉`.
+///
+/// # Panics
+///
+/// Panics when `x < e`, where `ln ln x` is non-positive and the
+/// approximation is meaningless.
+pub fn lambert_w0_asymptotic(x: f64) -> f64 {
+    assert!(
+        x >= std::f64::consts::E,
+        "asymptotic W requires x >= e, got {x}"
+    );
+    let l = x.ln();
+    l - l.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::E;
+
+    /// The defining identity W(y)·e^{W(y)} = y, on a log-spaced grid.
+    #[test]
+    fn identity_holds_across_magnitudes() {
+        let mut y = 1e-12;
+        while y < 1e100 {
+            let w = lambert_w0(y);
+            let back = w * w.exp();
+            let rel = ((back - y) / y).abs();
+            assert!(rel < 1e-12, "identity failed at y={y}: w={w}, back={back}");
+            y *= 7.3;
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(lambert_w0(0.0), 0.0);
+        assert!((lambert_w0(E) - 1.0).abs() < 1e-14);
+        // W(2e²) = 2.
+        assert!((lambert_w0(2.0 * E * E) - 2.0).abs() < 1e-13);
+        // W(1) = Ω ≈ 0.5671432904097838.
+        assert!((lambert_w0(1.0) - 0.567_143_290_409_783_8).abs() < 1e-14);
+    }
+
+    #[test]
+    fn monotonically_increasing() {
+        let mut prev = -1.0;
+        let mut y = 0.0;
+        while y < 1e6 {
+            let w = lambert_w0(y);
+            assert!(w > prev, "W not increasing at y={y}");
+            prev = w;
+            y = y * 1.5 + 0.1;
+        }
+    }
+
+    #[test]
+    fn infinite_input() {
+        assert_eq!(lambert_w0(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires y >= 0")]
+    fn negative_input_panics() {
+        let _ = lambert_w0(-0.1);
+    }
+
+    #[test]
+    fn asymptotic_is_close_for_large_x() {
+        // Hoorfar–Hassani: ln x − ln ln x ≤ W(x) for x ≥ e; the gap is
+        // O(ln ln x / ln x).
+        for &x in &[1e3, 1e6, 1e12, 1e30] {
+            let exact = lambert_w0(x);
+            let approx = lambert_w0_asymptotic(x);
+            assert!(approx <= exact + 1e-12, "asymptotic above exact at {x}");
+            let rel = (exact - approx) / exact;
+            assert!(rel < 0.35, "asymptotic too loose at {x}: rel={rel}");
+        }
+        // And it tightens as x grows.
+        let gap_small = lambert_w0(1e6) - lambert_w0_asymptotic(1e6);
+        let gap_large = lambert_w0(1e30) - lambert_w0_asymptotic(1e30);
+        assert!(gap_large < gap_small);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x >= e")]
+    fn asymptotic_rejects_small_x() {
+        let _ = lambert_w0_asymptotic(1.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Root bracketing and refinement for scalar functions.
+//!
+//! The simulator's contact detection and several bound calculators need to
+//! locate the first zero of a continuous function on an interval. A
+//! bracketed bisection is guaranteed to converge; [`find_root`] layers a
+//! secant acceleration on top (a simplified Brent scheme) while never
+//! leaving the bracket.
+
+use std::fmt;
+
+/// An interval `[lo, hi]` whose endpoints straddle a root: `f(lo)` and
+/// `f(hi)` have opposite signs (or one is zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Bracket {
+    /// Creates a bracket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either endpoint is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bracket must be finite");
+        assert!(lo <= hi, "bracket endpoints out of order: [{lo}, {hi}]");
+        Bracket { lo, hi }
+    }
+
+    /// Interval width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Error returned when a root cannot be located.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootError {
+    /// `f(lo)` and `f(hi)` have the same sign, so the bracket does not
+    /// certify a root.
+    NotBracketed,
+    /// The function returned NaN inside the bracket.
+    NotFinite,
+}
+
+impl fmt::Display for RootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RootError::NotBracketed => write!(f, "function does not change sign on the bracket"),
+            RootError::NotFinite => write!(f, "function returned a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Pure bisection to absolute tolerance `tol` on the argument.
+///
+/// Robust but linear-rate; used as the fallback inside [`find_root`] and
+/// directly where the function is cheap.
+///
+/// # Errors
+///
+/// Returns [`RootError::NotBracketed`] when the endpoint values share a
+/// sign, and [`RootError::NotFinite`] if `f` produces NaN.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    bracket: Bracket,
+    tol: f64,
+) -> Result<f64, RootError> {
+    let (mut lo, mut hi) = (bracket.lo, bracket.hi);
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo.is_nan() || fhi.is_nan() {
+        return Err(RootError::NotFinite);
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(RootError::NotBracketed);
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break; // interval at floating-point resolution
+        }
+        let fm = f(mid);
+        if fm.is_nan() {
+            return Err(RootError::NotFinite);
+        }
+        if fm == 0.0 {
+            return Ok(mid);
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Bracketed root finding with secant acceleration (simplified Brent).
+///
+/// Maintains the bisection bracket invariant at every step, so it is as
+/// robust as [`bisect`] but converges superlinearly on smooth functions.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// # Example
+///
+/// ```
+/// use rvz_numerics::{find_root, Bracket};
+///
+/// let root = find_root(|x| x * x - 2.0, Bracket::new(0.0, 2.0), 1e-14).unwrap();
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-12);
+/// ```
+pub fn find_root<F: FnMut(f64) -> f64>(
+    mut f: F,
+    bracket: Bracket,
+    tol: f64,
+) -> Result<f64, RootError> {
+    let (mut lo, mut hi) = (bracket.lo, bracket.hi);
+    let mut flo = f(lo);
+    let mut fhi = f(hi);
+    if flo.is_nan() || fhi.is_nan() {
+        return Err(RootError::NotFinite);
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(RootError::NotBracketed);
+    }
+
+    for _ in 0..200 {
+        if hi - lo <= tol {
+            break;
+        }
+        // Secant proposal from the bracket endpoints.
+        let secant = lo - flo * (hi - lo) / (fhi - flo);
+        let mid = 0.5 * (lo + hi);
+        // Accept the secant point only if it falls safely inside the
+        // bracket; otherwise bisect.
+        let x = if secant > lo + 0.01 * (hi - lo) && secant < hi - 0.01 * (hi - lo) {
+            secant
+        } else {
+            mid
+        };
+        if x <= lo || x >= hi {
+            break; // floating-point resolution reached
+        }
+        let fx = f(x);
+        if fx.is_nan() {
+            return Err(RootError::NotFinite);
+        }
+        if fx == 0.0 {
+            return Ok(x);
+        }
+        if fx.signum() == flo.signum() {
+            lo = x;
+            flo = fx;
+        } else {
+            hi = x;
+            fhi = fx;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, Bracket::new(0.0, 2.0), 1e-12).unwrap();
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn find_root_matches_bisect_but_faster_paths_work() {
+        let f = |x: f64| x.cos() - x;
+        let r = find_root(f, Bracket::new(0.0, 1.0), 1e-14).unwrap();
+        assert!((r - 0.739_085_133_215_160_6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_at_endpoint_is_returned_immediately() {
+        assert_eq!(bisect(|x| x, Bracket::new(0.0, 1.0), 1e-12).unwrap(), 0.0);
+        assert_eq!(
+            find_root(|x| x - 1.0, Bracket::new(0.0, 1.0), 1e-12).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn unbracketed_is_an_error() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, Bracket::new(-1.0, 1.0), 1e-12),
+            Err(RootError::NotBracketed)
+        );
+        assert_eq!(
+            find_root(|x| x * x + 1.0, Bracket::new(-1.0, 1.0), 1e-12),
+            Err(RootError::NotBracketed)
+        );
+    }
+
+    #[test]
+    fn nan_is_detected() {
+        assert_eq!(
+            bisect(
+                |x| if x > 0.4 { f64::NAN } else { x - 0.7 },
+                Bracket::new(0.0, 1.0),
+                1e-12
+            ),
+            Err(RootError::NotFinite)
+        );
+    }
+
+    #[test]
+    fn steep_and_flat_functions() {
+        // Very steep root.
+        let r = find_root(|x| (x - 0.3) * 1e12, Bracket::new(0.0, 1.0), 1e-14).unwrap();
+        assert!((r - 0.3).abs() < 1e-12);
+        // Very flat approach to the root.
+        let r = find_root(|x| (x - 0.5).powi(3), Bracket::new(0.0, 1.0), 1e-12).unwrap();
+        assert!((r - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn bracket_validates_order() {
+        let _ = Bracket::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn bracket_validates_finiteness() {
+        let _ = Bracket::new(0.0, f64::INFINITY);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            RootError::NotBracketed.to_string(),
+            "function does not change sign on the bracket"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Kahan compensated summation.
+//!
+//! Closed-form cross-checks in the test suites accumulate thousands of
+//! per-segment durations; naive `f64` addition would drift enough to make
+//! exactness assertions flaky. [`KahanSum`] keeps the error at O(ε)
+//! independent of the number of terms.
+
+/// A running compensated sum.
+///
+/// # Example
+///
+/// ```
+/// use rvz_numerics::KahanSum;
+///
+/// let mut s = KahanSum::new();
+/// for _ in 0..1_000_000 {
+///     s.add(0.1);
+/// }
+/// assert!((s.value() - 100_000.0).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        KahanSum::default()
+    }
+
+    /// Creates a sum starting from `initial`.
+    pub fn with_initial(initial: f64) -> Self {
+        KahanSum {
+            sum: initial,
+            compensation: 0.0,
+        }
+    }
+
+    /// Adds a term.
+    #[inline]
+    pub fn add(&mut self, term: f64) {
+        let y = term - self.compensation;
+        let t = self.sum + y;
+        self.compensation = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The current compensated value of the sum.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for term in iter {
+            self.add(term);
+        }
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = KahanSum::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().value(), 0.0);
+    }
+
+    #[test]
+    fn beats_naive_summation() {
+        let n = 10_000_000;
+        let term = 0.1_f64;
+        let mut naive = 0.0_f64;
+        let mut kahan = KahanSum::new();
+        for _ in 0..n {
+            naive += term;
+            kahan.add(term);
+        }
+        let exact = n as f64 * term;
+        let kahan_err = (kahan.value() - exact).abs();
+        let naive_err = (naive - exact).abs();
+        assert!(kahan_err <= naive_err);
+        assert!(kahan_err < 1e-6);
+    }
+
+    #[test]
+    fn cancellation_heavy_series() {
+        // Σ (big − big + small) should reduce to n·small.
+        let mut s = KahanSum::new();
+        for _ in 0..1000 {
+            s.add(1e15);
+            s.add(-1e15);
+            s.add(1.0);
+        }
+        assert_eq!(s.value(), 1000.0);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let s: KahanSum = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.value(), 6.0);
+        let mut t = KahanSum::with_initial(10.0);
+        t.extend([1.0, 1.0]);
+        assert_eq!(t.value(), 12.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the numerical routines.
+
+use proptest::prelude::*;
+use rvz_numerics::{
+    bisect, dyadic, find_root, lambert_w0, pow2i, Bracket, KahanSum,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Lambert W defining identity across 60 orders of magnitude.
+    #[test]
+    fn lambert_identity(exp in -20.0..40.0f64, mant in 1.0..10.0f64) {
+        let y = mant * 10f64.powf(exp);
+        let w = lambert_w0(y);
+        let back = w * w.exp();
+        prop_assert!(((back - y) / y).abs() < 1e-11, "y={y}, w={w}, back={back}");
+    }
+
+    /// W is monotone increasing.
+    #[test]
+    fn lambert_monotone(y1 in 0.0..1e9f64, y2 in 0.0..1e9f64) {
+        prop_assume!(y1 < y2);
+        prop_assert!(lambert_w0(y1) <= lambert_w0(y2));
+    }
+
+    /// The Hoorfar–Hassani lower bound ln x − ln ln x ≤ W(x) for x ≥ e.
+    #[test]
+    fn lambert_asymptotic_is_lower_bound(x in 2.72..1e30f64) {
+        let l = x.ln();
+        prop_assert!(l - l.ln() <= lambert_w0(x) + 1e-9);
+    }
+
+    /// floor_log2 is exactly ⌊log₂ x⌋.
+    #[test]
+    fn floor_log2_definition(mant in 1.0..2.0f64, e in -300..300i64) {
+        let x = mant * pow2i(e);
+        let f = dyadic::floor_log2(x);
+        prop_assert!(pow2i(f) <= x);
+        prop_assert!(pow2i(f + 1) > x);
+    }
+
+    /// ceil_log2 is exactly ⌈log₂ x⌉.
+    #[test]
+    fn ceil_log2_definition(mant in 1.0..2.0f64, e in -300..300i64) {
+        let x = mant * pow2i(e);
+        let c = dyadic::ceil_log2(x);
+        prop_assert!(pow2i(c) >= x);
+        if c > -1000 {
+            prop_assert!(pow2i(c - 1) < x);
+        }
+    }
+
+    /// Root finders locate roots of shifted cubics within tolerance.
+    #[test]
+    fn root_finders_agree(root in -5.0..5.0f64, scale in 0.1..10.0f64) {
+        let f = |x: f64| scale * (x - root) * ((x - root).powi(2) + 0.5);
+        let bracket = Bracket::new(root - 3.0, root + 4.0);
+        let b = bisect(f, bracket, 1e-12).unwrap();
+        let s = find_root(f, bracket, 1e-12).unwrap();
+        prop_assert!((b - root).abs() < 1e-9);
+        prop_assert!((s - root).abs() < 1e-9);
+    }
+
+    /// Kahan summation of shuffled values is order-insensitive at f64
+    /// precision (naive summation is not).
+    #[test]
+    fn kahan_is_order_insensitive(values in proptest::collection::vec(-1e12..1e12f64, 2..40)) {
+        let forward: KahanSum = values.iter().copied().collect();
+        let backward: KahanSum = values.iter().rev().copied().collect();
+        let scale = values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!(
+            (forward.value() - backward.value()).abs() <= 1e-9 * scale,
+            "forward {} vs backward {}",
+            forward.value(),
+            backward.value()
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Lemma 1, Lemma 3 and the Theorem 1 bound.
+//!
+//! * [`lemma1_witness`] — the explicit round/sub-round pair the paper's
+//!   Lemma 1 exhibits: `k = ⌊log(d²/r)⌋`, `j = ⌊log d⌋ + k`, valid when
+//!   the target's dyadic annulus lies inside round `k`'s sweep.
+//! * [`guaranteed_discovery_round`] — the first round whose circle sweep
+//!   provably passes within `r` of *every* point at distance `d`
+//!   (direction-independent; legs are ignored, as in the paper's
+//!   worst-case analysis).
+//! * [`theorem1_bound`] — `6(π+1)·log(d²/r)·(d²/r)`.
+//! * [`lemma3_lower_bound`] — `2^{k+1}`, the difficulty certified by a
+//!   round-`k` discovery in the paper's granularity regime.
+//!
+//! All logarithms are base 2, as everywhere in the paper.
+
+use crate::schedule::SubRound;
+use crate::times;
+use rvz_numerics::dyadic::{floor_log2, pow2i};
+
+/// The Theorem 1 upper bound on the search time:
+/// `T(d, r) < 6(π+1)·log(d²/r)·(d²/r)`.
+///
+/// # Panics
+///
+/// Panics unless `d > 0`, `r > 0` and `d²/r ≥ 2` (below that the bound's
+/// logarithm degenerates; such instances are found in round 1 and need no
+/// bound).
+pub fn theorem1_bound(d: f64, r: f64) -> f64 {
+    assert!(d > 0.0 && r > 0.0, "d and r must be positive");
+    let ratio = d * d / r;
+    assert!(
+        ratio >= 2.0,
+        "Theorem 1 bound requires d²/r ≥ 2, got {ratio}"
+    );
+    6.0 * times::PI_PLUS_1 * ratio.log2() * ratio
+}
+
+/// Lemma 3: a discovery on round `k` (in the granularity regime)
+/// certifies `d²/r ≥ 2^{k+1}`.
+pub fn lemma3_lower_bound(k: u32) -> f64 {
+    pow2i(k as i64 + 1)
+}
+
+/// The explicit witnesses from the proof of Lemma 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lemma1Witness {
+    /// Round `k = ⌊log(d²/r)⌋`.
+    pub round: u32,
+    /// Sub-round `j = ⌊log d⌋ + k`.
+    pub subround: u32,
+}
+
+/// Computes Lemma 1's witness pair, or `None` when the closed forms fall
+/// outside their valid ranges (`k < 1`, or `j ∉ [0, 2k−1]` — the paper's
+/// "it is not hard to confirm" step implicitly assumes they hold, which
+/// is the case whenever `r ≤ ρ`-style discovery is the binding one).
+pub fn lemma1_witness(d: f64, r: f64) -> Option<Lemma1Witness> {
+    assert!(d > 0.0 && r > 0.0, "d and r must be positive");
+    let ratio = d * d / r;
+    if ratio < 2.0 {
+        return None;
+    }
+    let k = floor_log2(ratio);
+    if k < 1 || k as u32 > times::MAX_ROUND {
+        return None;
+    }
+    let j = floor_log2(d) + k;
+    if j < 0 || j >= 2 * k {
+        return None;
+    }
+    let (k, j) = (k as u32, j as u32);
+    // Verify the two constraints Lemma 1 demands.
+    debug_assert!(times::outer_radius(k, j) >= d);
+    debug_assert!(times::granularity(k, j) <= r);
+    Some(Lemma1Witness {
+        round: k,
+        subround: j,
+    })
+}
+
+/// The minimum distance from any point at radius `d` to the circles swept
+/// in round `k` (over all sub-rounds): the round's *effective granularity*
+/// at that radius.
+///
+/// # Panics
+///
+/// Panics unless `d > 0` and `1 ≤ k ≤ MAX_ROUND`.
+pub fn min_sweep_distance(d: f64, k: u32) -> f64 {
+    assert!(d > 0.0 && d.is_finite(), "d must be positive");
+    let mut best = f64::INFINITY;
+    for j in 0..2 * k {
+        let sub = SubRound::new(k, j);
+        let delta1 = sub.inner_radius();
+        let rho = sub.granularity();
+        let m = sub.circle_count() - 1;
+        // Nearest circle index to radius d, clamped into range; check its
+        // neighbours to absorb rounding.
+        let raw = ((d - delta1) / (2.0 * rho)).round();
+        let i0 = if raw <= 0.0 { 0 } else { (raw as u64).min(m) };
+        for i in i0.saturating_sub(1)..=(i0 + 1).min(m) {
+            best = best.min((d - sub.circle_radius(i)).abs());
+        }
+    }
+    best
+}
+
+/// The first round `k` whose circle sweep passes within `r` of every
+/// point at distance `d` — i.e. discovery is *guaranteed* regardless of
+/// the target's direction. `None` if no round up to `MAX_ROUND` suffices.
+pub fn guaranteed_discovery_round(d: f64, r: f64) -> Option<u32> {
+    assert!(d > 0.0 && r > 0.0, "d and r must be positive");
+    if d <= r {
+        return Some(1); // visible before the sweep even starts
+    }
+    (1..=times::MAX_ROUND).find(|&k| min_sweep_distance(d, k) <= r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::first_discovery;
+    use rvz_geometry::Vec2;
+    use rvz_model::SearchInstance;
+
+    #[test]
+    fn bound_is_positive_and_monotone_in_difficulty() {
+        let b1 = theorem1_bound(1.0, 0.25); // ratio 4
+        let b2 = theorem1_bound(1.0, 0.125); // ratio 8
+        assert!(b1 > 0.0 && b2 > b1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires d²/r ≥ 2")]
+    fn bound_rejects_trivial_instances() {
+        let _ = theorem1_bound(1.0, 1.0);
+    }
+
+    #[test]
+    fn witness_constraints_hold_when_present() {
+        for (d, r) in [(1.0, 0.01), (0.7, 1e-4), (3.3, 1e-3), (0.2, 1e-5)] {
+            if let Some(w) = lemma1_witness(d, r) {
+                assert!(times::outer_radius(w.round, w.subround) >= d, "d={d} r={r}");
+                assert!(times::granularity(w.round, w.subround) <= r, "d={d} r={r}");
+            } else {
+                panic!("witness expected for d={d}, r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_none_outside_valid_range() {
+        // Tiny difficulty: no k ≥ 1 exists.
+        assert_eq!(lemma1_witness(1.0, 0.6), None);
+        // Large d with mild r: j = ⌊log d⌋ + k can exceed 2k − 1.
+        assert_eq!(lemma1_witness(64.0, 1800.0), None);
+    }
+
+    #[test]
+    fn discovery_never_later_than_witness_round() {
+        for (p, r) in [
+            (Vec2::new(0.3, 0.8), 1e-3),
+            (Vec2::new(-1.1, 0.4), 1e-4),
+            (Vec2::new(0.05, -0.2), 1e-5),
+        ] {
+            let inst = SearchInstance::new(p, r).unwrap();
+            let w = lemma1_witness(inst.distance(), r).expect("witness");
+            let found = first_discovery(&inst, times::MAX_ROUND).expect("found");
+            assert!(
+                found.round <= w.round,
+                "found round {} after witness round {}",
+                found.round,
+                w.round
+            );
+            // And the Theorem 1 time bound holds.
+            assert!(found.time < theorem1_bound(inst.distance(), r));
+        }
+    }
+
+    #[test]
+    fn guaranteed_round_bounds_sweep_discovery() {
+        // For targets away from the x-axis (no leg shortcuts), discovery
+        // happens no later than the guaranteed round.
+        for (p, r) in [(Vec2::new(0.0, 1.3), 0.01), (Vec2::new(0.0, -0.45), 1e-3)] {
+            let inst = SearchInstance::new(p, r).unwrap();
+            let guar = guaranteed_discovery_round(inst.distance(), r).unwrap();
+            let found = first_discovery(&inst, times::MAX_ROUND).unwrap();
+            assert!(found.round <= guar);
+        }
+    }
+
+    #[test]
+    fn min_sweep_distance_decreases_with_rounds() {
+        let d = 0.9;
+        let m1 = min_sweep_distance(d, 1);
+        let m3 = min_sweep_distance(d, 3);
+        let m6 = min_sweep_distance(d, 6);
+        assert!(m3 <= m1 && m6 <= m3);
+        // The sweep distance is bounded by the granularity of the annulus
+        // containing radius d: for d = 0.9 in round k that is
+        // ρ = 2^{2j−3k−1} with j = k − 1, i.e. 2^{−k−3}.
+        for k in [1u32, 3, 6] {
+            let rho = times::granularity(k, k - 1);
+            assert!(
+                min_sweep_distance(d, k) <= rho,
+                "round {k}: sweep distance exceeds granularity {rho}"
+            );
+        }
+        // Eventually the sweep passes arbitrarily close.
+        assert!(min_sweep_distance(d, 10) < 1e-3);
+    }
+
+    #[test]
+    fn lemma3_bound_values() {
+        assert_eq!(lemma3_lower_bound(1), 4.0);
+        assert_eq!(lemma3_lower_bound(4), 32.0);
+    }
+
+    /// Lemma 3 in its regime: when discovery happens via the sweep in the
+    /// round where granularity first reaches `r`, the difficulty is at
+    /// least `2^{k+1}`.
+    #[test]
+    fn lemma3_holds_in_granularity_regime() {
+        for (d, rexp) in [(0.9_f64, -8), (1.7, -10), (0.33, -9), (2.9, -12)] {
+            let r = pow2i(rexp);
+            let inst = SearchInstance::new(Vec2::new(0.0, d), r).unwrap();
+            let found = first_discovery(&inst, times::MAX_ROUND).unwrap();
+            assert!(
+                d * d / r >= lemma3_lower_bound(found.round),
+                "d={d} r={r}: found on round {} but d²/r = {}",
+                found.round,
+                d * d / r
+            );
+        }
+    }
+}

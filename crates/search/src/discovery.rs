@@ -1,0 +1,354 @@
+//! Exact analytic discovery times for Algorithm 4.
+//!
+//! Because the searcher's trajectory is made of axis-aligned legs and
+//! origin-centered circles, the *first* moment it comes within `r` of a
+//! stationary target `p⃗` has a closed form per circle traversal:
+//!
+//! * on an **outbound leg** along the x-axis the robot is within `r` of
+//!   `p⃗ = (p_x, p_y)` iff `|p_y| ≤ r` and its abscissa reaches
+//!   `x_lo = p_x − √(r² − p_y²)`;
+//! * on a **circle sweep** of radius `δ` the distance to a target at
+//!   radius `d` and polar angle `α` is `√(δ² + d² − 2δd·cos(θ − α))`,
+//!   within `r` iff `cos(θ − α) ≥ (δ² + d² − r²)/(2δd)`.
+//!
+//! Scanning sub-rounds in execution order and finding the first circle
+//! index admitting either contact (a constant-time computation from the
+//! closed-form schedule) yields the exact discovery time without
+//! enumerating the Θ(4^k) segments — this is the oracle used to
+//! reproduce Theorem 1 at large `d²/r` and to validate the
+//! conservative-advancement simulator.
+
+use crate::schedule::SubRound;
+use crate::times;
+use crate::universal::UniversalSearch;
+use rvz_geometry::normalize_angle;
+use rvz_model::SearchInstance;
+
+/// How the target was first seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiscoveryEvent {
+    /// Already visible at time zero (`d ≤ r`).
+    AtStart,
+    /// Seen while the robot headed out along the x-axis (only possible for
+    /// targets within `r` of the positive x-axis).
+    OutboundLeg,
+    /// Seen during a circle traversal — the generic case the paper's
+    /// analysis is built on.
+    CircleSweep,
+}
+
+/// The first time Algorithm 4 sees the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discovery {
+    /// Global time of first visibility.
+    pub time: f64,
+    /// Round `k` in which discovery happens (1-based).
+    pub round: u32,
+    /// Sub-round `j` within the round.
+    pub subround: u32,
+    /// Circle index within the sub-round.
+    pub circle: u64,
+    /// The kind of contact.
+    pub event: DiscoveryEvent,
+}
+
+/// Candidate contact within one sub-round.
+struct Candidate {
+    circle: u64,
+    /// Local time within that circle's 3-segment block.
+    local: f64,
+    event: DiscoveryEvent,
+}
+
+/// Computes the exact first discovery time of `instance.target()` by a
+/// robot running Algorithm 4 from the origin, scanning at most
+/// `max_round` rounds.
+///
+/// Returns `None` when the target is not reached within `max_round`
+/// rounds (which, by Lemma 1, means `max_round` was set below
+/// `⌊log(d²/r)⌋`).
+///
+/// # Panics
+///
+/// Panics when `max_round` exceeds [`times::MAX_ROUND`].
+///
+/// # Example
+///
+/// ```
+/// use rvz_search::{first_discovery, DiscoveryEvent};
+/// use rvz_model::SearchInstance;
+/// use rvz_geometry::Vec2;
+///
+/// // A target two units up: found during a circle sweep.
+/// let inst = SearchInstance::new(Vec2::new(0.0, 2.0), 0.05).unwrap();
+/// let d = first_discovery(&inst, 16).unwrap();
+/// assert_eq!(d.event, DiscoveryEvent::CircleSweep);
+/// assert!(d.time > 0.0);
+/// ```
+pub fn first_discovery(instance: &SearchInstance, max_round: u32) -> Option<Discovery> {
+    assert!(
+        max_round <= times::MAX_ROUND,
+        "max_round {max_round} exceeds supported {}",
+        times::MAX_ROUND
+    );
+    let p = instance.target();
+    let r = instance.visibility();
+    let d = instance.distance();
+
+    if d <= r {
+        return Some(Discovery {
+            time: 0.0,
+            round: 1,
+            subround: 0,
+            circle: 0,
+            event: DiscoveryEvent::AtStart,
+        });
+    }
+
+    // Outbound-leg window on the positive x-axis: the robot at (x, 0) is
+    // within r of p iff x ∈ [x_lo, x_hi]. Since d > r, the window (when it
+    // exists and intersects x ≥ 0) is strictly positive.
+    let leg_x_lo = if p.y.abs() <= r {
+        let half = (r * r - p.y * p.y).sqrt();
+        let x_hi = p.x + half;
+        if x_hi > 0.0 {
+            Some((p.x - half).max(0.0))
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    let alpha = normalize_angle(p.angle());
+
+    for k in 1..=max_round {
+        for j in 0..2 * k {
+            let sub = SubRound::new(k, j);
+            if let Some(c) = best_candidate_in_subround(&sub, d, r, alpha, leg_x_lo) {
+                let time = UniversalSearch::round_start(k)
+                    + sub.start_within_round()
+                    + sub.circle_start(c.circle)
+                    + c.local;
+                return Some(Discovery {
+                    time,
+                    round: k,
+                    subround: j,
+                    circle: c.circle,
+                    event: c.event,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// First circle index `i ≥ lower_estimate` whose radius is ≥ `x`, fixed up
+/// against floating-point rounding; `None` if no circle reaches `x`.
+fn first_circle_reaching(sub: &SubRound, x: f64) -> Option<u64> {
+    let m = sub.circle_count() - 1;
+    if sub.circle_radius(m) < x {
+        return None;
+    }
+    let delta1 = sub.inner_radius();
+    let rho = sub.granularity();
+    let mut i = if x <= delta1 {
+        0
+    } else {
+        (((x - delta1) / (2.0 * rho)).ceil() as u64).min(m)
+    };
+    while i > 0 && sub.circle_radius(i - 1) >= x {
+        i -= 1;
+    }
+    while sub.circle_radius(i) < x {
+        i += 1; // cannot pass m: checked above
+    }
+    Some(i)
+}
+
+fn best_candidate_in_subround(
+    sub: &SubRound,
+    d: f64,
+    r: f64,
+    alpha: f64,
+    leg_x_lo: Option<f64>,
+) -> Option<Candidate> {
+    let mut best: Option<Candidate> = None;
+
+    // Leg contact: first circle whose outbound leg reaches x_lo.
+    if let Some(x_lo) = leg_x_lo {
+        if let Some(i) = first_circle_reaching(sub, x_lo) {
+            best = Some(Candidate {
+                circle: i,
+                local: x_lo,
+                event: DiscoveryEvent::OutboundLeg,
+            });
+        }
+    }
+
+    // Sweep contact: first circle with |d − δᵢ| ≤ r.
+    if let Some(i) = first_circle_reaching(sub, d - r) {
+        let delta = sub.circle_radius(i);
+        if delta <= d + r {
+            let local = delta + delta * first_contact_angle(delta, d, r, alpha);
+            let cand = Candidate {
+                circle: i,
+                local,
+                event: DiscoveryEvent::CircleSweep,
+            };
+            best = match best {
+                None => Some(cand),
+                Some(prev) => {
+                    let prev_t = sub.circle_start(prev.circle) + prev.local;
+                    let cand_t = sub.circle_start(cand.circle) + cand.local;
+                    Some(if cand_t < prev_t { cand } else { prev })
+                }
+            };
+        }
+    }
+
+    best
+}
+
+/// First angle `θ ∈ [0, 2π)` of the counter-clockwise sweep of the circle
+/// with radius `delta` at which the robot is within `r` of the target at
+/// radius `d`, polar angle `alpha`.
+///
+/// Precondition: `|d − delta| ≤ r` (a contact exists).
+fn first_contact_angle(delta: f64, d: f64, r: f64, alpha: f64) -> f64 {
+    let c = ((delta * delta + d * d - r * r) / (2.0 * delta * d)).clamp(-1.0, 1.0);
+    let half_width = c.acos();
+    if half_width >= std::f64::consts::PI {
+        return 0.0; // entire circle within range
+    }
+    let a = normalize_angle(alpha - half_width);
+    let b = normalize_angle(alpha + half_width);
+    if a > b {
+        // The contact window wraps through θ = 0: contact at sweep start.
+        0.0
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::Vec2;
+    use rvz_trajectory::Trajectory;
+
+    /// Brute-force oracle: densely sample the actual trajectory.
+    fn brute_force_discovery(inst: &SearchInstance, horizon: f64, dt: f64) -> Option<f64> {
+        let s = UniversalSearch;
+        let p = inst.target();
+        let r = inst.visibility();
+        let mut t = 0.0;
+        while t <= horizon {
+            if s.position(t).distance(p) <= r {
+                return Some(t);
+            }
+            t += dt;
+        }
+        None
+    }
+
+    #[test]
+    fn immediate_when_target_visible() {
+        let inst = SearchInstance::new(Vec2::new(0.05, 0.0), 0.1).unwrap();
+        let d = first_discovery(&inst, 4).unwrap();
+        assert_eq!(d.time, 0.0);
+        assert_eq!(d.event, DiscoveryEvent::AtStart);
+    }
+
+    #[test]
+    fn matches_brute_force_on_generic_targets() {
+        let s = UniversalSearch;
+        let targets = [
+            Vec2::new(0.0, 0.8),
+            Vec2::new(-0.6, 0.3),
+            Vec2::new(0.4, -0.9),
+            Vec2::new(-1.3, -0.2),
+            Vec2::new(0.9, 1.4),
+        ];
+        for p in targets {
+            let r = 0.05;
+            let inst = SearchInstance::new(p, r).unwrap();
+            let exact = first_discovery(&inst, 8).expect("must be found");
+            // The reported time really is a contact ...
+            let dist = s.position(exact.time).distance(p);
+            assert!(
+                dist <= r + 1e-9,
+                "target {p}: no contact at reported time (distance {dist})"
+            );
+            // ... and dense sampling finds nothing strictly earlier.
+            let earlier = brute_force_discovery(&inst, exact.time - 1e-6, 2e-4);
+            assert_eq!(earlier, None, "target {p}: earlier contact than {}", exact.time);
+        }
+    }
+
+    #[test]
+    fn on_axis_target_found_by_leg() {
+        // Target sitting on the +x axis gets caught by an outbound leg.
+        let inst = SearchInstance::new(Vec2::new(0.9, 0.0), 0.2).unwrap();
+        let d = first_discovery(&inst, 6).unwrap();
+        assert_eq!(d.event, DiscoveryEvent::OutboundLeg);
+        // Contact when the robot reaches x = 0.7 on a leg whose circle
+        // radius ≥ 0.7; in round 1 sub-round 0 the circles are spaced
+        // 2ρ = 1/8 apart (0.5, 0.625, 0.75, 0.875, 1.0), so circle i=2
+        // (radius 0.75) is the first that reaches far enough.
+        assert_eq!(d.round, 1);
+        assert_eq!(d.subround, 0);
+        assert_eq!(d.circle, 2);
+        let expected = SubRound::new(1, 0).circle_start(2) + 0.7;
+        assert!((d.time - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_exactly_on_circle_radius() {
+        // |p| = 0.5 is exactly the innermost circle of round 1.
+        let inst = SearchInstance::new(Vec2::new(0.0, 0.5), 0.01).unwrap();
+        let d = first_discovery(&inst, 4).unwrap();
+        assert_eq!(d.event, DiscoveryEvent::CircleSweep);
+        assert_eq!((d.round, d.subround, d.circle), (1, 0, 0));
+        // The target is at angle π/2; contact begins half-width before.
+        let brute = brute_force_discovery(&inst, d.time + 1.0, 1e-4).unwrap();
+        assert!(brute >= d.time - 1e-9 && brute - d.time < 5e-4);
+    }
+
+    #[test]
+    fn harder_instances_take_later_rounds() {
+        let near = SearchInstance::new(Vec2::new(0.3, 0.7), 0.05).unwrap();
+        let far = SearchInstance::new(Vec2::new(0.3, 0.7), 0.0005).unwrap();
+        let dn = first_discovery(&near, 16).unwrap();
+        let df = first_discovery(&far, 16).unwrap();
+        assert!(df.round > dn.round, "{} vs {}", df.round, dn.round);
+        assert!(df.time > dn.time);
+    }
+
+    #[test]
+    fn none_when_max_round_too_small() {
+        let inst = SearchInstance::new(Vec2::new(0.3, 0.7), 1e-6).unwrap();
+        assert!(first_discovery(&inst, 2).is_none());
+        assert!(first_discovery(&inst, 20).is_some());
+    }
+
+    #[test]
+    fn contact_angle_window_wraps() {
+        // Target at angle 0 (on the +x axis): the window [−Δ, +Δ] wraps
+        // through θ = 0, so contact is at sweep start.
+        assert_eq!(first_contact_angle(1.0, 1.05, 0.1, 0.0), 0.0);
+        // Target at angle π: contact strictly before π.
+        let theta = first_contact_angle(1.0, 1.05, 0.1, std::f64::consts::PI);
+        assert!(theta > 0.0 && theta < std::f64::consts::PI);
+    }
+
+    #[test]
+    fn discovery_time_is_within_theorem1_form() {
+        // Sanity: time grows roughly like (d²/r)·log(d²/r); exact bound is
+        // asserted in the coverage module's tests.
+        let inst = SearchInstance::new(Vec2::new(0.0, 1.0), 1e-4).unwrap();
+        let d = first_discovery(&inst, 20).unwrap();
+        let ratio = inst.difficulty();
+        assert!(d.time < 6.0 * times::PI_PLUS_1 * ratio.log2() * ratio);
+    }
+}

@@ -1,0 +1,284 @@
+//! Lemma 2: the closed-form running times of Algorithms 1–4.
+//!
+//! Every formula here is stated (or directly derived) in the paper:
+//!
+//! * `SearchCircle(δ)` takes `2(π+1)·δ`;
+//! * `SearchAnnulus(δ₁, δ₂, ρ)` takes `2(π+1)(1+m)(δ₁+ρm)` with
+//!   `m = ⌈(δ₂−δ₁)/(2ρ)⌉`;
+//! * sub-round `j` of `Search(k)` takes `3(π+1)(2^{j−k} + 2^k)`;
+//! * `Search(k)` takes `3(π+1)(k+1)·2^{k+1}` (including its final wait of
+//!   `3(π+1)(2^k + 2^{−k})`);
+//! * the first `k` rounds of Algorithm 4 take `3(π+1)·k·2^{k+2}`.
+//!
+//! All dyadic quantities are computed from integer exponents
+//! ([`rvz_numerics::pow2i`]) so they are bit-exact, and all *cumulative*
+//! times come from these closed forms rather than running sums — there is
+//! no accumulation error anywhere in the schedule.
+
+use rvz_numerics::pow2i;
+
+/// The constant `π + 1` appearing in every bound of the paper.
+pub const PI_PLUS_1: f64 = std::f64::consts::PI + 1.0;
+
+/// Largest supported round index `k` for the dyadic schedule.
+///
+/// `2^{2k}` circle counts must fit comfortably in `u64` and the phase
+/// times (`≈ 3(π+1)·k·2^{k+2}`) must retain sub-unit absolute precision
+/// in `f64`; `k ≤ 31` satisfies both with a wide margin.
+pub const MAX_ROUND: u32 = 31;
+
+/// Duration of `SearchCircle(δ)`: `2(π+1)·δ`.
+pub fn search_circle_duration(delta: f64) -> f64 {
+    2.0 * PI_PLUS_1 * delta
+}
+
+/// The paper's `m = ⌈(δ₂−δ₁)/(2ρ)⌉`: the number of *additional* circles
+/// (beyond the first) traversed by `SearchAnnulus(δ₁, δ₂, ρ)`.
+///
+/// # Panics
+///
+/// Panics on non-positive or non-finite inputs or `δ₂ ≤ δ₁`.
+pub fn annulus_steps(delta1: f64, delta2: f64, rho: f64) -> u64 {
+    assert!(
+        delta1 > 0.0 && delta2 > delta1 && rho > 0.0,
+        "annulus parameters invalid: ({delta1}, {delta2}, {rho})"
+    );
+    ((delta2 - delta1) / (2.0 * rho)).ceil() as u64
+}
+
+/// Duration of `SearchAnnulus(δ₁, δ₂, ρ)`: `2(π+1)(1+m)(δ₁+ρm)`.
+pub fn search_annulus_duration(delta1: f64, delta2: f64, rho: f64) -> f64 {
+    let m = annulus_steps(delta1, delta2, rho) as f64;
+    2.0 * PI_PLUS_1 * (1.0 + m) * (delta1 + rho * m)
+}
+
+fn check_round(k: u32) {
+    assert!(
+        (1..=MAX_ROUND).contains(&k),
+        "round index must be in 1..={MAX_ROUND}, got {k}"
+    );
+}
+
+fn check_subround(k: u32, j: u32) {
+    check_round(k);
+    assert!(j < 2 * k, "sub-round index must satisfy j < 2k, got j={j}, k={k}");
+}
+
+/// Inner radius `δ_{j,k} = 2^{j−k}` of sub-round `j` in round `k`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ MAX_ROUND` and `j < 2k`.
+pub fn inner_radius(k: u32, j: u32) -> f64 {
+    check_subround(k, j);
+    pow2i(j as i64 - k as i64)
+}
+
+/// Outer radius `δ_{j+1,k} = 2^{j−k+1}` of sub-round `j` in round `k`.
+///
+/// # Panics
+///
+/// Same domain as [`inner_radius`].
+pub fn outer_radius(k: u32, j: u32) -> f64 {
+    check_subround(k, j);
+    pow2i(j as i64 - k as i64 + 1)
+}
+
+/// Granularity `ρ_{j,k} = 2^{2j−3k−1}` of sub-round `j` in round `k`.
+///
+/// Chosen so that `δ_{j,k}²/ρ_{j,k} = 2^{k+1}` — the invariant behind
+/// Lemma 3.
+///
+/// # Panics
+///
+/// Same domain as [`inner_radius`].
+pub fn granularity(k: u32, j: u32) -> f64 {
+    check_subround(k, j);
+    pow2i(2 * j as i64 - 3 * k as i64 - 1)
+}
+
+/// Duration of sub-round `j` of `Search(k)`: `3(π+1)(2^{j−k} + 2^k)`.
+///
+/// # Panics
+///
+/// Same domain as [`inner_radius`].
+pub fn subround_duration(k: u32, j: u32) -> f64 {
+    check_subround(k, j);
+    3.0 * PI_PLUS_1 * (pow2i(j as i64 - k as i64) + pow2i(k as i64))
+}
+
+/// Start time of sub-round `j` within its round:
+/// `Σ_{l<j} 3(π+1)(2^{l−k} + 2^k) = 3(π+1)(2^{−k}(2^j − 1) + j·2^k)`.
+///
+/// `j = 2k` is allowed and gives the start of the round's final wait.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ MAX_ROUND` and `j ≤ 2k`.
+pub fn subround_start(k: u32, j: u32) -> f64 {
+    check_round(k);
+    assert!(j <= 2 * k, "sub-round start requires j <= 2k, got j={j}, k={k}");
+    3.0 * PI_PLUS_1
+        * (pow2i(-(k as i64)) * (pow2i(j as i64) - 1.0) + j as f64 * pow2i(k as i64))
+}
+
+/// The wait at the end of `Search(k)`: `3(π+1)(2^k + 2^{−k})`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ MAX_ROUND`.
+pub fn round_wait(k: u32) -> f64 {
+    check_round(k);
+    3.0 * PI_PLUS_1 * (pow2i(k as i64) + pow2i(-(k as i64)))
+}
+
+/// Total duration of `Search(k)`: `3(π+1)(k+1)·2^{k+1}`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ MAX_ROUND`.
+pub fn round_duration(k: u32) -> f64 {
+    check_round(k);
+    3.0 * PI_PLUS_1 * (k as f64 + 1.0) * pow2i(k as i64 + 1)
+}
+
+/// Total duration of the first `k` rounds of Algorithm 4:
+/// `F(k) = 3(π+1)·k·2^{k+2}` (with `F(0) = 0`).
+///
+/// This is also the duration of `SearchAll(k)` (Algorithm 5) and of
+/// `SearchAllRev(k)` (Algorithm 6), written `S(k)` in Section 4 where the
+/// paper notes `S(n) = 12(π+1)·n·2^n` — the same quantity.
+///
+/// # Panics
+///
+/// Panics when `k > MAX_ROUND`.
+pub fn rounds_total(k: u32) -> f64 {
+    assert!(k <= MAX_ROUND, "round index must be <= {MAX_ROUND}, got {k}");
+    if k == 0 {
+        0.0
+    } else {
+        3.0 * PI_PLUS_1 * k as f64 * pow2i(k as i64 + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::assert_approx_eq;
+
+    #[test]
+    fn circle_duration() {
+        assert_approx_eq!(search_circle_duration(1.0), 2.0 * PI_PLUS_1);
+        assert_approx_eq!(search_circle_duration(0.5), PI_PLUS_1);
+    }
+
+    #[test]
+    fn annulus_steps_matches_ceiling() {
+        assert_eq!(annulus_steps(1.0, 2.0, 0.25), 2);
+        assert_eq!(annulus_steps(1.0, 2.0, 0.3), 2);
+        assert_eq!(annulus_steps(1.0, 2.0, 0.2), 3);
+        // Dyadic case from the paper: m = 2^{2k−j} exactly.
+        assert_eq!(annulus_steps(0.5, 1.0, 0.0625), 4);
+    }
+
+    #[test]
+    fn annulus_duration_is_sum_of_circles() {
+        let (d1, d2, rho) = (0.5, 1.0, 0.1);
+        let m = annulus_steps(d1, d2, rho);
+        let sum: f64 = (0..=m)
+            .map(|i| search_circle_duration(d1 + 2.0 * i as f64 * rho))
+            .sum();
+        assert_approx_eq!(search_annulus_duration(d1, d2, rho), sum);
+    }
+
+    #[test]
+    fn dyadic_radii_and_granularity() {
+        // k = 2: sub-rounds j = 0..3 with δ = 1/4, 1/2, 1, 2.
+        assert_eq!(inner_radius(2, 0), 0.25);
+        assert_eq!(outer_radius(2, 0), 0.5);
+        assert_eq!(inner_radius(2, 3), 2.0);
+        assert_eq!(outer_radius(2, 3), 4.0);
+        // ρ_{j,k} = 2^{2j−3k−1}.
+        assert_eq!(granularity(2, 0), pow2i(-7));
+        assert_eq!(granularity(2, 3), pow2i(-1));
+    }
+
+    #[test]
+    fn ratio_invariant_of_lemma3() {
+        // δ_{j,k}² / ρ_{j,k} = 2^{k+1} for every sub-round.
+        for k in 1..=6 {
+            for j in 0..2 * k {
+                let ratio = inner_radius(k, j).powi(2) / granularity(k, j);
+                assert_approx_eq!(ratio, pow2i(k as i64 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn subround_duration_closed_form() {
+        // Direct annulus computation must agree with the 3(π+1)(2^{j−k}+2^k) form.
+        for k in 1..=5 {
+            for j in 0..2 * k {
+                let direct = search_annulus_duration(
+                    inner_radius(k, j),
+                    outer_radius(k, j),
+                    granularity(k, j),
+                );
+                assert_approx_eq!(direct, subround_duration(k, j), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn subround_start_telescopes() {
+        for k in 1..=5 {
+            let mut acc = 0.0;
+            for j in 0..=2 * k {
+                assert_approx_eq!(subround_start(k, j), acc, 1e-12);
+                if j < 2 * k {
+                    acc += subround_duration(k, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_duration_closed_form() {
+        // Sub-rounds plus wait must equal 3(π+1)(k+1)2^{k+1}.
+        for k in 1..=8 {
+            let total = subround_start(k, 2 * k) + round_wait(k);
+            assert_approx_eq!(total, round_duration(k), 1e-12);
+        }
+    }
+
+    #[test]
+    fn rounds_total_telescopes() {
+        assert_eq!(rounds_total(0), 0.0);
+        let mut acc = 0.0;
+        for k in 1..=10 {
+            acc += round_duration(k);
+            assert_approx_eq!(rounds_total(k), acc, 1e-12);
+        }
+    }
+
+    #[test]
+    fn section4_s_n_identity() {
+        // S(n) = 12(π+1)·n·2^n (equation (1) in the paper) equals F(n).
+        for n in 1..=10 {
+            let s = 12.0 * PI_PLUS_1 * n as f64 * pow2i(n as i64);
+            assert_approx_eq!(rounds_total(n), s, 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "round index must be in")]
+    fn round_zero_rejected() {
+        let _ = round_duration(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "j < 2k")]
+    fn subround_out_of_range_rejected() {
+        let _ = inner_radius(2, 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! Algorithm 4: the universal search trajectory.
+//!
+//! `repeat Search(k) for k = 1, 2, 3, …` — an infinite, parameter-free
+//! trajectory that finds any target at any distance `d` with any
+//! visibility `r` in time `O(log(d²/r)·d²/r)` (Theorem 1). It is also,
+//! reinterpreted through the equivalent-search reduction of Section 3,
+//! the paper's rendezvous algorithm for robots with symmetric clocks.
+
+use crate::schedule::{RoundPhase, RoundSchedule};
+use crate::times;
+use rvz_geometry::Vec2;
+use rvz_trajectory::{Segment, Trajectory};
+
+/// The Algorithm 4 trajectory.
+///
+/// A zero-sized value: the algorithm has no parameters (that is the
+/// point — the robots know nothing). Implements [`Trajectory`] with
+/// `O(log)` random access via the closed-form schedule, and exposes an
+/// explicit segment stream for cross-checking.
+///
+/// # Example
+///
+/// ```
+/// use rvz_search::UniversalSearch;
+/// use rvz_trajectory::Trajectory;
+///
+/// let s = UniversalSearch;
+/// assert_eq!(s.position(0.0), rvz_geometry::Vec2::ZERO);
+/// assert_eq!(s.speed_bound(), 1.0);
+/// assert_eq!(s.duration(), None); // runs forever
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct UniversalSearch;
+
+/// Introspection result of [`UniversalSearch::locate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Location {
+    /// Round index `k ≥ 1`.
+    pub round: u32,
+    /// Global time at which round `k` began (`= rounds_total(k−1)`).
+    pub round_start: f64,
+    /// Phase within the round.
+    pub phase: RoundPhase,
+}
+
+impl UniversalSearch {
+    /// Global start time of round `k` (`k ≥ 1`): `F(k−1) = 3(π+1)(k−1)2^{k+1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or `k − 1 > MAX_ROUND`.
+    pub fn round_start(k: u32) -> f64 {
+        assert!(k >= 1, "rounds are numbered from 1");
+        times::rounds_total(k - 1)
+    }
+
+    /// The round index active at global time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for negative/NaN `t` or `t` beyond the supported horizon
+    /// (`rounds_total(MAX_ROUND)`).
+    pub fn round_at(t: f64) -> u32 {
+        assert!(t >= 0.0 && !t.is_nan(), "time must be >= 0, got {t}");
+        for k in 1..=times::MAX_ROUND {
+            if t < times::rounds_total(k) {
+                return k;
+            }
+        }
+        panic!(
+            "time {t} beyond the supported horizon {}",
+            times::rounds_total(times::MAX_ROUND)
+        );
+    }
+
+    /// The segment active at global time `t`, with its global start time.
+    ///
+    /// This is the closed-form random access that the simulator uses; it
+    /// agrees exactly with the lazily enumerated [`UniversalSearch::segments`]
+    /// stream (property-tested).
+    pub fn segment_at(t: f64) -> (f64, Segment) {
+        let k = Self::round_at(t);
+        let round_start = Self::round_start(k);
+        let (local_start, seg) = RoundSchedule::new(k).segment_at(t - round_start);
+        (round_start + local_start, seg)
+    }
+
+    /// Rich phase introspection at global time `t`.
+    pub fn locate(t: f64) -> Location {
+        let k = Self::round_at(t);
+        let round_start = Self::round_start(k);
+        Location {
+            round: k,
+            round_start,
+            phase: RoundSchedule::new(k).locate(t - round_start),
+        }
+    }
+
+    /// The infinite explicit segment stream of Algorithm 4
+    /// (`Search(1), Search(2), …`). Θ(4^k) segments for round `k`; use
+    /// only for bounded prefixes.
+    pub fn segments() -> impl Iterator<Item = Segment> {
+        (1..=times::MAX_ROUND).flat_map(|k| RoundSchedule::new(k).segments().collect::<Vec<_>>())
+    }
+}
+
+impl Trajectory for UniversalSearch {
+    fn position(&self, t: f64) -> Vec2 {
+        let (start, seg) = Self::segment_at(t);
+        seg.position_at(t - start)
+    }
+
+    fn speed_bound(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::assert_approx_eq;
+    use rvz_trajectory::StreamCursor;
+
+    #[test]
+    fn starts_at_origin_heading_out() {
+        let s = UniversalSearch;
+        assert_eq!(s.position(0.0), Vec2::ZERO);
+        // First motion is along +x toward radius 1/2.
+        let p = s.position(0.25);
+        assert_eq!(p, Vec2::new(0.25, 0.0));
+    }
+
+    #[test]
+    fn round_boundaries() {
+        assert_eq!(UniversalSearch::round_start(1), 0.0);
+        assert_approx_eq!(UniversalSearch::round_start(2), times::round_duration(1));
+        assert_eq!(UniversalSearch::round_at(0.0), 1);
+        let just_before = times::round_duration(1) * (1.0 - 1e-12);
+        assert_eq!(UniversalSearch::round_at(just_before), 1);
+        assert_eq!(UniversalSearch::round_at(times::round_duration(1)), 2);
+    }
+
+    #[test]
+    fn position_at_round_boundary_is_origin() {
+        // Every round ends (after its wait) at the origin.
+        let s = UniversalSearch;
+        for k in 1..=4 {
+            let t = UniversalSearch::round_start(k);
+            assert!(
+                s.position(t).norm() < 1e-9,
+                "round {k} does not begin at the origin"
+            );
+        }
+    }
+
+    /// The closed-form random access must agree with sequentially walking
+    /// the explicit segment stream — this validates all the index algebra.
+    #[test]
+    fn random_access_matches_stream_cursor() {
+        let s = UniversalSearch;
+        let horizon = times::rounds_total(3); // covers rounds 1..=3
+        let mut cursor = StreamCursor::new(UniversalSearch::segments());
+        let n = 2000;
+        for i in 0..n {
+            let t = horizon * (i as f64) / (n as f64);
+            let direct = s.position(t);
+            let streamed = cursor.position(t);
+            assert!(
+                direct.distance(streamed) < 1e-7,
+                "mismatch at t={t}: {direct} vs {streamed}"
+            );
+        }
+    }
+
+    #[test]
+    fn locate_reports_round_and_phase() {
+        let loc = UniversalSearch::locate(0.1);
+        assert_eq!(loc.round, 1);
+        assert_eq!(loc.round_start, 0.0);
+        assert!(matches!(loc.phase, RoundPhase::SubRound { j: 0, circle: 0, .. }));
+        // Inside round 2's wait.
+        let t = UniversalSearch::round_start(2) + RoundSchedule::new(2).wait_start() + 1.0;
+        let loc = UniversalSearch::locate(t);
+        assert_eq!(loc.round, 2);
+        assert_eq!(loc.phase, RoundPhase::Wait);
+    }
+
+    #[test]
+    #[should_panic(expected = "time must be >= 0")]
+    fn negative_time_rejected() {
+        let _ = UniversalSearch::round_at(-1.0);
+    }
+
+    #[test]
+    fn unit_speed_between_samples() {
+        let s = UniversalSearch;
+        let mut prev = s.position(0.0);
+        let dt = 0.05;
+        let mut t = 0.0;
+        while t < 100.0 {
+            t += dt;
+            let cur = s.position(t);
+            assert!(
+                prev.distance(cur) <= dt + 1e-9,
+                "speed bound violated near t={t}"
+            );
+            prev = cur;
+        }
+    }
+}

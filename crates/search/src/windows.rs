@@ -1,0 +1,298 @@
+//! Exact contact *windows*: every interval during which `Search(k)` sees
+//! a given target.
+//!
+//! [`first_discovery`](crate::discovery::first_discovery) returns only
+//! the first contact of Algorithm 4; the overlap machinery of Section 4
+//! needs more — it asks whether a contact falls inside a *specific* time
+//! window (the partner's inactive phase). [`round_contact_windows`]
+//! enumerates, in execution order, the maximal sub-intervals of one
+//! `Search(k)` round during which the robot is within `r` of the target,
+//! using the same closed-form circle geometry as the discovery oracle
+//! and skipping the (possibly millions of) non-contacting circles by
+//! index arithmetic.
+
+use crate::schedule::SubRound;
+use crate::times;
+use rvz_geometry::{normalize_angle, Vec2};
+
+/// A maximal contact interval, in time local to the enclosing round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactWindow {
+    /// Window start (local round time).
+    pub start: f64,
+    /// Window end (local round time), `≥ start`.
+    pub end: f64,
+}
+
+/// Enumerates the contact windows of `Search(k)` for a target at `target`
+/// with visibility `r`, in increasing time order, local to the round.
+///
+/// At most `limit` windows are produced (targets close to the positive
+/// x-axis contact every outbound/inbound leg, which would otherwise
+/// enumerate a window per circle). Consecutive windows may touch (a leg
+/// contact can continue seamlessly into the following arc); they are not
+/// merged.
+///
+/// If `d ≤ r` the robot *always* sees the target; one window covering the
+/// whole round is returned.
+///
+/// # Panics
+///
+/// Panics on invalid `k` (see [`times::round_duration`]), non-positive
+/// `r`, non-finite `target`, or `limit == 0`.
+pub fn round_contact_windows(
+    k: u32,
+    target: Vec2,
+    r: f64,
+    limit: usize,
+) -> Vec<ContactWindow> {
+    let round_duration = times::round_duration(k);
+    assert!(r > 0.0 && r.is_finite(), "visibility must be positive, got {r}");
+    assert!(target.is_finite(), "target must be finite");
+    assert!(limit > 0, "limit must be positive");
+
+    let d = target.norm();
+    if d <= r {
+        return vec![ContactWindow {
+            start: 0.0,
+            end: round_duration,
+        }];
+    }
+
+    // Leg geometry (see discovery.rs): the robot at (x, 0) sees the
+    // target iff x ∈ [x_lo, x_hi]; with d > r the window is positive.
+    let leg = if target.y.abs() <= r {
+        let half = (r * r - target.y * target.y).sqrt();
+        let x_hi = target.x + half;
+        if x_hi > 0.0 {
+            Some(((target.x - half).max(0.0), x_hi))
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    let alpha = normalize_angle(target.angle());
+
+    let mut out = Vec::new();
+    'rounds: for j in 0..2 * k {
+        let sub = SubRound::new(k, j);
+        let sub_start = sub.start_within_round();
+        let m = sub.circle_count() - 1;
+
+        // Circle ranges with any contact.
+        let arc_lo = first_index_reaching(&sub, d - r);
+        let leg_lo = leg.and_then(|(x_lo, _)| first_index_reaching(&sub, x_lo));
+        let start_i = match (arc_lo, leg_lo) {
+            (Some(a), Some(l)) => a.min(l),
+            (Some(a), None) => a,
+            (None, Some(l)) => l,
+            (None, None) => continue,
+        };
+
+        for i in start_i..=m {
+            let delta = sub.circle_radius(i);
+            let block = sub_start + sub.circle_start(i);
+            let circle_end = 2.0 * times::PI_PLUS_1 * delta;
+
+            // Outbound leg.
+            if let Some((x_lo, x_hi)) = leg {
+                if delta >= x_lo {
+                    push(&mut out, block + x_lo, block + x_hi.min(delta));
+                }
+            }
+            // Arc sweep.
+            if (d - delta).abs() <= r {
+                let c = ((delta * delta + d * d - r * r) / (2.0 * delta * d)).clamp(-1.0, 1.0);
+                let half_width = c.acos();
+                let tau = std::f64::consts::TAU;
+                let arc_t = |theta: f64| block + delta + delta * theta;
+                if half_width >= std::f64::consts::PI {
+                    push(&mut out, arc_t(0.0), arc_t(tau));
+                } else {
+                    let a = normalize_angle(alpha - half_width);
+                    let b = a + 2.0 * half_width;
+                    if b <= tau {
+                        push(&mut out, arc_t(a), arc_t(b));
+                    } else {
+                        // Wraps through θ = 0: split into two windows in
+                        // time order.
+                        push(&mut out, arc_t(0.0), arc_t(b - tau));
+                        push(&mut out, arc_t(a), arc_t(tau));
+                    }
+                }
+            }
+            // Inbound leg.
+            if let Some((x_lo, x_hi)) = leg {
+                if delta >= x_lo {
+                    push(
+                        &mut out,
+                        block + circle_end - x_hi.min(delta),
+                        block + circle_end - x_lo,
+                    );
+                }
+            }
+            if out.len() >= limit {
+                break 'rounds;
+            }
+        }
+    }
+    out.truncate(limit);
+    out
+}
+
+fn push(out: &mut Vec<ContactWindow>, start: f64, end: f64) {
+    if end > start {
+        out.push(ContactWindow { start, end });
+    }
+}
+
+/// Smallest circle index whose radius reaches `x`, or `None`.
+fn first_index_reaching(sub: &SubRound, x: f64) -> Option<u64> {
+    let m = sub.circle_count() - 1;
+    if sub.circle_radius(m) < x {
+        return None;
+    }
+    let delta1 = sub.inner_radius();
+    let rho = sub.granularity();
+    let mut i = if x <= delta1 {
+        0
+    } else {
+        (((x - delta1) / (2.0 * rho)).ceil() as u64).min(m)
+    };
+    while i > 0 && sub.circle_radius(i - 1) >= x {
+        i -= 1;
+    }
+    while sub.circle_radius(i) < x {
+        i += 1;
+    }
+    Some(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::RoundSchedule;
+    use rvz_trajectory::Segment;
+
+    /// Dense-sampling oracle over the explicit round path.
+    fn brute_windows(k: u32, target: Vec2, r: f64, dt: f64) -> Vec<(f64, f64)> {
+        let round = RoundSchedule::new(k);
+        let segments: Vec<Segment> = round.segments().collect();
+        let mut cursor = rvz_trajectory::StreamCursor::new(segments.into_iter());
+        let duration = round.duration();
+        let mut windows = Vec::new();
+        let mut inside = false;
+        let mut start = 0.0;
+        let mut t = 0.0;
+        while t <= duration {
+            let within = cursor.position(t).distance(target) <= r;
+            if within && !inside {
+                inside = true;
+                start = t;
+            } else if !within && inside {
+                inside = false;
+                windows.push((start, t));
+            }
+            t += dt;
+        }
+        if inside {
+            windows.push((start, duration));
+        }
+        windows
+    }
+
+    /// Windows must cover exactly the sampled contact times.
+    fn assert_matches_brute(k: u32, target: Vec2, r: f64) {
+        let exact = round_contact_windows(k, target, r, 10_000);
+        let dt = 1e-3;
+        let brute = brute_windows(k, target, r, dt);
+        // Every brute window's interior is covered by some exact window.
+        for &(bs, be) in &brute {
+            let mid = 0.5 * (bs + be);
+            assert!(
+                exact.iter().any(|w| w.start <= mid && mid <= w.end),
+                "k={k}, target={target}: brute window ({bs}, {be}) not covered"
+            );
+        }
+        // Every exact window's midpoint is a true contact.
+        let round = RoundSchedule::new(k);
+        for w in &exact {
+            let mid = 0.5 * (w.start + w.end);
+            let (seg_start, seg) = round.segment_at(mid);
+            let pos = seg.position_at(mid - seg_start);
+            assert!(
+                pos.distance(target) <= r + 1e-9,
+                "k={k}: window midpoint {mid} is not a contact"
+            );
+        }
+    }
+
+    #[test]
+    fn generic_target_matches_brute_force() {
+        assert_matches_brute(2, Vec2::new(0.3, 0.55), 0.05);
+        assert_matches_brute(3, Vec2::new(-0.8, 0.4), 0.1);
+        assert_matches_brute(2, Vec2::new(0.0, -1.2), 0.07);
+    }
+
+    #[test]
+    fn on_axis_target_has_leg_windows() {
+        // Target on the +x axis: every sufficiently long leg sees it.
+        let target = Vec2::new(0.9, 0.0);
+        assert_matches_brute(2, target, 0.08);
+        let windows = round_contact_windows(2, target, 0.08, 10_000);
+        assert!(windows.len() > 4, "expected many leg windows");
+    }
+
+    #[test]
+    fn visible_target_covers_whole_round() {
+        let w = round_contact_windows(1, Vec2::new(0.05, 0.0), 0.2, 100);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].start, 0.0);
+        assert_eq!(w[0].end, times::round_duration(1));
+    }
+
+    #[test]
+    fn windows_are_time_ordered() {
+        let ws = round_contact_windows(3, Vec2::new(0.4, 0.6), 0.1, 10_000);
+        assert!(!ws.is_empty());
+        for pair in ws.windows(2) {
+            assert!(pair[0].start <= pair[1].start, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let ws = round_contact_windows(3, Vec2::new(0.9, 0.0), 0.2, 3);
+        assert_eq!(ws.len(), 3);
+    }
+
+    #[test]
+    fn first_window_start_equals_first_discovery() {
+        use crate::discovery::first_discovery;
+        use rvz_model::SearchInstance;
+        for (target, r) in [
+            (Vec2::new(0.3, 0.55), 0.05),
+            (Vec2::new(0.9, 0.0), 0.2),
+            (Vec2::new(-0.6, -0.6), 0.03),
+        ] {
+            let inst = SearchInstance::new(target, r).unwrap();
+            let found = first_discovery(&inst, 8).unwrap();
+            let ws = round_contact_windows(found.round, target, r, 10_000);
+            let round_start = crate::universal::UniversalSearch::round_start(found.round);
+            let first = ws.first().expect("window exists");
+            assert!(
+                (round_start + first.start - found.time).abs() < 1e-9 * (1.0 + found.time),
+                "target {target}: window {} vs discovery {}",
+                round_start + first.start,
+                found.time
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must be positive")]
+    fn zero_limit_rejected() {
+        let _ = round_contact_windows(1, Vec2::UNIT_Y, 0.1, 0);
+    }
+}

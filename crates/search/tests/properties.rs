@@ -1,0 +1,138 @@
+//! Property-based tests for the search schedule and its closed-form
+//! indexing — the foundation every other crate relies on.
+
+use proptest::prelude::*;
+use rvz_geometry::Vec2;
+use rvz_model::SearchInstance;
+use rvz_search::{first_discovery, times, RoundSchedule, SubRound, UniversalSearch};
+use rvz_trajectory::Trajectory;
+
+fn round_strategy() -> impl Strategy<Value = u32> {
+    1u32..=8
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The dyadic invariant δ²/ρ = 2^{k+1} holds for every sub-round.
+    #[test]
+    fn granularity_invariant(k in 1u32..=times::MAX_ROUND) {
+        for j in 0..2 * k {
+            let sub = SubRound::new(k, j);
+            let ratio = sub.inner_radius() * sub.inner_radius() / sub.granularity();
+            let expected = (k as f64 + 1.0).exp2();
+            prop_assert!((ratio - expected).abs() <= 1e-9 * expected);
+        }
+    }
+
+    /// Circle radii are increasing and end exactly at the outer radius.
+    #[test]
+    fn circle_radii_cover_annulus(k in 1u32..=10, j_frac in 0.0..1.0f64) {
+        let j = ((2 * k) as f64 * j_frac) as u32;
+        let j = j.min(2 * k - 1);
+        let sub = SubRound::new(k, j);
+        let count = sub.circle_count();
+        prop_assert_eq!(sub.circle_radius(0), sub.inner_radius());
+        prop_assert_eq!(sub.circle_radius(count - 1), sub.outer_radius());
+        // Spacing is exactly 2ρ.
+        let spacing = sub.circle_radius(1) - sub.circle_radius(0);
+        prop_assert!((spacing - 2.0 * sub.granularity()).abs() < 1e-15);
+    }
+
+    /// circle_index_at inverts circle_start on random times.
+    #[test]
+    fn circle_index_inverts_start(k in 1u32..=12, j_frac in 0.0..1.0f64, w_frac in 0.0..1.0f64) {
+        let j = (((2 * k) as f64 * j_frac) as u32).min(2 * k - 1);
+        let sub = SubRound::new(k, j);
+        let w = w_frac * sub.duration() * (1.0 - 1e-12);
+        let i = sub.circle_index_at(w);
+        prop_assert!(sub.circle_start(i) <= w);
+        prop_assert!(w < sub.circle_start(i + 1));
+    }
+
+    /// The closed-form segment lookup agrees with a locally reconstructed
+    /// segment at random times (beyond what the small-k stream test covers).
+    #[test]
+    fn segment_lookup_is_consistent(k in 1u32..=14, u_frac in 0.0..1.0f64) {
+        let round = RoundSchedule::new(k);
+        let u = u_frac * round.duration() * (1.0 - 1e-12);
+        let (start, seg) = round.segment_at(u);
+        prop_assert!(start <= u);
+        prop_assert!(u <= start + seg.duration() + 1e-9);
+        // The segment endpoints lie on the origin or the circle radius.
+        let pos = seg.position_at(u - start);
+        prop_assert!(pos.is_finite());
+    }
+
+    /// Sequential positions never exceed unit speed at random offsets
+    /// deep into the schedule (round ≤ 14 ⇒ times up to ~1e7).
+    #[test]
+    fn deep_positions_respect_speed(t0 in 0.0..1e6f64, dt in 1e-6..10.0f64) {
+        let s = UniversalSearch;
+        let p0 = s.position(t0);
+        let p1 = s.position(t0 + dt);
+        prop_assert!(p0.distance(p1) <= dt * (1.0 + 1e-9) + 1e-9);
+    }
+
+    /// Radial reach: at time t the robot is within the outer radius of
+    /// the current round (plus nothing) — it never teleports outward.
+    #[test]
+    fn radial_reach_bounded_by_round(t in 0.0..1e6f64) {
+        let s = UniversalSearch;
+        let k = UniversalSearch::round_at(t);
+        let max_radius = times::outer_radius(k, 2 * k - 1);
+        prop_assert!(s.position(t).norm() <= max_radius + 1e-9);
+    }
+
+    /// Discovery monotonicity: enlarging the visibility radius can only
+    /// make discovery (weakly) earlier.
+    #[test]
+    fn discovery_monotone_in_visibility(
+        x in -2.0..2.0f64,
+        y in 0.1..2.0f64,
+        r_small in 0.001..0.01f64,
+        factor in 1.5..20.0f64,
+    ) {
+        let p = Vec2::new(x, y);
+        let r_big = (r_small * factor).min(p.norm() * 0.9);
+        prop_assume!(r_big > r_small);
+        let small = first_discovery(&SearchInstance::new(p, r_small).unwrap(), 20);
+        let big = first_discovery(&SearchInstance::new(p, r_big).unwrap(), 20);
+        if let (Some(s), Some(b)) = (small, big) {
+            prop_assert!(
+                b.time <= s.time + 1e-9,
+                "larger r later: {} vs {}",
+                b.time,
+                s.time
+            );
+        }
+    }
+
+    /// Discovery reported by the oracle is a true contact on the
+    /// trajectory (validity for random instances).
+    #[test]
+    fn discovery_is_a_true_contact(
+        x in -2.0..2.0f64,
+        y in -2.0..2.0f64,
+        rexp in -8.0..-3.0f64,
+    ) {
+        let p = Vec2::new(x, y);
+        prop_assume!(p.norm() > 1e-2);
+        let r = rexp.exp2();
+        let inst = SearchInstance::new(p, r).unwrap();
+        if let Some(found) = first_discovery(&inst, 16) {
+            let s = UniversalSearch;
+            let dist = s.position(found.time).distance(p);
+            prop_assert!(dist <= r + 1e-9, "distance {dist} > r {r} at reported time");
+        }
+    }
+
+    /// Round boundaries of Algorithm 4 partition time.
+    #[test]
+    fn round_at_partition(k in round_strategy(), frac in 0.0..1.0f64) {
+        let start = UniversalSearch::round_start(k);
+        let end = UniversalSearch::round_start(k + 1);
+        let t = start + frac * (end - start) * (1.0 - 1e-12);
+        prop_assert_eq!(UniversalSearch::round_at(t), k);
+    }
+}

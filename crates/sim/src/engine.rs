@@ -1,0 +1,337 @@
+//! The conservative-advancement first-contact engine.
+
+use rvz_trajectory::Trajectory;
+use std::fmt;
+
+/// Tuning for [`first_contact`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactOptions {
+    /// Contact is declared when the distance falls to `radius + tolerance`.
+    ///
+    /// The reported time precedes the exact `D = radius` crossing by at
+    /// most `tolerance / relative_speed`. Defaults to `1e-9`.
+    pub tolerance: f64,
+    /// Simulated-time horizon; beyond it the engine reports
+    /// [`SimOutcome::Horizon`]. Defaults to `1e9`.
+    pub horizon: f64,
+    /// Hard cap on advancement steps (a safety net against pathological
+    /// grazing configurations). Defaults to `50_000_000`.
+    pub max_steps: u64,
+}
+
+impl Default for ContactOptions {
+    fn default() -> Self {
+        ContactOptions {
+            tolerance: 1e-9,
+            horizon: 1e9,
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+impl ContactOptions {
+    /// Options with a custom horizon and defaults elsewhere.
+    pub fn with_horizon(horizon: f64) -> Self {
+        ContactOptions {
+            horizon,
+            ..ContactOptions::default()
+        }
+    }
+
+    /// Sets the declaration tolerance.
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.tolerance > 0.0 && self.tolerance.is_finite(),
+            "tolerance must be positive and finite, got {}",
+            self.tolerance
+        );
+        assert!(
+            self.horizon > 0.0 && self.horizon.is_finite(),
+            "horizon must be positive and finite, got {}",
+            self.horizon
+        );
+        assert!(self.max_steps > 0, "max_steps must be positive");
+    }
+}
+
+/// The result of a first-contact query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimOutcome {
+    /// The trajectories came within `radius + tolerance` of each other.
+    Contact {
+        /// Time of the declared contact.
+        time: f64,
+        /// The actual distance at that time (≤ radius + tolerance).
+        distance: f64,
+        /// Advancement steps used.
+        steps: u64,
+    },
+    /// No contact up to the horizon.
+    Horizon {
+        /// The smallest distance observed at any step.
+        min_distance: f64,
+        /// When that minimum was observed.
+        min_distance_time: f64,
+        /// Advancement steps used.
+        steps: u64,
+    },
+    /// The step budget ran out before the horizon (grazing pathologies).
+    StepBudget {
+        /// Simulated time reached.
+        time: f64,
+        /// The smallest distance observed at any step.
+        min_distance: f64,
+    },
+}
+
+impl SimOutcome {
+    /// The contact time, if a contact occurred.
+    pub fn contact_time(&self) -> Option<f64> {
+        match self {
+            SimOutcome::Contact { time, .. } => Some(*time),
+            _ => None,
+        }
+    }
+
+    /// `true` for the contact outcome.
+    pub fn is_contact(&self) -> bool {
+        matches!(self, SimOutcome::Contact { .. })
+    }
+}
+
+impl fmt::Display for SimOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimOutcome::Contact { time, distance, steps } => {
+                write!(f, "contact at t={time:.6} (distance {distance:.3e}, {steps} steps)")
+            }
+            SimOutcome::Horizon {
+                min_distance,
+                min_distance_time,
+                steps,
+            } => write!(
+                f,
+                "no contact before horizon (min distance {min_distance:.6} at t={min_distance_time:.3}, {steps} steps)"
+            ),
+            SimOutcome::StepBudget { time, min_distance } => {
+                write!(f, "step budget exhausted at t={time:.3} (min distance {min_distance:.6})")
+            }
+        }
+    }
+}
+
+/// Finds the first time `|a(t) − b(t)| ≤ radius (+ tolerance)` by
+/// conservative advancement.
+///
+/// Soundness: with `s = a.speed_bound() + b.speed_bound()`, the distance
+/// can decrease at rate at most `s`, so after observing gap `D − radius`
+/// the engine may skip `(D − radius)/s` time units without a contact
+/// being possible in between. The step also never falls below ~4 ulps of
+/// the current time so the loop always makes progress; the extra skip
+/// this introduces is below any physically meaningful scale.
+///
+/// # Panics
+///
+/// Panics on invalid options or a non-positive `radius`.
+pub fn first_contact<A, B>(a: &A, b: &B, radius: f64, opts: &ContactOptions) -> SimOutcome
+where
+    A: Trajectory + ?Sized,
+    B: Trajectory + ?Sized,
+{
+    opts.validate();
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive and finite, got {radius}"
+    );
+    let rel_speed = a.speed_bound() + b.speed_bound();
+    assert!(
+        rel_speed.is_finite(),
+        "speed bounds must be finite, got {rel_speed}"
+    );
+
+    let mut t = 0.0_f64;
+    let mut min_distance = f64::INFINITY;
+    let mut min_distance_time = 0.0;
+    let mut steps = 0_u64;
+
+    loop {
+        let d = a.position(t).distance(b.position(t));
+        assert!(
+            d.is_finite(),
+            "trajectory produced a non-finite position at t={t}"
+        );
+        if d < min_distance {
+            min_distance = d;
+            min_distance_time = t;
+        }
+        if d <= radius + opts.tolerance {
+            return SimOutcome::Contact {
+                time: t,
+                distance: d,
+                steps,
+            };
+        }
+        if t >= opts.horizon {
+            return SimOutcome::Horizon {
+                min_distance,
+                min_distance_time,
+                steps,
+            };
+        }
+        steps += 1;
+        if steps > opts.max_steps {
+            return SimOutcome::StepBudget {
+                time: t,
+                min_distance,
+            };
+        }
+        let gap = d - radius;
+        let step = if rel_speed > 0.0 {
+            gap / rel_speed
+        } else {
+            // Both stationary: the distance can never change.
+            return SimOutcome::Horizon {
+                min_distance,
+                min_distance_time,
+                steps,
+            };
+        };
+        // Progress floor: a few ulps of the current time.
+        let floor = 4.0 * f64::EPSILON * (1.0 + t.abs());
+        t = (t + step.max(floor)).min(opts.horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::Vec2;
+    use rvz_trajectory::{FnTrajectory, PathBuilder};
+
+    #[test]
+    fn head_on_contact_time_is_exact() {
+        // Two robots approaching along the x-axis at unit speed each,
+        // starting 10 apart with radius 1: contact at t = 4.5.
+        let a = FnTrajectory::new(|t| Vec2::new(t, 0.0), 1.0);
+        let b = FnTrajectory::new(|t| Vec2::new(10.0 - t, 0.0), 1.0);
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::default());
+        let t = out.contact_time().expect("contact");
+        assert!((t - 4.5).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn parallel_motion_never_contacts() {
+        let a = FnTrajectory::new(|t| Vec2::new(t, 0.0), 1.0);
+        let b = FnTrajectory::new(|t| Vec2::new(t, 5.0), 1.0);
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::with_horizon(100.0));
+        match out {
+            SimOutcome::Horizon { min_distance, .. } => {
+                assert!((min_distance - 5.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stationary_pair_terminates_immediately() {
+        let a = FnTrajectory::new(|_| Vec2::ZERO, 0.0);
+        let b = FnTrajectory::new(|_| Vec2::new(3.0, 0.0), 0.0);
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::default());
+        assert!(matches!(out, SimOutcome::Horizon { steps: 1, .. }));
+    }
+
+    #[test]
+    fn contact_at_time_zero() {
+        let a = FnTrajectory::new(|_| Vec2::ZERO, 0.0);
+        let b = FnTrajectory::new(|_| Vec2::new(0.5, 0.0), 0.0);
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::default());
+        assert_eq!(out.contact_time(), Some(0.0));
+    }
+
+    #[test]
+    fn grazing_pass_is_not_reported_as_contact() {
+        // Closest approach 1.2 > radius 1.0.
+        let a = FnTrajectory::new(|t| Vec2::new(t - 20.0, 0.0), 1.0);
+        let b = FnTrajectory::new(|_| Vec2::new(0.0, 1.2), 0.0);
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::with_horizon(60.0));
+        match out {
+            SimOutcome::Horizon { min_distance, .. } => {
+                // min_distance is sampled at step times only, so it is an
+                // upper estimate of the true closest approach (1.2).
+                assert!((1.2 - 1e-9..1.21).contains(&min_distance), "min {min_distance}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tangential_contact_is_found() {
+        // Closest approach exactly r − ε: a brief dip below the radius.
+        let a = FnTrajectory::new(|t| Vec2::new(t - 20.0, 0.0), 1.0);
+        let b = FnTrajectory::new(|_| Vec2::new(0.0, 0.95), 0.0);
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::with_horizon(60.0));
+        assert!(out.is_contact(), "{out}");
+        // Contact must happen near the predicted geometry:
+        // |x| = sqrt(1 − 0.95²) ≈ 0.312 before the origin crossing at t=20.
+        let t = out.contact_time().unwrap();
+        assert!((t - (20.0 - 0.312_25)).abs() < 1e-2, "t = {t}");
+    }
+
+    #[test]
+    fn works_with_paths_and_waits() {
+        // A goes out and comes back; B waits within reach of the far end.
+        let a = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(5.0, 0.0))
+            .line_to(Vec2::ZERO)
+            .build();
+        let b = FnTrajectory::new(|_| Vec2::new(6.0, 0.0), 0.0);
+        let out = first_contact(&a, &b, 1.5, &ContactOptions::default());
+        // Contact when A reaches x = 4.5, i.e. t = 4.5.
+        let t = out.contact_time().unwrap();
+        assert!((t - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn horizon_is_respected() {
+        let a = FnTrajectory::new(|t| Vec2::new(t, 0.0), 1.0);
+        let b = FnTrajectory::new(|t| Vec2::new(t + 100.0, 0.0), 1.0);
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::with_horizon(10.0));
+        assert!(!out.is_contact());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn zero_radius_rejected() {
+        let a = FnTrajectory::new(|_| Vec2::ZERO, 0.0);
+        let _ = first_contact(&a, &a, 0.0, &ContactOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn bad_options_rejected() {
+        let a = FnTrajectory::new(|_| Vec2::ZERO, 0.0);
+        let opts = ContactOptions::default().tolerance(0.0);
+        let _ = first_contact(&a, &a, 1.0, &opts);
+    }
+
+    #[test]
+    fn outcome_display() {
+        let c = SimOutcome::Contact {
+            time: 1.0,
+            distance: 0.5,
+            steps: 10,
+        };
+        assert!(c.to_string().contains("contact at"));
+        let h = SimOutcome::Horizon {
+            min_distance: 2.0,
+            min_distance_time: 5.0,
+            steps: 3,
+        };
+        assert!(h.to_string().contains("no contact"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Multi-robot simulation — the paper's concluding open problem.
+//!
+//! Section 5 poses "deterministic gathering for multiple robots in this
+//! setting of minimal knowledge" as future work. This module provides the
+//! simulation machinery to *explore* that question empirically:
+//!
+//! * [`pairwise_meetings`] — for a swarm all running the same algorithm
+//!   in their own frames, the first time each pair sees the other
+//!   (pairwise rendezvous is exactly the two-robot problem, so Theorem 4
+//!   applies to each pair independently);
+//! * [`first_simultaneous_gathering`] — conservative advancement on the
+//!   swarm *diameter*: the first time all robots are mutually within `r`
+//!   at once, if it ever happens.
+//!
+//! The gathering demo example uses both to show that pairwise feasibility
+//! does **not** obviously compose into simultaneous gathering — which is
+//! precisely why the paper leaves it open.
+
+use crate::engine::{first_contact, ContactOptions, SimOutcome};
+use rvz_trajectory::Trajectory;
+
+/// First-contact times for every unordered pair in a swarm.
+///
+/// Entry `[i][j]` (for `i < j`) is `Some(t)` when robots `i` and `j` come
+/// within `radius` at time `t ≤ opts.horizon`; `None` otherwise.
+/// Diagonal and lower-triangle entries are `None`.
+///
+/// # Panics
+///
+/// Panics when fewer than two robots are supplied (or on invalid
+/// options/radius, as in [`first_contact`]).
+pub fn pairwise_meetings(
+    robots: &[&dyn Trajectory],
+    radius: f64,
+    opts: &ContactOptions,
+) -> Vec<Vec<Option<f64>>> {
+    assert!(robots.len() >= 2, "need at least two robots");
+    let n = robots.len();
+    let mut table = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            table[i][j] = first_contact(&robots[i], &robots[j], radius, opts).contact_time();
+        }
+    }
+    table
+}
+
+/// The swarm diameter at time `t`: the largest pairwise distance.
+fn diameter(robots: &[&dyn Trajectory], t: f64) -> f64 {
+    let mut max = 0.0_f64;
+    for i in 0..robots.len() {
+        let pi = robots[i].position(t);
+        for r in robots.iter().skip(i + 1) {
+            max = max.max(pi.distance(r.position(t)));
+        }
+    }
+    max
+}
+
+/// Finds the first time the swarm's diameter drops to `radius` — all
+/// robots simultaneously within visibility of each other.
+///
+/// Conservative advancement applies verbatim: the diameter decreases at
+/// a rate at most the sum of the two largest speed bounds, which we
+/// over-approximate by twice the maximum bound.
+///
+/// # Panics
+///
+/// Panics when fewer than two robots are supplied or on invalid options.
+pub fn first_simultaneous_gathering(
+    robots: &[&dyn Trajectory],
+    radius: f64,
+    opts: &ContactOptions,
+) -> SimOutcome {
+    assert!(robots.len() >= 2, "need at least two robots");
+    assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+    let closing_bound: f64 = 2.0
+        * robots
+            .iter()
+            .map(|r| r.speed_bound())
+            .fold(0.0_f64, f64::max);
+
+    let mut t = 0.0_f64;
+    let mut min_diameter = f64::INFINITY;
+    let mut min_diameter_time = 0.0;
+    let mut steps = 0_u64;
+    loop {
+        let d = diameter(robots, t);
+        if d < min_diameter {
+            min_diameter = d;
+            min_diameter_time = t;
+        }
+        if d <= radius + opts.tolerance {
+            return SimOutcome::Contact {
+                time: t,
+                distance: d,
+                steps,
+            };
+        }
+        if t >= opts.horizon {
+            return SimOutcome::Horizon {
+                min_distance: min_diameter,
+                min_distance_time: min_diameter_time,
+                steps,
+            };
+        }
+        steps += 1;
+        if steps > opts.max_steps {
+            return SimOutcome::StepBudget {
+                time: t,
+                min_distance: min_diameter,
+            };
+        }
+        if closing_bound == 0.0 {
+            return SimOutcome::Horizon {
+                min_distance: min_diameter,
+                min_distance_time: min_diameter_time,
+                steps,
+            };
+        }
+        let step = (d - radius) / closing_bound;
+        let floor = 4.0 * f64::EPSILON * (1.0 + t.abs());
+        t = (t + step.max(floor)).min(opts.horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::Vec2;
+    use rvz_trajectory::FnTrajectory;
+
+    fn approach(start: Vec2, speed: f64) -> impl Trajectory {
+        // Moves from `start` straight toward the origin, then stays.
+        FnTrajectory::new(
+            move |t| {
+                let dist = start.norm();
+                let travelled = (speed * t).min(dist);
+                start * (1.0 - travelled / dist)
+            },
+            speed,
+        )
+    }
+
+    #[test]
+    fn three_converging_robots_gather() {
+        let a = approach(Vec2::new(4.0, 0.0), 1.0);
+        let b = approach(Vec2::new(0.0, 4.0), 0.5);
+        let c = approach(Vec2::new(-4.0, -4.0), 0.8);
+        let robots: Vec<&dyn Trajectory> = vec![&a, &b, &c];
+        let out =
+            first_simultaneous_gathering(&robots, 0.5, &ContactOptions::with_horizon(100.0));
+        let t = out.contact_time().expect("all converge to the origin");
+        // Slowest robot (b) needs 4/0.5 = 8 time units minus the slack the
+        // radius allows.
+        assert!(t > 5.0 && t <= 8.0, "t = {t}");
+    }
+
+    #[test]
+    fn pairwise_table_shape_and_symmetric_reach() {
+        let a = approach(Vec2::new(2.0, 0.0), 1.0);
+        let b = approach(Vec2::new(-2.0, 0.0), 1.0);
+        let c = FnTrajectory::new(|_| Vec2::new(0.0, 50.0), 0.0); // far away, parked
+        let robots: Vec<&dyn Trajectory> = vec![&a, &b, &c];
+        let table = pairwise_meetings(&robots, 0.5, &ContactOptions::with_horizon(50.0));
+        assert!(table[0][1].is_some());
+        assert_eq!(table[1][0], None); // lower triangle unused
+        assert_eq!(table[0][2], None); // c is unreachable
+        assert_eq!(table[1][2], None);
+    }
+
+    #[test]
+    fn diverging_robots_report_horizon() {
+        let a = FnTrajectory::new(|t| Vec2::new(1.0 + t, 0.0), 1.0);
+        let b = FnTrajectory::new(|t| Vec2::new(-1.0 - t, 0.0), 1.0);
+        let robots: Vec<&dyn Trajectory> = vec![&a, &b];
+        let out = first_simultaneous_gathering(&robots, 0.5, &ContactOptions::with_horizon(10.0));
+        match out {
+            SimOutcome::Horizon { min_distance, .. } => {
+                assert!((min_distance - 2.0).abs() < 1e-9)
+            }
+            other => panic!("diverging robots gathered? {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two robots")]
+    fn single_robot_rejected() {
+        let a = FnTrajectory::new(|_| Vec2::ZERO, 0.0);
+        let robots: Vec<&dyn Trajectory> = vec![&a];
+        let _ = first_simultaneous_gathering(&robots, 1.0, &ContactOptions::default());
+    }
+}

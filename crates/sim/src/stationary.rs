@@ -1,0 +1,76 @@
+//! A trajectory that never moves — the stationary search target.
+
+use rvz_geometry::Vec2;
+use rvz_trajectory::Trajectory;
+
+/// A point that stays at `position` forever.
+///
+/// Used as the target of Section 2's search problem and as the "virtual
+/// target" of the equivalent-search reduction.
+///
+/// # Example
+///
+/// ```
+/// use rvz_sim::Stationary;
+/// use rvz_trajectory::Trajectory;
+/// use rvz_geometry::Vec2;
+///
+/// let t = Stationary::new(Vec2::new(1.0, 2.0));
+/// assert_eq!(t.position(0.0), t.position(1e9));
+/// assert_eq!(t.speed_bound(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Stationary {
+    position: Vec2,
+}
+
+impl Stationary {
+    /// Creates a stationary point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is not finite.
+    pub fn new(position: Vec2) -> Self {
+        assert!(position.is_finite(), "position must be finite");
+        Stationary { position }
+    }
+
+    /// The fixed location.
+    pub fn location(&self) -> Vec2 {
+        self.position
+    }
+}
+
+impl Trajectory for Stationary {
+    fn position(&self, t: f64) -> Vec2 {
+        assert!(t >= 0.0 && !t.is_nan(), "position requires t >= 0, got {t}");
+        self.position
+    }
+
+    fn speed_bound(&self) -> f64 {
+        0.0
+    }
+
+    fn duration(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_moves() {
+        let s = Stationary::new(Vec2::new(-2.0, 7.0));
+        assert_eq!(s.position(0.0), Vec2::new(-2.0, 7.0));
+        assert_eq!(s.position(12345.0), Vec2::new(-2.0, 7.0));
+        assert_eq!(s.location(), Vec2::new(-2.0, 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan() {
+        let _ = Stationary::new(Vec2::new(f64::NAN, 0.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Distance-over-time traces and a terminal plot.
+//!
+//! The examples and benches use traces to *show* what the theorems
+//! assert: the inter-robot distance of an infeasible pair is pinned, a
+//! feasible pair's distance dips below `r`, and Algorithm 7's phase
+//! structure is visible as plateaus.
+
+use rvz_trajectory::Trajectory;
+
+/// A sampled distance profile between two trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceTrace {
+    times: Vec<f64>,
+    distances: Vec<f64>,
+}
+
+impl DistanceTrace {
+    /// Samples `|a(t) − b(t)|` at `samples` evenly spaced times in
+    /// `[t0, t1]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ t0 < t1` and `samples ≥ 2`.
+    pub fn sample<A, B>(a: &A, b: &B, t0: f64, t1: f64, samples: usize) -> Self
+    where
+        A: Trajectory + ?Sized,
+        B: Trajectory + ?Sized,
+    {
+        assert!(t0 >= 0.0 && t1 > t0, "need 0 <= t0 < t1, got [{t0}, {t1}]");
+        assert!(samples >= 2, "need at least 2 samples");
+        let mut times = Vec::with_capacity(samples);
+        let mut distances = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let t = t0 + (t1 - t0) * (i as f64) / ((samples - 1) as f64);
+            times.push(t);
+            distances.push(a.position(t).distance(b.position(t)));
+        }
+        DistanceTrace { times, distances }
+    }
+
+    /// The sampled times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The sampled distances.
+    pub fn distances(&self) -> &[f64] {
+        &self.distances
+    }
+
+    /// The smallest sampled distance and its time.
+    pub fn min(&self) -> (f64, f64) {
+        let mut best = (self.times[0], self.distances[0]);
+        for (&t, &d) in self.times.iter().zip(&self.distances) {
+            if d < best.1 {
+                best = (t, d);
+            }
+        }
+        best
+    }
+
+    /// The largest sampled distance.
+    pub fn max_distance(&self) -> f64 {
+        self.distances.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Renders an ASCII plot (distance on the vertical axis), with an
+    /// optional horizontal marker line at `marker` (e.g. the visibility
+    /// radius).
+    pub fn ascii_plot(&self, width: usize, height: usize, marker: Option<f64>) -> String {
+        assert!(width >= 2 && height >= 2, "plot must be at least 2x2");
+        let max = self.max_distance().max(marker.unwrap_or(0.0)) * 1.05;
+        if max == 0.0 {
+            return "(all distances zero)".to_string();
+        }
+        let mut grid = vec![vec![' '; width]; height];
+        // Marker line.
+        if let Some(m) = marker {
+            let row = ((1.0 - m / max) * (height - 1) as f64).round() as usize;
+            if row < height {
+                for cell in &mut grid[row] {
+                    *cell = '-';
+                }
+            }
+        }
+        // Down-sample the trace into the grid columns. Indexing crosses
+        // rows and columns, so a plain range loop is the clearest form.
+        let n = self.distances.len();
+        #[allow(clippy::needless_range_loop)]
+        for col in 0..width {
+            let idx = col * (n - 1) / (width - 1);
+            let d = self.distances[idx];
+            let row = ((1.0 - d / max) * (height - 1) as f64).round() as usize;
+            if row < height {
+                grid[row][col] = '*';
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let label = max * (1.0 - i as f64 / (height - 1) as f64);
+            out.push_str(&format!("{label:9.3} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>9} +{}\n{:>10} t ∈ [{:.1}, {:.1}]\n",
+            "",
+            "-".repeat(width),
+            "",
+            self.times[0],
+            *self.times.last().unwrap()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::Vec2;
+    use rvz_trajectory::FnTrajectory;
+
+    fn mover() -> impl Trajectory {
+        FnTrajectory::new(|t| Vec2::new(t, 0.0), 1.0)
+    }
+
+    fn sitter() -> impl Trajectory {
+        FnTrajectory::new(|_| Vec2::new(5.0, 0.0), 0.0)
+    }
+
+    #[test]
+    fn sampling_endpoints_and_monotonicity() {
+        let tr = DistanceTrace::sample(&mover(), &sitter(), 0.0, 10.0, 11);
+        assert_eq!(tr.times().len(), 11);
+        assert_eq!(tr.distances()[0], 5.0);
+        assert_eq!(*tr.distances().last().unwrap(), 5.0);
+        let (tmin, dmin) = tr.min();
+        assert_eq!(dmin, 0.0);
+        assert_eq!(tmin, 5.0);
+        assert_eq!(tr.max_distance(), 5.0);
+    }
+
+    #[test]
+    fn plot_contains_marker_and_curve() {
+        let tr = DistanceTrace::sample(&mover(), &sitter(), 0.0, 10.0, 50);
+        let plot = tr.ascii_plot(40, 10, Some(1.0));
+        assert!(plot.contains('*'));
+        assert!(plot.contains('-'));
+        assert!(plot.contains("t ∈"));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 <= t0 < t1")]
+    fn invalid_range_rejected() {
+        let _ = DistanceTrace::sample(&mover(), &sitter(), 5.0, 5.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 samples")]
+    fn too_few_samples_rejected() {
+        let _ = DistanceTrace::sample(&mover(), &sitter(), 0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-validation of the three independent first-contact computations:
+//!
+//! 1. the conservative-advancement engine (`rvz-sim`),
+//! 2. the closed-form analytic discovery oracle (`rvz-search`),
+//! 3. dense brute-force sampling.
+//!
+//! Agreement of (1) and (2) on the search problem is the strongest
+//! correctness evidence in the workspace: they share no code beyond the
+//! schedule formulas.
+
+use proptest::prelude::*;
+use rvz_geometry::Vec2;
+use rvz_model::SearchInstance;
+use rvz_search::{first_discovery, UniversalSearch};
+use rvz_sim::{first_contact, simulate_search, ContactOptions, SimOutcome};
+use rvz_trajectory::PathBuilder;
+
+#[test]
+fn engine_matches_analytic_discovery_on_fixed_grid() {
+    let targets = [
+        Vec2::new(0.0, 0.8),
+        Vec2::new(-0.5, 0.5),
+        Vec2::new(0.7, 0.1),
+        Vec2::new(-1.4, -0.9),
+        Vec2::new(0.2, -1.9),
+        Vec2::new(0.52, 0.0),
+    ];
+    for p in targets {
+        for r in [0.2, 0.05, 0.01] {
+            let inst = SearchInstance::new(p, r).unwrap();
+            let analytic = first_discovery(&inst, 16).expect("analytic finds target");
+            let opts = ContactOptions::with_horizon(analytic.time * 2.0 + 10.0)
+                .tolerance(r * 1e-9);
+            let out = simulate_search(UniversalSearch, &inst, &opts);
+            let simulated = out.contact_time().unwrap_or_else(|| {
+                panic!("engine missed contact for p={p}, r={r}: {out}")
+            });
+            // The engine declares at distance ≤ r + tol, so it can be
+            // early by at most tol / speed; it can never be late.
+            assert!(
+                simulated <= analytic.time + 1e-6,
+                "p={p} r={r}: engine late ({simulated} vs {})",
+                analytic.time
+            );
+            assert!(
+                analytic.time - simulated <= 1e-3 * (1.0 + analytic.time),
+                "p={p} r={r}: engine too early ({simulated} vs {})",
+                analytic.time
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random targets: analytic and engine agree.
+    #[test]
+    fn engine_matches_analytic_discovery_random(
+        x in -2.0..2.0f64,
+        y in -2.0..2.0f64,
+        rexp in -7.0..-2.0f64,
+    ) {
+        let p = Vec2::new(x, y);
+        prop_assume!(p.norm() > 1e-3);
+        let r = rexp.exp2();
+        prop_assume!(p.norm() > r);
+        let inst = SearchInstance::new(p, r).unwrap();
+        let analytic = first_discovery(&inst, 16).expect("found");
+        let opts = ContactOptions::with_horizon(analytic.time + 10.0).tolerance(r * 1e-9);
+        let out = simulate_search(UniversalSearch, &inst, &opts);
+        let simulated = out.contact_time().expect("engine contact");
+        prop_assert!(simulated <= analytic.time + 1e-6);
+        prop_assert!(analytic.time - simulated <= 1e-3 * (1.0 + analytic.time));
+    }
+
+    /// The engine is never later than brute-force sampling on random
+    /// piecewise paths (soundness property of conservative advancement).
+    #[test]
+    fn engine_never_later_than_brute_force(
+        ax in -3.0..3.0f64, ay in -3.0..3.0f64,
+        bx in -3.0..3.0f64, by in -3.0..3.0f64,
+        cx in -3.0..3.0f64, cy in -3.0..3.0f64,
+        offx in -4.0..4.0f64, offy in -4.0..4.0f64,
+        radius in 0.05..0.8f64,
+    ) {
+        let a = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(ax, ay))
+            .line_to(Vec2::new(bx, by))
+            .build();
+        let b = PathBuilder::at(Vec2::new(offx, offy))
+            .line_to(Vec2::new(offx + cx, offy + cy))
+            .build();
+        let horizon = a.duration().max(b.duration().max(1.0)) + 1.0;
+        let brute = rvz_sim::first_contact_brute(&a, &b, radius, horizon, 1e-3);
+        let engine = first_contact(&a, &b, radius, &ContactOptions::with_horizon(horizon));
+        if let Some(bt) = brute {
+            // Engine must have found a contact, no later than brute force.
+            match engine {
+                SimOutcome::Contact { time, .. } => prop_assert!(time <= bt + 1e-9),
+                other => prop_assert!(false, "brute found {bt} but engine reported {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Time-varying clocks — a future-work extension.
+//!
+//! The paper's model gives each robot a *constant* clock rate `τ`; its
+//! conclusion lists "robots that may have alternative capabilities (e.g.
+//! variable speed)" as future work, and its related-work section cites
+//! the dynamic-compass literature where an attribute varies over time
+//! within known bounds. [`ClockDrift`] models the clock-side analogue: a
+//! robot whose local clock advances at a piecewise-constant, positive
+//! rate. Composed under a [`FrameWarp`](crate::FrameWarp) it yields a
+//! robot whose *effective* `τ` wanders inside `[min_rate, max_rate]`.
+//!
+//! The beyond-paper experiment in `tests/extensions_drift.rs` shows the
+//! universal algorithm still succeeding when the drift band stays on one
+//! side of 1 — and documents what happens when it straddles 1.
+
+use crate::Trajectory;
+use rvz_geometry::Vec2;
+
+/// A trajectory evaluated through a drifting local clock.
+///
+/// The wrapped motion `S(u)` is indexed by *local* time `u`; global time
+/// `t` maps to local time through a piecewise-linear, strictly increasing
+/// clock map `u = L(t)` defined by per-interval rates. After the last
+/// interval the final rate continues forever.
+///
+/// # Example
+///
+/// ```
+/// use rvz_trajectory::{ClockDrift, FnTrajectory, Trajectory};
+/// use rvz_geometry::Vec2;
+///
+/// // Unit-speed motion along x, but the local clock runs at rate 0.5
+/// // for the first 10 global time units, then at rate 2.
+/// let inner = FnTrajectory::new(|u| Vec2::new(u, 0.0), 1.0);
+/// let drift = ClockDrift::from_rates(inner, &[(10.0, 0.5)], 2.0);
+/// assert_eq!(drift.position(10.0), Vec2::new(5.0, 0.0));
+/// assert_eq!(drift.position(11.0), Vec2::new(7.0, 0.0));
+/// assert_eq!(drift.speed_bound(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockDrift<T> {
+    inner: T,
+    /// `(global_end, local_end, rate)` per interval, cumulative; the last
+    /// entry's rate extends beyond its end.
+    intervals: Vec<(f64, f64, f64)>,
+    /// Rate after the final breakpoint.
+    tail_rate: f64,
+    max_rate: f64,
+    min_rate: f64,
+}
+
+impl<T> ClockDrift<T> {
+    /// Builds a drift from `(global_duration, rate)` intervals followed by
+    /// a tail rate that persists forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any duration or rate is non-positive or non-finite.
+    pub fn from_rates(inner: T, intervals: &[(f64, f64)], tail_rate: f64) -> Self {
+        assert!(
+            tail_rate > 0.0 && tail_rate.is_finite(),
+            "tail rate must be positive and finite, got {tail_rate}"
+        );
+        let mut built = Vec::with_capacity(intervals.len());
+        let mut g = 0.0_f64;
+        let mut l = 0.0_f64;
+        let mut max_rate = tail_rate;
+        let mut min_rate = tail_rate;
+        for &(duration, rate) in intervals {
+            assert!(
+                duration > 0.0 && duration.is_finite(),
+                "interval duration must be positive and finite, got {duration}"
+            );
+            assert!(
+                rate > 0.0 && rate.is_finite(),
+                "clock rate must be positive and finite, got {rate}"
+            );
+            g += duration;
+            l += duration * rate;
+            built.push((g, l, rate));
+            max_rate = max_rate.max(rate);
+            min_rate = min_rate.min(rate);
+        }
+        ClockDrift {
+            inner,
+            intervals: built,
+            tail_rate,
+            max_rate,
+            min_rate,
+        }
+    }
+
+    /// The local-clock reading at global time `t`.
+    pub fn local_time(&self, t: f64) -> f64 {
+        assert!(t >= 0.0 && !t.is_nan(), "time must be >= 0, got {t}");
+        // Find the first interval ending after t.
+        let idx = self.intervals.partition_point(|&(g_end, _, _)| g_end <= t);
+        if idx == 0 {
+            match self.intervals.first() {
+                Some(&(_, _, rate)) => t * rate,
+                None => t * self.tail_rate,
+            }
+        } else {
+            let (g_prev, l_prev, _) = self.intervals[idx - 1];
+            let rate = match self.intervals.get(idx) {
+                Some(&(_, _, rate)) => rate,
+                None => self.tail_rate,
+            };
+            l_prev + (t - g_prev) * rate
+        }
+    }
+
+    /// The largest instantaneous clock rate.
+    pub fn max_rate(&self) -> f64 {
+        self.max_rate
+    }
+
+    /// The smallest instantaneous clock rate.
+    pub fn min_rate(&self) -> f64 {
+        self.min_rate
+    }
+
+    /// The wrapped trajectory.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Trajectory> Trajectory for ClockDrift<T> {
+    fn position(&self, t: f64) -> Vec2 {
+        self.inner.position(self.local_time(t))
+    }
+
+    fn speed_bound(&self) -> f64 {
+        // d/dt S(L(t)) = L'(t)·S'(L(t)), and L' ≤ max_rate everywhere.
+        self.max_rate * self.inner.speed_bound()
+    }
+
+    fn duration(&self) -> Option<f64> {
+        // The inner motion finishes when L(t) reaches its duration; with a
+        // positive tail rate that always happens at a finite global time.
+        self.inner.duration().map(|d_local| {
+            // Invert L at d_local.
+            let idx = self.intervals.partition_point(|&(_, l_end, _)| l_end <= d_local);
+            if idx == 0 {
+                match self.intervals.first() {
+                    Some(&(_, _, rate)) => d_local / rate,
+                    None => d_local / self.tail_rate,
+                }
+            } else {
+                let (g_prev, l_prev, _) = self.intervals[idx - 1];
+                let rate = match self.intervals.get(idx) {
+                    Some(&(_, _, rate)) => rate,
+                    None => self.tail_rate,
+                };
+                g_prev + (d_local - l_prev) / rate
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnTrajectory, PathBuilder};
+
+    fn ray() -> impl Trajectory + Clone {
+        FnTrajectory::new(|u| Vec2::new(u, 0.0), 1.0)
+    }
+
+    #[test]
+    fn constant_rate_is_plain_dilation() {
+        let d = ClockDrift::from_rates(ray(), &[], 0.5);
+        assert_eq!(d.local_time(4.0), 2.0);
+        assert_eq!(d.position(4.0), Vec2::new(2.0, 0.0));
+        assert_eq!(d.speed_bound(), 0.5);
+        assert_eq!(d.min_rate(), 0.5);
+        assert_eq!(d.max_rate(), 0.5);
+    }
+
+    #[test]
+    fn piecewise_rates_accumulate() {
+        // 10 @ 0.5 → local 5; then 5 @ 1.5 → local 12.5; tail 1.0.
+        let d = ClockDrift::from_rates(ray(), &[(10.0, 0.5), (5.0, 1.5)], 1.0);
+        assert_eq!(d.local_time(0.0), 0.0);
+        assert_eq!(d.local_time(10.0), 5.0);
+        assert_eq!(d.local_time(12.0), 8.0);
+        assert_eq!(d.local_time(15.0), 12.5);
+        assert_eq!(d.local_time(17.0), 14.5);
+        assert_eq!(d.max_rate(), 1.5);
+        assert_eq!(d.min_rate(), 0.5);
+    }
+
+    #[test]
+    fn local_time_is_continuous_and_monotone() {
+        let d = ClockDrift::from_rates(ray(), &[(3.0, 0.7), (2.0, 1.2), (4.0, 0.55)], 0.9);
+        let mut prev = 0.0;
+        let mut t = 0.0;
+        while t < 15.0 {
+            let l = d.local_time(t);
+            assert!(l >= prev, "not monotone at t={t}");
+            prev = l;
+            t += 0.01;
+        }
+        // Continuity at a knot.
+        let eps = 1e-9;
+        assert!((d.local_time(3.0) - d.local_time(3.0 - eps)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speed_bound_holds_under_drift() {
+        let inner = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(5.0, 0.0))
+            .line_to(Vec2::new(5.0, 5.0))
+            .build();
+        let d = ClockDrift::from_rates(inner, &[(2.0, 1.8), (2.0, 0.3)], 1.0);
+        let bound = d.speed_bound();
+        assert_eq!(bound, 1.8);
+        let mut t = 0.0;
+        while t < 12.0 {
+            let step = 0.01;
+            let moved = d.position(t).distance(d.position(t + step));
+            assert!(moved <= bound * step + 1e-9, "t={t}");
+            t += step;
+        }
+    }
+
+    #[test]
+    fn finite_inner_duration_inverts() {
+        let inner = PathBuilder::at(Vec2::ZERO).line_to(Vec2::new(6.0, 0.0)).build();
+        // Local duration 6; 10 global @ 0.5 covers local 5, rest at rate 2:
+        // remaining local 1 takes 0.5 global ⇒ total 10.5.
+        let d = ClockDrift::from_rates(inner, &[(10.0, 0.5)], 2.0);
+        assert_eq!(d.duration(), Some(10.5));
+        assert_eq!(d.position(10.5), Vec2::new(6.0, 0.0));
+        assert_eq!(d.position(100.0), Vec2::new(6.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = ClockDrift::from_rates(ray(), &[(1.0, 0.0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval duration must be positive")]
+    fn zero_duration_rejected() {
+        let _ = ClockDrift::from_rates(ray(), &[(0.0, 1.0)], 1.0);
+    }
+}

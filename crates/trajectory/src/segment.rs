@@ -1,0 +1,311 @@
+//! The primitive motions: straight legs, circle arcs and waits.
+//!
+//! All of the paper's algorithms decompose into exactly these three
+//! primitives, each traversed at **unit speed** in the executing robot's
+//! own reference frame (speed differences are applied afterwards by
+//! [`FrameWarp`](crate::FrameWarp)). Durations therefore equal arc
+//! lengths.
+
+use rvz_geometry::Vec2;
+
+/// One primitive motion, parameterized by local elapsed time `u ∈ [0, duration]`.
+///
+/// `Line` and `Arc` move at unit speed; `Wait` is stationary. Degenerate
+/// segments (zero-length lines, zero-radius arcs, zero waits) are allowed
+/// and have zero duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Segment {
+    /// Straight unit-speed motion from `from` to `to`.
+    Line {
+        /// Start point.
+        from: Vec2,
+        /// End point.
+        to: Vec2,
+    },
+    /// Unit-speed motion along a circle.
+    ///
+    /// The point starts at angle `start_angle` (radians, measured at the
+    /// center) and sweeps through the signed angle `sweep` (positive =
+    /// counter-clockwise). The arc length, and hence duration, is
+    /// `radius·|sweep|`.
+    Arc {
+        /// Circle center.
+        center: Vec2,
+        /// Circle radius (must be ≥ 0).
+        radius: f64,
+        /// Angle of the starting point, radians.
+        start_angle: f64,
+        /// Signed angular extent, radians; positive is counter-clockwise.
+        sweep: f64,
+    },
+    /// Remaining stationary at `position` for `duration` time units.
+    Wait {
+        /// Where the robot waits.
+        position: Vec2,
+        /// How long it waits (must be ≥ 0).
+        duration: f64,
+    },
+}
+
+impl Segment {
+    /// Convenience constructor for a straight leg.
+    pub fn line(from: Vec2, to: Vec2) -> Self {
+        Segment::Line { from, to }
+    }
+
+    /// Convenience constructor for a full counter-clockwise circle starting
+    /// at angle `start_angle`.
+    pub fn full_circle(center: Vec2, radius: f64, start_angle: f64) -> Self {
+        Segment::Arc {
+            center,
+            radius,
+            start_angle,
+            sweep: std::f64::consts::TAU,
+        }
+    }
+
+    /// Convenience constructor for a wait.
+    pub fn wait(position: Vec2, duration: f64) -> Self {
+        Segment::Wait { position, duration }
+    }
+
+    /// The duration of this segment (equal to its arc length for moving
+    /// segments, since motion is at unit speed).
+    pub fn duration(&self) -> f64 {
+        match *self {
+            Segment::Line { from, to } => from.distance(to),
+            Segment::Arc { radius, sweep, .. } => radius * sweep.abs(),
+            Segment::Wait { duration, .. } => duration,
+        }
+    }
+
+    /// The position where this segment begins.
+    pub fn start(&self) -> Vec2 {
+        match *self {
+            Segment::Line { from, .. } => from,
+            Segment::Arc {
+                center,
+                radius,
+                start_angle,
+                ..
+            } => center + Vec2::from_polar(radius, start_angle),
+            Segment::Wait { position, .. } => position,
+        }
+    }
+
+    /// The position where this segment ends.
+    pub fn end(&self) -> Vec2 {
+        match *self {
+            Segment::Line { to, .. } => to,
+            Segment::Arc {
+                center,
+                radius,
+                start_angle,
+                sweep,
+            } => center + Vec2::from_polar(radius, start_angle + sweep),
+            Segment::Wait { position, .. } => position,
+        }
+    }
+
+    /// Position after `u` time units within this segment.
+    ///
+    /// `u` is clamped to `[0, duration]`, so querying slightly past the end
+    /// (as the floating-point path index occasionally does) returns the
+    /// endpoint rather than extrapolating.
+    pub fn position_at(&self, u: f64) -> Vec2 {
+        let d = self.duration();
+        let u = u.clamp(0.0, d);
+        match *self {
+            Segment::Line { from, to } => {
+                if d == 0.0 {
+                    from
+                } else {
+                    from.lerp(to, u / d)
+                }
+            }
+            Segment::Arc {
+                center,
+                radius,
+                start_angle,
+                sweep,
+            } => {
+                if d == 0.0 {
+                    self.start()
+                } else {
+                    // Angular progress is arc length / radius, signed by the
+                    // sweep direction.
+                    let angle = start_angle + sweep.signum() * (u / radius);
+                    center + Vec2::from_polar(radius, angle)
+                }
+            }
+            Segment::Wait { position, .. } => position,
+        }
+    }
+
+    /// `true` when the robot is stationary for the whole segment.
+    pub fn is_stationary(&self) -> bool {
+        match self {
+            Segment::Wait { .. } => true,
+            _ => self.duration() == 0.0,
+        }
+    }
+
+    /// Validates the numeric invariants (finite endpoints, non-negative
+    /// radius/duration), returning a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Segment::Line { from, to } => {
+                if !from.is_finite() || !to.is_finite() {
+                    return Err(format!("line endpoints not finite: {from} -> {to}"));
+                }
+            }
+            Segment::Arc {
+                center,
+                radius,
+                start_angle,
+                sweep,
+            } => {
+                if !center.is_finite() || !radius.is_finite() || !start_angle.is_finite() || !sweep.is_finite() {
+                    return Err("arc parameters not finite".to_string());
+                }
+                if radius < 0.0 {
+                    return Err(format!("arc radius negative: {radius}"));
+                }
+            }
+            Segment::Wait { position, duration } => {
+                if !position.is_finite() || !duration.is_finite() {
+                    return Err("wait parameters not finite".to_string());
+                }
+                if duration < 0.0 {
+                    return Err(format!("wait duration negative: {duration}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::assert_approx_eq;
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+    #[test]
+    fn line_duration_is_length() {
+        let s = Segment::line(Vec2::ZERO, Vec2::new(3.0, 4.0));
+        assert_eq!(s.duration(), 5.0);
+        assert_eq!(s.start(), Vec2::ZERO);
+        assert_eq!(s.end(), Vec2::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn line_midpoint() {
+        let s = Segment::line(Vec2::new(1.0, 1.0), Vec2::new(3.0, 1.0));
+        assert_eq!(s.position_at(1.0), Vec2::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_line_is_stationary() {
+        let s = Segment::line(Vec2::UNIT_X, Vec2::UNIT_X);
+        assert_eq!(s.duration(), 0.0);
+        assert!(s.is_stationary());
+        assert_eq!(s.position_at(0.0), Vec2::UNIT_X);
+    }
+
+    #[test]
+    fn arc_duration_is_arc_length() {
+        let s = Segment::full_circle(Vec2::ZERO, 2.0, 0.0);
+        assert_approx_eq!(s.duration(), 2.0 * TAU);
+    }
+
+    #[test]
+    fn arc_quarter_turn_positions() {
+        let s = Segment::Arc {
+            center: Vec2::ZERO,
+            radius: 1.0,
+            start_angle: 0.0,
+            sweep: FRAC_PI_2,
+        };
+        assert!((s.start() - Vec2::UNIT_X).norm() < 1e-15);
+        assert!((s.end() - Vec2::UNIT_Y).norm() < 1e-15);
+        // Halfway through the quarter turn: 45°.
+        let mid = s.position_at(s.duration() / 2.0);
+        let expected = Vec2::from_polar(1.0, FRAC_PI_2 / 2.0);
+        assert!((mid - expected).norm() < 1e-15);
+    }
+
+    #[test]
+    fn clockwise_arc_moves_clockwise() {
+        let s = Segment::Arc {
+            center: Vec2::ZERO,
+            radius: 1.0,
+            start_angle: 0.0,
+            sweep: -PI,
+        };
+        assert!((s.end() - Vec2::from_polar(1.0, -PI)).norm() < 1e-12);
+        let quarter = s.position_at(FRAC_PI_2);
+        assert!((quarter - Vec2::new(0.0, -1.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn arc_unit_speed() {
+        let s = Segment::Arc {
+            center: Vec2::new(1.0, -2.0),
+            radius: 3.0,
+            start_angle: 0.7,
+            sweep: 2.0,
+        };
+        let h = 1e-6;
+        let u = 1.3;
+        let v = (s.position_at(u + h) - s.position_at(u)).norm() / h;
+        assert!((v - 1.0).abs() < 1e-5, "speed {v}");
+    }
+
+    #[test]
+    fn wait_holds_position() {
+        let s = Segment::wait(Vec2::new(5.0, 5.0), 7.0);
+        assert_eq!(s.duration(), 7.0);
+        assert!(s.is_stationary());
+        assert_eq!(s.position_at(0.0), Vec2::new(5.0, 5.0));
+        assert_eq!(s.position_at(3.5), Vec2::new(5.0, 5.0));
+        assert_eq!(s.start(), s.end());
+    }
+
+    #[test]
+    fn position_clamps_outside_range() {
+        let s = Segment::line(Vec2::ZERO, Vec2::UNIT_X);
+        assert_eq!(s.position_at(-1.0), Vec2::ZERO);
+        assert_eq!(s.position_at(99.0), Vec2::UNIT_X);
+    }
+
+    #[test]
+    fn zero_radius_arc_is_degenerate() {
+        let s = Segment::Arc {
+            center: Vec2::UNIT_Y,
+            radius: 0.0,
+            start_angle: 1.0,
+            sweep: TAU,
+        };
+        assert_eq!(s.duration(), 0.0);
+        assert!(s.is_stationary());
+        assert_eq!(s.position_at(0.0), Vec2::UNIT_Y);
+    }
+
+    #[test]
+    fn validation_catches_bad_segments() {
+        assert!(Segment::line(Vec2::ZERO, Vec2::UNIT_X).validate().is_ok());
+        assert!(Segment::line(Vec2::new(f64::NAN, 0.0), Vec2::ZERO)
+            .validate()
+            .is_err());
+        assert!(Segment::Arc {
+            center: Vec2::ZERO,
+            radius: -1.0,
+            start_angle: 0.0,
+            sweep: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Segment::wait(Vec2::ZERO, -2.0).validate().is_err());
+    }
+}

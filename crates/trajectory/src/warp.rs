@@ -1,0 +1,196 @@
+//! The reference-frame combinator of Lemma 4.
+//!
+//! A robot with attributes `(v, τ, φ, χ)` executing the common algorithm
+//! `S(·)` occupies, at *global* time `t`, the position
+//!
+//! ```text
+//! b⃗ + (v·τ)·Rot(φ)·Refl(χ)·S(t / τ)
+//! ```
+//!
+//! where `b⃗` is its starting point. The factor `v·τ` is the robot's own
+//! distance unit (its speed times its time unit, Section 1.1 of the
+//! paper); `t/τ` converts global time to the robot's local clock. For
+//! `τ = 1` this specializes exactly to Lemma 4's
+//! `S'(t) = v·Rot(φ)·Refl(χ)·S(t)`.
+//!
+//! [`FrameWarp`] implements this as a general affine + time-dilation
+//! wrapper over any [`Trajectory`], so the *same* algorithm value can be
+//! instantiated for both robots.
+
+use crate::Trajectory;
+use rvz_geometry::{Mat2, Vec2};
+
+/// A trajectory viewed through another reference frame:
+/// `position(t) = translation + linear · inner.position(t / time_scale)`.
+///
+/// # Example
+///
+/// ```
+/// use rvz_trajectory::{FrameWarp, PathBuilder, Trajectory};
+/// use rvz_geometry::{Mat2, Vec2};
+///
+/// let unit = PathBuilder::at(Vec2::ZERO).line_to(Vec2::UNIT_X).build();
+/// // A robot that is half as fast (v = 1/2, τ = 1): scale 0.5, same clock.
+/// let slow = FrameWarp::new(unit, Mat2::scaling(0.5), Vec2::ZERO, 1.0);
+/// assert_eq!(slow.position(1.0), Vec2::new(0.5, 0.0));
+/// assert_eq!(slow.speed_bound(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameWarp<T> {
+    inner: T,
+    linear: Mat2,
+    translation: Vec2,
+    time_scale: f64,
+}
+
+impl<T> FrameWarp<T> {
+    /// Wraps `inner` with a linear map, a translation, and a time dilation.
+    ///
+    /// `time_scale` is the paper's `τ`: one local time unit of the warped
+    /// robot corresponds to `time_scale` global time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `time_scale > 0` and all parameters are finite.
+    pub fn new(inner: T, linear: Mat2, translation: Vec2, time_scale: f64) -> Self {
+        assert!(
+            time_scale > 0.0 && time_scale.is_finite(),
+            "time_scale must be positive and finite, got {time_scale}"
+        );
+        assert!(translation.is_finite(), "translation must be finite");
+        FrameWarp {
+            inner,
+            linear,
+            translation,
+            time_scale,
+        }
+    }
+
+    /// The identity warp (useful for treating the reference robot
+    /// uniformly with the warped one).
+    pub fn identity(inner: T) -> Self {
+        FrameWarp::new(inner, Mat2::IDENTITY, Vec2::ZERO, 1.0)
+    }
+
+    /// The linear part of the frame map.
+    pub fn linear(&self) -> Mat2 {
+        self.linear
+    }
+
+    /// The translation part (the robot's starting position).
+    pub fn translation(&self) -> Vec2 {
+        self.translation
+    }
+
+    /// The time dilation `τ`.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    /// Consumes the warp and returns the wrapped trajectory.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// A reference to the wrapped trajectory.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Trajectory> Trajectory for FrameWarp<T> {
+    fn position(&self, t: f64) -> Vec2 {
+        self.translation + self.linear * self.inner.position(t / self.time_scale)
+    }
+
+    fn speed_bound(&self) -> f64 {
+        // d/dt [M · S(t/σ)] = (1/σ) · M · S'(t/σ), so the speed is bounded
+        // by ‖M‖₂ · inner_bound / σ.
+        self.linear.operator_norm() * self.inner.speed_bound() / self.time_scale
+    }
+
+    fn duration(&self) -> Option<f64> {
+        self.inner.duration().map(|d| d * self.time_scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PathBuilder;
+    use rvz_geometry::assert_approx_eq;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn unit_leg() -> crate::Path {
+        PathBuilder::at(Vec2::ZERO).line_to(Vec2::UNIT_X).build()
+    }
+
+    #[test]
+    fn identity_warp_is_transparent() {
+        let w = FrameWarp::identity(unit_leg());
+        assert_eq!(w.position(0.5), Vec2::new(0.5, 0.0));
+        assert_eq!(w.speed_bound(), 1.0);
+        assert_eq!(w.duration(), Some(1.0));
+    }
+
+    #[test]
+    fn translation_offsets_start() {
+        let d = Vec2::new(3.0, -2.0);
+        let w = FrameWarp::new(unit_leg(), Mat2::IDENTITY, d, 1.0);
+        assert_eq!(w.position(0.0), d);
+        assert_eq!(w.position(1.0), d + Vec2::UNIT_X);
+    }
+
+    #[test]
+    fn rotation_rotates_the_whole_trajectory() {
+        let w = FrameWarp::new(unit_leg(), Mat2::rotation(FRAC_PI_2), Vec2::ZERO, 1.0);
+        assert!((w.position(1.0) - Vec2::UNIT_Y).norm() < 1e-15);
+        assert_approx_eq!(w.speed_bound(), 1.0);
+    }
+
+    #[test]
+    fn chirality_mirrors() {
+        let diag = PathBuilder::at(Vec2::ZERO).line_to(Vec2::new(1.0, 1.0)).build();
+        let w = FrameWarp::new(diag, Mat2::chirality_reflection(-1.0), Vec2::ZERO, 1.0);
+        let end = w.duration().unwrap();
+        assert!((w.position(end) - Vec2::new(1.0, -1.0)).norm() < 1e-15);
+    }
+
+    #[test]
+    fn time_dilation_slows_local_clock() {
+        // τ = 2: the robot needs 2 global time units per local unit. With
+        // v·τ scale folded into `linear`, a robot with v = 1, τ = 2 covers
+        // the unit leg (scaled by v·τ = 2) in 2 global time units at
+        // global speed v = 1.
+        let tau = 2.0;
+        let v = 1.0;
+        let w = FrameWarp::new(unit_leg(), Mat2::scaling(v * tau), Vec2::ZERO, tau);
+        assert_eq!(w.duration(), Some(2.0));
+        assert_eq!(w.position(1.0), Vec2::new(1.0, 0.0));
+        assert_eq!(w.position(2.0), Vec2::new(2.0, 0.0));
+        assert_approx_eq!(w.speed_bound(), v);
+    }
+
+    #[test]
+    fn speed_bound_combines_norm_and_dilation() {
+        let w = FrameWarp::new(unit_leg(), Mat2::scaling(3.0), Vec2::ZERO, 2.0);
+        assert_approx_eq!(w.speed_bound(), 1.5);
+    }
+
+    #[test]
+    fn accessors_and_into_inner() {
+        let w = FrameWarp::new(unit_leg(), Mat2::scaling(2.0), Vec2::UNIT_Y, 4.0);
+        assert_eq!(w.linear(), Mat2::scaling(2.0));
+        assert_eq!(w.translation(), Vec2::UNIT_Y);
+        assert_eq!(w.time_scale(), 4.0);
+        assert_eq!(w.inner().duration(), 1.0);
+        let inner = w.into_inner();
+        assert_eq!(inner.duration(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time_scale must be positive")]
+    fn zero_time_scale_panics() {
+        let _ = FrameWarp::new(unit_leg(), Mat2::IDENTITY, Vec2::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the trajectory substrate.
+//!
+//! These check the `Trajectory` contract documented on the trait: unit
+//! speed bound for paths, continuity, agreement between the random-access
+//! `Path` index and the sequential `StreamCursor`, and the algebra of
+//! `FrameWarp`.
+
+use proptest::prelude::*;
+use rvz_geometry::{Mat2, Vec2};
+use rvz_trajectory::{FrameWarp, Path, PathBuilder, Segment, StreamCursor, Trajectory};
+
+/// Strategy: a small step for a random path (line / arc / wait).
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        ((-5.0..5.0f64), (-5.0..5.0f64)).prop_map(|(x, y)| Step::LineTo(Vec2::new(x, y))),
+        ((0.05..3.0f64), (-6.0..6.0f64)).prop_map(|(r, sweep)| Step::Arc { radius: r, sweep }),
+        (0.0..4.0f64).prop_map(Step::Wait),
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    LineTo(Vec2),
+    Arc { radius: f64, sweep: f64 },
+    Wait(f64),
+}
+
+fn build_path(start: Vec2, steps: &[Step]) -> Path {
+    let mut b = PathBuilder::at(start);
+    for step in steps {
+        b = match *step {
+            Step::LineTo(p) => b.line_to(p),
+            Step::Arc { radius, sweep } => {
+                // Center placed `radius` to the left of the current position
+                // so the arc starts exactly at the current point.
+                let center = b.current_position() - Vec2::new(radius, 0.0);
+                b.arc_around(center, sweep)
+            }
+            Step::Wait(d) => b.wait(d),
+        };
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Total duration equals the sum of segment durations.
+    #[test]
+    fn duration_is_additive(
+        steps in proptest::collection::vec(step_strategy(), 1..12),
+        sx in -3.0..3.0f64,
+        sy in -3.0..3.0f64,
+    ) {
+        let p = build_path(Vec2::new(sx, sy), &steps);
+        let sum: f64 = p.segments().iter().map(Segment::duration).sum();
+        prop_assert!((p.duration() - sum).abs() <= 1e-9 * (1.0 + sum));
+    }
+
+    /// Paths never exceed unit speed: |S(t₂) − S(t₁)| ≤ t₂ − t₁.
+    #[test]
+    fn unit_speed_bound_holds(
+        steps in proptest::collection::vec(step_strategy(), 1..10),
+        samples in proptest::collection::vec(0.0..1.0f64, 2..20),
+    ) {
+        let p = build_path(Vec2::ZERO, &steps);
+        let dur = p.duration();
+        let mut times: Vec<f64> = samples.iter().map(|f| f * dur).collect();
+        times.sort_by(f64::total_cmp);
+        for w in times.windows(2) {
+            let (t1, t2) = (w[0], w[1]);
+            let dist = p.position(t1).distance(p.position(t2));
+            prop_assert!(
+                dist <= (t2 - t1) + 1e-7,
+                "speed violated: moved {dist} in {}", t2 - t1
+            );
+        }
+    }
+
+    /// Continuity at every segment boundary.
+    #[test]
+    fn continuous_at_boundaries(
+        steps in proptest::collection::vec(step_strategy(), 1..10),
+    ) {
+        let p = build_path(Vec2::ZERO, &steps);
+        for i in 0..p.len() {
+            let t = p.segment_start_time(i);
+            if t == 0.0 { continue; }
+            let before = p.position((t - 1e-9).max(0.0));
+            let at = p.position(t);
+            prop_assert!(before.distance(at) < 1e-7, "jump at boundary {i}");
+        }
+    }
+
+    /// Random access through `Path` agrees with sequential `StreamCursor`.
+    #[test]
+    fn path_matches_cursor(
+        steps in proptest::collection::vec(step_strategy(), 1..10),
+        samples in proptest::collection::vec(0.0..1.2f64, 1..30),
+    ) {
+        let p = build_path(Vec2::ZERO, &steps);
+        let dur = p.duration();
+        let mut times: Vec<f64> = samples.iter().map(|f| f * dur).collect();
+        times.sort_by(f64::total_cmp);
+        let mut cursor = StreamCursor::new(p.segments().iter().copied());
+        for t in times {
+            let a = p.position(t);
+            let b = cursor.position(t);
+            prop_assert!(a.distance(b) < 1e-9, "mismatch at t={t}: {a} vs {b}");
+        }
+    }
+
+    /// FrameWarp evaluates exactly `translation + linear·inner(t/σ)`.
+    #[test]
+    fn warp_formula(
+        steps in proptest::collection::vec(step_strategy(), 1..6),
+        t in 0.0..50.0f64,
+        angle in 0.0..std::f64::consts::TAU,
+        scale in 0.1..3.0f64,
+        tx in -4.0..4.0f64,
+        ty in -4.0..4.0f64,
+        sigma in 0.2..4.0f64,
+    ) {
+        let p = build_path(Vec2::ZERO, &steps);
+        let m = Mat2::rotation(angle) * Mat2::scaling(scale);
+        let b = Vec2::new(tx, ty);
+        let w = FrameWarp::new(p.clone(), m, b, sigma);
+        let expected = b + m * p.position(t / sigma);
+        prop_assert!(w.position(t).distance(expected) < 1e-9);
+    }
+
+    /// The warp's declared speed bound really bounds observed speeds.
+    #[test]
+    fn warp_speed_bound_holds(
+        steps in proptest::collection::vec(step_strategy(), 1..6),
+        angle in 0.0..std::f64::consts::TAU,
+        scale in 0.1..3.0f64,
+        sigma in 0.2..4.0f64,
+        samples in proptest::collection::vec(0.0..1.0f64, 2..12),
+    ) {
+        let p = build_path(Vec2::ZERO, &steps);
+        let m = Mat2::rotation(angle) * Mat2::scaling(scale);
+        let w = FrameWarp::new(p, m, Vec2::ZERO, sigma);
+        let dur = w.duration().unwrap_or(10.0);
+        let bound = w.speed_bound();
+        let mut times: Vec<f64> = samples.iter().map(|f| f * dur).collect();
+        times.sort_by(f64::total_cmp);
+        for pair in times.windows(2) {
+            let (t1, t2) = (pair[0], pair[1]);
+            if t2 - t1 < 1e-12 { continue; }
+            let dist = w.position(t1).distance(w.position(t2));
+            prop_assert!(dist <= bound * (t2 - t1) + 1e-7);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Asymmetric clocks: Algorithm 7's phase timelines (Figures 1–2), the
+//! growing active/inactive overlap (Figure 3), and a rendezvous checked
+//! against Lemma 13's round bound `k*`.
+//!
+//! ```text
+//! cargo run --release --example asymmetric_clocks
+//! ```
+
+use plane_rendezvous::core::{
+    completion_time, first_sufficient_overlap_round, overlap_lemma9, PhaseSchedule,
+};
+use plane_rendezvous::prelude::*;
+
+/// An ASCII timeline over a common global horizon (Figure 1): `.` while
+/// the robot with clock `τ` is inactive, `#` while it is active.
+fn timeline(tau: f64, horizon_global: f64, width: usize) -> String {
+    (0..width)
+        .map(|i| {
+            let t_global = horizon_global * i as f64 / width as f64;
+            let t_local = t_global / tau; // this robot's schedule clock
+            let n = PhaseSchedule::round_at(t_local);
+            if t_local < PhaseSchedule::active_start(n) {
+                '.'
+            } else {
+                '#'
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let tau = 0.6;
+    let dec = tau_decomposition(tau);
+    println!("τ = {tau} decomposes as t·2^-a with a = {}, t = {:.3}\n", dec.a, dec.t);
+
+    // Figure 1: phase timelines of both robots on the global clock.
+    let horizon = PhaseSchedule::round_end(4);
+    println!("Figure 1 — phase timelines ('.' inactive, '#' active), global t ∈ [0, {horizon:.0}):");
+    println!("  R  (τ=1):   {}", timeline(1.0, horizon, 100));
+    println!("  R' (τ={tau}): {}", timeline(tau, horizon, 100));
+    println!();
+
+    // Figure 2: structure of one active phase.
+    let n = 3;
+    println!("Figure 2 — active phase of round {n}:");
+    let a = PhaseSchedule::active_start(n);
+    let mut t = a;
+    for k in (1..=n).chain((1..=n).rev()) {
+        let d = plane_rendezvous::search::times::round_duration(k);
+        println!("  Search({k}): [{t:12.2}, {:12.2})", t + d);
+        t += d;
+    }
+    println!();
+
+    // Figure 3 / Lemma 9: the overlap grows without bound.
+    println!("Figure 3 — Lemma 9 overlap of R's active k with R''s inactive k+1 (a=0):");
+    println!("  {:>3} | {:>14} | {:>14} | {:>10}", "k", "claimed", "computed", "S(k)/2 ref");
+    for k in [4, 6, 8, 10, 12] {
+        let rep = overlap_lemma9(tau, k, 0);
+        println!(
+            "  {:>3} | {:>14.1} | {:>14.1} | {:>10}",
+            k,
+            rep.claimed,
+            rep.computed,
+            if rep.hypothesis_holds { "in range" } else { "off range" }
+        );
+    }
+    println!();
+
+    // Rendezvous with only the clocks differing.
+    let attrs = RobotAttributes::reference().with_time_unit(tau);
+    let inst = RendezvousInstance::new(Vec2::new(0.2, 0.85), 0.25, attrs).unwrap();
+    let n_find = coverage::guaranteed_discovery_round(inst.distance(), inst.visibility()).unwrap();
+    let k_star = lemma13_round_bound(tau, n_find);
+    let analytic = first_sufficient_overlap_round(tau, n_find);
+    println!("stationary-find round n = {n_find}");
+    println!("Lemma 13 bound k* = {k_star} (complete by t = {:.1})", completion_time(k_star));
+    println!("analytic first sufficient-overlap round = {analytic:?}");
+
+    let opts = ContactOptions::with_horizon(completion_time(k_star)).tolerance(2.5e-7);
+    match simulate_rendezvous(WaitAndSearch, &inst, &opts) {
+        SimOutcome::Contact { time, .. } => {
+            let round = PhaseSchedule::round_at(time);
+            println!("simulated rendezvous at t = {time:.2} (round {round})");
+            assert!(round <= k_star, "rendezvous later than k*!");
+            println!("round {round} ≤ k* = {k_star}  ✓");
+        }
+        other => panic!("no rendezvous: {other}"),
+    }
+}

@@ -1,0 +1,51 @@
+//! Drifting compass: the robots' only difference is their compass
+//! orientation (`v = τ = 1`, `χ = +1`, `φ ≠ 0`) — the subtlest feasible
+//! case of Theorem 4, where symmetry is broken purely by the angle
+//! between the two robots' reference frames (Lemma 6's `µ`-scaling).
+//!
+//! ```text
+//! cargo run --release --example drifting_compass
+//! ```
+
+use plane_rendezvous::prelude::*;
+
+fn main() {
+    let d = Vec2::new(0.0, 0.9);
+    let r = 0.02;
+
+    println!("two identical robots except for a compass offset φ; d = 0.9, r = {r}");
+    println!(
+        "{:>8} | {:>8} | {:>12} | {:>12} | {:>8}",
+        "φ", "µ", "measured", "Thm 2 bound", "ratio"
+    );
+
+    for phi in [0.1, 0.5, 1.0, 2.0, std::f64::consts::PI, 4.5, 6.0] {
+        let attrs = RobotAttributes::reference().with_orientation(phi);
+        let eq = EquivalentSearch::new(&attrs);
+        let inst = RendezvousInstance::new(d, r, attrs).unwrap();
+        let bound = theorem2_bound(&inst).time().expect("feasible for φ ≠ 0");
+        let opts = ContactOptions::with_horizon(bound * 1.05).tolerance(r * 1e-9);
+        let t = simulate_rendezvous(UniversalSearch, &inst, &opts)
+            .contact_time()
+            .expect("rendezvous");
+        println!(
+            "{phi:>8.3} | {:>8.4} | {t:>12.2} | {bound:>12.1} | {:>8.4}",
+            eq.mu(),
+            t / bound
+        );
+        assert!(t < bound);
+    }
+
+    println!();
+    println!("φ = 0 (exact twins) for contrast:");
+    let twins = RobotAttributes::reference();
+    println!("  Theorem 4: {}", feasibility(&twins));
+    let inst = RendezvousInstance::new(d, r, twins).unwrap();
+    let out = simulate_rendezvous(
+        UniversalSearch,
+        &inst,
+        &ContactOptions::with_horizon(1e4).tolerance(r * 1e-9),
+    );
+    println!("  simulation: {out}");
+    assert!(!out.is_contact());
+}

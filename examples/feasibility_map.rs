@@ -1,0 +1,92 @@
+//! The Theorem 4 feasibility map: which attribute differences make
+//! rendezvous possible, confirmed by simulation on both sides of the
+//! boundary.
+//!
+//! ```text
+//! cargo run --release --example feasibility_map
+//! ```
+
+use plane_rendezvous::core::completion_time;
+use plane_rendezvous::prelude::*;
+
+fn verdict_cell(attrs: &RobotAttributes) -> &'static str {
+    match feasibility(attrs) {
+        Feasibility::Feasible(SymmetryBreaker::AsymmetricClocks) => "F:clock",
+        Feasibility::Feasible(SymmetryBreaker::DifferentSpeeds) => "F:speed",
+        Feasibility::Feasible(SymmetryBreaker::OrientationOffset) => "F:orient",
+        Feasibility::Infeasible(_) => "  ---  ",
+    }
+}
+
+fn main() {
+    println!("Theorem 4: rendezvous is feasible iff τ≠1 ∨ v≠1 ∨ (χ=+1 ∧ 0<φ<2π)\n");
+
+    let speeds = [0.5, 1.0];
+    let clocks = [0.6, 1.0];
+    let phis = [0.0, 1.3];
+
+    for chi in [Chirality::Consistent, Chirality::Mirrored] {
+        println!("χ = {chi}:");
+        print!("  {:>12}", "v \\ (τ, φ)");
+        for &tau in &clocks {
+            for &phi in &phis {
+                print!(" | τ={tau:<3} φ={phi:<3}");
+            }
+        }
+        println!();
+        for &v in &speeds {
+            print!("  {v:>12}");
+            for &tau in &clocks {
+                for &phi in &phis {
+                    let attrs = RobotAttributes::new(v, tau, phi, chi);
+                    print!(" | {:^11}", verdict_cell(&attrs));
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+
+    // Confirm each cell by simulation.
+    println!("simulation confirmation (universal Algorithm 7, d = 0.9, r = 0.25):");
+    let r = 0.25;
+    let mut checked = 0;
+    let mut confirmed = 0;
+    for &v in &speeds {
+        for &tau in &clocks {
+            for &phi in &phis {
+                for chi in [Chirality::Consistent, Chirality::Mirrored] {
+                    let attrs = RobotAttributes::new(v, tau, phi, chi);
+                    checked += 1;
+                    let verdict = feasibility(&attrs);
+                    let ok = match verdict {
+                        Feasibility::Feasible(_) => {
+                            let inst =
+                                RendezvousInstance::new(Vec2::new(0.4, 0.8), r, attrs).unwrap();
+                            let opts = ContactOptions::with_horizon(completion_time(10))
+                                .tolerance(r * 1e-6);
+                            simulate_rendezvous(WaitAndSearch, &inst, &opts).is_contact()
+                        }
+                        Feasibility::Infeasible(reason) => {
+                            let dir = reason.invariant_direction();
+                            let inst = RendezvousInstance::new(dir * 0.9, r, attrs).unwrap();
+                            let opts =
+                                ContactOptions::with_horizon(5e4).tolerance(r * 1e-6);
+                            matches!(
+                                simulate_rendezvous(WaitAndSearch, &inst, &opts),
+                                SimOutcome::Horizon { min_distance, .. } if min_distance >= 0.9 - 1e-9
+                            )
+                        }
+                    };
+                    if ok {
+                        confirmed += 1;
+                    } else {
+                        println!("  MISMATCH at {attrs}: predicate says {verdict}");
+                    }
+                }
+            }
+        }
+    }
+    println!("  {confirmed}/{checked} cells confirmed by simulation");
+    assert_eq!(confirmed, checked, "feasibility map mismatch");
+}

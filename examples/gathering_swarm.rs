@@ -1,0 +1,94 @@
+//! Beyond the paper: multi-robot gathering (the open problem of
+//! Section 5), explored empirically.
+//!
+//! Four robots with pairwise-distinct speeds all run the universal
+//! Algorithm 7 from different start points. Every *pair* satisfies
+//! Theorem 4 (different speeds), so every pair meets — but simultaneous
+//! gathering of the whole swarm is a different matter, which is exactly
+//! why the paper leaves it open.
+//!
+//! ```text
+//! cargo run --release --example gathering_swarm
+//! ```
+
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::sim::{first_simultaneous_gathering, pairwise_meetings, DistanceTrace};
+
+fn main() {
+    // Four robots: speeds pairwise distinct, so all pairs are feasible.
+    let configs = [
+        (1.0, Vec2::new(0.0, 0.0)),
+        (0.8, Vec2::new(0.9, 0.3)),
+        (0.6, Vec2::new(-0.4, 0.7)),
+        (0.45, Vec2::new(0.3, -0.8)),
+    ];
+    let r = 0.25;
+
+    println!("swarm: 4 robots running Algorithm 7, speeds 1.0 / 0.8 / 0.6 / 0.45, r = {r}\n");
+
+    // Pairwise feasibility per Theorem 4 (relative speed ≠ 1 for each pair).
+    for (i, &(vi, _)) in configs.iter().enumerate() {
+        for &(vj, _) in configs.iter().skip(i + 1) {
+            let rel = RobotAttributes::reference().with_speed(vj / vi);
+            assert!(feasibility(&rel).is_feasible());
+        }
+    }
+    println!("every pair is feasible by Theorem 4 (pairwise speed ratios ≠ 1)\n");
+
+    let warped: Vec<_> = configs
+        .iter()
+        .map(|&(v, start)| {
+            RobotAttributes::reference()
+                .with_speed(v)
+                .frame_warp(WaitAndSearch, start)
+        })
+        .collect();
+    let robots: Vec<&dyn Trajectory> = warped.iter().map(|w| w as &dyn Trajectory).collect();
+
+    // Pairwise meeting matrix.
+    let opts = ContactOptions::with_horizon(1e6).tolerance(r * 1e-6);
+    let table = pairwise_meetings(&robots, r, &opts);
+    println!("pairwise first-meeting times:");
+    print!("      ");
+    for j in 0..robots.len() {
+        print!("{:>12}", format!("R{j}"));
+    }
+    println!();
+    let mut latest: f64 = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        print!("  R{i}  ");
+        for (j, cell) in row.iter().enumerate() {
+            if j <= i {
+                print!("{:>12}", "·");
+            } else {
+                match cell {
+                    Some(t) => {
+                        latest = latest.max(*t);
+                        print!("{t:>12.1}");
+                    }
+                    None => print!("{:>12}", "never"),
+                }
+            }
+        }
+        println!();
+    }
+    println!("\nall pairs have met by t = {latest:.1} (pairwise rendezvous composes)\n");
+
+    // Simultaneous gathering: diameter ≤ r at one instant.
+    let out = first_simultaneous_gathering(&robots, r, &ContactOptions::with_horizon(2e5));
+    println!("simultaneous gathering (diameter ≤ r at one instant): {out}");
+    match out {
+        SimOutcome::Contact { .. } => {
+            println!("-> the swarm happened to gather — not guaranteed in general!")
+        }
+        _ => println!("-> no simultaneous gathering within the horizon: the open problem is real"),
+    }
+
+    // Show the R0–R3 distance profile around their first meeting.
+    if let Some(t01) = table[0][3] {
+        let t0 = (t01 - 40.0).max(0.0);
+        let trace = DistanceTrace::sample(&robots[0], &robots[3], t0, t01 + 40.0, 400);
+        println!("\nR0–R3 distance around their first meeting (marker = r):");
+        print!("{}", trace.ascii_plot(72, 12, Some(r)));
+    }
+}

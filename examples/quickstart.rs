@@ -1,0 +1,46 @@
+//! Quickstart: two robots with different speeds rendezvous using the
+//! universal algorithm, with no knowledge of their own or each other's
+//! attributes.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use plane_rendezvous::prelude::*;
+
+fn main() {
+    // Robot R is the reference frame (speed 1, clock 1, aligned compass).
+    // Robot R' is 40% slower — it does not know this, and neither does R.
+    let attrs = RobotAttributes::reference().with_speed(0.6);
+
+    // They start 0.8 apart (unknown to them) and can see 0.05 (unknown too).
+    let inst = RendezvousInstance::new(Vec2::new(0.3, 0.74), 0.05, attrs).unwrap();
+
+    println!("instance: {inst}");
+    println!("Theorem 4 verdict: {}", feasibility(&attrs));
+
+    // Both robots run the same trajectory value — Algorithm 4 (their
+    // clocks are symmetric, so Section 3's algorithm applies).
+    let opts = ContactOptions::with_horizon(1e7).tolerance(5e-11);
+    match simulate_rendezvous(UniversalSearch, &inst, &opts) {
+        SimOutcome::Contact { time, distance, steps } => {
+            println!("rendezvous at t = {time:.3} (distance {distance:.4}, {steps} sim steps)");
+            match theorem2_bound(&inst) {
+                Theorem2Bound::Finite { time: bound, factor, .. } => {
+                    println!("Theorem 2 bound: T < {bound:.3} (symmetry factor µ = {factor:.3})");
+                    println!("measured / bound = {:.4}", time / bound);
+                    assert!(time < bound, "bound violated!");
+                }
+                Theorem2Bound::Infeasible => unreachable!("v ≠ 1 is feasible"),
+            }
+        }
+        other => println!("unexpected outcome: {other}"),
+    }
+
+    // The same instance also solves under the fully universal Algorithm 7
+    // (which additionally covers asymmetric clocks).
+    let out7 = simulate_rendezvous(WaitAndSearch, &inst, &opts);
+    println!("Algorithm 7 (universal): {out7}");
+}

@@ -1,0 +1,87 @@
+//! Search-and-rescue: a single robot with a short-range sensor must find
+//! an immobile casualty at an unknown distance — Section 2's search
+//! problem, the motivating application of the paper's introduction.
+//!
+//! Prints the round-by-round progress of Algorithm 4 and checks the
+//! Theorem 1 time bound.
+//!
+//! ```text
+//! cargo run --release --example search_and_rescue
+//! ```
+
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::search::schedule::RoundPhase;
+use plane_rendezvous::search::times;
+
+fn main() {
+    // The casualty lies ~1.24 units away; the robot's sensor sees 1 cm.
+    let target = Vec2::from_polar(1.24, 0.9);
+    let r = 0.01;
+    let inst = SearchInstance::new(target, r).unwrap();
+
+    println!("search-and-rescue instance:");
+    println!("  target at {target}, |d| = {:.4}", inst.distance());
+    println!("  sensor radius r = {r}");
+    println!("  difficulty d²/r = {:.1}", inst.difficulty());
+    println!();
+
+    // Round budget per Lemma 1's witnesses.
+    if let Some(w) = coverage::lemma1_witness(inst.distance(), r) {
+        println!(
+            "Lemma 1 guarantees discovery by round {} (sub-round {}),",
+            w.round, w.subround
+        );
+    }
+    let guaranteed = coverage::guaranteed_discovery_round(inst.distance(), r).unwrap();
+    println!("the sweep provably reaches the casualty in round {guaranteed}.");
+    println!();
+
+    // Print the schedule the robot executes until discovery.
+    let found = first_discovery(&inst, 31).expect("always found");
+    println!("round-by-round (closed-form schedule):");
+    for k in 1..=found.round {
+        let start = UniversalSearch::round_start(k);
+        let dur = times::round_duration(k);
+        println!(
+            "  Search({k}): t ∈ [{:11.2}, {:11.2})  sweeps radii [{:.4}, {:.1}]",
+            start,
+            start + dur,
+            times::inner_radius(k, 0),
+            times::outer_radius(k, 2 * k - 1),
+        );
+    }
+    println!();
+    println!(
+        "casualty found at t = {:.3} in round {}, sub-round {}, circle {} ({:?})",
+        found.time, found.round, found.subround, found.circle, found.event
+    );
+
+    // Where was the robot at that moment?
+    let robot = UniversalSearch;
+    let pos = robot.position(found.time);
+    println!(
+        "robot position at discovery: {pos} (distance to casualty {:.4} ≤ r)",
+        pos.distance(target)
+    );
+    if let RoundPhase::SubRound { radius, leg, .. } =
+        plane_rendezvous::search::RoundSchedule::new(found.round)
+            .locate(found.time - UniversalSearch::round_start(found.round))
+    {
+        println!("  (sweeping the circle of radius {radius:.4}, leg {leg:?})");
+    }
+
+    // And the paper's guarantee:
+    let bound = coverage::theorem1_bound(inst.distance(), r);
+    println!();
+    println!("Theorem 1 bound: T < {bound:.1}");
+    println!("measured / bound = {:.4}", found.time / bound);
+    assert!(found.time < bound);
+
+    // Cross-check with the continuous simulator.
+    let sim = simulate_search(
+        UniversalSearch,
+        &inst,
+        &ContactOptions::with_horizon(found.time + 10.0).tolerance(r * 1e-9),
+    );
+    println!("simulator cross-check: {sim}");
+}

@@ -1,0 +1,238 @@
+//! `rvz` — command-line front end for the plane-rendezvous library.
+//!
+//! ```text
+//! rvz feasibility --v 1.0 --tau 0.5 --phi 0 --chi +1
+//! rvz search      --x 0.7 --y 0.9 --r 0.01
+//! rvz rendezvous  --dx 0.3 --dy 0.8 --r 0.05 --v 0.6 [--tau 1.0 --phi 0 --chi +1]
+//! rvz phases      --rounds 6 [--tau 0.6]
+//! rvz bounds      --d 1.0 --r 0.01 [--v 0.5 --phi 0 --chi +1 | --tau 0.5]
+//! ```
+//!
+//! Arguments are `--key value` pairs; unknown keys are rejected. The tool
+//! is deliberately dependency-free (no clap) — it exists so that a user
+//! can poke at the model without writing Rust.
+
+use plane_rendezvous::core::{
+    completion_time, first_sufficient_overlap_round, WaitAndSearch,
+};
+use plane_rendezvous::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "feasibility" => cmd_feasibility(&opts),
+        "search" => cmd_search(&opts),
+        "rendezvous" => cmd_rendezvous(&opts),
+        "phases" => cmd_phases(&opts),
+        "bounds" => cmd_bounds(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+rvz — rendezvous in the plane by robots with unknown attributes (PODC 2019)
+
+USAGE:
+  rvz feasibility [--v V] [--tau T] [--phi P] [--chi +1|-1]
+      Theorem 4 verdict for the attribute combination.
+  rvz search --x X --y Y --r R [--max-round K]
+      Exact Algorithm 4 discovery time for a stationary target.
+  rvz rendezvous --dx X --dy Y --r R [--v V] [--tau T] [--phi P] [--chi +1|-1]
+      Simulate the universal Algorithm 7 on the instance.
+  rvz phases [--rounds N] [--tau T]
+      Print the Algorithm 7 phase schedule (and τ-scaled copy).
+  rvz bounds --d D --r R [--v V] [--phi P] [--chi +1|-1] [--tau T]
+      Closed-form bounds: Theorem 1/2, and Lemma 13's k* when τ ≠ 1.
+
+All flags take numeric values; angles in radians.";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected `--flag`, got `{key}`"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag `--{name}` needs a value"));
+        };
+        map.insert(name.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn get_f64(opts: &Flags, key: &str, default: Option<f64>) -> Result<f64, String> {
+    match opts.get(key) {
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("`--{key}` expects a number, got `{v}`")),
+        None => default.ok_or_else(|| format!("missing required flag `--{key}`")),
+    }
+}
+
+fn get_u32(opts: &Flags, key: &str, default: u32) -> Result<u32, String> {
+    match opts.get(key) {
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| format!("`--{key}` expects an integer, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn get_chirality(opts: &Flags) -> Result<Chirality, String> {
+    match opts.get("chi").map(String::as_str) {
+        None | Some("+1") | Some("1") => Ok(Chirality::Consistent),
+        Some("-1") => Ok(Chirality::Mirrored),
+        Some(other) => Err(format!("`--chi` expects +1 or -1, got `{other}`")),
+    }
+}
+
+fn attributes(opts: &Flags) -> Result<RobotAttributes, String> {
+    let v = get_f64(opts, "v", Some(1.0))?;
+    let tau = get_f64(opts, "tau", Some(1.0))?;
+    let phi = get_f64(opts, "phi", Some(0.0))?;
+    if v <= 0.0 || tau <= 0.0 {
+        return Err("speed and time unit must be positive".into());
+    }
+    Ok(RobotAttributes::new(v, tau, phi, get_chirality(opts)?))
+}
+
+fn cmd_feasibility(opts: &Flags) -> Result<(), String> {
+    let attrs = attributes(opts)?;
+    println!("attributes: {attrs}");
+    println!("verdict:    {}", feasibility(&attrs));
+    Ok(())
+}
+
+fn cmd_search(opts: &Flags) -> Result<(), String> {
+    let x = get_f64(opts, "x", None)?;
+    let y = get_f64(opts, "y", None)?;
+    let r = get_f64(opts, "r", None)?;
+    let max_round = get_u32(opts, "max-round", 31)?;
+    let inst = SearchInstance::new(Vec2::new(x, y), r).map_err(|e| e.to_string())?;
+    println!(
+        "instance: target ({x}, {y}), d = {:.6}, r = {r}, d²/r = {:.3}",
+        inst.distance(),
+        inst.difficulty()
+    );
+    match first_discovery(&inst, max_round.min(31)) {
+        Some(found) => {
+            println!(
+                "discovered at t = {:.6} (round {}, sub-round {}, circle {}, {:?})",
+                found.time, found.round, found.subround, found.circle, found.event
+            );
+            if inst.difficulty() >= 2.0 {
+                let bound = coverage::theorem1_bound(inst.distance(), r);
+                println!("Theorem 1 bound: {bound:.3}  (measured/bound = {:.4})", found.time / bound);
+            }
+        }
+        None => println!("not discovered within {max_round} rounds"),
+    }
+    Ok(())
+}
+
+fn cmd_rendezvous(opts: &Flags) -> Result<(), String> {
+    let dx = get_f64(opts, "dx", None)?;
+    let dy = get_f64(opts, "dy", None)?;
+    let r = get_f64(opts, "r", None)?;
+    let attrs = attributes(opts)?;
+    let inst =
+        RendezvousInstance::new(Vec2::new(dx, dy), r, attrs).map_err(|e| e.to_string())?;
+    println!("instance: {inst}");
+    println!("Theorem 4: {}", feasibility(&attrs));
+    let horizon = get_f64(opts, "horizon", Some(completion_time(12)))?;
+    let out = simulate_rendezvous(
+        WaitAndSearch,
+        &inst,
+        &ContactOptions::with_horizon(horizon).tolerance(r * 1e-6),
+    );
+    println!("Algorithm 7 simulation: {out}");
+    Ok(())
+}
+
+fn cmd_phases(opts: &Flags) -> Result<(), String> {
+    let rounds = get_u32(opts, "rounds", 6)?.clamp(1, 20);
+    let tau = get_f64(opts, "tau", Some(1.0))?;
+    if tau <= 0.0 {
+        return Err("`--tau` must be positive".into());
+    }
+    println!("{:>3} | {:>16} | {:>16} | {:>16}", "n", "I(n)", "A(n)", "round end");
+    for n in 1..=rounds {
+        println!(
+            "{n:>3} | {:>16.2} | {:>16.2} | {:>16.2}",
+            tau * PhaseSchedule::inactive_start(n),
+            tau * PhaseSchedule::active_start(n),
+            tau * PhaseSchedule::round_end(n)
+        );
+    }
+    if tau != 1.0 {
+        println!("(boundaries scaled by τ = {tau})");
+    }
+    Ok(())
+}
+
+fn cmd_bounds(opts: &Flags) -> Result<(), String> {
+    let d = get_f64(opts, "d", None)?;
+    let r = get_f64(opts, "r", None)?;
+    let attrs = attributes(opts)?;
+    if d <= 0.0 || r <= 0.0 {
+        return Err("`--d` and `--r` must be positive".into());
+    }
+    if d * d / r >= 2.0 {
+        println!("Theorem 1 (search): T < {:.3}", coverage::theorem1_bound(d, r));
+    }
+    if attrs.time_unit() == 1.0 {
+        if attrs.speed() <= 1.0 {
+            let inst = RendezvousInstance::new(Vec2::new(0.0, d), r, attrs)
+                .map_err(|e| e.to_string())?;
+            println!("Theorem 2 (rendezvous, τ = 1): {}", theorem2_bound(&inst));
+        } else {
+            println!("Theorem 2: normalize so the reference robot is fastest (v ≤ 1)");
+        }
+    } else {
+        let tau = attrs.time_unit();
+        let tau_norm = if tau < 1.0 { tau } else { 1.0 / tau };
+        let n = coverage::guaranteed_discovery_round(d, r)
+            .ok_or("instance beyond the supported round horizon")?;
+        let dec = tau_decomposition(tau_norm);
+        let k_star = lemma13_round_bound(tau_norm, n);
+        println!("stationary-find round n = {n}");
+        println!("τ = {tau} ⇒ t·2^-a with a = {}, t = {:.4}", dec.a, dec.t);
+        println!("Lemma 13 round bound: k* = {k_star}");
+        if k_star <= 31 {
+            println!("complete-by time: I(k*+1) = {:.3}", completion_time(k_star));
+            if let Some(meas) = first_sufficient_overlap_round(tau_norm, n) {
+                println!("analytic sufficient-overlap round: {meas}");
+            }
+        } else {
+            println!("(k* beyond the supported schedule horizon of 31 rounds)");
+        }
+    }
+    Ok(())
+}

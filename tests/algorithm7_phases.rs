@@ -1,0 +1,161 @@
+//! Integration test for Lemma 8 and Figures 1–3 (experiments E7, E8,
+//! E10): the closed-form phase schedule against the explicitly generated
+//! trajectory, and the overlap algebra against scaled simulations.
+
+use plane_rendezvous::core::{
+    overlap_lemma10, overlap_lemma9, Algorithm7Phase, PhaseSchedule, WaitAndSearch,
+};
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::trajectory::StreamCursor;
+
+/// E7: Lemma 8's I(n) and A(n) match the stream-accumulated durations of
+/// the explicit Algorithm 7 segment list.
+#[test]
+fn phase_boundaries_match_stream_accumulation() {
+    // Accumulate explicit segment durations round by round.
+    let mut t = 0.0;
+    for n in 1..=4u32 {
+        assert!(
+            (PhaseSchedule::inactive_start(n) - t).abs() < 1e-6 * (1.0 + t),
+            "I({n}) mismatch: closed form {} vs accumulated {t}",
+            PhaseSchedule::inactive_start(n)
+        );
+        // Wait phase is one segment of length 2S(n).
+        let wait = 2.0 * PhaseSchedule::search_all_duration(n);
+        assert!(
+            (PhaseSchedule::active_start(n) - (t + wait)).abs() < 1e-6 * (1.0 + t),
+            "A({n}) mismatch"
+        );
+        // Active phase: sum the explicit segments of SearchAll + SearchAllRev.
+        let active: f64 = (1..=n)
+            .chain((1..=n).rev())
+            .map(plane_rendezvous::search::times::round_duration)
+            .sum();
+        t += wait + active;
+    }
+}
+
+/// E7: the robot is exactly where the phase claims — at the origin
+/// throughout every inactive phase, away from it mid-sweep.
+#[test]
+fn positions_respect_phases() {
+    let algo = WaitAndSearch;
+    for n in 1..=4u32 {
+        let (i0, i1) = PhaseSchedule::inactive_interval(n);
+        for f in [0.01, 0.5, 0.99] {
+            let t = i0 + f * (i1 - i0);
+            assert_eq!(algo.position(t), Vec2::ZERO, "round {n}: moved while inactive");
+            assert!(matches!(
+                WaitAndSearch::locate(t),
+                Algorithm7Phase::Inactive { .. }
+            ));
+        }
+    }
+}
+
+/// E10 (Figure 2): the active phase decomposes as
+/// Search(1)…Search(n) Search(n)…Search(1), verified against a stream
+/// cursor for n ≤ 3.
+#[test]
+fn active_phase_structure_matches_figure2() {
+    let n = 3u32;
+    let a = PhaseSchedule::active_start(n);
+    let s = PhaseSchedule::search_all_duration(n);
+    // Expected block boundaries in order.
+    let mut boundaries = vec![];
+    let mut acc = a;
+    for k in 1..=n {
+        boundaries.push((acc, k));
+        acc += plane_rendezvous::search::times::round_duration(k);
+    }
+    assert!((acc - (a + s)).abs() < 1e-9 * acc);
+    for k in (1..=n).rev() {
+        boundaries.push((acc, k));
+        acc += plane_rendezvous::search::times::round_duration(k);
+    }
+    assert!((acc - PhaseSchedule::round_end(n)).abs() < 1e-9 * acc);
+    // locate() must report exactly these blocks just after each boundary.
+    for (i, &(t, k)) in boundaries.iter().enumerate() {
+        let phase = WaitAndSearch::locate(t + 1e-3);
+        let forward = i < n as usize;
+        match phase {
+            Algorithm7Phase::Forward { k: got, .. } if forward => {
+                assert_eq!(got, k, "block {i}")
+            }
+            Algorithm7Phase::Reverse { k: got, .. } if !forward => {
+                assert_eq!(got, k, "block {i}")
+            }
+            other => panic!("block {i}: unexpected phase {other:?}"),
+        }
+    }
+}
+
+/// Random-access positions equal stream-cursor positions across the
+/// first two Algorithm 7 rounds at fine sampling (E7 cross-check).
+#[test]
+fn closed_form_equals_stream_over_two_rounds() {
+    let algo = WaitAndSearch;
+    let horizon = PhaseSchedule::round_end(2);
+    let mut cursor = StreamCursor::new(WaitAndSearch::segments(2));
+    let samples = 5000;
+    for i in 0..samples {
+        let t = horizon * (i as f64) / (samples as f64);
+        let a = algo.position(t);
+        let b = cursor.position(t);
+        assert!(a.distance(b) < 1e-6, "t={t}: {a} vs {b}");
+    }
+}
+
+/// E8 (Figure 3a): the Lemma 9 overlap equals the intersection measured
+/// on actual τ-scaled trajectories — the partner really is stationary
+/// during the whole claimed window.
+#[test]
+fn lemma9_overlap_window_has_stationary_partner() {
+    let (k, a) = (4u32, 0u32);
+    let (lo, hi) = plane_rendezvous::core::overlap::lemma9_tau_range(k, a);
+    let tau = 0.5 * (lo + hi);
+    let rep = overlap_lemma9(tau, k, a);
+    assert!(rep.hypothesis_holds);
+    // Sample the partner's position during the overlap window.
+    let attrs = RobotAttributes::reference().with_time_unit(tau);
+    let partner = attrs.frame_warp(WaitAndSearch, Vec2::ZERO);
+    let (w0, w1) = (
+        rep.reference_interval.0.max(rep.partner_interval.0),
+        rep.reference_interval.1.min(rep.partner_interval.1),
+    );
+    assert!((w1 - w0 - rep.computed).abs() < 1e-9 * (1.0 + rep.computed));
+    for f in [0.0, 0.25, 0.5, 0.75, 0.999] {
+        let t = w0 + f * (w1 - w0);
+        assert_eq!(
+            partner.position(t),
+            Vec2::ZERO,
+            "partner moved inside the Lemma 9 window at t={t}"
+        );
+    }
+}
+
+/// E8 (Figure 3b): same for Lemma 10's reverse-side window.
+#[test]
+fn lemma10_overlap_window_has_stationary_partner() {
+    let (k, a) = (6u32, 1u32);
+    let (lo, hi) = plane_rendezvous::core::overlap::lemma10_tau_range(k, a);
+    let tau = 0.5 * (lo + hi);
+    let rep = overlap_lemma10(tau, k, a);
+    assert!(rep.hypothesis_holds);
+    let attrs = RobotAttributes::reference().with_time_unit(tau);
+    let partner = attrs.frame_warp(WaitAndSearch, Vec2::ZERO);
+    let (w0, w1) = (
+        rep.reference_interval.0.max(rep.partner_interval.0),
+        rep.reference_interval.1.min(rep.partner_interval.1),
+    );
+    for f in [0.0, 0.5, 0.999] {
+        let t = w0 + f * (w1 - w0);
+        assert_eq!(partner.position(t), Vec2::ZERO, "partner moved at t={t}");
+    }
+    // And the reference robot is in its *reverse* sweep during the window
+    // end (Figure 3b's geometry).
+    match WaitAndSearch::locate(w1 - 1e-3) {
+        Algorithm7Phase::Reverse { .. } => {}
+        other => panic!("expected reverse sweep at window end, got {other:?}"),
+    }
+}

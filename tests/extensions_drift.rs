@@ -1,0 +1,128 @@
+//! Beyond the paper: time-varying clocks (Section 5's "alternative
+//! capabilities" future work, and the dynamic-compass-style model of the
+//! related work).
+//!
+//! A robot whose clock rate *drifts* within a band `[τ_lo, τ_hi]` is not
+//! covered by the paper's constant-τ analysis. These experiments probe
+//! the natural conjecture: as long as the band stays strictly on one side
+//! of 1 (the clocks are *always* asymmetric), the universal algorithm
+//! still succeeds.
+//!
+//! **Semantics.** The paper's constant `τ` acts twice: it dilates the
+//! robot's schedule (`t ↦ t/τ`) *and* scales its distance unit (`v·τ`).
+//! The drift extension isolates the **temporal** effect — the robot's
+//! spatial frame stays fixed while its pace through the algorithm varies
+//! (instantaneous rate `L'(t)`, i.e. effective `τ(t) = 1/L'(t)`). The
+//! timing side is the one the overlap machinery of Lemmas 9–13 exploits,
+//! so it is the right axis to perturb.
+
+use plane_rendezvous::core::{completion_time, WaitAndSearch};
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::trajectory::ClockDrift;
+
+/// Robot R' with drifting clock, same speed/orientation/chirality.
+fn drifting_partner(
+    intervals: &[(f64, f64)],
+    tail: f64,
+    start: Vec2,
+) -> impl Trajectory + use<'_> {
+    // The drift composes outside the frame warp: local algorithm time is
+    // L(t); the frame itself is otherwise the identity with the given
+    // start offset.
+    let warped = RobotAttributes::reference().frame_warp(WaitAndSearch, start);
+    ClockDrift::from_rates(warped, intervals, tail)
+}
+
+#[test]
+fn drifting_clock_below_one_still_meets() {
+    // Rate wanders in [0.5, 0.8] — always strictly slower than R.
+    let partner = drifting_partner(
+        &[(50.0, 0.6), (100.0, 0.8), (200.0, 0.5), (400.0, 0.7)],
+        0.65,
+        Vec2::new(0.3, 0.8),
+    );
+    let reference = WaitAndSearch;
+    let out = first_contact(
+        &reference,
+        &partner,
+        0.25,
+        &ContactOptions::with_horizon(completion_time(10)).tolerance(2.5e-7),
+    );
+    assert!(out.is_contact(), "drift in [0.5, 0.8] failed: {out}");
+}
+
+#[test]
+fn drifting_clock_above_one_still_meets() {
+    // Rate wanders in [1.3, 1.9] — always strictly faster than R.
+    let partner = drifting_partner(
+        &[(80.0, 1.5), (120.0, 1.3), (300.0, 1.9)],
+        1.6,
+        Vec2::new(0.4, 0.7),
+    );
+    let reference = WaitAndSearch;
+    let out = first_contact(
+        &reference,
+        &partner,
+        0.25,
+        &ContactOptions::with_horizon(completion_time(10)).tolerance(2.5e-7),
+    );
+    assert!(out.is_contact(), "drift in [1.3, 1.9] failed: {out}");
+}
+
+/// The constant-rate case is recovered exactly when the band is a single
+/// point: drift at rate `c` equals a pure time dilation by `1/c` (same
+/// spatial frame).
+#[test]
+fn degenerate_drift_recovers_constant_rate() {
+    use plane_rendezvous::geometry::Mat2;
+    let rate = 0.6; // effective τ = 1/0.6
+    let start = Vec2::new(0.2, 0.85);
+    let plain = FrameWarp::new(WaitAndSearch, Mat2::IDENTITY, start, 1.0 / rate);
+    let drifted = drifting_partner(&[], rate, start);
+    for t in [0.0, 10.0, 123.4, 999.9, 5000.0] {
+        let a = plain.position(t);
+        let b = drifted.position(t);
+        assert!(a.distance(b) < 1e-9, "t={t}: {a} vs {b}");
+    }
+}
+
+/// A drift band that *straddles* 1 can hover arbitrarily close to the
+/// symmetric clock: the paper's overlap argument gives no guarantee
+/// there. We document the conservative observation: with an adversarial
+/// rate schedule that mirrors R's phase structure, the partner stays
+/// synchronized and (being an exact twin otherwise) never meets R.
+#[test]
+fn adversarial_straddling_drift_can_preserve_symmetry() {
+    // Rate exactly 1 forever is the degenerate straddle: an exact twin.
+    let d = Vec2::new(0.0, 2.0);
+    let partner = drifting_partner(&[], 1.0, d);
+    let reference = WaitAndSearch;
+    let out = first_contact(
+        &reference,
+        &partner,
+        0.1,
+        &ContactOptions::with_horizon(2e4),
+    );
+    match out {
+        SimOutcome::Horizon { min_distance, .. } => {
+            assert!((min_distance - 2.0).abs() < 1e-9);
+        }
+        other => panic!("twin with unit drift met: {other}"),
+    }
+}
+
+/// Speed bounds stay sound under drift (the conservative-advancement
+/// engine depends on this).
+#[test]
+fn drift_speed_bound_is_sound_for_algorithm7() {
+    let partner = drifting_partner(&[(10.0, 1.9), (10.0, 0.3)], 1.0, Vec2::ZERO);
+    let bound = partner.speed_bound();
+    assert!((bound - 1.9).abs() < 1e-12);
+    let mut t = 0.0;
+    while t < 60.0 {
+        let step = 0.02;
+        let moved = partner.position(t).distance(partner.position(t + step));
+        assert!(moved <= bound * step + 1e-9, "speed violated at t={t}");
+        t += step;
+    }
+}

@@ -1,0 +1,128 @@
+//! Failure injection: the library must fail *loudly and precisely* on
+//! bad inputs and resource exhaustion, never silently mis-simulate.
+
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::trajectory::FnTrajectory;
+
+#[test]
+fn engine_reports_step_budget_exhaustion() {
+    // A grazing oscillation keeps the gap just above the radius so the
+    // engine takes many small steps; a tiny budget must surface as
+    // StepBudget, not hang or mis-report contact.
+    let a = FnTrajectory::new(|t: f64| Vec2::new(t.sin() * 0.4, 0.0), 0.4);
+    let b = FnTrajectory::new(|_| Vec2::new(1.5, 0.0), 0.0);
+    let mut opts = ContactOptions::with_horizon(1e6);
+    opts.max_steps = 50;
+    match first_contact(&a, &b, 1.0, &opts) {
+        SimOutcome::StepBudget { time, min_distance } => {
+            assert!(time < 1e6);
+            assert!(min_distance >= 0.1 - 1e-9);
+        }
+        other => panic!("expected StepBudget, got {other}"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "non-finite position")]
+fn engine_rejects_nan_positions() {
+    let bad = FnTrajectory::new(
+        |t| {
+            if t > 1.0 {
+                Vec2::new(f64::NAN, 0.0)
+            } else {
+                Vec2::new(t, 0.0)
+            }
+        },
+        1.0,
+    );
+    let target = FnTrajectory::new(|_| Vec2::new(100.0, 0.0), 0.0);
+    let _ = first_contact(&bad, &target, 1.0, &ContactOptions::with_horizon(100.0));
+}
+
+#[test]
+#[should_panic(expected = "horizon must be positive")]
+fn engine_rejects_bad_horizon() {
+    let a = FnTrajectory::new(|_| Vec2::ZERO, 0.0);
+    let _ = first_contact(&a, &a, 1.0, &ContactOptions::with_horizon(f64::INFINITY));
+}
+
+#[test]
+fn engine_makes_progress_at_large_times() {
+    // Near t = 1e9 the conservative step can fall below one ulp of t;
+    // the progress floor must keep the loop advancing to the horizon.
+    let a = FnTrajectory::new(|t| Vec2::new((t * 1e-9).sin(), 0.0), 1e-9);
+    let b = FnTrajectory::new(|_| Vec2::new(10.0, 0.0), 0.0);
+    let opts = ContactOptions::with_horizon(1e9);
+    let out = first_contact(&a, &b, 1.0, &opts);
+    assert!(matches!(out, SimOutcome::Horizon { .. }), "{out}");
+}
+
+#[test]
+#[should_panic(expected = "beyond the supported horizon")]
+fn universal_search_horizon_is_loud() {
+    use plane_rendezvous::trajectory::Trajectory;
+    let s = UniversalSearch;
+    let _ = s.position(f64::MAX);
+}
+
+#[test]
+#[should_panic(expected = "beyond the supported horizon")]
+fn algorithm7_horizon_is_loud() {
+    use plane_rendezvous::trajectory::Trajectory;
+    let _ = WaitAndSearch.position(f64::MAX);
+}
+
+#[test]
+fn instances_reject_all_degenerate_inputs() {
+    // Coincident starts.
+    assert!(RendezvousInstance::new(Vec2::ZERO, 0.1, RobotAttributes::reference()).is_err());
+    // Non-finite offsets.
+    assert!(RendezvousInstance::new(
+        Vec2::new(f64::INFINITY, 0.0),
+        0.1,
+        RobotAttributes::reference()
+    )
+    .is_err());
+    // Bad visibility.
+    for r in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        assert!(
+            RendezvousInstance::new(Vec2::UNIT_X, r, RobotAttributes::reference()).is_err(),
+            "r={r} accepted"
+        );
+    }
+}
+
+#[test]
+fn attribute_constructors_reject_nonsense() {
+    use std::panic::catch_unwind;
+    assert!(catch_unwind(|| RobotAttributes::reference().with_speed(f64::NAN)).is_err());
+    assert!(catch_unwind(|| RobotAttributes::reference().with_speed(-1.0)).is_err());
+    assert!(catch_unwind(|| RobotAttributes::reference().with_time_unit(0.0)).is_err());
+    assert!(
+        catch_unwind(|| RobotAttributes::reference().with_orientation(f64::INFINITY)).is_err()
+    );
+}
+
+#[test]
+fn bound_calculators_reject_out_of_domain_parameters() {
+    use std::panic::catch_unwind;
+    // Theorem 1 needs d²/r ≥ 2.
+    assert!(catch_unwind(|| coverage::theorem1_bound(1.0, 10.0)).is_err());
+    // Lemma 13 needs τ ∈ (0, 1).
+    assert!(catch_unwind(|| lemma13_round_bound(1.0, 3)).is_err());
+    assert!(catch_unwind(|| lemma13_round_bound(0.0, 3)).is_err());
+    // τ decomposition likewise.
+    assert!(catch_unwind(|| tau_decomposition(2.0)).is_err());
+}
+
+#[test]
+fn zero_tolerance_rejected_but_small_tolerance_works() {
+    let a = FnTrajectory::new(|t| Vec2::new(t, 0.0), 1.0);
+    let b = FnTrajectory::new(|_| Vec2::new(5.0, 0.0), 0.0);
+    assert!(std::panic::catch_unwind(|| {
+        first_contact(&a, &b, 1.0, &ContactOptions::default().tolerance(0.0))
+    })
+    .is_err());
+    let out = first_contact(&a, &b, 1.0, &ContactOptions::default().tolerance(1e-15));
+    assert!(out.is_contact());
+}

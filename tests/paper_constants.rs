@@ -1,0 +1,114 @@
+//! Regression locks on the paper's exact constants and closed forms.
+//!
+//! These tests pin the numeric identities of the paper so that any
+//! future refactor that changes a formula — even by an algebraically
+//! plausible-looking simplification — fails loudly with the expected
+//! value printed.
+
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::search::times;
+
+const C: f64 = std::f64::consts::PI + 1.0;
+
+#[test]
+fn lemma2_exact_values() {
+    // SearchCircle(1) = 2(π+1).
+    assert!((times::search_circle_duration(1.0) - 2.0 * C).abs() < 1e-12);
+    // Search(1) = 3(π+1)·2·4 = 24(π+1)... (k+1)·2^{k+1} = 2·4 = 8 ⇒ 24C.
+    assert!((times::round_duration(1) - 24.0 * C).abs() < 1e-12);
+    // Search(2) = 3C·3·8 = 72C.
+    assert!((times::round_duration(2) - 72.0 * C).abs() < 1e-12);
+    // First 3 rounds: 3C·3·2^5 = 288C.
+    assert!((times::rounds_total(3) - 288.0 * C).abs() < 1e-10);
+    // Wait of Search(2): 3C(4 + 1/4) = 12.75C.
+    assert!((times::round_wait(2) - 12.75 * C).abs() < 1e-12);
+}
+
+#[test]
+fn lemma8_exact_values() {
+    // I(1) = 24C[(2−4)·2 + 4] = 0; A(1) = 24C[(3−4)·2 + 4] = 48C.
+    assert_eq!(PhaseSchedule::inactive_start(1), 0.0);
+    assert!((PhaseSchedule::active_start(1) - 48.0 * C).abs() < 1e-12);
+    // I(3) = 24C[(6−4)·8 + 4] = 480C; A(3) = 24C[(9−4)·8 + 4] = 1056C.
+    assert!((PhaseSchedule::inactive_start(3) - 480.0 * C).abs() < 1e-9);
+    assert!((PhaseSchedule::active_start(3) - 1056.0 * C).abs() < 1e-9);
+    // S(3) = 12C·3·8 = 288C.
+    assert!((PhaseSchedule::search_all_duration(3) - 288.0 * C).abs() < 1e-9);
+}
+
+#[test]
+fn dyadic_schedule_exact_values() {
+    // Round 2, sub-round 1: δ = 1/2, outer 1, ρ = 2^{2−6−1} = 1/32,
+    // m = 2^{2·2−1} = 8 ⇒ 9 circles.
+    assert_eq!(times::inner_radius(2, 1), 0.5);
+    assert_eq!(times::outer_radius(2, 1), 1.0);
+    assert_eq!(times::granularity(2, 1), 0.03125);
+    use plane_rendezvous::search::SubRound;
+    assert_eq!(SubRound::new(2, 1).circle_count(), 9);
+}
+
+#[test]
+fn theorem2_bound_exact_value() {
+    // v = 1/2, φ = 0, χ = +1, d = 1, r = 1/100: µ = 1/2,
+    // effective difficulty = 200, bound = 6C·log2(200)·200.
+    let attrs = RobotAttributes::reference().with_speed(0.5);
+    let inst = RendezvousInstance::new(Vec2::new(0.0, 1.0), 0.01, attrs).unwrap();
+    let expected = 6.0 * C * 200f64.log2() * 200.0;
+    let got = theorem2_bound(&inst).time().unwrap();
+    assert!((got - expected).abs() < 1e-9 * expected, "{got} vs {expected}");
+}
+
+#[test]
+fn mu_closed_form_identities() {
+    // µ(v, φ=0) = |1−v|; µ(v, φ=π) = 1+v; µ(1, φ) = 2|sin(φ/2)|.
+    for v in [0.25, 0.5, 1.0, 1.5] {
+        let a0 = RobotAttributes::reference().with_speed(v);
+        assert!((a0.mu() - (1.0 - v).abs()).abs() < 1e-12);
+        let api = a0.with_orientation(std::f64::consts::PI);
+        assert!((api.mu() - (1.0 + v)).abs() < 1e-12);
+    }
+    for phi in [0.5, 1.5, 3.0] {
+        let a = RobotAttributes::reference().with_orientation(phi);
+        let expected = 2.0 * (phi / 2.0).sin().abs();
+        assert!((a.mu() - expected).abs() < 1e-12, "φ={phi}");
+    }
+}
+
+#[test]
+fn lemma13_locked_values() {
+    // Locked outputs for a τ grid (n = 2). Any change to the bound
+    // calculator must be deliberate.
+    let expected: &[(f64, u32)] = &[
+        (0.5, 8),    // a=0, t=1/2: max(8, 2+1)
+        (0.51, 8),   // same regime
+        (0.7, 5),    // t=0.7 > 2/3: max(⌈7/3⌉=3, 2+⌈log(2/0.3)⌉=2+3)
+        (0.9, 9),    // max(9, 2+⌈log 20⌉=7)
+        (0.25, 16),  // a=1: max(16, …)
+        (0.125, 24), // a=2: max(24, …)
+    ];
+    for &(tau, k) in expected {
+        assert_eq!(lemma13_round_bound(tau, 2), k, "τ={tau}");
+    }
+}
+
+#[test]
+fn theorem1_bound_exact_value() {
+    // d = 1, r = 1/64: bound = 6C·6·64.
+    let expected = 6.0 * C * 6.0 * 64.0;
+    let got = coverage::theorem1_bound(1.0, 1.0 / 64.0);
+    assert!((got - expected).abs() < 1e-9 * expected);
+}
+
+#[test]
+fn lemma5_mirrored_entries_exact() {
+    // v = 3/5, φ = π/2, χ = −1: µ = √(9/25 + 1) = √34/5,
+    // T∘' = [µ, −2v/µ; 0, (1−v²)/µ] = [µ, −(6/5)/µ; 0, (16/25)/µ].
+    let attrs = RobotAttributes::new(0.6, 1.0, std::f64::consts::FRAC_PI_2, Chirality::Mirrored);
+    let eq = EquivalentSearch::new(&attrs);
+    let mu = (34f64).sqrt() / 5.0;
+    assert!((eq.mu() - mu).abs() < 1e-12);
+    let r = eq.upper_triangular_closed_form();
+    assert!((r.a - mu).abs() < 1e-12);
+    assert!((r.b + 1.2 / mu).abs() < 1e-12);
+    assert!((r.d - 0.64 / mu).abs() < 1e-12);
+}

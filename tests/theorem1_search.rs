@@ -1,0 +1,122 @@
+//! Integration test for Theorem 1 (experiments E1–E3): the universal
+//! search algorithm finds every target within the paper's time bound,
+//! measured two independent ways (conservative-advancement simulation
+//! and the closed-form analytic oracle).
+
+use plane_rendezvous::prelude::*;
+
+fn instance(x: f64, y: f64, r: f64) -> SearchInstance {
+    SearchInstance::new(Vec2::new(x, y), r).unwrap()
+}
+
+#[test]
+fn search_time_within_theorem1_bound_across_sweep() {
+    // Sweep distances and visibilities; verify measured < bound.
+    let targets = [
+        (0.3, 0.4),
+        (-0.9, 0.2),
+        (0.0, 1.7),
+        (2.1, -1.2),
+        (-3.0, -3.0),
+        (0.05, -0.12),
+    ];
+    for &(x, y) in &targets {
+        for rexp in [-4, -6, -9] {
+            let r = (rexp as f64).exp2();
+            let inst = instance(x, y, r);
+            if inst.difficulty() < 2.0 {
+                continue;
+            }
+            let found = first_discovery(&inst, 31).expect("analytic discovery");
+            let bound = coverage::theorem1_bound(inst.distance(), r);
+            assert!(
+                found.time < bound,
+                "target ({x},{y}), r=2^{rexp}: measured {} ≥ bound {bound}",
+                found.time
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_and_analytic_search_agree() {
+    for &(x, y, r) in &[
+        (0.45_f64, 0.8_f64, 0.02_f64),
+        (-1.2, 0.3, 0.05),
+        (0.9, -0.9, 0.01),
+    ] {
+        let inst = instance(x, y, r);
+        let analytic = first_discovery(&inst, 20).unwrap();
+        let opts = ContactOptions::with_horizon(analytic.time + 50.0).tolerance(r * 1e-9);
+        let sim = simulate_search(UniversalSearch, &inst, &opts)
+            .contact_time()
+            .expect("simulation finds the target");
+        assert!(
+            (sim - analytic.time).abs() <= 1e-3 * (1.0 + analytic.time),
+            "({x},{y},{r}): sim {sim} vs analytic {}",
+            analytic.time
+        );
+    }
+}
+
+#[test]
+fn discovery_round_never_exceeds_lemma1_witness() {
+    for &(x, y, r) in &[
+        (0.7_f64, 0.4_f64, 1e-3_f64),
+        (-0.2, 1.1, 1e-4),
+        (1.9, 0.3, 1e-5),
+    ] {
+        let inst = instance(x, y, r);
+        let witness =
+            coverage::lemma1_witness(inst.distance(), r).expect("witness should exist");
+        let found = first_discovery(&inst, 31).unwrap();
+        assert!(
+            found.round <= witness.round,
+            "({x},{y},{r}): found round {} > witness {}",
+            found.round,
+            witness.round
+        );
+    }
+}
+
+/// Lemma 3 in the paper's regime: discovery on round k certifies
+/// difficulty ≥ 2^{k+1} for off-axis targets found by the circle sweep.
+#[test]
+fn lemma3_difficulty_certificate() {
+    for &(d, rexp) in &[(0.8_f64, -7_i32), (1.3, -9), (0.4, -8), (2.7, -11)] {
+        let r = (rexp as f64).exp2();
+        let inst = instance(0.0, d, r); // on the y-axis: no leg shortcut
+        let found = first_discovery(&inst, 31).unwrap();
+        assert!(
+            inst.difficulty() >= coverage::lemma3_lower_bound(found.round),
+            "d={d}, r=2^{rexp}: round {} but difficulty {}",
+            found.round,
+            inst.difficulty()
+        );
+    }
+}
+
+/// Degenerate inputs are rejected, not mis-simulated.
+#[test]
+fn invalid_instances_are_rejected() {
+    assert!(SearchInstance::new(Vec2::ZERO, 0.1).is_err());
+    assert!(SearchInstance::new(Vec2::UNIT_X, 0.0).is_err());
+    assert!(SearchInstance::new(Vec2::new(f64::NAN, 0.0), 0.1).is_err());
+}
+
+/// The bound is tight-ish: measured time is within the bound but not
+/// absurdly below it (sanity that we measure the same quantity the
+/// theorem bounds — same d²/r scaling).
+#[test]
+fn measured_time_scales_like_difficulty() {
+    let r = 1e-4;
+    let t1 = first_discovery(&instance(0.0, 0.5, r), 31).unwrap().time;
+    let t2 = first_discovery(&instance(0.0, 2.0, r), 31).unwrap().time;
+    // d quadrupled ⇒ difficulty ×16 ⇒ time should grow by roughly 16
+    // (up to the log factor and round quantization).
+    let ratio = t2 / t1;
+    assert!(
+        (4.0..200.0).contains(&ratio),
+        "scaling ratio {ratio} outside plausible range"
+    );
+}

@@ -1,0 +1,131 @@
+//! Integration test for Theorem 2 (experiments E4–E5): rendezvous with
+//! symmetric clocks via Algorithm 4, across speeds, orientations and
+//! chiralities — and the Lemma 4 reduction itself, by comparing a real
+//! two-robot simulation against the equivalent one-robot search.
+
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::sim::Stationary;
+
+fn rendezvous_instance(attrs: RobotAttributes, d: Vec2, r: f64) -> RendezvousInstance {
+    RendezvousInstance::new(d, r, attrs).unwrap()
+}
+
+/// Simulate the equivalent search: virtual robot T∘·S(t) vs a stationary
+/// target at d⃗ (Definition 1 applies a rotation Φ on top, which is
+/// distance-preserving, so we use T∘ directly).
+fn equivalent_search_time(inst: &RendezvousInstance, horizon: f64) -> Option<f64> {
+    let eq = EquivalentSearch::new(inst.attributes());
+    let virtual_robot = FrameWarp::new(UniversalSearch, eq.matrix(), Vec2::ZERO, 1.0);
+    let target = Stationary::new(inst.offset());
+    first_contact(
+        &virtual_robot,
+        &target,
+        inst.visibility(),
+        &ContactOptions::with_horizon(horizon).tolerance(inst.visibility() * 1e-9),
+    )
+    .contact_time()
+}
+
+#[test]
+fn rendezvous_time_equals_equivalent_search_time() {
+    // Lemma 4: |S(t) − S'(t) − d⃗| = |T∘·S(t) − d⃗| for all t, so the two
+    // simulations must report identical first-contact times.
+    let cases = [
+        RobotAttributes::reference().with_speed(0.5),
+        RobotAttributes::reference().with_speed(0.8).with_orientation(1.0),
+        RobotAttributes::reference()
+            .with_orientation(2.5)
+            .with_chirality(Chirality::Mirrored)
+            .with_speed(0.7),
+        RobotAttributes::reference().with_orientation(std::f64::consts::PI),
+    ];
+    for attrs in cases {
+        let inst = rendezvous_instance(attrs, Vec2::new(0.4, 0.7), 0.02);
+        let horizon = 1e6;
+        let opts = ContactOptions::with_horizon(horizon).tolerance(0.02 * 1e-9);
+        let direct = simulate_rendezvous(UniversalSearch, &inst, &opts)
+            .contact_time()
+            .expect("rendezvous");
+        let equivalent = equivalent_search_time(&inst, horizon).expect("equivalent search");
+        assert!(
+            (direct - equivalent).abs() <= 1e-6 * (1.0 + direct),
+            "{attrs:?}: direct {direct} vs equivalent {equivalent}"
+        );
+    }
+}
+
+#[test]
+fn rendezvous_within_theorem2_bound_consistent_chirality() {
+    for v in [0.3, 0.6, 0.9] {
+        for phi in [0.0, 0.8, std::f64::consts::PI, 5.0] {
+            let attrs = RobotAttributes::reference().with_speed(v).with_orientation(phi);
+            let inst = rendezvous_instance(attrs, Vec2::new(0.0, 0.8), 0.03);
+            let bound = theorem2_bound(&inst).time().expect("feasible");
+            let opts = ContactOptions::with_horizon(bound * 1.01).tolerance(0.03 * 1e-9);
+            let t = simulate_rendezvous(UniversalSearch, &inst, &opts)
+                .contact_time()
+                .unwrap_or_else(|| panic!("v={v} φ={phi}: no rendezvous within bound"));
+            assert!(t < bound, "v={v} φ={phi}: {t} ≥ {bound}");
+        }
+    }
+}
+
+#[test]
+fn rendezvous_within_theorem2_bound_mirrored_chirality() {
+    for v in [0.4, 0.75] {
+        for phi in [0.0, 1.2, 2.9, 4.4] {
+            let attrs = RobotAttributes::reference()
+                .with_speed(v)
+                .with_orientation(phi)
+                .with_chirality(Chirality::Mirrored);
+            let inst = rendezvous_instance(attrs, Vec2::new(0.5, 0.5), 0.03);
+            let bound = theorem2_bound(&inst).time().expect("feasible since v < 1");
+            let opts = ContactOptions::with_horizon(bound * 1.01).tolerance(0.03 * 1e-9);
+            let t = simulate_rendezvous(UniversalSearch, &inst, &opts)
+                .contact_time()
+                .unwrap_or_else(|| panic!("v={v} φ={phi} mirrored: no rendezvous"));
+            assert!(t < bound, "v={v} φ={phi} mirrored: {t} ≥ {bound}");
+        }
+    }
+}
+
+/// Orientation alone (v = 1, τ = 1, χ = +1, φ ≠ 0) breaks symmetry —
+/// the subtlest feasible case of Theorem 4.
+#[test]
+fn orientation_only_rendezvous() {
+    for phi in [0.3, 1.6, 3.0, 6.0] {
+        let attrs = RobotAttributes::reference().with_orientation(phi);
+        let inst = rendezvous_instance(attrs, Vec2::new(0.7, -0.2), 0.05);
+        let bound = theorem2_bound(&inst).time().expect("feasible");
+        let opts = ContactOptions::with_horizon(bound * 1.01).tolerance(0.05 * 1e-9);
+        let t = simulate_rendezvous(UniversalSearch, &inst, &opts)
+            .contact_time()
+            .unwrap_or_else(|| panic!("φ={phi}: no rendezvous"));
+        assert!(t < bound, "φ={phi}: {t} ≥ {bound}");
+    }
+}
+
+/// The µ-scaling of Lemma 6 is visible in measurements: with χ = +1 the
+/// equivalent search is exactly a µ-times-faster search of the same
+/// instance, so rendezvous time decreases as µ grows.
+#[test]
+fn larger_mu_means_faster_rendezvous() {
+    let d = Vec2::new(0.0, 0.9);
+    let r = 0.02;
+    let mut prev_time = f64::INFINITY;
+    // φ = π maximizes µ = 1 + v at fixed v... vary v downward: µ = 1 + v.
+    // Instead fix v and increase φ toward π: µ = √(2 − 2cosφ) grows.
+    for phi in [0.4, 1.2, std::f64::consts::PI] {
+        let attrs = RobotAttributes::reference().with_orientation(phi);
+        let inst = rendezvous_instance(attrs, d, r);
+        let opts = ContactOptions::with_horizon(1e7).tolerance(r * 1e-9);
+        let t = simulate_rendezvous(UniversalSearch, &inst, &opts)
+            .contact_time()
+            .unwrap();
+        assert!(
+            t <= prev_time * 1.5,
+            "φ={phi}: time {t} did not trend down from {prev_time}"
+        );
+        prev_time = t;
+    }
+}

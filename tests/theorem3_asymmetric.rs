@@ -1,0 +1,109 @@
+//! Integration test for Theorem 3 / Lemmas 9–13 (experiment E9):
+//! Algorithm 7 solves rendezvous with asymmetric clocks, within the
+//! round bound `k*` of Lemma 13 — measured by full two-robot simulation
+//! and by the independent analytic overlap calculator.
+
+use plane_rendezvous::core::{completion_time, first_sufficient_overlap_round};
+use plane_rendezvous::prelude::*;
+
+fn instance(tau: f64, d: Vec2, r: f64) -> RendezvousInstance {
+    let attrs = RobotAttributes::reference().with_time_unit(tau);
+    RendezvousInstance::new(d, r, attrs).unwrap()
+}
+
+/// Stationary-find round for the instance (the paper's `n`).
+fn stationary_round(inst: &RendezvousInstance) -> u32 {
+    coverage::guaranteed_discovery_round(inst.distance(), inst.visibility())
+        .expect("within supported rounds")
+}
+
+#[test]
+fn asymmetric_clocks_rendezvous_within_lemma13_round() {
+    // τ values with small k* so the full simulation stays cheap.
+    for tau in [0.51, 0.6, 0.9] {
+        let inst = instance(tau, Vec2::new(0.3, 0.8), 0.25);
+        let n = stationary_round(&inst);
+        let k_star = lemma13_round_bound(tau, n);
+        let horizon = completion_time(k_star);
+        let opts = ContactOptions::with_horizon(horizon).tolerance(inst.visibility() * 1e-6);
+        let out = simulate_rendezvous(WaitAndSearch, &inst, &opts);
+        let t = out
+            .contact_time()
+            .unwrap_or_else(|| panic!("τ={tau}: no rendezvous by round k*={k_star}: {out}"));
+        assert!(
+            t <= horizon,
+            "τ={tau}: rendezvous at {t} after completing round {k_star}"
+        );
+    }
+}
+
+#[test]
+fn analytic_overlap_round_bounds_hold_for_wide_tau_grid() {
+    // Where simulation is too expensive (large a ⇒ k* ≥ 16), the analytic
+    // overlap calculator still verifies Lemma 13: some round ≤ k* has an
+    // inactive-phase overlap long enough for the full stationary find.
+    for tau in [0.95, 0.85, 0.75, 0.66, 0.52, 0.4, 0.3, 0.25, 0.2, 0.11] {
+        for n in 1..=3u32 {
+            let k_star = lemma13_round_bound(tau, n);
+            if k_star >= 30 {
+                continue; // beyond the supported schedule horizon
+            }
+            let measured = first_sufficient_overlap_round(tau, n)
+                .unwrap_or_else(|| panic!("τ={tau}, n={n}: no sufficient overlap found"));
+            assert!(
+                measured <= k_star,
+                "τ={tau}, n={n}: analytic round {measured} > k* {k_star}"
+            );
+        }
+    }
+}
+
+#[test]
+fn slower_partner_clock_also_works() {
+    // τ > 1 (R' slower): the model is symmetric under swapping robots, so
+    // rendezvous still happens; the bound is the swapped instance's bound
+    // stretched by τ.
+    let tau = 2.0;
+    let inst = instance(tau, Vec2::new(0.0, 0.9), 0.25);
+    let swapped_k_star = lemma13_round_bound(1.0 / tau, 2);
+    let horizon = tau * completion_time(swapped_k_star);
+    let opts = ContactOptions::with_horizon(horizon).tolerance(inst.visibility() * 1e-6);
+    let out = simulate_rendezvous(WaitAndSearch, &inst, &opts);
+    assert!(out.is_contact(), "τ=2: {out}");
+}
+
+#[test]
+fn clock_difference_rescues_mirror_twins_in_simulation() {
+    // v = 1, χ = −1 is infeasible alone; τ ≠ 1 makes it feasible even
+    // with the adversarial placement along the invariant direction.
+    let phi = 1.2;
+    let attrs = RobotAttributes::reference()
+        .with_chirality(Chirality::Mirrored)
+        .with_orientation(phi)
+        .with_time_unit(0.6);
+    let dir = Vec2::from_polar(1.0, phi / 2.0);
+    let inst = RendezvousInstance::new(dir * 0.9, 0.25, attrs).unwrap();
+    let n = stationary_round(&inst);
+    let k_star = lemma13_round_bound(0.6, n);
+    let opts =
+        ContactOptions::with_horizon(completion_time(k_star)).tolerance(inst.visibility() * 1e-6);
+    let out = simulate_rendezvous(WaitAndSearch, &inst, &opts);
+    assert!(out.is_contact(), "mirrored + clock: {out}");
+}
+
+#[test]
+fn universal_algorithm_needs_no_knowledge() {
+    // The same ZST value solves instances whose *only* differing
+    // attribute varies across all three breaker kinds.
+    let cases = [
+        RobotAttributes::reference().with_time_unit(0.6),
+        RobotAttributes::reference().with_speed(0.5),
+        RobotAttributes::reference().with_orientation(2.0),
+    ];
+    for attrs in cases {
+        let inst = RendezvousInstance::new(Vec2::new(0.5, 0.5), 0.25, attrs).unwrap();
+        let opts = ContactOptions::with_horizon(completion_time(9)).tolerance(2.5e-7);
+        let out = simulate_rendezvous(WaitAndSearch, &inst, &opts);
+        assert!(out.is_contact(), "{attrs:?}: {out}");
+    }
+}
