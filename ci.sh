@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# CI gate for the plane-rendezvous workspace.
+#
+#   ./ci.sh
+#
+# Runs the full verification stack. Everything works offline: the
+# workspace has no external dependencies (see ARCHITECTURE.md,
+# "Offline-build constraints").
+
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

@@ -17,6 +17,8 @@
 //!   `Θ(2^{3k})`, demonstrating why the paper's schedule is shaped the
 //!   way it is (experiment E12).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod schedules;
 pub mod spiral;
 

@@ -90,7 +90,10 @@ impl SearchScheduleModel for UniformGranularity {
     }
 
     fn round_time(&self, k: u32) -> f64 {
-        assert!((1..=times::MAX_ROUND).contains(&k), "round {k} out of range");
+        assert!(
+            (1..=times::MAX_ROUND).contains(&k),
+            "round {k} out of range"
+        );
         // Σᵢ 2(π+1)·δᵢ over circles δᵢ = 2^{−k} + 2i·2^{−k}: arithmetic
         // series with n = circle_count terms, first 2^{−k}, last 2^k.
         let n = Self::circle_count(k) as f64;

@@ -178,18 +178,27 @@ mod tests {
         use rvz_sim::{first_contact, ContactOptions, Stationary};
         let r = 0.05;
         let s = ArchimedeanSpiral::for_visibility(r);
-        for target in [Vec2::new(0.7, 0.2), Vec2::new(-0.4, -0.9), Vec2::new(0.0, 1.3)] {
+        for target in [
+            Vec2::new(0.7, 0.2),
+            Vec2::new(-0.4, -0.9),
+            Vec2::new(0.0, 1.3),
+        ] {
             let out = first_contact(
                 &s,
                 &Stationary::new(target),
                 r,
                 &ContactOptions::with_horizon(1e5),
             );
-            let t = out.contact_time().unwrap_or_else(|| panic!("missed {target}"));
+            let t = out
+                .contact_time()
+                .unwrap_or_else(|| panic!("missed {target}"));
             // Found no later than the arc length out to radius d + r, and
             // not absurdly early.
             let est = s.search_time_estimate(target.norm() + r);
-            assert!(t <= est * 1.05 + 1.0, "target {target}: {t} vs estimate {est}");
+            assert!(
+                t <= est * 1.05 + 1.0,
+                "target {target}: {t} vs estimate {est}"
+            );
         }
     }
 

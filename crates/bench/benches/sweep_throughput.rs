@@ -1,0 +1,76 @@
+//! Sweep throughput: instances/second of the parallel batch executor.
+//!
+//! ```text
+//! cargo bench -p rvz-bench --bench sweep_throughput
+//! ```
+//!
+//! Runs a fixed feasible-heavy attribute grid through
+//! `rvz_experiments::run_sweep` at increasing thread counts and reports
+//! wall-clock throughput plus the parallel speedup over one thread. The
+//! harness is hand-rolled (`harness = false`, no Criterion dependency):
+//! each configuration is run once warm after a discarded warm-up pass,
+//! which is plenty to read scaling off a workload of thousands of
+//! simulations.
+
+use rvz_bench::Table;
+use rvz_experiments::{run_sweep, ScenarioGrid, Summary, SweepOptions};
+use rvz_model::Chirality;
+use std::time::Instant;
+
+fn grid() -> ScenarioGrid {
+    // 5·4·4·2·4 = 640 scenarios, mostly feasible so the benchmark
+    // measures simulation work rather than step-budget exhaustion.
+    ScenarioGrid::new()
+        .speeds(&[0.4, 0.6, 0.8, 1.2, 1.5])
+        .clocks(&[0.5, 0.8, 1.25, 2.0])
+        .orientations(&[0.0, 0.9, 1.8, 2.7])
+        .chiralities(&[Chirality::Consistent, Chirality::Mirrored])
+        .distances(&[0.5, 0.8, 1.1, 1.4])
+        .visibilities(&[0.1])
+}
+
+fn main() {
+    let scenarios = grid().build();
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "sweep_throughput: {} scenarios, {} CPUs available\n",
+        scenarios.len(),
+        available
+    );
+
+    // Warm-up (also sanity-checks the workload).
+    let warm = run_sweep(
+        &scenarios,
+        &SweepOptions {
+            threads: available,
+            ..Default::default()
+        },
+    );
+    let summary = Summary::from_records(&warm);
+    println!("{}", summary.render());
+
+    let mut table = Table::new(&["threads", "wall [s]", "instances/s", "speedup"]);
+    let mut base = None;
+    let mut threads = 1;
+    while threads <= available {
+        let start = Instant::now();
+        let records = run_sweep(
+            &scenarios,
+            &SweepOptions {
+                threads,
+                ..Default::default()
+            },
+        );
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(records.len(), scenarios.len());
+        let base_wall = *base.get_or_insert(wall);
+        table.row_owned(vec![
+            threads.to_string(),
+            format!("{wall:.3}"),
+            format!("{:.0}", scenarios.len() as f64 / wall),
+            format!("{:.2}x", base_wall / wall),
+        ]);
+        threads *= 2;
+    }
+    println!("{}", table.render());
+}

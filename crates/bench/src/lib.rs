@@ -7,6 +7,8 @@
 //! paper-reproduction table (so `cargo bench` output *is* the artifact),
 //! then runs Criterion measurements of the underlying computation.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 /// Minimal fixed-width table printer for bench output.
 ///
 /// # Example
@@ -47,7 +49,8 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of already-owned cells.

@@ -154,9 +154,11 @@ impl WaitAndSearch {
                 Vec2::ZERO,
                 2.0 * PhaseSchedule::search_all_duration(n),
             ));
-            let forward = (1..=n).flat_map(|k| RoundSchedule::new(k).segments().collect::<Vec<_>>());
-            let reverse =
-                (1..=n).rev().flat_map(|k| RoundSchedule::new(k).segments().collect::<Vec<_>>());
+            let forward =
+                (1..=n).flat_map(|k| RoundSchedule::new(k).segments().collect::<Vec<_>>());
+            let reverse = (1..=n)
+                .rev()
+                .flat_map(|k| RoundSchedule::new(k).segments().collect::<Vec<_>>());
             wait.chain(forward).chain(reverse)
         })
     }

@@ -68,7 +68,10 @@ pub fn stationary_contact_time(
     r: f64,
     max_round: u32,
 ) -> Option<StationaryContact> {
-    assert!(tau > 0.0 && tau < 1.0, "oracle requires τ ∈ (0,1), got {tau}");
+    assert!(
+        tau > 0.0 && tau < 1.0,
+        "oracle requires τ ∈ (0,1), got {tau}"
+    );
     assert!(r > 0.0 && r.is_finite(), "visibility must be positive");
     assert!(
         offset.is_finite() && offset != Vec2::ZERO,
@@ -97,9 +100,11 @@ pub fn stationary_contact_time(
         // Blocks in execution order: Search(1..n) then Search(n..1).
         let blocks = (1..=n)
             .map(|k| (k, a_n + times::rounds_total(k - 1)))
-            .chain((1..=n).rev().map(|k| {
-                (k, a_n + s_n + (s_n - times::rounds_total(k)))
-            }));
+            .chain(
+                (1..=n)
+                    .rev()
+                    .map(|k| (k, a_n + s_n + (s_n - times::rounds_total(k)))),
+            );
         for (block_idx, (k, block_start)) in blocks.enumerate() {
             if let Some(contact) = scan_block(tau, offset, r, k, block_start) {
                 return Some(StationaryContact {
@@ -116,13 +121,7 @@ pub fn stationary_contact_time(
 
 /// Scans one `Search(k)` block starting at `block_start` for the first
 /// contact window intersecting a partner-inactive interval.
-fn scan_block(
-    tau: f64,
-    offset: Vec2,
-    r: f64,
-    k: u32,
-    block_start: f64,
-) -> Option<(f64, u32)> {
+fn scan_block(tau: f64, offset: Vec2, r: f64, k: u32, block_start: f64) -> Option<(f64, u32)> {
     let block_end = block_start + times::round_duration(k);
 
     // Collect partner-inactive intervals overlapping the block.
@@ -212,7 +211,11 @@ mod tests {
             )
             .contact_time()
             .expect("simulation finds a contact no later than the oracle");
-            assert!(sim <= c.time + 1e-6, "τ={tau}: sim {sim} later than oracle {}", c.time);
+            assert!(
+                sim <= c.time + 1e-6,
+                "τ={tau}: sim {sim} later than oracle {}",
+                c.time
+            );
 
             let n = rvz_search::coverage::guaranteed_discovery_round(offset.norm(), r).unwrap();
             let k_star = lemma13_round_bound(tau, n);

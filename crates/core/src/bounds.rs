@@ -175,7 +175,10 @@ mod tests {
     fn infeasible_cases_have_no_bound() {
         // Identical twins.
         let twins = RobotAttributes::reference();
-        assert_eq!(theorem2_bound(&inst(twins, 1.0, 0.01)), Theorem2Bound::Infeasible);
+        assert_eq!(
+            theorem2_bound(&inst(twins, 1.0, 0.01)),
+            Theorem2Bound::Infeasible
+        );
         // Mirror twins, any φ.
         for phi in [0.0, 1.0, PI] {
             let mirror = RobotAttributes::reference()
@@ -191,13 +194,20 @@ mod tests {
     #[test]
     fn bound_grows_as_symmetry_weakens() {
         // As v → 1 with φ = 0, µ → 0 and the bound explodes.
-        let b_half = theorem2_bound(&inst(RobotAttributes::reference().with_speed(0.5), 1.0, 1e-3))
-            .time()
-            .unwrap();
-        let b_near =
-            theorem2_bound(&inst(RobotAttributes::reference().with_speed(0.99), 1.0, 1e-3))
-                .time()
-                .unwrap();
+        let b_half = theorem2_bound(&inst(
+            RobotAttributes::reference().with_speed(0.5),
+            1.0,
+            1e-3,
+        ))
+        .time()
+        .unwrap();
+        let b_near = theorem2_bound(&inst(
+            RobotAttributes::reference().with_speed(0.99),
+            1.0,
+            1e-3,
+        ))
+        .time()
+        .unwrap();
         assert!(b_near > 10.0 * b_half);
     }
 

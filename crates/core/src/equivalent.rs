@@ -204,7 +204,10 @@ mod tests {
             let eq = EquivalentSearch::new(&attrs(v, phi, Chirality::Consistent));
             let r = eq.qr().r;
             let mu = eq.mu();
-            assert!((r - Mat2::scaling(mu)).frobenius_norm() < 1e-12, "v={v} φ={phi}");
+            assert!(
+                (r - Mat2::scaling(mu)).frobenius_norm() < 1e-12,
+                "v={v} φ={phi}"
+            );
             // Closed form agrees.
             let cf = eq.upper_triangular_closed_form();
             assert!((cf - Mat2::scaling(mu)).frobenius_norm() < 1e-12);

@@ -37,6 +37,8 @@
 //! assert_eq!(algo.position(1.0), rvz_geometry::Vec2::ZERO);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod algorithm7;
 pub mod analytic;
 pub mod bounds;

@@ -66,12 +66,12 @@ pub fn lemma9_tau_range(k: u32, a: u32) -> (f64, f64) {
 ///
 /// Panics when `τ ∉ (0, 1)` or `k + 1 + a > MAX_PHASE_ROUND`.
 pub fn overlap_lemma9(tau: f64, k: u32, a: u32) -> OverlapReport {
-    assert!(tau > 0.0 && tau < 1.0, "Lemma 9 requires τ ∈ (0,1), got {tau}");
-    let m = k + 1 + a;
     assert!(
-        m <= MAX_PHASE_ROUND,
-        "k+1+a = {m} exceeds supported rounds"
+        tau > 0.0 && tau < 1.0,
+        "Lemma 9 requires τ ∈ (0,1), got {tau}"
     );
+    let m = k + 1 + a;
+    assert!(m <= MAX_PHASE_ROUND, "k+1+a = {m} exceeds supported rounds");
     let reference = PhaseSchedule::active_interval(k);
     let partner = scale(PhaseSchedule::inactive_interval(m), tau);
     let (lo, hi) = lemma9_tau_range(k, a);
@@ -105,8 +105,14 @@ pub fn lemma10_tau_range(k: u32, a: u32) -> (f64, f64) {
 ///
 /// Panics when `τ ∉ (0, 1)`, `k < 2`, or `k + a > MAX_PHASE_ROUND`.
 pub fn overlap_lemma10(tau: f64, k: u32, a: u32) -> OverlapReport {
-    assert!(tau > 0.0 && tau < 1.0, "Lemma 10 requires τ ∈ (0,1), got {tau}");
-    assert!(k >= 2, "Lemma 10 concerns the (k−1)-st active phase; k must be ≥ 2");
+    assert!(
+        tau > 0.0 && tau < 1.0,
+        "Lemma 10 requires τ ∈ (0,1), got {tau}"
+    );
+    assert!(
+        k >= 2,
+        "Lemma 10 concerns the (k−1)-st active phase; k must be ≥ 2"
+    );
     let m = k + a;
     assert!(m <= MAX_PHASE_ROUND, "k+a = {m} exceeds supported rounds");
     let reference = PhaseSchedule::active_interval(k - 1);

@@ -1,0 +1,304 @@
+//! The parallel batch executor: fan a scenario batch out across threads.
+//!
+//! Each scenario is an independent pure computation (build the instance,
+//! run the conservative-advancement engine), so the executor is a plain
+//! work-stealing loop over a shared atomic cursor: every worker pops the
+//! next unclaimed scenario index, simulates it, and keeps the result in a
+//! thread-local buffer tagged with the scenario id. After the scoped
+//! threads join, the buffers are merged back into id order.
+//!
+//! Two properties follow by construction:
+//!
+//! * **Schedule independence** — a record depends only on its scenario,
+//!   never on which worker ran it or in what order, so the merged output
+//!   is *identical* for every thread count (this is tested, and it is
+//!   what makes sweep artifacts diffable across machines);
+//! * **Allocation-free hot path** — workers pre-build one algorithm value
+//!   and reuse it by reference via [`rvz_sim::batch`]; the engine itself
+//!   holds no buffers, so the per-instance cost is pure arithmetic.
+
+use crate::scenario::{Algorithm, Scenario};
+use rvz_core::WaitAndSearch;
+use rvz_model::{feasibility, Feasibility};
+use rvz_search::UniversalSearch;
+use rvz_sim::batch::simulate_rendezvous_by_ref;
+use rvz_sim::{ContactOptions, SimOutcome};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tuning for [`run_sweep`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Engine options applied to every scenario.
+    ///
+    /// The default horizon is `PhaseSchedule::round_end(9)` — enough for
+    /// every feasible scenario of moderate difficulty to meet — and the
+    /// default step budget is 300 000, which bounds the time spent
+    /// *disproving* contact for infeasible (twin) scenarios.
+    pub contact: ContactOptions,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 0,
+            contact: ContactOptions {
+                tolerance: 1e-9,
+                horizon: rvz_core::completion_time(9),
+                max_steps: 300_000,
+            },
+        }
+    }
+}
+
+impl SweepOptions {
+    /// The effective worker count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// One sweep result: the scenario, its Theorem 4 verdict, and the
+/// simulated outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRecord {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// The Theorem 4 verdict for the scenario's attributes.
+    pub feasibility: Feasibility,
+    /// What the simulator observed.
+    pub outcome: SimOutcome,
+}
+
+impl SweepRecord {
+    /// `true` when prediction and observation agree: feasible scenarios
+    /// make contact, infeasible ones do not.
+    ///
+    /// An exhausted step budget is counted as agreement for infeasible
+    /// scenarios (the engine cannot *prove* non-contact in finite time)
+    /// but as disagreement for feasible ones.
+    pub fn consistent(&self) -> bool {
+        match self.feasibility {
+            Feasibility::Feasible(_) => self.outcome.is_contact(),
+            Feasibility::Infeasible(_) => !self.outcome.is_contact(),
+        }
+    }
+
+    /// The strict form of [`SweepRecord::consistent`] for adversarially
+    /// placed infeasible scenarios: twins placed along the invariant
+    /// direction must keep their distance at `≥ d` for the *whole* run,
+    /// not merely avoid contact.
+    ///
+    /// Use this when the infeasible scenarios' bearings were chosen from
+    /// [`rvz_model::InfeasibleReason::invariant_direction`] (as `rvz map`
+    /// and the feasibility-map example do); under an arbitrary placement
+    /// the distance of an infeasible pair may legitimately shrink.
+    pub fn strictly_consistent(&self) -> bool {
+        match self.feasibility {
+            Feasibility::Feasible(_) => self.outcome.is_contact(),
+            Feasibility::Infeasible(_) => {
+                let d = self.scenario.distance;
+                match self.outcome {
+                    SimOutcome::Contact { .. } => false,
+                    SimOutcome::Horizon { min_distance, .. }
+                    | SimOutcome::StepBudget { min_distance, .. } => {
+                        min_distance >= d - 1e-9 * d.max(1.0)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs one scenario with a caller-provided algorithm value, reused by
+/// reference.
+fn run_one(scenario: &Scenario, opts: &ContactOptions) -> SweepRecord {
+    let instance = scenario
+        .instance()
+        .expect("generators only produce valid scenarios");
+    let outcome = match scenario.algorithm {
+        Algorithm::WaitAndSearch => simulate_rendezvous_by_ref(&WaitAndSearch, &instance, opts),
+        Algorithm::UniversalSearch => simulate_rendezvous_by_ref(&UniversalSearch, &instance, opts),
+    };
+    SweepRecord {
+        scenario: *scenario,
+        feasibility: feasibility(instance.attributes()),
+        outcome,
+    }
+}
+
+/// Runs every scenario and returns the records in scenario order.
+///
+/// Work is distributed dynamically (scenarios vary in cost by orders of
+/// magnitude — a feasible near pair meets in a handful of advancement
+/// steps, an infeasible twin burns its whole step budget), but the output
+/// is independent of the schedule: records are merged back by scenario
+/// index.
+///
+/// # Example
+///
+/// ```
+/// use rvz_experiments::{run_sweep, ScenarioGrid, SweepOptions};
+///
+/// let scenarios = ScenarioGrid::new().speeds(&[0.5, 1.0]).build();
+/// let records = run_sweep(&scenarios, &SweepOptions::default());
+/// assert_eq!(records.len(), 2);
+/// assert!(records.iter().all(|r| r.consistent()));
+/// ```
+///
+/// # Panics
+///
+/// Panics when a worker thread panics (a scenario produced a non-finite
+/// position, which the trajectory invariants exclude).
+pub fn run_sweep(scenarios: &[Scenario], opts: &SweepOptions) -> Vec<SweepRecord> {
+    let threads = opts.effective_threads().min(scenarios.len()).max(1);
+    if threads == 1 {
+        return scenarios
+            .iter()
+            .map(|s| run_one(s, &opts.contact))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut buffers: Vec<Vec<(usize, SweepRecord)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let contact = &opts.contact;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(scenarios.len() / threads + 1);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(scenario) = scenarios.get(i) else {
+                            return local;
+                        };
+                        local.push((i, run_one(scenario, contact)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            buffers.push(h.join().expect("sweep worker panicked"));
+        }
+    });
+
+    let mut out: Vec<Option<SweepRecord>> = vec![None; scenarios.len()];
+    for (i, record) in buffers.into_iter().flatten() {
+        out[i] = Some(record);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every scenario index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioGrid;
+    use rvz_model::Chirality;
+
+    fn small_grid() -> Vec<Scenario> {
+        ScenarioGrid::new()
+            .speeds(&[0.5, 1.0])
+            .clocks(&[0.6, 1.0])
+            .orientations(&[0.0, 1.3])
+            .chiralities(&[Chirality::Consistent, Chirality::Mirrored])
+            .distances(&[0.9])
+            .visibilities(&[0.25])
+            .build()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_exactly() {
+        let scenarios = small_grid();
+        let seq = run_sweep(
+            &scenarios,
+            &SweepOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = run_sweep(
+            &scenarios,
+            &SweepOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn records_come_back_in_scenario_order() {
+        let scenarios = small_grid();
+        let records = run_sweep(&scenarios, &SweepOptions::default());
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.scenario.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn predictions_match_observations_on_the_theorem4_grid() {
+        let records = run_sweep(&small_grid(), &SweepOptions::default());
+        for r in &records {
+            assert!(
+                r.consistent(),
+                "mismatch: {:?} gave {}",
+                r.scenario,
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn strict_consistency_holds_under_adversarial_placement() {
+        // Mirror twins placed along the invariant direction (φ/2 for
+        // φ = 0 twins is bearing 0 — UNIT_X, which `invariant_direction`
+        // returns for identical twins).
+        let scenarios = ScenarioGrid::new()
+            .speeds(&[1.0])
+            .clocks(&[1.0])
+            .orientations(&[0.0])
+            .chiralities(&[Chirality::Consistent, Chirality::Mirrored])
+            .bearings(&[0.0])
+            .distances(&[0.9])
+            .visibilities(&[0.25])
+            .build();
+        for rec in run_sweep(&scenarios, &SweepOptions::default()) {
+            assert!(
+                rec.strictly_consistent(),
+                "adversarial twin moved closer: {:?} -> {}",
+                rec.scenario,
+                rec.outcome
+            );
+        }
+        // A feasible contact is strictly consistent too.
+        let feasible = ScenarioGrid::new()
+            .speeds(&[0.5])
+            .distances(&[0.9])
+            .visibilities(&[0.25])
+            .build();
+        for rec in run_sweep(&feasible, &SweepOptions::default()) {
+            assert!(rec.strictly_consistent() && rec.consistent());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_scenarios_is_fine() {
+        let scenarios = ScenarioGrid::new().speeds(&[0.5]).build();
+        let records = run_sweep(
+            &scenarios,
+            &SweepOptions {
+                threads: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(records.len(), 1);
+    }
+}

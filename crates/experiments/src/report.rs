@@ -1,0 +1,303 @@
+//! Structured sweep output: JSON-lines, CSV, and aggregate summaries.
+//!
+//! Sweep artifacts are meant to be diffed, archived and post-processed,
+//! so the writers here are fully deterministic: field order is fixed,
+//! floats are rendered with Rust's shortest-round-trip formatting (the
+//! same bits always produce the same text), and no timestamps or
+//! wall-clock measurements appear in the records. Two byte-identical
+//! sweep files therefore certify two identical result sets — the
+//! 1-thread-vs-N-thread determinism test relies on exactly this.
+
+use crate::executor::SweepRecord;
+use rvz_model::Feasibility;
+use rvz_sim::SimOutcome;
+use std::io::{self, Write};
+
+/// The flat field view of a record shared by both writers.
+struct Row<'a> {
+    record: &'a SweepRecord,
+}
+
+impl Row<'_> {
+    fn outcome_kind(&self) -> &'static str {
+        match self.record.outcome {
+            SimOutcome::Contact { .. } => "contact",
+            SimOutcome::Horizon { .. } => "horizon",
+            SimOutcome::StepBudget { .. } => "step_budget",
+        }
+    }
+
+    /// `(time, distance, steps)` normalized across outcome variants:
+    /// contact time / contact distance / steps for a contact, the
+    /// min-distance observation otherwise.
+    fn observables(&self) -> (f64, f64, u64) {
+        match self.record.outcome {
+            SimOutcome::Contact {
+                time,
+                distance,
+                steps,
+            } => (time, distance, steps),
+            SimOutcome::Horizon {
+                min_distance,
+                min_distance_time,
+                steps,
+            } => (min_distance_time, min_distance, steps),
+            SimOutcome::StepBudget {
+                time,
+                min_distance,
+                steps,
+            } => (time, min_distance, steps),
+        }
+    }
+
+    fn breaker(&self) -> &'static str {
+        match self.record.feasibility {
+            Feasibility::Feasible(b) => match b {
+                rvz_model::SymmetryBreaker::AsymmetricClocks => "clocks",
+                rvz_model::SymmetryBreaker::DifferentSpeeds => "speeds",
+                rvz_model::SymmetryBreaker::OrientationOffset => "orientation",
+            },
+            Feasibility::Infeasible(_) => "none",
+        }
+    }
+}
+
+/// The CSV header row matching [`write_csv`].
+pub const CSV_HEADER: &str = "id,algorithm,speed,time_unit,orientation,chirality,distance,bearing,visibility,feasible,breaker,outcome,time,observed_distance,steps";
+
+/// Writes one record per line as CSV (no quoting needed: every field is
+/// numeric or a fixed token).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(w: &mut W, records: &[SweepRecord]) -> io::Result<()> {
+    writeln!(w, "{CSV_HEADER}")?;
+    for record in records {
+        let row = Row { record };
+        let s = &record.scenario;
+        let (time, distance, steps) = row.observables();
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            s.id,
+            s.algorithm,
+            s.speed,
+            s.time_unit,
+            s.orientation,
+            s.chirality,
+            s.distance,
+            s.bearing,
+            s.visibility,
+            record.feasibility.is_feasible(),
+            row.breaker(),
+            row.outcome_kind(),
+            time,
+            distance,
+            steps,
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes one record per line as a JSON object (JSON-lines).
+///
+/// Every value is a number, boolean or fixed token, so the hand-rolled
+/// serializer below emits valid JSON without an external crate. Floats
+/// use shortest-round-trip formatting; integral values therefore render
+/// without a decimal point (`1` rather than `1.0`), which is still a
+/// valid JSON number.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_jsonl<W: Write>(w: &mut W, records: &[SweepRecord]) -> io::Result<()> {
+    for record in records {
+        let row = Row { record };
+        let s = &record.scenario;
+        let (time, distance, steps) = row.observables();
+        writeln!(
+            w,
+            concat!(
+                "{{\"id\":{},\"algorithm\":\"{}\",\"speed\":{},\"time_unit\":{},",
+                "\"orientation\":{},\"chirality\":\"{}\",\"distance\":{},\"bearing\":{},",
+                "\"visibility\":{},\"feasible\":{},\"breaker\":\"{}\",\"outcome\":\"{}\",",
+                "\"time\":{},\"observed_distance\":{},\"steps\":{}}}"
+            ),
+            s.id,
+            s.algorithm,
+            s.speed,
+            s.time_unit,
+            s.orientation,
+            s.chirality,
+            s.distance,
+            s.bearing,
+            s.visibility,
+            record.feasibility.is_feasible(),
+            row.breaker(),
+            row.outcome_kind(),
+            time,
+            distance,
+            steps,
+        )?;
+    }
+    Ok(())
+}
+
+/// Aggregate statistics over a sweep, comparable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Total records.
+    pub total: usize,
+    /// Records whose simulation made contact.
+    pub contacts: usize,
+    /// Records that reached the horizon without contact.
+    pub horizons: usize,
+    /// Records that exhausted the step budget.
+    pub step_budgets: usize,
+    /// Records where the Theorem 4 verdict and the simulation agree.
+    pub consistent: usize,
+    /// Contact-time percentiles `[p50, p90, p99, max]`, when any contact
+    /// occurred.
+    pub contact_time_percentiles: Option<[f64; 4]>,
+}
+
+/// The nearest-rank percentile of a sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl Summary {
+    /// Aggregates a record batch.
+    pub fn from_records(records: &[SweepRecord]) -> Self {
+        let mut contacts = 0;
+        let mut horizons = 0;
+        let mut step_budgets = 0;
+        let mut consistent = 0;
+        let mut times = Vec::new();
+        for r in records {
+            match r.outcome {
+                SimOutcome::Contact { time, .. } => {
+                    contacts += 1;
+                    times.push(time);
+                }
+                SimOutcome::Horizon { .. } => horizons += 1,
+                SimOutcome::StepBudget { .. } => step_budgets += 1,
+            }
+            if r.consistent() {
+                consistent += 1;
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("contact times are finite"));
+        let contact_time_percentiles = if times.is_empty() {
+            None
+        } else {
+            Some([
+                percentile(&times, 50.0),
+                percentile(&times, 90.0),
+                percentile(&times, 99.0),
+                *times.last().expect("non-empty"),
+            ])
+        };
+        Summary {
+            total: records.len(),
+            contacts,
+            horizons,
+            step_budgets,
+            consistent,
+            contact_time_percentiles,
+        }
+    }
+
+    /// A human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scenarios: {}  contact: {}  horizon: {}  step-budget: {}\n",
+            self.total, self.contacts, self.horizons, self.step_budgets
+        ));
+        out.push_str(&format!(
+            "theorem-4 consistency: {}/{}\n",
+            self.consistent, self.total
+        ));
+        if let Some([p50, p90, p99, max]) = self.contact_time_percentiles {
+            out.push_str(&format!(
+                "contact time: p50={p50:.4}  p90={p90:.4}  p99={p99:.4}  max={max:.4}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run_sweep, SweepOptions};
+    use crate::scenario::ScenarioGrid;
+
+    fn records() -> Vec<SweepRecord> {
+        let scenarios = ScenarioGrid::new()
+            .speeds(&[0.5, 1.0])
+            .clocks(&[0.6, 1.0])
+            .distances(&[0.9])
+            .visibilities(&[0.25])
+            .build();
+        run_sweep(&scenarios, &SweepOptions::default())
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_line_per_record() {
+        let records = records();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), records.len() + 1);
+        assert_eq!(lines[0], CSV_HEADER);
+        let columns = CSV_HEADER.split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_minimally_wellformed() {
+        let records = records();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), records.len());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"outcome\":\""));
+            // No illegal JSON tokens can appear: the engine only reports
+            // finite observables.
+            assert!(!line.contains("NaN") && !line.contains("inf"));
+        }
+    }
+
+    #[test]
+    fn summary_counts_add_up() {
+        let records = records();
+        let summary = Summary::from_records(&records);
+        assert_eq!(summary.total, records.len());
+        assert_eq!(
+            summary.contacts + summary.horizons + summary.step_budgets,
+            summary.total
+        );
+        assert_eq!(summary.consistent, summary.total);
+        let [p50, p90, p99, max] = summary.contact_time_percentiles.unwrap();
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
+        assert!(summary.render().contains("theorem-4 consistency"));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+        assert_eq!(percentile(&xs, 90.0), 4.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+    }
+}

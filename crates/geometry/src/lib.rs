@@ -32,6 +32,8 @@
 //! assert!((v - Vec2::UNIT_Y).norm() < 1e-15);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod angle;
 pub mod approx;
 pub mod mat2;

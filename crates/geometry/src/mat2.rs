@@ -162,7 +162,12 @@ impl Mat2 {
         if det.abs() < f64::MIN_POSITIVE.sqrt() {
             None
         } else {
-            Some(Mat2::new(self.d / det, -self.b / det, -self.c / det, self.a / det))
+            Some(Mat2::new(
+                self.d / det,
+                -self.b / det,
+                -self.c / det,
+                self.a / det,
+            ))
         }
     }
 

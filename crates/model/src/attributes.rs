@@ -209,7 +209,9 @@ impl RobotAttributes {
     /// when chiralities agree; `µ = 0` exactly when `v = 1 ∧ φ = 0`.
     pub fn mu(&self) -> f64 {
         let v = self.speed;
-        (v * v - 2.0 * v * self.orientation.cos() + 1.0).max(0.0).sqrt()
+        (v * v - 2.0 * v * self.orientation.cos() + 1.0)
+            .max(0.0)
+            .sqrt()
     }
 }
 
@@ -317,7 +319,9 @@ mod tests {
         // Unit-leg algorithm; v = 2, τ = 0.5: distance unit vτ = 1, so the
         // robot covers 1 global distance in 0.5 global time (speed 2).
         let algo = PathBuilder::at(Vec2::ZERO).line_to(Vec2::UNIT_X).build();
-        let a = RobotAttributes::reference().with_speed(2.0).with_time_unit(0.5);
+        let a = RobotAttributes::reference()
+            .with_speed(2.0)
+            .with_time_unit(0.5);
         let w = a.frame_warp(algo, Vec2::ZERO);
         assert_eq!(w.position(0.5), Vec2::UNIT_X);
         assert_approx_eq!(w.speed_bound(), 2.0);

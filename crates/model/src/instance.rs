@@ -261,6 +261,8 @@ mod tests {
         assert!(InstanceError::BadVisibility(0.0)
             .to_string()
             .contains("positive"));
-        assert!(InstanceError::CoincidentStart.to_string().contains("differ"));
+        assert!(InstanceError::CoincidentStart
+            .to_string()
+            .contains("differ"));
     }
 }

@@ -30,6 +30,8 @@
 //! assert!(matches!(feasibility(&twin), Feasibility::Infeasible(_)));
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod attributes;
 pub mod instance;
 pub mod predicate;

@@ -206,7 +206,10 @@ mod tests {
                 .with_orientation(phi);
             let verdict = feasibility(&attrs);
             assert!(
-                matches!(verdict, Feasibility::Infeasible(InfeasibleReason::MirrorTwins { .. })),
+                matches!(
+                    verdict,
+                    Feasibility::Infeasible(InfeasibleReason::MirrorTwins { .. })
+                ),
                 "φ={phi} should be infeasible, got {verdict}"
             );
         }
@@ -252,8 +255,7 @@ mod tests {
         for phi in [0.0, 0.4, 1.0, PI, 4.5] {
             let reason = InfeasibleReason::MirrorTwins { orientation: phi };
             let u = reason.invariant_direction();
-            let t_circ =
-                Mat2::IDENTITY - Mat2::rotation(phi) * Mat2::chirality_reflection(-1.0);
+            let t_circ = Mat2::IDENTITY - Mat2::rotation(phi) * Mat2::chirality_reflection(-1.0);
             // Every column of T∘ must be orthogonal to û.
             assert!(t_circ.col0().dot(u).abs() < 1e-12, "φ={phi}");
             assert!(t_circ.col1().dot(u).abs() < 1e-12, "φ={phi}");

@@ -46,7 +46,10 @@ pub fn pow2(e: f64) -> f64 {
 /// assert_eq!(floor_log2(1023.0), 9);
 /// ```
 pub fn floor_log2(x: f64) -> i64 {
-    assert!(x > 0.0 && x.is_finite(), "floor_log2 requires finite x > 0, got {x}");
+    assert!(
+        x > 0.0 && x.is_finite(),
+        "floor_log2 requires finite x > 0, got {x}"
+    );
     // log2 is exact enough to be within 1 of the truth; fix up by direct
     // comparison with exact powers of two.
     let mut e = x.log2().floor() as i64;

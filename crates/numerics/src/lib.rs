@@ -18,6 +18,8 @@
 //! * [`dyadic`] — exact powers of two and `log₂` helpers.
 //! * [`summation`] — Kahan compensated summation for long series.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod dyadic;
 pub mod lambert_w;
 pub mod roots;

@@ -282,7 +282,11 @@ mod tests {
             );
             // ... and dense sampling finds nothing strictly earlier.
             let earlier = brute_force_discovery(&inst, exact.time - 1e-6, 2e-4);
-            assert_eq!(earlier, None, "target {p}: earlier contact than {}", exact.time);
+            assert_eq!(
+                earlier, None,
+                "target {p}: earlier contact than {}",
+                exact.time
+            );
         }
     }
 

@@ -44,6 +44,8 @@
 //! assert!(found.time < bound, "Theorem 1 holds");
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod coverage;
 pub mod discovery;
 pub mod schedule;

@@ -90,8 +90,7 @@ impl SubRound {
     pub fn circle_start(&self, i: u64) -> f64 {
         assert!(i <= self.circle_count(), "circle index {i} out of range");
         let i = i as f64;
-        2.0 * times::PI_PLUS_1
-            * (i * self.inner_radius() + i * (i - 1.0) * self.granularity())
+        2.0 * times::PI_PLUS_1 * (i * self.inner_radius() + i * (i - 1.0) * self.granularity())
     }
 
     /// Duration of this sub-round, `3(π+1)(2^{j−k} + 2^k)`.
@@ -253,7 +252,10 @@ impl RoundSchedule {
                 let x = u - circle_start;
                 let tau = std::f64::consts::TAU;
                 if x < radius {
-                    (circle_start, Segment::line(Vec2::ZERO, Vec2::new(radius, 0.0)))
+                    (
+                        circle_start,
+                        Segment::line(Vec2::ZERO, Vec2::new(radius, 0.0)),
+                    )
                 } else if x < radius + radius * tau {
                     (
                         circle_start + radius,

@@ -61,7 +61,10 @@ fn check_round(k: u32) {
 
 fn check_subround(k: u32, j: u32) {
     check_round(k);
-    assert!(j < 2 * k, "sub-round index must satisfy j < 2k, got j={j}, k={k}");
+    assert!(
+        j < 2 * k,
+        "sub-round index must satisfy j < 2k, got j={j}, k={k}"
+    );
 }
 
 /// Inner radius `δ_{j,k} = 2^{j−k}` of sub-round `j` in round `k`.
@@ -117,9 +120,11 @@ pub fn subround_duration(k: u32, j: u32) -> f64 {
 /// Panics unless `1 ≤ k ≤ MAX_ROUND` and `j ≤ 2k`.
 pub fn subround_start(k: u32, j: u32) -> f64 {
     check_round(k);
-    assert!(j <= 2 * k, "sub-round start requires j <= 2k, got j={j}, k={k}");
-    3.0 * PI_PLUS_1
-        * (pow2i(-(k as i64)) * (pow2i(j as i64) - 1.0) + j as f64 * pow2i(k as i64))
+    assert!(
+        j <= 2 * k,
+        "sub-round start requires j <= 2k, got j={j}, k={k}"
+    );
+    3.0 * PI_PLUS_1 * (pow2i(-(k as i64)) * (pow2i(j as i64) - 1.0) + j as f64 * pow2i(k as i64))
 }
 
 /// The wait at the end of `Search(k)`: `3(π+1)(2^k + 2^{−k})`.
@@ -153,7 +158,10 @@ pub fn round_duration(k: u32) -> f64 {
 ///
 /// Panics when `k > MAX_ROUND`.
 pub fn rounds_total(k: u32) -> f64 {
-    assert!(k <= MAX_ROUND, "round index must be <= {MAX_ROUND}, got {k}");
+    assert!(
+        k <= MAX_ROUND,
+        "round index must be <= {MAX_ROUND}, got {k}"
+    );
     if k == 0 {
         0.0
     } else {

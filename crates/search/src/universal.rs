@@ -177,7 +177,14 @@ mod tests {
         let loc = UniversalSearch::locate(0.1);
         assert_eq!(loc.round, 1);
         assert_eq!(loc.round_start, 0.0);
-        assert!(matches!(loc.phase, RoundPhase::SubRound { j: 0, circle: 0, .. }));
+        assert!(matches!(
+            loc.phase,
+            RoundPhase::SubRound {
+                j: 0,
+                circle: 0,
+                ..
+            }
+        ));
         // Inside round 2's wait.
         let t = UniversalSearch::round_start(2) + RoundSchedule::new(2).wait_start() + 1.0;
         let loc = UniversalSearch::locate(t);

@@ -40,14 +40,12 @@ pub struct ContactWindow {
 ///
 /// Panics on invalid `k` (see [`times::round_duration`]), non-positive
 /// `r`, non-finite `target`, or `limit == 0`.
-pub fn round_contact_windows(
-    k: u32,
-    target: Vec2,
-    r: f64,
-    limit: usize,
-) -> Vec<ContactWindow> {
+pub fn round_contact_windows(k: u32, target: Vec2, r: f64, limit: usize) -> Vec<ContactWindow> {
     let round_duration = times::round_duration(k);
-    assert!(r > 0.0 && r.is_finite(), "visibility must be positive, got {r}");
+    assert!(
+        r > 0.0 && r.is_finite(),
+        "visibility must be positive, got {r}"
+    );
     assert!(target.is_finite(), "target must be finite");
     assert!(limit > 0, "limit must be positive");
 

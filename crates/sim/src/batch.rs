@@ -1,0 +1,114 @@
+//! Reusable batch entry points for sweep-style workloads.
+//!
+//! [`crate::simulate_rendezvous`] takes its algorithm by value and clones
+//! it for the reference robot, which is the convenient shape for one-off
+//! calls but forces a `Clone` bound and a fresh algorithm value per
+//! instance. When a caller runs thousands of instances under the *same*
+//! algorithm (the `rvz-experiments` sweep executor, the throughput
+//! bench), the *by-ref* entry points here let one algorithm value be
+//! built once per worker and reused for the whole batch: the
+//! [`Trajectory`] blanket impl for `&T` means the frame warp wraps a
+//! borrow, and the engine itself holds no per-call buffers, so the hot
+//! loop performs no allocation at all.
+
+use crate::engine::{first_contact, ContactOptions, SimOutcome};
+use crate::stationary::Stationary;
+use rvz_model::{RendezvousInstance, SearchInstance};
+use rvz_trajectory::Trajectory;
+
+/// [`crate::simulate_rendezvous`] with the algorithm taken by reference:
+/// no `Clone` bound, no per-call algorithm construction.
+///
+/// # Example
+///
+/// ```
+/// use rvz_sim::batch::simulate_rendezvous_by_ref;
+/// use rvz_sim::ContactOptions;
+/// use rvz_search::UniversalSearch;
+/// use rvz_model::{RendezvousInstance, RobotAttributes};
+/// use rvz_geometry::Vec2;
+///
+/// let algorithm = UniversalSearch;
+/// let attrs = RobotAttributes::reference().with_speed(0.5);
+/// let opts = ContactOptions::default();
+/// for d in [0.5, 0.7, 0.9] {
+///     let inst = RendezvousInstance::new(Vec2::new(0.0, d), 0.05, attrs).unwrap();
+///     assert!(simulate_rendezvous_by_ref(&algorithm, &inst, &opts).is_contact());
+/// }
+/// ```
+pub fn simulate_rendezvous_by_ref<T: Trajectory>(
+    algorithm: &T,
+    instance: &RendezvousInstance,
+    opts: &ContactOptions,
+) -> SimOutcome {
+    let partner = instance
+        .attributes()
+        .frame_warp(algorithm, instance.offset());
+    first_contact(algorithm, &partner, instance.visibility(), opts)
+}
+
+/// [`crate::simulate_search`] with the algorithm taken by reference.
+pub fn simulate_search_by_ref<T: Trajectory>(
+    algorithm: &T,
+    instance: &SearchInstance,
+    opts: &ContactOptions,
+) -> SimOutcome {
+    let target = Stationary::new(instance.target());
+    first_contact(algorithm, &target, instance.visibility(), opts)
+}
+
+/// Runs a batch of rendezvous instances under one shared algorithm value,
+/// returning outcomes in instance order.
+pub fn run_rendezvous_batch<T: Trajectory>(
+    algorithm: &T,
+    instances: &[RendezvousInstance],
+    opts: &ContactOptions,
+) -> Vec<SimOutcome> {
+    instances
+        .iter()
+        .map(|inst| simulate_rendezvous_by_ref(algorithm, inst, opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_geometry::Vec2;
+    use rvz_model::RobotAttributes;
+    use rvz_search::UniversalSearch;
+
+    #[test]
+    fn by_ref_matches_by_value() {
+        let attrs = RobotAttributes::reference().with_speed(0.5);
+        let inst = RendezvousInstance::new(Vec2::new(0.3, 0.6), 0.05, attrs).unwrap();
+        let opts = ContactOptions::default();
+        let by_ref = simulate_rendezvous_by_ref(&UniversalSearch, &inst, &opts);
+        let by_value = crate::simulate_rendezvous(UniversalSearch, &inst, &opts);
+        assert_eq!(by_ref, by_value);
+    }
+
+    #[test]
+    fn batch_preserves_instance_order() {
+        let attrs = RobotAttributes::reference().with_speed(0.5);
+        let instances: Vec<_> = [0.4, 0.8, 1.2]
+            .iter()
+            .map(|&d| RendezvousInstance::new(Vec2::new(0.0, d), 0.05, attrs).unwrap())
+            .collect();
+        let outcomes =
+            run_rendezvous_batch(&UniversalSearch, &instances, &ContactOptions::default());
+        assert_eq!(outcomes.len(), 3);
+        let times: Vec<f64> = outcomes.iter().map(|o| o.contact_time().unwrap()).collect();
+        // Farther instances cannot meet earlier under the same algorithm.
+        assert!(times[0] <= times[1] && times[1] <= times[2], "{times:?}");
+    }
+
+    #[test]
+    fn search_by_ref_matches_by_value() {
+        let inst = SearchInstance::new(Vec2::new(0.6, 0.6), 0.05).unwrap();
+        let opts = ContactOptions::default();
+        assert_eq!(
+            simulate_search_by_ref(&UniversalSearch, &inst, &opts),
+            crate::simulate_search(UniversalSearch, &inst, &opts)
+        );
+    }
+}

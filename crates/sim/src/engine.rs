@@ -86,6 +86,8 @@ pub enum SimOutcome {
         time: f64,
         /// The smallest distance observed at any step.
         min_distance: f64,
+        /// Advancement steps used (the configured budget).
+        steps: u64,
     },
 }
 
@@ -118,8 +120,12 @@ impl fmt::Display for SimOutcome {
                 f,
                 "no contact before horizon (min distance {min_distance:.6} at t={min_distance_time:.3}, {steps} steps)"
             ),
-            SimOutcome::StepBudget { time, min_distance } => {
-                write!(f, "step budget exhausted at t={time:.3} (min distance {min_distance:.6})")
+            SimOutcome::StepBudget {
+                time,
+                min_distance,
+                steps,
+            } => {
+                write!(f, "step budget exhausted at t={time:.3} (min distance {min_distance:.6}, {steps} steps)")
             }
         }
     }
@@ -188,6 +194,7 @@ where
             return SimOutcome::StepBudget {
                 time: t,
                 min_distance,
+                steps: opts.max_steps,
             };
         }
         let gap = d - radius;
@@ -263,7 +270,10 @@ mod tests {
             SimOutcome::Horizon { min_distance, .. } => {
                 // min_distance is sampled at step times only, so it is an
                 // upper estimate of the true closest approach (1.2).
-                assert!((1.2 - 1e-9..1.21).contains(&min_distance), "min {min_distance}");
+                assert!(
+                    (1.2 - 1e-9..1.21).contains(&min_distance),
+                    "min {min_distance}"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -41,6 +41,9 @@
 //! assert!(matches!(outcome, SimOutcome::Contact { .. }));
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod batch;
 pub mod engine;
 pub mod multi;
 pub mod runners;
@@ -48,6 +51,7 @@ pub mod stationary;
 pub mod trace;
 pub mod verify;
 
+pub use batch::{run_rendezvous_batch, simulate_rendezvous_by_ref, simulate_search_by_ref};
 pub use engine::{first_contact, ContactOptions, SimOutcome};
 pub use multi::{first_simultaneous_gathering, pairwise_meetings};
 pub use runners::{simulate_rendezvous, simulate_search};

@@ -73,7 +73,10 @@ pub fn first_simultaneous_gathering(
     opts: &ContactOptions,
 ) -> SimOutcome {
     assert!(robots.len() >= 2, "need at least two robots");
-    assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive"
+    );
     let closing_bound: f64 = 2.0
         * robots
             .iter()
@@ -109,6 +112,7 @@ pub fn first_simultaneous_gathering(
             return SimOutcome::StepBudget {
                 time: t,
                 min_distance: min_diameter,
+                steps: opts.max_steps,
             };
         }
         if closing_bound == 0.0 {
@@ -148,8 +152,7 @@ mod tests {
         let b = approach(Vec2::new(0.0, 4.0), 0.5);
         let c = approach(Vec2::new(-4.0, -4.0), 0.8);
         let robots: Vec<&dyn Trajectory> = vec![&a, &b, &c];
-        let out =
-            first_simultaneous_gathering(&robots, 0.5, &ContactOptions::with_horizon(100.0));
+        let out = first_simultaneous_gathering(&robots, 0.5, &ContactOptions::with_horizon(100.0));
         let t = out.contact_time().expect("all converge to the origin");
         // Slowest robot (b) needs 4/0.5 = 8 time units minus the slack the
         // radius allows.

@@ -79,11 +79,7 @@ mod tests {
     fn identical_twins_never_meet() {
         let twins = RobotAttributes::reference();
         let inst = RendezvousInstance::new(Vec2::new(0.0, 2.0), 0.1, twins).unwrap();
-        let out = simulate_rendezvous(
-            UniversalSearch,
-            &inst,
-            &ContactOptions::with_horizon(500.0),
-        );
+        let out = simulate_rendezvous(UniversalSearch, &inst, &ContactOptions::with_horizon(500.0));
         match out {
             SimOutcome::Horizon { min_distance, .. } => {
                 // Twins keep the exact initial offset forever.
@@ -110,11 +106,7 @@ mod tests {
             .with_orientation(phi);
         let dir = Vec2::from_polar(1.0, phi / 2.0);
         let inst = RendezvousInstance::new(dir * 2.0, 0.1, attrs).unwrap();
-        let out = simulate_rendezvous(
-            UniversalSearch,
-            &inst,
-            &ContactOptions::with_horizon(300.0),
-        );
+        let out = simulate_rendezvous(UniversalSearch, &inst, &ContactOptions::with_horizon(300.0));
         match out {
             SimOutcome::Horizon { min_distance, .. } => {
                 // The relative motion is orthogonal to the offset: distance

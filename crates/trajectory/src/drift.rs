@@ -141,7 +141,9 @@ impl<T: Trajectory> Trajectory for ClockDrift<T> {
         // positive tail rate that always happens at a finite global time.
         self.inner.duration().map(|d_local| {
             // Invert L at d_local.
-            let idx = self.intervals.partition_point(|&(_, l_end, _)| l_end <= d_local);
+            let idx = self
+                .intervals
+                .partition_point(|&(_, l_end, _)| l_end <= d_local);
             if idx == 0 {
                 match self.intervals.first() {
                     Some(&(_, _, rate)) => d_local / rate,
@@ -227,7 +229,9 @@ mod tests {
 
     #[test]
     fn finite_inner_duration_inverts() {
-        let inner = PathBuilder::at(Vec2::ZERO).line_to(Vec2::new(6.0, 0.0)).build();
+        let inner = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(6.0, 0.0))
+            .build();
         // Local duration 6; 10 global @ 0.5 covers local 5, rest at rate 2:
         // remaining local 1 takes 0.5 global ⇒ total 10.5.
         let d = ClockDrift::from_rates(inner, &[(10.0, 0.5)], 2.0);

@@ -39,6 +39,8 @@
 //! assert!((path.duration() - expected).abs() < 1e-12);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod cursor;
 pub mod drift;
 pub mod func;

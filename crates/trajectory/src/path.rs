@@ -388,7 +388,9 @@ mod tests {
     #[test]
     fn concat_paths() {
         let a = PathBuilder::at(Vec2::ZERO).line_to(Vec2::UNIT_X).build();
-        let b = PathBuilder::at(Vec2::UNIT_X).line_to(Vec2::new(1.0, 1.0)).build();
+        let b = PathBuilder::at(Vec2::UNIT_X)
+            .line_to(Vec2::new(1.0, 1.0))
+            .build();
         let c = a.concat(&b);
         assert_eq!(c.duration(), 2.0);
         assert_eq!(c.end_position(), Vec2::new(1.0, 1.0));
@@ -432,7 +434,9 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let p: Path = [Segment::line(Vec2::ZERO, Vec2::UNIT_X)].into_iter().collect();
+        let p: Path = [Segment::line(Vec2::ZERO, Vec2::UNIT_X)]
+            .into_iter()
+            .collect();
         assert_eq!(p.duration(), 1.0);
     }
 }

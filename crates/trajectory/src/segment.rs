@@ -165,7 +165,11 @@ impl Segment {
                 start_angle,
                 sweep,
             } => {
-                if !center.is_finite() || !radius.is_finite() || !start_angle.is_finite() || !sweep.is_finite() {
+                if !center.is_finite()
+                    || !radius.is_finite()
+                    || !start_angle.is_finite()
+                    || !sweep.is_finite()
+                {
                     return Err("arc parameters not finite".to_string());
                 }
                 if radius < 0.0 {

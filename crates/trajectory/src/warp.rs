@@ -150,7 +150,9 @@ mod tests {
 
     #[test]
     fn chirality_mirrors() {
-        let diag = PathBuilder::at(Vec2::ZERO).line_to(Vec2::new(1.0, 1.0)).build();
+        let diag = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(1.0, 1.0))
+            .build();
         let w = FrameWarp::new(diag, Mat2::chirality_reflection(-1.0), Vec2::ZERO, 1.0);
         let end = w.duration().unwrap();
         assert!((w.position(end) - Vec2::new(1.0, -1.0)).norm() < 1e-15);

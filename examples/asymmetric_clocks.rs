@@ -31,11 +31,16 @@ fn timeline(tau: f64, horizon_global: f64, width: usize) -> String {
 fn main() {
     let tau = 0.6;
     let dec = tau_decomposition(tau);
-    println!("τ = {tau} decomposes as t·2^-a with a = {}, t = {:.3}\n", dec.a, dec.t);
+    println!(
+        "τ = {tau} decomposes as t·2^-a with a = {}, t = {:.3}\n",
+        dec.a, dec.t
+    );
 
     // Figure 1: phase timelines of both robots on the global clock.
     let horizon = PhaseSchedule::round_end(4);
-    println!("Figure 1 — phase timelines ('.' inactive, '#' active), global t ∈ [0, {horizon:.0}):");
+    println!(
+        "Figure 1 — phase timelines ('.' inactive, '#' active), global t ∈ [0, {horizon:.0}):"
+    );
     println!("  R  (τ=1):   {}", timeline(1.0, horizon, 100));
     println!("  R' (τ={tau}): {}", timeline(tau, horizon, 100));
     println!();
@@ -54,7 +59,10 @@ fn main() {
 
     // Figure 3 / Lemma 9: the overlap grows without bound.
     println!("Figure 3 — Lemma 9 overlap of R's active k with R''s inactive k+1 (a=0):");
-    println!("  {:>3} | {:>14} | {:>14} | {:>10}", "k", "claimed", "computed", "S(k)/2 ref");
+    println!(
+        "  {:>3} | {:>14} | {:>14} | {:>10}",
+        "k", "claimed", "computed", "S(k)/2 ref"
+    );
     for k in [4, 6, 8, 10, 12] {
         let rep = overlap_lemma9(tau, k, 0);
         println!(
@@ -62,7 +70,11 @@ fn main() {
             k,
             rep.claimed,
             rep.computed,
-            if rep.hypothesis_holds { "in range" } else { "off range" }
+            if rep.hypothesis_holds {
+                "in range"
+            } else {
+                "off range"
+            }
         );
     }
     println!();
@@ -74,7 +86,10 @@ fn main() {
     let k_star = lemma13_round_bound(tau, n_find);
     let analytic = first_sufficient_overlap_round(tau, n_find);
     println!("stationary-find round n = {n_find}");
-    println!("Lemma 13 bound k* = {k_star} (complete by t = {:.1})", completion_time(k_star));
+    println!(
+        "Lemma 13 bound k* = {k_star} (complete by t = {:.1})",
+        completion_time(k_star)
+    );
     println!("analytic first sufficient-overlap round = {analytic:?}");
 
     let opts = ContactOptions::with_horizon(completion_time(k_star)).tolerance(2.5e-7);

@@ -24,7 +24,10 @@ fn main() {
 
     // The reduction's algebra.
     let eq = EquivalentSearch::new(&attrs);
-    println!("Lemma 4 matrix   M  = v·Rot(φ)·Refl(χ) = {}", attrs.lemma4_matrix());
+    println!(
+        "Lemma 4 matrix   M  = v·Rot(φ)·Refl(χ) = {}",
+        attrs.lemma4_matrix()
+    );
     println!("equivalent matrix T∘ = I − M           = {}", eq.matrix());
     let qr = eq.qr();
     println!("Lemma 5 factors:  Φ  = {}", qr.q);
@@ -47,7 +50,10 @@ fn main() {
 
     println!("two-robot rendezvous time:   {direct:.9}");
     println!("equivalent search time:      {reduced:.9}");
-    println!("difference:                  {:.3e}", (direct - reduced).abs());
+    println!(
+        "difference:                  {:.3e}",
+        (direct - reduced).abs()
+    );
     assert!((direct - reduced).abs() <= 1e-6 * (1.0 + direct));
     println!("identical, as Lemma 4 promises.\n");
 

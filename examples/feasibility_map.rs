@@ -2,11 +2,17 @@
 //! rendezvous possible, confirmed by simulation on both sides of the
 //! boundary.
 //!
+//! This is the example-sized version of `rvz map`: it builds the
+//! attribute grid with the `rvz-experiments` scenario generator, fans the
+//! cells out with the parallel sweep executor, and checks that the
+//! simulated outcome agrees with the Theorem 4 predicate on every cell —
+//! adversarial placement included for the infeasible ones.
+//!
 //! ```text
 //! cargo run --release --example feasibility_map
 //! ```
 
-use plane_rendezvous::core::completion_time;
+use plane_rendezvous::experiments::{Algorithm, Scenario};
 use plane_rendezvous::prelude::*;
 
 fn verdict_cell(attrs: &RobotAttributes) -> &'static str {
@@ -47,46 +53,60 @@ fn main() {
         println!();
     }
 
-    // Confirm each cell by simulation.
-    println!("simulation confirmation (universal Algorithm 7, d = 0.9, r = 0.25):");
-    let r = 0.25;
-    let mut checked = 0;
-    let mut confirmed = 0;
+    // Confirm each cell by simulation, in parallel through the sweep
+    // harness. Feasible cells use an arbitrary placement; infeasible
+    // cells use the adversarial placement along the invariant direction,
+    // which keeps the robots at distance ≥ d forever.
+    let (d, r) = (0.9, 0.25);
+    let mut scenarios = Vec::new();
     for &v in &speeds {
         for &tau in &clocks {
             for &phi in &phis {
                 for chi in [Chirality::Consistent, Chirality::Mirrored] {
                     let attrs = RobotAttributes::new(v, tau, phi, chi);
-                    checked += 1;
-                    let verdict = feasibility(&attrs);
-                    let ok = match verdict {
-                        Feasibility::Feasible(_) => {
-                            let inst =
-                                RendezvousInstance::new(Vec2::new(0.4, 0.8), r, attrs).unwrap();
-                            let opts = ContactOptions::with_horizon(completion_time(10))
-                                .tolerance(r * 1e-6);
-                            simulate_rendezvous(WaitAndSearch, &inst, &opts).is_contact()
-                        }
+                    let bearing = match feasibility(&attrs) {
+                        // The pre-harness version placed the partner at
+                        // (0.4, 0.8); atan2 takes (y, x).
+                        Feasibility::Feasible(_) => 0.8_f64.atan2(0.4),
                         Feasibility::Infeasible(reason) => {
                             let dir = reason.invariant_direction();
-                            let inst = RendezvousInstance::new(dir * 0.9, r, attrs).unwrap();
-                            let opts =
-                                ContactOptions::with_horizon(5e4).tolerance(r * 1e-6);
-                            matches!(
-                                simulate_rendezvous(WaitAndSearch, &inst, &opts),
-                                SimOutcome::Horizon { min_distance, .. } if min_distance >= 0.9 - 1e-9
-                            )
+                            dir.y.atan2(dir.x)
                         }
                     };
-                    if ok {
-                        confirmed += 1;
-                    } else {
-                        println!("  MISMATCH at {attrs}: predicate says {verdict}");
-                    }
+                    scenarios.push(Scenario {
+                        id: scenarios.len() as u64,
+                        algorithm: Algorithm::WaitAndSearch,
+                        speed: v,
+                        time_unit: tau,
+                        orientation: phi,
+                        chirality: chi,
+                        distance: d,
+                        bearing,
+                        visibility: r,
+                    });
                 }
             }
         }
     }
-    println!("  {confirmed}/{checked} cells confirmed by simulation");
-    assert_eq!(confirmed, checked, "feasibility map mismatch");
+
+    println!("simulation confirmation (universal Algorithm 7, d = {d}, r = {r}):");
+    let records = run_sweep(&scenarios, &SweepOptions::default());
+    // Strict check: adversarially placed twins must hold distance ≥ d
+    // for the whole run, matching the Theorem 4 lower-bound argument.
+    let confirmed = records
+        .iter()
+        .filter(|rec| rec.strictly_consistent())
+        .count();
+    for rec in records.iter().filter(|rec| !rec.strictly_consistent()) {
+        println!(
+            "  MISMATCH at {}: predicate says {:?}",
+            rec.scenario.attributes(),
+            rec.feasibility
+        );
+    }
+    println!(
+        "  {confirmed}/{} cells confirmed by simulation",
+        records.len()
+    );
+    assert_eq!(confirmed, records.len(), "feasibility map mismatch");
 }

@@ -25,10 +25,18 @@ fn main() {
     // clocks are symmetric, so Section 3's algorithm applies).
     let opts = ContactOptions::with_horizon(1e7).tolerance(5e-11);
     match simulate_rendezvous(UniversalSearch, &inst, &opts) {
-        SimOutcome::Contact { time, distance, steps } => {
+        SimOutcome::Contact {
+            time,
+            distance,
+            steps,
+        } => {
             println!("rendezvous at t = {time:.3} (distance {distance:.4}, {steps} sim steps)");
             match theorem2_bound(&inst) {
-                Theorem2Bound::Finite { time: bound, factor, .. } => {
+                Theorem2Bound::Finite {
+                    time: bound,
+                    factor,
+                    ..
+                } => {
                     println!("Theorem 2 bound: T < {bound:.3} (symmetry factor µ = {factor:.3})");
                     println!("measured / bound = {:.4}", time / bound);
                     assert!(time < bound, "bound violated!");

@@ -8,16 +8,21 @@
 //! rvz bounds      --d 1.0 --r 0.01 [--v 0.5 --phi 0 --chi +1 | --tau 0.5]
 //! ```
 //!
-//! Arguments are `--key value` pairs; unknown keys are rejected. The tool
-//! is deliberately dependency-free (no clap) — it exists so that a user
-//! can poke at the model without writing Rust.
+//! Arguments are `--key value` pairs; malformed pairs are rejected,
+//! unrecognized keys are ignored. The tool is deliberately
+//! dependency-free (no clap) — it exists so that a user can poke at the
+//! model without writing Rust.
 
-use plane_rendezvous::core::{
-    completion_time, first_sufficient_overlap_round, WaitAndSearch,
+use plane_rendezvous::core::{completion_time, first_sufficient_overlap_round, WaitAndSearch};
+use plane_rendezvous::experiments::{
+    latin_hypercube, run_sweep, write_csv, write_jsonl, Algorithm, SampleSpace, ScenarioGrid,
+    Summary, SweepOptions, SweepRecord,
 };
 use plane_rendezvous::prelude::*;
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +43,8 @@ fn main() -> ExitCode {
         "rendezvous" => cmd_rendezvous(&opts),
         "phases" => cmd_phases(&opts),
         "bounds" => cmd_bounds(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "map" => cmd_map(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -67,6 +74,17 @@ USAGE:
       Print the Algorithm 7 phase schedule (and τ-scaled copy).
   rvz bounds --d D --r R [--v V] [--phi P] [--chi +1|-1] [--tau T]
       Closed-form bounds: Theorem 1/2, and Lemma 13's k* when τ ≠ 1.
+  rvz sweep [--speeds L] [--clocks L] [--phis L] [--chis L] [--distances L]
+            [--bearings L] [--r R] [--algos L] [--lhs N] [--seed S]
+            [--threads N] [--max-steps M] [--horizon-rounds K] [--out PREFIX]
+      Run a parallel scenario sweep (grid by default, Latin-hypercube
+      sample with --lhs N) and write PREFIX.jsonl + PREFIX.csv.
+      List flags (L) take comma-separated values, e.g. --speeds 0.5,1.
+  rvz map [--speeds L] [--clocks L] [--phis L] [--d D] [--r R] [--threads N]
+          [--max-steps M] [--horizon-rounds K]
+      Print the Theorem 4 feasibility map over the attribute grid and
+      confirm every cell by simulation. Raise --horizon-rounds (default 9)
+      and --max-steps for hard instances (large d²/r).
 
 All flags take numeric values; angles in radians.";
 
@@ -105,12 +123,76 @@ fn get_u32(opts: &Flags, key: &str, default: u32) -> Result<u32, String> {
     }
 }
 
-fn get_chirality(opts: &Flags) -> Result<Chirality, String> {
-    match opts.get("chi").map(String::as_str) {
-        None | Some("+1") | Some("1") => Ok(Chirality::Consistent),
-        Some("-1") => Ok(Chirality::Mirrored),
-        Some(other) => Err(format!("`--chi` expects +1 or -1, got `{other}`")),
+fn get_usize(opts: &Flags, key: &str, default: usize) -> Result<usize, String> {
+    match opts.get(key) {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("`--{key}` expects an integer, got `{v}`")),
+        None => Ok(default),
     }
+}
+
+fn get_list_f64(opts: &Flags, key: &str) -> Result<Option<Vec<f64>>, String> {
+    let Some(raw) = opts.get(key) else {
+        return Ok(None);
+    };
+    raw.split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("`--{key}` expects comma-separated numbers, got `{v}`"))
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(Some)
+}
+
+fn parse_chi(s: &str) -> Result<Chirality, String> {
+    match s {
+        "+1" | "1" => Ok(Chirality::Consistent),
+        "-1" => Ok(Chirality::Mirrored),
+        other => Err(format!("chirality expects +1 or -1, got `{other}`")),
+    }
+}
+
+fn get_chirality(opts: &Flags) -> Result<Chirality, String> {
+    match opts.get("chi") {
+        None => Ok(Chirality::Consistent),
+        Some(s) => parse_chi(s).map_err(|_| format!("`--chi` expects +1 or -1, got `{s}`")),
+    }
+}
+
+fn get_algorithms(opts: &Flags) -> Result<Option<Vec<Algorithm>>, String> {
+    let Some(raw) = opts.get("algos") else {
+        return Ok(None);
+    };
+    raw.split(',')
+        .map(|s| Algorithm::parse(s.trim()))
+        .collect::<Result<Vec<_>, _>>()
+        .map(Some)
+}
+
+/// Applies the shared engine-tuning flags (`--threads`, `--max-steps`,
+/// `--horizon-rounds`) on top of the sweep defaults.
+fn sweep_options(opts: &Flags) -> Result<SweepOptions, String> {
+    let mut sweep_opts = SweepOptions {
+        threads: get_usize(opts, "threads", 0)?,
+        ..SweepOptions::default()
+    };
+    if let Some(max_steps) = opts.get("max-steps") {
+        sweep_opts.contact.max_steps = max_steps
+            .parse::<u64>()
+            .map_err(|_| format!("`--max-steps` expects an integer, got `{max_steps}`"))?;
+    }
+    if let Some(rounds) = opts.get("horizon-rounds") {
+        let k = rounds
+            .parse::<u32>()
+            .map_err(|_| format!("`--horizon-rounds` expects an integer, got `{rounds}`"))?;
+        if !(1..=31).contains(&k) {
+            return Err("`--horizon-rounds` must be in 1..=31".into());
+        }
+        sweep_opts.contact.horizon = completion_time(k);
+    }
+    Ok(sweep_opts)
 }
 
 fn attributes(opts: &Flags) -> Result<RobotAttributes, String> {
@@ -149,7 +231,10 @@ fn cmd_search(opts: &Flags) -> Result<(), String> {
             );
             if inst.difficulty() >= 2.0 {
                 let bound = coverage::theorem1_bound(inst.distance(), r);
-                println!("Theorem 1 bound: {bound:.3}  (measured/bound = {:.4})", found.time / bound);
+                println!(
+                    "Theorem 1 bound: {bound:.3}  (measured/bound = {:.4})",
+                    found.time / bound
+                );
             }
         }
         None => println!("not discovered within {max_round} rounds"),
@@ -162,8 +247,7 @@ fn cmd_rendezvous(opts: &Flags) -> Result<(), String> {
     let dy = get_f64(opts, "dy", None)?;
     let r = get_f64(opts, "r", None)?;
     let attrs = attributes(opts)?;
-    let inst =
-        RendezvousInstance::new(Vec2::new(dx, dy), r, attrs).map_err(|e| e.to_string())?;
+    let inst = RendezvousInstance::new(Vec2::new(dx, dy), r, attrs).map_err(|e| e.to_string())?;
     println!("instance: {inst}");
     println!("Theorem 4: {}", feasibility(&attrs));
     let horizon = get_f64(opts, "horizon", Some(completion_time(12)))?;
@@ -182,7 +266,10 @@ fn cmd_phases(opts: &Flags) -> Result<(), String> {
     if tau <= 0.0 {
         return Err("`--tau` must be positive".into());
     }
-    println!("{:>3} | {:>16} | {:>16} | {:>16}", "n", "I(n)", "A(n)", "round end");
+    println!(
+        "{:>3} | {:>16} | {:>16} | {:>16}",
+        "n", "I(n)", "A(n)", "round end"
+    );
     for n in 1..=rounds {
         println!(
             "{n:>3} | {:>16.2} | {:>16.2} | {:>16.2}",
@@ -205,12 +292,15 @@ fn cmd_bounds(opts: &Flags) -> Result<(), String> {
         return Err("`--d` and `--r` must be positive".into());
     }
     if d * d / r >= 2.0 {
-        println!("Theorem 1 (search): T < {:.3}", coverage::theorem1_bound(d, r));
+        println!(
+            "Theorem 1 (search): T < {:.3}",
+            coverage::theorem1_bound(d, r)
+        );
     }
     if attrs.time_unit() == 1.0 {
         if attrs.speed() <= 1.0 {
-            let inst = RendezvousInstance::new(Vec2::new(0.0, d), r, attrs)
-                .map_err(|e| e.to_string())?;
+            let inst =
+                RendezvousInstance::new(Vec2::new(0.0, d), r, attrs).map_err(|e| e.to_string())?;
             println!("Theorem 2 (rendezvous, τ = 1): {}", theorem2_bound(&inst));
         } else {
             println!("Theorem 2: normalize so the reference robot is fastest (v ≤ 1)");
@@ -235,4 +325,193 @@ fn cmd_bounds(opts: &Flags) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn save_artifact<F>(path: &str, records: &[SweepRecord], write: F) -> Result<(), String>
+where
+    F: FnOnce(&mut std::io::BufWriter<std::fs::File>, &[SweepRecord]) -> std::io::Result<()>,
+{
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    write(&mut w, records)
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Flags) -> Result<(), String> {
+    let r = get_f64(opts, "r", Some(0.1))?;
+    if r <= 0.0 {
+        return Err("`--r` must be positive".into());
+    }
+
+    let scenarios = if opts.contains_key("lhs") {
+        let n = get_usize(opts, "lhs", 0)?;
+        if n == 0 {
+            return Err("`--lhs` expects a positive sample count".into());
+        }
+        let seed = get_usize(opts, "seed", 0)? as u64;
+        let mut space = SampleSpace::default();
+        space.visibility = r;
+        if let Some(algos) = get_algorithms(opts)? {
+            space.algorithms = algos;
+        }
+        latin_hypercube(&space, n, seed)
+    } else {
+        let mut grid = ScenarioGrid::new()
+            .visibilities(&[r])
+            .speeds(&[0.5, 0.75, 1.0, 1.25])
+            .clocks(&[0.5, 1.0, 1.5])
+            .orientations(&[0.0, 1.57, 3.14])
+            .chiralities(&[Chirality::Consistent, Chirality::Mirrored])
+            .distances(&[0.6, 1.0, 1.4]);
+        if let Some(v) = get_list_f64(opts, "speeds")? {
+            grid = grid.speeds(&v);
+        }
+        if let Some(v) = get_list_f64(opts, "clocks")? {
+            grid = grid.clocks(&v);
+        }
+        if let Some(v) = get_list_f64(opts, "phis")? {
+            grid = grid.orientations(&v);
+        }
+        if let Some(v) = get_list_f64(opts, "distances")? {
+            grid = grid.distances(&v);
+        }
+        if let Some(v) = get_list_f64(opts, "bearings")? {
+            grid = grid.bearings(&v);
+        }
+        if let Some(chis) = opts.get("chis") {
+            let values = chis
+                .split(',')
+                .map(|s| parse_chi(s.trim()))
+                .collect::<Result<Vec<_>, _>>()?;
+            grid = grid.chiralities(&values);
+        }
+        if let Some(algos) = get_algorithms(opts)? {
+            grid = grid.algorithms(&algos);
+        }
+        grid.build()
+    };
+
+    let sweep_opts = sweep_options(opts)?;
+
+    println!(
+        "sweeping {} scenarios on {} threads ...",
+        scenarios.len(),
+        sweep_opts.effective_threads()
+    );
+    let start = Instant::now();
+    let records = run_sweep(&scenarios, &sweep_opts);
+    let wall = start.elapsed().as_secs_f64();
+
+    let prefix = opts.get("out").map(String::as_str).unwrap_or("sweep");
+    save_artifact(&format!("{prefix}.jsonl"), &records, write_jsonl)?;
+    save_artifact(&format!("{prefix}.csv"), &records, write_csv)?;
+
+    print!("{}", Summary::from_records(&records).render());
+    println!(
+        "wall time: {wall:.3} s  ({:.0} instances/s)",
+        records.len() as f64 / wall
+    );
+    Ok(())
+}
+
+fn cmd_map(opts: &Flags) -> Result<(), String> {
+    let speeds = get_list_f64(opts, "speeds")?.unwrap_or_else(|| vec![0.5, 1.0]);
+    let clocks = get_list_f64(opts, "clocks")?.unwrap_or_else(|| vec![0.6, 1.0]);
+    let phis = get_list_f64(opts, "phis")?.unwrap_or_else(|| vec![0.0, 1.3]);
+    let d = get_f64(opts, "d", Some(0.9))?;
+    let r = get_f64(opts, "r", Some(0.25))?;
+    if d <= 0.0 || r <= 0.0 {
+        return Err("`--d` and `--r` must be positive".into());
+    }
+
+    println!("Theorem 4: rendezvous is feasible iff τ≠1 ∨ v≠1 ∨ (χ=+1 ∧ 0<φ<2π)\n");
+    for chi in [Chirality::Consistent, Chirality::Mirrored] {
+        println!("χ = {chi}:");
+        print!("  {:>12}", "v \\ (τ, φ)");
+        for &tau in &clocks {
+            for &phi in &phis {
+                print!(" | τ={tau:<4} φ={phi:<4}");
+            }
+        }
+        println!();
+        for &v in &speeds {
+            print!("  {v:>12}");
+            for &tau in &clocks {
+                for &phi in &phis {
+                    let cell = match feasibility(&RobotAttributes::new(v, tau, phi, chi)) {
+                        Feasibility::Feasible(SymmetryBreaker::AsymmetricClocks) => "F:clock",
+                        Feasibility::Feasible(SymmetryBreaker::DifferentSpeeds) => "F:speed",
+                        Feasibility::Feasible(SymmetryBreaker::OrientationOffset) => "F:orient",
+                        Feasibility::Infeasible(_) => "  ---  ",
+                    };
+                    print!(" | {cell:^12}");
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+
+    // Confirm every cell by simulation through the sweep harness. The
+    // placement bearing is adversarial for infeasible cells (along the
+    // invariant direction) and arbitrary otherwise.
+    let mut scenarios = Vec::new();
+    for &v in &speeds {
+        for &tau in &clocks {
+            for &phi in &phis {
+                for chi in [Chirality::Consistent, Chirality::Mirrored] {
+                    let attrs = RobotAttributes::new(v, tau, phi, chi);
+                    let bearing = match feasibility(&attrs) {
+                        Feasibility::Feasible(_) => 1.1,
+                        Feasibility::Infeasible(reason) => {
+                            let dir = reason.invariant_direction();
+                            dir.y.atan2(dir.x)
+                        }
+                    };
+                    scenarios.push(plane_rendezvous::experiments::Scenario {
+                        id: scenarios.len() as u64,
+                        algorithm: Algorithm::WaitAndSearch,
+                        speed: v,
+                        time_unit: tau,
+                        orientation: phi,
+                        chirality: chi,
+                        distance: d,
+                        bearing,
+                        visibility: r,
+                    });
+                }
+            }
+        }
+    }
+
+    let sweep_opts = sweep_options(opts)?;
+    println!(
+        "simulation confirmation (universal Algorithm 7, d = {d}, r = {r}, {} cells):",
+        scenarios.len()
+    );
+    let records = run_sweep(&scenarios, &sweep_opts);
+    let confirmed = records
+        .iter()
+        .filter(|rec| rec.strictly_consistent())
+        .count();
+    for rec in records.iter().filter(|rec| !rec.strictly_consistent()) {
+        println!(
+            "  MISMATCH at {}: predicate says {}, simulation says {}",
+            rec.scenario.attributes(),
+            rec.feasibility,
+            rec.outcome
+        );
+    }
+    println!(
+        "  {confirmed}/{} cells confirmed by simulation",
+        records.len()
+    );
+    if confirmed == records.len() {
+        Ok(())
+    } else {
+        Err("feasibility map mismatch".into())
+    }
 }

@@ -25,6 +25,7 @@
 //! | [`core`] | equivalent-search reduction, Algorithm 7, overlap algebra |
 //! | [`sim`] | conservative-advancement continuous-time simulation |
 //! | [`baselines`] | omniscient spiral, schedule ablations |
+//! | [`experiments`] | scenario grids, Latin-hypercube samples, parallel sweeps |
 //!
 //! ## Quickstart
 //!
@@ -45,8 +46,11 @@
 //! assert!(t < bound);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use rvz_baselines as baselines;
 pub use rvz_core as core;
+pub use rvz_experiments as experiments;
 pub use rvz_geometry as geometry;
 pub use rvz_model as model;
 pub use rvz_numerics as numerics;
@@ -60,6 +64,9 @@ pub mod prelude {
         lemma13_round_bound, tau_decomposition, theorem2_bound, EquivalentSearch, PhaseSchedule,
         Theorem2Bound, WaitAndSearch,
     };
+    pub use rvz_experiments::{
+        latin_hypercube, run_sweep, SampleSpace, Scenario, ScenarioGrid, Summary, SweepOptions,
+    };
     pub use rvz_geometry::{Mat2, Vec2};
     pub use rvz_model::{
         feasibility, Chirality, Feasibility, RendezvousInstance, RobotAttributes, SearchInstance,
@@ -67,8 +74,7 @@ pub mod prelude {
     };
     pub use rvz_search::{coverage, first_discovery, times, UniversalSearch};
     pub use rvz_sim::{
-        first_contact, simulate_rendezvous, simulate_search, ContactOptions, SimOutcome,
-        Stationary,
+        first_contact, simulate_rendezvous, simulate_search, ContactOptions, SimOutcome, Stationary,
     };
     pub use rvz_trajectory::{FrameWarp, Path, PathBuilder, Segment, Trajectory};
 }
@@ -86,5 +92,6 @@ mod tests {
         let _ = crate::core::WaitAndSearch;
         let _ = crate::sim::ContactOptions::default();
         let _ = crate::baselines::ArchimedeanSpiral::with_pitch(1.0);
+        let _ = crate::experiments::ScenarioGrid::new();
     }
 }

@@ -44,7 +44,11 @@ fn positions_respect_phases() {
         let (i0, i1) = PhaseSchedule::inactive_interval(n);
         for f in [0.01, 0.5, 0.99] {
             let t = i0 + f * (i1 - i0);
-            assert_eq!(algo.position(t), Vec2::ZERO, "round {n}: moved while inactive");
+            assert_eq!(
+                algo.position(t),
+                Vec2::ZERO,
+                "round {n}: moved while inactive"
+            );
             assert!(matches!(
                 WaitAndSearch::locate(t),
                 Algorithm7Phase::Inactive { .. }

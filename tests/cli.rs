@@ -40,7 +40,15 @@ fn search_reports_discovery_and_bound() {
 #[test]
 fn rendezvous_simulates() {
     let (ok, stdout, _) = rvz(&[
-        "rendezvous", "--dx", "0.3", "--dy", "0.8", "--r", "0.25", "--tau", "0.6",
+        "rendezvous",
+        "--dx",
+        "0.3",
+        "--dy",
+        "0.8",
+        "--r",
+        "0.25",
+        "--tau",
+        "0.6",
     ]);
     assert!(ok);
     assert!(stdout.contains("contact at t="));

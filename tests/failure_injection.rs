@@ -14,9 +14,14 @@ fn engine_reports_step_budget_exhaustion() {
     let mut opts = ContactOptions::with_horizon(1e6);
     opts.max_steps = 50;
     match first_contact(&a, &b, 1.0, &opts) {
-        SimOutcome::StepBudget { time, min_distance } => {
+        SimOutcome::StepBudget {
+            time,
+            min_distance,
+            steps,
+        } => {
             assert!(time < 1e6);
             assert!(min_distance >= 0.1 - 1e-9);
+            assert_eq!(steps, 50, "StepBudget must report the exhausted budget");
         }
         other => panic!("expected StepBudget, got {other}"),
     }
@@ -98,9 +103,7 @@ fn attribute_constructors_reject_nonsense() {
     assert!(catch_unwind(|| RobotAttributes::reference().with_speed(f64::NAN)).is_err());
     assert!(catch_unwind(|| RobotAttributes::reference().with_speed(-1.0)).is_err());
     assert!(catch_unwind(|| RobotAttributes::reference().with_time_unit(0.0)).is_err());
-    assert!(
-        catch_unwind(|| RobotAttributes::reference().with_orientation(f64::INFINITY)).is_err()
-    );
+    assert!(catch_unwind(|| RobotAttributes::reference().with_orientation(f64::INFINITY)).is_err());
 }
 
 #[test]

@@ -119,10 +119,7 @@ fn mirror_twins_can_meet_for_lucky_placements() {
     let inst = RendezvousInstance::new(Vec2::new(0.0, 0.9), R, attrs).unwrap();
     let opts = ContactOptions::with_horizon(5e4).tolerance(R * 1e-6);
     let out = simulate_rendezvous(WaitAndSearch, &inst, &opts);
-    assert!(
-        out.is_contact(),
-        "lucky placement should still meet: {out}"
-    );
+    assert!(out.is_contact(), "lucky placement should still meet: {out}");
 }
 
 #[test]

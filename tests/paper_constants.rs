@@ -55,7 +55,10 @@ fn theorem2_bound_exact_value() {
     let inst = RendezvousInstance::new(Vec2::new(0.0, 1.0), 0.01, attrs).unwrap();
     let expected = 6.0 * C * 200f64.log2() * 200.0;
     let got = theorem2_bound(&inst).time().unwrap();
-    assert!((got - expected).abs() < 1e-9 * expected, "{got} vs {expected}");
+    assert!(
+        (got - expected).abs() < 1e-9 * expected,
+        "{got} vs {expected}"
+    );
 }
 
 #[test]

@@ -67,8 +67,7 @@ fn discovery_round_never_exceeds_lemma1_witness() {
         (1.9, 0.3, 1e-5),
     ] {
         let inst = instance(x, y, r);
-        let witness =
-            coverage::lemma1_witness(inst.distance(), r).expect("witness should exist");
+        let witness = coverage::lemma1_witness(inst.distance(), r).expect("witness should exist");
         let found = first_discovery(&inst, 31).unwrap();
         assert!(
             found.round <= witness.round,

@@ -32,7 +32,9 @@ fn rendezvous_time_equals_equivalent_search_time() {
     // simulations must report identical first-contact times.
     let cases = [
         RobotAttributes::reference().with_speed(0.5),
-        RobotAttributes::reference().with_speed(0.8).with_orientation(1.0),
+        RobotAttributes::reference()
+            .with_speed(0.8)
+            .with_orientation(1.0),
         RobotAttributes::reference()
             .with_orientation(2.5)
             .with_chirality(Chirality::Mirrored)
@@ -58,7 +60,9 @@ fn rendezvous_time_equals_equivalent_search_time() {
 fn rendezvous_within_theorem2_bound_consistent_chirality() {
     for v in [0.3, 0.6, 0.9] {
         for phi in [0.0, 0.8, std::f64::consts::PI, 5.0] {
-            let attrs = RobotAttributes::reference().with_speed(v).with_orientation(phi);
+            let attrs = RobotAttributes::reference()
+                .with_speed(v)
+                .with_orientation(phi);
             let inst = rendezvous_instance(attrs, Vec2::new(0.0, 0.8), 0.03);
             let bound = theorem2_bound(&inst).time().expect("feasible");
             let opts = ContactOptions::with_horizon(bound * 1.01).tolerance(0.03 * 1e-9);
