@@ -18,10 +18,20 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> rvz bench-engine --quick (smoke: binary runs, JSON schema intact)"
+BENCH_SMOKE="$(mktemp -t bench_engine_smoke.XXXXXX.json)"
+cargo run --release --quiet --bin rvz -- bench-engine --quick --out "$BENCH_SMOKE" >/dev/null
+grep -q '"schema": "rvz-bench-engine/v1"' "$BENCH_SMOKE"
+grep -q '"cases":' "$BENCH_SMOKE"
+rm -f "$BENCH_SMOKE"
 
 echo "CI OK"

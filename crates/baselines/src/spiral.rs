@@ -9,6 +9,7 @@
 //! universal algorithm's `log` factor.
 
 use rvz_geometry::Vec2;
+use rvz_trajectory::monotone::{Cursor, MonotoneGuard, MonotoneTrajectory, Motion, Probe};
 use rvz_trajectory::Trajectory;
 
 /// A unit-speed Archimedean spiral `radius(θ) = (pitch/2π)·θ` starting at
@@ -76,13 +77,20 @@ impl ArchimedeanSpiral {
     /// The parameter angle after arc length `s`, by Newton iteration on
     /// the exact [`ArchimedeanSpiral::arc_length`].
     pub fn theta_at(&self, s: f64) -> f64 {
-        assert!(s >= 0.0 && !s.is_nan(), "arc length must be >= 0, got {s}");
+        debug_assert!(s >= 0.0 && !s.is_nan(), "arc length must be >= 0, got {s}");
         if s == 0.0 {
             return 0.0;
         }
         // For large θ, s ≈ bθ²/2 ⇒ θ ≈ √(2s/b); exact at 0. Newton with
         // s'(θ) = b√(1+θ²) then polishes quadratically.
-        let mut theta = (2.0 * s / self.b).sqrt();
+        self.theta_at_from(s, (2.0 * s / self.b).sqrt())
+    }
+
+    /// [`ArchimedeanSpiral::theta_at`] seeded with an explicit initial
+    /// guess — the spiral cursor passes its previously found angle, which
+    /// cuts the Newton iteration to one or two steps for nearby queries.
+    pub fn theta_at_from(&self, s: f64, guess: f64) -> f64 {
+        let mut theta = guess;
         for _ in 0..60 {
             let f = self.arc_length(theta) - s;
             let df = self.b * (1.0 + theta * theta).sqrt();
@@ -104,13 +112,59 @@ impl ArchimedeanSpiral {
 
 impl Trajectory for ArchimedeanSpiral {
     fn position(&self, t: f64) -> Vec2 {
-        assert!(t >= 0.0 && !t.is_nan(), "position requires t >= 0, got {t}");
+        debug_assert!(t >= 0.0 && !t.is_nan(), "position requires t >= 0, got {t}");
         let theta = self.theta_at(t);
         Vec2::from_polar(self.b * theta, theta)
     }
 
     fn speed_bound(&self) -> f64 {
         1.0
+    }
+}
+
+/// The [`MonotoneTrajectory`] cursor of the spiral: warm-starts each
+/// Newton inversion from the previously found angle.
+///
+/// The arc-length function is strictly increasing, so for non-decreasing
+/// queries the previous angle is always at or below the new root — a
+/// near-perfect initial guess that typically converges in one or two
+/// iterations instead of the cold start's handful.
+#[derive(Debug, Clone)]
+pub struct SpiralCursor<'a> {
+    spiral: &'a ArchimedeanSpiral,
+    theta: f64,
+    guard: MonotoneGuard,
+}
+
+impl Cursor for SpiralCursor<'_> {
+    fn probe(&mut self, t: f64) -> Probe {
+        self.guard.check(t);
+        self.theta = if t == 0.0 {
+            0.0
+        } else {
+            self.spiral.theta_at_from(t, self.theta.max(1e-12))
+        };
+        Probe {
+            position: Vec2::from_polar(self.spiral.b * self.theta, self.theta),
+            piece_end: f64::INFINITY,
+            motion: Motion::Curved,
+        }
+    }
+
+    fn speed_bound(&self) -> f64 {
+        1.0
+    }
+}
+
+impl MonotoneTrajectory for ArchimedeanSpiral {
+    type Cursor<'a> = SpiralCursor<'a>;
+
+    fn cursor(&self) -> SpiralCursor<'_> {
+        SpiralCursor {
+            spiral: self,
+            theta: 0.0,
+            guard: MonotoneGuard::default(),
+        }
     }
 }
 
@@ -198,6 +252,21 @@ mod tests {
             assert!(
                 t <= est * 1.05 + 1.0,
                 "target {target}: {t} vs estimate {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_matches_random_access() {
+        use rvz_trajectory::monotone::{Cursor as _, MonotoneTrajectory as _};
+        let s = ArchimedeanSpiral::with_pitch(0.4);
+        let mut c = s.cursor();
+        for i in 0..=2000 {
+            let t = 500.0 * i as f64 / 2000.0;
+            let p = c.probe(t);
+            assert!(
+                p.position.distance(s.position(t)) < 1e-9 * (1.0 + t),
+                "mismatch at t={t}"
             );
         }
     }

@@ -1,0 +1,26 @@
+//! First-contact engine throughput: seed engine vs. monotone-cursor
+//! fast path.
+//!
+//! ```text
+//! cargo bench -p rvz-bench --bench first_contact_throughput [-- --quick]
+//! ```
+//!
+//! Runs the canonical engine case set (see `rvz_bench::engine`) through
+//! both engines and prints wall time, advancement steps and position
+//! queries side by side, so a speedup is attributable to fewer queries
+//! (analytic jumps) versus cheaper queries (cursor caching). The same
+//! measurements back the machine-readable `BENCH_engine.json` emitted by
+//! `rvz bench-engine`.
+
+use rvz_bench::engine::{grazing_summary, measure_all, render_table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "first_contact_throughput ({} mode): seed conservative engine vs cursor fast path\n",
+        if quick { "quick" } else { "full" }
+    );
+    let measurements = measure_all(quick);
+    print!("{}", render_table(&measurements));
+    println!("\n{}", grazing_summary(&measurements));
+}

@@ -49,7 +49,14 @@ fn main() {
     let summary = Summary::from_records(&warm);
     println!("{}", summary.render());
 
-    let mut table = Table::new(&["threads", "wall [s]", "instances/s", "speedup"]);
+    let mut table = Table::new(&[
+        "threads",
+        "wall [s]",
+        "instances/s",
+        "engine steps",
+        "steps/s",
+        "speedup",
+    ]);
     let mut base = None;
     let mut threads = 1;
     while threads <= available {
@@ -63,11 +70,17 @@ fn main() {
         );
         let wall = start.elapsed().as_secs_f64();
         assert_eq!(records.len(), scenarios.len());
+        // Total engine work, so a future throughput change is
+        // attributable: fewer steps per instance (engine got smarter) vs
+        // more steps per second (steps got cheaper).
+        let total_steps: u64 = records.iter().map(|r| r.outcome.steps()).sum();
         let base_wall = *base.get_or_insert(wall);
         table.row_owned(vec![
             threads.to_string(),
             format!("{wall:.3}"),
             format!("{:.0}", scenarios.len() as f64 / wall),
+            total_steps.to_string(),
+            format!("{:.3e}", total_steps as f64 / wall),
             format!("{:.2}x", base_wall / wall),
         ]);
         threads *= 2;

@@ -1,0 +1,386 @@
+//! The first-contact engine benchmark: seed engine vs. cursor fast path.
+//!
+//! One canonical set of cases is shared by the `first_contact_throughput`
+//! bench binary (human-readable table) and the `rvz bench-engine`
+//! subcommand (machine-readable `BENCH_engine.json`), so the perf
+//! trajectory of the hottest loop in the workspace is tracked by one
+//! artifact from PR to PR.
+//!
+//! Each case runs the *same* trajectory pair through
+//! [`rvz_sim::first_contact_generic`] (the seed conservative-advancement
+//! loop) and through the cursor engine
+//! ([`rvz_sim::first_contact_cursors`] over boxed [`MonotoneDyn`]
+//! cursors), records wall time *and* advancement steps / position-query
+//! counts for both, and cross-checks that the two engines classify the
+//! outcome identically. Recording steps alongside time is what makes a
+//! speedup attributable: fewer queries (analytic jumps) versus cheaper
+//! queries (cursor caching) show up in different columns.
+
+use rvz_baselines::ArchimedeanSpiral;
+use rvz_core::{completion_time, WaitAndSearch};
+use rvz_geometry::Vec2;
+use rvz_model::RobotAttributes;
+use rvz_search::UniversalSearch;
+use rvz_sim::{
+    first_contact_cursors, first_contact_generic, ContactOptions, SimOutcome, Stationary,
+};
+use rvz_trajectory::{MonotoneDyn, PathBuilder};
+use std::time::Instant;
+
+/// One benchmark scenario: a trajectory pair plus engine options.
+pub struct EngineCase {
+    /// Stable machine-readable identifier.
+    pub name: &'static str,
+    /// What the case stresses.
+    pub description: &'static str,
+    /// Contact radius.
+    pub radius: f64,
+    /// Engine options.
+    pub opts: ContactOptions,
+    /// The two trajectories, behind the object-safe cursor facade.
+    pub a: Box<dyn MonotoneDyn>,
+    /// Second trajectory.
+    pub b: Box<dyn MonotoneDyn>,
+}
+
+impl EngineCase {
+    /// Runs the seed conservative-advancement engine.
+    pub fn run_generic(&self) -> SimOutcome {
+        first_contact_generic(&*self.a, &*self.b, self.radius, &self.opts)
+    }
+
+    /// Runs the monotone-cursor engine (through boxed cursors, as the
+    /// heterogeneous swarm path does).
+    pub fn run_cursor(&self) -> SimOutcome {
+        first_contact_cursors(
+            &mut self.a.dyn_cursor(),
+            &mut self.b.dyn_cursor(),
+            self.radius,
+            &self.opts,
+        )
+    }
+}
+
+/// The canonical case set.
+///
+/// `quick` shrinks the grazing spans so a smoke run (CI) finishes in
+/// well under a second while still exercising every engine branch.
+pub fn engine_cases(quick: bool) -> Vec<EngineCase> {
+    let span = if quick { 2.0 } else { 50.0 };
+    let tol = 1e-9;
+    let mut cases = Vec::new();
+
+    // Grazing near-miss: a straight pass whose closest approach sits
+    // half a tolerance *above* the declaration threshold. The seed
+    // engine's step shrinks to tolerance scale near the graze (the
+    // ulp-floor crawl); the cursor engine proves non-contact per piece in
+    // closed form.
+    let h = 1.0 + 1.5 * tol;
+    cases.push(EngineCase {
+        name: "grazing_near_miss",
+        description: "straight pass, closest approach tolerance/2 above threshold",
+        radius: 1.0,
+        opts: ContactOptions::with_horizon(4.0 * span).tolerance(tol),
+        a: Box::new(
+            PathBuilder::at(Vec2::new(-span, h))
+                .line_to(Vec2::new(span, h))
+                .build(),
+        ),
+        b: Box::new(Stationary::new(Vec2::ZERO)),
+    });
+
+    // Grazing contact: the same pass dipping half a tolerance *below*
+    // the threshold — the seed engine crawls to the crossing, the cursor
+    // engine solves the quadratic.
+    let h = 1.0 + 0.5 * tol;
+    cases.push(EngineCase {
+        name: "grazing_contact",
+        description: "straight pass dipping tolerance/2 below threshold",
+        radius: 1.0,
+        opts: ContactOptions::with_horizon(4.0 * span).tolerance(tol),
+        a: Box::new(
+            PathBuilder::at(Vec2::new(-span, h))
+                .line_to(Vec2::new(span, h))
+                .build(),
+        ),
+        b: Box::new(Stationary::new(Vec2::ZERO)),
+    });
+
+    // Near-approach rendezvous: a typical feasible sweep scenario under
+    // Algorithm 7 (speed asymmetry), dominated by long waits and lines.
+    let attrs = RobotAttributes::reference().with_speed(0.5);
+    cases.push(EngineCase {
+        name: "algorithm7_feasible",
+        description: "Algorithm 7 rendezvous, v = 0.5, d = 0.9",
+        radius: 0.05,
+        opts: ContactOptions::with_horizon(completion_time(if quick { 6 } else { 9 }))
+            .tolerance(tol),
+        a: Box::new(WaitAndSearch),
+        b: Box::new(attrs.frame_warp(WaitAndSearch, Vec2::new(0.3, 0.85))),
+    });
+
+    // Infeasible twins under Algorithm 4: the engine must disprove
+    // contact all the way to the horizon — the step-budget-bound workload
+    // of feasibility maps.
+    cases.push(EngineCase {
+        name: "universal_twins_horizon",
+        description: "exact twins under Algorithm 4, horizon-bound disproof",
+        radius: 0.1,
+        opts: ContactOptions {
+            tolerance: tol,
+            horizon: completion_time(if quick { 4 } else { 5 }),
+            max_steps: 2_000_000,
+        },
+        a: Box::new(UniversalSearch),
+        b: Box::new(RobotAttributes::reference().frame_warp(UniversalSearch, Vec2::new(0.0, 2.0))),
+    });
+
+    // Spiral search: a fully curved trajectory — measures the cursor
+    // layer's warm-started Newton inversion rather than analytic jumps.
+    let r = 0.02;
+    cases.push(EngineCase {
+        name: "spiral_search",
+        description: "Archimedean spiral vs stationary target (curved path)",
+        radius: r,
+        opts: ContactOptions::with_horizon(1e5).tolerance(tol),
+        a: Box::new(ArchimedeanSpiral::for_visibility(r)),
+        b: Box::new(Stationary::new(Vec2::new(
+            if quick { 0.3 } else { 0.9 },
+            0.4,
+        ))),
+    });
+
+    cases
+}
+
+/// Wall time and work counters for one engine on one case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineSample {
+    /// Nanoseconds per run (best of the measured iterations).
+    pub ns_per_run: f64,
+    /// Advancement steps reported by the outcome.
+    pub steps: u64,
+    /// Position queries issued (2 per engine iteration, derived as
+    /// `2·(steps + 1)`).
+    pub queries: u64,
+    /// Outcome classification (`contact` / `horizon` / `step-budget`).
+    pub outcome: &'static str,
+}
+
+/// The measured comparison for one case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseMeasurement {
+    /// Case identifier.
+    pub name: &'static str,
+    /// Case description.
+    pub description: &'static str,
+    /// Timed iterations per engine.
+    pub iters: u32,
+    /// The seed engine's sample.
+    pub generic: EngineSample,
+    /// The cursor engine's sample.
+    pub cursor: EngineSample,
+}
+
+impl CaseMeasurement {
+    /// Wall-clock speedup of the cursor engine over the seed engine.
+    pub fn speedup(&self) -> f64 {
+        self.generic.ns_per_run / self.cursor.ns_per_run
+    }
+}
+
+fn sample<F: Fn() -> SimOutcome>(run: F, iters: u32) -> EngineSample {
+    let outcome = run(); // warm-up, and the steps source
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let out = std::hint::black_box(run());
+        let ns = start.elapsed().as_nanos() as f64;
+        debug_assert_eq!(out.classification(), outcome.classification());
+        best = best.min(ns);
+    }
+    EngineSample {
+        ns_per_run: best,
+        steps: outcome.steps(),
+        queries: 2 * (outcome.steps() + 1),
+        outcome: outcome.classification(),
+    }
+}
+
+/// Measures one case on both engines and cross-checks the outcome
+/// classification.
+///
+/// # Panics
+///
+/// Panics if the two engines disagree on the outcome classification —
+/// a benchmark that silently compared different work would be
+/// meaningless.
+pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
+    let generic = sample(|| case.run_generic(), iters);
+    let cursor = sample(|| case.run_cursor(), iters);
+    assert_eq!(
+        generic.outcome, cursor.outcome,
+        "engines disagree on `{}`",
+        case.name
+    );
+    CaseMeasurement {
+        name: case.name,
+        description: case.description,
+        iters,
+        generic,
+        cursor,
+    }
+}
+
+/// Runs the whole case set.
+pub fn measure_all(quick: bool) -> Vec<CaseMeasurement> {
+    let iters = if quick { 2 } else { 7 };
+    engine_cases(quick)
+        .iter()
+        .map(|case| measure_case(case, iters))
+        .collect()
+}
+
+fn json_sample(sample: &EngineSample) -> String {
+    format!(
+        "{{\"ns_per_run\": {:.0}, \"steps\": {}, \"queries\": {}, \"outcome\": \"{}\"}}",
+        sample.ns_per_run, sample.steps, sample.queries, sample.outcome
+    )
+}
+
+/// Renders the measurements as the `BENCH_engine.json` document.
+///
+/// Hand-rolled JSON (the workspace is dependency-free); the schema is
+/// versioned so future PRs can extend it without breaking consumers.
+pub fn render_json(measurements: &[CaseMeasurement], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"rvz-bench-engine/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str("  \"cases\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"description\": \"{}\", \"iters\": {}, \"generic\": {}, \"cursor\": {}, \"speedup\": {:.2}}}{}\n",
+            m.name,
+            m.description,
+            m.iters,
+            json_sample(&m.generic),
+            json_sample(&m.cursor),
+            m.speedup(),
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The smallest wall-clock speedup among the grazing/near-approach
+/// cases — the acceptance metric the fast path is held to (≥ 3x).
+pub fn worst_grazing_speedup(measurements: &[CaseMeasurement]) -> f64 {
+    measurements
+        .iter()
+        .filter(|m| m.name.starts_with("grazing"))
+        .map(|m| m.speedup())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// One-line summary of [`worst_grazing_speedup`] for bench output.
+pub fn grazing_summary(measurements: &[CaseMeasurement]) -> String {
+    format!(
+        "worst grazing/near-approach speedup: {:.2}x (target: >= 3x)",
+        worst_grazing_speedup(measurements)
+    )
+}
+
+/// Renders the measurements as a fixed-width table (the bench binary's
+/// output).
+pub fn render_table(measurements: &[CaseMeasurement]) -> String {
+    let mut table = crate::Table::new(&[
+        "case",
+        "outcome",
+        "seed ns/run",
+        "seed steps",
+        "cursor ns/run",
+        "cursor steps",
+        "speedup",
+    ]);
+    for m in measurements {
+        table.row_owned(vec![
+            m.name.to_string(),
+            m.generic.outcome.to_string(),
+            format!("{:.0}", m.generic.ns_per_run),
+            m.generic.steps.to_string(),
+            format!("{:.0}", m.cursor.ns_per_run),
+            m.cursor.steps.to_string(),
+            format!("{:.2}x", m.speedup()),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cases_run_and_agree() {
+        let measurements = measure_all(true);
+        assert_eq!(measurements.len(), 5);
+        for m in &measurements {
+            assert_eq!(m.generic.outcome, m.cursor.outcome, "{}", m.name);
+            assert!(m.generic.ns_per_run > 0.0 && m.cursor.ns_per_run > 0.0);
+        }
+        // The grazing cases are the ones the fast path exists for: the
+        // cursor engine must use orders of magnitude fewer steps.
+        for name in ["grazing_near_miss", "grazing_contact"] {
+            let m = measurements.iter().find(|m| m.name == name).unwrap();
+            assert!(
+                m.cursor.steps * 100 < m.generic.steps.max(100),
+                "{name}: cursor {} vs generic {} steps",
+                m.cursor.steps,
+                m.generic.steps
+            );
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let measurements = vec![CaseMeasurement {
+            name: "x",
+            description: "y",
+            iters: 1,
+            generic: EngineSample {
+                ns_per_run: 10.0,
+                steps: 5,
+                queries: 12,
+                outcome: "contact",
+            },
+            cursor: EngineSample {
+                ns_per_run: 5.0,
+                steps: 1,
+                queries: 4,
+                outcome: "contact",
+            },
+        }];
+        let json = render_json(&measurements, true);
+        assert!(json.contains("\"schema\": \"rvz-bench-engine/v1\""));
+        assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("\"speedup\": 2.00"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+    }
+
+    #[test]
+    fn table_lists_every_case() {
+        let m = measure_all(true);
+        let table = render_table(&m);
+        for case in engine_cases(true) {
+            assert!(table.contains(case.name));
+        }
+    }
+}

@@ -9,6 +9,8 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod engine;
+
 /// Minimal fixed-width table printer for bench output.
 ///
 /// # Example

@@ -23,6 +23,7 @@
 use crate::phases::{PhaseSchedule, MAX_PHASE_ROUND};
 use rvz_geometry::Vec2;
 use rvz_search::{times, RoundSchedule};
+use rvz_trajectory::monotone::{segment_motion, Cursor, MonotoneGuard, MonotoneTrajectory, Probe};
 use rvz_trajectory::{Segment, Trajectory};
 
 /// The Algorithm 7 trajectory (a ZST — the algorithm is parameter-free).
@@ -175,6 +176,208 @@ impl Trajectory for WaitAndSearch {
     }
 }
 
+/// The phase-block a [`WaitAndSearchCursor`] is currently inside, with
+/// the data needed to index segments within it without re-deriving the
+/// round decomposition.
+#[derive(Debug, Clone, Copy)]
+enum CursorBlock {
+    /// Round `n`'s inactive wait, `[I(n), A(n))`.
+    Inactive,
+    /// `Search(k)` inside `SearchAll(n)`: local times
+    /// `[F(k−1), F(k))` relative to `A(n)`.
+    Forward { k: u32, f_km1: f64, f_k: f64 },
+    /// `Search(k)` inside `SearchAllRev(n)`: local times
+    /// `[S(n)−F(k), S(n)−F(k−1))` relative to `A(n)+S(n)`.
+    Reverse { k: u32, f_km1: f64, f_k: f64 },
+}
+
+/// The [`MonotoneTrajectory`] cursor of [`WaitAndSearch`].
+///
+/// Caches three nested levels — the Algorithm 7 round `n`, the active
+/// `(n, k)` `Search(k)` block with its [`RoundSchedule`], and the active
+/// segment with its global span — and refreshes only the levels a query
+/// actually crosses. A probe inside the cached segment is O(1); the
+/// linear `round_at`/`forward_block` scans of the random-access path run
+/// only on block transitions.
+#[derive(Debug, Clone)]
+pub struct WaitAndSearchCursor {
+    /// Algorithm 7 round `n ≥ 1`.
+    n: u32,
+    /// `A(n)` — global start of round `n`'s active phase.
+    active_start: f64,
+    /// `S(n)` — duration of `SearchAll(n)`.
+    search_all: f64,
+    /// `I(n+1)` — global end of round `n`.
+    round_end: f64,
+    block: CursorBlock,
+    /// Active segment with its global span.
+    segment: Segment,
+    segment_start: f64,
+    segment_end: f64,
+    guard: MonotoneGuard,
+}
+
+impl WaitAndSearchCursor {
+    fn new() -> Self {
+        let mut cursor = WaitAndSearchCursor {
+            n: 1,
+            active_start: 0.0,
+            search_all: 0.0,
+            round_end: 0.0,
+            block: CursorBlock::Inactive,
+            segment: Segment::wait(Vec2::ZERO, 0.0),
+            segment_start: 0.0,
+            // Sentinel forcing a refresh on the first probe.
+            segment_end: -1.0,
+            guard: MonotoneGuard::default(),
+        };
+        cursor.enter_round(1);
+        cursor.segment_end = -1.0;
+        cursor
+    }
+
+    fn enter_round(&mut self, n: u32) {
+        self.n = n;
+        self.active_start = PhaseSchedule::active_start(n);
+        self.search_all = PhaseSchedule::search_all_duration(n);
+        self.round_end = PhaseSchedule::round_end(n);
+        self.block = CursorBlock::Inactive;
+        self.segment = Segment::wait(Vec2::ZERO, 2.0 * self.search_all);
+        self.segment_start = PhaseSchedule::inactive_start(n);
+        self.segment_end = self.active_start;
+    }
+
+    /// Re-derives block and segment caches so the query time `t` lies in
+    /// `[segment_start, segment_end)` (modulo ulp slack at phase edges,
+    /// where evaluation still clamps correctly).
+    fn refresh(&mut self, t: f64) {
+        // Advance rounds incrementally; equivalent to `round_at` because
+        // queries are non-decreasing.
+        while t >= self.round_end {
+            assert!(
+                self.n < MAX_PHASE_ROUND,
+                "time {t} beyond the supported horizon {}",
+                PhaseSchedule::inactive_start(MAX_PHASE_ROUND + 1)
+            );
+            self.enter_round(self.n + 1);
+        }
+        if t < self.active_start {
+            // Round n's inactive wait (`enter_round` cached it already,
+            // but a fresh query can also re-enter here after a sentinel).
+            self.block = CursorBlock::Inactive;
+            self.segment = Segment::wait(Vec2::ZERO, 2.0 * self.search_all);
+            self.segment_start = PhaseSchedule::inactive_start(self.n);
+            self.segment_end = self.active_start;
+            return;
+        }
+        // Same block decomposition (and, crucially, the same floating-
+        // point expressions) as `WaitAndSearch::segment_at`, cached.
+        let (schedule, w, block_global_start, block_global_end) =
+            if t < self.active_start + self.search_all {
+                let u = t - self.active_start;
+                let (k, f_km1) = WaitAndSearch::forward_block(self.n, u);
+                let f_k = times::rounds_total(k);
+                self.block = CursorBlock::Forward { k, f_km1, f_k };
+                (
+                    RoundSchedule::new(k),
+                    u - f_km1,
+                    self.active_start + f_km1,
+                    self.active_start + f_k,
+                )
+            } else {
+                let rev_start = self.active_start + self.search_all;
+                let u = t - rev_start;
+                let (k, block_start) = WaitAndSearch::reverse_block(self.n, u);
+                let f_km1 = times::rounds_total(k - 1);
+                let f_k = times::rounds_total(k);
+                self.block = CursorBlock::Reverse { k, f_km1, f_k };
+                (
+                    RoundSchedule::new(k),
+                    u - block_start,
+                    rev_start + block_start,
+                    rev_start + (self.search_all - f_km1),
+                )
+            };
+        // Independently rounded closed forms can disagree by an ulp at a
+        // block edge; clamp strictly inside the round (the edge time sits
+        // in the terminal wait, whose position the clamp preserves).
+        let w = w.clamp(0.0, schedule.duration() * (1.0 - f64::EPSILON));
+        let (local_start, seg) = schedule.segment_at(w);
+        self.segment = seg;
+        self.segment_start = block_global_start + local_start;
+        self.segment_end = (self.segment_start + seg.duration()).min(block_global_end);
+    }
+
+    /// Refreshes only the segment when the query stays inside the cached
+    /// `(n, k)` block, avoiding the block scans.
+    fn refresh_segment_within_block(&mut self, t: f64) -> bool {
+        if t >= self.round_end {
+            return false;
+        }
+        let (schedule, block_global_start, block_global_end) = match self.block {
+            CursorBlock::Inactive => return false,
+            CursorBlock::Forward { k, f_km1, f_k } => {
+                let u = t - self.active_start;
+                if !(u >= f_km1 && u < f_k && t < self.active_start + self.search_all) {
+                    return false;
+                }
+                (
+                    RoundSchedule::new(k),
+                    self.active_start + f_km1,
+                    self.active_start + f_k,
+                )
+            }
+            CursorBlock::Reverse { k, f_km1, f_k } => {
+                let rev_start = self.active_start + self.search_all;
+                let u = t - rev_start;
+                if !(u >= 0.0 && u >= self.search_all - f_k && u < self.search_all - f_km1) {
+                    return false;
+                }
+                (
+                    RoundSchedule::new(k),
+                    rev_start + (self.search_all - f_k),
+                    rev_start + (self.search_all - f_km1),
+                )
+            }
+        };
+        let local = (t - block_global_start).max(0.0);
+        if local >= schedule.duration() {
+            return false;
+        }
+        let (local_start, seg) = schedule.segment_at(local);
+        self.segment = seg;
+        self.segment_start = block_global_start + local_start;
+        self.segment_end = (self.segment_start + seg.duration()).min(block_global_end);
+        true
+    }
+}
+
+impl Cursor for WaitAndSearchCursor {
+    fn probe(&mut self, t: f64) -> Probe {
+        self.guard.check(t);
+        if t >= self.segment_end && !self.refresh_segment_within_block(t) {
+            self.refresh(t);
+        }
+        Probe {
+            position: self.segment.position_at(t - self.segment_start),
+            piece_end: self.segment_end,
+            motion: segment_motion(&self.segment),
+        }
+    }
+
+    fn speed_bound(&self) -> f64 {
+        1.0
+    }
+}
+
+impl MonotoneTrajectory for WaitAndSearch {
+    type Cursor<'a> = WaitAndSearchCursor;
+
+    fn cursor(&self) -> WaitAndSearchCursor {
+        WaitAndSearchCursor::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +459,49 @@ mod tests {
                 direct.distance(streamed) < 1e-6,
                 "mismatch at t={t}: {direct} vs {streamed}"
             );
+        }
+    }
+
+    /// The cursor must agree with the closed-form random access over a
+    /// dense grid spanning rounds 1–3, including every phase transition.
+    #[test]
+    fn cursor_matches_random_access() {
+        use rvz_trajectory::monotone::{Cursor as _, MonotoneTrajectory as _};
+        let algo = WaitAndSearch;
+        let mut cursor = algo.cursor();
+        let horizon = PhaseSchedule::round_end(3);
+        let n = 6000;
+        for i in 0..=n {
+            let t = horizon * (i as f64) / (n as f64);
+            let p = cursor.probe(t);
+            let direct = algo.position(t);
+            assert!(
+                p.position.distance(direct) < 1e-9,
+                "mismatch at t={t}: {} vs {direct}",
+                p.position
+            );
+            assert!(p.piece_end > t, "stale piece end at t={t}");
+        }
+    }
+
+    /// Queries pinned inside one `Search(k)` block must reuse the cached
+    /// block (exercised implicitly: correctness across many queries that
+    /// alternate short and long strides).
+    #[test]
+    fn cursor_survives_irregular_strides() {
+        use rvz_trajectory::monotone::{Cursor as _, MonotoneTrajectory as _};
+        let algo = WaitAndSearch;
+        let mut cursor = algo.cursor();
+        let mut t = 0.0;
+        let horizon = PhaseSchedule::round_end(2);
+        let mut stride = 0.013;
+        while t < horizon {
+            let p = cursor.probe(t);
+            let direct = algo.position(t);
+            assert!(p.position.distance(direct) < 1e-9, "mismatch at t={t}");
+            // Alternate tiny and large strides to hit both cache paths.
+            stride = if stride < 1.0 { stride * 17.0 } else { 0.013 };
+            t += stride;
         }
     }
 

@@ -15,7 +15,12 @@
 //!   what makes sweep artifacts diffable across machines);
 //! * **Allocation-free hot path** — workers pre-build one algorithm value
 //!   and reuse it by reference via [`rvz_sim::batch`]; the engine itself
-//!   holds no buffers, so the per-instance cost is pure arithmetic.
+//!   holds no buffers, so the per-instance cost is pure arithmetic. Each
+//!   scenario builds its two monotone cursors exactly once and then runs
+//!   on the engine's analytic fast path (closed-form contact on straight
+//!   legs and waits, amortized-O(1) position queries elsewhere) — the
+//!   random-access indexing of `Path`/Algorithm 7 is never re-derived
+//!   per query.
 
 use crate::scenario::{Algorithm, Scenario};
 use rvz_core::WaitAndSearch;

@@ -9,6 +9,7 @@
 use crate::schedule::{RoundPhase, RoundSchedule};
 use crate::times;
 use rvz_geometry::Vec2;
+use rvz_trajectory::monotone::{segment_motion, Cursor, MonotoneGuard, MonotoneTrajectory, Probe};
 use rvz_trajectory::{Segment, Trajectory};
 
 /// The Algorithm 4 trajectory.
@@ -115,6 +116,96 @@ impl Trajectory for UniversalSearch {
     }
 }
 
+/// The [`MonotoneTrajectory`] cursor of [`UniversalSearch`].
+///
+/// Caches the active round `k` (advanced incrementally instead of
+/// re-scanning `round_at` every query) and the active segment with its
+/// global span, so a probe that stays inside the current segment costs
+/// O(1); a segment transition costs one `O(log)` closed-form lookup.
+#[derive(Debug, Clone)]
+pub struct UniversalSearchCursor {
+    /// Active round index (`≥ 1`).
+    round: u32,
+    /// `rounds_total(round − 1)` — global start of the active round.
+    round_start: f64,
+    /// `rounds_total(round)` — global end of the active round.
+    round_end: f64,
+    /// Active segment with its global start, and its global end.
+    segment: Segment,
+    segment_start: f64,
+    segment_end: f64,
+    guard: MonotoneGuard,
+}
+
+impl UniversalSearchCursor {
+    fn new() -> Self {
+        UniversalSearchCursor {
+            round: 1,
+            round_start: 0.0,
+            round_end: times::rounds_total(1),
+            // A sentinel forcing a lookup on the first probe.
+            segment: Segment::wait(Vec2::ZERO, 0.0),
+            segment_start: 0.0,
+            segment_end: -1.0,
+            guard: MonotoneGuard::default(),
+        }
+    }
+
+    /// Refreshes the cached round/segment so that the last query time `t`
+    /// falls inside `[segment_start, segment_end)`.
+    fn refresh(&mut self, t: f64) {
+        // Advance the round incrementally; queries are non-decreasing, so
+        // scanning forward from the cached round reproduces `round_at`.
+        while t >= self.round_end {
+            assert!(
+                self.round < times::MAX_ROUND,
+                "time {t} beyond the supported horizon {}",
+                times::rounds_total(times::MAX_ROUND)
+            );
+            self.round += 1;
+            self.round_start = self.round_end;
+            self.round_end = times::rounds_total(self.round);
+        }
+        let schedule = RoundSchedule::new(self.round);
+        // The round-total closed forms round independently of the round
+        // duration; clamp strictly inside so an ulp-edge query resolves
+        // to the terminal wait instead of tripping the range assert.
+        let local = (t - self.round_start).clamp(0.0, schedule.duration() * (1.0 - f64::EPSILON));
+        let (local_start, seg) = schedule.segment_at(local);
+        self.segment = seg;
+        self.segment_start = self.round_start + local_start;
+        // Cap at the round boundary: the terminal wait's nominal duration
+        // can overshoot the closed-form round end by an ulp.
+        self.segment_end = (self.segment_start + seg.duration()).min(self.round_end);
+    }
+}
+
+impl Cursor for UniversalSearchCursor {
+    fn probe(&mut self, t: f64) -> Probe {
+        self.guard.check(t);
+        if t >= self.segment_end {
+            self.refresh(t);
+        }
+        Probe {
+            position: self.segment.position_at(t - self.segment_start),
+            piece_end: self.segment_end,
+            motion: segment_motion(&self.segment),
+        }
+    }
+
+    fn speed_bound(&self) -> f64 {
+        1.0
+    }
+}
+
+impl MonotoneTrajectory for UniversalSearch {
+    type Cursor<'a> = UniversalSearchCursor;
+
+    fn cursor(&self) -> UniversalSearchCursor {
+        UniversalSearchCursor::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +260,26 @@ mod tests {
                 direct.distance(streamed) < 1e-7,
                 "mismatch at t={t}: {direct} vs {streamed}"
             );
+        }
+    }
+
+    #[test]
+    fn cursor_matches_random_access() {
+        use rvz_trajectory::monotone::{Cursor as _, MonotoneTrajectory as _};
+        let s = UniversalSearch;
+        let mut cursor = s.cursor();
+        let horizon = times::rounds_total(3);
+        let n = 4000;
+        for i in 0..=n {
+            let t = horizon * (i as f64) / (n as f64);
+            let p = cursor.probe(t);
+            let direct = s.position(t);
+            assert!(
+                p.position.distance(direct) < 1e-9,
+                "mismatch at t={t}: {} vs {direct}",
+                p.position
+            );
+            assert!(p.piece_end > t, "stale piece end at t={t}");
         }
     }
 

@@ -7,14 +7,15 @@
 //! algorithm (the `rvz-experiments` sweep executor, the throughput
 //! bench), the *by-ref* entry points here let one algorithm value be
 //! built once per worker and reused for the whole batch: the
-//! [`Trajectory`] blanket impl for `&T` means the frame warp wraps a
-//! borrow, and the engine itself holds no per-call buffers, so the hot
-//! loop performs no allocation at all.
+//! [`MonotoneTrajectory`] blanket impl for `&T` means the frame warp
+//! wraps a borrow, and the engine itself holds no per-call buffers, so
+//! the hot loop performs no allocation at all. Each simulation builds its
+//! two cursors once and runs entirely on the monotone fast path.
 
 use crate::engine::{first_contact, ContactOptions, SimOutcome};
 use crate::stationary::Stationary;
 use rvz_model::{RendezvousInstance, SearchInstance};
-use rvz_trajectory::Trajectory;
+use rvz_trajectory::MonotoneTrajectory;
 
 /// [`crate::simulate_rendezvous`] with the algorithm taken by reference:
 /// no `Clone` bound, no per-call algorithm construction.
@@ -36,7 +37,7 @@ use rvz_trajectory::Trajectory;
 ///     assert!(simulate_rendezvous_by_ref(&algorithm, &inst, &opts).is_contact());
 /// }
 /// ```
-pub fn simulate_rendezvous_by_ref<T: Trajectory>(
+pub fn simulate_rendezvous_by_ref<T: MonotoneTrajectory>(
     algorithm: &T,
     instance: &RendezvousInstance,
     opts: &ContactOptions,
@@ -48,7 +49,7 @@ pub fn simulate_rendezvous_by_ref<T: Trajectory>(
 }
 
 /// [`crate::simulate_search`] with the algorithm taken by reference.
-pub fn simulate_search_by_ref<T: Trajectory>(
+pub fn simulate_search_by_ref<T: MonotoneTrajectory>(
     algorithm: &T,
     instance: &SearchInstance,
     opts: &ContactOptions,
@@ -59,7 +60,7 @@ pub fn simulate_search_by_ref<T: Trajectory>(
 
 /// Runs a batch of rendezvous instances under one shared algorithm value,
 /// returning outcomes in instance order.
-pub fn run_rendezvous_batch<T: Trajectory>(
+pub fn run_rendezvous_batch<T: MonotoneTrajectory>(
     algorithm: &T,
     instances: &[RendezvousInstance],
     opts: &ContactOptions,

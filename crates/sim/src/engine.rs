@@ -1,5 +1,43 @@
-//! The conservative-advancement first-contact engine.
+//! The first-contact engine: analytic advancement over monotone cursors,
+//! with the original conservative-advancement loop kept as a generic
+//! fallback.
+//!
+//! ## Two engines, one contract
+//!
+//! * [`first_contact`] — the fast path. Both trajectories provide
+//!   [`MonotoneTrajectory`] cursors; the engine probes them at
+//!   non-decreasing times (amortized O(1) per probe) and, whenever both
+//!   cursors report an affine piece (straight leg or wait), solves the
+//!   within-piece contact in closed form — a quadratic in `t` — instead
+//!   of inching forward at the conservative rate. Where a piece is
+//!   curved (arcs, spirals, closures) it falls back to the conservative
+//!   step for that span.
+//! * [`first_contact_generic`] — the original engine, byte-for-byte: a
+//!   pure conservative-advancement loop over random-access
+//!   [`Trajectory::position`] queries. It exists for exotic downstream
+//!   `Trajectory` impls without cursors and as the reference
+//!   implementation the fast path is equivalence-tested against
+//!   (alongside the dense-sampling [`crate::verify::first_contact_brute`]
+//!   oracle).
+//!
+//! Both report the same [`SimOutcome`] classification on the same
+//! scenario; the fast path may declare a contact the generic engine
+//! misses only inside the tolerance band `(radius, radius + tolerance]`,
+//! where the conservative step can legitimately jump a sub-tolerance dip.
+//!
+//! ## Soundness of the analytic step
+//!
+//! On an affine piece both positions are exact linear functions of time
+//! until the earlier `piece_end`, so the squared distance is an exact
+//! quadratic `q(u)`; the smallest root of `q(u) = (radius + tolerance)²`
+//! inside the piece *is* the first contact, and its absence proves no
+//! contact up to the piece boundary — no speed-bound argument needed.
+//! On curved pieces the conservative argument applies unchanged: with
+//! relative speed at most `s`, a gap `D − radius` cannot close within
+//! `(D − radius)/s`. The progress floor (a few ulps of `t`) guarantees
+//! termination exactly as before.
 
+use rvz_trajectory::monotone::{Cursor, MonotoneTrajectory, Motion};
 use rvz_trajectory::Trajectory;
 use std::fmt;
 
@@ -31,11 +69,19 @@ impl Default for ContactOptions {
 
 impl ContactOptions {
     /// Options with a custom horizon and defaults elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately when `horizon` is not positive and finite —
+    /// construction-time validation, so a bad horizon fails at the call
+    /// site that introduced it rather than at the first simulation.
     pub fn with_horizon(horizon: f64) -> Self {
-        ContactOptions {
+        let opts = ContactOptions {
             horizon,
             ..ContactOptions::default()
-        }
+        };
+        opts.validate();
+        opts
     }
 
     /// Sets the declaration tolerance.
@@ -73,7 +119,9 @@ pub enum SimOutcome {
     },
     /// No contact up to the horizon.
     Horizon {
-        /// The smallest distance observed at any step.
+        /// The smallest distance observed at any step (on analytically
+        /// solved pieces this includes the true within-piece closest
+        /// approach, not just the sampled endpoints).
         min_distance: f64,
         /// When that minimum was observed.
         min_distance_time: f64,
@@ -104,6 +152,26 @@ impl SimOutcome {
     pub fn is_contact(&self) -> bool {
         matches!(self, SimOutcome::Contact { .. })
     }
+
+    /// Advancement steps used, whatever the outcome.
+    pub fn steps(&self) -> u64 {
+        match *self {
+            SimOutcome::Contact { steps, .. }
+            | SimOutcome::Horizon { steps, .. }
+            | SimOutcome::StepBudget { steps, .. } => steps,
+        }
+    }
+
+    /// The outcome's stable classification label
+    /// (`"contact"` / `"horizon"` / `"step-budget"`), as used by the
+    /// engine-equivalence tests and the `BENCH_engine.json` schema.
+    pub fn classification(&self) -> &'static str {
+        match self {
+            SimOutcome::Contact { .. } => "contact",
+            SimOutcome::Horizon { .. } => "horizon",
+            SimOutcome::StepBudget { .. } => "step-budget",
+        }
+    }
 }
 
 impl fmt::Display for SimOutcome {
@@ -131,8 +199,163 @@ impl fmt::Display for SimOutcome {
     }
 }
 
-/// Finds the first time `|a(t) − b(t)| ≤ radius (+ tolerance)` by
-/// conservative advancement.
+/// Finds the first time `|a(t) − b(t)| ≤ radius (+ tolerance)` on the
+/// monotone-cursor fast path.
+///
+/// Builds one cursor per trajectory and runs
+/// [`first_contact_cursors`]; see the [module docs](self) for the
+/// algorithm and its soundness argument. For a `Trajectory` without a
+/// [`MonotoneTrajectory`] impl use [`first_contact_generic`] (or wrap it
+/// in [`rvz_trajectory::GenericCursor`]).
+///
+/// # Panics
+///
+/// Panics on invalid options, a non-positive `radius`, or a trajectory
+/// producing a non-finite position.
+pub fn first_contact<A, B>(a: &A, b: &B, radius: f64, opts: &ContactOptions) -> SimOutcome
+where
+    A: MonotoneTrajectory + ?Sized,
+    B: MonotoneTrajectory + ?Sized,
+{
+    first_contact_cursors(&mut a.cursor(), &mut b.cursor(), radius, opts)
+}
+
+/// The cursor-level engine behind [`first_contact`].
+///
+/// Takes the two cursors directly, which lets heterogeneous callers
+/// (e.g. `&[&dyn MonotoneDyn]` swarms) drive the fast path through boxed
+/// cursors.
+///
+/// # Panics
+///
+/// As for [`first_contact`].
+pub fn first_contact_cursors<A, B>(
+    a: &mut A,
+    b: &mut B,
+    radius: f64,
+    opts: &ContactOptions,
+) -> SimOutcome
+where
+    A: Cursor + ?Sized,
+    B: Cursor + ?Sized,
+{
+    opts.validate();
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive and finite, got {radius}"
+    );
+    let rel_speed = a.speed_bound() + b.speed_bound();
+    assert!(
+        rel_speed.is_finite(),
+        "speed bounds must be finite, got {rel_speed}"
+    );
+    let threshold = radius + opts.tolerance;
+
+    let mut t = 0.0_f64;
+    let mut min_distance = f64::INFINITY;
+    let mut min_distance_time = 0.0;
+    let mut steps = 0_u64;
+
+    loop {
+        let pa = a.probe(t);
+        let pb = b.probe(t);
+        let d = pa.position.distance(pb.position);
+        assert!(
+            d.is_finite(),
+            "trajectory produced a non-finite position at t={t}"
+        );
+        if d < min_distance {
+            min_distance = d;
+            min_distance_time = t;
+        }
+        if d <= threshold {
+            return SimOutcome::Contact {
+                time: t,
+                distance: d,
+                steps,
+            };
+        }
+        if t >= opts.horizon {
+            return SimOutcome::Horizon {
+                min_distance,
+                min_distance_time,
+                steps,
+            };
+        }
+        steps += 1;
+        if steps > opts.max_steps {
+            return SimOutcome::StepBudget {
+                time: t,
+                min_distance,
+                steps: opts.max_steps,
+            };
+        }
+
+        let step = match (pa.motion, pb.motion) {
+            (Motion::Affine { velocity: va }, Motion::Affine { velocity: vb }) => {
+                // Both pieces are exact linear motions until `boundary`
+                // (never past the horizon — the horizon endpoint itself
+                // must be sampled so `min_distance` covers it).
+                let boundary = pa.piece_end.min(pb.piece_end).min(opts.horizon);
+                let ub = (boundary - t).max(0.0);
+                // Relative motion q(u) = q0 + dv·u for u ∈ [0, ub].
+                let q0 = pb.position - pa.position;
+                let dv = vb - va;
+                let a2 = dv.norm_squared();
+                let b2 = q0.dot(dv);
+                let c2 = q0.norm_squared() - threshold * threshold; // > 0 here
+                let mut jump = ub;
+                // A first crossing of |q| = threshold needs the distance
+                // to be shrinking (b2 < 0) and a real root.
+                if a2 > 0.0 && b2 < 0.0 {
+                    let disc = b2 * b2 - a2 * c2;
+                    if disc >= 0.0 {
+                        // Smallest root, in the cancellation-free form.
+                        let root = c2 / (-b2 + disc.sqrt());
+                        if root <= ub {
+                            jump = root;
+                        }
+                    }
+                    if jump >= ub {
+                        // No contact inside the piece: still record the
+                        // true closest approach (the quadratic's vertex)
+                        // if it falls inside, so Horizon outcomes report
+                        // a faithful minimum despite the long jumps.
+                        let vertex = -b2 / a2;
+                        if vertex < ub {
+                            let dmin = (q0 + dv * vertex).norm();
+                            if dmin < min_distance {
+                                min_distance = dmin;
+                                min_distance_time = t + vertex;
+                            }
+                        }
+                    }
+                }
+                jump
+            }
+            _ => {
+                // At least one curved piece: conservative advancement.
+                if rel_speed > 0.0 {
+                    (d - radius) / rel_speed
+                } else {
+                    // Neither can move: the distance can never change.
+                    return SimOutcome::Horizon {
+                        min_distance,
+                        min_distance_time,
+                        steps,
+                    };
+                }
+            }
+        };
+        // Progress floor: a few ulps of the current time.
+        let floor = 4.0 * f64::EPSILON * (1.0 + t.abs());
+        t = (t + step.max(floor)).min(opts.horizon);
+    }
+}
+
+/// The original conservative-advancement engine over random-access
+/// [`Trajectory::position`] queries — the generic fallback and reference
+/// implementation.
 ///
 /// Soundness: with `s = a.speed_bound() + b.speed_bound()`, the distance
 /// can decrease at rate at most `s`, so after observing gap `D − radius`
@@ -144,7 +367,7 @@ impl fmt::Display for SimOutcome {
 /// # Panics
 ///
 /// Panics on invalid options or a non-positive `radius`.
-pub fn first_contact<A, B>(a: &A, b: &B, radius: f64, opts: &ContactOptions) -> SimOutcome
+pub fn first_contact_generic<A, B>(a: &A, b: &B, radius: f64, opts: &ContactOptions) -> SimOutcome
 where
     A: Trajectory + ?Sized,
     B: Trajectory + ?Sized,
@@ -232,6 +455,26 @@ mod tests {
     }
 
     #[test]
+    fn head_on_paths_solve_in_one_analytic_step() {
+        // The same configuration as closed-form paths: the fast engine
+        // must jump straight to the crossing instead of crawling.
+        let a = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(10.0, 0.0))
+            .build();
+        let b = PathBuilder::at(Vec2::new(10.0, 0.0))
+            .line_to(Vec2::ZERO)
+            .build();
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::default());
+        match out {
+            SimOutcome::Contact { time, steps, .. } => {
+                assert!((time - 4.5).abs() < 1e-6, "t = {time}");
+                assert!(steps <= 3, "analytic path took {steps} steps");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn parallel_motion_never_contacts() {
         let a = FnTrajectory::new(|t| Vec2::new(t, 0.0), 1.0);
         let b = FnTrajectory::new(|t| Vec2::new(t, 5.0), 1.0);
@@ -239,6 +482,31 @@ mod tests {
         match out {
             SimOutcome::Horizon { min_distance, .. } => {
                 assert!((min_distance - 5.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grazing_paths_report_true_minimum_without_crawling() {
+        // Closest approach 1.0 + 1e-7 > threshold: no contact, but the
+        // Horizon outcome must carry the *true* within-piece minimum and
+        // the engine must not ulp-crawl to find it.
+        let h = 1.0 + 1e-7;
+        let a = PathBuilder::at(Vec2::new(-50.0, h))
+            .line_to(Vec2::new(50.0, h))
+            .build();
+        let b = PathBuilder::at(Vec2::ZERO).wait(500.0).build();
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::with_horizon(200.0));
+        match out {
+            SimOutcome::Horizon {
+                min_distance,
+                min_distance_time,
+                steps,
+            } => {
+                assert!((min_distance - h).abs() < 1e-9, "min {min_distance}");
+                assert!((min_distance_time - 50.0).abs() < 1e-6);
+                assert!(steps < 10, "grazing pass took {steps} steps");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -315,6 +583,64 @@ mod tests {
     }
 
     #[test]
+    fn horizon_endpoint_is_sampled_exactly() {
+        // A closes on B but the horizon cuts the approach short: the
+        // minimum over [0, horizon] sits exactly at the horizon, and both
+        // engines must sample it there rather than overshoot past it.
+        let a = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(100.0, 0.0))
+            .build();
+        let b = PathBuilder::at(Vec2::new(200.0, 0.0)).wait(1000.0).build();
+        let opts = ContactOptions::with_horizon(10.0);
+        for out in [
+            first_contact(&a, &b, 1.0, &opts),
+            first_contact_generic(&a, &b, 1.0, &opts),
+        ] {
+            match out {
+                SimOutcome::Horizon {
+                    min_distance,
+                    min_distance_time,
+                    ..
+                } => {
+                    assert_eq!(min_distance_time, 10.0);
+                    assert!((min_distance - 190.0).abs() < 1e-9, "min {min_distance}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_contact_never_declared_past_horizon() {
+        // The within-piece root lies beyond the horizon: must be Horizon.
+        let a = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(100.0, 0.0))
+            .build();
+        let b = PathBuilder::at(Vec2::new(50.0, 0.0)).wait(1000.0).build();
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::with_horizon(20.0));
+        assert!(!out.is_contact(), "{out}");
+    }
+
+    #[test]
+    fn generic_and_fast_agree_on_classification() {
+        let a = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(5.0, 0.0))
+            .wait(2.0)
+            .line_to(Vec2::new(5.0, 5.0))
+            .build();
+        let b = PathBuilder::at(Vec2::new(8.0, 4.0))
+            .line_to(Vec2::new(2.0, 4.0))
+            .build();
+        let opts = ContactOptions::with_horizon(50.0);
+        let fast = first_contact(&a, &b, 0.5, &opts);
+        let generic = first_contact_generic(&a, &b, 0.5, &opts);
+        assert_eq!(fast.is_contact(), generic.is_contact());
+        if let (Some(tf), Some(tg)) = (fast.contact_time(), generic.contact_time()) {
+            assert!((tf - tg).abs() < 1e-6, "{tf} vs {tg}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "radius must be positive")]
     fn zero_radius_rejected() {
         let a = FnTrajectory::new(|_| Vec2::ZERO, 0.0);
@@ -330,6 +656,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn with_horizon_validates_eagerly() {
+        // The satellite bugfix: a bad horizon must fail at construction,
+        // not at the first simulation that happens to use it.
+        let _ = ContactOptions::with_horizon(-1.0);
+    }
+
+    #[test]
     fn outcome_display() {
         let c = SimOutcome::Contact {
             time: 1.0,
@@ -337,11 +671,13 @@ mod tests {
             steps: 10,
         };
         assert!(c.to_string().contains("contact at"));
+        assert_eq!(c.steps(), 10);
         let h = SimOutcome::Horizon {
             min_distance: 2.0,
             min_distance_time: 5.0,
             steps: 3,
         };
         assert!(h.to_string().contains("no contact"));
+        assert_eq!(h.steps(), 3);
     }
 }

@@ -22,6 +22,19 @@
 //!   Algorithm 7's Θ(4ⁿ)-segment rounds tractable together with the
 //!   closed-form random access from `rvz-search`/`rvz-core`.
 //!
+//! ## The monotone-cursor fast path
+//!
+//! [`first_contact`] additionally exploits the trajectories'
+//! *piecewise structure* through
+//! [`MonotoneTrajectory`](rvz_trajectory::MonotoneTrajectory) cursors:
+//! position queries at non-decreasing times cost amortized O(1), and
+//! whenever both robots are on straight legs or waits the within-piece
+//! first contact is solved in closed form (a quadratic in `t`) rather
+//! than by conservative inching — eliminating the ulp-floor crawl on
+//! grazing configurations. The original random-access loop survives as
+//! [`first_contact_generic`] for exotic `Trajectory` impls and as the
+//! reference the fast path is equivalence-tested against.
+//!
 //! Contact is declared when `D ≤ r + tolerance`; the reported time is
 //! early by at most `tolerance / s` relative to the exact `D = r`
 //! crossing, and every report carries the achieved distance so callers
@@ -52,7 +65,9 @@ pub mod trace;
 pub mod verify;
 
 pub use batch::{run_rendezvous_batch, simulate_rendezvous_by_ref, simulate_search_by_ref};
-pub use engine::{first_contact, ContactOptions, SimOutcome};
+pub use engine::{
+    first_contact, first_contact_cursors, first_contact_generic, ContactOptions, SimOutcome,
+};
 pub use multi::{first_simultaneous_gathering, pairwise_meetings};
 pub use runners::{simulate_rendezvous, simulate_search};
 pub use stationary::Stationary;

@@ -16,8 +16,9 @@
 //! does **not** obviously compose into simultaneous gathering — which is
 //! precisely why the paper leaves it open.
 
-use crate::engine::{first_contact, ContactOptions, SimOutcome};
-use rvz_trajectory::Trajectory;
+use crate::engine::{first_contact_cursors, ContactOptions, SimOutcome};
+use rvz_geometry::Vec2;
+use rvz_trajectory::{Cursor, MonotoneDyn, Trajectory};
 
 /// First-contact times for every unordered pair in a swarm.
 ///
@@ -25,12 +26,17 @@ use rvz_trajectory::Trajectory;
 /// within `radius` at time `t ≤ opts.horizon`; `None` otherwise.
 /// Diagonal and lower-triangle entries are `None`.
 ///
+/// The robots are taken as [`MonotoneDyn`] trait objects (implemented
+/// automatically for every
+/// [`MonotoneTrajectory`](rvz_trajectory::MonotoneTrajectory)), so each
+/// pair runs on the engine's cursor fast path via boxed cursors.
+///
 /// # Panics
 ///
 /// Panics when fewer than two robots are supplied (or on invalid
-/// options/radius, as in [`first_contact`]).
+/// options/radius, as in [`crate::first_contact`]).
 pub fn pairwise_meetings(
-    robots: &[&dyn Trajectory],
+    robots: &[&dyn MonotoneDyn],
     radius: f64,
     opts: &ContactOptions,
 ) -> Vec<Vec<Option<f64>>> {
@@ -39,19 +45,24 @@ pub fn pairwise_meetings(
     let mut table = vec![vec![None; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            table[i][j] = first_contact(&robots[i], &robots[j], radius, opts).contact_time();
+            let outcome = first_contact_cursors(
+                &mut robots[i].dyn_cursor(),
+                &mut robots[j].dyn_cursor(),
+                radius,
+                opts,
+            );
+            table[i][j] = outcome.contact_time();
         }
     }
     table
 }
 
-/// The swarm diameter at time `t`: the largest pairwise distance.
-fn diameter(robots: &[&dyn Trajectory], t: f64) -> f64 {
+/// The largest pairwise distance among sampled positions.
+fn diameter_of(positions: &[Vec2]) -> f64 {
     let mut max = 0.0_f64;
-    for i in 0..robots.len() {
-        let pi = robots[i].position(t);
-        for r in robots.iter().skip(i + 1) {
-            max = max.max(pi.distance(r.position(t)));
+    for (i, pi) in positions.iter().enumerate() {
+        for pj in positions.iter().skip(i + 1) {
+            max = max.max(pi.distance(*pj));
         }
     }
     max
@@ -68,7 +79,7 @@ fn diameter(robots: &[&dyn Trajectory], t: f64) -> f64 {
 ///
 /// Panics when fewer than two robots are supplied or on invalid options.
 pub fn first_simultaneous_gathering(
-    robots: &[&dyn Trajectory],
+    robots: &[&dyn MonotoneDyn],
     radius: f64,
     opts: &ContactOptions,
 ) -> SimOutcome {
@@ -83,12 +94,20 @@ pub fn first_simultaneous_gathering(
             .map(|r| r.speed_bound())
             .fold(0.0_f64, f64::max);
 
+    // One cursor per robot, built once: the loop only advances `t`, so
+    // every position sample is an amortized-O(1) monotone query.
+    let mut cursors: Vec<Box<dyn Cursor + '_>> = robots.iter().map(|r| r.dyn_cursor()).collect();
+    let mut positions = vec![Vec2::ZERO; robots.len()];
+
     let mut t = 0.0_f64;
     let mut min_diameter = f64::INFINITY;
     let mut min_diameter_time = 0.0;
     let mut steps = 0_u64;
     loop {
-        let d = diameter(robots, t);
+        for (position, cursor) in positions.iter_mut().zip(cursors.iter_mut()) {
+            *position = cursor.position(t);
+        }
+        let d = diameter_of(&positions);
         if d < min_diameter {
             min_diameter = d;
             min_diameter_time = t;
@@ -100,6 +119,9 @@ pub fn first_simultaneous_gathering(
                 steps,
             };
         }
+        // Note the ordering: `t` is clamped to the horizon when stepping,
+        // so the diameter at exactly `t = horizon` is sampled (and folded
+        // into the minimum) before this returns.
         if t >= opts.horizon {
             return SimOutcome::Horizon {
                 min_distance: min_diameter,
@@ -134,7 +156,7 @@ mod tests {
     use rvz_geometry::Vec2;
     use rvz_trajectory::FnTrajectory;
 
-    fn approach(start: Vec2, speed: f64) -> impl Trajectory {
+    fn approach(start: Vec2, speed: f64) -> impl MonotoneDyn {
         // Moves from `start` straight toward the origin, then stays.
         FnTrajectory::new(
             move |t| {
@@ -151,7 +173,7 @@ mod tests {
         let a = approach(Vec2::new(4.0, 0.0), 1.0);
         let b = approach(Vec2::new(0.0, 4.0), 0.5);
         let c = approach(Vec2::new(-4.0, -4.0), 0.8);
-        let robots: Vec<&dyn Trajectory> = vec![&a, &b, &c];
+        let robots: Vec<&dyn MonotoneDyn> = vec![&a, &b, &c];
         let out = first_simultaneous_gathering(&robots, 0.5, &ContactOptions::with_horizon(100.0));
         let t = out.contact_time().expect("all converge to the origin");
         // Slowest robot (b) needs 4/0.5 = 8 time units minus the slack the
@@ -164,7 +186,7 @@ mod tests {
         let a = approach(Vec2::new(2.0, 0.0), 1.0);
         let b = approach(Vec2::new(-2.0, 0.0), 1.0);
         let c = FnTrajectory::new(|_| Vec2::new(0.0, 50.0), 0.0); // far away, parked
-        let robots: Vec<&dyn Trajectory> = vec![&a, &b, &c];
+        let robots: Vec<&dyn MonotoneDyn> = vec![&a, &b, &c];
         let table = pairwise_meetings(&robots, 0.5, &ContactOptions::with_horizon(50.0));
         assert!(table[0][1].is_some());
         assert_eq!(table[1][0], None); // lower triangle unused
@@ -176,7 +198,7 @@ mod tests {
     fn diverging_robots_report_horizon() {
         let a = FnTrajectory::new(|t| Vec2::new(1.0 + t, 0.0), 1.0);
         let b = FnTrajectory::new(|t| Vec2::new(-1.0 - t, 0.0), 1.0);
-        let robots: Vec<&dyn Trajectory> = vec![&a, &b];
+        let robots: Vec<&dyn MonotoneDyn> = vec![&a, &b];
         let out = first_simultaneous_gathering(&robots, 0.5, &ContactOptions::with_horizon(10.0));
         match out {
             SimOutcome::Horizon { min_distance, .. } => {
@@ -190,7 +212,7 @@ mod tests {
     #[should_panic(expected = "at least two robots")]
     fn single_robot_rejected() {
         let a = FnTrajectory::new(|_| Vec2::ZERO, 0.0);
-        let robots: Vec<&dyn Trajectory> = vec![&a];
+        let robots: Vec<&dyn MonotoneDyn> = vec![&a];
         let _ = first_simultaneous_gathering(&robots, 1.0, &ContactOptions::default());
     }
 }

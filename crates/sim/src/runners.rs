@@ -4,7 +4,7 @@
 use crate::engine::{first_contact, ContactOptions, SimOutcome};
 use crate::stationary::Stationary;
 use rvz_model::{RendezvousInstance, SearchInstance};
-use rvz_trajectory::{FrameWarp, Trajectory};
+use rvz_trajectory::{FrameWarp, MonotoneTrajectory};
 
 /// Simulates the Section 2 search problem: a robot at the origin runs
 /// `algorithm`; a stationary target sits at `instance.target()`.
@@ -21,7 +21,7 @@ use rvz_trajectory::{FrameWarp, Trajectory};
 /// let out = simulate_search(UniversalSearch, &inst, &ContactOptions::default());
 /// assert!(out.is_contact());
 /// ```
-pub fn simulate_search<T: Trajectory>(
+pub fn simulate_search<T: MonotoneTrajectory>(
     algorithm: T,
     instance: &SearchInstance,
     opts: &ContactOptions,
@@ -49,7 +49,7 @@ pub fn simulate_search<T: Trajectory>(
 /// let out = simulate_rendezvous(UniversalSearch, &inst, &ContactOptions::default());
 /// assert!(out.is_contact());
 /// ```
-pub fn simulate_rendezvous<T: Trajectory + Clone>(
+pub fn simulate_rendezvous<T: MonotoneTrajectory + Clone>(
     algorithm: T,
     instance: &RendezvousInstance,
     opts: &ContactOptions,

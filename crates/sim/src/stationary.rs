@@ -1,6 +1,7 @@
 //! A trajectory that never moves — the stationary search target.
 
 use rvz_geometry::Vec2;
+use rvz_trajectory::monotone::{Cursor, MonotoneTrajectory, Probe};
 use rvz_trajectory::Trajectory;
 
 /// A point that stays at `position` forever.
@@ -43,7 +44,7 @@ impl Stationary {
 
 impl Trajectory for Stationary {
     fn position(&self, t: f64) -> Vec2 {
-        assert!(t >= 0.0 && !t.is_nan(), "position requires t >= 0, got {t}");
+        debug_assert!(t >= 0.0 && !t.is_nan(), "position requires t >= 0, got {t}");
         self.position
     }
 
@@ -53,6 +54,34 @@ impl Trajectory for Stationary {
 
     fn duration(&self) -> Option<f64> {
         Some(0.0)
+    }
+}
+
+/// The trivial cursor of a [`Stationary`] target: one permanent
+/// zero-velocity piece, letting the engine treat searches for a fixed
+/// target fully analytically whenever the searcher is on a line or wait.
+#[derive(Debug, Clone, Copy)]
+pub struct StationaryCursor {
+    position: Vec2,
+}
+
+impl Cursor for StationaryCursor {
+    fn probe(&mut self, _t: f64) -> Probe {
+        Probe::resting(self.position)
+    }
+
+    fn speed_bound(&self) -> f64 {
+        0.0
+    }
+}
+
+impl MonotoneTrajectory for Stationary {
+    type Cursor<'a> = StationaryCursor;
+
+    fn cursor(&self) -> StationaryCursor {
+        StationaryCursor {
+            position: self.position,
+        }
     }
 }
 

@@ -13,6 +13,7 @@
 //! universal algorithm still succeeding when the drift band stays on one
 //! side of 1 — and documents what happens when it straddles 1.
 
+use crate::monotone::{Cursor, MonotoneGuard, MonotoneTrajectory, Motion, Probe};
 use crate::Trajectory;
 use rvz_geometry::Vec2;
 
@@ -161,6 +162,90 @@ impl<T: Trajectory> Trajectory for ClockDrift<T> {
     }
 }
 
+/// Cursor of a [`ClockDrift`]: tracks the active clock interval with a
+/// forward-only index and drives the inner trajectory's cursor at local
+/// time, so each probe costs O(1) instead of a binary search plus the
+/// inner lookup.
+///
+/// An inner affine piece with velocity `v` seen through a clock running
+/// at rate `ρ` is affine with velocity `ρ·v`; the piece ends at whichever
+/// comes first, the clock breakpoint or the inner piece boundary.
+#[derive(Debug, Clone)]
+pub struct DriftCursor<'a, T: MonotoneTrajectory> {
+    drift: &'a ClockDrift<T>,
+    inner: T::Cursor<'a>,
+    /// Index of the first interval whose global end exceeds the last
+    /// query (== `intervals.len()` once in the tail).
+    index: usize,
+    /// Largest local time handed to the inner cursor so far. Crossing a
+    /// clock breakpoint can make the piecewise-linear map retreat by an
+    /// ulp (the cumulative sums round independently); clamping keeps the
+    /// inner queries non-decreasing as its contract requires.
+    last_local: f64,
+    guard: MonotoneGuard,
+}
+
+impl<T: MonotoneTrajectory> Cursor for DriftCursor<'_, T> {
+    fn probe(&mut self, t: f64) -> Probe {
+        self.guard.check(t);
+        let intervals = &self.drift.intervals;
+        while self.index < intervals.len() && intervals[self.index].0 <= t {
+            self.index += 1;
+        }
+        // Same arithmetic as `ClockDrift::local_time` for this interval.
+        let (g_base, l_base) = if self.index == 0 {
+            (0.0, 0.0)
+        } else {
+            let (g_prev, l_prev, _) = intervals[self.index - 1];
+            (g_prev, l_prev)
+        };
+        let rate = match intervals.get(self.index) {
+            Some(&(_, _, rate)) => rate,
+            None => self.drift.tail_rate,
+        };
+        let local = (l_base + (t - g_base) * rate).max(self.last_local);
+        self.last_local = local;
+        let p = self.inner.probe(local);
+        // The piece ends at the clock breakpoint or when the inner piece
+        // ends, whichever is earlier (∞-safe: ∞ / rate = ∞).
+        let interval_end = intervals
+            .get(self.index)
+            .map_or(f64::INFINITY, |&(g_end, _, _)| g_end);
+        let inner_end_global = g_base + (p.piece_end - l_base) / rate;
+        Probe {
+            position: p.position,
+            piece_end: interval_end.min(inner_end_global),
+            motion: match p.motion {
+                Motion::Affine { velocity } => Motion::Affine {
+                    velocity: velocity * rate,
+                },
+                Motion::Curved => Motion::Curved,
+            },
+        }
+    }
+
+    fn speed_bound(&self) -> f64 {
+        self.drift.max_rate * self.inner.speed_bound()
+    }
+}
+
+impl<T: MonotoneTrajectory> MonotoneTrajectory for ClockDrift<T> {
+    type Cursor<'a>
+        = DriftCursor<'a, T>
+    where
+        T: 'a;
+
+    fn cursor(&self) -> Self::Cursor<'_> {
+        DriftCursor {
+            drift: self,
+            inner: self.inner.cursor(),
+            index: 0,
+            last_local: 0.0,
+            guard: MonotoneGuard::default(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +323,49 @@ mod tests {
         assert_eq!(d.duration(), Some(10.5));
         assert_eq!(d.position(10.5), Vec2::new(6.0, 0.0));
         assert_eq!(d.position(100.0), Vec2::new(6.0, 0.0));
+    }
+
+    #[test]
+    fn cursor_matches_random_access_across_breakpoints() {
+        let inner = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(5.0, 0.0))
+            .wait(2.0)
+            .line_to(Vec2::new(5.0, 5.0))
+            .build();
+        let d = ClockDrift::from_rates(inner, &[(3.0, 0.7), (2.0, 1.2), (4.0, 0.55)], 0.9);
+        let mut c = d.cursor();
+        for i in 0..=1000 {
+            let t = 25.0 * i as f64 / 1000.0;
+            let p = c.probe(t);
+            assert!(
+                p.position.distance(d.position(t)) < 1e-9,
+                "mismatch at t={t}"
+            );
+            assert!(p.piece_end > t || p.piece_end == f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn cursor_scales_affine_velocity_by_rate() {
+        let inner = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(100.0, 0.0))
+            .build();
+        let d = ClockDrift::from_rates(inner, &[(10.0, 0.5)], 2.0);
+        let mut c = d.cursor();
+        match c.probe(1.0).motion {
+            Motion::Affine { velocity } => {
+                assert!((velocity - Vec2::new(0.5, 0.0)).norm() < 1e-15)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Piece ends at the clock breakpoint, not the (later) leg end.
+        assert_eq!(c.probe(1.0).piece_end, 10.0);
+        match c.probe(11.0).motion {
+            Motion::Affine { velocity } => {
+                assert!((velocity - Vec2::new(2.0, 0.0)).norm() < 1e-15)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! through [`FnTrajectory`], which pairs a position closure with an
 //! explicitly declared speed bound.
 
+use crate::monotone::{Cursor, MonotoneGuard, MonotoneTrajectory, Motion, Probe};
 use crate::Trajectory;
 use rvz_geometry::Vec2;
 
@@ -74,7 +75,7 @@ impl<F: Fn(f64) -> Vec2> FnTrajectory<F> {
 
 impl<F: Fn(f64) -> Vec2> Trajectory for FnTrajectory<F> {
     fn position(&self, t: f64) -> Vec2 {
-        assert!(t >= 0.0 && !t.is_nan(), "position requires t >= 0, got {t}");
+        debug_assert!(t >= 0.0 && !t.is_nan(), "position requires t >= 0, got {t}");
         let t = match self.duration {
             Some(d) => t.min(d),
             None => t,
@@ -88,6 +89,53 @@ impl<F: Fn(f64) -> Vec2> Trajectory for FnTrajectory<F> {
 
     fn duration(&self) -> Option<f64> {
         self.duration
+    }
+}
+
+/// Cursor over a closure-backed trajectory: the closure stays opaque
+/// ([`Motion::Curved`]) while it runs, but the rest state after a finite
+/// duration is reported as a permanent zero-velocity piece, so the
+/// simulator can leap over it analytically.
+#[derive(Debug, Clone)]
+pub struct FnCursor<'a, F> {
+    trajectory: &'a FnTrajectory<F>,
+    guard: MonotoneGuard,
+}
+
+impl<F: Fn(f64) -> Vec2> Cursor for FnCursor<'_, F> {
+    fn probe(&mut self, t: f64) -> Probe {
+        self.guard.check(t);
+        match self.trajectory.duration {
+            Some(d) if t >= d => Probe::resting((self.trajectory.f)(d)),
+            Some(d) => Probe {
+                position: (self.trajectory.f)(t),
+                piece_end: d,
+                motion: Motion::Curved,
+            },
+            None => Probe {
+                position: (self.trajectory.f)(t),
+                piece_end: f64::INFINITY,
+                motion: Motion::Curved,
+            },
+        }
+    }
+
+    fn speed_bound(&self) -> f64 {
+        self.trajectory.speed_bound
+    }
+}
+
+impl<F: Fn(f64) -> Vec2> MonotoneTrajectory for FnTrajectory<F> {
+    type Cursor<'a>
+        = FnCursor<'a, F>
+    where
+        F: 'a;
+
+    fn cursor(&self) -> FnCursor<'_, F> {
+        FnCursor {
+            trajectory: self,
+            guard: MonotoneGuard::default(),
+        }
     }
 }
 
@@ -130,6 +178,25 @@ mod tests {
     fn negative_time_panics() {
         let t = FnTrajectory::new(|_| Vec2::ZERO, 1.0);
         let _ = t.position(-1.0);
+    }
+
+    #[test]
+    fn cursor_matches_random_access_and_rests() {
+        let t = FnTrajectory::with_duration(|t| Vec2::new(t, t * t), 10.0, 3.0);
+        let mut c = t.cursor();
+        for i in 0..50 {
+            let time = i as f64 * 0.1;
+            assert_eq!(c.probe(time).position, t.position(time));
+        }
+        let rest = c.probe(7.0);
+        assert_eq!(rest.position, Vec2::new(3.0, 9.0));
+        assert_eq!(rest.piece_end, f64::INFINITY);
+        assert_eq!(
+            rest.motion,
+            Motion::Affine {
+                velocity: Vec2::ZERO
+            }
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   and baselines;
 //! * [`FrameWarp`] — Lemma 4 as a combinator: `t ↦ b + M·S(t/σ)`;
 //! * [`StreamCursor`] — sequential evaluation of a lazy segment stream,
-//!   used to cross-check the closed-form random-access implementations.
+//!   used to cross-check the closed-form random-access implementations;
+//! * [`MonotoneTrajectory`] / [`Cursor`] — amortized-O(1) forward
+//!   evaluation with piece introspection, the substrate of the
+//!   simulator's analytic fast path (see the [`monotone`] module docs
+//!   for the cursor contract).
 //!
 //! ## Example
 //!
@@ -44,6 +48,7 @@
 pub mod cursor;
 pub mod drift;
 pub mod func;
+pub mod monotone;
 pub mod path;
 pub mod segment;
 pub mod warp;
@@ -51,6 +56,9 @@ pub mod warp;
 pub use cursor::StreamCursor;
 pub use drift::ClockDrift;
 pub use func::FnTrajectory;
+pub use monotone::{
+    Cursor, GenericCursor, MonotoneDyn, MonotoneGuard, MonotoneTrajectory, Motion, Probe,
+};
 pub use path::{Path, PathBuilder};
 pub use segment::Segment;
 pub use warp::FrameWarp;

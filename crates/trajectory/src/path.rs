@@ -7,6 +7,7 @@
 //! cumulative start times, so a path with millions of segments still
 //! evaluates in `O(log n)`.
 
+use crate::monotone::{segment_motion, Cursor, MonotoneGuard, MonotoneTrajectory, Probe};
 use crate::segment::Segment;
 use crate::Trajectory;
 use rvz_geometry::Vec2;
@@ -151,7 +152,7 @@ impl Path {
 
 impl Trajectory for Path {
     fn position(&self, t: f64) -> Vec2 {
-        assert!(t >= 0.0 && !t.is_nan(), "position requires t >= 0, got {t}");
+        debug_assert!(t >= 0.0 && !t.is_nan(), "position requires t >= 0, got {t}");
         match self.segment_index_at(t) {
             Some(i) => self.segments[i].position_at(t - self.starts[i]),
             None => self.end_position(),
@@ -164,6 +165,56 @@ impl Trajectory for Path {
 
     fn duration(&self) -> Option<f64> {
         Some(Path::duration(self))
+    }
+}
+
+/// The [`MonotoneTrajectory`] cursor of a [`Path`]: a segment index that
+/// only ever moves forward, replacing the per-query binary search with an
+/// amortized-O(1) advance.
+#[derive(Debug, Clone)]
+pub struct PathCursor<'a> {
+    path: &'a Path,
+    /// Index of the segment containing the last query (== `len()` once
+    /// the path has ended).
+    index: usize,
+    guard: MonotoneGuard,
+}
+
+impl Cursor for PathCursor<'_> {
+    fn probe(&mut self, t: f64) -> Probe {
+        self.guard.check(t);
+        let starts = &self.path.starts;
+        let n = self.path.segments.len();
+        // Advance past finished segments (zero-duration segments have
+        // equal consecutive starts and are skipped in the same loop).
+        while self.index < n && t >= starts[self.index + 1] {
+            self.index += 1;
+        }
+        if self.index == n {
+            return Probe::resting(self.path.end_position());
+        }
+        let seg = &self.path.segments[self.index];
+        Probe {
+            position: seg.position_at(t - starts[self.index]),
+            piece_end: starts[self.index + 1],
+            motion: segment_motion(seg),
+        }
+    }
+
+    fn speed_bound(&self) -> f64 {
+        1.0
+    }
+}
+
+impl MonotoneTrajectory for Path {
+    type Cursor<'a> = PathCursor<'a>;
+
+    fn cursor(&self) -> PathCursor<'_> {
+        PathCursor {
+            path: self,
+            index: 0,
+            guard: MonotoneGuard::default(),
+        }
     }
 }
 
@@ -430,6 +481,71 @@ mod tests {
         assert_eq!(p.segment_index_at(1.999), Some(0));
         assert_eq!(p.segment_index_at(2.0), Some(1));
         assert_eq!(p.segment_index_at(3.0), None);
+    }
+
+    #[test]
+    fn cursor_matches_random_access_on_dense_grid() {
+        use crate::MonotoneTrajectory;
+        let p = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(2.0, 0.0))
+            .arc_around(Vec2::new(2.0, 1.0), PI)
+            .wait(0.5)
+            .line_to(Vec2::ZERO)
+            .build();
+        let mut c = p.cursor();
+        let horizon = p.duration() + 1.0;
+        let n = 997;
+        for i in 0..=n {
+            let t = horizon * i as f64 / n as f64;
+            let direct = p.position(t);
+            let probed = c.probe(t);
+            assert!(
+                direct.distance(probed.position) < 1e-12,
+                "mismatch at t={t}"
+            );
+            assert!(probed.piece_end > t || probed.piece_end == f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn cursor_reports_affine_pieces_and_rest() {
+        use crate::{MonotoneTrajectory, Motion};
+        let p = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(2.0, 0.0))
+            .wait(1.0)
+            .build();
+        let mut c = p.cursor();
+        let leg = c.probe(0.5);
+        assert_eq!(leg.piece_end, 2.0);
+        assert_eq!(
+            leg.motion,
+            Motion::Affine {
+                velocity: Vec2::UNIT_X
+            }
+        );
+        let wait = c.probe(2.5);
+        assert_eq!(wait.piece_end, 3.0);
+        assert_eq!(
+            wait.motion,
+            Motion::Affine {
+                velocity: Vec2::ZERO
+            }
+        );
+        let rest = c.probe(10.0);
+        assert_eq!(rest.position, Vec2::new(2.0, 0.0));
+        assert_eq!(rest.piece_end, f64::INFINITY);
+    }
+
+    #[test]
+    fn cursor_skips_zero_duration_segments() {
+        use crate::MonotoneTrajectory;
+        let p = Path::from_segments([
+            Segment::line(Vec2::ZERO, Vec2::ZERO),
+            Segment::wait(Vec2::ZERO, 0.0),
+            Segment::line(Vec2::ZERO, Vec2::UNIT_X),
+        ]);
+        let mut c = p.cursor();
+        assert_eq!(c.probe(0.5).position, Vec2::new(0.5, 0.0));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! wrapper over any [`Trajectory`], so the *same* algorithm value can be
 //! instantiated for both robots.
 
+use crate::monotone::{Cursor, MonotoneTrajectory, Motion, Probe};
 use crate::Trajectory;
 use rvz_geometry::{Mat2, Vec2};
 
@@ -114,12 +115,66 @@ impl<T: Trajectory> Trajectory for FrameWarp<T> {
     }
 }
 
+/// Cursor of a [`FrameWarp`]: composes the inner trajectory's cursor with
+/// the affine frame map.
+///
+/// The composition preserves the analytic structure: an inner affine
+/// piece with velocity `v` maps to an affine piece with velocity
+/// `M·v / τ`, so straight legs and waits stay exactly solvable through
+/// any stack of frame warps.
+#[derive(Debug, Clone)]
+pub struct WarpCursor<C> {
+    inner: C,
+    linear: Mat2,
+    translation: Vec2,
+    time_scale: f64,
+    speed_bound: f64,
+}
+
+impl<C: Cursor> Cursor for WarpCursor<C> {
+    fn probe(&mut self, t: f64) -> Probe {
+        let p = self.inner.probe(t / self.time_scale);
+        Probe {
+            position: self.translation + self.linear * p.position,
+            // ∞ · τ = ∞, so permanent rests stay permanent.
+            piece_end: p.piece_end * self.time_scale,
+            motion: match p.motion {
+                Motion::Affine { velocity } => Motion::Affine {
+                    velocity: self.linear * velocity / self.time_scale,
+                },
+                Motion::Curved => Motion::Curved,
+            },
+        }
+    }
+
+    fn speed_bound(&self) -> f64 {
+        self.speed_bound
+    }
+}
+
+impl<T: MonotoneTrajectory> MonotoneTrajectory for FrameWarp<T> {
+    type Cursor<'a>
+        = WarpCursor<T::Cursor<'a>>
+    where
+        T: 'a;
+
+    fn cursor(&self) -> Self::Cursor<'_> {
+        WarpCursor {
+            inner: self.inner.cursor(),
+            linear: self.linear,
+            translation: self.translation,
+            time_scale: self.time_scale,
+            speed_bound: self.speed_bound(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::PathBuilder;
     use rvz_geometry::assert_approx_eq;
-    use std::f64::consts::FRAC_PI_2;
+    use std::f64::consts::{FRAC_PI_2, PI};
 
     fn unit_leg() -> crate::Path {
         PathBuilder::at(Vec2::ZERO).line_to(Vec2::UNIT_X).build()
@@ -188,6 +243,68 @@ mod tests {
         assert_eq!(w.inner().duration(), 1.0);
         let inner = w.into_inner();
         assert_eq!(inner.duration(), 1.0);
+    }
+
+    #[test]
+    fn cursor_composes_affine_pieces() {
+        use crate::Motion;
+        let tau = 2.0;
+        let w = FrameWarp::new(
+            PathBuilder::at(Vec2::ZERO)
+                .line_to(Vec2::UNIT_X)
+                .wait(1.0)
+                .build(),
+            Mat2::rotation(FRAC_PI_2) * Mat2::scaling(2.0),
+            Vec2::UNIT_Y,
+            tau,
+        );
+        let mut c = w.cursor();
+        // Inner leg [0,1) maps to global [0,2): velocity rotated, scaled
+        // by 2, slowed by τ = 2 ⇒ |v| = 1, pointing along +y.
+        let p = c.probe(1.0);
+        assert!(p.position.distance(w.position(1.0)) < 1e-15);
+        assert_eq!(p.piece_end, 2.0);
+        match p.motion {
+            Motion::Affine { velocity } => {
+                assert!((velocity - Vec2::UNIT_Y).norm() < 1e-15, "{velocity}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The inner wait maps to a zero-velocity piece ending at 4.
+        let p = c.probe(3.0);
+        assert_eq!(p.piece_end, 4.0);
+        assert_eq!(
+            p.motion,
+            Motion::Affine {
+                velocity: Vec2::ZERO
+            }
+        );
+        // Past the end: permanent rest.
+        assert_eq!(c.probe(9.0).piece_end, f64::INFINITY);
+    }
+
+    #[test]
+    fn cursor_matches_random_access_through_nested_warps() {
+        let inner = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(2.0, 0.0))
+            .arc_around(Vec2::new(2.0, 1.0), PI)
+            .line_to(Vec2::ZERO)
+            .build();
+        let w = FrameWarp::new(
+            FrameWarp::new(inner, Mat2::rotation(0.7), Vec2::new(1.0, -2.0), 0.8),
+            Mat2::chirality_reflection(-1.0) * Mat2::scaling(1.3),
+            Vec2::new(-0.5, 0.25),
+            1.7,
+        );
+        let mut c = w.cursor();
+        let horizon = w.duration().unwrap() + 2.0;
+        for i in 0..=500 {
+            let t = horizon * i as f64 / 500.0;
+            assert!(
+                c.probe(t).position.distance(w.position(t)) < 1e-12,
+                "mismatch at t={t}"
+            );
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn main() {
                 .frame_warp(WaitAndSearch, start)
         })
         .collect();
-    let robots: Vec<&dyn Trajectory> = warped.iter().map(|w| w as &dyn Trajectory).collect();
+    let robots: Vec<&dyn MonotoneDyn> = warped.iter().map(|w| w as &dyn MonotoneDyn).collect();
 
     // Pairwise meeting matrix.
     let opts = ContactOptions::with_horizon(1e6).tolerance(r * 1e-6);

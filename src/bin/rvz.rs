@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "bounds" => cmd_bounds(&opts),
         "sweep" => cmd_sweep(&opts),
         "map" => cmd_map(&opts),
+        "bench-engine" => cmd_bench_engine(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -85,10 +86,20 @@ USAGE:
       Print the Theorem 4 feasibility map over the attribute grid and
       confirm every cell by simulation. Raise --horizon-rounds (default 9)
       and --max-steps for hard instances (large d²/r).
+  rvz bench-engine [--quick] [--out PATH]
+      Benchmark the first-contact engine (seed conservative loop vs the
+      monotone-cursor fast path) on the canonical case set; print the
+      comparison table and write the machine-readable report to PATH
+      (default BENCH_engine.json). --quick runs a sub-second smoke
+      variant for CI.
 
-All flags take numeric values; angles in radians.";
+All flags take numeric values (except the valueless --quick); angles in
+radians.";
 
 type Flags = HashMap<String, String>;
+
+/// Flags that take no value; present means `true`.
+const BOOLEAN_FLAGS: &[&str] = &["quick"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut map = HashMap::new();
@@ -97,6 +108,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected `--flag`, got `{key}`"));
         };
+        if BOOLEAN_FLAGS.contains(&name) {
+            map.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(format!("flag `--{name}` needs a value"));
         };
@@ -352,8 +367,10 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
             return Err("`--lhs` expects a positive sample count".into());
         }
         let seed = get_usize(opts, "seed", 0)? as u64;
-        let mut space = SampleSpace::default();
-        space.visibility = r;
+        let mut space = SampleSpace {
+            visibility: r,
+            ..Default::default()
+        };
         if let Some(algos) = get_algorithms(opts)? {
             space.algorithms = algos;
         }
@@ -363,7 +380,7 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
             .visibilities(&[r])
             .speeds(&[0.5, 0.75, 1.0, 1.25])
             .clocks(&[0.5, 1.0, 1.5])
-            .orientations(&[0.0, 1.57, 3.14])
+            .orientations(&[0.0, std::f64::consts::FRAC_PI_2, std::f64::consts::PI])
             .chiralities(&[Chirality::Consistent, Chirality::Mirrored])
             .distances(&[0.6, 1.0, 1.4]);
         if let Some(v) = get_list_f64(opts, "speeds")? {
@@ -414,6 +431,32 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
         "wall time: {wall:.3} s  ({:.0} instances/s)",
         records.len() as f64 / wall
     );
+    Ok(())
+}
+
+fn cmd_bench_engine(opts: &Flags) -> Result<(), String> {
+    use plane_rendezvous::bench::engine::{
+        grazing_summary, measure_all, render_json, render_table,
+    };
+    let quick = opts.contains_key("quick");
+    let path = opts
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_engine.json");
+    println!(
+        "benchmarking the first-contact engine ({} mode): seed loop vs cursor fast path ...",
+        if quick { "quick" } else { "full" }
+    );
+    let start = Instant::now();
+    let measurements = measure_all(quick);
+    print!("{}", render_table(&measurements));
+    let json = render_json(&measurements, quick);
+    std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!(
+        "wrote {path}  ({:.2} s total)",
+        start.elapsed().as_secs_f64()
+    );
+    println!("{}", grazing_summary(&measurements));
     Ok(())
 }
 

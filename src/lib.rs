@@ -26,6 +26,7 @@
 //! | [`sim`] | conservative-advancement continuous-time simulation |
 //! | [`baselines`] | omniscient spiral, schedule ablations |
 //! | [`experiments`] | scenario grids, Latin-hypercube samples, parallel sweeps |
+//! | [`mod@bench`] | bench tables and the canonical engine benchmark cases |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub use rvz_baselines as baselines;
+pub use rvz_bench as bench;
 pub use rvz_core as core;
 pub use rvz_experiments as experiments;
 pub use rvz_geometry as geometry;
@@ -74,9 +76,12 @@ pub mod prelude {
     };
     pub use rvz_search::{coverage, first_discovery, times, UniversalSearch};
     pub use rvz_sim::{
-        first_contact, simulate_rendezvous, simulate_search, ContactOptions, SimOutcome, Stationary,
+        first_contact, first_contact_generic, simulate_rendezvous, simulate_search, ContactOptions,
+        SimOutcome, Stationary,
     };
-    pub use rvz_trajectory::{FrameWarp, Path, PathBuilder, Segment, Trajectory};
+    pub use rvz_trajectory::{
+        Cursor, FrameWarp, MonotoneDyn, MonotoneTrajectory, Path, PathBuilder, Segment, Trajectory,
+    };
 }
 
 #[cfg(test)]

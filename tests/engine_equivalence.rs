@@ -1,0 +1,168 @@
+//! Old engine vs. new engine: `SimOutcome` equivalence over a
+//! Latin-hypercube of rendezvous scenarios.
+//!
+//! The monotone-cursor fast path (`first_contact`) must classify every
+//! scenario — contact / horizon / step-budget — exactly as the original
+//! conservative-advancement loop (`first_contact_generic`), report
+//! contact times within the tolerance-derived slack, and never contact
+//! later than the dense-sampling brute oracle.
+//!
+//! The one theoretical divergence is a dip entirely inside the
+//! declaration band `(radius, radius + tolerance]`, which the generic
+//! engine may legitimately step over; Latin-hypercube scenarios are not
+//! knife-edge, and any such case would surface here as a classification
+//! mismatch.
+
+use plane_rendezvous::experiments::{latin_hypercube, Algorithm, SampleSpace, Scenario};
+use plane_rendezvous::prelude::*;
+
+/// The fast path, via the public rendezvous runner.
+fn run_fast(scenario: &Scenario, opts: &ContactOptions) -> SimOutcome {
+    let instance = scenario.instance().expect("valid scenario");
+    match scenario.algorithm {
+        Algorithm::WaitAndSearch => simulate_rendezvous(WaitAndSearch, &instance, opts),
+        Algorithm::UniversalSearch => simulate_rendezvous(UniversalSearch, &instance, opts),
+    }
+}
+
+/// The seed engine on the identical pair of trajectories.
+fn run_generic(scenario: &Scenario, opts: &ContactOptions) -> SimOutcome {
+    let instance = scenario.instance().expect("valid scenario");
+    match scenario.algorithm {
+        Algorithm::WaitAndSearch => {
+            let partner = instance
+                .attributes()
+                .frame_warp(WaitAndSearch, instance.offset());
+            first_contact_generic(&WaitAndSearch, &partner, instance.visibility(), opts)
+        }
+        Algorithm::UniversalSearch => {
+            let partner = instance
+                .attributes()
+                .frame_warp(UniversalSearch, instance.offset());
+            first_contact_generic(&UniversalSearch, &partner, instance.visibility(), opts)
+        }
+    }
+}
+
+#[test]
+fn fast_and_generic_engines_classify_identically() {
+    let space = SampleSpace {
+        visibility: 0.2,
+        ..Default::default()
+    };
+    let scenarios = latin_hypercube(&space, 48, 0xE9E9);
+    let opts = ContactOptions {
+        tolerance: 1e-9,
+        horizon: plane_rendezvous::core::completion_time(7),
+        max_steps: 5_000_000,
+    };
+    let mut contacts = 0_usize;
+    for scenario in &scenarios {
+        let fast = run_fast(scenario, &opts);
+        let generic = run_generic(scenario, &opts);
+        assert_eq!(
+            fast.classification(),
+            generic.classification(),
+            "scenario {scenario:?}: fast {fast} vs generic {generic}"
+        );
+        if let (
+            SimOutcome::Contact { time: tf, .. },
+            SimOutcome::Contact {
+                time: tg,
+                distance: dg,
+                ..
+            },
+        ) = (fast, generic)
+        {
+            contacts += 1;
+            // The fast engine resolves the crossing analytically; the
+            // generic engine lands within tolerance/rel_speed of it. Both
+            // must agree to the engines' shared declaration slack.
+            let slack = (opts.tolerance * 10.0).max(1e-9 * tg.abs()) + 1e-6;
+            assert!(
+                tf <= tg + slack,
+                "fast contact later than generic: {tf} vs {tg} ({scenario:?})"
+            );
+            assert!(dg <= scenario.visibility + opts.tolerance);
+        }
+    }
+    // The hypercube must actually exercise the contact branch.
+    assert!(contacts >= 10, "only {contacts} contact scenarios sampled");
+}
+
+#[test]
+fn fast_engine_never_later_than_brute_oracle() {
+    let space = SampleSpace {
+        visibility: 0.25,
+        ..Default::default()
+    };
+    let scenarios = latin_hypercube(&space, 12, 0xB07);
+    let horizon = plane_rendezvous::core::completion_time(5);
+    let opts = ContactOptions {
+        tolerance: 1e-9,
+        horizon,
+        max_steps: 5_000_000,
+    };
+    for scenario in &scenarios {
+        let instance = scenario.instance().expect("valid scenario");
+        let (fast, brute) = match scenario.algorithm {
+            Algorithm::WaitAndSearch => {
+                let partner = instance
+                    .attributes()
+                    .frame_warp(WaitAndSearch, instance.offset());
+                (
+                    first_contact(&WaitAndSearch, &partner, instance.visibility(), &opts),
+                    plane_rendezvous::sim::first_contact_brute(
+                        &WaitAndSearch,
+                        &partner,
+                        instance.visibility(),
+                        horizon,
+                        horizon / 400_000.0,
+                    ),
+                )
+            }
+            Algorithm::UniversalSearch => {
+                let partner = instance
+                    .attributes()
+                    .frame_warp(UniversalSearch, instance.offset());
+                (
+                    first_contact(&UniversalSearch, &partner, instance.visibility(), &opts),
+                    plane_rendezvous::sim::first_contact_brute(
+                        &UniversalSearch,
+                        &partner,
+                        instance.visibility(),
+                        horizon,
+                        horizon / 400_000.0,
+                    ),
+                )
+            }
+        };
+        if let Some(tb) = brute {
+            // One-sided soundness: where coarse sampling sees a contact,
+            // the sound engine must have found one no later.
+            let tf = fast
+                .contact_time()
+                .unwrap_or_else(|| panic!("engine missed brute contact at {tb} ({scenario:?})"));
+            assert!(tf <= tb + 1e-9, "late contact: {tf} vs brute {tb}");
+        }
+    }
+}
+
+/// The generic fallback itself still matches the brute oracle — the
+/// cross-check required for exotic `Trajectory` impls that bypass the
+/// cursor layer.
+#[test]
+fn generic_fallback_agrees_with_brute_oracle() {
+    use plane_rendezvous::trajectory::FnTrajectory;
+    let a = FnTrajectory::new(|t: f64| Vec2::new(t.sin() * 3.0, t.cos() * 2.0), 3.0);
+    let b = FnTrajectory::new(|t: f64| Vec2::new(4.0 - 0.2 * t, 0.1 * t), 0.25);
+    let opts = ContactOptions::with_horizon(50.0);
+    let engine = first_contact_generic(&a, &b, 0.5, &opts);
+    let brute = plane_rendezvous::sim::first_contact_brute(&a, &b, 0.5, 50.0, 1e-4);
+    match (engine.contact_time(), brute) {
+        (Some(te), Some(tb)) => assert!(te <= tb + 1e-9, "{te} vs {tb}"),
+        (Some(_), None) => {} // engine is allowed to be sharper
+        (None, Some(tb)) => panic!("generic engine missed brute contact at {tb}"),
+        (None, None) => {}
+    }
+}

@@ -21,7 +21,11 @@ use plane_rendezvous::prelude::*;
 use plane_rendezvous::trajectory::ClockDrift;
 
 /// Robot R' with drifting clock, same speed/orientation/chirality.
-fn drifting_partner(intervals: &[(f64, f64)], tail: f64, start: Vec2) -> impl Trajectory + use<'_> {
+fn drifting_partner(
+    intervals: &[(f64, f64)],
+    tail: f64,
+    start: Vec2,
+) -> impl MonotoneTrajectory + use<'_> {
     // The drift composes outside the frame warp: local algorithm time is
     // L(t); the frame itself is otherwise the identity with the given
     // start offset.
