@@ -27,11 +27,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> rvz bench-engine --quick (smoke: binary runs, JSON schema intact)"
+echo "==> rvz bench-engine --quick --enforce-steps (smoke: schema intact, no step regressions)"
 BENCH_SMOKE="$(mktemp -t bench_engine_smoke.XXXXXX.json)"
-cargo run --release --quiet --bin rvz -- bench-engine --quick --out "$BENCH_SMOKE" >/dev/null
-grep -q '"schema": "rvz-bench-engine/v1"' "$BENCH_SMOKE"
+# --enforce-steps fails the run if the cursor engine takes more
+# advancement steps than the seed conservative loop on any case.
+cargo run --release --quiet --bin rvz -- bench-engine --quick --enforce-steps --out "$BENCH_SMOKE" >/dev/null
+grep -q '"schema": "rvz-bench-engine/v2"' "$BENCH_SMOKE"
 grep -q '"cases":' "$BENCH_SMOKE"
+grep -q '"pruned_intervals":' "$BENCH_SMOKE"
 rm -f "$BENCH_SMOKE"
 
 echo "CI OK"

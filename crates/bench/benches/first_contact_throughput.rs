@@ -16,11 +16,13 @@ use rvz_bench::engine::{grazing_summary, measure_all, render_table};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let prune = !std::env::args().any(|a| a == "--no-prune");
     println!(
-        "first_contact_throughput ({} mode): seed conservative engine vs cursor fast path\n",
-        if quick { "quick" } else { "full" }
+        "first_contact_throughput ({} mode{}): seed conservative engine vs cursor fast path\n",
+        if quick { "quick" } else { "full" },
+        if prune { "" } else { ", pruning off" }
     );
-    let measurements = measure_all(quick);
+    let measurements = measure_all(quick, prune);
     print!("{}", render_table(&measurements));
     println!("\n{}", grazing_summary(&measurements));
 }

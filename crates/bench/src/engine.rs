@@ -22,7 +22,8 @@ use rvz_geometry::Vec2;
 use rvz_model::RobotAttributes;
 use rvz_search::UniversalSearch;
 use rvz_sim::{
-    first_contact_cursors, first_contact_generic, ContactOptions, SimOutcome, Stationary,
+    first_contact_cursors_instrumented, first_contact_generic, ContactOptions, EngineStats,
+    SimOutcome, Stationary,
 };
 use rvz_trajectory::{MonotoneDyn, PathBuilder};
 use std::time::Instant;
@@ -50,9 +51,10 @@ impl EngineCase {
     }
 
     /// Runs the monotone-cursor engine (through boxed cursors, as the
-    /// heterogeneous swarm path does).
-    pub fn run_cursor(&self) -> SimOutcome {
-        first_contact_cursors(
+    /// heterogeneous swarm path does), returning the pruning-layer work
+    /// counters alongside the outcome.
+    pub fn run_cursor(&self) -> (SimOutcome, EngineStats) {
+        first_contact_cursors_instrumented(
             &mut self.a.dyn_cursor(),
             &mut self.b.dyn_cursor(),
             self.radius,
@@ -64,8 +66,10 @@ impl EngineCase {
 /// The canonical case set.
 ///
 /// `quick` shrinks the grazing spans so a smoke run (CI) finishes in
-/// well under a second while still exercising every engine branch.
-pub fn engine_cases(quick: bool) -> Vec<EngineCase> {
+/// well under a second while still exercising every engine branch;
+/// `prune` toggles the cursor engine's envelope layer (the
+/// `rvz bench-engine --no-prune` A/B).
+pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
     let span = if quick { 2.0 } else { 50.0 };
     let tol = 1e-9;
     let mut cases = Vec::new();
@@ -130,6 +134,7 @@ pub fn engine_cases(quick: bool) -> Vec<EngineCase> {
             tolerance: tol,
             horizon: completion_time(if quick { 4 } else { 5 }),
             max_steps: 2_000_000,
+            ..ContactOptions::default()
         },
         a: Box::new(UniversalSearch),
         b: Box::new(RobotAttributes::reference().frame_warp(UniversalSearch, Vec2::new(0.0, 2.0))),
@@ -150,6 +155,42 @@ pub fn engine_cases(quick: bool) -> Vec<EngineCase> {
         ))),
     });
 
+    // Deep-round twins: the same disproof workload pushed into rounds
+    // where a single `Search(k)` holds millions of segments — the
+    // envelope hierarchy must skip the sub-`d` sweeps wholesale or
+    // drown.
+    cases.push(EngineCase {
+        name: "universal_deep_twins",
+        description: "exact twins under Algorithm 4, deep-round disproof",
+        radius: 0.1,
+        opts: ContactOptions {
+            tolerance: tol,
+            horizon: completion_time(if quick { 5 } else { 6 }),
+            max_steps: 5_000_000,
+            ..ContactOptions::default()
+        },
+        a: Box::new(UniversalSearch),
+        b: Box::new(RobotAttributes::reference().frame_warp(UniversalSearch, Vec2::new(0.0, 2.0))),
+    });
+
+    // Far-apart Algorithm 7 pair: the searches spend whole rounds
+    // sweeping radii far below the separation, so round/sub-round
+    // certificates dominate; contact eventually happens when the sweeps
+    // reach d.
+    let far = RobotAttributes::reference().with_speed(0.5);
+    cases.push(EngineCase {
+        name: "algorithm7_far_pair",
+        description: "Algorithm 7 rendezvous, v = 0.5, d = 10",
+        radius: 0.1,
+        opts: ContactOptions::with_horizon(completion_time(if quick { 7 } else { 9 }))
+            .tolerance(tol),
+        a: Box::new(WaitAndSearch),
+        b: Box::new(far.frame_warp(WaitAndSearch, Vec2::new(8.0, 6.0))),
+    });
+
+    for case in &mut cases {
+        case.opts.prune = prune;
+    }
     cases
 }
 
@@ -165,6 +206,11 @@ pub struct EngineSample {
     pub queries: u64,
     /// Outcome classification (`contact` / `horizon` / `step-budget`).
     pub outcome: &'static str,
+    /// Intervals skipped by envelope separation certificates (cursor
+    /// engine only; always 0 for the seed engine).
+    pub pruned_intervals: u64,
+    /// `envelope(t0, t1)` queries issued (cursor engine only).
+    pub envelope_queries: u64,
 }
 
 /// The measured comparison for one case.
@@ -189,12 +235,12 @@ impl CaseMeasurement {
     }
 }
 
-fn sample<F: Fn() -> SimOutcome>(run: F, iters: u32) -> EngineSample {
-    let outcome = run(); // warm-up, and the steps source
+fn sample<F: Fn() -> (SimOutcome, EngineStats)>(run: F, iters: u32) -> EngineSample {
+    let (outcome, stats) = run(); // warm-up, and the steps/stats source
     let mut best = f64::INFINITY;
     for _ in 0..iters {
         let start = Instant::now();
-        let out = std::hint::black_box(run());
+        let (out, _) = std::hint::black_box(run());
         let ns = start.elapsed().as_nanos() as f64;
         debug_assert_eq!(out.classification(), outcome.classification());
         best = best.min(ns);
@@ -204,6 +250,8 @@ fn sample<F: Fn() -> SimOutcome>(run: F, iters: u32) -> EngineSample {
         steps: outcome.steps(),
         queries: 2 * (outcome.steps() + 1),
         outcome: outcome.classification(),
+        pruned_intervals: stats.pruned_intervals,
+        envelope_queries: stats.envelope_queries,
     }
 }
 
@@ -216,7 +264,7 @@ fn sample<F: Fn() -> SimOutcome>(run: F, iters: u32) -> EngineSample {
 /// a benchmark that silently compared different work would be
 /// meaningless.
 pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
-    let generic = sample(|| case.run_generic(), iters);
+    let generic = sample(|| (case.run_generic(), EngineStats::default()), iters);
     let cursor = sample(|| case.run_cursor(), iters);
     assert_eq!(
         generic.outcome, cursor.outcome,
@@ -232,19 +280,36 @@ pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
     }
 }
 
-/// Runs the whole case set.
-pub fn measure_all(quick: bool) -> Vec<CaseMeasurement> {
+/// Runs the whole case set (`prune` toggles the envelope layer for the
+/// cursor engine — the A/B the CLI exposes as `--no-prune`).
+pub fn measure_all(quick: bool, prune: bool) -> Vec<CaseMeasurement> {
     let iters = if quick { 2 } else { 7 };
-    engine_cases(quick)
+    engine_cases(quick, prune)
         .iter()
         .map(|case| measure_case(case, iters))
         .collect()
 }
 
+/// The case names (if any) on which the cursor engine took more
+/// advancement steps than the seed engine — the regression the
+/// `rvz bench-engine --enforce-steps` CI smoke rejects.
+pub fn step_regressions(measurements: &[CaseMeasurement]) -> Vec<&'static str> {
+    measurements
+        .iter()
+        .filter(|m| m.cursor.steps > m.generic.steps)
+        .map(|m| m.name)
+        .collect()
+}
+
 fn json_sample(sample: &EngineSample) -> String {
     format!(
-        "{{\"ns_per_run\": {:.0}, \"steps\": {}, \"queries\": {}, \"outcome\": \"{}\"}}",
-        sample.ns_per_run, sample.steps, sample.queries, sample.outcome
+        "{{\"ns_per_run\": {:.0}, \"steps\": {}, \"queries\": {}, \"pruned_intervals\": {}, \"envelope_queries\": {}, \"outcome\": \"{}\"}}",
+        sample.ns_per_run,
+        sample.steps,
+        sample.queries,
+        sample.pruned_intervals,
+        sample.envelope_queries,
+        sample.outcome
     )
 }
 
@@ -254,7 +319,7 @@ fn json_sample(sample: &EngineSample) -> String {
 /// versioned so future PRs can extend it without breaking consumers.
 pub fn render_json(measurements: &[CaseMeasurement], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rvz-bench-engine/v1\",\n");
+    out.push_str("  \"schema\": \"rvz-bench-engine/v2\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -304,6 +369,8 @@ pub fn render_table(measurements: &[CaseMeasurement]) -> String {
         "seed steps",
         "cursor ns/run",
         "cursor steps",
+        "pruned",
+        "env queries",
         "speedup",
     ]);
     for m in measurements {
@@ -314,6 +381,8 @@ pub fn render_table(measurements: &[CaseMeasurement]) -> String {
             m.generic.steps.to_string(),
             format!("{:.0}", m.cursor.ns_per_run),
             m.cursor.steps.to_string(),
+            m.cursor.pruned_intervals.to_string(),
+            m.cursor.envelope_queries.to_string(),
             format!("{:.2}x", m.speedup()),
         ]);
     }
@@ -326,8 +395,8 @@ mod tests {
 
     #[test]
     fn quick_cases_run_and_agree() {
-        let measurements = measure_all(true);
-        assert_eq!(measurements.len(), 5);
+        let measurements = measure_all(true, true);
+        assert_eq!(measurements.len(), 7);
         for m in &measurements {
             assert_eq!(m.generic.outcome, m.cursor.outcome, "{}", m.name);
             assert!(m.generic.ns_per_run > 0.0 && m.cursor.ns_per_run > 0.0);
@@ -343,6 +412,21 @@ mod tests {
                 m.generic.steps
             );
         }
+        // The step-fix satellite: the cursor engine must never take more
+        // steps than the seed loop, with or without pruning.
+        assert!(step_regressions(&measurements).is_empty());
+        let unpruned = measure_all(true, false);
+        assert!(step_regressions(&unpruned).is_empty());
+        for m in &unpruned {
+            assert_eq!(m.cursor.pruned_intervals, 0, "{}", m.name);
+            assert_eq!(m.cursor.envelope_queries, 0, "{}", m.name);
+        }
+        // The twin disproof cases are what the envelope layer exists
+        // for: pruning must actually fire there.
+        for name in ["universal_twins_horizon", "universal_deep_twins"] {
+            let m = measurements.iter().find(|m| m.name == name).unwrap();
+            assert!(m.cursor.pruned_intervals > 0, "{name} pruned nothing");
+        }
     }
 
     #[test]
@@ -356,16 +440,21 @@ mod tests {
                 steps: 5,
                 queries: 12,
                 outcome: "contact",
+                pruned_intervals: 0,
+                envelope_queries: 0,
             },
             cursor: EngineSample {
                 ns_per_run: 5.0,
                 steps: 1,
                 queries: 4,
                 outcome: "contact",
+                pruned_intervals: 3,
+                envelope_queries: 8,
             },
         }];
         let json = render_json(&measurements, true);
-        assert!(json.contains("\"schema\": \"rvz-bench-engine/v1\""));
+        assert!(json.contains("\"schema\": \"rvz-bench-engine/v2\""));
+        assert!(json.contains("\"pruned_intervals\": 3"));
         assert!(json.contains("\"mode\": \"quick\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert_eq!(
@@ -377,9 +466,9 @@ mod tests {
 
     #[test]
     fn table_lists_every_case() {
-        let m = measure_all(true);
+        let m = measure_all(true, true);
         let table = render_table(&m);
-        for case in engine_cases(true) {
+        for case in engine_cases(true, true) {
             assert!(table.contains(case.name));
         }
     }

@@ -22,7 +22,7 @@
 
 use crate::phases::{PhaseSchedule, MAX_PHASE_ROUND};
 use rvz_geometry::Vec2;
-use rvz_search::{times, RoundSchedule};
+use rvz_search::{times, RoundCursor, RoundSchedule};
 use rvz_trajectory::monotone::{segment_motion, Cursor, MonotoneGuard, MonotoneTrajectory, Probe};
 use rvz_trajectory::{Segment, Trajectory};
 
@@ -142,6 +142,81 @@ impl WaitAndSearch {
         }
     }
 
+    /// An upper bound on the robot's distance from its start point
+    /// anywhere in the global interval `[t0, t1]` — the closed-form
+    /// certificate behind [`WaitAndSearchCursor`]'s swept envelope.
+    ///
+    /// The bound follows the phase structure top-down. Inactive spans
+    /// are exactly `0`. Within `SearchAll(n)` the `Search(k)` blocks
+    /// sweep non-decreasing radii, so an interval ending in block `k₁`
+    /// is bounded by that block's [`RoundSchedule::reach`] (plus
+    /// `2^{k₁−1}` when the interval starts in an earlier block). Within
+    /// `SearchAllRev(n)` the blocks *shrink*, so an interval starting in
+    /// block `k₀` is bounded by `2^{k₀}`. Intervals spanning the
+    /// forward/reverse boundary contain a complete `Search(n)` and are
+    /// bounded by `2ⁿ`; intervals spanning rounds add `2^{n₁−1}` for the
+    /// completed rounds. Beyond the supported horizon the global
+    /// maximum `2^{MAX_PHASE_ROUND}` applies instead of a panic.
+    pub fn reach_between(t0: f64, t1: f64) -> f64 {
+        let t1 = t1.max(t0);
+        if t1 >= PhaseSchedule::inactive_start(MAX_PHASE_ROUND + 1) {
+            return (MAX_PHASE_ROUND as f64).exp2();
+        }
+        let n1 = PhaseSchedule::round_at(t1);
+        let start1 = PhaseSchedule::inactive_start(n1);
+        if t0 >= start1 {
+            Self::round_reach_between(n1, t0, t1)
+        } else {
+            // Rounds before n₁ (n₁ ≥ 2 here) reach at most 2^{n₁−1}.
+            Self::round_reach_between(n1, start1, t1).max(((n1 - 1) as f64).exp2())
+        }
+    }
+
+    /// [`WaitAndSearch::reach_between`] restricted to one Algorithm 7
+    /// round: both times must lie in round `n`.
+    fn round_reach_between(n: u32, t0: f64, t1: f64) -> f64 {
+        let a_n = PhaseSchedule::active_start(n);
+        let s_n = PhaseSchedule::search_all_duration(n);
+        if t1 < a_n {
+            // Entirely inside the inactive wait: pinned to the start.
+            return 0.0;
+        }
+        let mid = a_n + s_n;
+        if t1 < mid {
+            // Ends inside SearchAll(n), in forward block k₁.
+            let u1 = t1 - a_n;
+            let (k1, f_km1) = Self::forward_block(n, u1);
+            let block_reach = RoundSchedule::new(k1).reach(u1 - f_km1);
+            let same_block = t0 >= a_n && {
+                let (k0, _) = Self::forward_block(n, (t0 - a_n).min(u1));
+                k0 == k1
+            };
+            if same_block || k1 == 1 {
+                block_reach
+            } else {
+                block_reach.max(((k1 - 1) as f64).exp2())
+            }
+        } else {
+            // Ends inside SearchAllRev(n), in reverse block k₁.
+            let u1 = t1 - mid;
+            let (k1, block_start) = Self::reverse_block(n, u1);
+            if t0 < mid {
+                // The interval contains the forward/reverse boundary and
+                // with it a complete Search(n).
+                return (n as f64).exp2();
+            }
+            let u0 = (t0 - mid).min(u1);
+            let (k0, _) = Self::reverse_block(n, u0);
+            if k0 == k1 {
+                RoundSchedule::new(k1).reach(u1 - block_start)
+            } else {
+                // Block k₀ runs to completion inside the interval and
+                // dominates every later (smaller) block.
+                (k0 as f64).exp2()
+            }
+        }
+    }
+
     /// Explicit segment stream for rounds `1..=max_n` (Θ(4ⁿ) items per
     /// round — tests and small demos only).
     ///
@@ -210,11 +285,21 @@ pub struct WaitAndSearchCursor {
     /// `I(n+1)` — global end of round `n`.
     round_end: f64,
     block: CursorBlock,
+    /// Sequential pointer into the active `Search(k)` block, keyed by
+    /// `(n, phase, k)` so any block change rebuilds it; blocks are
+    /// visited in order, so within a block every segment transition is
+    /// an O(1) hop instead of two binary searches.
+    block_cursor: Option<(u64, RoundCursor)>,
     /// Active segment with its global span.
     segment: Segment,
     segment_start: f64,
     segment_end: f64,
     guard: MonotoneGuard,
+}
+
+/// Cache key for the sequential block pointer.
+fn block_key(n: u32, phase: u8, k: u32) -> u64 {
+    ((n as u64) << 16) | ((phase as u64) << 8) | k as u64
 }
 
 impl WaitAndSearchCursor {
@@ -225,6 +310,7 @@ impl WaitAndSearchCursor {
             search_all: 0.0,
             round_end: 0.0,
             block: CursorBlock::Inactive,
+            block_cursor: None,
             segment: Segment::wait(Vec2::ZERO, 0.0),
             segment_start: 0.0,
             // Sentinel forcing a refresh on the first probe.
@@ -272,14 +358,15 @@ impl WaitAndSearchCursor {
         }
         // Same block decomposition (and, crucially, the same floating-
         // point expressions) as `WaitAndSearch::segment_at`, cached.
-        let (schedule, w, block_global_start, block_global_end) =
+        let (k, phase, w, block_global_start, block_global_end) =
             if t < self.active_start + self.search_all {
                 let u = t - self.active_start;
                 let (k, f_km1) = WaitAndSearch::forward_block(self.n, u);
                 let f_k = times::rounds_total(k);
                 self.block = CursorBlock::Forward { k, f_km1, f_k };
                 (
-                    RoundSchedule::new(k),
+                    k,
+                    1,
                     u - f_km1,
                     self.active_start + f_km1,
                     self.active_start + f_k,
@@ -292,7 +379,8 @@ impl WaitAndSearchCursor {
                 let f_k = times::rounds_total(k);
                 self.block = CursorBlock::Reverse { k, f_km1, f_k };
                 (
-                    RoundSchedule::new(k),
+                    k,
+                    2,
                     u - block_start,
                     rev_start + block_start,
                     rev_start + (self.search_all - f_km1),
@@ -301,11 +389,24 @@ impl WaitAndSearchCursor {
         // Independently rounded closed forms can disagree by an ulp at a
         // block edge; clamp strictly inside the round (the edge time sits
         // in the terminal wait, whose position the clamp preserves).
-        let w = w.clamp(0.0, schedule.duration() * (1.0 - f64::EPSILON));
-        let (local_start, seg) = schedule.segment_at(w);
+        let w = w.clamp(0.0, times::round_duration(k) * (1.0 - f64::EPSILON));
+        let (local_start, seg) = self.block_segment_at(phase, k, w);
         self.segment = seg;
         self.segment_start = block_global_start + local_start;
         self.segment_end = (self.segment_start + seg.duration()).min(block_global_end);
+    }
+
+    /// Looks up a segment within the active `Search(k)` block through the
+    /// sequential pointer, rebuilding it when the block changed.
+    fn block_segment_at(&mut self, phase: u8, k: u32, w: f64) -> (f64, Segment) {
+        let key = block_key(self.n, phase, k);
+        match &mut self.block_cursor {
+            Some((cached, rc)) if *cached == key => rc.segment_at(w),
+            slot => {
+                *slot = Some((key, RoundCursor::new(k)));
+                slot.as_mut().expect("just installed").1.segment_at(w)
+            }
+        }
     }
 
     /// Refreshes only the segment when the query stays inside the cached
@@ -314,18 +415,14 @@ impl WaitAndSearchCursor {
         if t >= self.round_end {
             return false;
         }
-        let (schedule, block_global_start, block_global_end) = match self.block {
+        let (k, phase, block_global_start, block_global_end) = match self.block {
             CursorBlock::Inactive => return false,
             CursorBlock::Forward { k, f_km1, f_k } => {
                 let u = t - self.active_start;
                 if !(u >= f_km1 && u < f_k && t < self.active_start + self.search_all) {
                     return false;
                 }
-                (
-                    RoundSchedule::new(k),
-                    self.active_start + f_km1,
-                    self.active_start + f_k,
-                )
+                (k, 1, self.active_start + f_km1, self.active_start + f_k)
             }
             CursorBlock::Reverse { k, f_km1, f_k } => {
                 let rev_start = self.active_start + self.search_all;
@@ -334,17 +431,18 @@ impl WaitAndSearchCursor {
                     return false;
                 }
                 (
-                    RoundSchedule::new(k),
+                    k,
+                    2,
                     rev_start + (self.search_all - f_k),
                     rev_start + (self.search_all - f_km1),
                 )
             }
         };
         let local = (t - block_global_start).max(0.0);
-        if local >= schedule.duration() {
+        if local >= times::round_duration(k) {
             return false;
         }
-        let (local_start, seg) = schedule.segment_at(local);
+        let (local_start, seg) = self.block_segment_at(phase, k, local);
         self.segment = seg;
         self.segment_start = block_global_start + local_start;
         self.segment_end = (self.segment_start + seg.duration()).min(block_global_end);
@@ -358,15 +456,30 @@ impl Cursor for WaitAndSearchCursor {
         if t >= self.segment_end && !self.refresh_segment_within_block(t) {
             self.refresh(t);
         }
+        let u = t - self.segment_start;
         Probe {
-            position: self.segment.position_at(t - self.segment_start),
+            position: self.segment.position_at(u),
             piece_end: self.segment_end,
-            motion: segment_motion(&self.segment),
+            motion: segment_motion(&self.segment, u),
         }
     }
 
     fn speed_bound(&self) -> f64 {
         1.0
+    }
+
+    /// Two tiers, mirroring [`crate::WaitAndSearch::segment_at`]'s
+    /// decomposition: inside the cached segment the exact chunk disk,
+    /// otherwise the origin-centered phase-hierarchy bound
+    /// [`WaitAndSearch::reach_between`] (inactive phases collapse to a
+    /// point, whole `Search(k)` blocks to their sweep radius).
+    fn envelope(&mut self, t0: f64, t1: f64) -> rvz_geometry::Disk {
+        if t0 >= self.segment_start && t1 <= self.segment_end {
+            return self
+                .segment
+                .chunk_disk(t0 - self.segment_start, t1 - self.segment_start);
+        }
+        rvz_geometry::Disk::new(Vec2::ZERO, WaitAndSearch::reach_between(t0, t1))
     }
 }
 
@@ -527,6 +640,73 @@ mod tests {
         match WaitAndSearch::locate(a + s + 1.0) {
             Algorithm7Phase::Reverse { k, .. } => assert_eq!(k, n),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reach_between_bounds_dense_samples() {
+        let algo = WaitAndSearch;
+        let horizon = PhaseSchedule::round_end(3);
+        let mut state = 0xD1B54A32D192ED03_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1_u64 << 53) as f64
+        };
+        for _ in 0..300 {
+            let a = next() * horizon;
+            let b = next() * horizon;
+            let (t0, t1) = if a <= b { (a, b) } else { (b, a) };
+            let bound = WaitAndSearch::reach_between(t0, t1);
+            for i in 0..=40 {
+                let t = t0 + (t1 - t0) * i as f64 / 40.0;
+                let r = algo.position(t).norm();
+                assert!(
+                    r <= bound + 1e-9,
+                    "|pos({t})| = {r} > bound {bound} for [{t0}, {t1}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reach_between_is_tight_on_structure() {
+        // Entirely inside an inactive wait: a point certificate.
+        let n = 3;
+        let (i_n, a_n) = PhaseSchedule::inactive_interval(n);
+        assert_eq!(
+            WaitAndSearch::reach_between(i_n + 1.0, a_n - 1.0),
+            0.0,
+            "inactive phase must have zero reach"
+        );
+        // An interval inside the first forward block of SearchAll(3)
+        // must be bounded by Search(1)'s sweep, not the round's.
+        let bound = WaitAndSearch::reach_between(a_n, a_n + 1.0);
+        assert!(bound <= 2.0, "early forward block bound {bound}");
+        // Crossing the forward/reverse midpoint costs the full 2^n.
+        let mid = a_n + PhaseSchedule::search_all_duration(n);
+        assert_eq!(WaitAndSearch::reach_between(mid - 1.0, mid + 1.0), 8.0);
+    }
+
+    #[test]
+    fn cursor_envelope_contains_positions() {
+        use rvz_trajectory::monotone::{Cursor as _, MonotoneTrajectory as _};
+        let algo = WaitAndSearch;
+        let mut cursor = algo.cursor();
+        let horizon = PhaseSchedule::round_end(2);
+        let mut t0 = 0.0;
+        while t0 < horizon {
+            let t1 = (t0 + 13.7).min(horizon);
+            let disk = cursor.envelope(t0, t1);
+            for i in 0..=20 {
+                let t = t0 + (t1 - t0) * i as f64 / 20.0;
+                assert!(
+                    disk.contains(algo.position(t), 1e-9),
+                    "envelope [{t0}, {t1}] misses t={t}"
+                );
+            }
+            t0 += 29.3;
         }
     }
 

@@ -52,6 +52,7 @@ impl Default for SweepOptions {
                 tolerance: 1e-9,
                 horizon: rvz_core::completion_time(9),
                 max_steps: 300_000,
+                ..ContactOptions::default()
             },
         }
     }

@@ -17,6 +17,8 @@
 //!   product space operations.
 //! * [`mat2`] — 2×2 matrices ([`Mat2`]), rotation/reflection constructors and
 //!   the QR factorization used by Lemma 5.
+//! * [`disk`] — closed disks ([`Disk`]) and the set-distance (`gap`)
+//!   operation behind the simulator's swept-envelope pruning.
 //! * [`angle`] — angle normalization helpers on `[0, 2π)`.
 //! * [`approx`] — tolerant floating-point comparisons used throughout the
 //!   workspace's tests and the simulator's contact detection.
@@ -36,10 +38,12 @@
 
 pub mod angle;
 pub mod approx;
+pub mod disk;
 pub mod mat2;
 pub mod vec2;
 
 pub use angle::{normalize_angle, TAU};
 pub use approx::{approx_eq, approx_eq_eps, ApproxEq};
+pub use disk::Disk;
 pub use mat2::{Mat2, QrFactors};
 pub use vec2::Vec2;

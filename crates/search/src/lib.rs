@@ -54,7 +54,7 @@ pub mod universal;
 pub mod windows;
 
 pub use discovery::{first_discovery, Discovery, DiscoveryEvent};
-pub use schedule::{RoundSchedule, SubRound};
+pub use schedule::{RoundCursor, RoundSchedule, SubRound};
 pub use universal::UniversalSearch;
 pub use windows::{round_contact_windows, ContactWindow};
 

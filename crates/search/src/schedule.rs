@@ -271,6 +271,40 @@ impl RoundSchedule {
         }
     }
 
+    /// The largest radius swept anywhere in this round:
+    /// `δ_{2k,k} = 2^k` (the outer radius of the last sub-round).
+    pub fn max_radius(&self) -> f64 {
+        times::outer_radius(self.k, 2 * self.k - 1)
+    }
+
+    /// An upper bound on the robot's distance from the origin over the
+    /// whole local interval `[0, u]` — the round level of the
+    /// swept-envelope hierarchy.
+    ///
+    /// Exactness comes from the schedule's monotone structure: circle
+    /// radii are non-decreasing within a sub-round, and each sub-round's
+    /// first circle equals the previous sub-round's outer radius, so the
+    /// radius of the circle active at `u` bounds everything before it
+    /// (legs and waits stay inside it: every `SearchCircle(δ)` traversal
+    /// is contained in the disk of radius `δ` around the origin).
+    ///
+    /// `u` is clamped to the round; at/after the terminal wait this is
+    /// [`RoundSchedule::max_radius`]. Cost: the two closed-form binary
+    /// searches of [`RoundSchedule::segment_at`], no enumeration.
+    pub fn reach(&self, u: f64) -> f64 {
+        if u < 0.0 {
+            return 0.0;
+        }
+        let u = u.min(self.duration() * (1.0 - f64::EPSILON));
+        match self.subround_index_at(u) {
+            None => self.max_radius(),
+            Some(j) => {
+                let sub = SubRound::new(self.k, j);
+                sub.circle_radius(sub.circle_index_at(u - sub.start_within_round()))
+            }
+        }
+    }
+
     /// Rich introspection of the phase active at local time `u`.
     pub fn locate(&self, u: f64) -> RoundPhase {
         match self.subround_index_at(u) {
@@ -318,6 +352,192 @@ impl RoundSchedule {
                 Vec2::ZERO,
                 times::round_wait(k),
             )))
+    }
+}
+
+/// A forward-only pointer into one round's segment sequence.
+///
+/// The engine's cursors visit a round's segments *in order* (piece after
+/// piece), yet [`RoundSchedule::segment_at`] re-runs its two binary
+/// searches from scratch on every transition. `RoundCursor` caches the
+/// `(sub-round, circle, leg)` coordinates of the active segment and hops
+/// to the next leg/circle/sub-round in O(1) closed-form arithmetic,
+/// falling back to the binary search only when a query leaps past
+/// several segments at once. Every boundary it produces comes from the
+/// same closed forms as `segment_at`, so the two agree bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct RoundCursor {
+    schedule: RoundSchedule,
+    segment: Segment,
+    /// Local [start, end) of the cached segment.
+    start: f64,
+    end: f64,
+    /// Sub-round of the cached segment; `== 2k` once in the final wait.
+    j: u32,
+    /// Circle within the sub-round.
+    i: u64,
+    /// 0 = outbound leg, 1 = circle sweep, 2 = inbound leg.
+    leg: u8,
+    /// Local start of circle `i` (sub-round start + circle offset).
+    circle_base: f64,
+    radius: f64,
+}
+
+/// Sequential hops attempted before falling back to binary search.
+const MAX_HOPS: u32 = 8;
+
+impl RoundCursor {
+    /// A cursor over `Search(k)`, positioned before the first segment.
+    pub fn new(k: u32) -> Self {
+        let mut cursor = RoundCursor {
+            schedule: RoundSchedule::new(k),
+            segment: Segment::wait(Vec2::ZERO, 0.0),
+            start: 0.0,
+            // Sentinel: the first query always refreshes.
+            end: -1.0,
+            j: 0,
+            i: 0,
+            leg: 0,
+            circle_base: 0.0,
+            radius: 0.0,
+        };
+        cursor.seek(0.0);
+        cursor
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &RoundSchedule {
+        &self.schedule
+    }
+
+    /// The segment active at local time `u ∈ [0, duration)` with its
+    /// local start time — the forward-friendly [`RoundSchedule::segment_at`].
+    ///
+    /// Queries may move forward arbitrarily (backward queries within the
+    /// cached segment are also fine); cost is O(1) per segment visited
+    /// in order.
+    pub fn segment_at(&mut self, u: f64) -> (f64, Segment) {
+        if u >= self.end {
+            let mut hops = 0;
+            loop {
+                if hops >= MAX_HOPS {
+                    self.seek(u);
+                    break;
+                }
+                self.hop();
+                hops += 1;
+                if u < self.end {
+                    break;
+                }
+            }
+        }
+        (self.start, self.segment)
+    }
+
+    /// Rebuilds the cached coordinates via the binary searches.
+    fn seek(&mut self, u: f64) {
+        let k = self.schedule.round();
+        match self.schedule.subround_index_at(u) {
+            None => {
+                self.j = 2 * k;
+                self.set_wait();
+            }
+            Some(j) => {
+                let sub = SubRound::new(k, j);
+                let sub_start = sub.start_within_round();
+                let i = sub.circle_index_at(u - sub_start);
+                self.j = j;
+                self.i = i;
+                self.circle_base = sub_start + sub.circle_start(i);
+                self.radius = sub.circle_radius(i);
+                // The same floating-point boundary expressions as
+                // `segment_at` (`r` then `r + r*tau`), so seek and the
+                // binary search never disagree, even by an ulp.
+                let x = u - self.circle_base;
+                let tau = std::f64::consts::TAU;
+                self.leg = if x < self.radius {
+                    0
+                } else if x < self.radius + self.radius * tau {
+                    1
+                } else {
+                    2
+                };
+                self.set_leg();
+            }
+        }
+    }
+
+    /// Advances to the next segment in schedule order.
+    fn hop(&mut self) {
+        let k = self.schedule.round();
+        if self.j >= 2 * k {
+            // Already in (or past) the terminal wait: stay there.
+            self.set_wait();
+            return;
+        }
+        if self.leg < 2 {
+            self.leg += 1;
+            self.set_leg();
+            return;
+        }
+        // Finished a circle: next circle, next sub-round, or the wait.
+        let sub = SubRound::new(k, self.j);
+        if self.i + 1 < sub.circle_count() {
+            self.i += 1;
+            self.circle_base = sub.start_within_round() + sub.circle_start(self.i);
+            self.radius = sub.circle_radius(self.i);
+        } else if self.j + 1 < 2 * k {
+            self.j += 1;
+            let next = SubRound::new(k, self.j);
+            self.i = 0;
+            self.circle_base = next.start_within_round();
+            self.radius = next.circle_radius(0);
+        } else {
+            self.j = 2 * k;
+            self.set_wait();
+            return;
+        }
+        self.leg = 0;
+        self.set_leg();
+    }
+
+    /// Installs the cached circle's current leg as the active segment.
+    ///
+    /// Start times use the *same floating-point expressions* as
+    /// [`RoundSchedule::segment_at`] (left-associated sums off the
+    /// circle base), so sequential hops agree with the binary search
+    /// bit-for-bit.
+    fn set_leg(&mut self) {
+        let r = self.radius;
+        let tau = std::f64::consts::TAU;
+        let (start, duration, segment) = match self.leg {
+            0 => (
+                self.circle_base,
+                r,
+                Segment::line(Vec2::ZERO, Vec2::new(r, 0.0)),
+            ),
+            1 => (
+                self.circle_base + r,
+                r * tau,
+                Segment::full_circle(Vec2::ZERO, r, 0.0),
+            ),
+            _ => (
+                self.circle_base + r + r * tau,
+                r,
+                Segment::line(Vec2::new(r, 0.0), Vec2::ZERO),
+            ),
+        };
+        self.segment = segment;
+        self.start = start;
+        self.end = start + duration;
+    }
+
+    /// Installs the terminal wait as the active segment.
+    fn set_wait(&mut self) {
+        let k = self.schedule.round();
+        self.segment = Segment::wait(Vec2::ZERO, times::round_wait(k));
+        self.start = self.schedule.wait_start();
+        self.end = f64::INFINITY;
     }
 }
 
@@ -455,5 +675,64 @@ mod tests {
     fn segment_at_rejects_out_of_range() {
         let round = RoundSchedule::new(1);
         let _ = round.segment_at(round.duration());
+    }
+
+    /// The sequential pointer must reproduce `segment_at` exactly — same
+    /// segments, same closed-form start times — across every access
+    /// pattern the engine produces (piece-by-piece, short hops, leaps).
+    #[test]
+    fn round_cursor_matches_segment_at() {
+        for k in 1..=4u32 {
+            let round = RoundSchedule::new(k);
+            for stride_mul in [0.001, 0.37, 2.9, 41.0] {
+                let mut cursor = RoundCursor::new(k);
+                let mut u = 0.0;
+                let stride = stride_mul * k as f64;
+                while u < round.duration() {
+                    let (fast_start, fast_seg) = cursor.segment_at(u);
+                    let (slow_start, slow_seg) = round.segment_at(u);
+                    assert_eq!(fast_start.to_bits(), slow_start.to_bits(), "k={k} u={u}");
+                    assert_eq!(fast_seg, slow_seg, "k={k} u={u}");
+                    u += stride;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_radius_is_last_outer_radius() {
+        for k in 1..=6 {
+            let round = RoundSchedule::new(k);
+            assert_eq!(round.max_radius(), times::outer_radius(k, 2 * k - 1));
+            assert_eq!(round.max_radius(), (k as f64).exp2());
+        }
+    }
+
+    #[test]
+    fn reach_is_monotone_and_bounds_the_walk() {
+        // Walk round 2's explicit stream, tracking the true running
+        // maximum distance from the origin; `reach` must dominate it at
+        // every sampled time while never exceeding the round maximum.
+        let round = RoundSchedule::new(2);
+        let mut cursor = rvz_trajectory::StreamCursor::new(round.segments());
+        let mut true_max = 0.0_f64;
+        let mut prev_reach = 0.0_f64;
+        let n = 4000;
+        for i in 0..n {
+            let u = round.duration() * i as f64 / n as f64;
+            true_max = true_max.max(cursor.position(u).norm());
+            let reach = round.reach(u);
+            assert!(
+                reach >= true_max - 1e-9,
+                "reach {reach} below true max {true_max} at u={u}"
+            );
+            assert!(reach >= prev_reach, "reach not monotone at u={u}");
+            assert!(reach <= round.max_radius());
+            prev_reach = reach;
+        }
+        // At/after the terminal wait the reach is the full sweep radius.
+        assert_eq!(round.reach(round.wait_start()), round.max_radius());
+        assert_eq!(round.reach(round.duration() + 5.0), round.max_radius());
+        assert_eq!(round.reach(-1.0), 0.0);
     }
 }

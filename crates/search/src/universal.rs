@@ -6,7 +6,7 @@
 //! reinterpreted through the equivalent-search reduction of Section 3,
 //! the paper's rendezvous algorithm for robots with symmetric clocks.
 
-use crate::schedule::{RoundPhase, RoundSchedule};
+use crate::schedule::{RoundCursor, RoundPhase, RoundSchedule};
 use crate::times;
 use rvz_geometry::Vec2;
 use rvz_trajectory::monotone::{segment_motion, Cursor, MonotoneGuard, MonotoneTrajectory, Probe};
@@ -103,6 +103,30 @@ impl UniversalSearch {
     pub fn segments() -> impl Iterator<Item = Segment> {
         (1..=times::MAX_ROUND).flat_map(|k| RoundSchedule::new(k).segments().collect::<Vec<_>>())
     }
+
+    /// An upper bound on the robot's distance from the origin anywhere
+    /// in the global interval `[t0, t1]` — the closed-form certificate
+    /// behind [`UniversalSearchCursor`]'s swept envelope.
+    ///
+    /// If the interval stays within one round this is that round's
+    /// [`RoundSchedule::reach`] at `t1` (radii never shrink within a
+    /// round); across rounds, every earlier round is bounded by
+    /// `2^{k₁−1}`. Times beyond the supported schedule horizon fall back
+    /// to the global maximum `2^{MAX_ROUND}` instead of panicking, so
+    /// envelope queries may look arbitrarily far ahead.
+    pub fn reach_between(t0: f64, t1: f64) -> f64 {
+        let t1 = t1.max(t0);
+        if t1 >= times::rounds_total(times::MAX_ROUND) {
+            return rvz_numerics::pow2i(times::MAX_ROUND as i64);
+        }
+        let k1 = Self::round_at(t1);
+        let bound = RoundSchedule::new(k1).reach(t1 - Self::round_start(k1));
+        if t0 >= Self::round_start(k1) || k1 == 1 {
+            bound
+        } else {
+            bound.max(rvz_numerics::pow2i(k1 as i64 - 1))
+        }
+    }
 }
 
 impl Trajectory for UniversalSearch {
@@ -130,6 +154,8 @@ pub struct UniversalSearchCursor {
     round_start: f64,
     /// `rounds_total(round)` — global end of the active round.
     round_end: f64,
+    /// Sequential pointer into the active round's segment sequence.
+    round_cursor: RoundCursor,
     /// Active segment with its global start, and its global end.
     segment: Segment,
     segment_start: f64,
@@ -143,6 +169,7 @@ impl UniversalSearchCursor {
             round: 1,
             round_start: 0.0,
             round_end: times::rounds_total(1),
+            round_cursor: RoundCursor::new(1),
             // A sentinel forcing a lookup on the first probe.
             segment: Segment::wait(Vec2::ZERO, 0.0),
             segment_start: 0.0,
@@ -156,6 +183,7 @@ impl UniversalSearchCursor {
     fn refresh(&mut self, t: f64) {
         // Advance the round incrementally; queries are non-decreasing, so
         // scanning forward from the cached round reproduces `round_at`.
+        let mut round_changed = false;
         while t >= self.round_end {
             assert!(
                 self.round < times::MAX_ROUND,
@@ -165,13 +193,17 @@ impl UniversalSearchCursor {
             self.round += 1;
             self.round_start = self.round_end;
             self.round_end = times::rounds_total(self.round);
+            round_changed = true;
         }
-        let schedule = RoundSchedule::new(self.round);
+        if round_changed {
+            self.round_cursor = RoundCursor::new(self.round);
+        }
         // The round-total closed forms round independently of the round
         // duration; clamp strictly inside so an ulp-edge query resolves
         // to the terminal wait instead of tripping the range assert.
-        let local = (t - self.round_start).clamp(0.0, schedule.duration() * (1.0 - f64::EPSILON));
-        let (local_start, seg) = schedule.segment_at(local);
+        let duration = self.round_cursor.schedule().duration();
+        let local = (t - self.round_start).clamp(0.0, duration * (1.0 - f64::EPSILON));
+        let (local_start, seg) = self.round_cursor.segment_at(local);
         self.segment = seg;
         self.segment_start = self.round_start + local_start;
         // Cap at the round boundary: the terminal wait's nominal duration
@@ -186,15 +218,30 @@ impl Cursor for UniversalSearchCursor {
         if t >= self.segment_end {
             self.refresh(t);
         }
+        let u = t - self.segment_start;
         Probe {
-            position: self.segment.position_at(t - self.segment_start),
+            position: self.segment.position_at(u),
             piece_end: self.segment_end,
-            motion: segment_motion(&self.segment),
+            motion: segment_motion(&self.segment, u),
         }
     }
 
     fn speed_bound(&self) -> f64 {
         1.0
+    }
+
+    /// Two tiers: an interval inside the cached segment gets the exact
+    /// chunk disk (tight even on the long arcs of deep rounds); anything
+    /// wider gets the origin-centered schedule bound
+    /// [`UniversalSearch::reach_between`], which skips whole sub-rounds
+    /// and rounds without visiting their Θ(4ᵏ) segments.
+    fn envelope(&mut self, t0: f64, t1: f64) -> rvz_geometry::Disk {
+        if t0 >= self.segment_start && t1 <= self.segment_end {
+            return self
+                .segment
+                .chunk_disk(t0 - self.segment_start, t1 - self.segment_start);
+        }
+        rvz_geometry::Disk::new(Vec2::ZERO, UniversalSearch::reach_between(t0, t1))
     }
 }
 
@@ -307,6 +354,65 @@ mod tests {
     #[should_panic(expected = "time must be >= 0")]
     fn negative_time_rejected() {
         let _ = UniversalSearch::round_at(-1.0);
+    }
+
+    #[test]
+    fn reach_between_bounds_dense_samples() {
+        let s = UniversalSearch;
+        let horizon = times::rounds_total(3);
+        // Deterministic pseudo-random windows (LCG), checked against a
+        // dense sample of the true positions.
+        let mut state = 0x9E3779B97F4A7C15_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1_u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            let a = next() * horizon;
+            let b = next() * horizon;
+            let (t0, t1) = if a <= b { (a, b) } else { (b, a) };
+            let bound = UniversalSearch::reach_between(t0, t1);
+            for i in 0..=40 {
+                let t = t0 + (t1 - t0) * i as f64 / 40.0;
+                let r = s.position(t).norm();
+                assert!(
+                    r <= bound + 1e-9,
+                    "|pos({t})| = {r} > bound {bound} for [{t0}, {t1}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reach_beyond_horizon_caps_at_global_maximum() {
+        let far = times::rounds_total(times::MAX_ROUND);
+        assert_eq!(
+            UniversalSearch::reach_between(0.0, far * 2.0),
+            (times::MAX_ROUND as f64).exp2()
+        );
+    }
+
+    #[test]
+    fn cursor_envelope_contains_positions() {
+        use rvz_trajectory::monotone::{Cursor as _, MonotoneTrajectory as _};
+        let s = UniversalSearch;
+        let mut cursor = s.cursor();
+        let horizon = times::rounds_total(3);
+        let mut t0 = 0.0;
+        while t0 < horizon {
+            let t1 = (t0 + 7.3).min(horizon);
+            let disk = cursor.envelope(t0, t1);
+            for i in 0..=20 {
+                let t = t0 + (t1 - t0) * i as f64 / 20.0;
+                assert!(
+                    disk.contains(s.position(t), 1e-9),
+                    "envelope [{t0}, {t1}] misses t={t}"
+                );
+            }
+            t0 += 11.9;
+        }
     }
 
     #[test]

@@ -1,17 +1,13 @@
-//! The first-contact engine: analytic advancement over monotone cursors,
-//! with the original conservative-advancement loop kept as a generic
-//! fallback.
+//! The first-contact engine: analytic advancement over monotone cursors
+//! plus hierarchical swept-envelope pruning, with the original
+//! conservative-advancement loop kept as a generic fallback.
 //!
 //! ## Two engines, one contract
 //!
 //! * [`first_contact`] — the fast path. Both trajectories provide
 //!   [`MonotoneTrajectory`] cursors; the engine probes them at
-//!   non-decreasing times (amortized O(1) per probe) and, whenever both
-//!   cursors report an affine piece (straight leg or wait), solves the
-//!   within-piece contact in closed form — a quadratic in `t` — instead
-//!   of inching forward at the conservative rate. Where a piece is
-//!   curved (arcs, spirals, closures) it falls back to the conservative
-//!   step for that span.
+//!   non-decreasing times (amortized O(1) per probe) and advances with
+//!   the strongest certificate available at each step (see below).
 //! * [`first_contact_generic`] — the original engine, byte-for-byte: a
 //!   pure conservative-advancement loop over random-access
 //!   [`Trajectory::position`] queries. It exists for exotic downstream
@@ -23,21 +19,44 @@
 //! Both report the same [`SimOutcome`] classification on the same
 //! scenario; the fast path may declare a contact the generic engine
 //! misses only inside the tolerance band `(radius, radius + tolerance]`,
-//! where the conservative step can legitimately jump a sub-tolerance dip.
+//! where the conservative step can legitimately jump a sub-tolerance dip
+//! (and may complete a disproof the generic loop truncates at its step
+//! budget).
 //!
-//! ## Soundness of the analytic step
+//! ## The certificate ladder
 //!
-//! On an affine piece both positions are exact linear functions of time
-//! until the earlier `piece_end`, so the squared distance is an exact
-//! quadratic `q(u)`; the smallest root of `q(u) = (radius + tolerance)²`
-//! inside the piece *is* the first contact, and its absence proves no
-//! contact up to the piece boundary — no speed-bound argument needed.
-//! On curved pieces the conservative argument applies unchanged: with
-//! relative speed at most `s`, a gap `D − radius` cannot close within
-//! `(D − radius)/s`. The progress floor (a few ulps of `t`) guarantees
-//! termination exactly as before.
+//! Each iteration advances by the longest of the applicable
+//! contact-free certificates, every one of which is sound on its own:
+//!
+//! 1. **Affine quadratic** — on two affine pieces the squared distance
+//!    is an exact quadratic; jump to its smallest root (the contact) or
+//!    past the piece.
+//! 2. **Cosine law** — a phase-locked circle pair (equal angular
+//!    velocities; exact twins above all) or a circle against a
+//!    stationary point obeys `d²(s) = P + Q·cos(ψ + ωs)`; jump to the
+//!    first crossing or past the piece overlap. This is what crosses
+//!    the dyadic schedules' arc sweeps in one step per piece.
+//! 3. **Circular lower bounds** — the remaining circle combinations get
+//!    a set-distance bound (circle-to-circle, moving-segment-to-circle)
+//!    certifying the whole piece overlap when it clears the threshold.
+//! 4. **Conservative step** — with relative speed at most `s`, a gap
+//!    `D − radius` cannot close within `(D − radius)/s`; always taken
+//!    when it is the longest (so the cursor engine never steps more
+//!    often than the generic loop).
+//! 5. **Swept-envelope pruning** (when [`ContactOptions::prune`] is on)
+//!    — starting from the certified advance, test
+//!    `envelope_a.gap(envelope_b) > radius + tolerance` over a galloping
+//!    look-ahead window: success skips the window wholesale (entire
+//!    sub-rounds of `Search(k)` at the top of the hierarchy) and doubles
+//!    it, failure halves it — coarse-to-fine descent that hands off to
+//!    certificates 1–4 at leaf scale. Complete misses back off
+//!    exponentially so unprunable stretches pay almost nothing.
+//!
+//! The progress floor (a few ulps of `t`) guarantees termination exactly
+//! as before; the horizon endpoint is always sampled.
 
-use rvz_trajectory::monotone::{Cursor, MonotoneTrajectory, Motion};
+use rvz_geometry::Vec2;
+use rvz_trajectory::monotone::{Cursor, MonotoneTrajectory, Motion, Probe};
 use rvz_trajectory::Trajectory;
 use std::fmt;
 
@@ -55,6 +74,15 @@ pub struct ContactOptions {
     /// Hard cap on advancement steps (a safety net against pathological
     /// grazing configurations). Defaults to `50_000_000`.
     pub max_steps: u64,
+    /// Enables the swept-envelope pruning layer (cursor engine only).
+    ///
+    /// On by default; an escape hatch for A/B measurements
+    /// (`rvz bench-engine --no-prune`, `rvz sweep --no-prune`) and for
+    /// exotic cursors whose envelope fallback is slower than stepping.
+    /// Pruning never changes which contacts exist — envelopes are sound
+    /// over-approximations — but `Horizon` outcomes may observe their
+    /// `min_distance` at a different (sparser) set of sample times.
+    pub prune: bool,
 }
 
 impl Default for ContactOptions {
@@ -63,6 +91,7 @@ impl Default for ContactOptions {
             tolerance: 1e-9,
             horizon: 1e9,
             max_steps: 50_000_000,
+            prune: true,
         }
     }
 }
@@ -87,6 +116,12 @@ impl ContactOptions {
     /// Sets the declaration tolerance.
     pub fn tolerance(mut self, tolerance: f64) -> Self {
         self.tolerance = tolerance;
+        self
+    }
+
+    /// Enables or disables the swept-envelope pruning layer.
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
         self
     }
 
@@ -220,6 +255,23 @@ where
     first_contact_cursors(&mut a.cursor(), &mut b.cursor(), radius, opts)
 }
 
+/// Work counters for the cursor engine, reported by
+/// [`first_contact_cursors_instrumented`].
+///
+/// `steps` (probe iterations) live in the [`SimOutcome`]; these count
+/// the envelope layer's extra work so benchmarks can attribute a
+/// speedup: many pruned intervals with few queries means the hierarchy
+/// certified separation coarsely, many queries with few pruned
+/// intervals means the windows kept collapsing to leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Intervals skipped wholesale on an envelope separation certificate.
+    pub pruned_intervals: u64,
+    /// Individual `envelope(t0, t1)` queries issued (two per tested
+    /// interval — one per cursor).
+    pub envelope_queries: u64,
+}
+
 /// The cursor-level engine behind [`first_contact`].
 ///
 /// Takes the two cursors directly, which lets heterogeneous callers
@@ -235,6 +287,26 @@ pub fn first_contact_cursors<A, B>(
     radius: f64,
     opts: &ContactOptions,
 ) -> SimOutcome
+where
+    A: Cursor + ?Sized,
+    B: Cursor + ?Sized,
+{
+    first_contact_cursors_instrumented(a, b, radius, opts).0
+}
+
+/// [`first_contact_cursors`] plus the pruning-layer work counters —
+/// the entry point `rvz bench-engine` uses to report pruned intervals
+/// alongside steps and queries.
+///
+/// # Panics
+///
+/// As for [`first_contact`].
+pub fn first_contact_cursors_instrumented<A, B>(
+    a: &mut A,
+    b: &mut B,
+    radius: f64,
+    opts: &ContactOptions,
+) -> (SimOutcome, EngineStats)
 where
     A: Cursor + ?Sized,
     B: Cursor + ?Sized,
@@ -255,6 +327,15 @@ where
     let mut min_distance = f64::INFINITY;
     let mut min_distance_time = 0.0;
     let mut steps = 0_u64;
+    let mut stats = EngineStats::default();
+    // Adaptive pruning state: the galloping window doubles while
+    // envelope certificates keep succeeding and halves when they fail;
+    // after a complete miss the next attempts back off exponentially so
+    // regions the envelopes cannot separate (close approaches, twins on
+    // big sweeps) pay almost nothing for the layer.
+    let mut window = 0.0_f64;
+    let mut cooldown = 0_u32;
+    let mut miss_streak = 0_u32;
 
     loop {
         let pa = a.probe(t);
@@ -269,28 +350,46 @@ where
             min_distance_time = t;
         }
         if d <= threshold {
-            return SimOutcome::Contact {
-                time: t,
-                distance: d,
-                steps,
-            };
+            return (
+                SimOutcome::Contact {
+                    time: t,
+                    distance: d,
+                    steps,
+                },
+                stats,
+            );
         }
         if t >= opts.horizon {
-            return SimOutcome::Horizon {
-                min_distance,
-                min_distance_time,
-                steps,
-            };
+            return (
+                SimOutcome::Horizon {
+                    min_distance,
+                    min_distance_time,
+                    steps,
+                },
+                stats,
+            );
         }
         steps += 1;
         if steps > opts.max_steps {
-            return SimOutcome::StepBudget {
-                time: t,
-                min_distance,
-                steps: opts.max_steps,
-            };
+            return (
+                SimOutcome::StepBudget {
+                    time: t,
+                    min_distance,
+                    steps: opts.max_steps,
+                },
+                stats,
+            );
         }
 
+        // The conservative certificate holds regardless of piece shape:
+        // with relative speed at most `rel_speed`, the gap `d − radius`
+        // cannot close sooner. `∞` when neither robot can move.
+        let conservative = if rel_speed > 0.0 {
+            (d - radius) / rel_speed
+        } else {
+            f64::INFINITY
+        };
+        let mut exact_root = false;
         let step = match (pa.motion, pb.motion) {
             (Motion::Affine { velocity: va }, Motion::Affine { velocity: vb }) => {
                 // Both pieces are exact linear motions until `boundary`
@@ -304,7 +403,7 @@ where
                 let a2 = dv.norm_squared();
                 let b2 = q0.dot(dv);
                 let c2 = q0.norm_squared() - threshold * threshold; // > 0 here
-                let mut jump = ub;
+                let mut jump = f64::NAN;
                 // A first crossing of |q| = threshold needs the distance
                 // to be shrinking (b2 < 0) and a real root.
                 if a2 > 0.0 && b2 < 0.0 {
@@ -314,9 +413,10 @@ where
                         let root = c2 / (-b2 + disc.sqrt());
                         if root <= ub {
                             jump = root;
+                            exact_root = true;
                         }
                     }
-                    if jump >= ub {
+                    if !exact_root {
                         // No contact inside the piece: still record the
                         // true closest approach (the quadratic's vertex)
                         // if it falls inside, so Horizon outcomes report
@@ -331,26 +431,354 @@ where
                         }
                     }
                 }
-                jump
+                if exact_root {
+                    jump
+                } else {
+                    // No contact within the piece (analytic) and none
+                    // within the conservative span (speed bound): both
+                    // certificates are sound, take the longer one — this
+                    // is what keeps the cursor engine's step count at or
+                    // below the generic loop's even when the schedule
+                    // chops time into slivers of pieces.
+                    ub.max(conservative)
+                }
             }
-            _ => {
-                // At least one curved piece: conservative advancement.
-                if rel_speed > 0.0 {
-                    (d - radius) / rel_speed
+            (ma, mb) => {
+                // At least one non-affine piece. Circular pieces still
+                // admit closed forms over the overlap of the two pieces:
+                // a phase-locked circle pair or a circle against a
+                // stationary point obeys the exact cosine law
+                // `d²(s) = P + Q·cos(ψ + ω·s)` (solved like the affine
+                // quadratic — jump to the first crossing or prove there
+                // is none), and the remaining circular combinations get
+                // a sound distance lower bound. Either way a certified
+                // piece is crossed in one step instead of a conservative
+                // crawl through the schedules' arc sweeps.
+                let boundary = pa.piece_end.min(pb.piece_end).min(opts.horizon);
+                let ub = (boundary - t).max(0.0);
+                if let Some(law) = circular_pair_law(&pa, &pb, ma, mb) {
+                    match law.first_crossing(threshold * threshold, ub) {
+                        Some(du) => {
+                            exact_root = true;
+                            du
+                        }
+                        None => {
+                            // No contact within the overlap: fold the
+                            // law's true in-piece minimum into the
+                            // Horizon bookkeeping (the circular analogue
+                            // of the affine vertex) and jump the piece.
+                            // The cheap `p − |q|` bound skips the phase
+                            // arithmetic when the law cannot improve the
+                            // running minimum.
+                            if law.p - law.q.abs() < min_distance * min_distance * (1.0 - 1e-12) {
+                                if let Some((dmin, smin)) = law.minimum_within(ub) {
+                                    if dmin < min_distance {
+                                        min_distance = dmin;
+                                        min_distance_time = t + smin;
+                                    }
+                                }
+                            }
+                            ub.max(conservative)
+                        }
+                    }
+                } else if piece_gap_lower_bound(&pa, &pb, ma, mb, ub) > threshold {
+                    ub.max(conservative)
+                } else if conservative.is_finite() {
+                    conservative
                 } else {
                     // Neither can move: the distance can never change.
-                    return SimOutcome::Horizon {
-                        min_distance,
-                        min_distance_time,
-                        steps,
-                    };
+                    return (
+                        SimOutcome::Horizon {
+                            min_distance,
+                            min_distance_time,
+                            steps,
+                        },
+                        stats,
+                    );
                 }
             }
         };
         // Progress floor: a few ulps of the current time.
         let floor = 4.0 * f64::EPSILON * (1.0 + t.abs());
-        t = (t + step.max(floor)).min(opts.horizon);
+        let base = step.max(floor);
+        let mut t_next = t + base;
+
+        // Coarse-to-fine envelope pruning: starting from the already
+        // certified `t_next`, test whether the two swept envelopes stay
+        // separated over a look-ahead window. Success skips the window
+        // wholesale (an entire sub-round in one query at the top of the
+        // hierarchy) and doubles the next window; failure halves it —
+        // the bisection half of the coarse-to-fine descent — until the
+        // window collapses to leaf scale and the analytic/conservative
+        // machinery above takes over. Skips never pass a declarable
+        // contact: a gap above `threshold` excludes every point the
+        // sampling engines could declare on. Not attempted past an exact
+        // root — `t_next` *is* the contact time there.
+        if opts.prune && !exact_root && t_next < opts.horizon {
+            if cooldown > 0 {
+                cooldown -= 1;
+            } else {
+                let mut advanced = false;
+                let mut w = window.max(4.0 * base);
+                loop {
+                    let span = w.min(opts.horizon - t_next);
+                    if span <= 2.0 * base {
+                        // A skip this short cannot beat just stepping:
+                        // two envelope queries cost about two probes.
+                        break;
+                    }
+                    stats.envelope_queries += 2;
+                    let ea = a.envelope(t_next, t_next + span);
+                    let eb = b.envelope(t_next, t_next + span);
+                    if ea.gap(&eb) > threshold {
+                        stats.pruned_intervals += 1;
+                        t_next += span;
+                        advanced = true;
+                        if t_next >= opts.horizon {
+                            break;
+                        }
+                        w *= 2.0;
+                    } else {
+                        // The obstruction usually sits right at the
+                        // front of the window; halving once and retrying
+                        // next iteration beats bisecting to the leaf now.
+                        w *= 0.5;
+                        break;
+                    }
+                }
+                window = w;
+                if advanced {
+                    miss_streak = 0;
+                } else {
+                    // Complete miss: back off exponentially (up to 8
+                    // iterations). A longer backoff would eliminate the
+                    // last few percent of futile queries on cursors with
+                    // only the speed-bound fallback envelope (which can
+                    // never certify a span the conservative step doesn't
+                    // already cover), but measurably delays re-detection
+                    // of prunable structure on the schedule workloads —
+                    // the 8-iteration cap is the better trade.
+                    miss_streak = (miss_streak + 1).min(3);
+                    cooldown = 1 << miss_streak;
+                }
+            }
+        }
+        t = t_next.min(opts.horizon);
     }
+}
+
+/// The exact pair-distance law on a piece overlap where it reduces to a
+/// single cosine: `d²(s) = p + q·cos(ψ + ω·s)` for `s` time units past
+/// the probe.
+///
+/// Produced by [`circular_pair_law`] for a phase-locked circle pair
+/// (equal angular velocities — exact twins and identically scheduled
+/// pairs) and for a circle against a stationary point; both reduce to
+/// the law of cosines with a uniformly rotating angle.
+#[derive(Debug, Clone, Copy)]
+struct CosineLaw {
+    p: f64,
+    q: f64,
+    omega: f64,
+    /// Phase proxies: `ψ = atan2(y, x)`, evaluated lazily — most pieces
+    /// resolve on the `p`/`q` magnitudes alone, without trigonometry.
+    y: f64,
+    x: f64,
+}
+
+impl CosineLaw {
+    /// `(|q|, ψ')` with the sign of `q` folded into the phase.
+    fn normalized(&self) -> (f64, f64) {
+        let psi = self.y.atan2(self.x);
+        if self.q >= 0.0 {
+            (self.q, psi)
+        } else {
+            (-self.q, psi + std::f64::consts::PI)
+        }
+    }
+
+    /// The smallest `s ∈ [0, span]` with `d²(s) ≤ thr2`, or `None` when
+    /// the law proves there is no such time in the span.
+    fn first_crossing(&self, thr2: f64, span: f64) -> Option<f64> {
+        if self.omega == 0.0 {
+            // The phase never moves and the caller already measured
+            // d(0) > threshold.
+            return None;
+        }
+        let q = self.q.abs();
+        if q == 0.0 {
+            // Constant distance, again > threshold at the probe.
+            return None;
+        }
+        let cstar = (thr2 - self.p) / q;
+        if cstar < -1.0 {
+            return None;
+        }
+        if cstar >= 1.0 {
+            return Some(0.0);
+        }
+        let (_, psi) = self.normalized();
+        // Contact set in phase space: x ∈ [β, 2π − β] (mod 2π), the far
+        // side of the cosine.
+        let beta = cstar.acos();
+        let tau = std::f64::consts::TAU;
+        let x0 = psi.rem_euclid(tau);
+        if (beta..=tau - beta).contains(&x0) {
+            return Some(0.0);
+        }
+        let arc = if self.omega > 0.0 {
+            if x0 < beta {
+                beta - x0
+            } else {
+                beta + tau - x0
+            }
+        } else if x0 < beta {
+            x0 + beta
+        } else {
+            x0 - (tau - beta)
+        };
+        let s = arc / self.omega.abs();
+        (s <= span).then_some(s)
+    }
+
+    /// The true distance minimum attained strictly inside `[0, span]`
+    /// (at the phase `x = π`), if the phase reaches it; endpoints are
+    /// sampled by the engine anyway.
+    fn minimum_within(&self, span: f64) -> Option<(f64, f64)> {
+        if self.omega == 0.0 {
+            return None;
+        }
+        let (q, psi) = self.normalized();
+        let pi = std::f64::consts::PI;
+        let arc = if self.omega > 0.0 {
+            (pi - psi).rem_euclid(std::f64::consts::TAU)
+        } else {
+            (psi - pi).rem_euclid(std::f64::consts::TAU)
+        };
+        let s = arc / self.omega.abs();
+        (s <= span).then(|| ((self.p - q).max(0.0).sqrt(), s))
+    }
+}
+
+/// The [`CosineLaw`] governing the pair distance on the current piece
+/// overlap, when one exists.
+fn circular_pair_law(pa: &Probe, pb: &Probe, ma: Motion, mb: Motion) -> Option<CosineLaw> {
+    match (ma, mb) {
+        (
+            Motion::Circular {
+                center: ca,
+                angular_velocity: wa,
+                ..
+            },
+            Motion::Circular {
+                center: cb,
+                angular_velocity: wb,
+                ..
+            },
+        ) if wa == wb => {
+            // Relative displacement: fixed center offset plus a vector
+            // of constant magnitude rotating at ω.
+            let c = cb - ca;
+            let v0 = (pb.position - cb) - (pa.position - ca);
+            Some(CosineLaw {
+                p: c.norm_squared() + v0.norm_squared(),
+                q: 2.0 * c.norm() * v0.norm(),
+                omega: wa,
+                // ψ = angle(v0) − angle(c), deferred.
+                y: c.cross(v0),
+                x: c.dot(v0),
+            })
+        }
+        (
+            Motion::Circular {
+                center,
+                radius,
+                angular_velocity,
+                ..
+            },
+            Motion::Affine { velocity },
+        ) if velocity == Vec2::ZERO => Some(point_circle_law(
+            pb.position,
+            pa.position,
+            center,
+            radius,
+            angular_velocity,
+        )),
+        (
+            Motion::Affine { velocity },
+            Motion::Circular {
+                center,
+                radius,
+                angular_velocity,
+                ..
+            },
+        ) if velocity == Vec2::ZERO => Some(point_circle_law(
+            pa.position,
+            pb.position,
+            center,
+            radius,
+            angular_velocity,
+        )),
+        _ => None,
+    }
+}
+
+/// Law of cosines for a point on a circle (currently at `on_circle`)
+/// against a fixed point `p`: `d²(s) = R² + D² − 2RD·cos(θ(s) − φ_D)`.
+fn point_circle_law(p: Vec2, on_circle: Vec2, center: Vec2, radius: f64, omega: f64) -> CosineLaw {
+    let d = p - center;
+    let rel = on_circle - center;
+    CosineLaw {
+        p: radius * radius + d.norm_squared(),
+        q: -2.0 * radius * d.norm(),
+        omega,
+        // ψ = θ − angle(d) = angle(rel) − angle(d), deferred.
+        y: d.cross(rel),
+        x: d.dot(rel),
+    }
+}
+
+/// A sound lower bound on the pair distance over the next `ub` time
+/// units when at least one active piece is circular; `−∞` when no
+/// closed form applies (an opaque [`Motion::Curved`] piece).
+fn piece_gap_lower_bound(pa: &Probe, pb: &Probe, ma: Motion, mb: Motion, ub: f64) -> f64 {
+    match (ma, mb) {
+        (
+            Motion::Circular {
+                center: ca,
+                radius: ra,
+                ..
+            },
+            Motion::Circular {
+                center: cb,
+                radius: rb,
+                ..
+            },
+        ) => {
+            // Equal-rate pairs never reach here (they get the exact
+            // cosine law); for unequal rates only the two circles bound
+            // the motion.
+            ca.distance(cb) - ra - rb
+        }
+        (Motion::Circular { center, radius, .. }, Motion::Affine { velocity }) => {
+            segment_point_distance(pb.position, velocity, ub, center) - radius
+        }
+        (Motion::Affine { velocity }, Motion::Circular { center, radius, .. }) => {
+            segment_point_distance(pa.position, velocity, ub, center) - radius
+        }
+        _ => f64::NEG_INFINITY,
+    }
+}
+
+/// Minimum distance from the moving point `p + v·u`, `u ∈ [0, ub]`, to
+/// the fixed point `c`.
+fn segment_point_distance(p: Vec2, v: Vec2, ub: f64, c: Vec2) -> f64 {
+    let vv = v.norm_squared();
+    if vv == 0.0 || ub == 0.0 {
+        return p.distance(c);
+    }
+    let proj = ((c - p).dot(v) / vv).clamp(0.0, ub);
+    (p + v * proj).distance(c)
 }
 
 /// The original conservative-advancement engine over random-access
@@ -661,6 +1089,122 @@ mod tests {
         // The satellite bugfix: a bad horizon must fail at construction,
         // not at the first simulation that happens to use it.
         let _ = ContactOptions::with_horizon(-1.0);
+    }
+
+    #[test]
+    fn circle_vs_stationary_contact_solves_in_closed_form() {
+        // A full circle of radius 2 around the origin; the target sits
+        // 3.5 away from the center, so the closest approach is 1.5 at
+        // the quarter turn (arc time π). With radius 1.6 the cosine law
+        // must find the crossing just before that, without crawling.
+        let a = PathBuilder::at(Vec2::new(2.0, 0.0))
+            .full_circle(Vec2::ZERO)
+            .build();
+        let b = crate::Stationary::new(Vec2::new(0.0, 3.5));
+        let out = first_contact(&a, &b, 1.6, &ContactOptions::default());
+        match out {
+            SimOutcome::Contact { time, steps, .. } => {
+                assert!(time < std::f64::consts::PI, "t = {time}");
+                assert!(time > 2.0, "t = {time}");
+                assert!(steps <= 3, "cosine-law contact took {steps} steps");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn circle_vs_stationary_miss_reports_true_minimum() {
+        // Same geometry, radius below the closest approach: one step
+        // per piece, and the Horizon minimum is the law's exact 1.5 —
+        // not a sampled over-estimate.
+        let a = PathBuilder::at(Vec2::new(2.0, 0.0))
+            .full_circle(Vec2::ZERO)
+            .build();
+        let b = crate::Stationary::new(Vec2::new(0.0, 3.5));
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::with_horizon(30.0));
+        match out {
+            SimOutcome::Horizon {
+                min_distance,
+                min_distance_time,
+                steps,
+            } => {
+                assert!((min_distance - 1.5).abs() < 1e-9, "min {min_distance}");
+                assert!(
+                    (min_distance_time - std::f64::consts::PI).abs() < 1e-9,
+                    "at t = {min_distance_time}"
+                );
+                assert!(steps < 10, "arc miss took {steps} steps");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phase_locked_circles_cross_in_one_step_per_piece() {
+        // Exact-twin geometry: identical circles offset by 5 — the
+        // relative displacement is constant, so each piece is certified
+        // in a single step.
+        let a = PathBuilder::at(Vec2::new(2.0, 0.0))
+            .full_circle(Vec2::ZERO)
+            .build();
+        let b = PathBuilder::at(Vec2::new(2.0, 5.0))
+            .full_circle(Vec2::new(0.0, 5.0))
+            .build();
+        let out = first_contact(&a, &b, 1.0, &ContactOptions::with_horizon(100.0));
+        match out {
+            SimOutcome::Horizon {
+                min_distance,
+                steps,
+                ..
+            } => {
+                assert!((min_distance - 5.0).abs() < 1e-9, "min {min_distance}");
+                assert!(steps <= 5, "phase-locked pair took {steps} steps");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruning_escape_hatch_preserves_outcomes() {
+        let a = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(5.0, 0.0))
+            .wait(2.0)
+            .line_to(Vec2::new(5.0, 5.0))
+            .build();
+        let b = PathBuilder::at(Vec2::new(8.0, 4.0))
+            .line_to(Vec2::new(2.0, 4.0))
+            .build();
+        let opts = ContactOptions::with_horizon(50.0);
+        let on = first_contact(&a, &b, 0.5, &opts.prune(true));
+        let off = first_contact(&a, &b, 0.5, &opts.prune(false));
+        assert_eq!(on.is_contact(), off.is_contact());
+        if let (Some(t1), Some(t2)) = (on.contact_time(), off.contact_time()) {
+            assert!((t1 - t2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn instrumented_engine_reports_pruning_work() {
+        // Algorithm 4 against a far-away stationary point: the schedule
+        // envelope (reach ≤ 2^k) certifies huge windows against the
+        // 50-unit separation, so the instrumented entry point must
+        // report pruned intervals.
+        let a = rvz_search::UniversalSearch;
+        let b = crate::Stationary::new(Vec2::new(50.0, 0.0));
+        let opts = ContactOptions::with_horizon(rvz_search::times::rounds_total(5));
+        let (out, stats) =
+            first_contact_cursors_instrumented(&mut a.cursor(), &mut b.cursor(), 0.5, &opts);
+        assert!(!out.is_contact());
+        assert!(stats.envelope_queries > 0);
+        assert!(stats.pruned_intervals > 0);
+        // With pruning off the same query reports zero envelope work.
+        let (_, silent) = first_contact_cursors_instrumented(
+            &mut a.cursor(),
+            &mut b.cursor(),
+            0.5,
+            &opts.prune(false),
+        );
+        assert_eq!(silent, EngineStats::default());
     }
 
     #[test]

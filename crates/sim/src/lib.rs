@@ -66,9 +66,13 @@ pub mod verify;
 
 pub use batch::{run_rendezvous_batch, simulate_rendezvous_by_ref, simulate_search_by_ref};
 pub use engine::{
-    first_contact, first_contact_cursors, first_contact_generic, ContactOptions, SimOutcome,
+    first_contact, first_contact_cursors, first_contact_cursors_instrumented,
+    first_contact_generic, ContactOptions, EngineStats, SimOutcome,
 };
-pub use multi::{first_simultaneous_gathering, pairwise_meetings};
+pub use multi::{
+    first_simultaneous_gathering, first_simultaneous_gathering_homogeneous, pairwise_meetings,
+    pairwise_meetings_homogeneous,
+};
 pub use runners::{simulate_rendezvous, simulate_search};
 pub use stationary::Stationary;
 pub use trace::DistanceTrace;

@@ -18,7 +18,7 @@
 
 use crate::engine::{first_contact_cursors, ContactOptions, SimOutcome};
 use rvz_geometry::Vec2;
-use rvz_trajectory::{Cursor, MonotoneDyn, Trajectory};
+use rvz_trajectory::{Cursor, MonotoneDyn, MonotoneTrajectory, Trajectory};
 
 /// First-contact times for every unordered pair in a swarm.
 ///
@@ -27,9 +27,8 @@ use rvz_trajectory::{Cursor, MonotoneDyn, Trajectory};
 /// Diagonal and lower-triangle entries are `None`.
 ///
 /// The robots are taken as [`MonotoneDyn`] trait objects (implemented
-/// automatically for every
-/// [`MonotoneTrajectory`](rvz_trajectory::MonotoneTrajectory)), so each
-/// pair runs on the engine's cursor fast path via boxed cursors.
+/// automatically for every [`MonotoneTrajectory`]), so each pair runs
+/// on the engine's cursor fast path via boxed cursors.
 ///
 /// # Panics
 ///
@@ -48,6 +47,37 @@ pub fn pairwise_meetings(
             let outcome = first_contact_cursors(
                 &mut robots[i].dyn_cursor(),
                 &mut robots[j].dyn_cursor(),
+                radius,
+                opts,
+            );
+            table[i][j] = outcome.contact_time();
+        }
+    }
+    table
+}
+
+/// [`pairwise_meetings`] for homogeneous swarms: every robot is the
+/// *same concrete* [`MonotoneTrajectory`] type, so each pairwise check
+/// runs on monomorphized cursors — no `Box<dyn Cursor>` allocation and
+/// no virtual dispatch in the engine's hot loop. Mixed collections keep
+/// using the [`MonotoneDyn`] entry point.
+///
+/// # Panics
+///
+/// As for [`pairwise_meetings`].
+pub fn pairwise_meetings_homogeneous<T: MonotoneTrajectory>(
+    robots: &[T],
+    radius: f64,
+    opts: &ContactOptions,
+) -> Vec<Vec<Option<f64>>> {
+    assert!(robots.len() >= 2, "need at least two robots");
+    let n = robots.len();
+    let mut table = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let outcome = first_contact_cursors(
+                &mut robots[i].cursor(),
+                &mut robots[j].cursor(),
                 radius,
                 opts,
             );
@@ -84,20 +114,51 @@ pub fn first_simultaneous_gathering(
     opts: &ContactOptions,
 ) -> SimOutcome {
     assert!(robots.len() >= 2, "need at least two robots");
-    assert!(
-        radius > 0.0 && radius.is_finite(),
-        "radius must be positive"
-    );
     let closing_bound: f64 = 2.0
         * robots
             .iter()
             .map(|r| r.speed_bound())
             .fold(0.0_f64, f64::max);
-
-    // One cursor per robot, built once: the loop only advances `t`, so
-    // every position sample is an amortized-O(1) monotone query.
+    // One boxed cursor per robot, built once: the loop only advances
+    // `t`, so every position sample is an amortized-O(1) monotone query.
     let mut cursors: Vec<Box<dyn Cursor + '_>> = robots.iter().map(|r| r.dyn_cursor()).collect();
-    let mut positions = vec![Vec2::ZERO; robots.len()];
+    gathering_on_cursors(&mut cursors, closing_bound, radius, opts)
+}
+
+/// [`first_simultaneous_gathering`] for homogeneous swarms: monomorphized
+/// cursors, no boxing, no virtual dispatch per sample.
+///
+/// # Panics
+///
+/// As for [`first_simultaneous_gathering`].
+pub fn first_simultaneous_gathering_homogeneous<T: MonotoneTrajectory>(
+    robots: &[T],
+    radius: f64,
+    opts: &ContactOptions,
+) -> SimOutcome {
+    assert!(robots.len() >= 2, "need at least two robots");
+    let closing_bound: f64 = 2.0
+        * robots
+            .iter()
+            .map(|r| r.speed_bound())
+            .fold(0.0_f64, f64::max);
+    let mut cursors: Vec<T::Cursor<'_>> = robots.iter().map(|r| r.cursor()).collect();
+    gathering_on_cursors(&mut cursors, closing_bound, radius, opts)
+}
+
+/// The shared diameter-advancement loop behind both gathering entry
+/// points, generic over the cursor representation.
+fn gathering_on_cursors<C: Cursor>(
+    cursors: &mut [C],
+    closing_bound: f64,
+    radius: f64,
+    opts: &ContactOptions,
+) -> SimOutcome {
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive"
+    );
+    let mut positions = vec![Vec2::ZERO; cursors.len()];
 
     let mut t = 0.0_f64;
     let mut min_diameter = f64::INFINITY;
@@ -156,7 +217,7 @@ mod tests {
     use rvz_geometry::Vec2;
     use rvz_trajectory::FnTrajectory;
 
-    fn approach(start: Vec2, speed: f64) -> impl MonotoneDyn {
+    fn approach(start: Vec2, speed: f64) -> impl MonotoneTrajectory {
         // Moves from `start` straight toward the origin, then stays.
         FnTrajectory::new(
             move |t| {
@@ -206,6 +267,51 @@ mod tests {
             }
             other => panic!("diverging robots gathered? {other:?}"),
         }
+    }
+
+    #[test]
+    fn homogeneous_pairwise_matches_dyn_path() {
+        // A homogeneous swarm run through the monomorphic entry point
+        // must produce exactly the table the boxed-cursor path does.
+        let robots: Vec<_> = [
+            Vec2::new(2.0, 0.0),
+            Vec2::new(-2.0, 0.0),
+            Vec2::new(0.0, 30.0),
+        ]
+        .iter()
+        .map(|&start| approach(start, 1.0))
+        .collect();
+        let opts = ContactOptions::with_horizon(50.0);
+        let mono = pairwise_meetings_homogeneous(&robots, 0.5, &opts);
+        let dyn_refs: Vec<&dyn MonotoneDyn> = robots.iter().map(|r| r as _).collect();
+        let boxed = pairwise_meetings(&dyn_refs, 0.5, &opts);
+        assert_eq!(mono, boxed);
+        assert!(mono[0][1].is_some());
+    }
+
+    #[test]
+    fn homogeneous_gathering_matches_dyn_path() {
+        let robots: Vec<_> = [
+            Vec2::new(4.0, 0.0),
+            Vec2::new(0.0, 4.0),
+            Vec2::new(-4.0, -4.0),
+        ]
+        .iter()
+        .map(|&start| approach(start, 0.8))
+        .collect();
+        let opts = ContactOptions::with_horizon(100.0);
+        let mono = first_simultaneous_gathering_homogeneous(&robots, 0.5, &opts);
+        let dyn_refs: Vec<&dyn MonotoneDyn> = robots.iter().map(|r| r as _).collect();
+        let boxed = first_simultaneous_gathering(&dyn_refs, 0.5, &opts);
+        assert_eq!(mono, boxed);
+        assert!(mono.is_contact());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two robots")]
+    fn homogeneous_single_robot_rejected() {
+        let robots = [approach(Vec2::UNIT_X, 1.0)];
+        let _ = pairwise_meetings_homogeneous(&robots, 1.0, &ContactOptions::default());
     }
 
     #[test]

@@ -73,6 +73,11 @@ impl Cursor for StationaryCursor {
     fn speed_bound(&self) -> f64 {
         0.0
     }
+
+    fn envelope(&mut self, _t0: f64, _t1: f64) -> rvz_geometry::Disk {
+        // The tightest possible certificate: a point, for any interval.
+        rvz_geometry::Disk::point(self.position)
+    }
 }
 
 impl MonotoneTrajectory for Stationary {

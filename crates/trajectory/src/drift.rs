@@ -219,6 +219,19 @@ impl<T: MonotoneTrajectory> Cursor for DriftCursor<'_, T> {
                 Motion::Affine { velocity } => Motion::Affine {
                     velocity: velocity * rate,
                 },
+                // A clock running at rate ρ leaves the circle in place
+                // and scales the angular velocity.
+                Motion::Circular {
+                    center,
+                    radius,
+                    angular_velocity,
+                    angle,
+                } => Motion::Circular {
+                    center,
+                    radius,
+                    angular_velocity: angular_velocity * rate,
+                    angle,
+                },
                 Motion::Curved => Motion::Curved,
             },
         }
@@ -226,6 +239,21 @@ impl<T: MonotoneTrajectory> Cursor for DriftCursor<'_, T> {
 
     fn speed_bound(&self) -> f64 {
         self.drift.max_rate * self.inner.speed_bound()
+    }
+
+    /// A drifting clock reparameterizes time but never moves points, so
+    /// the envelope is the inner trajectory's envelope over the mapped
+    /// local interval `[L(t0), L(t1)]`.
+    ///
+    /// The start is folded into `last_local` exactly like a probe: the
+    /// random-access `local_time` and the incremental probe arithmetic
+    /// round independently, and the clamp keeps the inner cursor's
+    /// queries non-decreasing across interleaved probes and envelopes.
+    fn envelope(&mut self, t0: f64, t1: f64) -> rvz_geometry::Disk {
+        let local0 = self.drift.local_time(t0).max(self.last_local);
+        self.last_local = local0;
+        let local1 = self.drift.local_time(t1.max(t0)).max(local0);
+        self.inner.envelope(local0, local1)
     }
 }
 

@@ -29,8 +29,10 @@
 //! 2. **Piece validity** — with `p = cursor.probe(tᵢ)`, for every
 //!    `u ∈ [tᵢ, p.piece_end)` the trajectory's motion law holds: on an
 //!    affine piece `t.position(u) = p.position + (u − tᵢ)·velocity`
-//!    exactly (again up to fp noise); on a [`Motion::Curved`] piece only
-//!    the trajectory's speed bound is promised;
+//!    exactly (again up to fp noise); on a [`Motion::Circular`] piece
+//!    the position follows the reported circle and phase; on a
+//!    [`Motion::Curved`] piece only the trajectory's speed bound is
+//!    promised;
 //! 3. **Monotonicity** — querying a smaller time than a previous query is
 //!    a contract violation (checked with `debug_assert!`, unchecked in
 //!    release builds — hot loops must not pay for it);
@@ -40,9 +42,29 @@
 //! Implementations may return conservative descriptions (shorter pieces,
 //! `Curved` for a piece that happens to be straight); that costs speed,
 //! never correctness.
+//!
+//! ## The envelope extension
+//!
+//! [`Cursor::envelope`] answers *set* queries: a [`Disk`] guaranteed to
+//! contain `position(u)` for every `u ∈ [t0, t1]`. The engine's
+//! coarse-to-fine pruning tests `envelope_a.gap(envelope_b) > radius` to
+//! discard whole future intervals — entire dyadic sub-rounds — in one
+//! query instead of stepping through their Θ(4ᵏ) segments.
+//!
+//! The contract mirrors `probe`:
+//!
+//! 5. **Soundness** — the returned disk contains the position at every
+//!    time in `[t0, t1]`; a *larger* disk is always a legal (slower)
+//!    answer, and the provided default derives one from `position(t0)`
+//!    plus the speed bound, so every cursor supports envelopes without
+//!    writing any code;
+//! 6. **Monotone starts** — an envelope query counts as a query at `t0`
+//!    for the monotonicity rule (the default implementation advances the
+//!    cursor there); `t1` may lie arbitrarily far ahead and must not
+//!    disturb the cursor's forward state.
 
 use crate::Trajectory;
-use rvz_geometry::Vec2;
+use rvz_geometry::{Disk, Vec2};
 
 /// The motion law on the piece a cursor currently sits on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,8 +77,28 @@ pub enum Motion {
         /// Velocity in global coordinates per global time unit.
         velocity: Vec2,
     },
-    /// No closed form is exposed (arcs, spirals, arbitrary closures);
-    /// only the trajectory's speed bound constrains the motion.
+    /// Exactly circular motion until the piece ends: from the probe time
+    /// `t`, `position(u) = center + radius·e^{i(angle + ω·(u − t))}` for
+    /// all `u ∈ [t, piece_end)` (with `e^{iφ}` the unit vector at angle
+    /// `φ`). The dyadic schedules' arcs report this, which lets the
+    /// engine solve circle-versus-wait and phase-locked circle pairs in
+    /// closed form instead of conservative stepping — on an infeasible
+    /// twin pair the relative displacement of two equal-`ω` circular
+    /// pieces has *constant* magnitude, so one certificate covers the
+    /// entire arc.
+    Circular {
+        /// Circle center in global coordinates.
+        center: Vec2,
+        /// Circle radius (≥ 0).
+        radius: f64,
+        /// Signed angular velocity `ω` in radians per global time unit
+        /// (positive = counter-clockwise).
+        angular_velocity: f64,
+        /// Phase angle at the probe time (radians).
+        angle: f64,
+    },
+    /// No closed form is exposed (spirals, arbitrary closures); only the
+    /// trajectory's speed bound constrains the motion.
     Curved,
 }
 
@@ -111,6 +153,56 @@ pub trait Cursor {
     fn position(&mut self, t: f64) -> Vec2 {
         self.probe(t).position
     }
+
+    /// A disk guaranteed to contain `position(u)` for all `u ∈ [t0, t1]`
+    /// — the swept envelope of the trajectory over the interval.
+    ///
+    /// The default derives a sound certificate from the probe at `t0`:
+    /// the exact segment disk when the active piece is affine and covers
+    /// the whole interval, the speed-bound disk
+    /// `D(position(t0), speed_bound·(t1−t0))` otherwise. Schedule-aware
+    /// implementations override this with closed-form hierarchy bounds
+    /// (per-round / per-sub-round disks) that stay tight over intervals
+    /// spanning millions of segments.
+    ///
+    /// The query counts as a probe at `t0` for the monotonicity contract;
+    /// see the [module docs](self).
+    fn envelope(&mut self, t0: f64, t1: f64) -> Disk {
+        let p = self.probe(t0);
+        let span = (t1 - t0).max(0.0);
+        if span == 0.0 {
+            return Disk::point(p.position);
+        }
+        match p.motion {
+            Motion::Affine { velocity } if t1 <= p.piece_end => {
+                if velocity == Vec2::ZERO {
+                    return Disk::point(p.position);
+                }
+                if span.is_finite() {
+                    return Disk::spanning(p.position, p.position + velocity * span);
+                }
+            }
+            Motion::Circular {
+                center,
+                radius,
+                angular_velocity,
+                angle,
+            } if t1 <= p.piece_end => {
+                // The arc chunk traced over the interval.
+                return Disk::arc_chunk(center, radius, angle, angular_velocity * span);
+            }
+            _ => {}
+        }
+        let s = self.speed_bound();
+        let radius = if span.is_finite() {
+            s * span
+        } else if s == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        Disk::new(p.position, radius)
+    }
 }
 
 impl<C: Cursor + ?Sized> Cursor for &mut C {
@@ -120,6 +212,9 @@ impl<C: Cursor + ?Sized> Cursor for &mut C {
     fn speed_bound(&self) -> f64 {
         (**self).speed_bound()
     }
+    fn envelope(&mut self, t0: f64, t1: f64) -> Disk {
+        (**self).envelope(t0, t1)
+    }
 }
 
 impl<C: Cursor + ?Sized> Cursor for Box<C> {
@@ -128,6 +223,9 @@ impl<C: Cursor + ?Sized> Cursor for Box<C> {
     }
     fn speed_bound(&self) -> f64 {
         (**self).speed_bound()
+    }
+    fn envelope(&mut self, t0: f64, t1: f64) -> Disk {
+        (**self).envelope(t0, t1)
     }
 }
 
@@ -280,9 +378,12 @@ impl MonotoneGuard {
     }
 }
 
-/// The [`Motion`] of one [`Segment`](crate::Segment), used by every
-/// segment-structured cursor (paths, the search schedules).
-pub fn segment_motion(segment: &crate::Segment) -> Motion {
+/// The [`Motion`] of one [`Segment`](crate::Segment) probed `u` time
+/// units after the segment began, used by every segment-structured
+/// cursor (paths, the search schedules). The elapsed time matters only
+/// for arcs, whose [`Motion::Circular`] law carries the phase at the
+/// probe.
+pub fn segment_motion(segment: &crate::Segment, u: f64) -> Motion {
     match *segment {
         crate::Segment::Line { from, to } => {
             let d = from.distance(to);
@@ -299,7 +400,25 @@ pub fn segment_motion(segment: &crate::Segment) -> Motion {
         crate::Segment::Wait { .. } => Motion::Affine {
             velocity: Vec2::ZERO,
         },
-        crate::Segment::Arc { .. } => Motion::Curved,
+        crate::Segment::Arc {
+            center,
+            radius,
+            start_angle,
+            sweep,
+        } => {
+            if radius == 0.0 {
+                Motion::Affine {
+                    velocity: Vec2::ZERO,
+                }
+            } else {
+                Motion::Circular {
+                    center,
+                    radius,
+                    angular_velocity: sweep.signum() / radius,
+                    angle: start_angle + sweep.signum() * (u / radius),
+                }
+            }
+        }
     }
 }
 
@@ -349,25 +468,36 @@ mod tests {
     #[test]
     fn segment_motion_classification() {
         let line = Segment::line(Vec2::ZERO, Vec2::new(3.0, 4.0));
-        match segment_motion(&line) {
+        match segment_motion(&line, 0.5) {
             Motion::Affine { velocity } => {
                 assert!((velocity - Vec2::new(0.6, 0.8)).norm() < 1e-15);
             }
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(
-            segment_motion(&Segment::wait(Vec2::UNIT_X, 2.0)),
+            segment_motion(&Segment::wait(Vec2::UNIT_X, 2.0), 1.0),
             Motion::Affine {
                 velocity: Vec2::ZERO
             }
         );
-        assert_eq!(
-            segment_motion(&Segment::full_circle(Vec2::ZERO, 1.0, 0.0)),
-            Motion::Curved
-        );
+        match segment_motion(&Segment::full_circle(Vec2::ZERO, 2.0, 0.0), 2.0) {
+            Motion::Circular {
+                center,
+                radius,
+                angular_velocity,
+                angle,
+            } => {
+                assert_eq!(center, Vec2::ZERO);
+                assert_eq!(radius, 2.0);
+                assert_eq!(angular_velocity, 0.5);
+                // Arc length 2 on radius 2 = one radian of phase.
+                assert!((angle - 1.0).abs() < 1e-15);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
         // Degenerate lines are stationary.
         assert_eq!(
-            segment_motion(&Segment::line(Vec2::UNIT_X, Vec2::UNIT_X)),
+            segment_motion(&Segment::line(Vec2::UNIT_X, Vec2::UNIT_X), 0.0),
             Motion::Affine {
                 velocity: Vec2::ZERO
             }
@@ -400,6 +530,43 @@ mod tests {
         let boxed: Box<crate::Path> = Box::new(p);
         let mut c = boxed.cursor();
         assert_eq!(c.probe(2.0).position, Vec2::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn default_envelope_is_sound_for_curved_motion() {
+        let t = FnTrajectory::new(|t| Vec2::new(t.cos(), t.sin()), 1.0);
+        let mut c = GenericCursor::new(&t);
+        let disk = c.envelope(1.0, 4.0);
+        for i in 0..=60 {
+            let u = 1.0 + 3.0 * i as f64 / 60.0;
+            assert!(disk.contains(t.position(u), 1e-9), "u={u}");
+        }
+        // Speed-bound fallback: radius = 1·span.
+        assert!((disk.radius - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_envelope_tightens_on_covered_affine_pieces() {
+        let p = crate::PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(10.0, 0.0))
+            .build();
+        let mut c = p.cursor();
+        // Whole query inside the single leg: exact segment disk.
+        let disk = c.envelope(2.0, 6.0);
+        assert!((disk.radius - 2.0).abs() < 1e-12);
+        assert!((disk.center - Vec2::new(4.0, 0.0)).norm() < 1e-12);
+        // Resting forever: a point, even for an unbounded query.
+        let disk = c.envelope(50.0, f64::INFINITY);
+        assert_eq!(disk.radius, 0.0);
+        assert_eq!(disk.center, Vec2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn default_envelope_handles_unbounded_curved_queries() {
+        let t = FnTrajectory::new(|t| Vec2::new(t.cos(), t.sin()), 1.0);
+        let mut c = GenericCursor::new(&t);
+        let disk = c.envelope(0.0, f64::INFINITY);
+        assert_eq!(disk.radius, f64::INFINITY);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::monotone::{segment_motion, Cursor, MonotoneGuard, MonotoneTrajectory, Probe};
 use crate::segment::Segment;
 use crate::Trajectory;
-use rvz_geometry::Vec2;
+use rvz_geometry::{Disk, Vec2};
 
 /// Maximum gap (in distance units) tolerated between consecutive segments
 /// when building a path. The algorithms construct all junction points from
@@ -168,6 +168,58 @@ impl Trajectory for Path {
     }
 }
 
+/// A flattened binary union tree over per-segment bounding disks: node
+/// `i`'s disk contains nodes `2i` and `2i+1`, leaves sit at
+/// `size + segment_index`. Any segment range unions in `O(log n)` tree
+/// nodes — the [`Path`] level of the swept-envelope hierarchy.
+#[derive(Debug, Clone)]
+struct DiskTree {
+    size: usize,
+    nodes: Vec<Option<Disk>>,
+}
+
+fn union_opt(a: Option<Disk>, b: Option<Disk>) -> Option<Disk> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.union(&b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
+
+impl DiskTree {
+    fn build(segments: &[Segment]) -> DiskTree {
+        let size = segments.len().next_power_of_two().max(1);
+        let mut nodes = vec![None; 2 * size];
+        for (i, seg) in segments.iter().enumerate() {
+            nodes[size + i] = Some(seg.bounding_disk());
+        }
+        for i in (1..size).rev() {
+            nodes[i] = union_opt(nodes[2 * i], nodes[2 * i + 1]);
+        }
+        DiskTree { size, nodes }
+    }
+
+    /// Union of the segment disks in the inclusive range `[l, r]`.
+    fn query(&self, l: usize, r: usize) -> Option<Disk> {
+        let mut l = l + self.size;
+        let mut r = r + self.size + 1;
+        let mut acc = None;
+        while l < r {
+            if l & 1 == 1 {
+                acc = union_opt(acc, self.nodes[l]);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                acc = union_opt(acc, self.nodes[r]);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        acc
+    }
+}
+
 /// The [`MonotoneTrajectory`] cursor of a [`Path`]: a segment index that
 /// only ever moves forward, replacing the per-query binary search with an
 /// amortized-O(1) advance.
@@ -177,6 +229,9 @@ pub struct PathCursor<'a> {
     /// Index of the segment containing the last query (== `len()` once
     /// the path has ended).
     index: usize,
+    /// Built on the first multi-segment envelope query, then reused for
+    /// the cursor's lifetime.
+    tree: Option<DiskTree>,
     guard: MonotoneGuard,
 }
 
@@ -194,15 +249,55 @@ impl Cursor for PathCursor<'_> {
             return Probe::resting(self.path.end_position());
         }
         let seg = &self.path.segments[self.index];
+        let u = t - starts[self.index];
         Probe {
-            position: seg.position_at(t - starts[self.index]),
+            position: seg.position_at(u),
             piece_end: starts[self.index + 1],
-            motion: segment_motion(seg),
+            motion: segment_motion(seg, u),
         }
     }
 
     fn speed_bound(&self) -> f64 {
         1.0
+    }
+
+    /// Tight swept envelope: the exact chunk disk within one segment, a
+    /// chunk–tree–chunk union across segments, a point once the path has
+    /// ended. Random-access (`partition_point`) index lookups keep the
+    /// forward probe state untouched, as the envelope contract requires.
+    fn envelope(&mut self, t0: f64, t1: f64) -> Disk {
+        let path = self.path;
+        let duration = path.duration();
+        if path.is_empty() || t0 >= duration {
+            return Disk::point(path.end_position());
+        }
+        let t1 = t1.clamp(t0, duration);
+        let starts = &path.starts;
+        // First index whose start exceeds t, minus one — same arithmetic
+        // as `segment_index_at`, but with the end clamp already applied.
+        let locate = |t: f64| -> usize {
+            starts
+                .partition_point(|&s| s <= t)
+                .saturating_sub(1)
+                .min(path.segments.len() - 1)
+        };
+        let i0 = locate(t0);
+        let i1 = locate(t1);
+        let first = path.segments[i0].chunk_disk(t0 - starts[i0], t1 - starts[i0]);
+        if i0 == i1 {
+            return first;
+        }
+        let last = path.segments[i1].chunk_disk(0.0, t1 - starts[i1]);
+        let mut acc = first.union(&last);
+        if i1 > i0 + 1 {
+            let tree = self
+                .tree
+                .get_or_insert_with(|| DiskTree::build(&path.segments));
+            if let Some(mid) = tree.query(i0 + 1, i1 - 1) {
+                acc = acc.union(&mid);
+            }
+        }
+        acc
     }
 }
 
@@ -213,6 +308,7 @@ impl MonotoneTrajectory for Path {
         PathCursor {
             path: self,
             index: 0,
+            tree: None,
             guard: MonotoneGuard::default(),
         }
     }
@@ -546,6 +642,55 @@ mod tests {
         ]);
         let mut c = p.cursor();
         assert_eq!(c.probe(0.5).position, Vec2::new(0.5, 0.0));
+    }
+
+    #[test]
+    fn cursor_envelope_contains_positions_across_segments() {
+        use crate::MonotoneTrajectory;
+        let p = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(3.0, 0.0))
+            .arc_around(Vec2::new(3.0, 1.0), PI)
+            .wait(0.5)
+            .line_to(Vec2::new(-2.0, 2.0))
+            .full_circle(Vec2::ZERO)
+            .build();
+        let mut c = p.cursor();
+        let horizon = p.duration() + 1.0;
+        let windows = 37;
+        for w in 0..windows {
+            let t0 = horizon * w as f64 / windows as f64;
+            for span in [0.05, 0.7, 3.9, horizon] {
+                // Envelope queries must not disturb the forward state, so
+                // a fresh cursor is not needed per window.
+                let disk = c.envelope(t0, t0 + span);
+                for i in 0..=25 {
+                    let t = t0 + span * i as f64 / 25.0;
+                    assert!(
+                        disk.contains(p.position(t), 1e-9),
+                        "envelope [{t0}, {}] misses t={t}",
+                        t0 + span
+                    );
+                }
+            }
+        }
+        // The cursor still probes correctly after envelope queries.
+        assert!(c.probe(horizon).position.distance(p.end_position()) < 1e-12);
+    }
+
+    #[test]
+    fn envelope_within_single_segment_is_exact() {
+        use crate::MonotoneTrajectory;
+        let p = PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(10.0, 0.0))
+            .build();
+        let mut c = p.cursor();
+        let disk = c.envelope(2.0, 6.0);
+        assert!((disk.center - Vec2::new(4.0, 0.0)).norm() < 1e-12);
+        assert!((disk.radius - 2.0).abs() < 1e-12);
+        // Past the end: a point at the final position.
+        let rest = c.envelope(20.0, 50.0);
+        assert_eq!(rest.radius, 0.0);
+        assert_eq!(rest.center, Vec2::new(10.0, 0.0));
     }
 
     #[test]

@@ -142,6 +142,50 @@ impl Segment {
         }
     }
 
+    /// The smallest reasonable disk containing the whole segment.
+    ///
+    /// Exact for lines and waits; for arcs it is the chord-midpoint disk
+    /// when the sweep is at most a half turn and the full circle disk
+    /// otherwise (the smallest enclosing disk of a > π arc *is* the
+    /// circle's disk).
+    pub fn bounding_disk(&self) -> rvz_geometry::Disk {
+        self.chunk_disk(0.0, self.duration())
+    }
+
+    /// A sound bounding disk for the sub-span `[u0, u1]` of this segment
+    /// (local times, clamped to `[0, duration]`).
+    ///
+    /// This is the leaf of the swept-envelope hierarchy: on a line or
+    /// wait it is the exact smallest disk; on an arc chunk spanning the
+    /// angle `σ ≤ π` it is the chord-midpoint disk of radius
+    /// `R·sin(σ/2)` — within a factor ~2 of the chunk's own extent, which
+    /// is what lets the contact engine certify separation *through* the
+    /// big circle traversals of the dyadic schedules instead of crawling
+    /// them at the conservative rate.
+    pub fn chunk_disk(&self, u0: f64, u1: f64) -> rvz_geometry::Disk {
+        use rvz_geometry::Disk;
+        let d = self.duration();
+        let u0 = u0.clamp(0.0, d);
+        let u1 = u1.clamp(u0, d);
+        match *self {
+            Segment::Line { .. } => Disk::spanning(self.position_at(u0), self.position_at(u1)),
+            Segment::Wait { position, .. } => Disk::point(position),
+            Segment::Arc {
+                center,
+                radius,
+                start_angle,
+                sweep,
+            } => {
+                if radius == 0.0 {
+                    return Disk::point(self.start());
+                }
+                let sign = sweep.signum();
+                let a0 = start_angle + sign * (u0 / radius);
+                Disk::arc_chunk(center, radius, a0, sign * ((u1 - u0) / radius))
+            }
+        }
+    }
+
     /// `true` when the robot is stationary for the whole segment.
     pub fn is_stationary(&self) -> bool {
         match self {
@@ -311,5 +355,62 @@ mod tests {
         .validate()
         .is_err());
         assert!(Segment::wait(Vec2::ZERO, -2.0).validate().is_err());
+    }
+
+    /// Every segment kind's chunk disk must contain every sampled point
+    /// of the chunk — the leaf soundness obligation of the envelope
+    /// hierarchy.
+    #[test]
+    fn chunk_disks_contain_dense_samples() {
+        let segments = [
+            Segment::line(Vec2::new(-2.0, 1.0), Vec2::new(3.0, -4.0)),
+            Segment::wait(Vec2::new(0.5, 0.5), 3.0),
+            Segment::full_circle(Vec2::new(1.0, -1.0), 2.5, 0.7),
+            Segment::Arc {
+                center: Vec2::ZERO,
+                radius: 4.0,
+                start_angle: 1.0,
+                sweep: -2.3,
+            },
+        ];
+        for seg in &segments {
+            let d = seg.duration();
+            for (f0, f1) in [(0.0, 1.0), (0.1, 0.35), (0.5, 0.95), (0.3, 0.3)] {
+                let (u0, u1) = (f0 * d, f1 * d);
+                let disk = seg.chunk_disk(u0, u1);
+                for i in 0..=50 {
+                    let u = u0 + (u1 - u0) * i as f64 / 50.0;
+                    assert!(
+                        disk.contains(seg.position_at(u), 1e-9),
+                        "{seg:?}: chunk [{u0}, {u1}] misses u={u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arc_chunk_disk_is_tight_for_small_spans() {
+        // A short chunk of a huge circle must get a small disk — this is
+        // what makes envelope certificates beat the conservative step on
+        // the big sweeps.
+        let seg = Segment::full_circle(Vec2::ZERO, 100.0, 0.0);
+        let disk = seg.chunk_disk(0.0, 2.0); // arc length 2 on radius 100
+        assert!(disk.radius < 1.01, "radius {}", disk.radius);
+        // A > π chunk degrades to the full circle's disk.
+        let big = seg.chunk_disk(0.0, 100.0 * PI * 1.5);
+        assert_eq!(big.radius, 100.0);
+        assert_eq!(big.center, Vec2::ZERO);
+    }
+
+    #[test]
+    fn bounding_disk_covers_whole_segment() {
+        let seg = Segment::full_circle(Vec2::new(2.0, 0.0), 1.0, 0.0);
+        let disk = seg.bounding_disk();
+        assert_eq!(disk.center, Vec2::new(2.0, 0.0));
+        assert_eq!(disk.radius, 1.0);
+        let line = Segment::line(Vec2::ZERO, Vec2::new(4.0, 0.0)).bounding_disk();
+        assert_eq!(line.center, Vec2::new(2.0, 0.0));
+        assert_eq!(line.radius, 2.0);
     }
 }

@@ -129,6 +129,38 @@ pub struct WarpCursor<C> {
     translation: Vec2,
     time_scale: f64,
     speed_bound: f64,
+    /// `‖linear‖₂`, cached once: an inner envelope disk of radius `r`
+    /// maps into a disk of radius `‖M‖₂·r` around the mapped center.
+    operator_norm: f64,
+    /// `Some((scale, rotation, handedness))` when the linear map is
+    /// conformal (`s·Rot(α)` or `s·Rot(α)·Refl`), cached once. Conformal
+    /// maps send circles to circles, so inner [`Motion::Circular`]
+    /// pieces survive the warp exactly: the radius scales by `s`, the
+    /// phase becomes `α ± θ`, and the angular velocity `±ω/τ` (the sign
+    /// flipping under a reflection). The paper's attribute frames
+    /// (`v·τ·Rot(φ)·Refl(χ)`) are always conformal.
+    conformal: Option<(f64, f64, f64)>,
+}
+
+/// Decomposes a conformal linear map into `(scale, rotation, handedness)`
+/// with handedness `+1` for `s·Rot(α)` and `−1` for `s·Rot(α)·Refl`
+/// (reflection about the x-axis applied first). `None` for
+/// non-conformal maps or the zero map.
+fn conformal_parts(m: Mat2) -> Option<(f64, f64, f64)> {
+    let c0 = m.col0();
+    let c1 = m.col1();
+    let s2 = c0.norm_squared();
+    if s2 == 0.0 {
+        return None;
+    }
+    let tol = 1e-12 * s2;
+    if (c1.norm_squared() - s2).abs() > tol || c0.dot(c1).abs() > tol {
+        return None;
+    }
+    let scale = s2.sqrt();
+    let rotation = c0.angle();
+    let handedness = if m.det() >= 0.0 { 1.0 } else { -1.0 };
+    Some((scale, rotation, handedness))
 }
 
 impl<C: Cursor> Cursor for WarpCursor<C> {
@@ -142,6 +174,22 @@ impl<C: Cursor> Cursor for WarpCursor<C> {
                 Motion::Affine { velocity } => Motion::Affine {
                     velocity: self.linear * velocity / self.time_scale,
                 },
+                Motion::Circular {
+                    center,
+                    radius,
+                    angular_velocity,
+                    angle,
+                } => match self.conformal {
+                    Some((scale, rotation, handedness)) => Motion::Circular {
+                        center: self.translation + self.linear * center,
+                        radius: scale * radius,
+                        angular_velocity: handedness * angular_velocity / self.time_scale,
+                        angle: rotation + handedness * angle,
+                    },
+                    // A non-conformal map turns circles into ellipses;
+                    // degrade to the speed-bound-only description.
+                    None => Motion::Curved,
+                },
                 Motion::Curved => Motion::Curved,
             },
         }
@@ -149,6 +197,24 @@ impl<C: Cursor> Cursor for WarpCursor<C> {
 
     fn speed_bound(&self) -> f64 {
         self.speed_bound
+    }
+
+    /// Maps the inner envelope through the affine stack: the local
+    /// interval is `[t0/τ, t1/τ]`, the center maps exactly, and the
+    /// radius scales by `‖M‖₂` — every point within `r` of the inner
+    /// center lands within `‖M‖₂·r` of the mapped center.
+    fn envelope(&mut self, t0: f64, t1: f64) -> rvz_geometry::Disk {
+        let inner = self
+            .inner
+            .envelope(t0 / self.time_scale, t1 / self.time_scale);
+        let radius = if inner.radius.is_finite() {
+            self.operator_norm * inner.radius
+        } else if self.operator_norm == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        rvz_geometry::Disk::new(self.translation + self.linear * inner.center, radius)
     }
 }
 
@@ -165,6 +231,8 @@ impl<T: MonotoneTrajectory> MonotoneTrajectory for FrameWarp<T> {
             translation: self.translation,
             time_scale: self.time_scale,
             speed_bound: self.speed_bound(),
+            operator_norm: self.linear.operator_norm(),
+            conformal: conformal_parts(self.linear),
         }
     }
 }

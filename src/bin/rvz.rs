@@ -77,29 +77,35 @@ USAGE:
       Closed-form bounds: Theorem 1/2, and Lemma 13's k* when τ ≠ 1.
   rvz sweep [--speeds L] [--clocks L] [--phis L] [--chis L] [--distances L]
             [--bearings L] [--r R] [--algos L] [--lhs N] [--seed S]
-            [--threads N] [--max-steps M] [--horizon-rounds K] [--out PREFIX]
+            [--threads N] [--max-steps M] [--horizon-rounds K] [--no-prune]
+            [--out PREFIX]
       Run a parallel scenario sweep (grid by default, Latin-hypercube
       sample with --lhs N) and write PREFIX.jsonl + PREFIX.csv.
       List flags (L) take comma-separated values, e.g. --speeds 0.5,1.
+      --no-prune disables the engine's swept-envelope pruning layer
+      (A/B escape hatch; outcomes keep the same classification).
   rvz map [--speeds L] [--clocks L] [--phis L] [--d D] [--r R] [--threads N]
           [--max-steps M] [--horizon-rounds K]
       Print the Theorem 4 feasibility map over the attribute grid and
       confirm every cell by simulation. Raise --horizon-rounds (default 9)
       and --max-steps for hard instances (large d²/r).
-  rvz bench-engine [--quick] [--out PATH]
+  rvz bench-engine [--quick] [--no-prune] [--enforce-steps] [--out PATH]
       Benchmark the first-contact engine (seed conservative loop vs the
-      monotone-cursor fast path) on the canonical case set; print the
-      comparison table and write the machine-readable report to PATH
-      (default BENCH_engine.json). --quick runs a sub-second smoke
-      variant for CI.
+      monotone-cursor fast path with swept-envelope pruning) on the
+      canonical case set; print the comparison table (incl. pruned
+      intervals and envelope queries) and write the machine-readable
+      report to PATH (default BENCH_engine.json). --quick runs a
+      sub-second smoke variant for CI; --no-prune A/Bs the pruning
+      layer; --enforce-steps fails if the cursor engine ever takes more
+      steps than the generic loop.
 
-All flags take numeric values (except the valueless --quick); angles in
-radians.";
+All flags take numeric values (except the valueless --quick, --no-prune
+and --enforce-steps); angles in radians.";
 
 type Flags = HashMap<String, String>;
 
 /// Flags that take no value; present means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["quick"];
+const BOOLEAN_FLAGS: &[&str] = &["quick", "no-prune", "enforce-steps"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut map = HashMap::new();
@@ -206,6 +212,9 @@ fn sweep_options(opts: &Flags) -> Result<SweepOptions, String> {
             return Err("`--horizon-rounds` must be in 1..=31".into());
         }
         sweep_opts.contact.horizon = completion_time(k);
+    }
+    if opts.contains_key("no-prune") {
+        sweep_opts.contact.prune = false;
     }
     Ok(sweep_opts)
 }
@@ -436,19 +445,21 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
 
 fn cmd_bench_engine(opts: &Flags) -> Result<(), String> {
     use plane_rendezvous::bench::engine::{
-        grazing_summary, measure_all, render_json, render_table,
+        grazing_summary, measure_all, render_json, render_table, step_regressions,
     };
     let quick = opts.contains_key("quick");
+    let prune = !opts.contains_key("no-prune");
     let path = opts
         .get("out")
         .map(String::as_str)
         .unwrap_or("BENCH_engine.json");
     println!(
-        "benchmarking the first-contact engine ({} mode): seed loop vs cursor fast path ...",
-        if quick { "quick" } else { "full" }
+        "benchmarking the first-contact engine ({} mode{}): seed loop vs cursor fast path ...",
+        if quick { "quick" } else { "full" },
+        if prune { "" } else { ", pruning off" }
     );
     let start = Instant::now();
-    let measurements = measure_all(quick);
+    let measurements = measure_all(quick, prune);
     print!("{}", render_table(&measurements));
     let json = render_json(&measurements, quick);
     std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
@@ -457,6 +468,16 @@ fn cmd_bench_engine(opts: &Flags) -> Result<(), String> {
         start.elapsed().as_secs_f64()
     );
     println!("{}", grazing_summary(&measurements));
+    if opts.contains_key("enforce-steps") {
+        let regressions = step_regressions(&measurements);
+        if !regressions.is_empty() {
+            return Err(format!(
+                "cursor engine took more steps than the generic engine on: {}",
+                regressions.join(", ")
+            ));
+        }
+        println!("step check: cursor engine never exceeded the generic engine's steps");
+    }
     Ok(())
 }
 

@@ -55,6 +55,7 @@ fn fast_and_generic_engines_classify_identically() {
         tolerance: 1e-9,
         horizon: plane_rendezvous::core::completion_time(7),
         max_steps: 5_000_000,
+        ..ContactOptions::default()
     };
     let mut contacts = 0_usize;
     for scenario in &scenarios {
@@ -102,6 +103,7 @@ fn fast_engine_never_later_than_brute_oracle() {
         tolerance: 1e-9,
         horizon,
         max_steps: 5_000_000,
+        ..ContactOptions::default()
     };
     for scenario in &scenarios {
         let instance = scenario.instance().expect("valid scenario");
@@ -165,4 +167,106 @@ fn generic_fallback_agrees_with_brute_oracle() {
         (None, Some(tb)) => panic!("generic engine missed brute contact at {tb}"),
         (None, None) => {}
     }
+}
+
+/// Pruning on vs pruning off over the Latin-hypercube: contacts must
+/// agree within the engines' shared declaration slack (skips only
+/// remove certified contact-free intervals; on most scenarios the leaf
+/// arithmetic resolves the identical crossing, but a conservative crawl
+/// into the tolerance band may land ulps apart), and non-contact
+/// scenarios may differ only by pruning upgrading a `step-budget`
+/// truncation into a completed `horizon` disproof.
+#[test]
+fn pruned_and_unpruned_engines_agree() {
+    let space = SampleSpace {
+        visibility: 0.2,
+        ..Default::default()
+    };
+    let scenarios = latin_hypercube(&space, 48, 0xE9E9);
+    let base = ContactOptions {
+        tolerance: 1e-9,
+        horizon: plane_rendezvous::core::completion_time(7),
+        max_steps: 5_000_000,
+        ..ContactOptions::default()
+    };
+    for scenario in &scenarios {
+        let pruned = run_fast(scenario, &base.prune(true));
+        let unpruned = run_fast(scenario, &base.prune(false));
+        match (pruned, unpruned) {
+            (
+                SimOutcome::Contact {
+                    time: tp,
+                    distance: dp,
+                    ..
+                },
+                SimOutcome::Contact {
+                    time: tu,
+                    distance: du,
+                    ..
+                },
+            ) => {
+                let slack = base.tolerance * 10.0 + 1e-9 * tu.abs() + 1e-6;
+                assert!((tp - tu).abs() <= slack, "{tp} vs {tu} ({scenario:?})");
+                assert!(dp <= scenario.visibility + base.tolerance);
+                assert!(du <= scenario.visibility + base.tolerance);
+            }
+            (SimOutcome::Contact { .. }, other) | (other, SimOutcome::Contact { .. }) => {
+                panic!("pruning changed a contact verdict: {other} ({scenario:?})")
+            }
+            (SimOutcome::Horizon { .. }, SimOutcome::StepBudget { .. }) => {}
+            (SimOutcome::StepBudget { .. }, SimOutcome::Horizon { .. }) => {
+                panic!("pruning lost a completed disproof ({scenario:?})")
+            }
+            _ => {}
+        }
+        // The pruned engine must never take more steps.
+        assert!(
+            pruned.steps() <= unpruned.steps(),
+            "pruning increased steps on {scenario:?}: {} vs {}",
+            pruned.steps(),
+            unpruned.steps()
+        );
+    }
+}
+
+/// The full sweep executor with pruning on vs off: feasible records are
+/// identical, infeasible records stay (strictly) consistent in both
+/// modes.
+#[test]
+fn sweep_records_equivalent_with_and_without_pruning() {
+    use plane_rendezvous::experiments::{run_sweep, ScenarioGrid, SweepOptions};
+    let scenarios = ScenarioGrid::new()
+        .speeds(&[0.5, 1.0])
+        .clocks(&[1.0])
+        .orientations(&[0.0])
+        .chiralities(&[Chirality::Consistent, Chirality::Mirrored])
+        .distances(&[0.9])
+        .visibilities(&[0.25])
+        .build();
+    let mut opts = SweepOptions {
+        threads: 2,
+        ..SweepOptions::default()
+    };
+    let on = run_sweep(&scenarios, &opts);
+    opts.contact.prune = false;
+    let off = run_sweep(&scenarios, &opts);
+    assert_eq!(on.len(), off.len());
+    let mut upgrades = 0_usize;
+    for (a, b) in on.iter().zip(off.iter()) {
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.outcome.is_contact(), b.outcome.is_contact());
+        if a.outcome.is_contact() {
+            assert_eq!(a.outcome.contact_time(), b.outcome.contact_time());
+        }
+        assert_eq!(a.consistent(), b.consistent());
+        assert_eq!(a.strictly_consistent(), b.strictly_consistent());
+        if let (SimOutcome::Horizon { .. }, SimOutcome::StepBudget { .. }) =
+            (&a.outcome, &b.outcome)
+        {
+            upgrades += 1;
+        }
+    }
+    // The grid's exact twins burn the whole step budget unpruned; the
+    // envelope layer must complete their disproof to the horizon.
+    assert!(upgrades > 0, "no step-budget upgrades sampled");
 }

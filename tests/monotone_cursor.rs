@@ -1,14 +1,19 @@
 //! The monotone-cursor contract, property-tested for every
 //! `MonotoneTrajectory` implementation in the workspace.
 //!
-//! Two properties from the contract (see `rvz_trajectory::monotone`):
+//! Three properties from the contract (see `rvz_trajectory::monotone`):
 //!
 //! 1. **Agreement** — a cursor probed over a dense non-decreasing time
 //!    grid returns the same positions as random-access
 //!    `Trajectory::position`;
 //! 2. **Piece validity** — on a reported affine piece, linear
 //!    extrapolation from the probe reproduces the trajectory exactly up
-//!    to the reported `piece_end`.
+//!    to the reported `piece_end`; on a circular piece the reported
+//!    circle-and-phase law does;
+//! 3. **Envelope soundness** — `envelope(t0, t1)` returns a disk
+//!    containing `position(t)` for densely sampled `t ∈ [t0, t1]`, for
+//!    every implementation including composed `FrameWarp`∘`ClockDrift`
+//!    stacks.
 //!
 //! Grids are seeded and jittered (SplitMix64, no external deps) so the
 //! probes do not align with segment boundaries by construction.
@@ -38,12 +43,12 @@ fn check_cursor<T: MonotoneTrajectory>(trajectory: &T, horizon: f64, n: u32, see
             "stale piece_end {} at t={t}",
             probe.piece_end
         );
-        if let Motion::Affine { velocity } = probe.motion {
-            // Validate the affine claim at a point strictly inside the
-            // piece (random-access evaluated, so this is an independent
-            // check of the closed form).
-            let span = (probe.piece_end.min(horizon * 2.0) - t).min(horizon / n as f64);
-            if span > 0.0 {
+        // Validate the motion-law claim at a point strictly inside the
+        // piece (random-access evaluated, so this is an independent
+        // check of the closed form).
+        let span = (probe.piece_end.min(horizon * 2.0) - t).min(horizon / n as f64);
+        match probe.motion {
+            Motion::Affine { velocity } if span > 0.0 => {
                 let u = t + rng.next_range(0.0, span);
                 let extrapolated = probe.position + velocity * (u - t);
                 let actual = trajectory.position(u);
@@ -52,6 +57,22 @@ fn check_cursor<T: MonotoneTrajectory>(trajectory: &T, horizon: f64, n: u32, see
                     "affine piece violated at t={t}, u={u}: {extrapolated} vs {actual}"
                 );
             }
+            Motion::Circular {
+                center,
+                radius,
+                angular_velocity,
+                angle,
+            } if span > 0.0 => {
+                let u = t + rng.next_range(0.0, span);
+                let extrapolated =
+                    center + Vec2::from_polar(radius, angle + angular_velocity * (u - t));
+                let actual = trajectory.position(u);
+                assert!(
+                    extrapolated.distance(actual) <= tol.max(1e-9),
+                    "circular piece violated at t={t}, u={u}: {extrapolated} vs {actual}"
+                );
+            }
+            _ => {}
         }
         // Jittered stride; occasionally repeat the same time (allowed).
         if rng.next_f64() > 0.05 {
@@ -147,4 +168,117 @@ fn warped_algorithm7_cursor_agrees() {
     let attrs = RobotAttributes::new(0.5, 1.5, 2.2, Chirality::Mirrored);
     let warped = attrs.frame_warp(WaitAndSearch, Vec2::new(-0.4, 0.9));
     check_cursor(&warped, PhaseSchedule::round_end(2) * 1.5, 2500, 10, 1e-9);
+}
+
+/// Issues `windows` envelope queries with non-decreasing starts over one
+/// cursor, checking that every returned disk contains the trajectory's
+/// position at dense samples of its interval (allowing `slack` of
+/// floating-point leakage).
+fn check_envelope<T: MonotoneTrajectory>(
+    trajectory: &T,
+    horizon: f64,
+    windows: u32,
+    seed: u64,
+    slack: f64,
+) {
+    let mut rng = SplitMix64::new(seed);
+    let mut cursor = trajectory.cursor();
+    let mut t0 = 0.0_f64;
+    for _ in 0..windows {
+        let span = rng.next_range(0.0, 3.0 * horizon / windows as f64);
+        let t1 = t0 + span;
+        let disk = cursor.envelope(t0, t1);
+        for i in 0..=25 {
+            let t = t0 + span * i as f64 / 25.0;
+            let p = trajectory.position(t);
+            assert!(
+                disk.contains(p, slack),
+                "envelope [{t0}, {t1}] (= {disk}) misses position {p} at t={t}"
+            );
+        }
+        // Starts are non-decreasing but may repeat, and windows overlap.
+        if rng.next_f64() > 0.1 {
+            t0 += rng.next_range(0.0, 2.0 * horizon / windows as f64);
+        }
+    }
+    // The cursor still probes correctly after a train of envelope
+    // queries (envelopes must not corrupt the forward state).
+    let probe = cursor.probe(t0 + horizon);
+    assert!(
+        probe.position.distance(trajectory.position(t0 + horizon)) <= 1e-9,
+        "probe after envelope queries diverged"
+    );
+}
+
+#[test]
+fn path_envelope_is_sound() {
+    let path = PathBuilder::at(Vec2::ZERO)
+        .line_to(Vec2::new(1.0, 0.0))
+        .full_circle(Vec2::ZERO)
+        .wait(0.7)
+        .line_to(Vec2::new(-2.0, 1.5))
+        .arc_around(Vec2::ZERO, -1.3)
+        .build();
+    check_envelope(&path, path.duration() + 2.0, 300, 0xE57, 1e-9);
+}
+
+#[test]
+fn fn_trajectory_envelope_falls_back_soundly() {
+    // Velocity is (−2·sin t, 0.7·cos 0.7t), so the tight speed bound is
+    // √(2² + 0.7²) — the envelope fallback leans on it, unlike probes.
+    let bound = (4.0_f64 + 0.49).sqrt();
+    let infinite = FnTrajectory::new(|t| Vec2::new(t.cos() * 2.0, (0.7 * t).sin()), bound);
+    check_envelope(&infinite, 40.0, 250, 0xE58, 1e-9);
+}
+
+#[test]
+fn stationary_envelope_is_a_point() {
+    let s = Stationary::new(Vec2::new(3.0, -4.0));
+    check_envelope(&s, 100.0, 100, 0xE59, 0.0);
+    let mut c = s.cursor();
+    assert_eq!(c.envelope(0.0, 1e12).radius, 0.0);
+}
+
+#[test]
+fn universal_search_envelope_is_sound() {
+    use plane_rendezvous::search::times;
+    check_envelope(&UniversalSearch, times::rounds_total(3), 400, 0xE5A, 1e-9);
+}
+
+#[test]
+fn wait_and_search_envelope_is_sound() {
+    check_envelope(
+        &WaitAndSearch,
+        PhaseSchedule::round_end(3),
+        400,
+        0xE5B,
+        1e-9,
+    );
+}
+
+#[test]
+fn frame_warp_envelope_is_sound() {
+    // Mirrored chirality and a slow clock over Algorithm 7 — the warp
+    // every sweep scenario actually builds, envelope mapped through the
+    // affine stack.
+    let attrs = RobotAttributes::new(0.5, 1.5, 2.2, Chirality::Mirrored);
+    let warped = attrs.frame_warp(WaitAndSearch, Vec2::new(-0.4, 0.9));
+    check_envelope(&warped, PhaseSchedule::round_end(2) * 1.5, 400, 0xE5C, 1e-9);
+}
+
+#[test]
+fn warp_drift_stack_envelope_is_sound() {
+    // The deepest composition the simulator runs: FrameWarp ∘ ClockDrift
+    // ∘ Algorithm 7, with the envelope threaded through both wrappers.
+    let attrs = RobotAttributes::reference()
+        .with_speed(0.7)
+        .with_orientation(1.1);
+    let warped = attrs.frame_warp(WaitAndSearch, Vec2::new(0.3, 0.8));
+    let drifted = ClockDrift::from_rates(warped, &[(50.0, 0.8), (75.0, 1.3)], 1.0);
+    check_envelope(&drifted, 400.0, 350, 0xE5D, 1e-9);
+}
+
+#[test]
+fn spiral_envelope_falls_back_soundly() {
+    check_envelope(&ArchimedeanSpiral::with_pitch(0.3), 300.0, 250, 0xE5E, 1e-9);
 }

@@ -176,3 +176,32 @@ fn map_confirms_every_cell() {
     assert!(stdout.contains("F:clock"));
     assert!(stdout.contains("16/16 cells confirmed by simulation"));
 }
+
+#[test]
+fn sweep_no_prune_flag_is_accepted_and_consistent() {
+    let prefix = out_prefix("no-prune");
+    let prefix_str = prefix.to_str().unwrap();
+    let args_tail = [
+        "--speeds",
+        "0.5,1.0",
+        "--clocks",
+        "1.0",
+        "--phis",
+        "0",
+        "--chis",
+        "+1",
+        "--distances",
+        "0.9",
+        "--r",
+        "0.25",
+        "--threads",
+        "2",
+        "--out",
+        prefix_str,
+    ];
+    let mut with_flag: Vec<&str> = vec!["sweep", "--no-prune"];
+    with_flag.extend_from_slice(&args_tail);
+    let (ok, stdout, stderr) = rvz(&with_flag);
+    assert!(ok, "sweep --no-prune failed: {stderr}");
+    assert!(stdout.contains("theorem-4 consistency: 2/2"));
+}
