@@ -37,4 +37,45 @@ grep -q '"cases":' "$BENCH_SMOKE"
 grep -q '"pruned_intervals":' "$BENCH_SMOKE"
 rm -f "$BENCH_SMOKE"
 
+echo "==> rvz serve smoke (ephemeral port, symmetric-twin cache hit, graceful shutdown)"
+RVZ="./target/release/rvz"
+SERVE_LOG="$(mktemp -t rvz_serve_smoke.XXXXXX.log)"
+"$RVZ" serve --port 0 --workers 2 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+# Scrape the bound address from the startup banner.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^rvz serve listening on //p' "$SERVE_LOG" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve did not start"; cat "$SERVE_LOG"; exit 1; }
+# A feasibility query answers with the Theorem 4 verdict.
+"$RVZ" client --addr "$ADDR" --path '/feasibility?tau=0.5' | grep -q '"breaker":"clocks"'
+# A first-contact query misses; its role-swap twin (v -> 1/v, d and r
+# scaled by v·tau, bearing + pi) must hit the same canonical entry.
+"$RVZ" client --addr "$ADDR" --path /first-contact \
+    --body '{"speed":0.5,"distance":0.9,"visibility":0.25}' | grep -q 'X-Rvz-Cache: miss'
+"$RVZ" client --addr "$ADDR" --path /first-contact \
+    --body '{"speed":2,"distance":1.8,"visibility":0.5,"bearing":4.188790204786391}' \
+    | grep -q 'X-Rvz-Cache: hit'
+# A batch sweep reuses the cached orbit and stays Theorem 4 consistent.
+"$RVZ" client --addr "$ADDR" --path /sweep \
+    --body '{"scenarios":[{"speed":0.5,"distance":0.9,"visibility":0.25},{"time_unit":0.6,"distance":0.9,"visibility":0.25}]}' \
+    | grep -q '"consistent":2'
+# Graceful shutdown: the serve process exits cleanly on its own.
+"$RVZ" client --addr "$ADDR" --path /shutdown --method POST | grep -q '"shutting_down":true'
+wait "$SERVE_PID"
+grep -q "shut down cleanly" "$SERVE_LOG"
+rm -f "$SERVE_LOG"
+
+echo "==> rvz loadtest --quick (smoke: serve throughput artifact intact)"
+SERVE_BENCH="$(mktemp -t bench_serve_smoke.XXXXXX.json)"
+"$RVZ" loadtest --quick --out "$SERVE_BENCH" >/dev/null
+grep -q '"schema":"rvz-bench-serve/v1"' "$SERVE_BENCH"
+grep -q '"name":"cached"' "$SERVE_BENCH"
+grep -q '"name":"no-cache"' "$SERVE_BENCH"
+grep -q '"speedup":' "$SERVE_BENCH"
+rm -f "$SERVE_BENCH"
+
 echo "CI OK"

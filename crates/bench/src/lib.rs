@@ -10,6 +10,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod engine;
+pub mod serve;
 
 /// Minimal fixed-width table printer for bench output.
 ///

@@ -1,0 +1,390 @@
+//! The `rvz loadtest` harness: a closed-loop client generator against an
+//! in-process `rvz serve` instance, A/B-ing the symmetry-canonicalized
+//! cache against `--no-cache`.
+//!
+//! The workload is deliberately **symmetric**: a handful of scenario
+//! families, each queried under *both* of its role-swap descriptions, so
+//! a caching server sees every family as one canonical orbit (first
+//! touch misses, everything after hits) while the `--no-cache` arm pays
+//! an engine run per request. The families are engine-heavy on purpose
+//! — twin disproofs that must be pushed to the horizon — because that is
+//! exactly the traffic a feasibility service is slowest on and exactly
+//! where the orbit cache pays.
+//!
+//! Both arms run the same closed loop: `clients` persistent keep-alive
+//! connections, each issuing `requests_per_client` `POST /first-contact`
+//! queries back-to-back, per-request latency recorded client-side. The
+//! cached arm includes its cold misses — "cache-warm" is earned inside
+//! the measured window, not before it.
+
+use rvz_experiments::{percentile, Json};
+use rvz_server::{HttpClient, Service, ServiceOptions};
+use rvz_sim::ContactOptions;
+use std::time::Instant;
+
+/// Loadtest shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadtestConfig {
+    /// Sub-second smoke variant for CI.
+    pub quick: bool,
+    /// Concurrent closed-loop clients (and server workers).
+    pub clients: usize,
+    /// Requests per client per arm.
+    pub requests_per_client: usize,
+    /// Scenario families (each contributes two orbit-mate descriptions).
+    pub families: usize,
+}
+
+impl LoadtestConfig {
+    /// The default configuration for a mode.
+    pub fn new(quick: bool) -> Self {
+        if quick {
+            LoadtestConfig {
+                quick,
+                clients: 2,
+                requests_per_client: 25,
+                families: 4,
+            }
+        } else {
+            LoadtestConfig {
+                quick,
+                clients: 4,
+                requests_per_client: 150,
+                families: 8,
+            }
+        }
+    }
+
+    /// Engine options for the serving arms: horizons deep enough that a
+    /// twin disproof is an *expensive* engine run (that is the workload
+    /// the cache is for), shallower in quick mode.
+    fn service_options(&self, no_cache: bool) -> ServiceOptions {
+        let rounds = if self.quick { 7 } else { 10 };
+        ServiceOptions {
+            no_cache,
+            sweep: rvz_experiments::SweepOptions {
+                threads: 1,
+                contact: ContactOptions {
+                    horizon: rvz_core::completion_time(rounds),
+                    max_steps: 500_000,
+                    ..ContactOptions::default()
+                },
+            },
+            ..ServiceOptions::default()
+        }
+    }
+}
+
+/// One measured arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmReport {
+    /// `"cached"` or `"no-cache"`.
+    pub name: &'static str,
+    /// Total requests issued.
+    pub requests: u64,
+    /// Wall-clock for the whole closed loop.
+    pub wall_s: f64,
+    /// Throughput, requests per second.
+    pub rps: f64,
+    /// Client-observed per-request latency `[p50, p90, p99, max]` in µs.
+    pub latency_us: [f64; 4],
+    /// Cache hits observed by the server.
+    pub hits: u64,
+    /// Cache misses (engine runs) observed by the server.
+    pub misses: u64,
+}
+
+/// The request bodies of the symmetric workload: `families` scenario
+/// families × two role-swap descriptions each, interleaved.
+pub fn workload(families: usize) -> Vec<String> {
+    let mut scenarios = Vec::new();
+    for i in 0..families {
+        let phase = i as f64 / families.max(1) as f64;
+        let scenario = match i % 4 {
+            // Mirror twins (infeasible): adversarial placement along the
+            // invariant direction φ/2 forces a full horizon disproof.
+            0 => {
+                let phi = 0.4 + 1.1 * phase;
+                format!(
+                    concat!(
+                        "{{\"algorithm\":\"alg7\",\"speed\":1,\"time_unit\":1,",
+                        "\"orientation\":{phi},\"chirality\":\"-1\",\"distance\":1,",
+                        "\"bearing\":{bearing},\"visibility\":0.05}}"
+                    ),
+                    phi = phi,
+                    bearing = phi / 2.0,
+                )
+            }
+            // Exact twins under Algorithm 4: the `universal_twins_horizon`
+            // shape, the engine-heaviest disproof family.
+            1 => format!(
+                concat!(
+                    "{{\"algorithm\":\"alg4\",\"speed\":1,\"time_unit\":1,\"orientation\":0,",
+                    "\"chirality\":\"+1\",\"distance\":{d},\"bearing\":0,\"visibility\":0.05}}"
+                ),
+                d = 1.0 + 0.5 * phase,
+            ),
+            // Feasible far pair broken by clocks: a long Algorithm 7
+            // chase before contact.
+            2 => format!(
+                concat!(
+                    "{{\"algorithm\":\"alg7\",\"speed\":1,\"time_unit\":{tau},",
+                    "\"orientation\":0,\"chirality\":\"+1\",\"distance\":{d},",
+                    "\"bearing\":1.1,\"visibility\":0.05}}"
+                ),
+                tau = 0.5 + 0.25 * phase,
+                d = 1.5 + phase,
+            ),
+            // Feasible speed-breaker pair.
+            _ => format!(
+                concat!(
+                    "{{\"algorithm\":\"alg7\",\"speed\":{v},\"time_unit\":1,",
+                    "\"orientation\":0,\"chirality\":\"+1\",\"distance\":1.2,",
+                    "\"bearing\":0.7,\"visibility\":0.05}}"
+                ),
+                v = 0.5 + 0.3 * phase,
+            ),
+        };
+        scenarios.push(scenario);
+    }
+
+    // Each family is queried under both orbit-mate descriptions.
+    let mut bodies = Vec::with_capacity(scenarios.len() * 2);
+    for body in &scenarios {
+        let parsed = rvz_experiments::json::parse(body).expect("workload bodies are JSON");
+        let scenario = rvz_experiments::scenario_from_json(&parsed).expect("workload is valid");
+        let (twin, _) = scenario.role_swap();
+        bodies.push(body.clone());
+        bodies.push(format!(
+            concat!(
+                "{{\"algorithm\":\"{}\",\"speed\":{},\"time_unit\":{},\"orientation\":{},",
+                "\"chirality\":\"{}\",\"distance\":{},\"bearing\":{},\"visibility\":{}}}"
+            ),
+            twin.algorithm,
+            twin.speed,
+            twin.time_unit,
+            twin.orientation,
+            twin.chirality,
+            twin.distance,
+            twin.bearing,
+            twin.visibility,
+        ));
+    }
+    bodies
+}
+
+/// Runs one arm: spawn a fresh in-process server, drive the closed
+/// loop, collect the report.
+///
+/// # Panics
+///
+/// Panics when the server cannot bind, a request fails, or a response
+/// is not `200` — a loadtest against a broken server is meaningless.
+pub fn run_arm(name: &'static str, no_cache: bool, cfg: &LoadtestConfig) -> ArmReport {
+    let service = Service::new(cfg.service_options(no_cache));
+    let server = rvz_server::spawn("127.0.0.1:0", service, cfg.clients.max(1))
+        .expect("bind an ephemeral loadtest port");
+    let addr = server.addr().to_string();
+    let bodies = workload(cfg.families);
+
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|client| {
+                let addr = &addr;
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    let mut conn = HttpClient::connect(addr).expect("loadtest client connects");
+                    let mut lat = Vec::with_capacity(cfg.requests_per_client);
+                    for j in 0..cfg.requests_per_client {
+                        // Interleave clients across the family list so
+                        // the symmetric structure is visible early.
+                        let body = &bodies[(client + j * cfg.clients) % bodies.len()];
+                        let t0 = Instant::now();
+                        let resp = conn
+                            .request("POST", "/first-contact", Some(body))
+                            .expect("loadtest request succeeds");
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        assert_eq!(resp.status, 200, "loadtest got: {}", resp.body);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("loadtest client panicked"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let stats = server.service().cache_stats();
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |p: f64| percentile(&latencies, p).expect("non-empty latency sample");
+    let requests = (cfg.clients * cfg.requests_per_client) as u64;
+    ArmReport {
+        name,
+        requests,
+        wall_s,
+        rps: requests as f64 / wall_s,
+        latency_us: [
+            pct(50.0),
+            pct(90.0),
+            pct(99.0),
+            *latencies.last().expect("non-empty"),
+        ],
+        hits: stats.hits,
+        misses: stats.misses,
+    }
+}
+
+/// Runs both arms (cached first, then `--no-cache`) and returns the
+/// reports plus the throughput ratio `cached / no-cache`.
+pub fn run_loadtest(cfg: &LoadtestConfig) -> (Vec<ArmReport>, f64) {
+    let cached = run_arm("cached", false, cfg);
+    let uncached = run_arm("no-cache", true, cfg);
+    let speedup = cached.rps / uncached.rps;
+    (vec![cached, uncached], speedup)
+}
+
+/// The human-readable comparison table.
+pub fn render_table(arms: &[ArmReport], speedup: f64) -> String {
+    let mut table = crate::Table::new(&[
+        "arm", "requests", "wall s", "req/s", "p50 µs", "p90 µs", "p99 µs", "max µs", "hits",
+        "misses",
+    ]);
+    for arm in arms {
+        table.row_owned(vec![
+            arm.name.to_string(),
+            arm.requests.to_string(),
+            format!("{:.3}", arm.wall_s),
+            format!("{:.0}", arm.rps),
+            format!("{:.0}", arm.latency_us[0]),
+            format!("{:.0}", arm.latency_us[1]),
+            format!("{:.0}", arm.latency_us[2]),
+            format!("{:.0}", arm.latency_us[3]),
+            arm.hits.to_string(),
+            arm.misses.to_string(),
+        ]);
+    }
+    format!(
+        "{}cache-warm symmetric workload speedup: {speedup:.1}× (cached vs no-cache)\n",
+        table.render()
+    )
+}
+
+/// The machine-readable `BENCH_serve.json` document.
+pub fn render_json(arms: &[ArmReport], speedup: f64, cfg: &LoadtestConfig) -> String {
+    let arm_json = |arm: &ArmReport| {
+        Json::obj(vec![
+            ("name", Json::Str(arm.name.to_string())),
+            ("requests", Json::Num(arm.requests as f64)),
+            ("wall_s", Json::Num((arm.wall_s * 1e6).round() / 1e6)),
+            ("rps", Json::Num(arm.rps.round())),
+            (
+                "latency_us",
+                Json::obj(vec![
+                    ("p50", Json::Num(arm.latency_us[0].round())),
+                    ("p90", Json::Num(arm.latency_us[1].round())),
+                    ("p99", Json::Num(arm.latency_us[2].round())),
+                    ("max", Json::Num(arm.latency_us[3].round())),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::Num(arm.hits as f64)),
+                    ("misses", Json::Num(arm.misses as f64)),
+                ]),
+            ),
+        ])
+    };
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("rvz-bench-serve/v1".to_string())),
+        (
+            "mode",
+            Json::Str(if cfg.quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("clients", Json::Num(cfg.clients as f64)),
+        (
+            "requests_per_client",
+            Json::Num(cfg.requests_per_client as f64),
+        ),
+        ("families", Json::Num(cfg.families as f64)),
+        ("arms", Json::Arr(arms.iter().map(arm_json).collect())),
+        ("speedup", Json::Num((speedup * 100.0).round() / 100.0)),
+    ]);
+    // Pretty-ish: one arm per line for reviewable diffs.
+    doc.render()
+        .replace("{\"name\"", "\n  {\"name\"")
+        .replace("],\"speedup\"", "\n ],\"speedup\"")
+        + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_experiments::DEFAULT_GRID;
+
+    #[test]
+    fn workload_families_pair_into_single_orbits() {
+        let bodies = workload(8);
+        assert_eq!(bodies.len(), 16);
+        for pair in bodies.chunks(2) {
+            let parse = |b: &str| {
+                rvz_experiments::scenario_from_json(&rvz_experiments::json::parse(b).unwrap())
+                    .unwrap()
+            };
+            let a = parse(&pair[0]).canonicalize(DEFAULT_GRID);
+            let b = parse(&pair[1]).canonicalize(DEFAULT_GRID);
+            assert_eq!(a.key, b.key, "workload pair split orbits: {pair:?}");
+        }
+        // Distinct families stay distinct orbits.
+        let keys: std::collections::HashSet<_> = bodies
+            .iter()
+            .map(|b| {
+                rvz_experiments::scenario_from_json(&rvz_experiments::json::parse(b).unwrap())
+                    .unwrap()
+                    .canonicalize(DEFAULT_GRID)
+                    .key
+            })
+            .collect();
+        assert_eq!(keys.len(), 8, "8 families, 8 orbits");
+    }
+
+    #[test]
+    fn renderers_cover_both_arms() {
+        let arm = ArmReport {
+            name: "cached",
+            requests: 100,
+            wall_s: 0.5,
+            rps: 200.0,
+            latency_us: [10.0, 20.0, 30.0, 40.0],
+            hits: 92,
+            misses: 8,
+        };
+        let arms = vec![
+            arm.clone(),
+            ArmReport {
+                name: "no-cache",
+                ..arm
+            },
+        ];
+        let table = render_table(&arms, 12.5);
+        assert!(table.contains("cached") && table.contains("no-cache"));
+        assert!(table.contains("12.5×"));
+        let json = render_json(&arms, 12.5, &LoadtestConfig::new(true));
+        let parsed = rvz_experiments::json::parse(json.trim()).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("rvz-bench-serve/v1")
+        );
+        assert_eq!(parsed.get("speedup").and_then(Json::as_f64), Some(12.5));
+        assert_eq!(
+            parsed.get("arms").and_then(Json::as_array).map(|a| a.len()),
+            Some(2)
+        );
+    }
+}

@@ -16,7 +16,12 @@
 //! * [`run_sweep`] — a scoped-thread batch executor whose output is
 //!   byte-identical for every thread count;
 //! * [`write_jsonl`] / [`write_csv`] / [`Summary`] — deterministic
-//!   structured sinks and aggregate percentile summaries.
+//!   structured sinks and aggregate percentile summaries;
+//! * [`canonicalize`] / [`orbit_key`] — symmetry canonicalization: the
+//!   role-swap gauge and the full attribute quotient that key the
+//!   `rvz serve` result cache (see [`canonical`]);
+//! * [`json`] — the dependency-free JSON value model shared by the
+//!   sinks and the serving layer's wire format.
 //!
 //! Every future workload axis (failure injection, drift ablations,
 //! multi-robot swarms) is meant to plug in here as one more scenario
@@ -43,12 +48,24 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod canonical;
 pub mod executor;
+pub mod json;
 pub mod report;
 pub mod rng;
 pub mod scenario;
 
+pub use canonical::{
+    canonicalize, orbit_key, role_swap, snap_grid, CacheKey, Canonical, OrbitKey, OutcomeTransform,
+    DEFAULT_GRID,
+};
 pub use executor::{run_sweep, SweepOptions, SweepRecord};
-pub use report::{write_csv, write_jsonl, Summary, CSV_HEADER};
+pub use json::Json;
+pub use report::{
+    breaker_token, outcome_token, percentile, record_from_json, record_to_json, scenario_from_json,
+    write_csv, write_jsonl, Summary, CSV_HEADER,
+};
 pub use rng::SplitMix64;
-pub use scenario::{latin_hypercube, Algorithm, SampleSpace, Scenario, ScenarioGrid};
+pub use scenario::{
+    latin_hypercube, parse_chirality, Algorithm, SampleSpace, Scenario, ScenarioGrid,
+};

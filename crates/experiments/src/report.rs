@@ -9,9 +9,32 @@
 //! 1-thread-vs-N-thread determinism test relies on exactly this.
 
 use crate::executor::SweepRecord;
-use rvz_model::Feasibility;
+use crate::json::Json;
+use crate::scenario::{parse_chirality, Algorithm, Scenario};
+use rvz_model::{feasibility, Feasibility};
 use rvz_sim::SimOutcome;
 use std::io::{self, Write};
+
+/// The fixed token naming the exploited symmetry breaker (or `none`).
+pub fn breaker_token(feasibility: &Feasibility) -> &'static str {
+    match feasibility {
+        Feasibility::Feasible(b) => match b {
+            rvz_model::SymmetryBreaker::AsymmetricClocks => "clocks",
+            rvz_model::SymmetryBreaker::DifferentSpeeds => "speeds",
+            rvz_model::SymmetryBreaker::OrientationOffset => "orientation",
+        },
+        Feasibility::Infeasible(_) => "none",
+    }
+}
+
+/// The fixed token naming the outcome variant.
+pub fn outcome_token(outcome: &SimOutcome) -> &'static str {
+    match outcome {
+        SimOutcome::Contact { .. } => "contact",
+        SimOutcome::Horizon { .. } => "horizon",
+        SimOutcome::StepBudget { .. } => "step_budget",
+    }
+}
 
 /// The flat field view of a record shared by both writers.
 struct Row<'a> {
@@ -20,11 +43,7 @@ struct Row<'a> {
 
 impl Row<'_> {
     fn outcome_kind(&self) -> &'static str {
-        match self.record.outcome {
-            SimOutcome::Contact { .. } => "contact",
-            SimOutcome::Horizon { .. } => "horizon",
-            SimOutcome::StepBudget { .. } => "step_budget",
-        }
+        outcome_token(&self.record.outcome)
     }
 
     /// `(time, distance, steps)` normalized across outcome variants:
@@ -51,14 +70,7 @@ impl Row<'_> {
     }
 
     fn breaker(&self) -> &'static str {
-        match self.record.feasibility {
-            Feasibility::Feasible(b) => match b {
-                rvz_model::SymmetryBreaker::AsymmetricClocks => "clocks",
-                rvz_model::SymmetryBreaker::DifferentSpeeds => "speeds",
-                rvz_model::SymmetryBreaker::OrientationOffset => "orientation",
-            },
-            Feasibility::Infeasible(_) => "none",
-        }
+        breaker_token(&self.record.feasibility)
     }
 }
 
@@ -102,46 +114,189 @@ pub fn write_csv<W: Write>(w: &mut W, records: &[SweepRecord]) -> io::Result<()>
 
 /// Writes one record per line as a JSON object (JSON-lines).
 ///
-/// Every value is a number, boolean or fixed token, so the hand-rolled
-/// serializer below emits valid JSON without an external crate. Floats
-/// use shortest-round-trip formatting; integral values therefore render
-/// without a decimal point (`1` rather than `1.0`), which is still a
-/// valid JSON number.
+/// Each line is the rendering of [`record_to_json`], so the sink and the
+/// serving layer's decoder share one schema by construction: anything
+/// this writer emits is accepted verbatim by [`record_from_json`].
+/// Every value is a number, boolean or fixed token; floats use
+/// shortest-round-trip formatting, so integral values render without a
+/// decimal point (`1` rather than `1.0`), which is still a valid JSON
+/// number.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_jsonl<W: Write>(w: &mut W, records: &[SweepRecord]) -> io::Result<()> {
     for record in records {
-        let row = Row { record };
-        let s = &record.scenario;
-        let (time, distance, steps) = row.observables();
-        writeln!(
-            w,
-            concat!(
-                "{{\"id\":{},\"algorithm\":\"{}\",\"speed\":{},\"time_unit\":{},",
-                "\"orientation\":{},\"chirality\":\"{}\",\"distance\":{},\"bearing\":{},",
-                "\"visibility\":{},\"feasible\":{},\"breaker\":\"{}\",\"outcome\":\"{}\",",
-                "\"time\":{},\"observed_distance\":{},\"steps\":{}}}"
-            ),
-            s.id,
-            s.algorithm,
-            s.speed,
-            s.time_unit,
-            s.orientation,
-            s.chirality,
-            s.distance,
-            s.bearing,
-            s.visibility,
-            record.feasibility.is_feasible(),
-            row.breaker(),
-            row.outcome_kind(),
-            time,
-            distance,
-            steps,
-        )?;
+        writeln!(w, "{}", record_to_json(record).render())?;
     }
     Ok(())
+}
+
+/// The JSON-object form of one sweep record (the JSONL row and the
+/// `rvz serve` response-record schema).
+///
+/// Field order is fixed; see [`write_jsonl`] for the formatting
+/// guarantees.
+pub fn record_to_json(record: &SweepRecord) -> Json {
+    let row = Row { record };
+    let s = &record.scenario;
+    let (time, distance, steps) = row.observables();
+    Json::obj(vec![
+        ("id", Json::Num(s.id as f64)),
+        ("algorithm", Json::Str(s.algorithm.to_string())),
+        ("speed", Json::Num(s.speed)),
+        ("time_unit", Json::Num(s.time_unit)),
+        ("orientation", Json::Num(s.orientation)),
+        ("chirality", Json::Str(s.chirality.to_string())),
+        ("distance", Json::Num(s.distance)),
+        ("bearing", Json::Num(s.bearing)),
+        ("visibility", Json::Num(s.visibility)),
+        ("feasible", Json::Bool(record.feasibility.is_feasible())),
+        ("breaker", Json::Str(row.breaker().to_string())),
+        ("outcome", Json::Str(row.outcome_kind().to_string())),
+        ("time", Json::Num(time)),
+        ("observed_distance", Json::Num(distance)),
+        ("steps", Json::Num(steps as f64)),
+    ])
+}
+
+fn field_f64(value: &Json, key: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+}
+
+/// Parses the scenario fields of a [`record_to_json`]-shaped object.
+///
+/// Unlike [`Scenario::attributes`]'s panicking constructors, every field
+/// is *validated* here — remote or file input cannot crash the caller.
+/// Missing fields fall back to the reference scenario (the
+/// [`crate::ScenarioGrid::new`] singleton), so a minimal query like
+/// `{"speed":0.5}` denotes a full scenario.
+///
+/// # Errors
+///
+/// Returns a description of the first mistyped or out-of-domain field.
+pub fn scenario_from_json(value: &Json) -> Result<Scenario, String> {
+    if value.as_object().is_none() {
+        return Err("scenario must be a JSON object".into());
+    }
+    let defaults = crate::ScenarioGrid::new().build()[0];
+    let opt_f64 = |key: &str, default: f64| -> Result<f64, String> {
+        match value.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| format!("field `{key}` expects a number")),
+        }
+    };
+    let positive = |key: &str, x: f64| -> Result<f64, String> {
+        if x > 0.0 && x.is_finite() {
+            Ok(x)
+        } else {
+            Err(format!("field `{key}` must be positive and finite"))
+        }
+    };
+    let finite = |key: &str, x: f64| -> Result<f64, String> {
+        if x.is_finite() {
+            Ok(x)
+        } else {
+            Err(format!("field `{key}` must be finite"))
+        }
+    };
+    let scenario = Scenario {
+        id: match value.get("id") {
+            None => defaults.id,
+            Some(v) => v
+                .as_u64()
+                .ok_or("field `id` expects a non-negative integer")?,
+        },
+        algorithm: match value.get("algorithm") {
+            None => defaults.algorithm,
+            Some(v) => Algorithm::parse(v.as_str().ok_or("field `algorithm` expects a string")?)?,
+        },
+        speed: positive("speed", opt_f64("speed", defaults.speed)?)?,
+        time_unit: positive("time_unit", opt_f64("time_unit", defaults.time_unit)?)?,
+        orientation: finite("orientation", opt_f64("orientation", defaults.orientation)?)?,
+        chirality: match value.get("chirality") {
+            None => defaults.chirality,
+            Some(v) => parse_chirality(v.as_str().ok_or("field `chirality` expects a string")?)?,
+        },
+        distance: positive("distance", opt_f64("distance", defaults.distance)?)?,
+        bearing: finite("bearing", opt_f64("bearing", defaults.bearing)?)?,
+        visibility: positive("visibility", opt_f64("visibility", defaults.visibility)?)?,
+    };
+    // Belt and suspenders: the per-field checks above already imply a
+    // valid instance, but future instance-level constraints should
+    // surface as parse errors rather than worker panics.
+    if let Err(e) = scenario.instance() {
+        return Err(format!("scenario is degenerate: {e}"));
+    }
+    Ok(scenario)
+}
+
+fn field_str<'a>(value: &'a Json, key: &str) -> Result<&'a str, String> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+/// Parses one record from its [`record_to_json`] / [`write_jsonl`] form.
+///
+/// The flat row carries the scenario, the observables and the verdict
+/// tokens; the structured [`Feasibility`] payload is reconstructed by
+/// re-deciding Theorem 4 on the parsed attributes and cross-checked
+/// against the row's `feasible`/`breaker` fields, so a tampered or
+/// mismatched row is rejected rather than silently re-labelled.
+///
+/// # Errors
+///
+/// Returns a description of the first missing, mistyped or inconsistent
+/// field.
+pub fn record_from_json(value: &Json) -> Result<SweepRecord, String> {
+    let scenario = scenario_from_json(value)?;
+    let verdict = feasibility(&scenario.attributes());
+    let feasible = value
+        .get("feasible")
+        .and_then(Json::as_bool)
+        .ok_or("missing or non-boolean field `feasible`")?;
+    if feasible != verdict.is_feasible() || field_str(value, "breaker")? != breaker_token(&verdict)
+    {
+        return Err(format!(
+            "feasible/breaker fields disagree with the Theorem 4 verdict {verdict}"
+        ));
+    }
+    let time = field_f64(value, "time")?;
+    let observed = field_f64(value, "observed_distance")?;
+    let steps = value
+        .get("steps")
+        .and_then(Json::as_u64)
+        .ok_or("missing or non-integer field `steps`")?;
+    let outcome = match field_str(value, "outcome")? {
+        "contact" => SimOutcome::Contact {
+            time,
+            distance: observed,
+            steps,
+        },
+        "horizon" => SimOutcome::Horizon {
+            min_distance: observed,
+            min_distance_time: time,
+            steps,
+        },
+        "step_budget" => SimOutcome::StepBudget {
+            time,
+            min_distance: observed,
+            steps,
+        },
+        other => return Err(format!("unknown outcome kind `{other}`")),
+    };
+    Ok(SweepRecord {
+        scenario,
+        feasibility: verdict,
+        outcome,
+    })
 }
 
 /// Aggregate statistics over a sweep, comparable across runs.
@@ -162,11 +317,29 @@ pub struct Summary {
     pub contact_time_percentiles: Option<[f64; 4]>,
 }
 
-/// The nearest-rank percentile of a sorted sample.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
+/// The nearest-rank percentile of an ascending-sorted sample.
+///
+/// Returns `None` for an empty sample or a NaN `p` (an empty slice used
+/// to panic here through `clamp` with `min > max`); `p` is clamped into
+/// `[0, 100]` otherwise. Shared by the sweep [`Summary`] and the
+/// `rvz loadtest` latency report.
+///
+/// # Example
+///
+/// ```
+/// use rvz_experiments::percentile;
+///
+/// assert_eq!(percentile(&[], 50.0), None);
+/// assert_eq!(percentile(&[3.0], 99.0), Some(3.0));
+/// assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), Some(2.0));
+/// ```
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() || p.is_nan() {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 impl Summary {
@@ -191,15 +364,14 @@ impl Summary {
             }
         }
         times.sort_by(|a, b| a.partial_cmp(b).expect("contact times are finite"));
-        let contact_time_percentiles = if times.is_empty() {
-            None
-        } else {
-            Some([
-                percentile(&times, 50.0),
-                percentile(&times, 90.0),
-                percentile(&times, 99.0),
-                *times.last().expect("non-empty"),
-            ])
+        let contact_time_percentiles = match (
+            percentile(&times, 50.0),
+            percentile(&times, 90.0),
+            percentile(&times, 99.0),
+            times.last(),
+        ) {
+            (Some(p50), Some(p90), Some(p99), Some(&max)) => Some([p50, p90, p99, max]),
+            _ => None,
         };
         Summary {
             total: records.len(),
@@ -296,8 +468,78 @@ mod tests {
     #[test]
     fn percentile_nearest_rank() {
         let xs = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&xs, 50.0), 2.0);
-        assert_eq!(percentile(&xs, 90.0), 4.0);
-        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), Some(2.0));
+        assert_eq!(percentile(&xs, 90.0), Some(4.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+    }
+
+    #[test]
+    fn percentile_survives_degenerate_inputs() {
+        // Empty: used to panic via `rank.clamp(1, 0)`.
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[], 0.0), None);
+        // Singleton: every percentile is the one sample.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.5], p), Some(7.5));
+        }
+        // Two elements: nearest-rank splits at the median.
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.1), Some(2.0));
+        assert_eq!(percentile(&xs, 100.0), Some(2.0));
+        // Out-of-range and NaN percentiles are clamped / rejected.
+        assert_eq!(percentile(&xs, -10.0), Some(1.0));
+        assert_eq!(percentile(&xs, 250.0), Some(2.0));
+        assert_eq!(percentile(&xs, f64::NAN), None);
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        for record in records() {
+            let json = record_to_json(&record);
+            let line = json.render();
+            let parsed = crate::json::parse(&line).unwrap();
+            let back = record_from_json(&parsed).unwrap();
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn record_from_json_rejects_inconsistent_rows() {
+        let record = records().remove(0);
+        let line = record_to_json(&record).render();
+        // Flip the feasible flag: the row no longer matches Theorem 4.
+        let tampered = if line.contains("\"feasible\":true") {
+            line.replace("\"feasible\":true", "\"feasible\":false")
+        } else {
+            line.replace("\"feasible\":false", "\"feasible\":true")
+        };
+        let parsed = crate::json::parse(&tampered).unwrap();
+        assert!(record_from_json(&parsed).unwrap_err().contains("Theorem 4"));
+    }
+
+    #[test]
+    fn scenario_from_json_validates_domains() {
+        use crate::json::parse;
+        let minimal = parse(r#"{"speed":0.5}"#).unwrap();
+        let s = scenario_from_json(&minimal).unwrap();
+        assert_eq!(s.speed, 0.5);
+        assert_eq!(s.time_unit, 1.0, "missing fields take reference values");
+
+        for (bad, needle) in [
+            (r#"{"speed":-1}"#, "positive"),
+            (r#"{"speed":0}"#, "positive"),
+            (r#"{"time_unit":1e999}"#, "positive and finite"),
+            (r#"{"orientation":"north"}"#, "expects a number"),
+            (r#"{"chirality":"left"}"#, "+1 or -1"),
+            (r#"{"algorithm":"dance"}"#, "unknown algorithm"),
+            (r#"{"visibility":0}"#, "positive"),
+            (r#"[1,2]"#, "must be a JSON object"),
+        ] {
+            let value = parse(bad).unwrap();
+            let err = scenario_from_json(&value).unwrap_err();
+            assert!(err.contains(needle), "`{bad}` gave `{err}`");
+        }
     }
 }

@@ -18,6 +18,7 @@
 //! batch is fully identified by `(generator spec, seed)` and results can
 //! be merged back in order regardless of execution schedule.
 
+use crate::canonical::{Canonical, OrbitKey, OutcomeTransform};
 use crate::rng::SplitMix64;
 use rvz_geometry::Vec2;
 use rvz_model::{Chirality, InstanceError, RendezvousInstance, RobotAttributes};
@@ -39,7 +40,7 @@ impl Algorithm {
     /// All supported algorithms, in presentation order.
     pub const ALL: [Algorithm; 2] = [Algorithm::WaitAndSearch, Algorithm::UniversalSearch];
 
-    /// Parses the CLI spelling: `alg7`/`wait-and-search` or
+    /// Parses the CLI/wire spelling: `alg7`/`wait-and-search` or
     /// `alg4`/`search`.
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
@@ -49,6 +50,19 @@ impl Algorithm {
                 "unknown algorithm `{other}` (expected alg7|wait-and-search|alg4|search)"
             )),
         }
+    }
+}
+
+/// Parses the shared CLI/wire spelling of a chirality: `+1`/`1` or `-1`.
+///
+/// # Errors
+///
+/// Returns a message naming the offending token otherwise.
+pub fn parse_chirality(s: &str) -> Result<Chirality, String> {
+    match s {
+        "+1" | "1" => Ok(Chirality::Consistent),
+        "-1" => Ok(Chirality::Mirrored),
+        other => Err(format!("chirality expects +1 or -1, got `{other}`")),
     }
 }
 
@@ -103,6 +117,33 @@ impl Scenario {
             self.visibility,
             self.attributes(),
         )
+    }
+
+    /// The same physical instance described from `R'`'s frame (the exact
+    /// role-swap symmetry), plus the transform mapping outcomes computed
+    /// on the swapped description back into this scenario's frame.
+    ///
+    /// See [`crate::canonical::role_swap`].
+    pub fn role_swap(&self) -> (Scenario, OutcomeTransform) {
+        crate::canonical::role_swap(self)
+    }
+
+    /// Reduces the scenario to its attribute-symmetry orbit
+    /// representative for result caching.
+    ///
+    /// See [`crate::canonical::canonicalize`]; `grid` is the cache
+    /// quantization step ([`crate::canonical::DEFAULT_GRID`] by
+    /// convention, `0.0` for bit-exact keys).
+    pub fn canonicalize(&self, grid: f64) -> Canonical {
+        crate::canonical::canonicalize(self, grid)
+    }
+
+    /// The verdict-level orbit key (full quotient by the paper's
+    /// attribute symmetries; placement-free).
+    ///
+    /// See [`crate::canonical::orbit_key`].
+    pub fn orbit_key(&self, grid: f64) -> OrbitKey {
+        crate::canonical::orbit_key(self, grid)
     }
 }
 

@@ -1,0 +1,158 @@
+//! Physical soundness of the role-swap symmetry: the canonicalization
+//! layer claims that a scenario and its [`rvz_experiments::role_swap`]
+//! describe the *same* instance up to the joint time/distance rescale.
+//! These tests check that claim against the actual trajectories and the
+//! actual engine, not just the algebra.
+
+use rvz_core::{completion_time, WaitAndSearch};
+use rvz_experiments::{
+    canonicalize, latin_hypercube, role_swap, Algorithm, SampleSpace, Scenario, DEFAULT_GRID,
+};
+use rvz_model::feasibility;
+use rvz_search::UniversalSearch;
+use rvz_sim::batch::simulate_rendezvous_by_ref;
+use rvz_sim::{ContactOptions, SimOutcome};
+use rvz_trajectory::Trajectory;
+
+fn sample(n: usize, seed: u64) -> Vec<Scenario> {
+    let space = SampleSpace {
+        // Keep the instances moderate so every feasible one meets well
+        // within the horizon.
+        speed: (0.4, 1.8),
+        time_unit: (0.4, 1.8),
+        distance: (0.6, 1.4),
+        visibility: 0.2,
+        algorithms: vec![Algorithm::WaitAndSearch, Algorithm::UniversalSearch],
+        ..SampleSpace::default()
+    };
+    latin_hypercube(&space, n, seed)
+}
+
+/// The inter-robot distance of a scenario's two trajectories at global
+/// time `t`.
+fn distance_at(s: &Scenario, t: f64) -> f64 {
+    let inst = s.instance().expect("valid scenario");
+    let offset = inst.offset();
+    let attrs = inst.attributes();
+    match s.algorithm {
+        Algorithm::WaitAndSearch => {
+            let partner = attrs.frame_warp(WaitAndSearch, offset);
+            (WaitAndSearch.position(t) - partner.position(t)).norm()
+        }
+        Algorithm::UniversalSearch => {
+            let partner = attrs.frame_warp(UniversalSearch, offset);
+            (UniversalSearch.position(t) - partner.position(t)).norm()
+        }
+    }
+}
+
+/// The swapped description's distance profile is the original's, scaled:
+/// `dist'(t/τ) = dist(t) / (v·τ)` for all `t`.
+#[test]
+fn swapped_distance_profile_is_the_rescaled_original() {
+    for s in sample(24, 11) {
+        let (swapped, transform) = role_swap(&s);
+        let scale = transform.distance_scale;
+        for i in 0..40 {
+            let t = 0.35 * i as f64;
+            let original = distance_at(&s, t);
+            let mirrored = distance_at(&swapped, t / s.time_unit);
+            assert!(
+                (original - mirrored * scale).abs() <= 1e-9 * (1.0 + original),
+                "profile mismatch at t = {t} for {s:?}: {original} vs {} (scaled)",
+                mirrored * scale
+            );
+        }
+    }
+}
+
+/// Running the engine on the swapped description (with the options
+/// mapped into that frame) reproduces the original outcome through the
+/// inverse transform.
+#[test]
+fn engine_outcomes_map_back_through_the_inverse_transform() {
+    let horizon = completion_time(8);
+    for s in sample(16, 23) {
+        let opts = ContactOptions {
+            tolerance: 1e-9,
+            horizon,
+            max_steps: 200_000,
+            ..ContactOptions::default()
+        };
+        let (swapped, transform) = role_swap(&s);
+        let swapped_opts = ContactOptions {
+            tolerance: opts.tolerance / transform.distance_scale,
+            horizon: opts.horizon / transform.time_scale,
+            ..opts
+        };
+        let direct = run(&s, &opts);
+        let mapped = transform.apply(run(&swapped, &swapped_opts));
+        match (direct, mapped) {
+            (SimOutcome::Contact { time: a, .. }, SimOutcome::Contact { time: b, .. }) => {
+                assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + a),
+                    "contact times diverge for {s:?}: {a} vs {b}"
+                );
+            }
+            (SimOutcome::Contact { .. }, other) => {
+                panic!("swapped run lost the contact for {s:?}: {other:?}")
+            }
+            (_, SimOutcome::Contact { .. }) => {
+                panic!("swapped run invented a contact for {s:?}")
+            }
+            // Both non-contact: the disproof agrees; min-distance details
+            // may differ (the engines sample different step sequences).
+            _ => {}
+        }
+        // Feasibility is orbit-invariant, so a contact can only appear on
+        // feasible scenarios either way.
+        if direct.is_contact() {
+            assert!(feasibility(&s.attributes()).is_feasible());
+        }
+    }
+}
+
+/// The full cache pipeline: simulate the canonical representative, map
+/// the outcome back, compare against simulating the query directly.
+#[test]
+fn canonical_representative_answers_for_the_whole_orbit() {
+    let opts = ContactOptions {
+        tolerance: 1e-9,
+        horizon: completion_time(8),
+        max_steps: 200_000,
+        ..ContactOptions::default()
+    };
+    for s in sample(16, 47) {
+        let c = canonicalize(&s, DEFAULT_GRID);
+        let canonical_opts = ContactOptions {
+            tolerance: opts.tolerance / c.transform.distance_scale,
+            horizon: opts.horizon / c.transform.time_scale,
+            ..opts
+        };
+        let direct = run(&s, &opts);
+        let mapped = c.transform.apply(run(&c.scenario, &canonical_opts));
+        assert_eq!(
+            direct.is_contact(),
+            mapped.is_contact(),
+            "classification flips through the cache for {s:?}: {direct:?} vs {mapped:?}"
+        );
+        if let (SimOutcome::Contact { time: a, .. }, SimOutcome::Contact { time: b, .. }) =
+            (direct, mapped)
+        {
+            // The representative is grid-quantized (≤ 2⁻³⁰ per field), so
+            // allow a correspondingly loose but still tight agreement.
+            assert!(
+                (a - b).abs() <= 1e-4 * (1.0 + a),
+                "contact times diverge through the cache for {s:?}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+fn run(s: &Scenario, opts: &ContactOptions) -> SimOutcome {
+    let inst = s.instance().expect("valid scenario");
+    match s.algorithm {
+        Algorithm::WaitAndSearch => simulate_rendezvous_by_ref(&WaitAndSearch, &inst, opts),
+        Algorithm::UniversalSearch => simulate_rendezvous_by_ref(&UniversalSearch, &inst, opts),
+    }
+}

@@ -1,0 +1,49 @@
+//! # rvz-server
+//!
+//! `rvz serve`: a zero-dependency concurrent query service over the
+//! rendezvous engine, with a **symmetry-canonicalized result cache**.
+//!
+//! The ROADMAP's north star is serving heavy query traffic, and the
+//! engine (after the cursor and envelope-pruning work) answers a single
+//! scenario fast; the remaining lever is recognizing that most of a
+//! realistic query stream is *redundant*. The paper's own theory says
+//! why: scenarios differing only in the unknown attributes are related
+//! by exact symmetries — role swap with the joint speed/clock/distance
+//! rescale, chirality reflection, placement gauges — so a diverse
+//! stream collapses onto few orbits. The service keys its cache by the
+//! canonical orbit representative ([`rvz_experiments::canonicalize`])
+//! and transports the one cached answer along the symmetry to every
+//! member of the orbit.
+//!
+//! ```text
+//! TcpListener ── accept thread ──► mpsc queue ──► worker pool
+//!                                                    │ parse HTTP + JSON  (http)
+//!                                                    ▼
+//!                                     Scenario ── canonicalize ──► CacheKey
+//!                                                    │                 │
+//!                                                    ▼                 ▼
+//!                                          inverse transform ◄── sharded LRU
+//!                                                    ▲                 │ miss
+//!                                                    │                 ▼
+//!                                                    └──────── engine (run_sweep)
+//! ```
+//!
+//! Module map: [`http`] (wire format), [`cache`] (sharded LRU +
+//! single-flight), [`service`] (endpoints and the determinism
+//! contract), [`server`] (listener, workers, graceful shutdown),
+//! [`client`] (the blocking client used by `rvz client`, the CI smoke
+//! and `rvz loadtest`).
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheStats, ResultCache};
+pub use client::{request, ClientResponse, HttpClient};
+pub use http::{Request, Response};
+pub use server::{spawn, ServerHandle};
+pub use service::{Control, Service, ServiceOptions};

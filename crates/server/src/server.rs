@@ -1,0 +1,194 @@
+//! The TCP front end: listener, worker pool, graceful shutdown.
+//!
+//! One dedicated accept thread pushes connections onto an `mpsc`
+//! channel; a fixed pool of workers pops them and runs each connection's
+//! keep-alive loop to completion. Shutdown (a `POST /shutdown` request,
+//! or [`ServerHandle::shutdown`]) is *graceful*: the flag flips, the
+//! accept thread is woken by a loopback connection and stops, workers
+//! finish the request in flight (answering it with `Connection: close`)
+//! and drain, and [`ServerHandle::join`] returns once every thread has
+//! exited. Connections still queued but never started are closed
+//! unserved — their clients see a clean EOF and can retry elsewhere.
+
+use crate::http::{read_request, RequestError, Response};
+use crate::service::{Control, Service};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection read timeout: a stalled peer cannot pin a worker
+/// forever (the keep-alive loop closes the connection on expiry).
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running server; dropping the handle does *not* stop the server —
+/// call [`ServerHandle::shutdown`] or send `POST /shutdown`.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves `--port 0` to the ephemeral
+    /// port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (for in-process inspection in tests and the
+    /// loadtest harness).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Triggers graceful shutdown and waits for every thread to exit.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_accept(self.addr);
+        self.join();
+    }
+
+    /// Waits for the server to stop (after an external `/shutdown`).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// `true` once shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Binds `addr` and spawns the accept thread plus `workers` connection
+/// handlers (floored at 1).
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn spawn(addr: &str, service: Service, workers: usize) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let service = Arc::new(service);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let workers = workers.max(1);
+
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(std::thread::spawn(move || {
+            loop {
+                // Holding the lock only for the pop keeps workers
+                // independent while serving.
+                let stream = rx.lock().expect("connection queue poisoned").recv();
+                match stream {
+                    Ok(stream) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            // Drain unserved connections on shutdown.
+                            continue;
+                        }
+                        serve_connection(stream, &service, &shutdown, local);
+                    }
+                    Err(_) => return, // accept thread gone and queue empty
+                }
+            }
+        }));
+    }
+
+    {
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break; // the wake-up connection (or any later one)
+                }
+                match stream {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Transient accept failure; keep listening.
+                    }
+                }
+            }
+            // Dropping `tx` lets workers drain and exit.
+        }));
+    }
+
+    Ok(ServerHandle {
+        addr: local,
+        service,
+        shutdown,
+        threads,
+    })
+}
+
+/// Runs one connection's keep-alive loop.
+fn serve_connection(
+    stream: TcpStream,
+    service: &Service,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(RequestError::ConnectionClosed) => return,
+            Err(RequestError::Io(_)) => return, // timeout or reset
+            Err(RequestError::TooLarge(what)) => {
+                let mut resp = Response::error(413, &format!("request {what} too large"));
+                resp.close = true;
+                let _ = resp.write_to(&mut writer);
+                return;
+            }
+            Err(e @ RequestError::Malformed(_)) => {
+                let mut resp = Response::error(400, &e.to_string());
+                resp.close = true;
+                let _ = resp.write_to(&mut writer);
+                return;
+            }
+        };
+        let client_close = request.wants_close();
+        let (mut response, control) = service.handle(&request);
+        let shutting_down = control == Control::Shutdown || shutdown.load(Ordering::SeqCst);
+        response.close = response.close || client_close || shutting_down;
+        if response.write_to(&mut writer).is_err() {
+            return;
+        }
+        if control == Control::Shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            wake_accept(local);
+        }
+        if response.close {
+            return;
+        }
+    }
+}
+
+/// Unblocks the accept loop after the shutdown flag flips.
+fn wake_accept(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}

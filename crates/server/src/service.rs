@@ -1,0 +1,636 @@
+//! The query service: endpoint dispatch over the `Scenario → canonical
+//! key → cache → engine` pipeline.
+//!
+//! ## Determinism contract
+//!
+//! Every response body is a pure function of the request. A cache miss
+//! simulates the query's **canonical representative** (a pure function
+//! of the query, see [`rvz_experiments::canonicalize`]) under the
+//! service's fixed engine options, then maps the outcome back through
+//! the orbit's inverse transform; a cache hit returns the stored value
+//! of that same computation. Identical requests therefore produce
+//! byte-identical JSON regardless of worker count, arrival order or
+//! cache state. Mutable observability (hit/miss markers, counters)
+//! lives in the `X-Rvz-Cache` response header and the `/stats`
+//! endpoint, never in a result body.
+//!
+//! ## Engine-frame semantics
+//!
+//! The engine options (horizon, tolerance, step budget) apply **in the
+//! canonical frame**: two orbit-mates share one cache entry exactly
+//! because they share one canonical simulation, so a query whose
+//! description is the `τ`-scaled twin of the representative sees the
+//! horizon scaled by the same `τ` its times are. This is the
+//! cache-coherence argument from attribute symmetry: the orbit is
+//! served by *one* answer, transported along the symmetry.
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::http::{Request, Response};
+use rvz_experiments::{
+    breaker_token, orbit_key, record_to_json, run_sweep, scenario_from_json, Json, Scenario,
+    Summary, SweepOptions, SweepRecord, DEFAULT_GRID,
+};
+use rvz_model::{feasibility, Chirality, RobotAttributes};
+use rvz_sim::SimOutcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tuning for a [`Service`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceOptions {
+    /// Maximum resident cache entries (across all shards).
+    pub cache_capacity: usize,
+    /// Shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Canonicalization grid step (snapped to a power of two;
+    /// `≤ 0` for bit-exact keys). Defaults to [`DEFAULT_GRID`].
+    pub cache_grid: f64,
+    /// Disables the cache entirely: every request simulates its
+    /// canonical representative (the A/B baseline for `rvz loadtest`).
+    pub no_cache: bool,
+    /// Engine options and batch thread count for cache misses.
+    pub sweep: SweepOptions,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            cache_capacity: 65_536,
+            cache_shards: 16,
+            cache_grid: DEFAULT_GRID,
+            no_cache: false,
+            sweep: SweepOptions::default(),
+        }
+    }
+}
+
+/// What the connection loop should do after sending the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep serving.
+    Continue,
+    /// Begin graceful shutdown (a `/shutdown` request was accepted).
+    Shutdown,
+}
+
+/// The shared, thread-safe query service.
+pub struct Service {
+    opts: ServiceOptions,
+    cache: ResultCache<SimOutcome>,
+    requests: AtomicU64,
+}
+
+impl Service {
+    /// Creates a service with the given tuning.
+    pub fn new(opts: ServiceOptions) -> Self {
+        Service {
+            cache: ResultCache::new(opts.cache_capacity, opts.cache_shards),
+            opts,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.opts
+    }
+
+    /// Cache counters (also served under `/stats`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Dispatches one request.
+    pub fn handle(&self, req: &Request) -> (Response, Control) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::ok(Json::obj(vec![("ok", Json::Bool(true))]).render()),
+            ("GET", "/stats") => self.stats_response(),
+            ("GET", "/feasibility") => self.feasibility_from_query(req),
+            ("POST", "/feasibility") => self.feasibility_from_body(req),
+            ("POST", "/first-contact") => self.first_contact(req),
+            ("POST", "/sweep") => self.sweep(req),
+            ("POST", "/shutdown") => {
+                let body = Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("shutting_down", Json::Bool(true)),
+                ])
+                .render();
+                let mut resp = Response::ok(body);
+                resp.close = true;
+                return (resp, Control::Shutdown);
+            }
+            (
+                _,
+                "/healthz" | "/stats" | "/feasibility" | "/first-contact" | "/sweep" | "/shutdown",
+            ) => Response::error(405, "method not allowed for this endpoint"),
+            _ => Response::error(404, "no such endpoint"),
+        };
+        (response, Control::Continue)
+    }
+
+    fn stats_response(&self) -> Response {
+        let stats = self.cache.stats();
+        let body = Json::obj(vec![
+            (
+                "requests",
+                Json::Num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(!self.opts.no_cache)),
+                    ("entries", Json::Num(stats.entries as f64)),
+                    ("capacity", Json::Num(self.opts.cache_capacity as f64)),
+                    ("hits", Json::Num(stats.hits as f64)),
+                    ("misses", Json::Num(stats.misses as f64)),
+                    ("evictions", Json::Num(stats.evictions as f64)),
+                    ("joined", Json::Num(stats.joined as f64)),
+                    ("grid", Json::Num(self.opts.cache_grid)),
+                ]),
+            ),
+        ])
+        .render();
+        Response::ok(body)
+    }
+
+    fn feasibility_from_query(&self, req: &Request) -> Response {
+        let parse_f64 = |key: &str, default: f64| -> Result<f64, String> {
+            match req.query_value(key) {
+                None => Ok(default),
+                Some(raw) => raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("query parameter `{key}` expects a number, got `{raw}`")),
+            }
+        };
+        let attrs = (|| -> Result<RobotAttributes, String> {
+            // A typo'd parameter must not silently answer for the
+            // default scenario (same contract as the CLI's flag registry).
+            if let Some((unknown, _)) = req
+                .query
+                .iter()
+                .find(|(k, _)| !matches!(k.as_str(), "v" | "tau" | "phi" | "chi"))
+            {
+                return Err(format!(
+                    "unknown query parameter `{unknown}` (expected v, tau, phi, chi)"
+                ));
+            }
+            let v = parse_f64("v", 1.0)?;
+            let tau = parse_f64("tau", 1.0)?;
+            let phi = parse_f64("phi", 0.0)?;
+            let chi = match req.query_value("chi") {
+                None => Chirality::Consistent,
+                Some(raw) => rvz_experiments::parse_chirality(raw)?,
+            };
+            if !(v > 0.0 && v.is_finite() && tau > 0.0 && tau.is_finite()) {
+                return Err("`v` and `tau` must be positive and finite".into());
+            }
+            if !phi.is_finite() {
+                return Err("`phi` must be finite".into());
+            }
+            Ok(RobotAttributes::new(v, tau, phi, chi))
+        })();
+        match attrs {
+            Ok(attrs) => self.feasibility_response(&attrs),
+            Err(e) => Response::error(400, &e),
+        }
+    }
+
+    fn feasibility_from_body(&self, req: &Request) -> Response {
+        match parse_body(&req.body).and_then(|json| scenario_from_json(&json)) {
+            Ok(scenario) => self.feasibility_response(&scenario.attributes()),
+            Err(e) => Response::error(400, &e),
+        }
+    }
+
+    fn feasibility_response(&self, attrs: &RobotAttributes) -> Response {
+        let verdict = feasibility(attrs);
+        // The verdict-level orbit: the full attribute quotient under
+        // which the answer is provably constant.
+        let probe = Scenario {
+            speed: attrs.speed(),
+            time_unit: attrs.time_unit(),
+            orientation: attrs.orientation(),
+            chirality: attrs.chirality(),
+            ..reference_scenario()
+        };
+        let orbit = orbit_key(&probe, self.opts.cache_grid);
+        let body = Json::obj(vec![
+            (
+                "attributes",
+                Json::obj(vec![
+                    ("speed", Json::Num(attrs.speed())),
+                    ("time_unit", Json::Num(attrs.time_unit())),
+                    ("orientation", Json::Num(attrs.orientation())),
+                    ("chirality", Json::Str(attrs.chirality().to_string())),
+                ]),
+            ),
+            ("feasible", Json::Bool(verdict.is_feasible())),
+            ("breaker", Json::Str(breaker_token(&verdict).to_string())),
+            ("verdict", Json::Str(verdict.to_string())),
+            (
+                "orbit",
+                Json::obj(vec![
+                    ("time_unit", Json::Num(f64::from_bits(orbit.time_unit))),
+                    ("speed", Json::Num(f64::from_bits(orbit.speed))),
+                    ("orientation", Json::Num(f64::from_bits(orbit.orientation))),
+                    ("chirality", Json::Str(orbit.chirality.to_string())),
+                ]),
+            ),
+        ])
+        .render();
+        Response::ok(body)
+    }
+
+    /// Answers one scenario through the canonical cache; returns the
+    /// record, the canonical reduction it travelled through, and
+    /// whether the outcome came from the cache.
+    fn answer(&self, scenario: &Scenario) -> (SweepRecord, rvz_experiments::Canonical, bool) {
+        let canonical = scenario.canonicalize(self.opts.cache_grid);
+        let (outcome, hit) = if self.opts.no_cache {
+            (self.simulate(&canonical.scenario), false)
+        } else {
+            self.cache
+                .get_or_compute(canonical.key, || self.simulate(&canonical.scenario))
+        };
+        let record = SweepRecord {
+            scenario: *scenario,
+            feasibility: feasibility(&scenario.attributes()),
+            outcome: canonical.transform.apply(outcome),
+        };
+        (record, canonical, hit)
+    }
+
+    fn simulate(&self, canonical: &Scenario) -> SimOutcome {
+        let single = SweepOptions {
+            threads: 1,
+            ..self.opts.sweep
+        };
+        run_sweep(std::slice::from_ref(canonical), &single)[0].outcome
+    }
+
+    fn first_contact(&self, req: &Request) -> Response {
+        let scenario = match parse_body(&req.body).and_then(|json| scenario_from_json(&json)) {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, &e),
+        };
+        let (record, canonical, hit) = self.answer(&scenario);
+        let body = Json::obj(vec![
+            ("record", record_to_json(&record)),
+            (
+                "canonical",
+                Json::obj(vec![
+                    ("swapped", Json::Bool(canonical.swapped)),
+                    ("time_scale", Json::Num(canonical.transform.time_scale)),
+                    (
+                        "distance_scale",
+                        Json::Num(canonical.transform.distance_scale),
+                    ),
+                ]),
+            ),
+        ])
+        .render();
+        Response::ok(body).header("X-Rvz-Cache", cache_marker(self.opts.no_cache, hit))
+    }
+
+    fn sweep(&self, req: &Request) -> Response {
+        let scenarios = match parse_body(&req.body).and_then(|json| {
+            let list = json
+                .get("scenarios")
+                .and_then(Json::as_array)
+                .ok_or("body must be {\"scenarios\": [...]}")?
+                .to_vec();
+            if list.is_empty() {
+                return Err("`scenarios` must be non-empty".into());
+            }
+            list.iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let mut s = scenario_from_json(v).map_err(|e| format!("scenario #{i}: {e}"))?;
+                    if v.get("id").is_none() {
+                        s.id = i as u64;
+                    }
+                    Ok(s)
+                })
+                .collect::<Result<Vec<Scenario>, String>>()
+        }) {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, &e),
+        };
+
+        // Resolve each scenario against the cache; batch the distinct
+        // missing representatives through one `run_sweep` call. Probes
+        // bypass the per-lookup counters so that `misses` keeps meaning
+        // "engine runs" — orbit-mates deduped within the batch count as
+        // one miss, which is also what the response header reports.
+        let canonicals: Vec<_> = scenarios
+            .iter()
+            .map(|s| s.canonicalize(self.opts.cache_grid))
+            .collect();
+        let mut outcomes: Vec<Option<SimOutcome>> = vec![None; scenarios.len()];
+        let mut hits = 0u64;
+        if !self.opts.no_cache {
+            for (i, c) in canonicals.iter().enumerate() {
+                if let Some(outcome) = self.cache.probe(&c.key) {
+                    outcomes[i] = Some(outcome);
+                    hits += 1;
+                }
+            }
+        }
+        let mut missing: Vec<Scenario> = Vec::new();
+        let mut missing_index: std::collections::HashMap<rvz_experiments::CacheKey, usize> =
+            std::collections::HashMap::new();
+        for (i, c) in canonicals.iter().enumerate() {
+            if outcomes[i].is_none() && !missing_index.contains_key(&c.key) {
+                missing_index.insert(c.key, missing.len());
+                let mut rep = c.scenario;
+                rep.id = missing.len() as u64;
+                missing.push(rep);
+            }
+        }
+        let misses = missing.len() as u64;
+        if !self.opts.no_cache {
+            self.cache.record(hits, misses);
+        }
+        if !missing.is_empty() {
+            let computed = run_sweep(&missing, &self.opts.sweep);
+            for (key, &j) in &missing_index {
+                if !self.opts.no_cache {
+                    self.cache.insert(*key, computed[j].outcome);
+                }
+            }
+            for (i, c) in canonicals.iter().enumerate() {
+                if outcomes[i].is_none() {
+                    let j = *missing_index.get(&c.key).expect("every miss was batched");
+                    outcomes[i] = Some(computed[j].outcome);
+                }
+            }
+        }
+
+        let records: Vec<SweepRecord> = scenarios
+            .iter()
+            .zip(&canonicals)
+            .zip(&outcomes)
+            .map(|((s, c), outcome)| SweepRecord {
+                scenario: *s,
+                feasibility: feasibility(&s.attributes()),
+                outcome: c.transform.apply(outcome.expect("resolved above")),
+            })
+            .collect();
+        let summary = Summary::from_records(&records);
+        let body = Json::obj(vec![
+            (
+                "records",
+                Json::Arr(records.iter().map(record_to_json).collect()),
+            ),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("total", Json::Num(summary.total as f64)),
+                    ("contacts", Json::Num(summary.contacts as f64)),
+                    ("horizons", Json::Num(summary.horizons as f64)),
+                    ("step_budgets", Json::Num(summary.step_budgets as f64)),
+                    ("consistent", Json::Num(summary.consistent as f64)),
+                ]),
+            ),
+        ])
+        .render();
+        Response::ok(body).header("X-Rvz-Cache", &format!("hits={hits};misses={misses}"))
+    }
+}
+
+fn cache_marker(no_cache: bool, hit: bool) -> &'static str {
+    match (no_cache, hit) {
+        (true, _) => "bypass",
+        (false, true) => "hit",
+        (false, false) => "miss",
+    }
+}
+
+fn reference_scenario() -> Scenario {
+    rvz_experiments::ScenarioGrid::new().build()[0]
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body must be UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        // An absent body denotes the all-defaults query.
+        return Ok(Json::Obj(Vec::new()));
+    }
+    rvz_experiments::json::parse(text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        let (path, query_string) = path.split_once('?').unwrap_or((path, ""));
+        let query = query_string
+            .split('&')
+            .filter(|p| !p.is_empty())
+            .map(|p| {
+                let (k, v) = p.split_once('=').unwrap_or((p, ""));
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query,
+            headers: HashMap::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn test_options() -> ServiceOptions {
+        // Cheap engine settings so unit tests stay fast.
+        ServiceOptions {
+            sweep: SweepOptions {
+                threads: 1,
+                contact: rvz_sim::ContactOptions {
+                    max_steps: 20_000,
+                    horizon: rvz_core::completion_time(6),
+                    ..SweepOptions::default().contact
+                },
+            },
+            ..ServiceOptions::default()
+        }
+    }
+
+    fn service() -> Service {
+        Service::new(test_options())
+    }
+
+    #[test]
+    fn healthz_and_stats_respond() {
+        let svc = service();
+        let (resp, flow) = svc.handle(&request("GET", "/healthz", ""));
+        assert_eq!((resp.status, flow), (200, Control::Continue));
+        assert_eq!(resp.body, r#"{"ok":true}"#);
+        let (resp, _) = svc.handle(&request("GET", "/stats", ""));
+        assert!(resp.body.contains("\"requests\":2"));
+        assert!(resp.body.contains("\"enabled\":true"));
+    }
+
+    #[test]
+    fn feasibility_get_matches_theorem4() {
+        let svc = service();
+        let (resp, _) = svc.handle(&request("GET", "/feasibility?tau=0.5", ""));
+        assert!(resp.body.contains("\"feasible\":true"));
+        assert!(resp.body.contains("\"breaker\":\"clocks\""));
+        let (resp, _) = svc.handle(&request("GET", "/feasibility", ""));
+        assert!(resp.body.contains("\"feasible\":false"));
+        // The reciprocal clock lands in the same verdict orbit.
+        let (a, _) = svc.handle(&request("GET", "/feasibility?tau=0.5", ""));
+        let (b, _) = svc.handle(&request("GET", "/feasibility?tau=2", ""));
+        let orbit = |body: &str| body.split("\"orbit\"").nth(1).unwrap().to_string();
+        assert_eq!(orbit(&a.body), orbit(&b.body));
+    }
+
+    #[test]
+    fn feasibility_rejects_bad_input_without_panicking() {
+        let svc = service();
+        for query in [
+            "/feasibility?v=-1",
+            "/feasibility?v=zoom",
+            "/feasibility?tau=0",
+            "/feasibility?phi=inf",
+            "/feasibility?chi=2",
+            // A typo'd key must not silently answer the default query.
+            "/feasibility?taw=0.5",
+        ] {
+            let (resp, _) = svc.handle(&request("GET", query, ""));
+            assert_eq!(resp.status, 400, "query {query}");
+        }
+        let (resp, _) = svc.handle(&request("POST", "/feasibility", "{\"speed\":-3}"));
+        assert_eq!(resp.status, 400);
+        let (resp, _) = svc.handle(&request("POST", "/feasibility", "not json"));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn first_contact_is_deterministic_and_caches_twins() {
+        let svc = service();
+        let body = r#"{"speed":0.5,"distance":0.9,"visibility":0.25}"#;
+        let (first, _) = svc.handle(&request("POST", "/first-contact", body));
+        assert_eq!(first.status, 200);
+        assert!(first.body.contains("\"outcome\":\"contact\""));
+        assert_eq!(header(&first, "X-Rvz-Cache"), "miss");
+
+        let (again, _) = svc.handle(&request("POST", "/first-contact", body));
+        assert_eq!(again.body, first.body, "identical queries, identical bytes");
+        assert_eq!(header(&again, "X-Rvz-Cache"), "hit");
+
+        // The role-swapped twin: same orbit, one cache entry, outcome
+        // mapped through the inverse transform (v·τ = 0.5 here).
+        let scenario =
+            rvz_experiments::scenario_from_json(&rvz_experiments::json::parse(body).unwrap())
+                .unwrap();
+        let (twin, transform) = scenario.role_swap();
+        let twin_body = format!(
+            concat!(
+                "{{\"speed\":{},\"time_unit\":{},\"orientation\":{},\"chirality\":\"{}\",",
+                "\"distance\":{},\"bearing\":{},\"visibility\":{}}}"
+            ),
+            twin.speed,
+            twin.time_unit,
+            twin.orientation,
+            twin.chirality,
+            twin.distance,
+            twin.bearing,
+            twin.visibility,
+        );
+        let (resp, _) = svc.handle(&request("POST", "/first-contact", &twin_body));
+        assert_eq!(
+            header(&resp, "X-Rvz-Cache"),
+            "hit",
+            "the symmetric twin must resolve to the same cache entry"
+        );
+        assert!(resp.body.contains("\"swapped\":true") || transform.is_identity());
+        let stats = svc.cache_stats();
+        assert_eq!(stats.entries, 1, "one orbit, one entry");
+    }
+
+    #[test]
+    fn sweep_batches_and_dedups_symmetric_families() {
+        let svc = service();
+        // Scenario #1 is the role-swap twin of scenario #0 (v·τ = 0.5,
+        // bearing π/3 + π); scenario #2 is a genuinely different cell.
+        let body = r#"{"scenarios":[
+            {"speed":0.5,"distance":0.9,"visibility":0.25},
+            {"speed":2,"distance":1.8,"visibility":0.5,"bearing":4.188790204786391},
+            {"speed":0.5,"distance":0.9,"visibility":0.25,"bearing":2.0}
+        ]}"#;
+        let (resp, _) = svc.handle(&request("POST", "/sweep", body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"total\":3"));
+        // Records come back in query order with dense default ids.
+        assert!(resp.body.contains("\"id\":0"));
+        assert!(resp.body.contains("\"id\":2"));
+        assert_eq!(
+            header(&resp, "X-Rvz-Cache"),
+            "hits=0;misses=2",
+            "the symmetric family funnels into one engine run"
+        );
+        let (resp2, _) = svc.handle(&request("POST", "/sweep", body));
+        assert_eq!(resp2.body, resp.body);
+        assert_eq!(header(&resp2, "X-Rvz-Cache"), "hits=3;misses=0");
+    }
+
+    #[test]
+    fn sweep_rejects_malformed_batches() {
+        let svc = service();
+        for body in [
+            "",
+            "{}",
+            r#"{"scenarios":[]}"#,
+            r#"{"scenarios":[{"speed":-1}]}"#,
+            r#"{"scenarios":"many"}"#,
+        ] {
+            let (resp, _) = svc.handle(&request("POST", "/sweep", body));
+            assert_eq!(resp.status, 400, "body {body:?} -> {}", resp.body);
+        }
+    }
+
+    #[test]
+    fn no_cache_mode_bypasses_the_cache() {
+        let svc = Service::new(ServiceOptions {
+            no_cache: true,
+            ..test_options()
+        });
+        let body = r#"{"speed":0.5,"distance":0.9,"visibility":0.25}"#;
+        let (a, _) = svc.handle(&request("POST", "/first-contact", body));
+        let (b, _) = svc.handle(&request("POST", "/first-contact", body));
+        assert_eq!(a.body, b.body);
+        assert_eq!(header(&a, "X-Rvz-Cache"), "bypass");
+        assert_eq!(header(&b, "X-Rvz-Cache"), "bypass");
+        assert_eq!(svc.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_distinguished() {
+        let svc = service();
+        let (resp, _) = svc.handle(&request("GET", "/nope", ""));
+        assert_eq!(resp.status, 404);
+        let (resp, _) = svc.handle(&request("DELETE", "/sweep", ""));
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn shutdown_signals_the_control_flow() {
+        let svc = service();
+        let (resp, flow) = svc.handle(&request("POST", "/shutdown", ""));
+        assert_eq!(flow, Control::Shutdown);
+        assert!(resp.close);
+        assert!(resp.body.contains("\"shutting_down\":true"));
+    }
+
+    fn header<'a>(resp: &'a Response, name: &str) -> &'a str {
+        resp.extra_headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("")
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end tests of the serve stack over real loopback sockets:
+//! spawn, query concurrently, assert determinism and orbit collapse,
+//! shut down gracefully.
+
+use rvz_experiments::SweepOptions;
+use rvz_server::{client, HttpClient, Service, ServiceOptions};
+use std::sync::Arc;
+
+fn test_options() -> ServiceOptions {
+    ServiceOptions {
+        sweep: SweepOptions {
+            threads: 1,
+            contact: rvz_sim::ContactOptions {
+                max_steps: 20_000,
+                horizon: rvz_core::completion_time(6),
+                ..SweepOptions::default().contact
+            },
+        },
+        ..ServiceOptions::default()
+    }
+}
+
+fn start(workers: usize) -> rvz_server::ServerHandle {
+    rvz_server::spawn("127.0.0.1:0", Service::new(test_options()), workers)
+        .expect("bind an ephemeral port")
+}
+
+#[test]
+fn health_stats_and_feasibility_over_the_wire() {
+    let server = start(2);
+    let addr = server.addr().to_string();
+
+    let health = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, r#"{"ok":true}"#);
+
+    let verdict = client::request(&addr, "GET", "/feasibility?tau=0.5&v=1", None).unwrap();
+    assert_eq!(verdict.status, 200);
+    assert!(verdict.body.contains("\"breaker\":\"clocks\""));
+
+    let stats = client::request(&addr, "GET", "/stats", None).unwrap();
+    assert!(stats.body.contains("\"requests\":"));
+
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_connections_serve_many_requests() {
+    let server = start(2);
+    let mut conn = HttpClient::connect(&server.addr().to_string()).unwrap();
+    for i in 0..20 {
+        let resp = conn
+            .request("GET", "/feasibility?v=0.5", None)
+            .unwrap_or_else(|e| panic!("request {i} failed: {e}"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"breaker\":\"speeds\""));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_queries_return_byte_identical_json() {
+    let server = start(8);
+    let addr = Arc::new(server.addr().to_string());
+    let body = r#"{"speed":0.5,"distance":0.9,"visibility":0.25}"#;
+
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let addr = Arc::clone(&addr);
+        handles.push(std::thread::spawn(move || {
+            let mut conn = HttpClient::connect(&addr).unwrap();
+            (0..5)
+                .map(|_| {
+                    let resp = conn.request("POST", "/first-contact", Some(body)).unwrap();
+                    assert_eq!(resp.status, 200);
+                    resp.body
+                })
+                .collect::<Vec<String>>()
+        }));
+    }
+    let mut bodies: Vec<String> = Vec::new();
+    for h in handles {
+        bodies.extend(h.join().unwrap());
+    }
+    let first = &bodies[0];
+    assert!(first.contains("\"outcome\":\"contact\""));
+    assert!(
+        bodies.iter().all(|b| b == first),
+        "responses differ across threads"
+    );
+
+    // Single-flight plus cache: 40 identical queries, one engine run.
+    let stats = server.service().cache_stats();
+    assert_eq!(stats.misses, 1, "engine ran more than once: {stats:?}");
+    assert_eq!(stats.entries, 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn symmetric_twins_hit_one_cache_entry_over_the_wire() {
+    let server = start(2);
+    let addr = server.addr().to_string();
+
+    // v·τ = 0.75: the twin description is (v=4/3, d=1.2, r=1/3, β=β₀+π).
+    let base = r#"{"speed":0.75,"distance":0.9,"visibility":0.25,"bearing":0.5}"#;
+    let twin = format!(
+        r#"{{"speed":{},"distance":{},"visibility":{},"bearing":{}}}"#,
+        1.0 / 0.75,
+        0.9 / 0.75,
+        0.25 / 0.75,
+        0.5 + std::f64::consts::PI,
+    );
+
+    let first = client::request(&addr, "POST", "/first-contact", Some(base)).unwrap();
+    assert_eq!(first.header("x-rvz-cache"), Some("miss"));
+    let second = client::request(&addr, "POST", "/first-contact", Some(&twin)).unwrap();
+    assert_eq!(
+        second.header("x-rvz-cache"),
+        Some("hit"),
+        "the role-swapped twin must share the cache entry"
+    );
+    assert!(second.body.contains("\"swapped\":true") || first.body.contains("\"swapped\":true"));
+
+    // The twin's answer is the base answer transported along the
+    // symmetry: time × τ (= 1 here ⇒ equal times), distance × v·τ.
+    let time = |body: &str| -> f64 {
+        body.split("\"time\":")
+            .nth(1)
+            .unwrap()
+            .split([',', '}'])
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let (t_base, t_twin) = (time(&first.body), time(&second.body));
+    assert!(
+        (t_base - t_twin).abs() <= 1e-9 * (1.0 + t_base),
+        "τ = 1 twins must report identical times, got {t_base} vs {t_twin}"
+    );
+
+    assert_eq!(server.service().cache_stats().entries, 1);
+    server.shutdown();
+}
+
+#[test]
+fn sweep_endpoint_batches_over_the_wire() {
+    let server = start(2);
+    let addr = server.addr().to_string();
+    let body = r#"{"scenarios":[
+        {"speed":0.5,"distance":0.9,"visibility":0.25},
+        {"time_unit":0.6,"distance":0.9,"visibility":0.25}
+    ]}"#;
+    let resp = client::request(&addr, "POST", "/sweep", Some(body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"total\":2"));
+    assert!(resp.body.contains("\"consistent\":2"));
+    assert_eq!(resp.header("x-rvz-cache"), Some("hits=0;misses=2"));
+
+    // Every record in the response is valid sink-schema JSON.
+    let parsed = rvz_experiments::json::parse(&resp.body).unwrap();
+    let records = parsed.get("records").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(records.len(), 2);
+    for record in records {
+        rvz_experiments::record_from_json(record).expect("wire records parse as sink records");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_json_errors_not_crashes() {
+    let server = start(1);
+    let addr = server.addr().to_string();
+    let resp = client::request(&addr, "POST", "/first-contact", Some("{\"speed\":-2}")).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("\"error\""));
+    let resp = client::request(&addr, "GET", "/no-such", None).unwrap();
+    assert_eq!(resp.status, 404);
+    // The server is still healthy afterwards.
+    let resp = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn post_shutdown_stops_the_server_gracefully() {
+    let server = start(4);
+    let addr = server.addr().to_string();
+
+    let resp = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200);
+
+    let resp = client::request(&addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"shutting_down\":true"));
+    assert_eq!(resp.header("connection"), Some("close"));
+
+    // All threads exit; afterwards the port no longer accepts work.
+    server.join();
+    let refused = client::request(&addr, "GET", "/healthz", None);
+    assert!(
+        refused.is_err() || refused.unwrap().status == 0,
+        "listener should be gone after graceful shutdown"
+    );
+}

@@ -2,23 +2,26 @@
 //!
 //! ```text
 //! rvz feasibility --v 1.0 --tau 0.5 --phi 0 --chi +1
-//! rvz search      --x 0.7 --y 0.9 --r 0.01
-//! rvz rendezvous  --dx 0.3 --dy 0.8 --r 0.05 --v 0.6 [--tau 1.0 --phi 0 --chi +1]
-//! rvz phases      --rounds 6 [--tau 0.6]
-//! rvz bounds      --d 1.0 --r 0.01 [--v 0.5 --phi 0 --chi +1 | --tau 0.5]
+//! rvz rendezvous  --dx 0.3 --dy 0.8 --r 0.05 --v 0.6
+//! rvz sweep       --speeds 0.5,1 --clocks 0.6,1 --out sweep
+//! rvz serve       --port 7878
+//! rvz loadtest    --quick
+//! rvz <command> --help
 //! ```
 //!
-//! Arguments are `--key value` pairs; malformed pairs are rejected,
-//! unrecognized keys are ignored. The tool is deliberately
+//! Arguments are `--key value` pairs; each subcommand declares its flag
+//! set, so a misspelled flag fails with that subcommand's usage string
+//! rather than being silently ignored. The tool is deliberately
 //! dependency-free (no clap) — it exists so that a user can poke at the
-//! model without writing Rust.
+//! model, the sweep harness and the query service without writing Rust.
 
 use plane_rendezvous::core::{completion_time, first_sufficient_overlap_round, WaitAndSearch};
 use plane_rendezvous::experiments::{
-    latin_hypercube, run_sweep, write_csv, write_jsonl, Algorithm, SampleSpace, ScenarioGrid,
-    Summary, SweepOptions, SweepRecord,
+    latin_hypercube, parse_chirality, run_sweep, write_csv, write_jsonl, Algorithm, SampleSpace,
+    ScenarioGrid, Summary, SweepOptions, SweepRecord,
 };
 use plane_rendezvous::prelude::*;
+use plane_rendezvous::server::{Service, ServiceOptions};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -30,32 +33,32 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_flags(rest) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match command.as_str() {
-        "feasibility" => cmd_feasibility(&opts),
-        "search" => cmd_search(&opts),
-        "rendezvous" => cmd_rendezvous(&opts),
-        "phases" => cmd_phases(&opts),
-        "bounds" => cmd_bounds(&opts),
-        "sweep" => cmd_sweep(&opts),
-        "map" => cmd_map(&opts),
-        "bench-engine" => cmd_bench_engine(&opts),
+    match command.as_str() {
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command `{other}`")),
+        // Bare `version` goes through its CommandSpec (so `rvz version
+        // --help` prints usage like every other command).
+        "--version" | "-V" => {
+            println!("rvz {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
+    }
+    let Some(spec) = COMMANDS.iter().find(|spec| spec.name == command.as_str()) else {
+        eprintln!("error: unknown command `{command}`\n\n{USAGE}");
+        return ExitCode::FAILURE;
     };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", spec.usage);
+        return ExitCode::SUCCESS;
+    }
+    let result = parse_flags(rest, spec).and_then(|opts| (spec.run)(&opts));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            eprintln!("error: {e}\n\n{}", spec.usage);
             ExitCode::FAILURE
         }
     }
@@ -65,56 +68,286 @@ const USAGE: &str = "\
 rvz — rendezvous in the plane by robots with unknown attributes (PODC 2019)
 
 USAGE:
+  rvz <command> [--flag value ...]
+  rvz <command> --help        per-command flags and semantics
+
+COMMANDS:
+  feasibility   Theorem 4 verdict for an attribute combination
+  search        exact Algorithm 4 discovery time for a stationary target
+  rendezvous    simulate the universal Algorithm 7 on one instance
+  phases        print the Algorithm 7 phase schedule
+  bounds        closed-form bounds (Theorems 1/2, Lemma 13)
+  sweep         parallel scenario sweep -> JSONL + CSV artifacts
+  map           Theorem 4 feasibility map, confirmed by simulation
+  bench-engine  first-contact engine benchmark -> BENCH_engine.json
+  serve         HTTP query service with the symmetry-canonicalized cache
+  loadtest      closed-loop A/B loadtest of serve -> BENCH_serve.json
+  client        one-shot HTTP client for a running rvz serve
+  version       print the rvz version
+
+All numeric flags take plain numbers; angles are in radians.";
+
+/// One subcommand: name, flag schema, usage text, handler.
+struct CommandSpec {
+    name: &'static str,
+    /// `(flag, takes_value)`; flags with `false` are boolean switches.
+    flags: &'static [(&'static str, bool)],
+    usage: &'static str,
+    run: fn(&Flags) -> Result<(), String>,
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "feasibility",
+        flags: &[("v", true), ("tau", true), ("phi", true), ("chi", true)],
+        usage: "\
+USAGE:
   rvz feasibility [--v V] [--tau T] [--phi P] [--chi +1|-1]
-      Theorem 4 verdict for the attribute combination.
+
+Theorem 4 verdict for the attribute combination (defaults: the
+reference robot's twin, v = tau = 1, phi = 0, chi = +1).",
+        run: cmd_feasibility,
+    },
+    CommandSpec {
+        name: "search",
+        flags: &[("x", true), ("y", true), ("r", true), ("max-round", true)],
+        usage: "\
+USAGE:
   rvz search --x X --y Y --r R [--max-round K]
-      Exact Algorithm 4 discovery time for a stationary target.
-  rvz rendezvous --dx X --dy Y --r R [--v V] [--tau T] [--phi P] [--chi +1|-1]
-      Simulate the universal Algorithm 7 on the instance.
+
+Exact Algorithm 4 discovery time for a stationary target at (X, Y)
+with visibility radius R; reports the Theorem 1 bound when d²/r ≥ 2.",
+        run: cmd_search,
+    },
+    CommandSpec {
+        name: "rendezvous",
+        flags: &[
+            ("dx", true),
+            ("dy", true),
+            ("r", true),
+            ("v", true),
+            ("tau", true),
+            ("phi", true),
+            ("chi", true),
+            ("horizon", true),
+        ],
+        usage: "\
+USAGE:
+  rvz rendezvous --dx X --dy Y --r R [--v V] [--tau T] [--phi P]
+                 [--chi +1|-1] [--horizon H]
+
+Simulate the universal Algorithm 7 on the instance with R' placed at
+(X, Y) and the given attributes.",
+        run: cmd_rendezvous,
+    },
+    CommandSpec {
+        name: "phases",
+        flags: &[("rounds", true), ("tau", true)],
+        usage: "\
+USAGE:
   rvz phases [--rounds N] [--tau T]
-      Print the Algorithm 7 phase schedule (and τ-scaled copy).
+
+Print the Algorithm 7 phase schedule (and its tau-scaled copy).",
+        run: cmd_phases,
+    },
+    CommandSpec {
+        name: "bounds",
+        flags: &[
+            ("d", true),
+            ("r", true),
+            ("v", true),
+            ("tau", true),
+            ("phi", true),
+            ("chi", true),
+        ],
+        usage: "\
+USAGE:
   rvz bounds --d D --r R [--v V] [--phi P] [--chi +1|-1] [--tau T]
-      Closed-form bounds: Theorem 1/2, and Lemma 13's k* when τ ≠ 1.
+
+Closed-form bounds: Theorem 1/2, and Lemma 13's k* when tau ≠ 1.",
+        run: cmd_bounds,
+    },
+    CommandSpec {
+        name: "sweep",
+        flags: &[
+            ("speeds", true),
+            ("clocks", true),
+            ("phis", true),
+            ("chis", true),
+            ("distances", true),
+            ("bearings", true),
+            ("r", true),
+            ("algos", true),
+            ("lhs", true),
+            ("seed", true),
+            ("threads", true),
+            ("max-steps", true),
+            ("horizon-rounds", true),
+            ("no-prune", false),
+            ("out", true),
+        ],
+        usage: "\
+USAGE:
   rvz sweep [--speeds L] [--clocks L] [--phis L] [--chis L] [--distances L]
             [--bearings L] [--r R] [--algos L] [--lhs N] [--seed S]
             [--threads N] [--max-steps M] [--horizon-rounds K] [--no-prune]
             [--out PREFIX]
-      Run a parallel scenario sweep (grid by default, Latin-hypercube
-      sample with --lhs N) and write PREFIX.jsonl + PREFIX.csv.
-      List flags (L) take comma-separated values, e.g. --speeds 0.5,1.
-      --no-prune disables the engine's swept-envelope pruning layer
-      (A/B escape hatch; outcomes keep the same classification).
-  rvz map [--speeds L] [--clocks L] [--phis L] [--d D] [--r R] [--threads N]
-          [--max-steps M] [--horizon-rounds K]
-      Print the Theorem 4 feasibility map over the attribute grid and
-      confirm every cell by simulation. Raise --horizon-rounds (default 9)
-      and --max-steps for hard instances (large d²/r).
-  rvz bench-engine [--quick] [--no-prune] [--enforce-steps] [--out PATH]
-      Benchmark the first-contact engine (seed conservative loop vs the
-      monotone-cursor fast path with swept-envelope pruning) on the
-      canonical case set; print the comparison table (incl. pruned
-      intervals and envelope queries) and write the machine-readable
-      report to PATH (default BENCH_engine.json). --quick runs a
-      sub-second smoke variant for CI; --no-prune A/Bs the pruning
-      layer; --enforce-steps fails if the cursor engine ever takes more
-      steps than the generic loop.
 
-All flags take numeric values (except the valueless --quick, --no-prune
-and --enforce-steps); angles in radians.";
+Run a parallel scenario sweep (grid by default, Latin-hypercube sample
+with --lhs N) and write PREFIX.jsonl + PREFIX.csv. List flags (L) take
+comma-separated values, e.g. --speeds 0.5,1. --no-prune disables the
+engine's swept-envelope pruning layer (A/B escape hatch; outcomes keep
+the same classification).",
+        run: cmd_sweep,
+    },
+    CommandSpec {
+        name: "map",
+        flags: &[
+            ("speeds", true),
+            ("clocks", true),
+            ("phis", true),
+            ("d", true),
+            ("r", true),
+            ("threads", true),
+            ("max-steps", true),
+            ("horizon-rounds", true),
+            ("no-prune", false),
+        ],
+        usage: "\
+USAGE:
+  rvz map [--speeds L] [--clocks L] [--phis L] [--d D] [--r R] [--threads N]
+          [--max-steps M] [--horizon-rounds K] [--no-prune]
+
+Print the Theorem 4 feasibility map over the attribute grid and confirm
+every cell by simulation. Raise --horizon-rounds (default 9) and
+--max-steps for hard instances (large d²/r).",
+        run: cmd_map,
+    },
+    CommandSpec {
+        name: "bench-engine",
+        flags: &[
+            ("quick", false),
+            ("no-prune", false),
+            ("enforce-steps", false),
+            ("out", true),
+        ],
+        usage: "\
+USAGE:
+  rvz bench-engine [--quick] [--no-prune] [--enforce-steps] [--out PATH]
+
+Benchmark the first-contact engine (seed conservative loop vs the
+monotone-cursor fast path with swept-envelope pruning) on the canonical
+case set; print the comparison table (incl. pruned intervals and
+envelope queries) and write the machine-readable report to PATH
+(default BENCH_engine.json). --quick runs a sub-second smoke variant
+for CI; --no-prune A/Bs the pruning layer; --enforce-steps fails if the
+cursor engine ever takes more steps than the generic loop.",
+        run: cmd_bench_engine,
+    },
+    CommandSpec {
+        name: "serve",
+        flags: &[
+            ("addr", true),
+            ("port", true),
+            ("workers", true),
+            ("cache-capacity", true),
+            ("cache-grid", true),
+            ("no-cache", false),
+            ("sweep-threads", true),
+            ("max-steps", true),
+            ("horizon-rounds", true),
+            ("no-prune", false),
+        ],
+        usage: "\
+USAGE:
+  rvz serve [--addr A] [--port P] [--workers N] [--cache-capacity N]
+            [--cache-grid G] [--no-cache] [--sweep-threads N]
+            [--max-steps M] [--horizon-rounds K] [--no-prune]
+
+Serve feasibility/first-contact/sweep queries over HTTP/1.1 with a
+sharded LRU cache keyed by each scenario's attribute-symmetry orbit.
+--port 0 binds an ephemeral port (printed on startup). --cache-grid is
+the canonicalization step, snapped to a power of two (default 2^-30;
+0 = bit-exact keys); --no-cache simulates every request (the loadtest
+baseline). Engine flags mirror `rvz sweep`. Stop with POST /shutdown.
+
+ENDPOINTS:
+  GET  /feasibility?v=&tau=&phi=&chi=   Theorem 4 verdict + orbit
+  POST /feasibility                     same, scenario JSON body
+  POST /first-contact                   engine outcome for one scenario
+  POST /sweep                           {\"scenarios\": [...]} batch
+  GET  /stats | GET /healthz | POST /shutdown",
+        run: cmd_serve,
+    },
+    CommandSpec {
+        name: "loadtest",
+        flags: &[
+            ("quick", false),
+            ("clients", true),
+            ("requests", true),
+            ("families", true),
+            ("out", true),
+        ],
+        usage: "\
+USAGE:
+  rvz loadtest [--quick] [--clients N] [--requests N] [--families N]
+               [--out PATH]
+
+Closed-loop loadtest of the serve stack on a symmetric workload: spawns
+an in-process server per arm (cached, then --no-cache), drives N
+clients issuing /first-contact queries over keep-alive connections, and
+reports throughput and latency percentiles plus the cached-vs-uncached
+speedup. Writes the machine-readable report to PATH (default
+BENCH_serve.json). --requests is per client per arm.",
+        run: cmd_loadtest,
+    },
+    CommandSpec {
+        name: "client",
+        flags: &[
+            ("addr", true),
+            ("path", true),
+            ("method", true),
+            ("body", true),
+        ],
+        usage: "\
+USAGE:
+  rvz client --addr HOST:PORT --path /endpoint [--method GET|POST]
+             [--body JSON]
+
+One-shot HTTP client for a running `rvz serve`: sends a single request
+and prints the status, the X-Rvz-Cache header (hit/miss/bypass) when
+present, and the response body. The method defaults to GET without a
+body and POST with one.",
+        run: cmd_client,
+    },
+    CommandSpec {
+        name: "version",
+        flags: &[],
+        usage: "\
+USAGE:
+  rvz version
+
+Print the rvz version.",
+        run: |_| {
+            println!("rvz {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        },
+    },
+];
 
 type Flags = HashMap<String, String>;
 
-/// Flags that take no value; present means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["quick", "no-prune", "enforce-steps"];
-
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String], spec: &CommandSpec) -> Result<Flags, String> {
     let mut map = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected `--flag`, got `{key}`"));
         };
-        if BOOLEAN_FLAGS.contains(&name) {
+        let Some(&(name, takes_value)) = spec.flags.iter().find(|(f, _)| *f == name) else {
+            return Err(format!("unknown flag `--{name}` for `rvz {}`", spec.name));
+        };
+        if !takes_value {
             map.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -167,18 +400,10 @@ fn get_list_f64(opts: &Flags, key: &str) -> Result<Option<Vec<f64>>, String> {
         .map(Some)
 }
 
-fn parse_chi(s: &str) -> Result<Chirality, String> {
-    match s {
-        "+1" | "1" => Ok(Chirality::Consistent),
-        "-1" => Ok(Chirality::Mirrored),
-        other => Err(format!("chirality expects +1 or -1, got `{other}`")),
-    }
-}
-
 fn get_chirality(opts: &Flags) -> Result<Chirality, String> {
     match opts.get("chi") {
         None => Ok(Chirality::Consistent),
-        Some(s) => parse_chi(s).map_err(|_| format!("`--chi` expects +1 or -1, got `{s}`")),
+        Some(s) => parse_chirality(s).map_err(|_| format!("`--chi` expects +1 or -1, got `{s}`")),
     }
 }
 
@@ -192,11 +417,12 @@ fn get_algorithms(opts: &Flags) -> Result<Option<Vec<Algorithm>>, String> {
         .map(Some)
 }
 
-/// Applies the shared engine-tuning flags (`--threads`, `--max-steps`,
-/// `--horizon-rounds`) on top of the sweep defaults.
-fn sweep_options(opts: &Flags) -> Result<SweepOptions, String> {
+/// Applies the shared engine-tuning flags (`--max-steps`,
+/// `--horizon-rounds`, `--no-prune`) plus the thread flag named
+/// `thread_key` on top of the sweep defaults.
+fn sweep_options(opts: &Flags, thread_key: &str) -> Result<SweepOptions, String> {
     let mut sweep_opts = SweepOptions {
-        threads: get_usize(opts, "threads", 0)?,
+        threads: get_usize(opts, thread_key, 0)?,
         ..SweepOptions::default()
     };
     if let Some(max_steps) = opts.get("max-steps") {
@@ -410,7 +636,7 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
         if let Some(chis) = opts.get("chis") {
             let values = chis
                 .split(',')
-                .map(|s| parse_chi(s.trim()))
+                .map(|s| parse_chirality(s.trim()))
                 .collect::<Result<Vec<_>, _>>()?;
             grid = grid.chiralities(&values);
         }
@@ -420,7 +646,7 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
         grid.build()
     };
 
-    let sweep_opts = sweep_options(opts)?;
+    let sweep_opts = sweep_options(opts, "threads")?;
 
     println!(
         "sweeping {} scenarios on {} threads ...",
@@ -551,7 +777,7 @@ fn cmd_map(opts: &Flags) -> Result<(), String> {
         }
     }
 
-    let sweep_opts = sweep_options(opts)?;
+    let sweep_opts = sweep_options(opts, "threads")?;
     println!(
         "simulation confirmation (universal Algorithm 7, d = {d}, r = {r}, {} cells):",
         scenarios.len()
@@ -578,4 +804,106 @@ fn cmd_map(opts: &Flags) -> Result<(), String> {
     } else {
         Err("feasibility map mismatch".into())
     }
+}
+
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    let addr = opts.get("addr").map(String::as_str).unwrap_or("127.0.0.1");
+    let port = get_usize(opts, "port", 7878)?;
+    if port > u16::MAX as usize {
+        return Err("`--port` must fit in 16 bits".into());
+    }
+    let workers = match get_usize(opts, "workers", 0)? {
+        0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
+        n => n,
+    };
+    let cache_grid = get_f64(
+        opts,
+        "cache-grid",
+        Some(plane_rendezvous::experiments::DEFAULT_GRID),
+    )?;
+    let service_opts = ServiceOptions {
+        cache_capacity: get_usize(opts, "cache-capacity", 65_536)?.max(1),
+        cache_grid,
+        no_cache: opts.contains_key("no-cache"),
+        sweep: sweep_options(opts, "sweep-threads")?,
+        ..ServiceOptions::default()
+    };
+    let no_cache = service_opts.no_cache;
+    let server = plane_rendezvous::server::spawn(
+        &format!("{addr}:{port}"),
+        Service::new(service_opts),
+        workers,
+    )
+    .map_err(|e| format!("cannot bind {addr}:{port}: {e}"))?;
+    println!("rvz serve listening on {}", server.addr());
+    println!(
+        "workers = {workers}, cache = {}, grid = {}",
+        if no_cache { "off" } else { "on" },
+        plane_rendezvous::experiments::snap_grid(cache_grid),
+    );
+    println!(
+        "stop with: rvz client --addr {} --path /shutdown --method POST",
+        server.addr()
+    );
+    // Make the banner visible to parent processes (CI scrapes the port)
+    // even when stdout is a pipe.
+    std::io::stdout().flush().ok();
+    server.join();
+    println!("rvz serve: shut down cleanly");
+    Ok(())
+}
+
+fn cmd_loadtest(opts: &Flags) -> Result<(), String> {
+    use plane_rendezvous::bench::serve::{render_json, render_table, run_loadtest, LoadtestConfig};
+    let defaults = LoadtestConfig::new(opts.contains_key("quick"));
+    let cfg = LoadtestConfig {
+        clients: get_usize(opts, "clients", defaults.clients)?.max(1),
+        requests_per_client: get_usize(opts, "requests", defaults.requests_per_client)?.max(1),
+        families: get_usize(opts, "families", defaults.families)?.max(1),
+        ..defaults
+    };
+    let path = opts
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json");
+    println!(
+        "loadtesting the serve stack ({} mode): {} clients × {} requests over {} symmetric families ...",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.families
+    );
+    let start = Instant::now();
+    let (arms, speedup) = run_loadtest(&cfg);
+    print!("{}", render_table(&arms, speedup));
+    std::fs::write(path, render_json(&arms, speedup, &cfg))
+        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!(
+        "wrote {path}  ({:.2} s total)",
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_client(opts: &Flags) -> Result<(), String> {
+    let addr = opts.get("addr").ok_or("missing required flag `--addr`")?;
+    let path = opts.get("path").ok_or("missing required flag `--path`")?;
+    let body = opts.get("body").map(String::as_str);
+    let default_method = if body.is_some() { "POST" } else { "GET" };
+    let method = opts
+        .get("method")
+        .map(String::as_str)
+        .unwrap_or(default_method)
+        .to_ascii_uppercase();
+    let response = plane_rendezvous::server::request(addr, &method, path, body)
+        .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    println!("HTTP {}", response.status);
+    if let Some(cache) = response.header("x-rvz-cache") {
+        println!("X-Rvz-Cache: {cache}");
+    }
+    println!("{}", response.body);
+    if response.status >= 400 {
+        return Err(format!("server answered with status {}", response.status));
+    }
+    Ok(())
 }

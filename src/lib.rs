@@ -25,8 +25,9 @@
 //! | [`core`] | equivalent-search reduction, Algorithm 7, overlap algebra |
 //! | [`sim`] | conservative-advancement continuous-time simulation |
 //! | [`baselines`] | omniscient spiral, schedule ablations |
-//! | [`experiments`] | scenario grids, Latin-hypercube samples, parallel sweeps |
-//! | [`mod@bench`] | bench tables and the canonical engine benchmark cases |
+//! | [`experiments`] | scenario grids, Latin-hypercube samples, parallel sweeps, symmetry canonicalization |
+//! | [`server`] | the `rvz serve` HTTP query service with the symmetry-canonicalized result cache |
+//! | [`mod@bench`] | bench tables, the engine benchmark cases, the `rvz loadtest` harness |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@ pub use rvz_geometry as geometry;
 pub use rvz_model as model;
 pub use rvz_numerics as numerics;
 pub use rvz_search as search;
+pub use rvz_server as server;
 pub use rvz_sim as sim;
 pub use rvz_trajectory as trajectory;
 
@@ -98,5 +100,6 @@ mod tests {
         let _ = crate::sim::ContactOptions::default();
         let _ = crate::baselines::ArchimedeanSpiral::with_pitch(1.0);
         let _ = crate::experiments::ScenarioGrid::new();
+        let _ = crate::server::ServiceOptions::default();
     }
 }
