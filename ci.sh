@@ -27,14 +27,29 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> rvz bench-engine --quick --enforce-steps (smoke: schema intact, no step regressions)"
+echo "==> compiled-engine allocation gate (zero heap allocations per query)"
+cargo test --release --quiet -p rvz-sim --test alloc_gate
+
+echo "==> rvz bench-engine --quick --enforce-steps (smoke: schema v3 intact, no step regressions)"
 BENCH_SMOKE="$(mktemp -t bench_engine_smoke.XXXXXX.json)"
 # --enforce-steps fails the run if the cursor engine takes more
 # advancement steps than the seed conservative loop on any case.
 cargo run --release --quiet --bin rvz -- bench-engine --quick --enforce-steps --out "$BENCH_SMOKE" >/dev/null
-grep -q '"schema": "rvz-bench-engine/v2"' "$BENCH_SMOKE"
+grep -q '"schema": "rvz-bench-engine/v3"' "$BENCH_SMOKE"
 grep -q '"cases":' "$BENCH_SMOKE"
+grep -q '"batches":' "$BENCH_SMOKE"
 grep -q '"pruned_intervals":' "$BENCH_SMOKE"
+grep -q '"compile_ns":' "$BENCH_SMOKE"
+grep -q '"pieces":' "$BENCH_SMOKE"
+grep -q '"allocs_per_query":' "$BENCH_SMOKE"
+# The compiled fast path must report zero allocations per query on
+# every batch workload (the batch rows are the only lines where
+# allocs_per_query is adjacent to speedup, so this cannot be satisfied
+# by the always-zero generic samples).
+grep -q '"allocs_per_query": 0, "speedup"' "$BENCH_SMOKE"
+if grep -qE '"allocs_per_query": [1-9][0-9]*, "speedup"' "$BENCH_SMOKE"; then
+    echo "compiled batch workload reported nonzero allocations"; exit 1
+fi
 rm -f "$BENCH_SMOKE"
 
 echo "==> rvz serve smoke (ephemeral port, symmetric-twin cache hit, graceful shutdown)"

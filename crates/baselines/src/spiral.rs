@@ -168,6 +168,14 @@ impl MonotoneTrajectory for ArchimedeanSpiral {
     }
 }
 
+/// The spiral is transcendental — its cursor reports a single
+/// [`Motion::Curved`] piece, so
+/// [`compile`](rvz_trajectory::Compile::compile) deliberately fails
+/// with [`CompileError::Curved`](rvz_trajectory::CompileError::Curved)
+/// and the spiral keeps running on the generic cursor path. It is the
+/// workspace's canonical exercise of the compiled stack's escape hatch.
+impl rvz_trajectory::Compile for ArchimedeanSpiral {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,17 +12,22 @@
 //! measurements back the machine-readable `BENCH_engine.json` emitted by
 //! `rvz bench-engine`.
 
-use rvz_bench::engine::{grazing_summary, measure_all, render_table};
+use rvz_bench::engine::{
+    batch_summary, grazing_summary, measure_all, measure_batches, render_batch_table, render_table,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let prune = !std::env::args().any(|a| a == "--no-prune");
     println!(
-        "first_contact_throughput ({} mode{}): seed conservative engine vs cursor fast path\n",
+        "first_contact_throughput ({} mode{}): seed engine vs cursor fast path vs compiled programs\n",
         if quick { "quick" } else { "full" },
         if prune { "" } else { ", pruning off" }
     );
     let measurements = measure_all(quick, prune);
     print!("{}", render_table(&measurements));
     println!("\n{}", grazing_summary(&measurements));
+    let batches = measure_batches(quick);
+    print!("\n{}", render_batch_table(&batches));
+    println!("\n{}", batch_summary(&batches));
 }

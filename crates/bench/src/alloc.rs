@@ -1,0 +1,65 @@
+//! A counting global allocator: the measurement behind the
+//! `allocs_per_query` column of `BENCH_engine.json` and the
+//! zero-allocation test gate on the compiled engine.
+//!
+//! [`CountingAlloc`] wraps the system allocator and bumps a process-wide
+//! counter on every `alloc`/`realloc`/`alloc_zeroed`. It only observes
+//! anything when *registered* as the binary's `#[global_allocator]` (the
+//! `rvz` binary and the `alloc_gate` test do); in any other binary
+//! [`count`] reports zero, which callers must treat as "not measured",
+//! not "allocation-free".
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocation calls.
+///
+/// # Example
+///
+/// ```text
+/// #[global_allocator]
+/// static ALLOC: rvz_bench::alloc::CountingAlloc = rvz_bench::alloc::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter update has no safety impact.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+/// Total allocation calls observed so far (0 unless [`CountingAlloc`] is
+/// the registered global allocator).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns its result plus the allocation calls it made.
+///
+/// The count is process-wide, so run measurements single-threaded. A
+/// zero can mean "no allocations" *or* "allocator not registered" —
+/// pair a zero with a positive control (see the `alloc_gate` test).
+pub fn count<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocations();
+    let value = f();
+    (value, allocations() - before)
+}

@@ -1,4 +1,5 @@
-//! The first-contact engine benchmark: seed engine vs. cursor fast path.
+//! The first-contact engine benchmark: seed engine vs. cursor fast path
+//! vs. the compiled-program engine.
 //!
 //! One canonical set of cases is shared by the `first_contact_throughput`
 //! bench binary (human-readable table) and the `rvz bench-engine`
@@ -8,13 +9,22 @@
 //!
 //! Each case runs the *same* trajectory pair through
 //! [`rvz_sim::first_contact_generic`] (the seed conservative-advancement
-//! loop) and through the cursor engine
-//! ([`rvz_sim::first_contact_cursors`] over boxed [`MonotoneDyn`]
-//! cursors), records wall time *and* advancement steps / position-query
-//! counts for both, and cross-checks that the two engines classify the
-//! outcome identically. Recording steps alongside time is what makes a
-//! speedup attributable: fewer queries (analytic jumps) versus cheaper
-//! queries (cursor caching) show up in different columns.
+//! loop), through the cursor engine
+//! ([`rvz_sim::first_contact_cursors`] over boxed
+//! [`MonotoneDyn`] cursors), and — when the
+//! pair lowers under the piece budget — through the monomorphic
+//! compiled-program engine ([`rvz_sim::first_contact_programs`]),
+//! recording wall time, advancement steps, lowering cost (`compile_ns`,
+//! `pieces`) and per-query allocation counts for each. Recording steps
+//! and allocations alongside time is what makes a speedup attributable:
+//! fewer queries (analytic jumps), cheaper queries (flat arenas), or
+//! removed allocator traffic show up in different columns.
+//!
+//! The **batch workloads** are the throughput acceptance metric: a
+//! warm-cache batch (compile each scenario once, query it many times —
+//! the `rvz serve` shape) and a swarm batch (compile `n` robots once,
+//! run all `n(n−1)/2` pairwise queries — the `multi` shape). Both
+//! amortize lowering exactly the way the production callers do.
 
 use rvz_baselines::ArchimedeanSpiral;
 use rvz_core::{completion_time, WaitAndSearch};
@@ -22,11 +32,18 @@ use rvz_geometry::Vec2;
 use rvz_model::RobotAttributes;
 use rvz_search::UniversalSearch;
 use rvz_sim::{
-    first_contact_cursors_instrumented, first_contact_generic, ContactOptions, EngineStats,
-    SimOutcome, Stationary,
+    first_contact_cursors_instrumented, first_contact_generic, pairwise_meetings,
+    pairwise_meetings_programs, simulate_rendezvous_by_ref, ContactOptions, EngineScratch,
+    EngineStats, SimOutcome,
 };
-use rvz_trajectory::{MonotoneDyn, PathBuilder};
+use rvz_trajectory::{Compile, CompileOptions, CompiledProgram, MonotoneDyn, PathBuilder};
 use std::time::Instant;
+
+/// Piece budget for per-case lowering attempts: generous enough for the
+/// moderate-horizon cases, and a deliberate refusal (compiled column =
+/// null) for the deep Algorithm 7 horizons whose rounds hold Θ(4ⁿ)
+/// segments.
+pub const CASE_PIECE_BUDGET: usize = 1 << 19;
 
 /// One benchmark scenario: a trajectory pair plus engine options.
 pub struct EngineCase {
@@ -38,10 +55,11 @@ pub struct EngineCase {
     pub radius: f64,
     /// Engine options.
     pub opts: ContactOptions,
-    /// The two trajectories, behind the object-safe cursor facade.
-    pub a: Box<dyn MonotoneDyn>,
+    /// The two trajectories, behind the object-safe compile + cursor
+    /// facade.
+    pub a: Box<dyn Compile>,
     /// Second trajectory.
-    pub b: Box<dyn MonotoneDyn>,
+    pub b: Box<dyn Compile>,
 }
 
 impl EngineCase {
@@ -60,6 +78,16 @@ impl EngineCase {
             self.radius,
             &self.opts,
         )
+    }
+
+    /// Lowers the pair for the compiled engine; `None` when either side
+    /// refuses (curved pieces). The caller separately checks that the
+    /// query resolves within the (possibly truncated) coverage.
+    pub fn lower(&self) -> Option<(CompiledProgram, CompiledProgram)> {
+        let copts = CompileOptions::to_horizon(self.opts.horizon).max_pieces(CASE_PIECE_BUDGET);
+        let a = self.a.compile(&copts).ok()?;
+        let b = self.b.compile(&copts).ok()?;
+        Some((a, b))
     }
 }
 
@@ -90,7 +118,7 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
                 .line_to(Vec2::new(span, h))
                 .build(),
         ),
-        b: Box::new(Stationary::new(Vec2::ZERO)),
+        b: Box::new(rvz_sim::Stationary::new(Vec2::ZERO)),
     });
 
     // Grazing contact: the same pass dipping half a tolerance *below*
@@ -107,7 +135,7 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
                 .line_to(Vec2::new(span, h))
                 .build(),
         ),
-        b: Box::new(Stationary::new(Vec2::ZERO)),
+        b: Box::new(rvz_sim::Stationary::new(Vec2::ZERO)),
     });
 
     // Near-approach rendezvous: a typical feasible sweep scenario under
@@ -141,7 +169,8 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
     });
 
     // Spiral search: a fully curved trajectory — measures the cursor
-    // layer's warm-started Newton inversion rather than analytic jumps.
+    // layer's warm-started Newton inversion, and exercises the compiled
+    // stack's escape hatch (lowering refuses: compiled column = null).
     let r = 0.02;
     cases.push(EngineCase {
         name: "spiral_search",
@@ -149,7 +178,7 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
         radius: r,
         opts: ContactOptions::with_horizon(1e5).tolerance(tol),
         a: Box::new(ArchimedeanSpiral::for_visibility(r)),
-        b: Box::new(Stationary::new(Vec2::new(
+        b: Box::new(rvz_sim::Stationary::new(Vec2::new(
             if quick { 0.3 } else { 0.9 },
             0.4,
         ))),
@@ -211,6 +240,22 @@ pub struct EngineSample {
     pub pruned_intervals: u64,
     /// `envelope(t0, t1)` queries issued (cursor engine only).
     pub envelope_queries: u64,
+    /// Heap allocation calls per query, observed by the counting
+    /// allocator (0 when the allocator is not registered — the `rvz`
+    /// binary registers it; library tests read "not measured").
+    pub allocs_per_query: u64,
+}
+
+/// The compiled engine's sample plus its lowering cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledSample {
+    /// Query-time sample (lowering excluded — the amortized view lives
+    /// in the batch workloads).
+    pub sample: EngineSample,
+    /// Nanoseconds to lower both trajectories.
+    pub compile_ns: f64,
+    /// Total pieces across both arenas.
+    pub pieces: u64,
 }
 
 /// The measured comparison for one case.
@@ -226,6 +271,9 @@ pub struct CaseMeasurement {
     pub generic: EngineSample,
     /// The cursor engine's sample.
     pub cursor: EngineSample,
+    /// The compiled engine's sample, when the pair lowers under the
+    /// budget (null for curved trajectories and over-budget horizons).
+    pub compiled: Option<CompiledSample>,
 }
 
 impl CaseMeasurement {
@@ -233,10 +281,19 @@ impl CaseMeasurement {
     pub fn speedup(&self) -> f64 {
         self.generic.ns_per_run / self.cursor.ns_per_run
     }
+
+    /// Wall-clock speedup of the compiled engine over the cursor engine
+    /// (query time only), when compiled.
+    pub fn compiled_speedup(&self) -> Option<f64> {
+        self.compiled
+            .as_ref()
+            .map(|c| self.cursor.ns_per_run / c.sample.ns_per_run)
+    }
 }
 
-fn sample<F: Fn() -> (SimOutcome, EngineStats)>(run: F, iters: u32) -> EngineSample {
+fn sample<F: FnMut() -> (SimOutcome, EngineStats)>(mut run: F, iters: u32) -> EngineSample {
     let (outcome, stats) = run(); // warm-up, and the steps/stats source
+    let (_, allocs_per_query) = crate::alloc::count(&mut run);
     let mut best = f64::INFINITY;
     for _ in 0..iters {
         let start = Instant::now();
@@ -252,15 +309,16 @@ fn sample<F: Fn() -> (SimOutcome, EngineStats)>(run: F, iters: u32) -> EngineSam
         outcome: outcome.classification(),
         pruned_intervals: stats.pruned_intervals,
         envelope_queries: stats.envelope_queries,
+        allocs_per_query,
     }
 }
 
-/// Measures one case on both engines and cross-checks the outcome
-/// classification.
+/// Measures one case on all engines and cross-checks the outcome
+/// classifications.
 ///
 /// # Panics
 ///
-/// Panics if the two engines disagree on the outcome classification —
+/// Panics if any two engines disagree on the outcome classification —
 /// a benchmark that silently compared different work would be
 /// meaningless.
 pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
@@ -271,12 +329,58 @@ pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
         "engines disagree on `{}`",
         case.name
     );
+    let compiled = {
+        // Time the lowering alone; the resolvability probe below is a
+        // full engine query and must not inflate `compile_ns`.
+        let compile_start = Instant::now();
+        let lowered = case.lower();
+        let compile_ns = compile_start.elapsed().as_nanos() as f64;
+        let resolvable = lowered.filter(|(a, b)| {
+            rvz_sim::try_first_contact_programs(
+                a,
+                b,
+                case.radius,
+                &case.opts,
+                &mut EngineScratch::new(),
+            )
+            .is_some()
+        });
+        resolvable.map(|(a, b)| {
+            let pieces = (a.pieces().len() + b.pieces().len()) as u64;
+            let mut scratch = EngineScratch::new();
+            let s = sample(
+                || {
+                    let out = rvz_sim::try_first_contact_programs(
+                        &a,
+                        &b,
+                        case.radius,
+                        &case.opts,
+                        &mut scratch,
+                    )
+                    .expect("lower() proved the query resolves");
+                    (out, scratch.last_stats())
+                },
+                iters,
+            );
+            assert_eq!(
+                s.outcome, cursor.outcome,
+                "compiled engine disagrees on `{}`",
+                case.name
+            );
+            CompiledSample {
+                sample: s,
+                compile_ns,
+                pieces,
+            }
+        })
+    };
     CaseMeasurement {
         name: case.name,
         description: case.description,
         iters,
         generic,
         cursor,
+        compiled,
     }
 }
 
@@ -301,25 +405,323 @@ pub fn step_regressions(measurements: &[CaseMeasurement]) -> Vec<&'static str> {
         .collect()
 }
 
+// ------------------------------------------------------------------
+// Batch workloads: the amortized-lowering throughput metric.
+// ------------------------------------------------------------------
+
+/// One batch workload measured on the cursor path and the compiled path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMeasurement {
+    /// Stable identifier.
+    pub name: &'static str,
+    /// What the batch models.
+    pub description: &'static str,
+    /// Queries per run of either arm.
+    pub queries: u64,
+    /// Cursor-path nanoseconds per query.
+    pub cursor_ns_per_query: f64,
+    /// Cursor-path allocation calls per query.
+    pub cursor_allocs_per_query: u64,
+    /// Compiled-path nanoseconds per query **including** the amortized
+    /// lowering cost.
+    pub compiled_ns_per_query: f64,
+    /// Nanoseconds spent lowering per run (amortized into the above).
+    pub compile_ns: f64,
+    /// Total pieces across the lowered programs.
+    pub pieces: u64,
+    /// Compiled-path allocation calls per query after warmup (the
+    /// zero-allocation claim; 0 also when the allocator is absent — the
+    /// `alloc_gate` test provides the positive control).
+    pub allocs_per_query: u64,
+}
+
+impl BatchMeasurement {
+    /// Batch throughput speedup: cursor path over compiled path, with
+    /// lowering amortized.
+    pub fn speedup(&self) -> f64 {
+        self.cursor_ns_per_query / self.compiled_ns_per_query
+    }
+}
+
+/// Best-of-`iters` wall time of `f`, in nanoseconds.
+fn best_ns<F: FnMut()>(mut f: F, iters: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// The warm-cache batch: `rvz serve`'s steady state. A family of
+/// rendezvous scenarios is queried over and over; the compiled arm
+/// lowers each trajectory once (reference shared across the whole
+/// family) and reuses one scratch, the cursor arm rebuilds its cursors
+/// per query exactly as `simulate_rendezvous_by_ref` does today.
+pub fn measure_warm_batch(quick: bool) -> BatchMeasurement {
+    let rounds = if quick { 3 } else { 4 };
+    let horizon = rvz_search::times::rounds_total(rounds);
+    let opts = ContactOptions::with_horizon(horizon);
+    let reps: u64 = if quick { 32 } else { 96 };
+    let speeds = [0.5, 0.6, 0.75, 0.9, 1.1, 1.25];
+    let instances: Vec<rvz_model::RendezvousInstance> = speeds
+        .iter()
+        .map(|&v| {
+            rvz_model::RendezvousInstance::new(
+                Vec2::new(0.3, 0.85),
+                0.05,
+                RobotAttributes::reference().with_speed(v),
+            )
+            .expect("valid instance")
+        })
+        .collect();
+    let queries = reps * instances.len() as u64;
+    let iters = if quick { 3 } else { 5 };
+
+    // Cursor arm: cursors rebuilt per query (the status quo).
+    let run_cursor = || {
+        for _ in 0..reps {
+            for inst in &instances {
+                std::hint::black_box(simulate_rendezvous_by_ref(&UniversalSearch, inst, &opts));
+            }
+        }
+    };
+    run_cursor(); // warm-up
+    let (_, cursor_allocs) = crate::alloc::count(|| {
+        let inst = &instances[0];
+        std::hint::black_box(simulate_rendezvous_by_ref(&UniversalSearch, inst, &opts));
+    });
+    let cursor_total = best_ns(run_cursor, iters);
+
+    // Compiled arm: lower once, query many times.
+    let copts = CompileOptions::to_horizon(horizon).max_pieces(CASE_PIECE_BUDGET);
+    let compile_start = Instant::now();
+    let reference = UniversalSearch.compile(&copts).expect("covers the horizon");
+    let partners: Vec<CompiledProgram> = instances
+        .iter()
+        .map(|inst| {
+            rvz_sim::compile_rendezvous_partner(&UniversalSearch, inst, &copts)
+                .expect("covers the horizon")
+        })
+        .collect();
+    let compile_ns = compile_start.elapsed().as_nanos() as f64;
+    let pieces = (reference.pieces().len()
+        + partners.iter().map(|p| p.pieces().len()).sum::<usize>()) as u64;
+    let mut scratch = EngineScratch::new();
+    let run_compiled = |scratch: &mut EngineScratch| {
+        for _ in 0..reps {
+            for (inst, partner) in instances.iter().zip(&partners) {
+                std::hint::black_box(rvz_sim::first_contact_programs(
+                    &reference,
+                    partner,
+                    inst.visibility(),
+                    &opts,
+                    scratch,
+                ));
+            }
+        }
+    };
+    run_compiled(&mut scratch); // warm-up
+    let (_, allocs) = crate::alloc::count(|| {
+        std::hint::black_box(rvz_sim::first_contact_programs(
+            &reference,
+            &partners[0],
+            instances[0].visibility(),
+            &opts,
+            &mut scratch,
+        ));
+    });
+    let compiled_total = best_ns(|| run_compiled(&mut scratch), iters);
+
+    // Cross-check: both arms classify every scenario identically.
+    for (inst, partner) in instances.iter().zip(&partners) {
+        let cursor_out = simulate_rendezvous_by_ref(&UniversalSearch, inst, &opts);
+        let compiled_out = rvz_sim::first_contact_programs(
+            &reference,
+            partner,
+            inst.visibility(),
+            &opts,
+            &mut scratch,
+        );
+        assert_eq!(
+            cursor_out.classification(),
+            compiled_out.classification(),
+            "warm batch arms disagree at v = {}",
+            inst.attributes().speed()
+        );
+    }
+
+    BatchMeasurement {
+        name: "warm_batch_universal",
+        description: "6 Algorithm 4 rendezvous scenarios queried repeatedly (serve shape)",
+        queries,
+        cursor_ns_per_query: cursor_total / queries as f64,
+        cursor_allocs_per_query: cursor_allocs,
+        compiled_ns_per_query: (compiled_total + compile_ns) / queries as f64,
+        compile_ns,
+        pieces,
+        allocs_per_query: allocs,
+    }
+}
+
+/// The swarm batch: `n` robots lowered once, all `n(n−1)/2` pairwise
+/// first-contact queries — the `pairwise_meetings` shape, where the
+/// cursor arm boxes two `dyn` cursors per pair.
+pub fn measure_swarm_batch(quick: bool) -> BatchMeasurement {
+    // A shallow horizon keeps per-robot lowering cheap; the swarm's
+    // amortization argument is Θ(n²) queries over Θ(n) lowerings.
+    let horizon = rvz_search::times::rounds_total(3);
+    let opts = ContactOptions::with_horizon(horizon);
+    let radii = [0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1];
+    let n = if quick { 8 } else { 12 };
+    let robots: Vec<_> = (0..n)
+        .map(|i| {
+            let angle = std::f64::consts::TAU * i as f64 / n as f64;
+            RobotAttributes::reference()
+                .with_speed(0.5 + 0.1 * i as f64)
+                .frame_warp(UniversalSearch, Vec2::from_polar(3.0, angle))
+        })
+        .collect();
+    let queries = (radii.len() * n * (n - 1) / 2) as u64;
+    let iters = if quick { 3 } else { 5 };
+
+    let dyn_refs: Vec<&dyn MonotoneDyn> = robots.iter().map(|r| r as &dyn MonotoneDyn).collect();
+    let run_cursor = || {
+        for radius in radii {
+            std::hint::black_box(pairwise_meetings(&dyn_refs, radius, &opts));
+        }
+    };
+    run_cursor();
+    let (_, cursor_allocs_total) = crate::alloc::count(run_cursor);
+    let cursor_total = best_ns(run_cursor, iters);
+
+    let copts = CompileOptions::to_horizon(horizon).max_pieces(CASE_PIECE_BUDGET);
+    let compile_start = Instant::now();
+    let programs: Vec<CompiledProgram> = robots
+        .iter()
+        .map(|r| r.compile(&copts).expect("covers the horizon"))
+        .collect();
+    let compile_ns = compile_start.elapsed().as_nanos() as f64;
+    let pieces = programs.iter().map(|p| p.pieces().len()).sum::<usize>() as u64;
+    let mut scratch = EngineScratch::new();
+    let run_compiled = |scratch: &mut EngineScratch| {
+        for radius in radii {
+            std::hint::black_box(pairwise_meetings_programs(
+                &programs, radius, &opts, scratch,
+            ));
+        }
+    };
+    run_compiled(&mut scratch);
+    // Per-pair allocations after warmup: a single pair query (the table
+    // rows allocate in both arms; the engine itself must not).
+    let (_, allocs) = crate::alloc::count(|| {
+        std::hint::black_box(rvz_sim::first_contact_programs(
+            &programs[0],
+            &programs[1],
+            radii[0],
+            &opts,
+            &mut scratch,
+        ));
+    });
+    let compiled_total = best_ns(|| run_compiled(&mut scratch), iters);
+
+    let cursor_table = pairwise_meetings(&dyn_refs, radii[0], &opts);
+    let compiled_table = pairwise_meetings_programs(&programs, radii[0], &opts, &mut scratch);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert_eq!(
+                cursor_table[i][j].is_some(),
+                compiled_table[i][j].is_some(),
+                "swarm arms disagree on pair ({i}, {j})"
+            );
+        }
+    }
+
+    BatchMeasurement {
+        name: "swarm_pairwise",
+        description:
+            "warped Algorithm 4 swarm, pairwise meetings over a radius sweep (multi shape)",
+        queries,
+        cursor_ns_per_query: cursor_total / queries as f64,
+        cursor_allocs_per_query: cursor_allocs_total / queries,
+        compiled_ns_per_query: (compiled_total + compile_ns) / queries as f64,
+        compile_ns,
+        pieces,
+        allocs_per_query: allocs,
+    }
+}
+
+/// Both batch workloads.
+pub fn measure_batches(quick: bool) -> Vec<BatchMeasurement> {
+    vec![measure_warm_batch(quick), measure_swarm_batch(quick)]
+}
+
+// ------------------------------------------------------------------
+// Rendering.
+// ------------------------------------------------------------------
+
 fn json_sample(sample: &EngineSample) -> String {
     format!(
-        "{{\"ns_per_run\": {:.0}, \"steps\": {}, \"queries\": {}, \"pruned_intervals\": {}, \"envelope_queries\": {}, \"outcome\": \"{}\"}}",
+        "{{\"ns_per_run\": {:.0}, \"steps\": {}, \"queries\": {}, \"pruned_intervals\": {}, \"envelope_queries\": {}, \"allocs_per_query\": {}, \"outcome\": \"{}\"}}",
         sample.ns_per_run,
         sample.steps,
         sample.queries,
         sample.pruned_intervals,
         sample.envelope_queries,
+        sample.allocs_per_query,
         sample.outcome
     )
 }
 
-/// Renders the measurements as the `BENCH_engine.json` document.
+fn json_compiled(compiled: &Option<CompiledSample>) -> String {
+    match compiled {
+        None => "null".to_string(),
+        Some(c) => format!(
+            "{{\"ns_per_run\": {:.0}, \"steps\": {}, \"compile_ns\": {:.0}, \"pieces\": {}, \"allocs_per_query\": {}, \"outcome\": \"{}\"}}",
+            c.sample.ns_per_run,
+            c.sample.steps,
+            c.compile_ns,
+            c.pieces,
+            c.sample.allocs_per_query,
+            c.sample.outcome
+        ),
+    }
+}
+
+fn json_batch(b: &BatchMeasurement) -> String {
+    format!(
+        concat!(
+            "{{\"name\": \"{}\", \"description\": \"{}\", \"queries\": {}, ",
+            "\"cursor_ns_per_query\": {:.0}, \"cursor_allocs_per_query\": {}, ",
+            "\"compiled_ns_per_query\": {:.0}, \"compile_ns\": {:.0}, \"pieces\": {}, ",
+            "\"allocs_per_query\": {}, \"speedup\": {:.2}}}"
+        ),
+        b.name,
+        b.description,
+        b.queries,
+        b.cursor_ns_per_query,
+        b.cursor_allocs_per_query,
+        b.compiled_ns_per_query,
+        b.compile_ns,
+        b.pieces,
+        b.allocs_per_query,
+        b.speedup(),
+    )
+}
+
+/// Renders the measurements as the `BENCH_engine.json` document
+/// (schema v3: per-case compiled samples plus the batch workloads).
 ///
 /// Hand-rolled JSON (the workspace is dependency-free); the schema is
 /// versioned so future PRs can extend it without breaking consumers.
-pub fn render_json(measurements: &[CaseMeasurement], quick: bool) -> String {
+pub fn render_json(
+    measurements: &[CaseMeasurement],
+    batches: &[BatchMeasurement],
+    quick: bool,
+) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rvz-bench-engine/v2\",\n");
+    out.push_str("  \"schema\": \"rvz-bench-engine/v3\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -327,14 +729,24 @@ pub fn render_json(measurements: &[CaseMeasurement], quick: bool) -> String {
     out.push_str("  \"cases\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"description\": \"{}\", \"iters\": {}, \"generic\": {}, \"cursor\": {}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"description\": \"{}\", \"iters\": {}, \"generic\": {}, \"cursor\": {}, \"compiled\": {}, \"speedup\": {:.2}}}{}\n",
             m.name,
             m.description,
             m.iters,
             json_sample(&m.generic),
             json_sample(&m.cursor),
+            json_compiled(&m.compiled),
             m.speedup(),
             if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"batches\": [\n");
+    for (i, b) in batches.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            json_batch(b),
+            if i + 1 == batches.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -359,6 +771,31 @@ pub fn grazing_summary(measurements: &[CaseMeasurement]) -> String {
     )
 }
 
+/// The sweep/batch acceptance metric: the warm-cache batch's
+/// throughput speedup (compiled vs cursor, lowering amortized) — the
+/// shape the sweep executor and `rvz serve` actually run. Held to
+/// ≥ 2x. The swarm batch is reported alongside; its queries are short
+/// enough that lowering amortizes over Θ(n²)/Θ(n) more slowly.
+pub fn batch_acceptance_speedup(batches: &[BatchMeasurement]) -> f64 {
+    batches
+        .iter()
+        .find(|b| b.name == "warm_batch_universal")
+        .map_or(f64::NAN, BatchMeasurement::speedup)
+}
+
+/// One-line summary of the batch workloads for bench output.
+pub fn batch_summary(batches: &[BatchMeasurement]) -> String {
+    let detail: Vec<String> = batches
+        .iter()
+        .map(|b| format!("{} {:.2}x", b.name, b.speedup()))
+        .collect();
+    format!(
+        "sweep/batch workload speedup: {:.2}x (target: >= 2x; {})",
+        batch_acceptance_speedup(batches),
+        detail.join(", ")
+    )
+}
+
 /// Renders the measurements as a fixed-width table (the bench binary's
 /// output).
 pub fn render_table(measurements: &[CaseMeasurement]) -> String {
@@ -371,9 +808,20 @@ pub fn render_table(measurements: &[CaseMeasurement]) -> String {
         "cursor steps",
         "pruned",
         "env queries",
+        "compiled ns",
+        "pieces",
+        "allocs",
         "speedup",
     ]);
     for m in measurements {
+        let (compiled_ns, pieces, allocs) = match &m.compiled {
+            Some(c) => (
+                format!("{:.0}", c.sample.ns_per_run),
+                c.pieces.to_string(),
+                c.sample.allocs_per_query.to_string(),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
         table.row_owned(vec![
             m.name.to_string(),
             m.generic.outcome.to_string(),
@@ -383,7 +831,37 @@ pub fn render_table(measurements: &[CaseMeasurement]) -> String {
             m.cursor.steps.to_string(),
             m.cursor.pruned_intervals.to_string(),
             m.cursor.envelope_queries.to_string(),
+            compiled_ns,
+            pieces,
+            allocs,
             format!("{:.2}x", m.speedup()),
+        ]);
+    }
+    table.render()
+}
+
+/// Renders the batch workloads as a fixed-width table.
+pub fn render_batch_table(batches: &[BatchMeasurement]) -> String {
+    let mut table = crate::Table::new(&[
+        "batch",
+        "queries",
+        "cursor ns/q",
+        "compiled ns/q",
+        "compile ns",
+        "pieces",
+        "allocs/q",
+        "speedup",
+    ]);
+    for b in batches {
+        table.row_owned(vec![
+            b.name.to_string(),
+            b.queries.to_string(),
+            format!("{:.0}", b.cursor_ns_per_query),
+            format!("{:.0}", b.compiled_ns_per_query),
+            format!("{:.0}", b.compile_ns),
+            b.pieces.to_string(),
+            b.allocs_per_query.to_string(),
+            format!("{:.2}x", b.speedup()),
         ]);
     }
     table.render()
@@ -400,9 +878,14 @@ mod tests {
         for m in &measurements {
             assert_eq!(m.generic.outcome, m.cursor.outcome, "{}", m.name);
             assert!(m.generic.ns_per_run > 0.0 && m.cursor.ns_per_run > 0.0);
+            if let Some(c) = &m.compiled {
+                assert_eq!(c.sample.outcome, m.cursor.outcome, "{}", m.name);
+                assert!(c.pieces > 0 || c.sample.outcome == "horizon");
+            }
         }
         // The grazing cases are the ones the fast path exists for: the
-        // cursor engine must use orders of magnitude fewer steps.
+        // cursor engine must use orders of magnitude fewer steps, and
+        // the trivially piecewise pairs must lower.
         for name in ["grazing_near_miss", "grazing_contact"] {
             let m = measurements.iter().find(|m| m.name == name).unwrap();
             assert!(
@@ -411,7 +894,14 @@ mod tests {
                 m.cursor.steps,
                 m.generic.steps
             );
+            assert!(m.compiled.is_some(), "{name} must lower");
         }
+        // The spiral is the escape hatch: it must *not* lower.
+        let spiral = measurements
+            .iter()
+            .find(|m| m.name == "spiral_search")
+            .unwrap();
+        assert!(spiral.compiled.is_none(), "the spiral has no closed form");
         // The step-fix satellite: the cursor engine must never take more
         // steps than the seed loop, with or without pruning.
         assert!(step_regressions(&measurements).is_empty());
@@ -430,33 +920,84 @@ mod tests {
     }
 
     #[test]
+    fn batch_workloads_run_and_cross_check() {
+        for b in measure_batches(true) {
+            assert!(b.queries > 0);
+            assert!(b.cursor_ns_per_query > 0.0 && b.compiled_ns_per_query > 0.0);
+            assert!(b.pieces > 0);
+            assert!(b.speedup().is_finite());
+        }
+    }
+
+    #[test]
     fn json_is_well_formed_enough() {
-        let measurements = vec![CaseMeasurement {
-            name: "x",
-            description: "y",
-            iters: 1,
-            generic: EngineSample {
-                ns_per_run: 10.0,
-                steps: 5,
-                queries: 12,
-                outcome: "contact",
-                pruned_intervals: 0,
-                envelope_queries: 0,
+        let sample = EngineSample {
+            ns_per_run: 10.0,
+            steps: 5,
+            queries: 12,
+            outcome: "contact",
+            pruned_intervals: 0,
+            envelope_queries: 0,
+            allocs_per_query: 4,
+        };
+        let measurements = vec![
+            CaseMeasurement {
+                name: "x",
+                description: "y",
+                iters: 1,
+                generic: sample,
+                cursor: EngineSample {
+                    ns_per_run: 5.0,
+                    steps: 1,
+                    queries: 4,
+                    outcome: "contact",
+                    pruned_intervals: 3,
+                    envelope_queries: 8,
+                    allocs_per_query: 2,
+                },
+                compiled: Some(CompiledSample {
+                    sample: EngineSample {
+                        ns_per_run: 2.0,
+                        steps: 1,
+                        queries: 4,
+                        outcome: "contact",
+                        pruned_intervals: 3,
+                        envelope_queries: 8,
+                        allocs_per_query: 0,
+                    },
+                    compile_ns: 100.0,
+                    pieces: 42,
+                }),
             },
-            cursor: EngineSample {
-                ns_per_run: 5.0,
-                steps: 1,
-                queries: 4,
-                outcome: "contact",
-                pruned_intervals: 3,
-                envelope_queries: 8,
+            CaseMeasurement {
+                name: "curved",
+                description: "z",
+                iters: 1,
+                generic: sample,
+                cursor: sample,
+                compiled: None,
             },
+        ];
+        let batches = vec![BatchMeasurement {
+            name: "warm",
+            description: "w",
+            queries: 48,
+            cursor_ns_per_query: 1000.0,
+            cursor_allocs_per_query: 7,
+            compiled_ns_per_query: 400.0,
+            compile_ns: 5000.0,
+            pieces: 1234,
+            allocs_per_query: 0,
         }];
-        let json = render_json(&measurements, true);
-        assert!(json.contains("\"schema\": \"rvz-bench-engine/v2\""));
-        assert!(json.contains("\"pruned_intervals\": 3"));
+        let json = render_json(&measurements, &batches, true);
+        assert!(json.contains("\"schema\": \"rvz-bench-engine/v3\""));
+        assert!(json.contains("\"compile_ns\": 100"));
+        assert!(json.contains("\"pieces\": 42"));
+        assert!(json.contains("\"allocs_per_query\": 0"));
+        assert!(json.contains("\"compiled\": null"));
+        assert!(json.contains("\"batches\""));
+        assert!(json.contains("\"speedup\": 2.50"));
         assert!(json.contains("\"mode\": \"quick\""));
-        assert!(json.contains("\"speedup\": 2.00"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -471,5 +1012,9 @@ mod tests {
         for case in engine_cases(true, true) {
             assert!(table.contains(case.name));
         }
+        let batches = measure_batches(true);
+        let batch_table = render_batch_table(&batches);
+        assert!(batch_table.contains("warm_batch_universal"));
+        assert!(batch_table.contains("swarm_pairwise"));
     }
 }

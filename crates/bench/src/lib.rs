@@ -9,6 +9,7 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod alloc;
 pub mod engine;
 pub mod serve;
 

@@ -69,6 +69,7 @@ impl LoadtestConfig {
                     max_steps: 500_000,
                     ..ContactOptions::default()
                 },
+                ..rvz_experiments::SweepOptions::default()
             },
             ..ServiceOptions::default()
         }

@@ -491,6 +491,34 @@ impl MonotoneTrajectory for WaitAndSearch {
     }
 }
 
+impl rvz_trajectory::Compile for WaitAndSearch {
+    /// Phase edges and `Search(k)` block starts — the Algorithm 7
+    /// hierarchy the compiled engine seeds its pruning windows with.
+    fn round_marks(&self, horizon: f64) -> Vec<f64> {
+        let mut marks = Vec::new();
+        for n in 1..=MAX_PHASE_ROUND {
+            let i_n = PhaseSchedule::inactive_start(n);
+            if i_n > horizon {
+                break;
+            }
+            marks.push(i_n);
+            let a_n = PhaseSchedule::active_start(n);
+            if a_n > horizon {
+                continue;
+            }
+            let s_n = PhaseSchedule::search_all_duration(n);
+            for k in 1..=n {
+                // Forward block Search(k) starts at A(n) + F(k−1); its
+                // reverse twin starts at A(n) + S(n) + (S(n) − F(k)).
+                marks.push(a_n + times::rounds_total(k - 1));
+                marks.push(a_n + s_n + (s_n - times::rounds_total(k)));
+            }
+            marks.push(a_n + s_n);
+        }
+        marks
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

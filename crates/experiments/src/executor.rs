@@ -1,33 +1,43 @@
 //! The parallel batch executor: fan a scenario batch out across threads.
 //!
 //! Each scenario is an independent pure computation (build the instance,
-//! run the conservative-advancement engine), so the executor is a plain
-//! work-stealing loop over a shared atomic cursor: every worker pops the
-//! next unclaimed scenario index, simulates it, and keeps the result in a
+//! run the contact engine), so the executor is a plain work-stealing
+//! loop over a shared atomic cursor: every worker pops the next
+//! unclaimed scenario index, simulates it, and keeps the result in a
 //! thread-local buffer tagged with the scenario id. After the scoped
 //! threads join, the buffers are merged back into id order.
 //!
-//! Two properties follow by construction:
+//! Three properties follow by construction:
 //!
 //! * **Schedule independence** — a record depends only on its scenario,
 //!   never on which worker ran it or in what order, so the merged output
 //!   is *identical* for every thread count (this is tested, and it is
 //!   what makes sweep artifacts diffable across machines);
-//! * **Allocation-free hot path** — workers pre-build one algorithm value
-//!   and reuse it by reference via [`rvz_sim::batch`]; the engine itself
-//!   holds no buffers, so the per-instance cost is pure arithmetic. Each
-//!   scenario builds its two monotone cursors exactly once and then runs
-//!   on the engine's analytic fast path (closed-form contact on straight
-//!   legs and waits, amortized-O(1) position queries elsewhere) — the
-//!   random-access indexing of `Path`/Algorithm 7 is never re-derived
-//!   per query.
+//! * **Compiled fast path** — each worker lowers the common algorithm to
+//!   a [`CompiledProgram`] **once** and
+//!   reuses one [`EngineScratch`] across its whole batch; per scenario
+//!   only the partner's frame-warped program is lowered, and the query
+//!   runs on `rvz_sim`'s monomorphic zero-allocation engine. Whether the
+//!   compiled path applies is itself deterministic (it depends only on
+//!   the options and the scenario), so schedule independence survives.
+//!   When the reference lowering cannot cover the horizon within the
+//!   piece budget (deep dyadic rounds hold Θ(4ᵏ) segments), the worker
+//!   falls back to the monotone-cursor path wholesale — the escape hatch
+//!   and reference implementation;
+//! * **Orbit dedup** (opt-in, [`run_sweep_deduped`]) — scenarios are
+//!   collapsed through the exact role-swap canonicalization before
+//!   running, each orbit simulates once, and twins receive the
+//!   representative's record mapped back through the orbit's
+//!   [`OutcomeTransform`](crate::OutcomeTransform).
 
+use crate::canonical::DEFAULT_GRID;
 use crate::scenario::{Algorithm, Scenario};
 use rvz_core::WaitAndSearch;
 use rvz_model::{feasibility, Feasibility};
 use rvz_search::UniversalSearch;
-use rvz_sim::batch::simulate_rendezvous_by_ref;
-use rvz_sim::{ContactOptions, SimOutcome};
+use rvz_sim::batch::{simulate_rendezvous_by_ref, try_simulate_rendezvous_compiled};
+use rvz_sim::{ContactOptions, EngineScratch, SimOutcome};
+use rvz_trajectory::{Compile, CompileOptions, CompiledProgram};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Tuning for [`run_sweep`].
@@ -42,6 +52,16 @@ pub struct SweepOptions {
     /// default step budget is 300 000, which bounds the time spent
     /// *disproving* contact for infeasible (twin) scenarios.
     pub contact: ContactOptions,
+    /// Piece budget for the compiled fast path (`0` disables it).
+    ///
+    /// Each worker lowers the common algorithm once under this budget;
+    /// if the lowering covers the horizon, scenarios run on the
+    /// monomorphic program engine (partner lowered per scenario, scratch
+    /// reused across the batch) and fall back to the cursor path only
+    /// when a query outruns its partner's covered span. If even the
+    /// reference cannot cover the horizon — deep schedules hold Θ(4ᵏ)
+    /// segments per round — the whole batch stays on the cursor path.
+    pub compile_pieces: usize,
 }
 
 impl Default for SweepOptions {
@@ -54,6 +74,7 @@ impl Default for SweepOptions {
                 max_steps: 300_000,
                 ..ContactOptions::default()
             },
+            compile_pieces: 32_768,
         }
     }
 }
@@ -121,16 +142,91 @@ impl SweepRecord {
     }
 }
 
-/// Runs one scenario with a caller-provided algorithm value, reused by
-/// reference.
-fn run_one(scenario: &Scenario, opts: &ContactOptions) -> SweepRecord {
+/// Per-worker state: the lazily compiled reference programs (one per
+/// algorithm) and the reusable engine scratch.
+struct WorkerState {
+    /// `None` = not attempted yet; `Some(None)` = lowering cannot cover
+    /// the horizon under the budget (cursor path for the whole batch);
+    /// `Some(Some(p))` = the shared reference program.
+    reference: [Option<Option<CompiledProgram>>; 2],
+    compile: Option<CompileOptions>,
+    scratch: EngineScratch,
+}
+
+impl WorkerState {
+    fn new(opts: &SweepOptions) -> Self {
+        WorkerState {
+            reference: [None, None],
+            compile: (opts.compile_pieces > 0).then(|| {
+                CompileOptions::to_horizon(opts.contact.horizon).max_pieces(opts.compile_pieces)
+            }),
+            scratch: EngineScratch::new(),
+        }
+    }
+
+    /// The compiled fast-path attempt; `None` hands the scenario to the
+    /// cursor path. Deterministic per scenario: compile success and
+    /// coverage depend only on the options.
+    fn try_compiled(
+        &mut self,
+        scenario: &Scenario,
+        instance: &rvz_model::RendezvousInstance,
+        contact: &ContactOptions,
+    ) -> Option<SimOutcome> {
+        let copts = self.compile?;
+        let slot = match scenario.algorithm {
+            Algorithm::WaitAndSearch => 0,
+            Algorithm::UniversalSearch => 1,
+        };
+        if self.reference[slot].is_none() {
+            let compiled = match scenario.algorithm {
+                Algorithm::WaitAndSearch => WaitAndSearch.compile(&copts),
+                Algorithm::UniversalSearch => UniversalSearch.compile(&copts),
+            };
+            // Only keep lowerings that cover the horizon: a truncated
+            // reference would pay a per-scenario partner lowering only
+            // to refuse every disproof-shaped query.
+            self.reference[slot] = Some(compiled.ok().filter(|p| p.covers(contact.horizon)));
+        }
+        let reference = self.reference[slot]
+            .as_ref()
+            .expect("filled above")
+            .as_ref()?;
+        match scenario.algorithm {
+            Algorithm::WaitAndSearch => try_simulate_rendezvous_compiled(
+                reference,
+                &WaitAndSearch,
+                instance,
+                contact,
+                &copts,
+                &mut self.scratch,
+            ),
+            Algorithm::UniversalSearch => try_simulate_rendezvous_compiled(
+                reference,
+                &UniversalSearch,
+                instance,
+                contact,
+                &copts,
+                &mut self.scratch,
+            ),
+        }
+    }
+}
+
+/// Runs one scenario: the compiled fast path when it applies, the
+/// monotone-cursor path otherwise.
+fn run_one(scenario: &Scenario, opts: &ContactOptions, state: &mut WorkerState) -> SweepRecord {
     let instance = scenario
         .instance()
         .expect("generators only produce valid scenarios");
-    let outcome = match scenario.algorithm {
-        Algorithm::WaitAndSearch => simulate_rendezvous_by_ref(&WaitAndSearch, &instance, opts),
-        Algorithm::UniversalSearch => simulate_rendezvous_by_ref(&UniversalSearch, &instance, opts),
-    };
+    let outcome = state
+        .try_compiled(scenario, &instance, opts)
+        .unwrap_or_else(|| match scenario.algorithm {
+            Algorithm::WaitAndSearch => simulate_rendezvous_by_ref(&WaitAndSearch, &instance, opts),
+            Algorithm::UniversalSearch => {
+                simulate_rendezvous_by_ref(&UniversalSearch, &instance, opts)
+            }
+        });
     SweepRecord {
         scenario: *scenario,
         feasibility: feasibility(instance.attributes()),
@@ -164,9 +260,10 @@ fn run_one(scenario: &Scenario, opts: &ContactOptions) -> SweepRecord {
 pub fn run_sweep(scenarios: &[Scenario], opts: &SweepOptions) -> Vec<SweepRecord> {
     let threads = opts.effective_threads().min(scenarios.len()).max(1);
     if threads == 1 {
+        let mut state = WorkerState::new(opts);
         return scenarios
             .iter()
-            .map(|s| run_one(s, &opts.contact))
+            .map(|s| run_one(s, &opts.contact, &mut state))
             .collect();
     }
 
@@ -176,15 +273,15 @@ pub fn run_sweep(scenarios: &[Scenario], opts: &SweepOptions) -> Vec<SweepRecord
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let cursor = &cursor;
-                let contact = &opts.contact;
                 scope.spawn(move || {
+                    let mut state = WorkerState::new(opts);
                     let mut local = Vec::with_capacity(scenarios.len() / threads + 1);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(scenario) = scenarios.get(i) else {
                             return local;
                         };
-                        local.push((i, run_one(scenario, contact)));
+                        local.push((i, run_one(scenario, &opts.contact, &mut state)));
                     }
                 })
             })
@@ -201,6 +298,104 @@ pub fn run_sweep(scenarios: &[Scenario], opts: &SweepOptions) -> Vec<SweepRecord
     out.into_iter()
         .map(|r| r.expect("every scenario index was claimed exactly once"))
         .collect()
+}
+
+/// How much an orbit-deduplicated sweep collapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Scenarios in the input batch.
+    pub scenarios: usize,
+    /// Distinct orbit representatives actually simulated.
+    pub representatives: usize,
+}
+
+impl DedupStats {
+    /// `scenarios / representatives` — `1.0` means nothing collapsed.
+    pub fn ratio(&self) -> f64 {
+        if self.representatives == 0 {
+            1.0
+        } else {
+            self.scenarios as f64 / self.representatives as f64
+        }
+    }
+}
+
+/// [`run_sweep`] with exact-symmetry orbit deduplication: scenarios are
+/// collapsed through [`crate::canonicalize`] (the role-swap gauge plus
+/// power-of-two-grid quantization — the same reduction that keys the
+/// `rvz serve` cache), only the orbit representatives are simulated, and
+/// each twin's record is the representative's outcome mapped back
+/// through the orbit's exact [`OutcomeTransform`](crate::OutcomeTransform)
+/// (time × τ, distance × v·τ).
+///
+/// Note this is the **exact** outcome-level orbit, not the coarser
+/// verdict-level [`crate::orbit_key`]: the latter quotients away the
+/// placement, under which only the feasibility verdict — not the contact
+/// time — is invariant, so reusing records across *that* orbit would be
+/// unsound.
+///
+/// **Engine options apply in the canonical frame** (the same semantics
+/// as the `rvz serve` cache): the representative always carries the
+/// *smaller* clock of its orbit (`τ_rep = min(τ, 1/τ) ≤ 1`), so a
+/// swapped twin's mapped window spans `τ·horizon ≥ horizon` — windows
+/// only ever *extend*, never shrink. Consequently a deduplicated
+/// record can upgrade a near-miss `Horizon` into a `Contact` whose
+/// time lies past the nominal horizon (the contact is real; the plain
+/// run simply stopped looking sooner), and can differ from the plain
+/// [`run_sweep`] record by grid round-off (`2⁻³⁰` by default).
+/// Feasibility verdicts and Theorem 4 consistency are unaffected:
+/// infeasible orbits never contact at any horizon, and extra contacts
+/// on feasible orbits only *increase* agreement.
+///
+/// # Panics
+///
+/// As for [`run_sweep`].
+pub fn run_sweep_deduped(
+    scenarios: &[Scenario],
+    opts: &SweepOptions,
+    grid: f64,
+) -> (Vec<SweepRecord>, DedupStats) {
+    let canonicals: Vec<crate::Canonical> =
+        scenarios.iter().map(|s| s.canonicalize(grid)).collect();
+    let mut representatives: Vec<Scenario> = Vec::new();
+    let mut index: std::collections::HashMap<crate::CacheKey, usize> =
+        std::collections::HashMap::new();
+    let mut slot: Vec<usize> = Vec::with_capacity(scenarios.len());
+    for c in &canonicals {
+        let j = *index.entry(c.key).or_insert_with(|| {
+            let mut rep = c.scenario;
+            rep.id = representatives.len() as u64;
+            representatives.push(rep);
+            representatives.len() - 1
+        });
+        slot.push(j);
+    }
+    let computed = run_sweep(&representatives, opts);
+    let records = scenarios
+        .iter()
+        .zip(&canonicals)
+        .zip(&slot)
+        .map(|((s, c), &j)| SweepRecord {
+            scenario: *s,
+            feasibility: feasibility(&s.attributes()),
+            outcome: c.transform.apply(computed[j].outcome),
+        })
+        .collect();
+    (
+        records,
+        DedupStats {
+            scenarios: scenarios.len(),
+            representatives: representatives.len(),
+        },
+    )
+}
+
+/// [`run_sweep_deduped`] with the standard cache grid ([`DEFAULT_GRID`]).
+pub fn run_sweep_deduped_default(
+    scenarios: &[Scenario],
+    opts: &SweepOptions,
+) -> (Vec<SweepRecord>, DedupStats) {
+    run_sweep_deduped(scenarios, opts, DEFAULT_GRID)
 }
 
 #[cfg(test)]
@@ -238,6 +433,53 @@ mod tests {
             },
         );
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn compiled_and_cursor_paths_classify_identically() {
+        // A horizon the reference lowering covers within budget: the
+        // compiled path engages; with compile_pieces = 0 it cannot. Both
+        // runs must classify every scenario the same way.
+        let scenarios = ScenarioGrid::new()
+            .algorithms(&[crate::Algorithm::UniversalSearch])
+            .speeds(&[0.5, 1.0])
+            .clocks(&[1.0])
+            .orientations(&[0.0, 1.3])
+            .distances(&[0.9])
+            .visibilities(&[0.25])
+            .build();
+        let base = SweepOptions {
+            threads: 1,
+            contact: ContactOptions {
+                horizon: rvz_search::times::rounds_total(4),
+                max_steps: 300_000,
+                ..ContactOptions::default()
+            },
+            ..SweepOptions::default()
+        };
+        let compiled = run_sweep(&scenarios, &base);
+        let cursor = run_sweep(
+            &scenarios,
+            &SweepOptions {
+                compile_pieces: 0,
+                ..base
+            },
+        );
+        for (a, b) in compiled.iter().zip(&cursor) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(
+                a.outcome.classification(),
+                b.outcome.classification(),
+                "{:?}: {} vs {}",
+                a.scenario,
+                a.outcome,
+                b.outcome
+            );
+            if let (Some(ta), Some(tb)) = (a.outcome.contact_time(), b.outcome.contact_time()) {
+                assert!((ta - tb).abs() <= 1e-6 * (1.0 + tb.abs()), "{ta} vs {tb}");
+            }
+            assert_eq!(a.consistent(), b.consistent());
+        }
     }
 
     #[test]
@@ -306,5 +548,118 @@ mod tests {
             },
         );
         assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn dedup_collapses_role_swap_twins_and_maps_outcomes_back() {
+        // A scenario plus its exact role-swap twin: one representative.
+        let base = ScenarioGrid::new()
+            .speeds(&[0.5])
+            .distances(&[0.9])
+            .visibilities(&[0.25])
+            .build()[0];
+        let (twin, _) = base.role_swap();
+        let batch = vec![
+            base,
+            Scenario { id: 1, ..twin },
+            Scenario {
+                id: 2,
+                speed: 0.75,
+                ..base
+            },
+        ];
+        let opts = SweepOptions {
+            threads: 1,
+            ..SweepOptions::default()
+        };
+        let (records, stats) = run_sweep_deduped_default(&batch, &opts);
+        assert_eq!(stats.scenarios, 3);
+        assert_eq!(stats.representatives, 2, "twins must share one orbit");
+        assert!(stats.ratio() > 1.4);
+        assert_eq!(records.len(), 3);
+        for (r, s) in records.iter().zip(&batch) {
+            assert_eq!(r.scenario, *s, "records keep the original scenarios");
+            assert!(r.consistent(), "{:?} -> {}", r.scenario, r.outcome);
+        }
+        // The twin's contact time is the representative's mapped through
+        // the exact transform: time × τ (τ = 1 here ⇒ distances × v·τ).
+        let plain = run_sweep(&batch, &opts);
+        for (d, p) in records.iter().zip(&plain) {
+            assert_eq!(
+                d.outcome.classification(),
+                p.outcome.classification(),
+                "{:?}",
+                d.scenario
+            );
+            if let (Some(td), Some(tp)) = (d.outcome.contact_time(), p.outcome.contact_time()) {
+                assert!(
+                    (td - tp).abs() <= 1e-6 * (1.0 + tp.abs()),
+                    "dedup moved a contact: {td} vs {tp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_windows_only_extend_never_lose_contacts() {
+        // τ > 1 scenarios canonicalize to their swapped representative
+        // (τ_rep = 1/τ < 1); the mapped window spans τ·horizon, so the
+        // deduplicated run may *add* a contact past the nominal horizon
+        // but must never lose one the plain run found — and the verdict
+        // agreement must survive either way.
+        let scenarios: Vec<Scenario> = [(0.7, 2.0), (1.0, 1.6), (0.9, 3.0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(speed, clock))| Scenario {
+                id: i as u64,
+                speed,
+                time_unit: clock,
+                orientation: 0.8,
+                distance: 1.5,
+                visibility: 0.2,
+                ..ScenarioGrid::new().build()[0]
+            })
+            .collect();
+        let opts = SweepOptions {
+            threads: 1,
+            contact: rvz_sim::ContactOptions {
+                horizon: rvz_search::times::rounds_total(3),
+                max_steps: 200_000,
+                ..rvz_sim::ContactOptions::default()
+            },
+            ..SweepOptions::default()
+        };
+        let plain = run_sweep(&scenarios, &opts);
+        let (deduped, _) = run_sweep_deduped_default(&scenarios, &opts);
+        for (p, d) in plain.iter().zip(&deduped) {
+            assert!(
+                d.outcome.is_contact() || !p.outcome.is_contact(),
+                "dedup lost a contact: plain {} vs dedup {} ({:?})",
+                p.outcome,
+                d.outcome,
+                p.scenario
+            );
+            assert!(d.consistent(), "{:?} -> {}", d.scenario, d.outcome);
+            if let (Some(tp), Some(td)) = (p.outcome.contact_time(), d.outcome.contact_time()) {
+                assert!((tp - td).abs() <= 1e-6 * (1.0 + tp), "{tp} vs {td}");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_of_distinct_orbits_is_identity() {
+        let scenarios = ScenarioGrid::new()
+            .speeds(&[0.5, 0.75])
+            .distances(&[0.9])
+            .visibilities(&[0.25])
+            .build();
+        let opts = SweepOptions {
+            threads: 1,
+            ..SweepOptions::default()
+        };
+        let (records, stats) = run_sweep_deduped_default(&scenarios, &opts);
+        assert_eq!(stats.representatives, 2);
+        assert!((stats.ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(records.len(), 2);
     }
 }

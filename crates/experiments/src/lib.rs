@@ -59,7 +59,9 @@ pub use canonical::{
     canonicalize, orbit_key, role_swap, snap_grid, CacheKey, Canonical, OrbitKey, OutcomeTransform,
     DEFAULT_GRID,
 };
-pub use executor::{run_sweep, SweepOptions, SweepRecord};
+pub use executor::{
+    run_sweep, run_sweep_deduped, run_sweep_deduped_default, DedupStats, SweepOptions, SweepRecord,
+};
 pub use json::Json;
 pub use report::{
     breaker_token, outcome_token, percentile, record_from_json, record_to_json, scenario_from_json,

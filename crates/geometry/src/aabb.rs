@@ -1,0 +1,198 @@
+//! Axis-aligned bounding boxes — the branchless envelope currency of
+//! the compiled contact engine.
+//!
+//! The cursor engine's swept envelopes are [`Disk`]s because schedule
+//! hierarchies have closed-form *radial* bounds. The compiled engine
+//! instead unions thousands of per-piece certificates through a baked
+//! tree, where the operation count dominates: an [`Aabb`] union is four
+//! branchless min/max instructions (a disk union needs a square root
+//! and a division), and a whole envelope *pair* test costs a single
+//! square root at the very end ([`Aabb::gap`]).
+//!
+//! The empty box (`min = +∞`, `max = −∞`) is the union identity, so
+//! tree nodes need no `Option` wrapper.
+
+use crate::disk::Disk;
+use crate::vec2::Vec2;
+use std::fmt;
+
+/// A closed axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]`.
+///
+/// # Example
+///
+/// ```
+/// use rvz_geometry::{Aabb, Vec2};
+///
+/// let a = Aabb::point(Vec2::ZERO).union(&Aabb::point(Vec2::new(1.0, 2.0)));
+/// assert!(a.contains(Vec2::new(0.5, 1.0), 0.0));
+/// let b = Aabb::point(Vec2::new(4.0, 2.0));
+/// assert_eq!(a.gap(&b), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Lower-left corner.
+    pub min: Vec2,
+    /// Upper-right corner.
+    pub max: Vec2,
+}
+
+impl Aabb {
+    /// The empty box: the identity of [`Aabb::union`], containing no
+    /// points (`gap` to anything is `+∞`).
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec2 {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Vec2 {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+    };
+
+    /// The degenerate box holding a single point.
+    pub fn point(p: Vec2) -> Aabb {
+        Aabb { min: p, max: p }
+    }
+
+    /// The box spanning two points (in any order per axis).
+    pub fn spanning(a: Vec2, b: Vec2) -> Aabb {
+        Aabb {
+            min: Vec2::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Vec2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The tight box around a disk (`center ± radius`).
+    pub fn from_disk(d: &Disk) -> Aabb {
+        let r = Vec2::new(d.radius, d.radius);
+        Aabb {
+            min: d.center - r,
+            max: d.center + r,
+        }
+    }
+
+    /// `true` for the empty box.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// The smallest box containing both — four branchless min/max ops.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: Vec2::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Vec2::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// The box grown by `margin` on every side.
+    pub fn expanded(&self, margin: f64) -> Aabb {
+        debug_assert!(margin >= 0.0, "margin must be >= 0, got {margin}");
+        let m = Vec2::new(margin, margin);
+        Aabb {
+            min: self.min - m,
+            max: self.max + m,
+        }
+    }
+
+    /// The distance between the two boxes as point sets (0 when they
+    /// touch or overlap, `+∞` when either is empty) — the separation
+    /// certificate of the compiled engine, one square root per call.
+    #[inline]
+    pub fn gap(&self, other: &Aabb) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return f64::INFINITY;
+        }
+        let dx = (other.min.x - self.max.x)
+            .max(self.min.x - other.max.x)
+            .max(0.0);
+        let dy = (other.min.y - self.max.y)
+            .max(self.min.y - other.max.y)
+            .max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// `true` when `p` lies inside the box, allowing `slack` of
+    /// floating-point leakage.
+    pub fn contains(&self, p: Vec2, slack: f64) -> bool {
+        p.x >= self.min.x - slack
+            && p.x <= self.max.x + slack
+            && p.y >= self.min.y - slack
+            && p.y <= self.max.y + slack
+    }
+
+    /// The smallest disk containing the box (for interoperating with
+    /// the [`Disk`]-based cursor envelope contract; empty boxes map to
+    /// a point at the origin with radius 0 — only reachable through
+    /// empty programs, which the engines never query).
+    pub fn to_disk(&self) -> Disk {
+        if self.is_empty() {
+            return Disk::point(Vec2::ZERO);
+        }
+        let center = self.min.lerp(self.max, 0.5);
+        Disk::new(center, center.distance(self.max))
+    }
+}
+
+impl fmt::Display for Aabb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B[{}, {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_union_identity() {
+        let b = Aabb::spanning(Vec2::ZERO, Vec2::new(2.0, 1.0));
+        assert_eq!(Aabb::EMPTY.union(&b), b);
+        assert_eq!(b.union(&Aabb::EMPTY), b);
+        assert!(Aabb::EMPTY.is_empty());
+        assert_eq!(Aabb::EMPTY.gap(&b), f64::INFINITY);
+    }
+
+    #[test]
+    fn gap_matches_geometry() {
+        let a = Aabb::spanning(Vec2::ZERO, Vec2::new(1.0, 1.0));
+        // Diagonal separation: corner (1,1) to corner (4,5) -> 5.
+        let b = Aabb::spanning(Vec2::new(4.0, 5.0), Vec2::new(6.0, 7.0));
+        assert!((a.gap(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.gap(&b), b.gap(&a));
+        // Overlap -> 0.
+        let c = Aabb::spanning(Vec2::new(0.5, 0.5), Vec2::new(2.0, 2.0));
+        assert_eq!(a.gap(&c), 0.0);
+        // Pure-x separation.
+        let d = Aabb::spanning(Vec2::new(3.0, 0.0), Vec2::new(4.0, 1.0));
+        assert_eq!(a.gap(&d), 2.0);
+    }
+
+    #[test]
+    fn from_disk_and_back_are_sound() {
+        let disk = Disk::new(Vec2::new(1.0, -2.0), 3.0);
+        let b = Aabb::from_disk(&disk);
+        for i in 0..32 {
+            let angle = std::f64::consts::TAU * i as f64 / 32.0;
+            assert!(b.contains(disk.center + Vec2::from_polar(disk.radius, angle), 1e-12));
+        }
+        // The round trip contains the box (radius grows by √2 at most).
+        let round = b.to_disk();
+        assert!(round.contains(b.min, 1e-12) && round.contains(b.max, 1e-12));
+        assert!(round.radius <= disk.radius * std::f64::consts::SQRT_2 + 1e-12);
+        assert_eq!(Aabb::EMPTY.to_disk().radius, 0.0);
+    }
+
+    #[test]
+    fn expanded_grows_all_sides() {
+        let b = Aabb::point(Vec2::ZERO).expanded(1.0);
+        assert_eq!(b.min, Vec2::new(-1.0, -1.0));
+        assert_eq!(b.max, Vec2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert!(Aabb::point(Vec2::ZERO).to_string().starts_with("B["));
+    }
+}

@@ -36,12 +36,14 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod aabb;
 pub mod angle;
 pub mod approx;
 pub mod disk;
 pub mod mat2;
 pub mod vec2;
 
+pub use aabb::Aabb;
 pub use angle::{normalize_angle, TAU};
 pub use approx::{approx_eq, approx_eq_eps, ApproxEq};
 pub use disk::Disk;

@@ -253,6 +253,28 @@ impl MonotoneTrajectory for UniversalSearch {
     }
 }
 
+impl rvz_trajectory::Compile for UniversalSearch {
+    /// Round and sub-round starts — the dyadic hierarchy the compiled
+    /// engine seeds its pruning windows with.
+    fn round_marks(&self, horizon: f64) -> Vec<f64> {
+        let mut marks = Vec::new();
+        for k in 1..=times::MAX_ROUND {
+            let start = Self::round_start(k);
+            if start > horizon {
+                break;
+            }
+            for j in 0..=2 * k {
+                let s = start + times::subround_start(k, j);
+                if s > horizon {
+                    break;
+                }
+                marks.push(s);
+            }
+        }
+        marks
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

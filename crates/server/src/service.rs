@@ -27,12 +27,19 @@
 use crate::cache::{CacheStats, ResultCache};
 use crate::http::{Request, Response};
 use rvz_experiments::{
-    breaker_token, orbit_key, record_to_json, run_sweep, scenario_from_json, Json, Scenario,
-    Summary, SweepOptions, SweepRecord, DEFAULT_GRID,
+    breaker_token, orbit_key, record_to_json, run_sweep, scenario_from_json, Algorithm, Json,
+    Scenario, Summary, SweepOptions, SweepRecord, DEFAULT_GRID,
 };
 use rvz_model::{feasibility, Chirality, RobotAttributes};
-use rvz_sim::SimOutcome;
+use rvz_sim::batch::compile_rendezvous_partner;
+use rvz_sim::{try_first_contact_programs, EngineScratch, SimOutcome};
+use rvz_trajectory::{Compile, CompileOptions, CompiledProgram};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A lowered program shared between the program cache and in-flight
+/// queries.
+type SharedProgram = Arc<CompiledProgram>;
 
 /// Tuning for a [`Service`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +55,26 @@ pub struct ServiceOptions {
     /// canonical representative (the A/B baseline for `rvz loadtest`).
     pub no_cache: bool,
     /// Engine options and batch thread count for cache misses.
+    ///
+    /// `sweep.compile_pieces` doubles as the piece budget of the
+    /// service's **compiled-program cache** (`0` disables it). Beside
+    /// the result cache, the service keeps compiled programs: the
+    /// **reference** program (the common algorithm from the origin, a
+    /// function of the algorithm and the service horizon alone) is
+    /// lowered **at most once per algorithm for the process lifetime**
+    /// — including the negative result, so a horizon too deep for the
+    /// budget is probed exactly once and every later query skips
+    /// straight to the cursor path. Each orbit's frame-warped
+    /// **partner** program is cached under the same canonical key as
+    /// its result, which single-flights concurrent lowerings and lets
+    /// batch misses reuse partners across a `/sweep` body; since the
+    /// partner cache shares the result cache's capacity and access
+    /// pattern, a partner is evicted no later than its result — a
+    /// fresh miss on an evicted orbit re-lowers the partner but never
+    /// the reference (the dominant cost). The service owns all
+    /// lowering itself: the executor's own compiled path is disabled
+    /// at construction so no per-request worker ever re-lowers a
+    /// reference.
     pub sweep: SweepOptions,
 }
 
@@ -75,15 +102,39 @@ pub enum Control {
 /// The shared, thread-safe query service.
 pub struct Service {
     opts: ServiceOptions,
+    /// The program-cache piece budget, taken from
+    /// `sweep.compile_pieces` at construction (the copy inside `opts`
+    /// is zeroed so executor fallbacks never lower independently).
+    compile_pieces: usize,
     cache: ResultCache<SimOutcome>,
+    /// Partner-program cache: one lowered frame-warped program (or a
+    /// remembered lowering failure) per canonical orbit, keyed like the
+    /// result cache.
+    programs: ResultCache<Option<SharedProgram>>,
+    /// Reference programs, one per [`Algorithm`]: a pure function of
+    /// the algorithm and the service horizon, lowered at most once for
+    /// the process lifetime.
+    reference: [OnceLock<Option<SharedProgram>>; 2],
+    /// How many reference lowerings actually ran (observability: stays
+    /// at ≤ 2 no matter how many orbits stream through).
+    reference_lowerings: AtomicU64,
     requests: AtomicU64,
 }
 
 impl Service {
     /// Creates a service with the given tuning.
-    pub fn new(opts: ServiceOptions) -> Self {
+    pub fn new(mut opts: ServiceOptions) -> Self {
+        // The service owns lowering (reference OnceLock + partner
+        // cache); the executor must never attempt its own per-worker
+        // reference lowering on a fallback path.
+        let compile_pieces = opts.sweep.compile_pieces;
+        opts.sweep.compile_pieces = 0;
         Service {
             cache: ResultCache::new(opts.cache_capacity, opts.cache_shards),
+            programs: ResultCache::new(opts.cache_capacity, opts.cache_shards),
+            reference: [OnceLock::new(), OnceLock::new()],
+            reference_lowerings: AtomicU64::new(0),
+            compile_pieces,
             opts,
             requests: AtomicU64::new(0),
         }
@@ -97,6 +148,16 @@ impl Service {
     /// Cache counters (also served under `/stats`).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Partner-program cache counters (also served under `/stats`).
+    pub fn program_stats(&self) -> CacheStats {
+        self.programs.stats()
+    }
+
+    /// How many reference lowerings have run (at most one per algorithm).
+    pub fn reference_lowerings(&self) -> u64 {
+        self.reference_lowerings.load(Ordering::Relaxed)
     }
 
     /// Dispatches one request.
@@ -130,6 +191,7 @@ impl Service {
 
     fn stats_response(&self) -> Response {
         let stats = self.cache.stats();
+        let programs = self.programs.stats();
         let body = Json::obj(vec![
             (
                 "requests",
@@ -146,6 +208,20 @@ impl Service {
                     ("evictions", Json::Num(stats.evictions as f64)),
                     ("joined", Json::Num(stats.joined as f64)),
                     ("grid", Json::Num(self.opts.cache_grid)),
+                ]),
+            ),
+            (
+                "programs",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.compile_pieces > 0)),
+                    ("entries", Json::Num(programs.entries as f64)),
+                    ("piece_budget", Json::Num(self.compile_pieces as f64)),
+                    ("hits", Json::Num(programs.hits as f64)),
+                    ("misses", Json::Num(programs.misses as f64)),
+                    (
+                        "reference_lowerings",
+                        Json::Num(self.reference_lowerings() as f64),
+                    ),
                 ]),
             ),
         ])
@@ -247,10 +323,15 @@ impl Service {
     fn answer(&self, scenario: &Scenario) -> (SweepRecord, rvz_experiments::Canonical, bool) {
         let canonical = scenario.canonicalize(self.opts.cache_grid);
         let (outcome, hit) = if self.opts.no_cache {
+            // The A/B baseline bypasses the result cache *and* the
+            // compiled-program path: every request runs the cursor
+            // engine from scratch, so the loadtest speedup measures the
+            // whole caching+compilation stack against the bare engine.
             (self.simulate(&canonical.scenario), false)
         } else {
-            self.cache
-                .get_or_compute(canonical.key, || self.simulate(&canonical.scenario))
+            self.cache.get_or_compute(canonical.key, || {
+                self.simulate_with_key(&canonical.scenario, Some(canonical.key))
+            })
         };
         let record = SweepRecord {
             scenario: *scenario,
@@ -261,11 +342,100 @@ impl Service {
     }
 
     fn simulate(&self, canonical: &Scenario) -> SimOutcome {
+        self.simulate_with_key(canonical, None)
+    }
+
+    /// Simulates the canonical representative: through the cached
+    /// compiled programs when possible (key provided and the orbit
+    /// lowers under the budget), otherwise through the cursor-path
+    /// sweep executor. Both paths are deterministic functions of the
+    /// scenario, so responses stay pure functions of the query.
+    fn simulate_with_key(
+        &self,
+        canonical: &Scenario,
+        key: Option<rvz_experiments::CacheKey>,
+    ) -> SimOutcome {
+        if let Some(key) = key {
+            if self.compile_pieces > 0 {
+                if let Some(outcome) = self.simulate_compiled(canonical, key) {
+                    return outcome;
+                }
+            }
+        }
+        // opts.sweep.compile_pieces was zeroed at construction: the
+        // executor never lowers on the service's behalf.
         let single = SweepOptions {
             threads: 1,
             ..self.opts.sweep
         };
         run_sweep(std::slice::from_ref(canonical), &single)[0].outcome
+    }
+
+    /// The compiled fast path: cached reference + cached (or freshly
+    /// lowered) partner, run on the monomorphic engine. `None` hands the
+    /// query to the cursor path.
+    fn simulate_compiled(
+        &self,
+        canonical: &Scenario,
+        key: rvz_experiments::CacheKey,
+    ) -> Option<SimOutcome> {
+        let reference = Arc::clone(self.reference_for(canonical.algorithm).as_ref()?);
+        let (partner, _) = self
+            .programs
+            .get_or_compute(key, || self.lower_partner(canonical));
+        let partner = partner?;
+        let mut scratch = EngineScratch::new();
+        try_first_contact_programs(
+            &reference,
+            &partner,
+            canonical.visibility,
+            &self.opts.sweep.contact,
+            &mut scratch,
+        )
+    }
+
+    fn compile_options(&self) -> CompileOptions {
+        CompileOptions::to_horizon(self.opts.sweep.contact.horizon).max_pieces(self.compile_pieces)
+    }
+
+    /// The reference program for an algorithm, lowered at most once for
+    /// the process lifetime. A truncated reference would refuse every
+    /// disproof-shaped query, so only horizon-covering lowerings are
+    /// kept.
+    fn reference_for(&self, algorithm: Algorithm) -> &Option<SharedProgram> {
+        let slot = match algorithm {
+            Algorithm::WaitAndSearch => 0,
+            Algorithm::UniversalSearch => 1,
+        };
+        self.reference[slot].get_or_init(|| {
+            self.reference_lowerings.fetch_add(1, Ordering::Relaxed);
+            let copts = self.compile_options();
+            let compiled = match algorithm {
+                Algorithm::WaitAndSearch => rvz_core::WaitAndSearch.compile(&copts),
+                Algorithm::UniversalSearch => rvz_search::UniversalSearch.compile(&copts),
+            };
+            compiled
+                .ok()
+                .filter(|p| p.covers(self.opts.sweep.contact.horizon))
+                .map(Arc::new)
+        })
+    }
+
+    /// Lowers one orbit's frame-warped partner, or remembers that it
+    /// cannot be done (a truncated partner can still resolve early
+    /// contacts, so truncation is kept).
+    fn lower_partner(&self, canonical: &Scenario) -> Option<SharedProgram> {
+        let instance = canonical.instance().ok()?;
+        let copts = self.compile_options();
+        let partner = match canonical.algorithm {
+            Algorithm::WaitAndSearch => {
+                compile_rendezvous_partner(&rvz_core::WaitAndSearch, &instance, &copts)
+            }
+            Algorithm::UniversalSearch => {
+                compile_rendezvous_partner(&rvz_search::UniversalSearch, &instance, &copts)
+            }
+        };
+        partner.ok().map(Arc::new)
     }
 
     fn first_contact(&self, req: &Request) -> Response {
@@ -352,16 +522,46 @@ impl Service {
             self.cache.record(hits, misses);
         }
         if !missing.is_empty() {
-            let computed = run_sweep(&missing, &self.opts.sweep);
+            // Resolve representatives through the service's own compiled
+            // path first (the per-process reference and the partner
+            // cache), so a batch never re-lowers what the single-query
+            // path already memoized; whatever refuses goes through the
+            // executor with its own lowering disabled — the executor
+            // would otherwise rebuild (and, at deep horizons, discard) a
+            // reference per worker per request.
+            let mut computed: Vec<Option<SimOutcome>> = vec![None; missing.len()];
+            if !self.opts.no_cache && self.compile_pieces > 0 {
+                for (key, &j) in &missing_index {
+                    computed[j] = self.simulate_compiled(&missing[j], *key);
+                }
+            }
+            let leftover: Vec<Scenario> = missing
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| computed[*j].is_none())
+                .map(|(idx, rep)| Scenario {
+                    id: idx as u64,
+                    ..*rep
+                })
+                .collect();
+            if !leftover.is_empty() {
+                // opts.sweep.compile_pieces is zeroed at construction:
+                // the executor runs leftovers on the cursor path.
+                for record in run_sweep(&leftover, &self.opts.sweep) {
+                    computed[record.scenario.id as usize] = Some(record.outcome);
+                }
+            }
+            let computed: Vec<SimOutcome> =
+                computed.into_iter().map(|o| o.expect("resolved")).collect();
             for (key, &j) in &missing_index {
                 if !self.opts.no_cache {
-                    self.cache.insert(*key, computed[j].outcome);
+                    self.cache.insert(*key, computed[j]);
                 }
             }
             for (i, c) in canonicals.iter().enumerate() {
                 if outcomes[i].is_none() {
                     let j = *missing_index.get(&c.key).expect("every miss was batched");
-                    outcomes[i] = Some(computed[j].outcome);
+                    outcomes[i] = Some(computed[j]);
                 }
             }
         }
@@ -453,6 +653,7 @@ mod tests {
                     horizon: rvz_core::completion_time(6),
                     ..SweepOptions::default().contact
                 },
+                ..SweepOptions::default()
             },
             ..ServiceOptions::default()
         }
@@ -591,6 +792,60 @@ mod tests {
             let (resp, _) = svc.handle(&request("POST", "/sweep", body));
             assert_eq!(resp.status, 400, "body {body:?} -> {}", resp.body);
         }
+    }
+
+    #[test]
+    fn warm_misses_reuse_cached_programs() {
+        // A horizon the reference lowering covers: the compiled path
+        // engages. The durable guarantee is the shared *reference*
+        // program — lowered once for the process no matter how many
+        // orbits stream through or get evicted; partners are cached
+        // per orbit but share the result cache's eviction, so an
+        // evicted orbit re-lowers its (cheap) partner only.
+        let svc = Service::new(ServiceOptions {
+            sweep: SweepOptions {
+                threads: 1,
+                contact: rvz_sim::ContactOptions {
+                    horizon: rvz_search::times::rounds_total(4),
+                    max_steps: 100_000,
+                    ..rvz_sim::ContactOptions::default()
+                },
+                ..SweepOptions::default()
+            },
+            // Capacity 1 with 1 shard: the second distinct orbit evicts
+            // the first result, but programs live in their own cache.
+            cache_capacity: 1,
+            cache_shards: 1,
+            ..ServiceOptions::default()
+        });
+        let body_a = r#"{"algorithm":"alg4","speed":0.5,"distance":0.9,"visibility":0.25}"#;
+        let body_b = r#"{"algorithm":"alg4","speed":0.75,"distance":0.9,"visibility":0.25}"#;
+        let (first, _) = svc.handle(&request("POST", "/first-contact", body_a));
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(svc.program_stats().misses, 1, "first miss lowers a partner");
+        assert_eq!(svc.reference_lowerings(), 1, "and the shared reference");
+        let (_, _) = svc.handle(&request("POST", "/first-contact", body_b));
+        // A second orbit lowers its own partner but *shares* the
+        // reference program — the big arena is never lowered twice.
+        assert_eq!(svc.program_stats().misses, 2);
+        assert_eq!(svc.reference_lowerings(), 1, "reference must be shared");
+        let (again, _) = svc.handle(&request("POST", "/first-contact", body_a));
+        assert_eq!(header(&again, "X-Rvz-Cache"), "miss", "result was evicted");
+        assert_eq!(again.body, first.body, "same query, same bytes");
+        assert_eq!(
+            svc.reference_lowerings(),
+            1,
+            "a warm miss re-runs the engine without re-lowering the reference"
+        );
+        // With capacity 1 the partner was evicted alongside its result:
+        // the re-miss re-lowers the partner (and only the partner).
+        assert_eq!(svc.program_stats().misses, 3);
+        let (stats, _) = svc.handle(&request("GET", "/stats", ""));
+        assert!(
+            stats.body.contains("\"reference_lowerings\":1"),
+            "{}",
+            stats.body
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ fn test_options() -> ServiceOptions {
                 horizon: rvz_core::completion_time(6),
                 ..SweepOptions::default().contact
             },
+            ..SweepOptions::default()
         },
         ..ServiceOptions::default()
     }

@@ -12,10 +12,11 @@
 //! the hot loop performs no allocation at all. Each simulation builds its
 //! two cursors once and runs entirely on the monotone fast path.
 
+use crate::compiled::{try_first_contact_programs, EngineScratch};
 use crate::engine::{first_contact, ContactOptions, SimOutcome};
 use crate::stationary::Stationary;
 use rvz_model::{RendezvousInstance, SearchInstance};
-use rvz_trajectory::MonotoneTrajectory;
+use rvz_trajectory::{Compile, CompileError, CompileOptions, CompiledProgram, MonotoneTrajectory};
 
 /// [`crate::simulate_rendezvous`] with the algorithm taken by reference:
 /// no `Clone` bound, no per-call algorithm construction.
@@ -56,6 +57,49 @@ pub fn simulate_search_by_ref<T: MonotoneTrajectory>(
 ) -> SimOutcome {
     let target = Stationary::new(instance.target());
     first_contact(algorithm, &target, instance.visibility(), opts)
+}
+
+/// Lowers the partner robot of a rendezvous instance — the algorithm
+/// seen through the instance's attribute frame — to a compiled program.
+///
+/// The frame warp is applied **at lowering time**: the returned arena
+/// holds plain warped pieces and the engine never touches the warp
+/// matrices again. The reference robot's program is just
+/// `algorithm.compile(opts)`, shared across every instance of a batch.
+///
+/// # Errors
+///
+/// As for [`Compile::compile`] (curved pieces, budget, stalls).
+pub fn compile_rendezvous_partner<T: Compile + MonotoneTrajectory>(
+    algorithm: &T,
+    instance: &RendezvousInstance,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    instance
+        .attributes()
+        .frame_warp(algorithm, instance.offset())
+        .compile(opts)
+}
+
+/// [`simulate_rendezvous_by_ref`] on the compiled fast path: the
+/// reference program is compiled once per batch, the partner per
+/// instance, and the query runs monomorphically with the shared
+/// `scratch`.
+///
+/// Returns `None` when the partner cannot be lowered within `compile`'s
+/// budget **or** the query needs time beyond the covered span — the
+/// caller falls back to [`simulate_rendezvous_by_ref`]; a returned
+/// outcome always equals the fully compiled run's.
+pub fn try_simulate_rendezvous_compiled<T: Compile + MonotoneTrajectory>(
+    reference: &CompiledProgram,
+    algorithm: &T,
+    instance: &RendezvousInstance,
+    opts: &ContactOptions,
+    compile: &CompileOptions,
+    scratch: &mut EngineScratch,
+) -> Option<SimOutcome> {
+    let partner = compile_rendezvous_partner(algorithm, instance, compile).ok()?;
+    try_first_contact_programs(reference, &partner, instance.visibility(), opts, scratch)
 }
 
 /// Runs a batch of rendezvous instances under one shared algorithm value,

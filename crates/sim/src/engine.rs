@@ -114,8 +114,31 @@ impl ContactOptions {
     }
 
     /// Sets the declaration tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately when `tolerance` is not positive and finite
+    /// (including NaN) — every builder setter validates eagerly, so a
+    /// bad value fails at the call site that introduced it rather than
+    /// at the first simulation that happens to use it.
     pub fn tolerance(mut self, tolerance: f64) -> Self {
+        assert!(
+            tolerance > 0.0 && tolerance.is_finite(),
+            "tolerance must be positive and finite, got {tolerance}"
+        );
         self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the advancement-step budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately when `max_steps` is zero (eager validation,
+    /// as for [`ContactOptions::tolerance`]).
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        assert!(max_steps > 0, "max_steps must be positive");
+        self.max_steps = max_steps;
         self
     }
 
@@ -125,7 +148,7 @@ impl ContactOptions {
         self
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(
             self.tolerance > 0.0 && self.tolerance.is_finite(),
             "tolerance must be positive and finite, got {}",
@@ -576,9 +599,9 @@ where
 /// pairs) and for a circle against a stationary point; both reduce to
 /// the law of cosines with a uniformly rotating angle.
 #[derive(Debug, Clone, Copy)]
-struct CosineLaw {
-    p: f64,
-    q: f64,
+pub(crate) struct CosineLaw {
+    pub(crate) p: f64,
+    pub(crate) q: f64,
     omega: f64,
     /// Phase proxies: `ψ = atan2(y, x)`, evaluated lazily — most pieces
     /// resolve on the `p`/`q` magnitudes alone, without trigonometry.
@@ -599,7 +622,7 @@ impl CosineLaw {
 
     /// The smallest `s ∈ [0, span]` with `d²(s) ≤ thr2`, or `None` when
     /// the law proves there is no such time in the span.
-    fn first_crossing(&self, thr2: f64, span: f64) -> Option<f64> {
+    pub(crate) fn first_crossing(&self, thr2: f64, span: f64) -> Option<f64> {
         if self.omega == 0.0 {
             // The phase never moves and the caller already measured
             // d(0) > threshold.
@@ -644,7 +667,7 @@ impl CosineLaw {
     /// The true distance minimum attained strictly inside `[0, span]`
     /// (at the phase `x = π`), if the phase reaches it; endpoints are
     /// sampled by the engine anyway.
-    fn minimum_within(&self, span: f64) -> Option<(f64, f64)> {
+    pub(crate) fn minimum_within(&self, span: f64) -> Option<(f64, f64)> {
         if self.omega == 0.0 {
             return None;
         }
@@ -662,7 +685,12 @@ impl CosineLaw {
 
 /// The [`CosineLaw`] governing the pair distance on the current piece
 /// overlap, when one exists.
-fn circular_pair_law(pa: &Probe, pb: &Probe, ma: Motion, mb: Motion) -> Option<CosineLaw> {
+pub(crate) fn circular_pair_law(
+    pa: &Probe,
+    pb: &Probe,
+    ma: Motion,
+    mb: Motion,
+) -> Option<CosineLaw> {
     match (ma, mb) {
         (
             Motion::Circular {
@@ -741,7 +769,13 @@ fn point_circle_law(p: Vec2, on_circle: Vec2, center: Vec2, radius: f64, omega: 
 /// A sound lower bound on the pair distance over the next `ub` time
 /// units when at least one active piece is circular; `−∞` when no
 /// closed form applies (an opaque [`Motion::Curved`] piece).
-fn piece_gap_lower_bound(pa: &Probe, pb: &Probe, ma: Motion, mb: Motion, ub: f64) -> f64 {
+pub(crate) fn piece_gap_lower_bound(
+    pa: &Probe,
+    pb: &Probe,
+    ma: Motion,
+    mb: Motion,
+    ub: f64,
+) -> f64 {
     match (ma, mb) {
         (
             Motion::Circular {

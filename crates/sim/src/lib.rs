@@ -57,6 +57,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod batch;
+pub mod compiled;
 pub mod engine;
 pub mod multi;
 pub mod runners;
@@ -64,14 +65,19 @@ pub mod stationary;
 pub mod trace;
 pub mod verify;
 
-pub use batch::{run_rendezvous_batch, simulate_rendezvous_by_ref, simulate_search_by_ref};
+pub use batch::{
+    compile_rendezvous_partner, run_rendezvous_batch, simulate_rendezvous_by_ref,
+    simulate_search_by_ref, try_simulate_rendezvous_compiled,
+};
+pub use compiled::{first_contact_programs, try_first_contact_programs, EngineScratch};
 pub use engine::{
     first_contact, first_contact_cursors, first_contact_cursors_instrumented,
     first_contact_generic, ContactOptions, EngineStats, SimOutcome,
 };
 pub use multi::{
-    first_simultaneous_gathering, first_simultaneous_gathering_homogeneous, pairwise_meetings,
-    pairwise_meetings_homogeneous,
+    first_simultaneous_gathering, first_simultaneous_gathering_homogeneous,
+    first_simultaneous_gathering_programs, pairwise_meetings, pairwise_meetings_homogeneous,
+    pairwise_meetings_programs,
 };
 pub use runners::{simulate_rendezvous, simulate_search};
 pub use stationary::Stationary;

@@ -16,9 +16,10 @@
 //! does **not** obviously compose into simultaneous gathering — which is
 //! precisely why the paper leaves it open.
 
+use crate::compiled::{first_contact_programs, EngineScratch};
 use crate::engine::{first_contact_cursors, ContactOptions, SimOutcome};
 use rvz_geometry::Vec2;
-use rvz_trajectory::{Cursor, MonotoneDyn, MonotoneTrajectory, Trajectory};
+use rvz_trajectory::{CompiledProgram, Cursor, MonotoneDyn, MonotoneTrajectory, Trajectory};
 
 /// First-contact times for every unordered pair in a swarm.
 ///
@@ -87,6 +88,75 @@ pub fn pairwise_meetings_homogeneous<T: MonotoneTrajectory>(
     table
 }
 
+/// [`pairwise_meetings`] over compiled programs: each robot is lowered
+/// **once** and every one of the `n(n−1)/2` pairwise queries runs on the
+/// monomorphic zero-allocation engine with a shared [`EngineScratch`] —
+/// the swarm shape where compilation amortizes best (`n` lowerings,
+/// `Θ(n²)` queries).
+///
+/// # Panics
+///
+/// Panics when fewer than two programs are supplied or when any program
+/// does not cover `opts.horizon` (compile with a matching
+/// [`CompileOptions`](rvz_trajectory::CompileOptions) horizon).
+pub fn pairwise_meetings_programs(
+    programs: &[CompiledProgram],
+    radius: f64,
+    opts: &ContactOptions,
+    scratch: &mut EngineScratch,
+) -> Vec<Vec<Option<f64>>> {
+    assert!(programs.len() >= 2, "need at least two robots");
+    let n = programs.len();
+    let mut table = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let outcome = first_contact_programs(&programs[i], &programs[j], radius, opts, scratch);
+            table[i][j] = outcome.contact_time();
+        }
+    }
+    table
+}
+
+/// [`first_simultaneous_gathering`] over compiled programs: the diameter
+/// loop samples every robot through a flat piece-index walk, reusing the
+/// scratch's position/index buffers across calls.
+///
+/// # Panics
+///
+/// As for [`pairwise_meetings_programs`].
+pub fn first_simultaneous_gathering_programs(
+    programs: &[CompiledProgram],
+    radius: f64,
+    opts: &ContactOptions,
+    scratch: &mut EngineScratch,
+) -> SimOutcome {
+    assert!(programs.len() >= 2, "need at least two robots");
+    assert!(
+        programs.iter().all(|p| p.covers(opts.horizon)),
+        "every program must cover the horizon {}",
+        opts.horizon
+    );
+    let closing_bound: f64 = 2.0
+        * programs
+            .iter()
+            .map(|p| p.speed_bound())
+            .fold(0.0_f64, f64::max);
+    let (positions, indices) = scratch.swarm_buffers(programs.len());
+    gathering_loop(
+        positions,
+        |t, positions| {
+            for ((position, index), program) in
+                positions.iter_mut().zip(indices.iter_mut()).zip(programs)
+            {
+                *position = program.probe_from(index, t).position;
+            }
+        },
+        closing_bound,
+        radius,
+        opts,
+    )
+}
+
 /// The largest pairwise distance among sampled positions.
 fn diameter_of(positions: &[Vec2]) -> f64 {
     let mut max = 0.0_f64;
@@ -146,10 +216,35 @@ pub fn first_simultaneous_gathering_homogeneous<T: MonotoneTrajectory>(
     gathering_on_cursors(&mut cursors, closing_bound, radius, opts)
 }
 
-/// The shared diameter-advancement loop behind both gathering entry
-/// points, generic over the cursor representation.
+/// The cursor-based gathering entry points' adapter onto the shared
+/// diameter loop.
 fn gathering_on_cursors<C: Cursor>(
     cursors: &mut [C],
+    closing_bound: f64,
+    radius: f64,
+    opts: &ContactOptions,
+) -> SimOutcome {
+    let mut positions = vec![Vec2::ZERO; cursors.len()];
+    gathering_loop(
+        &mut positions,
+        |t, positions| {
+            for (position, cursor) in positions.iter_mut().zip(cursors.iter_mut()) {
+                *position = cursor.position(t);
+            }
+        },
+        closing_bound,
+        radius,
+        opts,
+    )
+}
+
+/// The single diameter-advancement loop behind every gathering entry
+/// point — cursor-based or compiled — parameterized over how positions
+/// are sampled. Callers supply the position buffer, so the compiled
+/// path can reuse its scratch (zero allocation per call).
+fn gathering_loop(
+    positions: &mut [Vec2],
+    mut sample: impl FnMut(f64, &mut [Vec2]),
     closing_bound: f64,
     radius: f64,
     opts: &ContactOptions,
@@ -158,17 +253,13 @@ fn gathering_on_cursors<C: Cursor>(
         radius > 0.0 && radius.is_finite(),
         "radius must be positive"
     );
-    let mut positions = vec![Vec2::ZERO; cursors.len()];
-
     let mut t = 0.0_f64;
     let mut min_diameter = f64::INFINITY;
     let mut min_diameter_time = 0.0;
     let mut steps = 0_u64;
     loop {
-        for (position, cursor) in positions.iter_mut().zip(cursors.iter_mut()) {
-            *position = cursor.position(t);
-        }
-        let d = diameter_of(&positions);
+        sample(t, positions);
+        let d = diameter_of(positions);
         if d < min_diameter {
             min_diameter = d;
             min_diameter_time = t;
@@ -305,6 +396,78 @@ mod tests {
         let boxed = first_simultaneous_gathering(&dyn_refs, 0.5, &opts);
         assert_eq!(mono, boxed);
         assert!(mono.is_contact());
+    }
+
+    #[test]
+    fn program_swarm_matches_cursor_swarm() {
+        use rvz_search::UniversalSearch;
+        use rvz_trajectory::{Compile, CompileOptions};
+        let horizon = rvz_search::times::rounds_total(3);
+        let opts = ContactOptions::with_horizon(horizon);
+        let robots: Vec<_> = (0..4)
+            .map(|i| {
+                let angle = std::f64::consts::TAU * i as f64 / 4.0;
+                rvz_model::RobotAttributes::reference()
+                    .with_speed(0.5 + 0.2 * i as f64)
+                    .frame_warp(UniversalSearch, Vec2::from_polar(1.0, angle))
+            })
+            .collect();
+        let programs: Vec<_> = robots
+            .iter()
+            .map(|r| r.compile(&CompileOptions::to_horizon(horizon)).unwrap())
+            .collect();
+        let mut scratch = crate::EngineScratch::new();
+        let compiled = pairwise_meetings_programs(&programs, 0.2, &opts, &mut scratch);
+        let dyn_refs: Vec<&dyn MonotoneDyn> = robots.iter().map(|r| r as _).collect();
+        let cursor = pairwise_meetings(&dyn_refs, 0.2, &opts);
+        let mut contacts = 0;
+        for i in 0..robots.len() {
+            for j in (i + 1)..robots.len() {
+                assert_eq!(
+                    compiled[i][j].is_some(),
+                    cursor[i][j].is_some(),
+                    "pair ({i}, {j}) disagrees"
+                );
+                if let (Some(tc), Some(tk)) = (compiled[i][j], cursor[i][j]) {
+                    contacts += 1;
+                    assert!((tc - tk).abs() < 1e-6 * (1.0 + tk), "{tc} vs {tk}");
+                }
+            }
+        }
+        assert!(contacts > 0, "the swarm must exercise the contact branch");
+
+        // Gathering through programs agrees with the boxed-cursor path
+        // on classification.
+        let compiled_gather =
+            first_simultaneous_gathering_programs(&programs, 0.2, &opts, &mut scratch);
+        let cursor_gather = first_simultaneous_gathering(&dyn_refs, 0.2, &opts);
+        assert_eq!(
+            compiled_gather.is_contact(),
+            cursor_gather.is_contact(),
+            "{compiled_gather} vs {cursor_gather}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover the horizon")]
+    fn program_gathering_rejects_uncovered_programs() {
+        use rvz_search::UniversalSearch;
+        use rvz_trajectory::{Compile, CompileOptions};
+        let horizon = rvz_search::times::rounds_total(4);
+        let truncated: Vec<_> = (0..2)
+            .map(|i| {
+                rvz_model::RobotAttributes::reference()
+                    .frame_warp(UniversalSearch, Vec2::new(i as f64, 2.0))
+                    .compile(&CompileOptions::to_horizon(horizon).max_pieces(64))
+                    .unwrap()
+            })
+            .collect();
+        let _ = first_simultaneous_gathering_programs(
+            &truncated,
+            0.1,
+            &ContactOptions::with_horizon(horizon),
+            &mut crate::EngineScratch::new(),
+        );
     }
 
     #[test]

@@ -90,6 +90,10 @@ impl MonotoneTrajectory for Stationary {
     }
 }
 
+/// Lowers to a rest-only program (zero pieces): the cheapest possible
+/// compiled partner for search-style queries.
+impl rvz_trajectory::Compile for Stationary {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

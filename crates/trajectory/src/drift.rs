@@ -111,6 +111,32 @@ impl<T> ClockDrift<T> {
         }
     }
 
+    /// The global time at which the local clock reads `u` — the inverse
+    /// of [`ClockDrift::local_time`] (well-defined: the clock map is
+    /// strictly increasing).
+    pub fn global_time(&self, u: f64) -> f64 {
+        assert!(u >= 0.0 && !u.is_nan(), "local time must be >= 0, got {u}");
+        let idx = self.intervals.partition_point(|&(_, l_end, _)| l_end <= u);
+        if idx == 0 {
+            match self.intervals.first() {
+                Some(&(_, _, rate)) => u / rate,
+                None => u / self.tail_rate,
+            }
+        } else {
+            let (g_prev, l_prev, _) = self.intervals[idx - 1];
+            let rate = match self.intervals.get(idx) {
+                Some(&(_, _, rate)) => rate,
+                None => self.tail_rate,
+            };
+            g_prev + (u - l_prev) / rate
+        }
+    }
+
+    /// The global times of the clock-rate breakpoints, in order.
+    pub fn breakpoints(&self) -> impl Iterator<Item = f64> + '_ {
+        self.intervals.iter().map(|&(g_end, _, _)| g_end)
+    }
+
     /// The largest instantaneous clock rate.
     pub fn max_rate(&self) -> f64 {
         self.max_rate

@@ -25,7 +25,12 @@
 //! * [`MonotoneTrajectory`] / [`Cursor`] — amortized-O(1) forward
 //!   evaluation with piece introspection, the substrate of the
 //!   simulator's analytic fast path (see the [`monotone`] module docs
-//!   for the cursor contract).
+//!   for the cursor contract);
+//! * [`CompiledProgram`] / [`Compile`] — the flat piecewise IR: a
+//!   trajectory lowered *once* (warps and clock drifts applied at
+//!   lowering time) into an arena of exact pieces with a baked envelope
+//!   tree, the substrate of the simulator's monomorphic zero-allocation
+//!   engine (see the [`program`] module docs).
 //!
 //! ## Example
 //!
@@ -50,6 +55,7 @@ pub mod drift;
 pub mod func;
 pub mod monotone;
 pub mod path;
+pub mod program;
 pub mod segment;
 pub mod warp;
 
@@ -60,6 +66,7 @@ pub use monotone::{
     Cursor, GenericCursor, MonotoneDyn, MonotoneGuard, MonotoneTrajectory, Motion, Probe,
 };
 pub use path::{Path, PathBuilder};
+pub use program::{Compile, CompileError, CompileOptions, CompiledProgram, Piece, ProgramCursor};
 pub use segment::Segment;
 pub use warp::FrameWarp;
 

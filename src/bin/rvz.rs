@@ -27,6 +27,13 @@ use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// The counting allocator behind the `allocs_per_query` columns of
+/// `BENCH_engine.json`: counts allocation calls, defers everything to
+/// the system allocator (negligible overhead for a CLI).
+#[global_allocator]
+static ALLOC: plane_rendezvous::bench::alloc::CountingAlloc =
+    plane_rendezvous::bench::alloc::CountingAlloc;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -184,6 +191,8 @@ Closed-form bounds: Theorem 1/2, and Lemma 13's k* when tau ≠ 1.",
             ("max-steps", true),
             ("horizon-rounds", true),
             ("no-prune", false),
+            ("compile-budget", true),
+            ("dedup-orbits", false),
             ("out", true),
         ],
         usage: "\
@@ -191,13 +200,17 @@ USAGE:
   rvz sweep [--speeds L] [--clocks L] [--phis L] [--chis L] [--distances L]
             [--bearings L] [--r R] [--algos L] [--lhs N] [--seed S]
             [--threads N] [--max-steps M] [--horizon-rounds K] [--no-prune]
-            [--out PREFIX]
+            [--compile-budget P] [--dedup-orbits] [--out PREFIX]
 
 Run a parallel scenario sweep (grid by default, Latin-hypercube sample
 with --lhs N) and write PREFIX.jsonl + PREFIX.csv. List flags (L) take
 comma-separated values, e.g. --speeds 0.5,1. --no-prune disables the
 engine's swept-envelope pruning layer (A/B escape hatch; outcomes keep
-the same classification).",
+the same classification). --compile-budget caps the compiled fast
+path's piece arena per trajectory (0 keeps everything on the cursor
+path). --dedup-orbits collapses role-swap symmetric scenarios through
+the exact canonical orbit before running, simulates one representative
+per orbit, and maps outcomes back through the orbit transform.",
         run: cmd_sweep,
     },
     CommandSpec {
@@ -212,11 +225,13 @@ the same classification).",
             ("max-steps", true),
             ("horizon-rounds", true),
             ("no-prune", false),
+            ("compile-budget", true),
         ],
         usage: "\
 USAGE:
   rvz map [--speeds L] [--clocks L] [--phis L] [--d D] [--r R] [--threads N]
           [--max-steps M] [--horizon-rounds K] [--no-prune]
+          [--compile-budget P]
 
 Print the Theorem 4 feasibility map over the attribute grid and confirm
 every cell by simulation. Raise --horizon-rounds (default 9) and
@@ -257,12 +272,14 @@ cursor engine ever takes more steps than the generic loop.",
             ("max-steps", true),
             ("horizon-rounds", true),
             ("no-prune", false),
+            ("compile-budget", true),
         ],
         usage: "\
 USAGE:
   rvz serve [--addr A] [--port P] [--workers N] [--cache-capacity N]
             [--cache-grid G] [--no-cache] [--sweep-threads N]
             [--max-steps M] [--horizon-rounds K] [--no-prune]
+            [--compile-budget P]
 
 Serve feasibility/first-contact/sweep queries over HTTP/1.1 with a
 sharded LRU cache keyed by each scenario's attribute-symmetry orbit.
@@ -441,6 +458,11 @@ fn sweep_options(opts: &Flags, thread_key: &str) -> Result<SweepOptions, String>
     }
     if opts.contains_key("no-prune") {
         sweep_opts.contact.prune = false;
+    }
+    if let Some(budget) = opts.get("compile-budget") {
+        sweep_opts.compile_pieces = budget
+            .parse::<usize>()
+            .map_err(|_| format!("`--compile-budget` expects an integer, got `{budget}`"))?;
     }
     Ok(sweep_opts)
 }
@@ -654,7 +676,13 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
         sweep_opts.effective_threads()
     );
     let start = Instant::now();
-    let records = run_sweep(&scenarios, &sweep_opts);
+    let (records, dedup) = if opts.contains_key("dedup-orbits") {
+        let (records, stats) =
+            plane_rendezvous::experiments::run_sweep_deduped_default(&scenarios, &sweep_opts);
+        (records, Some(stats))
+    } else {
+        (run_sweep(&scenarios, &sweep_opts), None)
+    };
     let wall = start.elapsed().as_secs_f64();
 
     let prefix = opts.get("out").map(String::as_str).unwrap_or("sweep");
@@ -662,6 +690,14 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
     save_artifact(&format!("{prefix}.csv"), &records, write_csv)?;
 
     print!("{}", Summary::from_records(&records).render());
+    if let Some(stats) = dedup {
+        println!(
+            "orbit dedup: {} scenarios -> {} representatives ({:.2}x collapse)",
+            stats.scenarios,
+            stats.representatives,
+            stats.ratio()
+        );
+    }
     println!(
         "wall time: {wall:.3} s  ({:.0} instances/s)",
         records.len() as f64 / wall
@@ -671,7 +707,8 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
 
 fn cmd_bench_engine(opts: &Flags) -> Result<(), String> {
     use plane_rendezvous::bench::engine::{
-        grazing_summary, measure_all, render_json, render_table, step_regressions,
+        batch_summary, grazing_summary, measure_all, measure_batches, render_batch_table,
+        render_json, render_table, step_regressions,
     };
     let quick = opts.contains_key("quick");
     let prune = !opts.contains_key("no-prune");
@@ -680,20 +717,23 @@ fn cmd_bench_engine(opts: &Flags) -> Result<(), String> {
         .map(String::as_str)
         .unwrap_or("BENCH_engine.json");
     println!(
-        "benchmarking the first-contact engine ({} mode{}): seed loop vs cursor fast path ...",
+        "benchmarking the first-contact engine ({} mode{}): seed loop vs cursor fast path vs compiled programs ...",
         if quick { "quick" } else { "full" },
         if prune { "" } else { ", pruning off" }
     );
     let start = Instant::now();
     let measurements = measure_all(quick, prune);
     print!("{}", render_table(&measurements));
-    let json = render_json(&measurements, quick);
+    let batches = measure_batches(quick);
+    print!("{}", render_batch_table(&batches));
+    let json = render_json(&measurements, &batches, quick);
     std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
     println!(
         "wrote {path}  ({:.2} s total)",
         start.elapsed().as_secs_f64()
     );
     println!("{}", grazing_summary(&measurements));
+    println!("{}", batch_summary(&batches));
     if opts.contains_key("enforce-steps") {
         let regressions = step_regressions(&measurements);
         if !regressions.is_empty() {

@@ -229,6 +229,100 @@ fn pruned_and_unpruned_engines_agree() {
     }
 }
 
+/// Compiled vs. cursor engine: `SimOutcome` equivalence over a seeded
+/// Latin hypercube — the acceptance test of the flat piecewise IR.
+///
+/// Every scenario the compiled path can resolve must classify exactly
+/// as the cursor engine and agree on contact times within the shared
+/// declaration slack; partial lowerings may *refuse* (fall back) but
+/// never answer differently.
+#[test]
+fn compiled_and_cursor_engines_classify_identically() {
+    use plane_rendezvous::sim::{try_first_contact_programs, EngineScratch};
+    use plane_rendezvous::trajectory::{Compile, CompileOptions};
+
+    let space = SampleSpace {
+        visibility: 0.2,
+        algorithms: vec![Algorithm::WaitAndSearch, Algorithm::UniversalSearch],
+        ..Default::default()
+    };
+    let scenarios = latin_hypercube(&space, 32, 0xC0DE);
+    let opts = ContactOptions {
+        tolerance: 1e-9,
+        horizon: plane_rendezvous::core::completion_time(4),
+        max_steps: 5_000_000,
+        ..ContactOptions::default()
+    };
+    let copts = CompileOptions::to_horizon(opts.horizon).max_pieces(1 << 17);
+    let ref_ws = WaitAndSearch.compile(&copts).expect("alg7 rounds <= 4 fit");
+    let ref_us = UniversalSearch.compile(&copts).expect("truncation allowed");
+    let mut scratch = EngineScratch::new();
+    let mut resolved = 0_usize;
+    for scenario in &scenarios {
+        let instance = scenario.instance().expect("valid scenario");
+        let compiled = match scenario.algorithm {
+            Algorithm::WaitAndSearch => {
+                plane_rendezvous::sim::compile_rendezvous_partner(&WaitAndSearch, &instance, &copts)
+                    .ok()
+                    .and_then(|partner| {
+                        try_first_contact_programs(
+                            &ref_ws,
+                            &partner,
+                            instance.visibility(),
+                            &opts,
+                            &mut scratch,
+                        )
+                    })
+            }
+            Algorithm::UniversalSearch => plane_rendezvous::sim::compile_rendezvous_partner(
+                &UniversalSearch,
+                &instance,
+                &copts,
+            )
+            .ok()
+            .and_then(|partner| {
+                try_first_contact_programs(
+                    &ref_us,
+                    &partner,
+                    instance.visibility(),
+                    &opts,
+                    &mut scratch,
+                )
+            }),
+        };
+        let Some(compiled) = compiled else {
+            continue; // coverage refusal: the cursor fallback handles it
+        };
+        resolved += 1;
+        let cursor = run_fast(scenario, &opts);
+        assert_eq!(
+            compiled.classification(),
+            cursor.classification(),
+            "scenario {scenario:?}: compiled {compiled} vs cursor {cursor}"
+        );
+        if let (Some(tc), Some(tk)) = (compiled.contact_time(), cursor.contact_time()) {
+            let slack = opts.tolerance * 10.0 + 1e-9 * tk.abs() + 1e-6;
+            assert!(
+                (tc - tk).abs() <= slack,
+                "contact times diverge: {tc} vs {tk} ({scenario:?})"
+            );
+        }
+        // The compiled ladder must never out-step the cursor ladder by
+        // more than the mark-seeded pruning can shift windows.
+        assert!(
+            compiled.steps() <= cursor.steps() * 2 + 64,
+            "compiled engine stepped wildly more on {scenario:?}: {} vs {}",
+            compiled.steps(),
+            cursor.steps()
+        );
+    }
+    assert!(
+        resolved >= scenarios.len() / 2,
+        "only {resolved}/{} scenarios resolved on the compiled path",
+        scenarios.len()
+    );
+}
+
 /// The full sweep executor with pruning on vs off: feasible records are
 /// identical, infeasible records stay (strictly) consistent in both
 /// modes.
