@@ -30,18 +30,39 @@ cargo fmt --check
 echo "==> compiled-engine allocation gate (zero heap allocations per query)"
 cargo test --release --quiet -p rvz-sim --test alloc_gate
 
-echo "==> rvz bench-engine --quick --enforce-steps (smoke: schema v3 intact, no step regressions)"
+echo "==> differential fuzz (fixed seed budget: four engine paths agree)"
+# The seeded harness in tests/differential_fuzz.rs runs the generic,
+# cursor, compiled-eager, and compiled-lazy paths on random scenario x
+# trajectory-stack draws and requires agreement within the certified
+# tolerance. The budget and seed are pinned so CI is deterministic.
+RVZ_FUZZ_CASES=24 RVZ_FUZZ_SEED=3134984190 \
+    cargo test --release --quiet --test differential_fuzz
+
+echo "==> rvz bench-engine --quick --enforce-steps (smoke: schema v4 intact, no step regressions)"
 BENCH_SMOKE="$(mktemp -t bench_engine_smoke.XXXXXX.json)"
 # --enforce-steps fails the run if the cursor engine takes more
 # advancement steps than the seed conservative loop on any case.
 cargo run --release --quiet --bin rvz -- bench-engine --quick --enforce-steps --out "$BENCH_SMOKE" >/dev/null
-grep -q '"schema": "rvz-bench-engine/v3"' "$BENCH_SMOKE"
+grep -q '"schema": "rvz-bench-engine/v4"' "$BENCH_SMOKE"
 grep -q '"cases":' "$BENCH_SMOKE"
 grep -q '"batches":' "$BENCH_SMOKE"
 grep -q '"pruned_intervals":' "$BENCH_SMOKE"
-grep -q '"compile_ns":' "$BENCH_SMOKE"
+grep -q '"compile_eager_ns":' "$BENCH_SMOKE"
+grep -q '"compile_lazy_ns":' "$BENCH_SMOKE"
+grep -q '"approx_eps":' "$BENCH_SMOKE"
+grep -q '"compile_ns_per_query":' "$BENCH_SMOKE"
 grep -q '"pieces":' "$BENCH_SMOKE"
 grep -q '"allocs_per_query":' "$BENCH_SMOKE"
+# Certified chords mean every case — the spiral included — now carries
+# a compiled sample: no escape-hatch nulls in the smoke artifact or in
+# the committed full-mode report.
+if grep -q '"compiled": null' "$BENCH_SMOKE"; then
+    echo "bench smoke artifact contains a null compiled sample"; exit 1
+fi
+if grep -q '"compiled": null' BENCH_engine.json; then
+    echo "committed BENCH_engine.json contains a null compiled sample"; exit 1
+fi
+grep -q '"schema": "rvz-bench-engine/v4"' BENCH_engine.json
 # The compiled fast path must report zero allocations per query on
 # every batch workload (the batch rows are the only lines where
 # allocs_per_query is adjacent to speedup, so this cannot be satisfied

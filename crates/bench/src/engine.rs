@@ -14,11 +14,14 @@
 //! [`MonotoneDyn`] cursors), and — when the
 //! pair lowers under the piece budget — through the monomorphic
 //! compiled-program engine ([`rvz_sim::first_contact_programs`]),
-//! recording wall time, advancement steps, lowering cost (`compile_ns`,
-//! `pieces`) and per-query allocation counts for each. Recording steps
-//! and allocations alongside time is what makes a speedup attributable:
-//! fewer queries (analytic jumps), cheaper queries (flat arenas), or
-//! removed allocator traffic show up in different columns.
+//! recording wall time, advancement steps, lowering cost (eager
+//! `compile_eager_ns` to the horizon vs streaming `compile_lazy_ns` to
+//! the query's resolution depth, plus `pieces` and the certified
+//! `approx_eps` for curved sources) and per-query allocation counts for
+//! each. Recording steps and allocations alongside time is what makes a
+//! speedup attributable: fewer queries (analytic jumps), cheaper
+//! queries (flat arenas), or removed allocator traffic show up in
+//! different columns.
 //!
 //! The **batch workloads** are the throughput acceptance metric: a
 //! warm-cache batch (compile each scenario once, query it many times —
@@ -39,10 +42,12 @@ use rvz_sim::{
 use rvz_trajectory::{Compile, CompileOptions, CompiledProgram, MonotoneDyn, PathBuilder};
 use std::time::Instant;
 
-/// Piece budget for per-case lowering attempts: generous enough for the
-/// moderate-horizon cases, and a deliberate refusal (compiled column =
-/// null) for the deep Algorithm 7 horizons whose rounds hold Θ(4ⁿ)
-/// segments.
+/// Default piece budget for per-case lowering attempts: generous enough
+/// for the moderate-horizon cases. Cases whose horizons hold more
+/// segments (the deep-round disproof) or whose sources are curved (the
+/// spiral, lowered through certified chords) override it per case —
+/// since the streaming-lowering PR every committed case produces a
+/// compiled sample.
 pub const CASE_PIECE_BUDGET: usize = 1 << 19;
 
 /// One benchmark scenario: a trajectory pair plus engine options.
@@ -60,6 +65,13 @@ pub struct EngineCase {
     pub a: Box<dyn Compile>,
     /// Second trajectory.
     pub b: Box<dyn Compile>,
+    /// Piece budget for this case's lowering ([`CASE_PIECE_BUDGET`]
+    /// unless the case needs more).
+    pub piece_budget: usize,
+    /// Certified-approximation tolerance for curved sources (`None`
+    /// for exactly piecewise pairs; the engine folds the realized
+    /// bound into its contact threshold).
+    pub approx_tolerance: Option<f64>,
 }
 
 impl EngineCase {
@@ -80,11 +92,22 @@ impl EngineCase {
         )
     }
 
+    /// The case's lowering options: horizon and piece budget plus the
+    /// certified-approximation tolerance when the case declares one.
+    pub fn compile_options(&self) -> CompileOptions {
+        let copts = CompileOptions::to_horizon(self.opts.horizon).max_pieces(self.piece_budget);
+        match self.approx_tolerance {
+            Some(eps) => copts.approx_tolerance(eps),
+            None => copts,
+        }
+    }
+
     /// Lowers the pair for the compiled engine; `None` when either side
-    /// refuses (curved pieces). The caller separately checks that the
-    /// query resolves within the (possibly truncated) coverage.
+    /// refuses (an uncertifiable curved source). The caller separately
+    /// checks that the query resolves within the (possibly truncated)
+    /// coverage.
     pub fn lower(&self) -> Option<(CompiledProgram, CompiledProgram)> {
-        let copts = CompileOptions::to_horizon(self.opts.horizon).max_pieces(CASE_PIECE_BUDGET);
+        let copts = self.compile_options();
         let a = self.a.compile(&copts).ok()?;
         let b = self.b.compile(&copts).ok()?;
         Some((a, b))
@@ -119,6 +142,8 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
                 .build(),
         ),
         b: Box::new(rvz_sim::Stationary::new(Vec2::ZERO)),
+        piece_budget: CASE_PIECE_BUDGET,
+        approx_tolerance: None,
     });
 
     // Grazing contact: the same pass dipping half a tolerance *below*
@@ -136,6 +161,8 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
                 .build(),
         ),
         b: Box::new(rvz_sim::Stationary::new(Vec2::ZERO)),
+        piece_budget: CASE_PIECE_BUDGET,
+        approx_tolerance: None,
     });
 
     // Near-approach rendezvous: a typical feasible sweep scenario under
@@ -149,6 +176,8 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
             .tolerance(tol),
         a: Box::new(WaitAndSearch),
         b: Box::new(attrs.frame_warp(WaitAndSearch, Vec2::new(0.3, 0.85))),
+        piece_budget: CASE_PIECE_BUDGET,
+        approx_tolerance: None,
     });
 
     // Infeasible twins under Algorithm 4: the engine must disprove
@@ -166,11 +195,16 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
         },
         a: Box::new(UniversalSearch),
         b: Box::new(RobotAttributes::reference().frame_warp(UniversalSearch, Vec2::new(0.0, 2.0))),
+        piece_budget: CASE_PIECE_BUDGET,
+        approx_tolerance: None,
     });
 
     // Spiral search: a fully curved trajectory — measures the cursor
-    // layer's warm-started Newton inversion, and exercises the compiled
-    // stack's escape hatch (lowering refuses: compiled column = null).
+    // layer's warm-started Newton inversion, and the compiled stack's
+    // certified-chord lowering (the spiral's closed-form curvature
+    // bound drives adaptive subdivision; the realized ε is folded into
+    // the engine's contact threshold, so the compiled column is a
+    // certificate at radius ± ε, not a guess).
     let r = 0.02;
     cases.push(EngineCase {
         name: "spiral_search",
@@ -182,12 +216,17 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
             if quick { 0.3 } else { 0.9 },
             0.4,
         ))),
+        piece_budget: CASE_PIECE_BUDGET,
+        // radius × 1e-4: far below the contact tolerance scale that
+        // matters at r = 0.02, cheap enough to stay under the budget.
+        approx_tolerance: Some(r * 1e-4),
     });
 
     // Deep-round twins: the same disproof workload pushed into rounds
     // where a single `Search(k)` holds millions of segments — the
     // envelope hierarchy must skip the sub-`d` sweeps wholesale or
-    // drown.
+    // drown. The Θ(4ⁿ)-segment rounds need a raised piece budget for
+    // the horizon disproof to stay on the compiled path.
     cases.push(EngineCase {
         name: "universal_deep_twins",
         description: "exact twins under Algorithm 4, deep-round disproof",
@@ -200,6 +239,8 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
         },
         a: Box::new(UniversalSearch),
         b: Box::new(RobotAttributes::reference().frame_warp(UniversalSearch, Vec2::new(0.0, 2.0))),
+        piece_budget: 1 << 21,
+        approx_tolerance: None,
     });
 
     // Far-apart Algorithm 7 pair: the searches spend whole rounds
@@ -215,6 +256,8 @@ pub fn engine_cases(quick: bool, prune: bool) -> Vec<EngineCase> {
             .tolerance(tol),
         a: Box::new(WaitAndSearch),
         b: Box::new(far.frame_warp(WaitAndSearch, Vec2::new(8.0, 6.0))),
+        piece_budget: CASE_PIECE_BUDGET,
+        approx_tolerance: None,
     });
 
     for case in &mut cases {
@@ -246,14 +289,25 @@ pub struct EngineSample {
     pub allocs_per_query: u64,
 }
 
-/// The compiled engine's sample plus its lowering cost.
+/// The compiled engine's sample plus its lowering cost, eager and
+/// streaming.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompiledSample {
     /// Query-time sample (lowering excluded — the amortized view lives
     /// in the batch workloads).
     pub sample: EngineSample,
-    /// Nanoseconds to lower both trajectories.
-    pub compile_ns: f64,
+    /// Nanoseconds to eagerly lower both trajectories to the horizon
+    /// (what a cold cache pays up front).
+    pub compile_eager_ns: f64,
+    /// Nanoseconds for the streaming path to materialize only the span
+    /// this query actually visited ([`rvz_trajectory::LazyProgram`]
+    /// construction plus `drive_to` the resolution time) — the
+    /// lowering tax a single cold query pays under streaming.
+    pub compile_lazy_ns: f64,
+    /// Certified approximation bound the engine folded into its contact
+    /// threshold (the larger of the two arenas'; `0` for exactly
+    /// piecewise pairs).
+    pub approx_eps: f64,
     /// Total pieces across both arenas.
     pub pieces: u64,
 }
@@ -330,11 +384,11 @@ pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
         case.name
     );
     let compiled = {
-        // Time the lowering alone; the resolvability probe below is a
-        // full engine query and must not inflate `compile_ns`.
+        // Time the eager lowering alone; the resolvability probe below
+        // is a full engine query and must not inflate the compile cost.
         let compile_start = Instant::now();
         let lowered = case.lower();
-        let compile_ns = compile_start.elapsed().as_nanos() as f64;
+        let compile_eager_ns = compile_start.elapsed().as_nanos() as f64;
         let resolvable = lowered.filter(|(a, b)| {
             rvz_sim::try_first_contact_programs(
                 a,
@@ -347,6 +401,7 @@ pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
         });
         resolvable.map(|(a, b)| {
             let pieces = (a.pieces().len() + b.pieces().len()) as u64;
+            let approx_eps = a.approx_eps().max(b.approx_eps());
             let mut scratch = EngineScratch::new();
             let s = sample(
                 || {
@@ -367,9 +422,34 @@ pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
                 "compiled engine disagrees on `{}`",
                 case.name
             );
+            // The streaming cost: materialize exactly as deep as this
+            // query went (a contact stops the stream at the contact
+            // time; a disproof must still reach the horizon).
+            let resolved = match s.outcome {
+                "contact" => rvz_sim::try_first_contact_programs(
+                    &a,
+                    &b,
+                    case.radius,
+                    &case.opts,
+                    &mut scratch,
+                )
+                .and_then(|o| o.contact_time())
+                .unwrap_or(case.opts.horizon),
+                _ => case.opts.horizon,
+            };
+            let copts = case.compile_options();
+            let lazy_start = Instant::now();
+            let la = rvz_trajectory::LazyProgram::new(&*case.a, copts);
+            let lb = rvz_trajectory::LazyProgram::new(&*case.b, copts);
+            la.drive_to(resolved);
+            lb.drive_to(resolved);
+            let compile_lazy_ns = lazy_start.elapsed().as_nanos() as f64;
+            std::hint::black_box((&la, &lb));
             CompiledSample {
                 sample: s,
-                compile_ns,
+                compile_eager_ns,
+                compile_lazy_ns,
+                approx_eps,
                 pieces,
             }
         })
@@ -427,6 +507,10 @@ pub struct BatchMeasurement {
     pub compiled_ns_per_query: f64,
     /// Nanoseconds spent lowering per run (amortized into the above).
     pub compile_ns: f64,
+    /// The amortized lowering tax: `compile_ns / queries` — the number
+    /// the streaming-lowering acceptance holds under one query's engine
+    /// time.
+    pub compile_ns_per_query: f64,
     /// Total pieces across the lowered programs.
     pub pieces: u64,
     /// Compiled-path allocation calls per query after warmup (the
@@ -560,6 +644,7 @@ pub fn measure_warm_batch(quick: bool) -> BatchMeasurement {
         cursor_allocs_per_query: cursor_allocs,
         compiled_ns_per_query: (compiled_total + compile_ns) / queries as f64,
         compile_ns,
+        compile_ns_per_query: compile_ns / queries as f64,
         pieces,
         allocs_per_query: allocs,
     }
@@ -647,6 +732,7 @@ pub fn measure_swarm_batch(quick: bool) -> BatchMeasurement {
         cursor_allocs_per_query: cursor_allocs_total / queries,
         compiled_ns_per_query: (compiled_total + compile_ns) / queries as f64,
         compile_ns,
+        compile_ns_per_query: compile_ns / queries as f64,
         pieces,
         allocs_per_query: allocs,
     }
@@ -678,10 +764,12 @@ fn json_compiled(compiled: &Option<CompiledSample>) -> String {
     match compiled {
         None => "null".to_string(),
         Some(c) => format!(
-            "{{\"ns_per_run\": {:.0}, \"steps\": {}, \"compile_ns\": {:.0}, \"pieces\": {}, \"allocs_per_query\": {}, \"outcome\": \"{}\"}}",
+            "{{\"ns_per_run\": {:.0}, \"steps\": {}, \"compile_eager_ns\": {:.0}, \"compile_lazy_ns\": {:.0}, \"approx_eps\": {:e}, \"pieces\": {}, \"allocs_per_query\": {}, \"outcome\": \"{}\"}}",
             c.sample.ns_per_run,
             c.sample.steps,
-            c.compile_ns,
+            c.compile_eager_ns,
+            c.compile_lazy_ns,
+            c.approx_eps,
             c.pieces,
             c.sample.allocs_per_query,
             c.sample.outcome
@@ -694,7 +782,8 @@ fn json_batch(b: &BatchMeasurement) -> String {
         concat!(
             "{{\"name\": \"{}\", \"description\": \"{}\", \"queries\": {}, ",
             "\"cursor_ns_per_query\": {:.0}, \"cursor_allocs_per_query\": {}, ",
-            "\"compiled_ns_per_query\": {:.0}, \"compile_ns\": {:.0}, \"pieces\": {}, ",
+            "\"compiled_ns_per_query\": {:.0}, \"compile_ns\": {:.0}, ",
+            "\"compile_ns_per_query\": {:.0}, \"pieces\": {}, ",
             "\"allocs_per_query\": {}, \"speedup\": {:.2}}}"
         ),
         b.name,
@@ -704,6 +793,7 @@ fn json_batch(b: &BatchMeasurement) -> String {
         b.cursor_allocs_per_query,
         b.compiled_ns_per_query,
         b.compile_ns,
+        b.compile_ns_per_query,
         b.pieces,
         b.allocs_per_query,
         b.speedup(),
@@ -711,7 +801,9 @@ fn json_batch(b: &BatchMeasurement) -> String {
 }
 
 /// Renders the measurements as the `BENCH_engine.json` document
-/// (schema v3: per-case compiled samples plus the batch workloads).
+/// (schema v4: per-case eager/lazy compile costs and certified ε
+/// alongside the compiled samples, plus the batch workloads with the
+/// amortized per-query lowering tax).
 ///
 /// Hand-rolled JSON (the workspace is dependency-free); the schema is
 /// versioned so future PRs can extend it without breaking consumers.
@@ -721,7 +813,7 @@ pub fn render_json(
     quick: bool,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rvz-bench-engine/v3\",\n");
+    out.push_str("  \"schema\": \"rvz-bench-engine/v4\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -884,8 +976,7 @@ mod tests {
             }
         }
         // The grazing cases are the ones the fast path exists for: the
-        // cursor engine must use orders of magnitude fewer steps, and
-        // the trivially piecewise pairs must lower.
+        // cursor engine must use orders of magnitude fewer steps.
         for name in ["grazing_near_miss", "grazing_contact"] {
             let m = measurements.iter().find(|m| m.name == name).unwrap();
             assert!(
@@ -894,14 +985,29 @@ mod tests {
                 m.cursor.steps,
                 m.generic.steps
             );
-            assert!(m.compiled.is_some(), "{name} must lower");
         }
-        // The spiral is the escape hatch: it must *not* lower.
+        // Since the certified-chord PR *every* case must produce a
+        // compiled sample — no `"compiled": null` rows in the artifact.
+        for m in &measurements {
+            assert!(m.compiled.is_some(), "{} must run compiled", m.name);
+        }
+        // The spiral lowers through certified chords: a real ε within
+        // the declared tolerance, exact cases report exactly zero.
         let spiral = measurements
             .iter()
             .find(|m| m.name == "spiral_search")
             .unwrap();
-        assert!(spiral.compiled.is_none(), "the spiral has no closed form");
+        let c = spiral.compiled.as_ref().unwrap();
+        assert!(
+            c.approx_eps > 0.0 && c.approx_eps <= 0.02 * 1e-4,
+            "spiral eps {} out of range",
+            c.approx_eps
+        );
+        for m in &measurements {
+            if m.name != "spiral_search" {
+                assert_eq!(m.compiled.as_ref().unwrap().approx_eps, 0.0, "{}", m.name);
+            }
+        }
         // The step-fix satellite: the cursor engine must never take more
         // steps than the seed loop, with or without pruning.
         assert!(step_regressions(&measurements).is_empty());
@@ -965,7 +1071,9 @@ mod tests {
                         envelope_queries: 8,
                         allocs_per_query: 0,
                     },
-                    compile_ns: 100.0,
+                    compile_eager_ns: 100.0,
+                    compile_lazy_ns: 25.0,
+                    approx_eps: 2e-6,
                     pieces: 42,
                 }),
             },
@@ -986,12 +1094,16 @@ mod tests {
             cursor_allocs_per_query: 7,
             compiled_ns_per_query: 400.0,
             compile_ns: 5000.0,
+            compile_ns_per_query: 104.0,
             pieces: 1234,
             allocs_per_query: 0,
         }];
         let json = render_json(&measurements, &batches, true);
-        assert!(json.contains("\"schema\": \"rvz-bench-engine/v3\""));
-        assert!(json.contains("\"compile_ns\": 100"));
+        assert!(json.contains("\"schema\": \"rvz-bench-engine/v4\""));
+        assert!(json.contains("\"compile_eager_ns\": 100"));
+        assert!(json.contains("\"compile_lazy_ns\": 25"));
+        assert!(json.contains("\"approx_eps\": 2e-6"));
+        assert!(json.contains("\"compile_ns_per_query\": 104"));
         assert!(json.contains("\"pieces\": 42"));
         assert!(json.contains("\"allocs_per_query\": 0"));
         assert!(json.contains("\"compiled\": null"));

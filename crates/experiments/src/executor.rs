@@ -16,8 +16,10 @@
 //! * **Compiled fast path** — each worker lowers the common algorithm to
 //!   a [`CompiledProgram`] **once** and
 //!   reuses one [`EngineScratch`] across its whole batch; per scenario
-//!   only the partner's frame-warped program is lowered, and the query
-//!   runs on `rvz_sim`'s monomorphic zero-allocation engine. Whether the
+//!   the partner's frame-warped program runs as a **streaming**
+//!   [`LazyProgram`](rvz_trajectory::LazyProgram) whose pieces
+//!   materialize only as far as the query advances, and the query runs
+//!   on `rvz_sim`'s program engine. Whether the
 //!   compiled path applies is itself deterministic (it depends only on
 //!   the options and the scenario), so schedule independence survives.
 //!   When the reference lowering cannot cover the horizon within the
@@ -35,7 +37,7 @@ use crate::scenario::{Algorithm, Scenario};
 use rvz_core::WaitAndSearch;
 use rvz_model::{feasibility, Feasibility};
 use rvz_search::UniversalSearch;
-use rvz_sim::batch::{simulate_rendezvous_by_ref, try_simulate_rendezvous_compiled};
+use rvz_sim::batch::{simulate_rendezvous_by_ref, try_simulate_rendezvous_lazy};
 use rvz_sim::{ContactOptions, EngineScratch, SimOutcome};
 use rvz_trajectory::{Compile, CompileOptions, CompiledProgram};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -192,8 +194,14 @@ impl WorkerState {
             .as_ref()
             .expect("filled above")
             .as_ref()?;
+        // The partner runs as a *streaming* program: pieces materialize
+        // only as far as the query advances, so a scenario that resolves
+        // in the first rounds no longer pays the full-horizon partner
+        // lowering that used to dominate per-scenario cost. The
+        // reference stays eager — it is lowered once and amortized over
+        // the whole batch, and its baked envelope tree prunes best.
         match scenario.algorithm {
-            Algorithm::WaitAndSearch => try_simulate_rendezvous_compiled(
+            Algorithm::WaitAndSearch => try_simulate_rendezvous_lazy(
                 reference,
                 &WaitAndSearch,
                 instance,
@@ -201,7 +209,7 @@ impl WorkerState {
                 &copts,
                 &mut self.scratch,
             ),
-            Algorithm::UniversalSearch => try_simulate_rendezvous_compiled(
+            Algorithm::UniversalSearch => try_simulate_rendezvous_lazy(
                 reference,
                 &UniversalSearch,
                 instance,

@@ -31,7 +31,6 @@ use rvz_experiments::{
     Scenario, Summary, SweepOptions, SweepRecord, DEFAULT_GRID,
 };
 use rvz_model::{feasibility, Chirality, RobotAttributes};
-use rvz_sim::batch::compile_rendezvous_partner;
 use rvz_sim::{try_first_contact_programs, EngineScratch, SimOutcome};
 use rvz_trajectory::{Compile, CompileOptions, CompiledProgram};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,12 +64,15 @@ pub struct ServiceOptions {
     /// — including the negative result, so a horizon too deep for the
     /// budget is probed exactly once and every later query skips
     /// straight to the cursor path. Each orbit's frame-warped
-    /// **partner** program is cached under the same canonical key as
-    /// its result, which single-flights concurrent lowerings and lets
-    /// batch misses reuse partners across a `/sweep` body; since the
-    /// partner cache shares the result cache's capacity and access
-    /// pattern, a partner is evicted no later than its result — a
-    /// fresh miss on an evicted orbit re-lowers the partner but never
+    /// **partner** is *streamed* on a miss — a
+    /// [`rvz_trajectory::LazyProgram`] materializes pieces only as far
+    /// as the query advances — then frozen into an eager handle and
+    /// cached under the same canonical key as its result, so warm
+    /// misses replay on the frozen prefix without touching the stream;
+    /// since the partner cache shares the result cache's capacity and
+    /// access pattern, a partner is evicted no later than its result —
+    /// a fresh miss on an evicted orbit re-streams the partner (to the
+    /// same depth, hence byte-identical replies) but never re-lowers
     /// the reference (the dominant cost). The service owns all
     /// lowering itself: the executor's own compiled path is disabled
     /// at construction so no per-request worker ever re-lowers a
@@ -107,9 +109,9 @@ pub struct Service {
     /// is zeroed so executor fallbacks never lower independently).
     compile_pieces: usize,
     cache: ResultCache<SimOutcome>,
-    /// Partner-program cache: one lowered frame-warped program (or a
-    /// remembered lowering failure) per canonical orbit, keyed like the
-    /// result cache.
+    /// Partner-program cache: one frozen frame-warped prefix (the
+    /// lazy stream's materialized span, or a remembered refusal) per
+    /// canonical orbit, keyed like the result cache.
     programs: ResultCache<Option<SharedProgram>>,
     /// Reference programs, one per [`Algorithm`]: a pure function of
     /// the algorithm and the service horizon, lowered at most once for
@@ -371,27 +373,88 @@ impl Service {
         run_sweep(std::slice::from_ref(canonical), &single)[0].outcome
     }
 
-    /// The compiled fast path: cached reference + cached (or freshly
-    /// lowered) partner, run on the monomorphic engine. `None` hands the
-    /// query to the cursor path.
+    /// The compiled fast path: the cached reference against a
+    /// **streaming** partner. A partner-cache hit replays the query on
+    /// the frozen handle (bit-identical to the run that produced it —
+    /// the handle keeps its full mark list precisely so the replay
+    /// seeds identical pruning windows); a miss runs the query on a
+    /// [`LazyProgram`](rvz_trajectory::LazyProgram) that materializes
+    /// pieces only as deep as the query advances, then freezes that
+    /// depth into a shareable `Send + Sync` handle for later misses of
+    /// the same orbit. `None` hands the query to the cursor path.
     fn simulate_compiled(
         &self,
         canonical: &Scenario,
         key: rvz_experiments::CacheKey,
     ) -> Option<SimOutcome> {
         let reference = Arc::clone(self.reference_for(canonical.algorithm).as_ref()?);
-        let (partner, _) = self
-            .programs
-            .get_or_compute(key, || self.lower_partner(canonical));
-        let partner = partner?;
         let mut scratch = EngineScratch::new();
-        try_first_contact_programs(
-            &reference,
-            &partner,
-            canonical.visibility,
+        if let Some(partner) = self.programs.probe(&key).flatten() {
+            // Identical key ⟹ identical canonical scenario ⟹ the
+            // frozen depth suffices (it was materialized by this very
+            // query); the refusal branch below only fires after an
+            // options change or a shallow budget, and stays sound.
+            if let Some(outcome) = try_first_contact_programs(
+                &reference,
+                &partner,
+                canonical.visibility,
+                &self.opts.sweep.contact,
+                &mut scratch,
+            ) {
+                self.programs.record(1, 0);
+                return Some(outcome);
+            }
+        }
+        self.programs.record(0, 1);
+        let instance = canonical.instance().ok()?;
+        match canonical.algorithm {
+            Algorithm::WaitAndSearch => self.lazy_partner_query(
+                &reference,
+                &rvz_core::WaitAndSearch,
+                &instance,
+                key,
+                &mut scratch,
+            ),
+            Algorithm::UniversalSearch => self.lazy_partner_query(
+                &reference,
+                &rvz_search::UniversalSearch,
+                &instance,
+                key,
+                &mut scratch,
+            ),
+        }
+    }
+
+    /// Runs one query against a freshly streamed partner and caches the
+    /// frozen materialized depth under the orbit's key.
+    ///
+    /// Unlike `get_or_compute`, concurrent misses of one orbit may both
+    /// stream (the last freeze wins the cache slot); both produce the
+    /// same frozen handle and the same outcome, so responses stay pure.
+    fn lazy_partner_query<T: Compile + rvz_trajectory::MonotoneTrajectory>(
+        &self,
+        reference: &CompiledProgram,
+        algorithm: &T,
+        instance: &rvz_model::RendezvousInstance,
+        key: rvz_experiments::CacheKey,
+        scratch: &mut EngineScratch,
+    ) -> Option<SimOutcome> {
+        let partner = instance
+            .attributes()
+            .frame_warp(algorithm, instance.offset());
+        let lazy = rvz_trajectory::LazyProgram::new(&partner, self.compile_options());
+        let outcome = try_first_contact_programs(
+            reference,
+            &lazy,
+            instance.visibility(),
             &self.opts.sweep.contact,
-            &mut scratch,
-        )
+            scratch,
+        );
+        // Freeze whatever depth the query reached — resolved or refused
+        // — so the next miss on this orbit starts from a baked handle
+        // instead of re-streaming.
+        self.programs.insert(key, Some(Arc::new(lazy.freeze())));
+        outcome
     }
 
     fn compile_options(&self) -> CompileOptions {
@@ -419,23 +482,6 @@ impl Service {
                 .filter(|p| p.covers(self.opts.sweep.contact.horizon))
                 .map(Arc::new)
         })
-    }
-
-    /// Lowers one orbit's frame-warped partner, or remembers that it
-    /// cannot be done (a truncated partner can still resolve early
-    /// contacts, so truncation is kept).
-    fn lower_partner(&self, canonical: &Scenario) -> Option<SharedProgram> {
-        let instance = canonical.instance().ok()?;
-        let copts = self.compile_options();
-        let partner = match canonical.algorithm {
-            Algorithm::WaitAndSearch => {
-                compile_rendezvous_partner(&rvz_core::WaitAndSearch, &instance, &copts)
-            }
-            Algorithm::UniversalSearch => {
-                compile_rendezvous_partner(&rvz_search::UniversalSearch, &instance, &copts)
-            }
-        };
-        partner.ok().map(Arc::new)
     }
 
     fn first_contact(&self, req: &Request) -> Response {

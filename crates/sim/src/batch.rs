@@ -102,6 +102,36 @@ pub fn try_simulate_rendezvous_compiled<T: Compile + MonotoneTrajectory>(
     try_first_contact_programs(reference, &partner, instance.visibility(), opts, scratch)
 }
 
+/// [`try_simulate_rendezvous_compiled`] with a **streaming** partner:
+/// instead of eagerly lowering the warped partner to the full horizon
+/// before the first probe, the partner runs as a
+/// [`LazyProgram`](rvz_trajectory::LazyProgram) that materializes
+/// pieces only as far as the query advances. On deep schedules whose
+/// queries resolve early this removes the dominant per-instance
+/// lowering tax; the reference program is still compiled eagerly once
+/// per batch and amortized.
+///
+/// Returns `None` when the query needs time the partner cannot cover
+/// (piece budget, a curved span without an
+/// [`approx_tolerance`](rvz_trajectory::CompileOptions::approx_tolerance),
+/// an uncertifiable bound) — the caller falls back to the cursor path,
+/// exactly as with the eager variant. A returned outcome always equals
+/// the fully compiled run's.
+pub fn try_simulate_rendezvous_lazy<T: Compile + MonotoneTrajectory>(
+    reference: &CompiledProgram,
+    algorithm: &T,
+    instance: &RendezvousInstance,
+    opts: &ContactOptions,
+    compile: &CompileOptions,
+    scratch: &mut EngineScratch,
+) -> Option<SimOutcome> {
+    let partner = instance
+        .attributes()
+        .frame_warp(algorithm, instance.offset());
+    let lazy = rvz_trajectory::LazyProgram::new(&partner, *compile);
+    try_first_contact_programs(reference, &lazy, instance.visibility(), opts, scratch)
+}
+
 /// Runs a batch of rendezvous instances under one shared algorithm value,
 /// returning outcomes in instance order.
 pub fn run_rendezvous_batch<T: MonotoneTrajectory>(
@@ -145,6 +175,46 @@ mod tests {
         let times: Vec<f64> = outcomes.iter().map(|o| o.contact_time().unwrap()).collect();
         // Farther instances cannot meet earlier under the same algorithm.
         assert!(times[0] <= times[1] && times[1] <= times[2], "{times:?}");
+    }
+
+    #[test]
+    fn lazy_batch_matches_eager_and_cursor() {
+        let attrs = RobotAttributes::reference().with_speed(0.5);
+        let opts = ContactOptions::default();
+        let compile = CompileOptions::to_horizon(opts.horizon);
+        let reference = UniversalSearch.compile(&compile).unwrap();
+        let mut scratch = EngineScratch::new();
+        for d in [0.4, 0.9, 1.5] {
+            let inst = RendezvousInstance::new(Vec2::new(0.0, d), 0.05, attrs).unwrap();
+            let lazy = try_simulate_rendezvous_lazy(
+                &reference,
+                &UniversalSearch,
+                &inst,
+                &opts,
+                &compile,
+                &mut scratch,
+            )
+            .expect("lazy partner covers the resolved span");
+            let eager = try_simulate_rendezvous_compiled(
+                &reference,
+                &UniversalSearch,
+                &inst,
+                &opts,
+                &compile,
+                &mut scratch,
+            )
+            .expect("eager partner covers the horizon");
+            let cursor = simulate_rendezvous_by_ref(&UniversalSearch, &inst, &opts);
+            // Step counts may differ when the eager partner
+            // budget-truncates (its round marks stop at the truncated
+            // end, the lazy program's reach the horizon), but the
+            // verdict and contact time must agree across all three.
+            for other in [&eager, &cursor] {
+                assert_eq!(lazy.classification(), other.classification(), "d = {d}");
+                let (tl, to) = (lazy.contact_time().unwrap(), other.contact_time().unwrap());
+                assert!((tl - to).abs() < 1e-6, "d = {d}: {tl} vs {to}");
+            }
+        }
     }
 
     #[test]

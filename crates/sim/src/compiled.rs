@@ -5,7 +5,8 @@
 //! generality per probe: frame-warp matrix products, schedule round
 //! arithmetic, and (on the heterogeneous swarm path) virtual dispatch
 //! through `Box<dyn Cursor>`. This module runs the *same certificate
-//! ladder* on two flat [`CompiledProgram`] arenas instead:
+//! ladder* on two flat [`CompiledProgram`](rvz_trajectory::CompiledProgram)
+//! arenas instead:
 //!
 //! * a probe is an index bump plus one fused multiply-add (the warp and
 //!   clock arithmetic were baked into the pieces at lowering time);
@@ -18,6 +19,18 @@
 //!   galloping up from the leaf scale;
 //! * the whole query runs without a single heap allocation — enforced
 //!   by a counting-allocator test gate (`tests/alloc_gate.rs`).
+//!
+//! ## Program views
+//!
+//! The engine is generic over [`ProgramView`]: the eager
+//! [`CompiledProgram`](rvz_trajectory::CompiledProgram) (baked envelope
+//! tree, zero work per query beyond the ladder itself) and the
+//! streaming [`LazyProgram`](rvz_trajectory::LazyProgram) (pieces
+//! materialize on demand, so the lowering cost is proportional to the
+//! time the query actually examines) run through the same ladder.
+//! Views carrying certified approximate pieces fold their error bound
+//! into the contact threshold — see
+//! [`try_first_contact_programs`] for the soundness argument.
 //!
 //! ## Partial programs
 //!
@@ -38,7 +51,7 @@ use crate::engine::{
     circular_pair_law, piece_gap_lower_bound, ContactOptions, EngineStats, SimOutcome,
 };
 use rvz_geometry::Vec2;
-use rvz_trajectory::{CompiledProgram, Motion};
+use rvz_trajectory::{Motion, ProgramView};
 
 /// Reusable per-worker workspace for the compiled engine.
 ///
@@ -84,9 +97,9 @@ impl EngineScratch {
 /// Panics when either program does not cover `opts.horizon` (use
 /// [`try_first_contact_programs`] for budget-truncated programs), and on
 /// invalid options/radius as in [`crate::first_contact`].
-pub fn first_contact_programs(
-    a: &CompiledProgram,
-    b: &CompiledProgram,
+pub fn first_contact_programs<A: ProgramView + ?Sized, B: ProgramView + ?Sized>(
+    a: &A,
+    b: &B,
     radius: f64,
     opts: &ContactOptions,
     scratch: &mut EngineScratch,
@@ -95,29 +108,47 @@ pub fn first_contact_programs(
         a.covers(opts.horizon) && b.covers(opts.horizon),
         "programs must cover the horizon {} (covered: {} / {})",
         opts.horizon,
-        a.end_time(),
-        b.end_time()
+        a.covered_end(),
+        b.covered_end()
     );
     try_first_contact_programs(a, b, radius, opts, scratch)
         .expect("fully covered programs always resolve")
 }
 
-/// First contact between two compiled programs, tolerating truncated
+/// First contact between two program views, tolerating truncated
 /// coverage.
 ///
+/// Generic over [`ProgramView`], so it accepts any mix of eager
+/// [`CompiledProgram`](rvz_trajectory::CompiledProgram)s and streaming
+/// [`LazyProgram`](rvz_trajectory::LazyProgram)s — the latter
+/// materialize pieces only as far as the query actually advances.
+///
 /// Returns `Some` when the query resolves within the covered span — a
-/// contact (or the horizon) no later than both programs' `end_time` —
+/// contact (or the horizon) no later than both programs' covered end —
 /// and `None` when the engine would need uncovered time; the caller
 /// then falls back to the cursor path. A `None` is a *refusal*, never
 /// an approximation: every returned outcome is exactly what the fully
 /// compiled run would produce.
 ///
+/// ## Certified approximate pieces
+///
+/// When a view carries certified approximate pieces
+/// ([`ProgramView::approx_eps`] > 0), the contact threshold is inflated
+/// by `εₐ + ε_b`: every probe sits within that sum of the true pair
+/// distance, so a **contact** verdict certifies a true contact at
+/// tolerance `tolerance + 2(εₐ + ε_b)`, and a **horizon** verdict
+/// certifies that the true trajectories never came within
+/// `radius + tolerance` (the inflation absorbs the approximation error
+/// in the conservative direction for disproofs). Envelope pruning stays
+/// sound because approximate pieces expand their envelopes by their own
+/// `ε` at lowering time.
+///
 /// # Panics
 ///
 /// On invalid options or radius, as in [`crate::first_contact`].
-pub fn try_first_contact_programs(
-    a: &CompiledProgram,
-    b: &CompiledProgram,
+pub fn try_first_contact_programs<A: ProgramView + ?Sized, B: ProgramView + ?Sized>(
+    a: &A,
+    b: &B,
     radius: f64,
     opts: &ContactOptions,
     scratch: &mut EngineScratch,
@@ -132,21 +163,18 @@ pub fn try_first_contact_programs(
         rel_speed.is_finite(),
         "speed bounds must be finite, got {rel_speed}"
     );
-    let threshold = radius + opts.tolerance;
-    // The time up to which both arenas answer probes exactly.
-    let covered = {
-        let ca = if a.rest().is_some() {
-            f64::INFINITY
-        } else {
-            a.end_time()
-        };
-        let cb = if b.rest().is_some() {
-            f64::INFINITY
-        } else {
-            b.end_time()
-        };
-        ca.min(cb)
-    };
+    let approx = a.approx_eps() + b.approx_eps();
+    assert!(
+        approx >= 0.0 && approx.is_finite(),
+        "approx bounds must be finite and >= 0, got {approx}"
+    );
+    let threshold = radius + opts.tolerance + approx;
+    if !a.covers(0.0) || !b.covers(0.0) {
+        // A view may fail to cover even t = 0 (a lazy program whose
+        // source refuses immediately): refuse before the first probe.
+        scratch.stats = EngineStats::default();
+        return None;
+    }
 
     let mut ia = 0_usize;
     let mut ib = 0_usize;
@@ -324,8 +352,10 @@ pub fn try_first_contact_programs(
             }
         }
         t = t_next.min(opts.horizon);
-        if t > covered {
+        if !a.covers(t) || !b.covers(t) {
             // The query needs uncovered time: refuse rather than guess.
+            // (Lazy views materialize pieces inside `covers` before
+            // answering, so a `true` here also warms the next probe.)
             scratch.stats = stats;
             return None;
         }
@@ -340,7 +370,9 @@ mod tests {
     use crate::engine::{first_contact, first_contact_cursors_instrumented};
     use crate::Stationary;
     use rvz_search::UniversalSearch;
-    use rvz_trajectory::{Compile, CompileOptions, MonotoneTrajectory, PathBuilder};
+    use rvz_trajectory::{
+        Compile, CompileOptions, CompiledProgram, MonotoneTrajectory, PathBuilder,
+    };
 
     fn compile<T: Compile + ?Sized>(t: &T, horizon: f64) -> CompiledProgram {
         t.compile(&CompileOptions::to_horizon(horizon)).unwrap()

@@ -139,6 +139,17 @@ impl<F: Fn(f64) -> Vec2> MonotoneTrajectory for FnTrajectory<F> {
     }
 }
 
+/// Closure-backed trajectories lower through the default sampled chord
+/// bound ([`crate::sampled_chord_bound`]): when
+/// [`crate::CompileOptions::approx_tolerance`] is set, the curved spans
+/// are adaptively subdivided into certified affine chords; without it,
+/// lowering refuses with [`crate::CompileError::Curved`] exactly as
+/// before. Closures whose samples contradict the declared speed bound
+/// (non-Lipschitz spikes) fail certification and refuse with
+/// [`crate::CompileError::Uncertifiable`] rather than emitting an
+/// unsound bound.
+impl<F: Fn(f64) -> Vec2> crate::Compile for FnTrajectory<F> {}
+
 impl<F> std::fmt::Debug for FnTrajectory<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FnTrajectory")

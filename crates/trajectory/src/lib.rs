@@ -27,10 +27,16 @@
 //!   simulator's analytic fast path (see the [`monotone`] module docs
 //!   for the cursor contract);
 //! * [`CompiledProgram`] / [`Compile`] — the flat piecewise IR: a
-//!   trajectory lowered *once* (warps and clock drifts applied at
-//!   lowering time) into an arena of exact pieces with a baked envelope
-//!   tree, the substrate of the simulator's monomorphic zero-allocation
-//!   engine (see the [`program`] module docs).
+//!   trajectory lowered (warps and clock drifts applied at lowering
+//!   time) into an arena of pieces with a baked envelope tree, the
+//!   substrate of the simulator's monomorphic zero-allocation engine.
+//!   Curved motions lower to certified approximate pieces carrying a
+//!   proven error bound when [`CompileOptions::approx_tolerance`] is
+//!   set (see the [`program`] module docs);
+//! * [`LazyProgram`] — the streaming counterpart: the same pieces
+//!   materialized on demand behind the dense start-time index, so
+//!   compile cost is proportional to the time a query actually examines
+//!   rather than the horizon (see the [`lazy`] module docs).
 //!
 //! ## Example
 //!
@@ -53,6 +59,7 @@
 pub mod cursor;
 pub mod drift;
 pub mod func;
+pub mod lazy;
 pub mod monotone;
 pub mod path;
 pub mod program;
@@ -62,11 +69,15 @@ pub mod warp;
 pub use cursor::StreamCursor;
 pub use drift::ClockDrift;
 pub use func::FnTrajectory;
+pub use lazy::LazyProgram;
 pub use monotone::{
     Cursor, GenericCursor, MonotoneDyn, MonotoneGuard, MonotoneTrajectory, Motion, Probe,
 };
 pub use path::{Path, PathBuilder};
-pub use program::{Compile, CompileError, CompileOptions, CompiledProgram, Piece, ProgramCursor};
+pub use program::{
+    lower_program, sampled_chord_bound, Compile, CompileError, CompileOptions, CompiledProgram,
+    Piece, ProgramCursor, ProgramView,
+};
 pub use segment::Segment;
 pub use warp::FrameWarp;
 

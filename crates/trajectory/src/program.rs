@@ -20,7 +20,7 @@
 //!   Algorithm 7 phases) recorded as times, which the engine uses to seed
 //!   its pruning windows at the schedule's natural granularity.
 //!
-//! ## Lowering, budgets, and the escape hatch
+//! ## Lowering, budgets, and certified curved pieces
 //!
 //! [`Compile::compile`] drives the trajectory's own monotone cursor from
 //! `t = 0` and records each reported piece. Lowering is bounded by a
@@ -28,29 +28,47 @@
 //! Θ(4ᵏ) segments in round `k`, so compiling a deep horizon eagerly is
 //! *deliberately* refused (or truncated — see
 //! [`CompileOptions::truncate`]) rather than silently materializing
-//! millions of pieces. Trajectories that expose a [`Motion::Curved`]
-//! piece (the Archimedean spiral, arbitrary `FnTrajectory` closures)
-//! cannot be lowered and keep running on the generic cursor path — the
-//! cursor engine remains the reference implementation and the escape
-//! hatch.
+//! millions of pieces. The eager lowering is one consumer of the shared
+//! piece producer; [`crate::LazyProgram`] drains the same producer *on
+//! demand*, so compile cost is proportional to the time a query actually
+//! examines rather than the horizon.
+//!
+//! Trajectories that expose a [`Motion::Curved`] piece (the Archimedean
+//! spiral, arbitrary `FnTrajectory` closures) have no exact closed-form
+//! pieces. By default they refuse to lower and keep running on the
+//! generic cursor path. When [`CompileOptions::approx_tolerance`] is
+//! set, curved spans instead lower to **certified approximate pieces**:
+//! affine chords carrying a proven pointwise error bound
+//! [`Piece::eps`], produced by adaptive subdivision against
+//! [`Compile::chord_error_bound`]. Every certificate the engine emits
+//! then folds the program's [`CompiledProgram::approx_eps`] into its
+//! contact threshold and the per-piece envelopes are expanded by `eps`,
+//! so compiled results remain certificates (see `ARCHITECTURE.md` for
+//! the soundness argument). Trajectories whose error cannot be bounded
+//! (a closure violating its declared speed bound) refuse with
+//! [`CompileError::Uncertifiable`] rather than emitting an unsound
+//! bound.
 //!
 //! A compiled program is itself a [`Trajectory`] +
 //! [`MonotoneTrajectory`](crate::MonotoneTrajectory)
 //! over its covered span, so it flows through every existing engine
 //! entry point; the dedicated monomorphic fast path lives in
-//! `rvz_sim::compiled`.
+//! `rvz_sim::compiled` and is generic over [`ProgramView`], the facade
+//! shared by eager and lazy programs.
 
 use crate::monotone::{Cursor, MonotoneDyn, MonotoneGuard, Motion, Probe};
 use crate::Trajectory;
 use rvz_geometry::{Aabb, Disk, Vec2};
 use std::fmt;
 
-/// One entry of the flat arena: an exact motion law on `[t0, t1]`.
+/// One entry of the flat arena: a motion law on `[t0, t1]`, exact or
+/// certified-approximate.
 ///
 /// The law is evaluable in closed form: an affine piece moves at a
 /// constant velocity from [`Piece::pos0`]; a circular piece follows the
 /// stored circle from the stored phase. [`Motion::Curved`] never appears
-/// in a compiled program — lowering fails instead.
+/// in a compiled program — curved spans either refuse to lower or lower
+/// to affine chords with a proven error bound [`Piece::eps`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Piece {
     /// Global start time of the piece.
@@ -61,6 +79,15 @@ pub struct Piece {
     pub pos0: Vec2,
     /// The motion law, with circular phases anchored at `t0`.
     pub motion: Motion,
+    /// Certified pointwise error bound: the source trajectory stays
+    /// within `eps` of this piece's law at every time in `[t0, t1]`.
+    /// `0.0` for exact pieces; positive only for the affine chords a
+    /// curved span lowers to under
+    /// [`CompileOptions::approx_tolerance`]. Envelopes
+    /// ([`Piece::bounding_box`], [`Piece::chunk_disk`]) are expanded by
+    /// `eps` so they contain the *true* curve, and the engine folds the
+    /// program-wide maximum into its contact threshold.
+    pub eps: f64,
 }
 
 impl Piece {
@@ -76,7 +103,9 @@ impl Piece {
                 angular_velocity,
                 angle,
             } => center + Vec2::from_polar(radius, angle + angular_velocity * u),
-            Motion::Curved => unreachable!("compiled programs never hold curved pieces"),
+            Motion::Curved => {
+                unreachable!("compiled programs never hold curved pieces (curved spans refuse or lower to certified affine chords)")
+            }
         }
     }
 
@@ -105,7 +134,9 @@ impl Piece {
                     },
                 )
             }
-            Motion::Curved => unreachable!("compiled programs never hold curved pieces"),
+            Motion::Curved => {
+                unreachable!("compiled programs never hold curved pieces (curved spans refuse or lower to certified affine chords)")
+            }
         };
         Probe {
             position,
@@ -114,34 +145,44 @@ impl Piece {
         }
     }
 
-    /// The tight bounding disk of the whole piece.
+    /// The bounding disk of the whole piece, expanded by [`Piece::eps`]
+    /// so it contains the true curve of an approximate piece.
     pub fn disk(&self) -> Disk {
         self.chunk_disk(self.t0, self.t1)
     }
 
-    /// A tight bounding box of the whole piece (the baked-tree leaf).
+    /// A bounding box of the whole piece (the baked-tree leaf),
+    /// expanded by [`Piece::eps`].
     pub fn bounding_box(&self) -> Aabb {
         self.chunk_box(self.t0, self.t1)
     }
 
     /// A bounding box of the sub-interval `[a, b] ⊆ [t0, t1]`: exact
-    /// for affine pieces, the arc-chunk disk's box for circular ones.
+    /// for affine pieces, the arc-chunk disk's box for circular ones —
+    /// in both cases expanded by [`Piece::eps`], so approximate pieces
+    /// still bound the true curve.
     pub fn chunk_box(&self, a: f64, b: f64) -> Aabb {
         match self.motion {
             Motion::Affine { velocity } => {
                 let ua = a - self.t0;
                 let from = self.pos0 + velocity * ua;
-                Aabb::spanning(from, from + velocity * (b - a).max(0.0))
+                let tight = Aabb::spanning(from, from + velocity * (b - a).max(0.0));
+                if self.eps > 0.0 {
+                    tight.expanded(self.eps)
+                } else {
+                    tight
+                }
             }
             _ => Aabb::from_disk(&self.chunk_disk(a, b)),
         }
     }
 
-    /// The tight bounding disk of the sub-interval `[a, b] ⊆ [t0, t1]`.
+    /// The bounding disk of the sub-interval `[a, b] ⊆ [t0, t1]`,
+    /// expanded by [`Piece::eps`].
     pub fn chunk_disk(&self, a: f64, b: f64) -> Disk {
         let ua = a - self.t0;
         let span = (b - a).max(0.0);
-        match self.motion {
+        let tight = match self.motion {
             Motion::Affine { velocity } => {
                 let from = self.pos0 + velocity * ua;
                 if velocity == Vec2::ZERO || span == 0.0 {
@@ -161,7 +202,14 @@ impl Piece {
                 angle + angular_velocity * ua,
                 angular_velocity * span,
             ),
-            Motion::Curved => unreachable!("compiled programs never hold curved pieces"),
+            Motion::Curved => {
+                unreachable!("compiled programs never hold curved pieces (curved spans refuse or lower to certified affine chords)")
+            }
+        };
+        if self.eps > 0.0 {
+            tight.expanded(self.eps)
+        } else {
+            tight
         }
     }
 }
@@ -184,6 +232,13 @@ pub struct CompileOptions {
     /// coverage" instead of a wrong answer); `false` returns
     /// [`CompileError::Budget`].
     pub truncate: bool,
+    /// `Some(ε)` enables certified lowering of [`Motion::Curved`] spans:
+    /// each span is adaptively subdivided into affine chords whose
+    /// proven pointwise error ([`Compile::chord_error_bound`]) is at
+    /// most `ε`, recorded per piece in [`Piece::eps`]. `None` (the
+    /// default) keeps the exact-only behavior: curved spans refuse with
+    /// [`CompileError::Curved`].
+    pub approx_tolerance: Option<f64>,
 }
 
 impl CompileOptions {
@@ -202,6 +257,7 @@ impl CompileOptions {
             horizon,
             max_pieces: 65_536,
             truncate: true,
+            approx_tolerance: None,
         }
     }
 
@@ -219,6 +275,22 @@ impl CompileOptions {
     /// Sets the on-budget behavior (see [`CompileOptions::truncate`]).
     pub fn truncate(mut self, truncate: bool) -> Self {
         self.truncate = truncate;
+        self
+    }
+
+    /// Enables certified approximate lowering of curved spans with
+    /// pointwise error at most `eps` (see
+    /// [`CompileOptions::approx_tolerance`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps` is positive and finite.
+    pub fn approx_tolerance(mut self, eps: f64) -> Self {
+        assert!(
+            eps > 0.0 && eps.is_finite(),
+            "approx tolerance must be positive and finite, got {eps}"
+        );
+        self.approx_tolerance = Some(eps);
         self
     }
 }
@@ -247,6 +319,15 @@ pub enum CompileError {
         /// The time at which lowering stopped making progress.
         at: f64,
     },
+    /// Certified lowering was requested but no sound error bound could
+    /// be established for a curved span, even at the smallest usable
+    /// subdivision step — e.g. a closure that violates its declared
+    /// speed bound. Refusing is the only sound answer: emitting a
+    /// guessed bound would turn compiled certificates into lies.
+    Uncertifiable {
+        /// The global time at which certification failed.
+        at: f64,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -262,6 +343,9 @@ impl fmt::Display for CompileError {
                 )
             }
             CompileError::Stalled { at } => write!(f, "cursor stalled at t={at}"),
+            CompileError::Uncertifiable { at } => {
+                write!(f, "no sound error bound for the curved span at t={at}")
+            }
         }
     }
 }
@@ -312,6 +396,9 @@ pub struct CompiledProgram {
     /// Coarse schedule boundaries (round/phase starts) within the
     /// covered span, strictly increasing.
     marks: Vec<f64>,
+    /// The largest [`Piece::eps`] in the arena (`0.0` for an exact
+    /// program).
+    approx_eps: f64,
 }
 
 impl CompiledProgram {
@@ -334,6 +421,13 @@ impl CompiledProgram {
     /// The wrapped trajectory's speed bound.
     pub fn speed_bound(&self) -> f64 {
         self.speed_bound
+    }
+
+    /// The largest certified error bound in the arena: positions (and
+    /// probes) are within `approx_eps` of the source trajectory at every
+    /// covered time. `0.0` for an exactly lowered program.
+    pub fn approx_eps(&self) -> f64 {
+        self.approx_eps
     }
 
     /// The recorded round marks (coarse schedule boundaries).
@@ -372,42 +466,14 @@ impl CompiledProgram {
     /// truncated program; callers gate on [`CompiledProgram::covers`].
     #[inline]
     pub fn probe_from(&self, index: &mut usize, t: f64) -> Probe {
-        let n = self.pieces.len();
-        let mut i = *index;
-        // Short linear walk first (the common case: the next piece or
-        // the one after), then a binary search over the remaining
-        // starts — a pruning skip can jump an entire Θ(4ᵏ) round, and
-        // walking it piece by piece would swamp the query.
-        let mut hops = 0;
-        while i < n && t >= self.pieces[i].t1 {
-            i += 1;
-            hops += 1;
-            if hops == 8 && i < n && t >= self.pieces[i].t1 {
-                i += self.starts[i..].partition_point(|&s| s <= t);
-                i = i.saturating_sub(1).max(*index);
-                // The found piece may already be finished (t == its t1
-                // exactly); let the loop's next test settle it.
-                while i < n && t >= self.pieces[i].t1 {
-                    i += 1;
-                }
-                break;
-            }
-        }
-        *index = i;
-        if i == n {
-            debug_assert!(
-                self.rest.is_some() || t <= self.end_time * (1.0 + 16.0 * f64::EPSILON),
-                "probe at t={t} beyond the covered span {}",
-                self.end_time
-            );
-            return match self.rest {
-                Some(p) => Probe::resting(p),
-                // `t == end_time` on a truncated program: the boundary
-                // itself still evaluates on the final piece.
-                None => self.pieces[n - 1].probe_at(t.min(self.end_time)),
-            };
-        }
-        self.pieces[i].probe_at(t)
+        probe_pieces(
+            &self.pieces,
+            &self.starts,
+            self.rest,
+            self.end_time,
+            index,
+            t,
+        )
     }
 
     /// The swept envelope over `[t0, t1]` as a bounding box: contains
@@ -490,9 +556,57 @@ impl CompiledProgram {
     }
 }
 
+/// The shared indexed probe walk over a piece arena: a short linear walk
+/// (the common case: the next piece or the one after), then a binary
+/// search over the remaining starts — a pruning skip can jump an entire
+/// Θ(4ᵏ) round, and walking it piece by piece would swamp the query.
+/// Used by both [`CompiledProgram::probe_from`] and the lazy arena, so
+/// the two answer identically on identical piece prefixes.
+#[inline]
+pub(crate) fn probe_pieces(
+    pieces: &[Piece],
+    starts: &[f64],
+    rest: Option<Vec2>,
+    end_time: f64,
+    index: &mut usize,
+    t: f64,
+) -> Probe {
+    let n = pieces.len();
+    let mut i = *index;
+    let mut hops = 0;
+    while i < n && t >= pieces[i].t1 {
+        i += 1;
+        hops += 1;
+        if hops == 8 && i < n && t >= pieces[i].t1 {
+            i += starts[i..].partition_point(|&s| s <= t);
+            i = i.saturating_sub(1).max(*index);
+            // The found piece may already be finished (t == its t1
+            // exactly); let the loop's next test settle it.
+            while i < n && t >= pieces[i].t1 {
+                i += 1;
+            }
+            break;
+        }
+    }
+    *index = i;
+    if i == n {
+        debug_assert!(
+            rest.is_some() || t <= end_time * (1.0 + 16.0 * f64::EPSILON),
+            "probe at t={t} beyond the covered span {end_time}"
+        );
+        return match rest {
+            Some(p) => Probe::resting(p),
+            // `t == end_time` on a truncated program: the boundary
+            // itself still evaluates on the final piece.
+            None => pieces[n - 1].probe_at(t.min(end_time)),
+        };
+    }
+    pieces[i].probe_at(t)
+}
+
 /// A box grown to stay sound `span` time units past its certificate,
 /// at speed `s` (∞-safe).
-fn grow_box(base: Aabb, s: f64, span: f64) -> Aabb {
+pub(crate) fn grow_box(base: Aabb, s: f64, span: f64) -> Aabb {
     if s == 0.0 || span <= 0.0 {
         return base;
     }
@@ -572,6 +686,104 @@ impl crate::monotone::MonotoneTrajectory for CompiledProgram {
     }
 }
 
+/// The facade the compiled engine (`rvz_sim::compiled`) is generic
+/// over: everything a first-contact query needs from a program arena,
+/// implemented by the eager [`CompiledProgram`] and the streaming
+/// [`crate::LazyProgram`].
+///
+/// The contract mirrors the eager program's: [`ProgramView::covers`] is
+/// the *extend-and-check* coverage test — a lazy implementation may
+/// materialize pieces to answer it, so a `true` return promises that
+/// probes up to `t` are now answerable. Probes and envelope queries on
+/// a lazy view likewise materialize on demand; beyond an exhausted
+/// coverage boundary, envelope queries stay sound by growing at the
+/// speed bound while probes are out of contract (engine callers gate
+/// every advance on `covers`).
+pub trait ProgramView {
+    /// The wrapped trajectory's speed bound.
+    fn speed_bound(&self) -> f64;
+
+    /// An upper bound on every [`Piece::eps`] the view can expose: the
+    /// engine folds `a.approx_eps() + b.approx_eps()` into its contact
+    /// threshold. Must never increase after a query has started (the
+    /// eager program reports its arena maximum; the lazy program
+    /// reports the requested compile tolerance a priori).
+    fn approx_eps(&self) -> f64;
+
+    /// Extend-and-check coverage: `true` promises every probe in
+    /// `[0, t]` is answerable exactly.
+    fn covers(&self, t: f64) -> bool;
+
+    /// The time currently covered by materialized pieces (for
+    /// diagnostics and panic messages).
+    fn covered_end(&self) -> f64;
+
+    /// Forward probe driven by an external index; see
+    /// [`CompiledProgram::probe_from`].
+    fn probe_from(&self, index: &mut usize, t: f64) -> Probe;
+
+    /// The swept envelope over `[t0, t1]` as a bounding box; see
+    /// [`CompiledProgram::envelope_box`].
+    fn envelope_box(&self, t0: f64, t1: f64) -> Aabb;
+
+    /// The first round mark strictly after `t`, if any.
+    fn next_mark_after(&self, t: f64) -> Option<f64>;
+}
+
+macro_rules! forward_program_view {
+    ($($ptr:ty),*) => {$(
+        impl<T: ProgramView + ?Sized> ProgramView for $ptr {
+            fn speed_bound(&self) -> f64 {
+                (**self).speed_bound()
+            }
+            fn approx_eps(&self) -> f64 {
+                (**self).approx_eps()
+            }
+            fn covers(&self, t: f64) -> bool {
+                (**self).covers(t)
+            }
+            fn covered_end(&self) -> f64 {
+                (**self).covered_end()
+            }
+            fn probe_from(&self, index: &mut usize, t: f64) -> Probe {
+                (**self).probe_from(index, t)
+            }
+            fn envelope_box(&self, t0: f64, t1: f64) -> Aabb {
+                (**self).envelope_box(t0, t1)
+            }
+            fn next_mark_after(&self, t: f64) -> Option<f64> {
+                (**self).next_mark_after(t)
+            }
+        }
+    )*};
+}
+
+forward_program_view!(&T, Box<T>, std::rc::Rc<T>, std::sync::Arc<T>);
+
+impl ProgramView for CompiledProgram {
+    fn speed_bound(&self) -> f64 {
+        CompiledProgram::speed_bound(self)
+    }
+    fn approx_eps(&self) -> f64 {
+        CompiledProgram::approx_eps(self)
+    }
+    fn covers(&self, t: f64) -> bool {
+        CompiledProgram::covers(self, t)
+    }
+    fn covered_end(&self) -> f64 {
+        self.end_time()
+    }
+    fn probe_from(&self, index: &mut usize, t: f64) -> Probe {
+        CompiledProgram::probe_from(self, index, t)
+    }
+    fn envelope_box(&self, t0: f64, t1: f64) -> Aabb {
+        CompiledProgram::envelope_box(self, t0, t1)
+    }
+    fn next_mark_after(&self, t: f64) -> Option<f64> {
+        CompiledProgram::next_mark_after(self, t)
+    }
+}
+
 /// Lowering to the flat IR.
 ///
 /// The default [`Compile::compile`] drives the trajectory's own monotone
@@ -585,17 +797,14 @@ pub trait Compile: MonotoneDyn {
     ///
     /// # Errors
     ///
-    /// [`CompileError::Curved`] when the trajectory has no closed-form
-    /// pieces; [`CompileError::Budget`] when the piece budget trips with
-    /// truncation disabled; [`CompileError::Stalled`] on a cursor that
-    /// stops advancing.
+    /// [`CompileError::Curved`] when the trajectory exposes curved
+    /// pieces and [`CompileOptions::approx_tolerance`] is unset;
+    /// [`CompileError::Uncertifiable`] when certification was requested
+    /// but no sound chord bound exists; [`CompileError::Budget`] when
+    /// the piece budget trips with truncation disabled;
+    /// [`CompileError::Stalled`] on a cursor that stops advancing.
     fn compile(&self, opts: &CompileOptions) -> Result<CompiledProgram, CompileError> {
-        lower_from_cursor(
-            &mut *self.dyn_cursor(),
-            self.speed_bound(),
-            self.round_marks(opts.horizon),
-            opts,
-        )
+        lower_program(self, opts)
     }
 
     /// Times of the trajectory's coarse schedule boundaries within
@@ -606,6 +815,22 @@ pub trait Compile: MonotoneDyn {
         let _ = horizon;
         Vec::new()
     }
+
+    /// A proven pointwise bound on the distance between the trajectory
+    /// and the **chord** of `[t0, t1]` (the affine piece interpolating
+    /// `position(t0) → position(t1)`), valid at every time in the
+    /// interval. `None` when no sound bound can be established; the
+    /// certified lowering then subdivides further or refuses with
+    /// [`CompileError::Uncertifiable`].
+    ///
+    /// The default is a sampled Lipschitz bound with a safety factor
+    /// (see [`sampled_chord_bound`]): it checks the declared speed bound
+    /// against the samples and refuses when the trajectory visibly
+    /// violates it. Closed-form trajectories override this with exact
+    /// curvature bounds (the Archimedean spiral in `rvz-baselines`).
+    fn chord_error_bound(&self, t0: f64, t1: f64) -> Option<f64> {
+        sampled_chord_bound(self, self.speed_bound(), t0, t1)
+    }
 }
 
 impl<T: Compile + crate::MonotoneTrajectory + ?Sized> Compile for &T {
@@ -615,46 +840,174 @@ impl<T: Compile + crate::MonotoneTrajectory + ?Sized> Compile for &T {
     fn round_marks(&self, horizon: f64) -> Vec<f64> {
         (**self).round_marks(horizon)
     }
+    fn chord_error_bound(&self, t0: f64, t1: f64) -> Option<f64> {
+        (**self).chord_error_bound(t0, t1)
+    }
 }
 
-/// The shared lowering loop: walk a cursor piece by piece and bake the
-/// arena, the envelope tree, and the marks.
+/// The default [`Compile::chord_error_bound`]: a sampled Lipschitz bound
+/// with a safety factor.
 ///
-/// # Errors
-///
-/// As for [`Compile::compile`].
-pub fn lower_from_cursor(
-    cursor: &mut dyn Cursor,
+/// The interval is sampled at 17 points. The bound is the largest
+/// sampled deviation from the chord plus the worst possible excursion
+/// *between* samples (half a sample step at the combined true/chord
+/// speed), scaled by a 1.25 safety factor. Soundness rests on the
+/// declared speed bound; as a cross-check, any adjacent sample pair
+/// farther apart than the speed bound allows refuses outright (`None`)
+/// — a non-Lipschitz spike must not receive a certificate. The
+/// roundoff slack in that check scales with the positions' magnitude
+/// (never a fixed absolute term): a fixed term would let a
+/// speed-violating span pass once the adaptive subdivision shrinks the
+/// interval below the slack, turning the refusal into a budget-burning
+/// crawl of floor-sized "certified" chords over an uncertifiable span.
+pub fn sampled_chord_bound<T: Trajectory + ?Sized>(
+    trajectory: &T,
     speed_bound: f64,
-    marks: Vec<f64>,
-    opts: &CompileOptions,
-) -> Result<CompiledProgram, CompileError> {
-    assert!(
-        opts.horizon > 0.0 && opts.horizon.is_finite(),
-        "compile horizon must be positive and finite, got {}",
-        opts.horizon
-    );
-    assert!(opts.max_pieces > 0, "piece budget must be positive");
-    let mut pieces: Vec<Piece> = Vec::new();
-    let mut t = 0.0_f64;
-    let mut rest = None;
-    loop {
+    t0: f64,
+    t1: f64,
+) -> Option<f64> {
+    const N: usize = 16;
+    let dt = t1 - t0;
+    if !t1.is_finite() || !speed_bound.is_finite() || dt.is_nan() || dt <= 0.0 || speed_bound < 0.0
+    {
+        return None;
+    }
+    let p0 = trajectory.position(t0);
+    let p1 = trajectory.position(t1);
+    let chord_v = (p1 - p0) / dt;
+    let h = dt / N as f64;
+    let mut max_dev = 0.0_f64;
+    let mut prev = p0;
+    let mut prev_t = t0;
+    for i in 1..=N {
+        let u = if i == N { t1 } else { t0 + h * i as f64 };
+        let p = trajectory.position(u);
+        let du = u - prev_t;
+        // Adjacent samples farther apart than the declared speed bound
+        // allows: the Lipschitz premise is false, refuse. The slack
+        // covers evaluation roundoff only, so it scales with the
+        // positions' magnitude and the span — not a fixed absolute
+        // floor a shrinking subdivision could hide a violation under.
+        let roundoff = 1e-12 * (p.norm().max(prev.norm()) + speed_bound * dt);
+        if p.distance(prev) > speed_bound * du * (1.0 + 1e-9) + roundoff {
+            return None;
+        }
+        let dev = (p - (p0 + chord_v * (u - t0))).norm();
+        max_dev = max_dev.max(dev);
+        prev = p;
+        prev_t = u;
+    }
+    // Between samples the true point moves at most speed_bound·h/2 from
+    // the nearest sample and the chord point at most |chord_v|·h/2.
+    let between = 0.5 * h * (speed_bound + chord_v.norm());
+    Some((max_dev + between) * 1.25)
+}
+
+/// The certified-approximation hooks a [`PieceStream`] uses to lower
+/// [`Motion::Curved`] spans: random access into the source trajectory
+/// plus its chord error bound, with the target tolerance.
+pub(crate) struct CurvedApprox<'a> {
+    /// Random-access position of the source trajectory.
+    pub position: Box<dyn Fn(f64) -> Vec2 + 'a>,
+    /// [`Compile::chord_error_bound`] of the source trajectory.
+    pub bound: Box<dyn Fn(f64, f64) -> Option<f64> + 'a>,
+    /// The requested pointwise tolerance (`> 0`, finite).
+    pub eps: f64,
+}
+
+/// Adaptive-subdivision state across one [`Motion::Curved`] span.
+#[derive(Debug, Clone, Copy)]
+struct CurvedSpan {
+    /// Where the curved cursor piece ends (clamped to the horizon).
+    seg_end: f64,
+    /// Subdivision frontier: chords up to here are already emitted.
+    u: f64,
+    /// Exact position at `u` (carried forward so chords tile
+    /// continuously).
+    pos_u: Vec2,
+    /// Current adaptive step: halved until the bound certifies, doubled
+    /// after each accepted chord.
+    step: f64,
+}
+
+/// One event produced by a [`PieceStream`].
+pub(crate) enum LoweredStep {
+    /// The next piece. `counted` pieces are subject to the piece budget
+    /// (the horizon-closing cut of an infinite moving piece is exempt,
+    /// exactly as in the historical eager loop).
+    Piece { piece: Piece, counted: bool },
+    /// The trajectory rests forever at this position from the stream's
+    /// current time on.
+    Rest(Vec2),
+    /// The horizon is covered; the stream will produce nothing further.
+    Finished,
+}
+
+/// The single piece producer behind both the eager lowering and
+/// [`crate::LazyProgram`]: drives a cursor forward, applies the ulp
+/// stall nudges, and (when a [`CurvedApprox`] handler is present)
+/// subdivides curved spans into certified affine chords. Because both
+/// consumers drain the *same* producer, a lazy program's materialized
+/// prefix is bit-identical to the eager lowering's.
+pub(crate) struct PieceStream<'h, C> {
+    cursor: C,
+    handler: Option<CurvedApprox<'h>>,
+    horizon: f64,
+    t: f64,
+    span: Option<CurvedSpan>,
+    finished: bool,
+}
+
+impl<'h, C: Cursor> PieceStream<'h, C> {
+    pub(crate) fn new(cursor: C, handler: Option<CurvedApprox<'h>>, horizon: f64) -> Self {
+        PieceStream {
+            cursor,
+            handler,
+            horizon,
+            t: 0.0,
+            span: None,
+            finished: false,
+        }
+    }
+
+    /// Produces the next lowering event.
+    pub(crate) fn next_step(&mut self) -> Result<LoweredStep, CompileError> {
+        if self.span.is_some() {
+            return self.next_chord();
+        }
+        if self.finished {
+            return Ok(LoweredStep::Finished);
+        }
+        let t = self.t;
         // The schedules' independently rounded closed forms can put a
         // piece boundary an ulp past the previous piece's reported end;
         // probing exactly there can land back on the finished piece.
         // Nudge forward by single ulps (bounded) before declaring a
         // stall — the sub-ulp time skew is far below the 1e-12 fidelity
         // the compiled positions are tested to.
-        let mut p = cursor.probe(t);
+        let mut p = self.cursor.probe(t);
         let mut probe_t = t;
         let mut bumps = 0;
         while p.piece_end <= t && bumps < 4 {
             probe_t = probe_t.next_up();
-            p = cursor.probe(probe_t);
+            p = self.cursor.probe(probe_t);
             bumps += 1;
         }
         if let Motion::Curved = p.motion {
-            return Err(CompileError::Curved { at: t });
+            if self.handler.is_none() {
+                return Err(CompileError::Curved { at: t });
+            }
+            if p.piece_end <= t {
+                return Err(CompileError::Stalled { at: t });
+            }
+            let seg_end = p.piece_end.min(self.horizon);
+            self.span = Some(CurvedSpan {
+                seg_end,
+                u: t,
+                pos_u: p.position,
+                step: (seg_end - t).min(1.0),
+            });
+            return self.next_chord();
         }
         if p.piece_end == f64::INFINITY {
             if p.motion
@@ -663,47 +1016,209 @@ pub fn lower_from_cursor(
                 })
             {
                 // Permanent rest: the trajectory finished.
-                rest = Some(p.position);
-                break;
+                self.finished = true;
+                return Ok(LoweredStep::Rest(p.position));
             }
             // An infinite moving piece (no trajectory in the workspace
             // produces one, but the contract allows it): close the
             // arena at the horizon.
-            pieces.push(Piece {
-                t0: t,
-                t1: opts.horizon,
-                pos0: p.position,
-                motion: p.motion,
+            self.finished = true;
+            self.t = self.horizon;
+            return Ok(LoweredStep::Piece {
+                piece: Piece {
+                    t0: t,
+                    t1: self.horizon,
+                    pos0: p.position,
+                    motion: p.motion,
+                    eps: 0.0,
+                },
+                counted: false,
             });
-            t = opts.horizon;
-            break;
         }
         if p.piece_end <= t {
             return Err(CompileError::Stalled { at: t });
         }
-        if pieces.len() == opts.max_pieces {
-            if opts.truncate {
+        let t1 = p.piece_end.min(self.horizon);
+        if p.piece_end >= self.horizon {
+            self.finished = true;
+            self.t = self.horizon;
+        } else {
+            self.t = p.piece_end;
+        }
+        Ok(LoweredStep::Piece {
+            piece: Piece {
+                t0: t,
+                t1,
+                pos0: p.position,
+                motion: p.motion,
+                eps: 0.0,
+            },
+            counted: true,
+        })
+    }
+
+    /// Emits the next certified chord of the active curved span.
+    fn next_chord(&mut self) -> Result<LoweredStep, CompileError> {
+        let mut span = self.span.expect("next_chord requires an active span");
+        let handler = self
+            .handler
+            .as_ref()
+            .expect("curved spans require an approx handler");
+        let remaining = span.seg_end - span.u;
+        let mut s = span.step.min(remaining);
+        let (t1, bound) = loop {
+            // Land exactly on the span end when the step reaches it, so
+            // chords tile the span without a floating-point sliver.
+            let t1 = if s >= remaining {
+                span.seg_end
+            } else {
+                span.u + s
+            };
+            match (handler.bound)(span.u, t1) {
+                Some(b) if b >= 0.0 && b.is_finite() && b <= handler.eps => break (t1, b),
+                _ => {
+                    s *= 0.5;
+                    if !s.is_finite() || s <= (1.0 + span.u.abs()) * 1e-13 {
+                        // Even near-degenerate steps cannot be bounded:
+                        // refusing beats certifying a lie.
+                        return Err(CompileError::Uncertifiable { at: span.u });
+                    }
+                }
+            }
+        };
+        let pos1 = (handler.position)(t1);
+        let dt = t1 - span.u;
+        let piece = Piece {
+            t0: span.u,
+            t1,
+            pos0: span.pos_u,
+            motion: Motion::Affine {
+                velocity: (pos1 - span.pos_u) / dt,
+            },
+            eps: bound,
+        };
+        if t1 >= span.seg_end {
+            self.span = None;
+            self.t = span.seg_end;
+            if span.seg_end >= self.horizon {
+                self.finished = true;
+            }
+        } else {
+            span.u = t1;
+            span.pos_u = pos1;
+            span.step = s * 2.0;
+            self.span = Some(span);
+        }
+        Ok(LoweredStep::Piece {
+            piece,
+            counted: true,
+        })
+    }
+}
+
+/// Lowers any [`Compile`] source to an eager [`CompiledProgram`],
+/// including certified curved spans when
+/// [`CompileOptions::approx_tolerance`] is set. This is the body of the
+/// default [`Compile::compile`]; it exists as a free function so the
+/// trait stays object-safe.
+///
+/// # Errors
+///
+/// As for [`Compile::compile`].
+pub fn lower_program<T: Compile + ?Sized>(
+    source: &T,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    let marks = source.round_marks(opts.horizon);
+    let handler = opts.approx_tolerance.map(|eps| CurvedApprox {
+        position: Box::new(move |t| source.position(t)) as Box<dyn Fn(f64) -> Vec2 + '_>,
+        bound: Box::new(move |a, b| source.chord_error_bound(a, b)),
+        eps,
+    });
+    lower_impl(
+        &mut *source.dyn_cursor(),
+        source.speed_bound(),
+        marks,
+        opts,
+        handler,
+    )
+}
+
+/// The cursor-only lowering loop: walk a cursor piece by piece and bake
+/// the arena, the envelope tree, and the marks. Curved pieces always
+/// refuse here — certification needs random access into the source, so
+/// it is only available through [`lower_program`] / [`Compile::compile`].
+///
+/// # Errors
+///
+/// As for [`Compile::compile`] (never
+/// [`CompileError::Uncertifiable`]).
+pub fn lower_from_cursor(
+    cursor: &mut dyn Cursor,
+    speed_bound: f64,
+    marks: Vec<f64>,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    lower_impl(cursor, speed_bound, marks, opts, None)
+}
+
+fn lower_impl(
+    cursor: &mut dyn Cursor,
+    speed_bound: f64,
+    marks: Vec<f64>,
+    opts: &CompileOptions,
+    handler: Option<CurvedApprox<'_>>,
+) -> Result<CompiledProgram, CompileError> {
+    assert!(
+        opts.horizon > 0.0 && opts.horizon.is_finite(),
+        "compile horizon must be positive and finite, got {}",
+        opts.horizon
+    );
+    assert!(opts.max_pieces > 0, "piece budget must be positive");
+    let mut stream = PieceStream::new(cursor, handler, opts.horizon);
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut rest = None;
+    loop {
+        match stream.next_step()? {
+            LoweredStep::Piece { piece, counted } => {
+                if counted && pieces.len() == opts.max_pieces {
+                    if opts.truncate {
+                        break;
+                    }
+                    return Err(CompileError::Budget {
+                        pieces: pieces.len(),
+                        covered: piece.t0,
+                    });
+                }
+                pieces.push(piece);
+            }
+            LoweredStep::Rest(p) => {
+                rest = Some(p);
                 break;
             }
-            return Err(CompileError::Budget {
-                pieces: pieces.len(),
-                covered: t,
-            });
+            LoweredStep::Finished => break,
         }
-        let t1 = p.piece_end.min(opts.horizon);
-        pieces.push(Piece {
-            t0: t,
-            t1,
-            pos0: p.position,
-            motion: p.motion,
-        });
-        if p.piece_end >= opts.horizon {
-            t = opts.horizon;
-            break;
-        }
-        t = p.piece_end;
     }
-    let end_time = pieces.last().map_or(t, |p| p.t1);
+    Ok(assemble_program(pieces, marks, rest, speed_bound, None))
+}
+
+/// Bakes a piece arena into a [`CompiledProgram`]: envelope tree,
+/// dense start index, mark filtering. Shared by eager lowering and
+/// [`crate::LazyProgram::freeze`].
+///
+/// `mark_end` overrides the mark cutoff: `None` keeps only marks within
+/// the pieces' span (eager semantics), `Some(h)` keeps marks up to `h`
+/// regardless of coverage (a frozen lazy prefix keeps its full mark
+/// list so that replayed queries seed identical pruning windows).
+pub(crate) fn assemble_program(
+    pieces: Vec<Piece>,
+    marks: Vec<f64>,
+    rest: Option<Vec2>,
+    speed_bound: f64,
+    mark_end: Option<f64>,
+) -> CompiledProgram {
+    let end_time = pieces.last().map_or(0.0, |p| p.t1);
+    let approx_eps = pieces.iter().fold(0.0_f64, |acc, p| acc.max(p.eps));
 
     // Bake the envelope tree.
     let size = pieces.len().next_power_of_two().max(1);
@@ -715,16 +1230,17 @@ pub fn lower_from_cursor(
         tree[i] = tree[2 * i].union(&tree[2 * i + 1]);
     }
 
-    // Keep only in-span, strictly increasing marks.
+    // Keep only in-cutoff, strictly increasing marks.
+    let cutoff = mark_end.unwrap_or(end_time);
     let mut marks: Vec<f64> = marks
         .into_iter()
-        .filter(|&m| m.is_finite() && m > 0.0 && m <= end_time)
+        .filter(|&m| m.is_finite() && m > 0.0 && m <= cutoff)
         .collect();
     marks.sort_by(f64::total_cmp);
     marks.dedup();
 
     let starts = pieces.iter().map(|p| p.t0).collect();
-    Ok(CompiledProgram {
+    CompiledProgram {
         pieces,
         starts,
         tree,
@@ -733,7 +1249,8 @@ pub fn lower_from_cursor(
         rest,
         speed_bound,
         marks,
-    })
+        approx_eps,
+    }
 }
 
 // ------------------------------------------------------------------
@@ -884,6 +1401,7 @@ mod tests {
 
     #[test]
     fn curved_trajectories_refuse_to_lower() {
+        // Without an `approx_tolerance` the historical refusal stands...
         use crate::monotone::GenericCursor;
         let t = crate::FnTrajectory::new(|t| Vec2::new(t.cos(), t.sin()), 1.0);
         let err = lower_from_cursor(
@@ -895,6 +1413,41 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, CompileError::Curved { at: 0.0 });
         assert!(err.to_string().contains("curved"));
+        // ... with one, the same source lowers to certified chords whose
+        // realized bound is within the requested tolerance.
+        let opts = CompileOptions::to_horizon(6.0)
+            .max_pieces(1 << 16)
+            .approx_tolerance(1e-4);
+        let program = t.compile(&opts).expect("certified chords lower");
+        assert!(program.approx_eps() > 0.0 && program.approx_eps() <= 1e-4);
+        for i in 0..=3000 {
+            let u = 6.0 * i as f64 / 3000.0;
+            let d = program.position(u).distance(t.position(u));
+            assert!(d <= program.approx_eps() + 1e-12, "t={u}: {d}");
+        }
+    }
+
+    #[test]
+    fn hostile_closures_refuse_instead_of_guessing() {
+        // A continuous kink that moves 50× faster than its declared
+        // speed bound: the sampled Lipschitz premise is false, so no
+        // subdivision step can certify a chord across (or inside) the
+        // fast region. Lowering must refuse with `Uncertifiable`, never
+        // emit a guessed ε.
+        let spike = crate::FnTrajectory::new(
+            |t| Vec2::new(if t > 0.5 { 50.0 * (t - 0.5) } else { 0.0 }, 0.0),
+            1.0,
+        );
+        let opts = CompileOptions::to_horizon(1.0)
+            .max_pieces(1 << 16)
+            .approx_tolerance(1e-3);
+        let err = spike.compile(&opts).unwrap_err();
+        match err {
+            CompileError::Uncertifiable { at } => {
+                assert!((0.0..=1.0).contains(&at), "failure time {at} out of span");
+            }
+            other => panic!("expected Uncertifiable, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Certified-approximation soundness: every `eps > 0` piece a lowering
+//! emits is a **certificate** — at dense pseudo-random sample points
+//! the true curve stays within the piece's proven bound of the
+//! approximating chord and inside the (ε-expanded) envelope queries.
+//!
+//! Covered sources: the Archimedean spiral (closed-form curvature
+//! bound), closure trajectories (sampled Lipschitz bound), and both
+//! under full `FrameWarp ∘ ClockDrift` attribute stacks (which certify
+//! through the sampled fallback with the stack's own speed bound).
+
+use plane_rendezvous::baselines::ArchimedeanSpiral;
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::trajectory::{ClockDrift, Compile, CompileOptions, FnTrajectory, FrameWarp};
+
+/// Deterministic uniform samples in `[0, 1)` (split-mix style); the
+/// workspace is dependency-free, so tests roll their own.
+fn rand01(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let bits = (*state ^ (*state >> 31)) >> 11;
+    bits as f64 / (1u64 << 53) as f64
+}
+
+/// Lowers `source` with the given tolerance and property-tests the
+/// certificate at `samples` random times per covered span.
+fn assert_certified<T: Compile + ?Sized>(
+    label: &str,
+    source: &T,
+    horizon: f64,
+    eps: f64,
+    samples: usize,
+    seed: u64,
+) {
+    let opts = CompileOptions::to_horizon(horizon)
+        .max_pieces(1 << 18)
+        .approx_tolerance(eps);
+    let program = source.compile(&opts).expect("certified lowering succeeds");
+    let realized = program.approx_eps();
+    assert!(
+        realized > 0.0 && realized <= eps,
+        "{label}: realized eps {realized} outside (0, {eps}]"
+    );
+    let end = program.end_time();
+    let mut state = seed;
+    for _ in 0..samples {
+        let t = end * rand01(&mut state);
+        let truth = source.position(t);
+        let approx = program.position(t);
+        let d = approx.distance(truth);
+        assert!(
+            d <= realized + 1e-12 * (1.0 + truth.norm()),
+            "{label}: |approx - truth| = {d:.3e} > eps {realized:.3e} at t={t}"
+        );
+        // Envelope queries fold the per-piece eps in, so the true curve
+        // can never escape a window that contains its time.
+        let w = 0.01 + 0.3 * rand01(&mut state);
+        let t0 = (t - w).max(0.0);
+        let disk = program.envelope(t0, (t + w).min(end));
+        let boxed = program.envelope_box(t0, (t + w).min(end));
+        assert!(
+            disk.contains(truth, 1e-9),
+            "{label}: envelope misses the true curve at t={t}"
+        );
+        assert!(
+            boxed.contains(truth, 1e-9),
+            "{label}: envelope box misses the true curve at t={t}"
+        );
+    }
+}
+
+#[test]
+fn spiral_chords_are_certificates() {
+    assert_certified(
+        "spiral",
+        &ArchimedeanSpiral::for_visibility(0.05),
+        60.0,
+        1e-5,
+        4000,
+        0x5eed_0001,
+    );
+}
+
+#[test]
+fn spiral_certifies_at_coarse_and_fine_tolerances() {
+    let spiral = ArchimedeanSpiral::for_visibility(0.02);
+    for (eps, samples) in [(1e-3, 1500), (1e-6, 1500)] {
+        assert_certified("spiral-eps", &spiral, 30.0, eps, samples, 0x5eed_0002);
+    }
+}
+
+#[test]
+fn closure_chords_are_certificates() {
+    // A Lissajous-style closure: smooth, transcendental, honest about
+    // its speed bound (|v| ≤ √(0.7² + 0.9²) < 1.15).
+    let f = FnTrajectory::new(|t: f64| Vec2::new((0.7 * t).sin(), (0.9 * t).cos()), 1.15);
+    assert_certified("closure", &f, 25.0, 1e-4, 4000, 0x5eed_0003);
+}
+
+#[test]
+fn warped_drifting_spiral_certifies_through_the_stack() {
+    // warp ∘ drift ∘ spiral: the outer layers have no closed-form
+    // curvature bound, so certification runs through the sampled
+    // Lipschitz fallback with the stack's composite speed bound.
+    let drift = ClockDrift::from_rates(
+        ArchimedeanSpiral::for_visibility(0.05),
+        &[(8.0, 0.75), (20.0, 1.4)],
+        0.9,
+    );
+    let stack = RobotAttributes::new(0.8, 1.3, 0.9, Chirality::Mirrored)
+        .frame_warp(drift, Vec2::new(0.3, -0.2));
+    assert_certified("warp∘drift∘spiral", &stack, 40.0, 1e-4, 2500, 0x5eed_0004);
+}
+
+#[test]
+fn warped_drifting_closure_certifies_through_the_stack() {
+    let drift = ClockDrift::from_rates(
+        FnTrajectory::new(|t: f64| Vec2::new((0.6 * t).sin(), (0.8 * t).cos()), 1.0),
+        &[(5.0, 1.2), (12.0, 0.8)],
+        1.1,
+    );
+    let stack = FrameWarp::new(
+        drift,
+        Mat2::rotation(0.6) * Mat2::scaling(1.4),
+        Vec2::new(-0.5, 0.7),
+        0.85,
+    );
+    assert_certified("warp∘drift∘closure", &stack, 20.0, 2e-4, 2500, 0x5eed_0005);
+}

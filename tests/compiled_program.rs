@@ -5,8 +5,10 @@
 //! interpreted trajectories within `1e-12` (relative to the sweep
 //! radius scale) — including full `FrameWarp ∘ ClockDrift` attribute
 //! stacks — and the baked envelope trees contain every sampled
-//! position. The spiral, the one transcendental trajectory, must
-//! *refuse* to lower (the escape hatch), never approximate.
+//! position. The spiral, the one transcendental trajectory, refuses to
+//! lower unless the caller opts into certified approximation with
+//! [`CompileOptions::approx_tolerance`]; silent guessing is never an
+//! option (see `tests/approx_certification.rs` for the certified path).
 
 use plane_rendezvous::core::WaitAndSearch;
 use plane_rendezvous::prelude::*;
@@ -124,7 +126,9 @@ fn warped_partner_matches_frame_warp_of_reference() {
 }
 
 #[test]
-fn spiral_refuses_to_lower() {
+fn spiral_refuses_to_lower_without_a_tolerance() {
+    // Without an explicit approx_tolerance the curved span still takes
+    // the escape hatch — certified chords are opt-in, never implicit.
     use plane_rendezvous::baselines::ArchimedeanSpiral;
     use plane_rendezvous::trajectory::CompileError;
     let err = ArchimedeanSpiral::with_pitch(0.5)

@@ -1,0 +1,155 @@
+//! Streaming-lowering prefix equivalence: a [`LazyProgram`] driven to
+//! any depth must be **bit-identical** to the eager lowering on the
+//! span it has materialized — same pieces, same marks, same probes,
+//! same envelope boxes.
+//!
+//! This is the contract that makes the streaming fast path a drop-in
+//! replacement: both paths pull from the same piece stream, so the lazy
+//! arena is a literal prefix of the eager arena (no re-derived
+//! geometry, no tolerance slop), and every engine-visible query over
+//! the covered span answers identically down to the last ulp.
+
+use plane_rendezvous::core::WaitAndSearch;
+use plane_rendezvous::prelude::*;
+use plane_rendezvous::trajectory::{
+    ClockDrift, Compile, CompileOptions, CompiledProgram, LazyProgram, ProgramView,
+};
+
+/// Drives `lazy` to a ladder of depths and checks the materialized
+/// prefix against the eager arena after every step.
+fn assert_prefix_equivalence(label: &str, source: &dyn Compile, opts: CompileOptions) {
+    let eager = source.compile(&opts).expect("eager lowering succeeds");
+    let lazy = LazyProgram::new(source, opts);
+    assert_eq!(
+        lazy.materialized_pieces(),
+        0,
+        "{label}: construction must not lower"
+    );
+
+    let horizon = opts.horizon;
+    for step in 1..=8 {
+        let t = horizon * step as f64 / 8.0;
+        lazy.drive_to(t);
+        let n = lazy.materialized_pieces();
+        let prefix = lazy.pieces_snapshot();
+        assert_eq!(
+            prefix.as_slice(),
+            &eager.pieces()[..n],
+            "{label}: lazy pieces diverge from the eager arena at depth t={t}"
+        );
+        assert!(
+            lazy.covered_end() >= t.min(eager.end_time()),
+            "{label}: drive_to({t}) left the frontier at {}",
+            lazy.covered_end()
+        );
+    }
+
+    // The full mark list is fixed at construction and identical to the
+    // eager program's (both filter the source's round marks to the
+    // horizon; nothing truncated here).
+    assert_eq!(
+        lazy.marks_snapshot(),
+        eager.round_marks(),
+        "{label}: mark lists diverge"
+    );
+
+    // Engine-visible queries: probes and envelope boxes agree bit for
+    // bit across the covered span, including the hint-index protocol.
+    let end = lazy.covered_end().min(eager.end_time());
+    let (mut hint_lazy, mut hint_eager) = (0usize, 0usize);
+    for i in 0..=600 {
+        let t = end * i as f64 / 600.0;
+        let pl = lazy.probe_from(&mut hint_lazy, t);
+        let pe = eager.probe_from(&mut hint_eager, t);
+        assert_eq!(pl, pe, "{label}: probe diverges at t={t}");
+    }
+    for w in 0..23 {
+        let t0 = end * w as f64 / 23.0;
+        for span in [0.05, end / 11.0, end / 3.0] {
+            let t1 = (t0 + span).min(end);
+            assert_eq!(
+                lazy.envelope_box(t0, t1),
+                eager.envelope_box(t0, t1),
+                "{label}: envelope diverges on [{t0}, {t1}]"
+            );
+        }
+    }
+    let mut m = 0.0;
+    loop {
+        let (nl, ne) = (lazy.next_mark_after(m), eager.next_mark_after(m));
+        assert_eq!(nl, ne, "{label}: next mark after {m} diverges");
+        match nl {
+            Some(next) => m = next,
+            None => break,
+        }
+    }
+}
+
+#[test]
+fn universal_search_prefixes_match_eager() {
+    let horizon = times::rounds_total(4);
+    assert_prefix_equivalence(
+        "alg4",
+        &UniversalSearch,
+        CompileOptions::to_horizon(horizon).max_pieces(1 << 16),
+    );
+}
+
+#[test]
+fn wait_and_search_prefixes_match_eager() {
+    let horizon = plane_rendezvous::core::completion_time(4);
+    assert_prefix_equivalence(
+        "alg7",
+        &WaitAndSearch,
+        CompileOptions::to_horizon(horizon).max_pieces(1 << 16),
+    );
+}
+
+#[test]
+fn warp_drift_stack_prefixes_match_eager() {
+    let horizon = times::rounds_total(3);
+    let drift = ClockDrift::from_rates(UniversalSearch, &[(10.0, 0.7), (25.0, 1.3)], 0.9);
+    let stack = RobotAttributes::new(0.8, 1.25, 1.1, Chirality::Mirrored)
+        .frame_warp(drift, Vec2::new(0.4, -0.7));
+    assert_prefix_equivalence(
+        "warp∘drift",
+        &stack,
+        CompileOptions::to_horizon(horizon).max_pieces(1 << 16),
+    );
+}
+
+#[test]
+fn certified_spiral_prefixes_match_eager() {
+    use plane_rendezvous::baselines::ArchimedeanSpiral;
+    assert_prefix_equivalence(
+        "spiral",
+        &ArchimedeanSpiral::for_visibility(0.05),
+        CompileOptions::to_horizon(40.0)
+            .max_pieces(1 << 18)
+            .approx_tolerance(1e-5),
+    );
+}
+
+#[test]
+fn freeze_replays_as_an_eager_program() {
+    // The serve-cache contract: freezing the materialized prefix yields
+    // a CompiledProgram whose queries over the frozen span are
+    // bit-identical to the live lazy view's.
+    let horizon = times::rounds_total(4);
+    let opts = CompileOptions::to_horizon(horizon).max_pieces(1 << 16);
+    let lazy = LazyProgram::new(&UniversalSearch, opts);
+    lazy.drive_to(horizon * 0.6);
+    let frozen: CompiledProgram = lazy.freeze();
+    assert_eq!(frozen.pieces(), lazy.pieces_snapshot().as_slice());
+    let end = lazy.covered_end();
+    let (mut ha, mut hb) = (0usize, 0usize);
+    for i in 0..=400 {
+        // Stay strictly inside the frozen span: at the boundary the
+        // live view materializes further while the frozen arena stops.
+        let t = end * i as f64 / 401.0;
+        assert_eq!(frozen.probe_from(&mut ha, t), lazy.probe_from(&mut hb, t));
+    }
+    // Marks survive freezing in full, so replayed engine queries seed
+    // identical pruning windows.
+    assert_eq!(frozen.round_marks(), lazy.marks_snapshot().as_slice());
+}
