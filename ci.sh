@@ -73,6 +73,12 @@ if grep -qE '"allocs_per_query": [1-9][0-9]*, "speedup"' "$BENCH_SMOKE"; then
 fi
 rm -f "$BENCH_SMOKE"
 
+echo "==> serve fault-injection suite (pinned seed: poison recovery, panic isolation, shedding, drain)"
+# Every plan in the suite pins seed=42 (or 7) with rate-1.0 + limit
+# sites, so the injected faults are exactly the first `limit` visits —
+# deterministic across runs.
+cargo test --release --quiet -p rvz-server --test fault_injection
+
 echo "==> rvz serve smoke (ephemeral port, symmetric-twin cache hit, graceful shutdown)"
 RVZ="./target/release/rvz"
 SERVE_LOG="$(mktemp -t rvz_serve_smoke.XXXXXX.log)"
@@ -105,13 +111,25 @@ wait "$SERVE_PID"
 grep -q "shut down cleanly" "$SERVE_LOG"
 rm -f "$SERVE_LOG"
 
-echo "==> rvz loadtest --quick (smoke: serve throughput artifact intact)"
+echo "==> rvz loadtest --quick --check-overload (smoke: schema v2 artifact, shed-not-collapse at 2x)"
 SERVE_BENCH="$(mktemp -t bench_serve_smoke.XXXXXX.json)"
-"$RVZ" loadtest --quick --out "$SERVE_BENCH" >/dev/null
-grep -q '"schema":"rvz-bench-serve/v1"' "$SERVE_BENCH"
+# --check-overload makes the binary itself fail unless the 2x arm sheds
+# explicitly (nonzero 503s), keeps accepting, and holds the accepted
+# p99 within 5x of the 1x arm's — shed-not-collapse, with no hang
+# (the closed loop and both open-loop arms are time-bounded).
+"$RVZ" loadtest --quick --check-overload --out "$SERVE_BENCH" >/dev/null
+grep -q '"schema":"rvz-bench-serve/v2"' "$SERVE_BENCH"
 grep -q '"name":"cached"' "$SERVE_BENCH"
 grep -q '"name":"no-cache"' "$SERVE_BENCH"
 grep -q '"speedup":' "$SERVE_BENCH"
+grep -q '"overload":' "$SERVE_BENCH"
+grep -q '"offered_rps":' "$SERVE_BENCH"
+grep -q '"shed_rate":' "$SERVE_BENCH"
+grep -q '"accepted_latency_us":' "$SERVE_BENCH"
+grep -q '"multiplier":2' "$SERVE_BENCH"
 rm -f "$SERVE_BENCH"
+# The committed artifact must be schema v2 as well.
+grep -q '"schema":"rvz-bench-serve/v2"' BENCH_serve.json
+grep -q '"overload":' BENCH_serve.json
 
 echo "CI OK"

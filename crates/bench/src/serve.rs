@@ -18,9 +18,10 @@
 //! the measured window, not before it.
 
 use rvz_experiments::{percentile, Json};
-use rvz_server::{HttpClient, Service, ServiceOptions};
+use rvz_server::{client, ClientOptions, HttpClient, ServerOptions, Service, ServiceOptions};
 use rvz_sim::ContactOptions;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Loadtest shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +34,10 @@ pub struct LoadtestConfig {
     pub requests_per_client: usize,
     /// Scenario families (each contributes two orbit-mate descriptions).
     pub families: usize,
+    /// Measured window per open-loop overload arm, in milliseconds.
+    pub overload_duration_ms: u64,
+    /// Client connect/read timeout (`--timeout-ms`), in milliseconds.
+    pub timeout_ms: u64,
 }
 
 impl LoadtestConfig {
@@ -44,6 +49,8 @@ impl LoadtestConfig {
                 clients: 2,
                 requests_per_client: 25,
                 families: 4,
+                overload_duration_ms: 400,
+                timeout_ms: 30_000,
             }
         } else {
             LoadtestConfig {
@@ -51,8 +58,15 @@ impl LoadtestConfig {
                 clients: 4,
                 requests_per_client: 150,
                 families: 8,
+                overload_duration_ms: 1_500,
+                timeout_ms: 30_000,
             }
         }
+    }
+
+    /// The client timeouts both loops run under.
+    fn client_options(&self) -> ClientOptions {
+        ClientOptions::uniform(Duration::from_millis(self.timeout_ms.max(1)))
     }
 
     /// Engine options for the serving arms: horizons deep enough that a
@@ -195,7 +209,8 @@ pub fn run_arm(name: &'static str, no_cache: bool, cfg: &LoadtestConfig) -> ArmR
                 let addr = &addr;
                 let bodies = &bodies;
                 scope.spawn(move || {
-                    let mut conn = HttpClient::connect(addr).expect("loadtest client connects");
+                    let mut conn = HttpClient::connect_with(addr, &cfg.client_options())
+                        .expect("loadtest client connects");
                     let mut lat = Vec::with_capacity(cfg.requests_per_client);
                     for j in 0..cfg.requests_per_client {
                         // Interleave clients across the family list so
@@ -250,6 +265,227 @@ pub fn run_loadtest(cfg: &LoadtestConfig) -> (Vec<ArmReport>, f64) {
     (vec![cached, uncached], speedup)
 }
 
+/// One open-loop overload arm: requests *offered* on a fixed schedule
+/// regardless of how the server keeps up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadArm {
+    /// Offered-rate multiplier over the calibrated capacity (1×, 2×).
+    pub multiplier: f64,
+    /// The scheduled request rate, requests per second.
+    pub offered_rps: f64,
+    /// The rate the generator actually achieved (`sent / wall`).
+    pub achieved_offered_rps: f64,
+    /// Requests the generator attempted.
+    pub sent: u64,
+    /// `200` responses.
+    pub accepted: u64,
+    /// `503` responses (accept-queue or in-flight shedding).
+    pub shed: u64,
+    /// Transport failures (refused, reset, timed out).
+    pub errors: u64,
+    /// `shed / sent`.
+    pub shed_rate: f64,
+    /// `[p50, p99]` latency of *accepted* requests, µs.
+    pub accepted_latency_us: [f64; 2],
+}
+
+/// The open-loop overload report: admission-control settings plus one
+/// arm per offered-rate multiplier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadReport {
+    /// Measured window per arm, ms.
+    pub duration_ms: u64,
+    /// Calibrated capacity (the closed-loop `no-cache` throughput).
+    pub base_rps: f64,
+    /// Connection-queue bound of the server under test.
+    pub queue_depth: usize,
+    /// Engine in-flight limit of the server under test.
+    pub max_inflight: usize,
+    /// Per-request engine deadline of the server under test, ms.
+    pub deadline_ms: u64,
+    /// One entry per multiplier, in order.
+    pub arms: Vec<OverloadArm>,
+}
+
+/// Per-request engine deadline used by the overload server: generous —
+/// it exists so no single query can pin a worker past the test, not to
+/// shape latency.
+const OVERLOAD_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Drives one open-loop arm at `multiplier × base_rps` against a fresh
+/// admission-controlled server and collects the outcome counts.
+///
+/// The generator is *open-loop*: slot `i` is scheduled at
+/// `i / offered_rps` and is sent (over a one-shot connection — the
+/// worker pool is connection-granular, so persistent connections would
+/// convert overload into client-side queueing instead of server-side
+/// shedding) whether or not earlier requests have completed. A pool of
+/// generator threads claims slots from an atomic counter and sleeps
+/// until each slot's scheduled time.
+///
+/// # Panics
+///
+/// Panics when the server cannot bind or a response has an unexpected
+/// status — shed must be an explicit `503`, not garbage.
+pub fn run_overload_arm(multiplier: f64, base_rps: f64, cfg: &LoadtestConfig) -> OverloadArm {
+    let mut service_opts = cfg.service_options(true);
+    service_opts.deadline = Some(OVERLOAD_DEADLINE);
+    service_opts.max_inflight = cfg.clients;
+    let server_opts = ServerOptions {
+        workers: cfg.clients * 2,
+        queue_depth: cfg.clients,
+        ..ServerOptions::default()
+    };
+    let server = rvz_server::spawn_with("127.0.0.1:0", Service::new(service_opts), &server_opts)
+        .expect("bind an ephemeral overload port");
+    let addr = server.addr().to_string();
+    let bodies = workload(cfg.families);
+    let client_opts = cfg.client_options();
+
+    let offered_rps = (base_rps * multiplier).max(1.0);
+    let duration = Duration::from_millis(cfg.overload_duration_ms.max(1));
+    let total = ((offered_rps * duration.as_secs_f64()).ceil() as u64).max(1);
+    let interval = Duration::from_secs_f64(1.0 / offered_rps);
+    let generators = (cfg.clients * 8).max(2);
+
+    let slot = AtomicU64::new(0);
+    let accepted = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..generators)
+            .map(|_| {
+                let (addr, bodies) = (&addr, &bodies);
+                let (slot, accepted, shed, errors) = (&slot, &accepted, &shed, &errors);
+                let client_opts = &client_opts;
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    loop {
+                        let i = slot.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            return lat;
+                        }
+                        // Open loop: hold to the schedule, never skip.
+                        let sched = interval.mul_f64(i as f64);
+                        if let Some(wait) = sched.checked_sub(start.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let body = &bodies[i as usize % bodies.len()];
+                        let t0 = Instant::now();
+                        match client::request_with(
+                            addr,
+                            "POST",
+                            "/first-contact",
+                            Some(body),
+                            client_opts,
+                        ) {
+                            Ok(resp) if resp.status == 200 => {
+                                lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(resp) if resp.status == 503 => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(resp) => {
+                                panic!("overload arm got unexpected status: {}", resp.status)
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("overload generator panicked"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |p: f64| percentile(&latencies, p).unwrap_or(f64::NAN);
+    let (accepted, shed, errors) = (
+        accepted.into_inner(),
+        shed.into_inner(),
+        errors.into_inner(),
+    );
+    OverloadArm {
+        multiplier,
+        offered_rps,
+        achieved_offered_rps: total as f64 / wall_s,
+        sent: total,
+        accepted,
+        shed,
+        errors,
+        shed_rate: shed as f64 / total as f64,
+        accepted_latency_us: [pct(50.0), pct(99.0)],
+    }
+}
+
+/// Runs the open-loop overload arms (1× and 2× of `base_rps` — the
+/// closed-loop `no-cache` throughput, i.e. the engine-bound capacity).
+pub fn run_overload(cfg: &LoadtestConfig, base_rps: f64) -> OverloadReport {
+    let arms = [1.0, 2.0]
+        .into_iter()
+        .map(|m| run_overload_arm(m, base_rps, cfg))
+        .collect();
+    OverloadReport {
+        duration_ms: cfg.overload_duration_ms,
+        base_rps,
+        queue_depth: cfg.clients,
+        max_inflight: cfg.clients,
+        deadline_ms: OVERLOAD_DEADLINE.as_millis() as u64,
+        arms,
+    }
+}
+
+/// The shed-not-collapse gate behind `rvz loadtest --check-overload`:
+/// at 2× offered load the server must shed explicitly (nonzero 503s),
+/// keep answering (nonzero accepted), and hold the accepted p99 within
+/// 5× of the 1× arm's.
+///
+/// # Errors
+///
+/// Returns a message naming the violated property.
+pub fn check_overload(report: &OverloadReport) -> Result<(), String> {
+    let arm = |m: f64| {
+        report
+            .arms
+            .iter()
+            .find(|a| a.multiplier == m)
+            .ok_or_else(|| format!("overload report is missing the {m}x arm"))
+    };
+    let warm = arm(1.0)?;
+    let over = arm(2.0)?;
+    if over.shed == 0 {
+        return Err(format!(
+            "2x overload shed nothing ({} sent, {} accepted): load shedding is not engaging",
+            over.sent, over.accepted
+        ));
+    }
+    if over.accepted == 0 {
+        return Err(
+            "2x overload accepted nothing: the server collapsed instead of shedding".into(),
+        );
+    }
+    let (warm_p99, over_p99) = (warm.accepted_latency_us[1], over.accepted_latency_us[1]);
+    if !(warm_p99.is_finite() && over_p99.is_finite()) {
+        return Err(format!(
+            "accepted p99 is undefined (warm {warm_p99}, 2x {over_p99}): too few accepted requests"
+        ));
+    }
+    if over_p99 > 5.0 * warm_p99 {
+        return Err(format!(
+            "2x overload accepted p99 {over_p99:.0}us exceeds 5x the warm p99 {warm_p99:.0}us"
+        ));
+    }
+    Ok(())
+}
+
 /// The human-readable comparison table.
 pub fn render_table(arms: &[ArmReport], speedup: f64) -> String {
     let mut table = crate::Table::new(&[
@@ -276,8 +512,52 @@ pub fn render_table(arms: &[ArmReport], speedup: f64) -> String {
     )
 }
 
-/// The machine-readable `BENCH_serve.json` document.
-pub fn render_json(arms: &[ArmReport], speedup: f64, cfg: &LoadtestConfig) -> String {
+/// The human-readable open-loop overload table.
+pub fn render_overload_table(report: &OverloadReport) -> String {
+    let mut table = crate::Table::new(&[
+        "offered",
+        "target r/s",
+        "achieved r/s",
+        "sent",
+        "accepted",
+        "shed",
+        "errors",
+        "shed %",
+        "acc p50 µs",
+        "acc p99 µs",
+    ]);
+    for arm in &report.arms {
+        table.row_owned(vec![
+            format!("{:.0}×", arm.multiplier),
+            format!("{:.0}", arm.offered_rps),
+            format!("{:.0}", arm.achieved_offered_rps),
+            arm.sent.to_string(),
+            arm.accepted.to_string(),
+            arm.shed.to_string(),
+            arm.errors.to_string(),
+            format!("{:.1}", arm.shed_rate * 100.0),
+            format!("{:.0}", arm.accepted_latency_us[0]),
+            format!("{:.0}", arm.accepted_latency_us[1]),
+        ]);
+    }
+    format!(
+        "{}open loop vs capacity {:.0} r/s (queue {}, in-flight {}, deadline {} ms)\n",
+        table.render(),
+        report.base_rps,
+        report.queue_depth,
+        report.max_inflight,
+        report.deadline_ms,
+    )
+}
+
+/// The machine-readable `BENCH_serve.json` document (schema v2: the v1
+/// closed-loop arms plus the open-loop `overload` object).
+pub fn render_json(
+    arms: &[ArmReport],
+    speedup: f64,
+    overload: &OverloadReport,
+    cfg: &LoadtestConfig,
+) -> String {
     let arm_json = |arm: &ArmReport| {
         Json::obj(vec![
             ("name", Json::Str(arm.name.to_string())),
@@ -302,8 +582,30 @@ pub fn render_json(arms: &[ArmReport], speedup: f64, cfg: &LoadtestConfig) -> St
             ),
         ])
     };
+    let overload_arm_json = |arm: &OverloadArm| {
+        Json::obj(vec![
+            ("multiplier", Json::Num(arm.multiplier)),
+            ("offered_rps", Json::Num(arm.offered_rps.round())),
+            (
+                "achieved_offered_rps",
+                Json::Num(arm.achieved_offered_rps.round()),
+            ),
+            ("sent", Json::Num(arm.sent as f64)),
+            ("accepted", Json::Num(arm.accepted as f64)),
+            ("shed", Json::Num(arm.shed as f64)),
+            ("errors", Json::Num(arm.errors as f64)),
+            ("shed_rate", Json::Num((arm.shed_rate * 1e4).round() / 1e4)),
+            (
+                "accepted_latency_us",
+                Json::obj(vec![
+                    ("p50", Json::Num(arm.accepted_latency_us[0].round())),
+                    ("p99", Json::Num(arm.accepted_latency_us[1].round())),
+                ]),
+            ),
+        ])
+    };
     let doc = Json::obj(vec![
-        ("schema", Json::Str("rvz-bench-serve/v1".to_string())),
+        ("schema", Json::Str("rvz-bench-serve/v2".to_string())),
         (
             "mode",
             Json::Str(if cfg.quick { "quick" } else { "full" }.to_string()),
@@ -316,11 +618,27 @@ pub fn render_json(arms: &[ArmReport], speedup: f64, cfg: &LoadtestConfig) -> St
         ("families", Json::Num(cfg.families as f64)),
         ("arms", Json::Arr(arms.iter().map(arm_json).collect())),
         ("speedup", Json::Num((speedup * 100.0).round() / 100.0)),
+        (
+            "overload",
+            Json::obj(vec![
+                ("duration_ms", Json::Num(overload.duration_ms as f64)),
+                ("base_rps", Json::Num(overload.base_rps.round())),
+                ("queue_depth", Json::Num(overload.queue_depth as f64)),
+                ("max_inflight", Json::Num(overload.max_inflight as f64)),
+                ("deadline_ms", Json::Num(overload.deadline_ms as f64)),
+                (
+                    "arms",
+                    Json::Arr(overload.arms.iter().map(overload_arm_json).collect()),
+                ),
+            ]),
+        ),
     ]);
     // Pretty-ish: one arm per line for reviewable diffs.
     doc.render()
         .replace("{\"name\"", "\n  {\"name\"")
         .replace("],\"speedup\"", "\n ],\"speedup\"")
+        .replace("{\"multiplier\"", "\n  {\"multiplier\"")
+        .replace(",\"overload\"", ",\n \"overload\"")
         + "\n"
 }
 
@@ -355,6 +673,39 @@ mod tests {
         assert_eq!(keys.len(), 8, "8 families, 8 orbits");
     }
 
+    fn overload_fixture() -> OverloadReport {
+        let warm = OverloadArm {
+            multiplier: 1.0,
+            offered_rps: 100.0,
+            achieved_offered_rps: 99.0,
+            sent: 40,
+            accepted: 38,
+            shed: 2,
+            errors: 0,
+            shed_rate: 0.05,
+            accepted_latency_us: [900.0, 2_000.0],
+        };
+        let over = OverloadArm {
+            multiplier: 2.0,
+            offered_rps: 200.0,
+            achieved_offered_rps: 195.0,
+            sent: 80,
+            accepted: 41,
+            shed: 39,
+            errors: 0,
+            shed_rate: 0.4875,
+            accepted_latency_us: [1_500.0, 6_000.0],
+        };
+        OverloadReport {
+            duration_ms: 400,
+            base_rps: 100.0,
+            queue_depth: 2,
+            max_inflight: 2,
+            deadline_ms: 5_000,
+            arms: vec![warm, over],
+        }
+    }
+
     #[test]
     fn renderers_cover_both_arms() {
         let arm = ArmReport {
@@ -376,16 +727,59 @@ mod tests {
         let table = render_table(&arms, 12.5);
         assert!(table.contains("cached") && table.contains("no-cache"));
         assert!(table.contains("12.5×"));
-        let json = render_json(&arms, 12.5, &LoadtestConfig::new(true));
+        let overload = overload_fixture();
+        let overload_table = render_overload_table(&overload);
+        assert!(overload_table.contains("1×") && overload_table.contains("2×"));
+        let json = render_json(&arms, 12.5, &overload, &LoadtestConfig::new(true));
         let parsed = rvz_experiments::json::parse(json.trim()).unwrap();
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
-            Some("rvz-bench-serve/v1")
+            Some("rvz-bench-serve/v2")
         );
         assert_eq!(parsed.get("speedup").and_then(Json::as_f64), Some(12.5));
         assert_eq!(
             parsed.get("arms").and_then(Json::as_array).map(|a| a.len()),
             Some(2)
         );
+        let over = parsed.get("overload").expect("v2 carries overload");
+        assert_eq!(over.get("base_rps").and_then(Json::as_f64), Some(100.0));
+        let over_arms = over.get("arms").and_then(Json::as_array).unwrap();
+        assert_eq!(over_arms.len(), 2);
+        assert_eq!(over_arms[1].get("shed").and_then(Json::as_f64), Some(39.0));
+        assert_eq!(
+            over_arms[1]
+                .get("accepted_latency_us")
+                .and_then(|l| l.get("p99"))
+                .and_then(Json::as_f64),
+            Some(6_000.0)
+        );
+    }
+
+    #[test]
+    fn check_overload_accepts_shed_not_collapse_and_names_violations() {
+        let good = overload_fixture();
+        assert!(check_overload(&good).is_ok());
+
+        let mut no_shed = good.clone();
+        no_shed.arms[1].shed = 0;
+        assert!(check_overload(&no_shed)
+            .unwrap_err()
+            .contains("shed nothing"));
+
+        let mut collapsed = good.clone();
+        collapsed.arms[1].accepted = 0;
+        assert!(check_overload(&collapsed)
+            .unwrap_err()
+            .contains("collapsed"));
+
+        let mut slow = good.clone();
+        slow.arms[1].accepted_latency_us[1] = 5.0 * good.arms[0].accepted_latency_us[1] + 1.0;
+        assert!(check_overload(&slow).unwrap_err().contains("exceeds 5x"));
+
+        let mut missing = good;
+        missing.arms.truncate(1);
+        assert!(check_overload(&missing)
+            .unwrap_err()
+            .contains("missing the 2x arm"));
     }
 }

@@ -144,6 +144,15 @@ impl OutcomeTransform {
                 min_distance: min_distance * ds,
                 steps,
             },
+            SimOutcome::Deadline {
+                time,
+                min_distance,
+                steps,
+            } => SimOutcome::Deadline {
+                time: time * ts,
+                min_distance: min_distance * ds,
+                steps,
+            },
         }
     }
 }

@@ -108,9 +108,9 @@ impl SweepRecord {
     /// `true` when prediction and observation agree: feasible scenarios
     /// make contact, infeasible ones do not.
     ///
-    /// An exhausted step budget is counted as agreement for infeasible
-    /// scenarios (the engine cannot *prove* non-contact in finite time)
-    /// but as disagreement for feasible ones.
+    /// An exhausted step or wall-clock budget is counted as agreement
+    /// for infeasible scenarios (the engine cannot *prove* non-contact
+    /// in finite time) but as disagreement for feasible ones.
     pub fn consistent(&self) -> bool {
         match self.feasibility {
             Feasibility::Feasible(_) => self.outcome.is_contact(),
@@ -135,7 +135,8 @@ impl SweepRecord {
                 match self.outcome {
                     SimOutcome::Contact { .. } => false,
                     SimOutcome::Horizon { min_distance, .. }
-                    | SimOutcome::StepBudget { min_distance, .. } => {
+                    | SimOutcome::StepBudget { min_distance, .. }
+                    | SimOutcome::Deadline { min_distance, .. } => {
                         min_distance >= d - 1e-9 * d.max(1.0)
                     }
                 }

@@ -33,6 +33,7 @@ pub fn outcome_token(outcome: &SimOutcome) -> &'static str {
         SimOutcome::Contact { .. } => "contact",
         SimOutcome::Horizon { .. } => "horizon",
         SimOutcome::StepBudget { .. } => "step_budget",
+        SimOutcome::Deadline { .. } => "deadline",
     }
 }
 
@@ -62,6 +63,11 @@ impl Row<'_> {
                 steps,
             } => (min_distance_time, min_distance, steps),
             SimOutcome::StepBudget {
+                time,
+                min_distance,
+                steps,
+            }
+            | SimOutcome::Deadline {
                 time,
                 min_distance,
                 steps,
@@ -290,6 +296,11 @@ pub fn record_from_json(value: &Json) -> Result<SweepRecord, String> {
             min_distance: observed,
             steps,
         },
+        "deadline" => SimOutcome::Deadline {
+            time,
+            min_distance: observed,
+            steps,
+        },
         other => return Err(format!("unknown outcome kind `{other}`")),
     };
     Ok(SweepRecord {
@@ -310,6 +321,8 @@ pub struct Summary {
     pub horizons: usize,
     /// Records that exhausted the step budget.
     pub step_budgets: usize,
+    /// Records whose wall-clock deadline expired mid-query.
+    pub deadlines: usize,
     /// Records where the Theorem 4 verdict and the simulation agree.
     pub consistent: usize,
     /// Contact-time percentiles `[p50, p90, p99, max]`, when any contact
@@ -348,6 +361,7 @@ impl Summary {
         let mut contacts = 0;
         let mut horizons = 0;
         let mut step_budgets = 0;
+        let mut deadlines = 0;
         let mut consistent = 0;
         let mut times = Vec::new();
         for r in records {
@@ -358,6 +372,7 @@ impl Summary {
                 }
                 SimOutcome::Horizon { .. } => horizons += 1,
                 SimOutcome::StepBudget { .. } => step_budgets += 1,
+                SimOutcome::Deadline { .. } => deadlines += 1,
             }
             if r.consistent() {
                 consistent += 1;
@@ -378,6 +393,7 @@ impl Summary {
             contacts,
             horizons,
             step_budgets,
+            deadlines,
             consistent,
             contact_time_percentiles,
         }
@@ -387,8 +403,8 @@ impl Summary {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "scenarios: {}  contact: {}  horizon: {}  step-budget: {}\n",
-            self.total, self.contacts, self.horizons, self.step_budgets
+            "scenarios: {}  contact: {}  horizon: {}  step-budget: {}  deadline: {}\n",
+            self.total, self.contacts, self.horizons, self.step_budgets, self.deadlines
         ));
         out.push_str(&format!(
             "theorem-4 consistency: {}/{}\n",

@@ -227,6 +227,23 @@ impl<V: Clone> ResultCache<V> {
     /// resident or joined from a concurrent computation) and `false`
     /// when this caller ran `compute`.
     pub fn get_or_compute<F: FnOnce() -> V>(&self, key: CacheKey, compute: F) -> (V, bool) {
+        self.get_or_compute_if(key, compute, |_| true)
+    }
+
+    /// [`ResultCache::get_or_compute`] with a cacheability predicate:
+    /// the computed value is returned to the caller either way, but is
+    /// only *inserted* when `cacheable` approves it (e.g. a
+    /// deadline-exhausted engine outcome is an artifact of this
+    /// request's wall clock and must never answer a future request).
+    ///
+    /// When the value is rejected the single-flight claim is released
+    /// and waiters retry — each then computes under its own conditions
+    /// instead of inheriting a non-reusable result.
+    pub fn get_or_compute_if<F, P>(&self, key: CacheKey, compute: F, cacheable: P) -> (V, bool)
+    where
+        F: FnOnce() -> V,
+        P: FnOnce(&V) -> bool,
+    {
         let (lock, cvar) = self.shard(&key);
         {
             let mut shard = lock.lock().expect("cache shard poisoned");
@@ -275,8 +292,14 @@ impl<V: Clone> ResultCache<V> {
             armed: true,
         };
         let value = compute();
-        guard.armed = false;
-        self.insert(key, value.clone());
+        if cacheable(&value) {
+            guard.armed = false;
+            self.insert(key, value.clone());
+        } else {
+            // Let the guard release the claim: waiters wake, find the
+            // key absent, and run their own computation.
+            drop(guard);
+        }
         (value, false)
     }
 

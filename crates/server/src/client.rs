@@ -4,8 +4,36 @@
 //! so the whole serve stack stays dependency-free and testable offline).
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Transport timeouts for [`HttpClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Maximum time to establish the TCP connection.
+    pub connect_timeout: Duration,
+    /// Maximum time to wait for response bytes once connected.
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ClientOptions {
+    /// Both timeouts set to `timeout` (how `--timeout-ms` maps in).
+    pub fn uniform(timeout: Duration) -> ClientOptions {
+        ClientOptions {
+            connect_timeout: timeout,
+            read_timeout: timeout,
+        }
+    }
+}
 
 /// One parsed response.
 #[derive(Debug, Clone)]
@@ -36,15 +64,31 @@ pub struct HttpClient {
 }
 
 impl HttpClient {
-    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`) with default
+    /// timeouts ([`ClientOptions::default`]).
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: &str) -> std::io::Result<HttpClient> {
-        let stream = TcpStream::connect(addr)?;
+        HttpClient::connect_with(addr, &ClientOptions::default())
+    }
+
+    /// Connects to `addr` honoring the given connect/read timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures, including connect timeout.
+    pub fn connect_with(addr: &str, opts: &ClientOptions) -> std::io::Result<HttpClient> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("address `{addr}` resolved to nothing"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, opts.connect_timeout)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(opts.read_timeout))?;
         let writer = stream.try_clone()?;
         Ok(HttpClient {
             reader: BufReader::new(stream),
@@ -126,4 +170,19 @@ pub fn request(
     body: Option<&str>,
 ) -> std::io::Result<ClientResponse> {
     HttpClient::connect(addr)?.request(method, path, body)
+}
+
+/// One-shot convenience with explicit timeouts.
+///
+/// # Errors
+///
+/// Propagates connection and protocol failures.
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    opts: &ClientOptions,
+) -> std::io::Result<ClientResponse> {
+    HttpClient::connect_with(addr, opts)?.request(method, path, body)
 }

@@ -1,0 +1,326 @@
+//! Deterministic, seeded fault injection for the serve stack.
+//!
+//! The overload and panic-isolation guarantees of the server are only
+//! worth committing if they are *exercised*: a worker that panics while
+//! holding the connection-queue lock, a request handler that panics
+//! mid-dispatch, a cache compute that dies, a connection that resets
+//! before the response bytes land, an engine that suddenly takes ten
+//! times longer. This module provides the injection points for all of
+//! those, driven by a single [`FaultPlan`] — a seed plus per-site
+//! rates — so a failing run reproduces from its seed alone.
+//!
+//! ## Zero cost when off
+//!
+//! Every injection point is guarded by an `Option<Arc<FaultState>>`
+//! that is `None` in production: the fast path pays one pointer-null
+//! check and touches no RNG, no atomics, no clock.
+//!
+//! ## Determinism
+//!
+//! Each site keeps its own decision counter; the `n`-th decision at a
+//! site is a pure function of `(seed, site, n)` via a split
+//! [`SplitMix64`] stream, so the *sequence* of injected faults per site
+//! is identical across runs. (Which request draws which decision
+//! depends on arrival order; single-threaded drivers — the CI suite —
+//! are fully deterministic end to end.)
+
+use rvz_experiments::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Panic inside a worker's queue-pop critical section — the worker
+    /// dies *while holding the queue lock*, poisoning it. Exercises the
+    /// pool's poison recovery.
+    WorkerPanic,
+    /// Panic inside [`Service::handle`](crate::Service::handle)
+    /// dispatch. Exercises per-request `catch_unwind` isolation.
+    HandlerPanic,
+    /// Panic inside the result cache's compute closure. Exercises the
+    /// single-flight claim release (waiters must not hang).
+    CacheFail,
+    /// Drop the connection instead of writing the response — the client
+    /// sees a truncated/reset stream.
+    ConnReset,
+    /// Sleep before running the engine (artificial engine latency).
+    EngineDelay,
+}
+
+const SITE_COUNT: usize = 5;
+
+/// Per-site salt so split streams never collide across sites.
+const SITE_SALT: [u64; SITE_COUNT] = [
+    0x5752_4B50_414E_4943, // "WRKPANIC"
+    0x484E_444C_5041_4E49, // "HNDLPANI"
+    0x4341_4348_4546_4149, // "CACHEFAI"
+    0x434F_4E4E_5245_5345, // "CONNRESE"
+    0x454E_4744_454C_4159, // "ENGDELAY"
+];
+
+/// The seeded fault plan: rates in `[0, 1]` per site, a shared seed,
+/// and an optional cap on total injections per site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every site's decision stream.
+    pub seed: u64,
+    /// Rate of [`FaultSite::WorkerPanic`].
+    pub worker_panic: f64,
+    /// Rate of [`FaultSite::HandlerPanic`].
+    pub handler_panic: f64,
+    /// Rate of [`FaultSite::CacheFail`].
+    pub cache_fail: f64,
+    /// Rate of [`FaultSite::ConnReset`].
+    pub conn_reset: f64,
+    /// Rate of [`FaultSite::EngineDelay`].
+    pub delay_rate: f64,
+    /// Injected engine latency per [`FaultSite::EngineDelay`] firing.
+    pub delay_ms: u64,
+    /// Maximum injections per site (`0` = unlimited).
+    pub limit: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            worker_panic: 0.0,
+            handler_panic: 0.0,
+            cache_fail: 0.0,
+            conn_reset: 0.0,
+            delay_rate: 0.0,
+            delay_ms: 0,
+            limit: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses a `key=value[,key=value...]` spec, e.g.
+    /// `seed=42,handler_panic=0.1,delay_rate=0.2,delay_ms=5,limit=3`.
+    ///
+    /// Keys: `seed`, `worker_panic`, `handler_panic`, `cache_fail`,
+    /// `conn_reset`, `delay_rate`, `delay_ms`, `limit`. Rates must lie
+    /// in `[0, 1]`; unknown keys are rejected eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending key.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry `{part}` is not `key=value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let int = || -> Result<u64, String> {
+                value.parse::<u64>().map_err(|_| {
+                    format!("fault spec key `{key}` expects an integer, got `{value}`")
+                })
+            };
+            let rate = || -> Result<f64, String> {
+                let r: f64 = value.parse().map_err(|_| {
+                    format!("fault spec key `{key}` expects a number, got `{value}`")
+                })?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("fault spec key `{key}` must be in [0, 1], got {r}"));
+                }
+                Ok(r)
+            };
+            match key {
+                "seed" => plan.seed = int()?,
+                "worker_panic" => plan.worker_panic = rate()?,
+                "handler_panic" => plan.handler_panic = rate()?,
+                "cache_fail" => plan.cache_fail = rate()?,
+                "conn_reset" => plan.conn_reset = rate()?,
+                "delay_rate" => plan.delay_rate = rate()?,
+                "delay_ms" => plan.delay_ms = int()?,
+                "limit" => plan.limit = int()?,
+                _ => {
+                    return Err(format!(
+                        "unknown fault spec key `{key}` (expected seed, worker_panic, \
+                         handler_panic, cache_fail, conn_reset, delay_rate, delay_ms, limit)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// `true` when at least one site can fire.
+    pub fn is_active(&self) -> bool {
+        self.worker_panic > 0.0
+            || self.handler_panic > 0.0
+            || self.cache_fail > 0.0
+            || self.conn_reset > 0.0
+            || self.delay_rate > 0.0
+    }
+
+    fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::WorkerPanic => self.worker_panic,
+            FaultSite::HandlerPanic => self.handler_panic,
+            FaultSite::CacheFail => self.cache_fail,
+            FaultSite::ConnReset => self.conn_reset,
+            FaultSite::EngineDelay => self.delay_rate,
+        }
+    }
+}
+
+/// Runtime fault state: the plan plus per-site decision/injection
+/// counters (shared across the worker pool via `Arc`).
+pub struct FaultState {
+    plan: FaultPlan,
+    decisions: [AtomicU64; SITE_COUNT],
+    injected: [AtomicU64; SITE_COUNT],
+}
+
+impl FaultState {
+    /// Builds the runtime state for a plan.
+    pub fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            plan,
+            decisions: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Decides (deterministically per site-visit index) whether this
+    /// visit to `site` injects a fault, honoring the plan's `limit`.
+    pub fn fires(&self, site: FaultSite) -> bool {
+        let rate = self.plan.rate(site);
+        if rate <= 0.0 {
+            return false;
+        }
+        let n = self.decisions[site as usize].fetch_add(1, Ordering::Relaxed);
+        if SplitMix64::new(self.plan.seed ^ SITE_SALT[site as usize])
+            .split(n)
+            .next_f64()
+            >= rate
+        {
+            return false;
+        }
+        if self.plan.limit > 0 {
+            // Reserve one slot under the cap; give it back on overrun.
+            if self.injected[site as usize].fetch_add(1, Ordering::Relaxed) >= self.plan.limit {
+                self.injected[site as usize].fetch_sub(1, Ordering::Relaxed);
+                return false;
+            }
+        } else {
+            self.injected[site as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// How many faults have been injected at `site`.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site as usize].load(Ordering::Relaxed)
+    }
+
+    /// The configured artificial engine latency.
+    pub fn delay(&self) -> Duration {
+        Duration::from_millis(self.plan.delay_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_key() {
+        let plan = FaultPlan::parse(
+            "seed=42, worker_panic=0.25, handler_panic=1, cache_fail=0.5, \
+             conn_reset=0.1, delay_rate=0.75, delay_ms=7, limit=3",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.worker_panic, 0.25);
+        assert_eq!(plan.handler_panic, 1.0);
+        assert_eq!(plan.cache_fail, 0.5);
+        assert_eq!(plan.conn_reset, 0.1);
+        assert_eq!(plan.delay_rate, 0.75);
+        assert_eq!(plan.delay_ms, 7);
+        assert_eq!(plan.limit, 3);
+        assert!(plan.is_active());
+        assert!(!FaultPlan::default().is_active());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs_naming_the_key() {
+        for (spec, needle) in [
+            ("bogus=1", "unknown fault spec key `bogus`"),
+            ("worker_panic=2", "must be in [0, 1]"),
+            ("worker_panic=-0.5", "must be in [0, 1]"),
+            ("seed=abc", "expects an integer"),
+            ("handler_panic", "not `key=value`"),
+            ("delay_ms=1.5", "expects an integer"),
+        ] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "spec {spec:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn decision_sequences_are_deterministic_per_seed() {
+        let plan = FaultPlan {
+            seed: 7,
+            handler_panic: 0.5,
+            ..FaultPlan::default()
+        };
+        let a = FaultState::new(plan);
+        let b = FaultState::new(plan);
+        let seq = |s: &FaultState| -> Vec<bool> {
+            (0..64).map(|_| s.fires(FaultSite::HandlerPanic)).collect()
+        };
+        let sa = seq(&a);
+        assert_eq!(sa, seq(&b), "same seed, same decision sequence");
+        assert!(sa.iter().any(|&f| f) && sa.iter().any(|&f| !f));
+        // A different seed gives a different sequence.
+        let c = FaultState::new(FaultPlan { seed: 8, ..plan });
+        assert_ne!(sa, seq(&c));
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        let plan = FaultPlan {
+            seed: 3,
+            handler_panic: 0.5,
+            cache_fail: 0.5,
+            ..FaultPlan::default()
+        };
+        let s = FaultState::new(plan);
+        let h: Vec<bool> = (0..64).map(|_| s.fires(FaultSite::HandlerPanic)).collect();
+        let c: Vec<bool> = (0..64).map(|_| s.fires(FaultSite::CacheFail)).collect();
+        assert_ne!(h, c, "per-site salts must decorrelate the streams");
+    }
+
+    #[test]
+    fn limit_caps_total_injections() {
+        let plan = FaultPlan {
+            seed: 1,
+            handler_panic: 1.0,
+            limit: 2,
+            ..FaultPlan::default()
+        };
+        let s = FaultState::new(plan);
+        let fired: usize = (0..16).filter(|_| s.fires(FaultSite::HandlerPanic)).count();
+        assert_eq!(fired, 2);
+        assert_eq!(s.injected(FaultSite::HandlerPanic), 2);
+    }
+
+    #[test]
+    fn zero_rate_site_never_fires_or_counts() {
+        let s = FaultState::new(FaultPlan {
+            seed: 9,
+            worker_panic: 1.0,
+            ..FaultPlan::default()
+        });
+        for _ in 0..32 {
+            assert!(!s.fires(FaultSite::ConnReset));
+        }
+        assert_eq!(s.injected(FaultSite::ConnReset), 0);
+        assert!(s.fires(FaultSite::WorkerPanic));
+    }
+}

@@ -29,21 +29,25 @@
 //! ```
 //!
 //! Module map: [`http`] (wire format), [`cache`] (sharded LRU +
-//! single-flight), [`service`] (endpoints and the determinism
-//! contract), [`server`] (listener, workers, graceful shutdown),
-//! [`client`] (the blocking client used by `rvz client`, the CI smoke
-//! and `rvz loadtest`).
+//! single-flight), [`service`] (endpoints, admission control and the
+//! determinism contract), [`server`] (listener, bounded connection
+//! queue, workers, load shedding, graceful drain), [`client`] (the
+//! blocking client used by `rvz client`, the CI smoke and
+//! `rvz loadtest`), [`faults`] (deterministic seeded fault injection
+//! for the overload/panic-isolation test suite).
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod http;
 pub mod server;
 pub mod service;
 
 pub use cache::{CacheStats, ResultCache};
-pub use client::{request, ClientResponse, HttpClient};
+pub use client::{request, ClientOptions, ClientResponse, HttpClient};
+pub use faults::{FaultPlan, FaultSite, FaultState};
 pub use http::{Request, Response};
-pub use server::{spawn, ServerHandle};
+pub use server::{spawn, spawn_with, ServerHandle, ServerOptions};
 pub use service::{Control, Service, ServiceOptions};

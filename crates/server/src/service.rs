@@ -25,16 +25,18 @@
 //! served by *one* answer, transported along the symmetry.
 
 use crate::cache::{CacheStats, ResultCache};
+use crate::faults::{FaultPlan, FaultSite, FaultState};
 use crate::http::{Request, Response};
 use rvz_experiments::{
     breaker_token, orbit_key, record_to_json, run_sweep, scenario_from_json, Algorithm, Json,
     Scenario, Summary, SweepOptions, SweepRecord, DEFAULT_GRID,
 };
 use rvz_model::{feasibility, Chirality, RobotAttributes};
-use rvz_sim::{try_first_contact_programs, EngineScratch, SimOutcome};
+use rvz_sim::{try_first_contact_programs, Budget, ContactOptions, EngineScratch, SimOutcome};
 use rvz_trajectory::{Compile, CompileOptions, CompiledProgram};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// A lowered program shared between the program cache and in-flight
 /// queries.
@@ -78,6 +80,21 @@ pub struct ServiceOptions {
     /// at construction so no per-request worker ever re-lowers a
     /// reference.
     pub sweep: SweepOptions,
+    /// Per-request wall-clock deadline for engine work. Each request
+    /// gets a fresh [`Budget`] starting at dispatch; an exhausted one
+    /// surfaces as an `"outcome":"deadline"` record (HTTP 200). A
+    /// deadline outcome is **never cached** — it reflects this
+    /// request's wall clock, not the scenario — so the determinism
+    /// contract ("byte-identical responses regardless of cache state")
+    /// continues to hold for every cached byte.
+    pub deadline: Option<Duration>,
+    /// Maximum concurrent engine-heavy requests (`/first-contact`,
+    /// `/sweep`); beyond it requests are shed with `503` +
+    /// `Retry-After`. `0` disables the limit.
+    pub max_inflight: usize,
+    /// Deterministic fault injection (tests/CI only; `None` in
+    /// production costs one null check per site).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServiceOptions {
@@ -88,6 +105,9 @@ impl Default for ServiceOptions {
             cache_grid: DEFAULT_GRID,
             no_cache: false,
             sweep: SweepOptions::default(),
+            deadline: None,
+            max_inflight: 0,
+            faults: None,
         }
     }
 }
@@ -121,6 +141,12 @@ pub struct Service {
     /// at ≤ 2 no matter how many orbits stream through).
     reference_lowerings: AtomicU64,
     requests: AtomicU64,
+    /// Engine-heavy requests currently inside their handler.
+    inflight: AtomicUsize,
+    /// Requests shed by the in-flight limit (503s).
+    shed: AtomicU64,
+    /// Fault-injection state, built from `opts.faults` (`None` off).
+    faults: Option<Arc<FaultState>>,
 }
 
 impl Service {
@@ -131,6 +157,10 @@ impl Service {
         // reference lowering on a fallback path.
         let compile_pieces = opts.sweep.compile_pieces;
         opts.sweep.compile_pieces = 0;
+        let faults = opts
+            .faults
+            .filter(|p| p.is_active())
+            .map(|p| Arc::new(FaultState::new(p)));
         Service {
             cache: ResultCache::new(opts.cache_capacity, opts.cache_shards),
             programs: ResultCache::new(opts.cache_capacity, opts.cache_shards),
@@ -139,6 +169,9 @@ impl Service {
             compile_pieces,
             opts,
             requests: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            faults,
         }
     }
 
@@ -163,15 +196,24 @@ impl Service {
     }
 
     /// Dispatches one request.
+    ///
+    /// May panic under injected faults ([`FaultSite::HandlerPanic`]);
+    /// the connection loop isolates that panic to a `500` for this
+    /// request.
     pub fn handle(&self, req: &Request) -> (Response, Control) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(f) = &self.faults {
+            if f.fires(FaultSite::HandlerPanic) {
+                panic!("injected fault: request handler panic");
+            }
+        }
         let response = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Response::ok(Json::obj(vec![("ok", Json::Bool(true))]).render()),
             ("GET", "/stats") => self.stats_response(),
             ("GET", "/feasibility") => self.feasibility_from_query(req),
             ("POST", "/feasibility") => self.feasibility_from_body(req),
-            ("POST", "/first-contact") => self.first_contact(req),
-            ("POST", "/sweep") => self.sweep(req),
+            ("POST", "/first-contact") => self.with_admission(|| self.first_contact(req)),
+            ("POST", "/sweep") => self.with_admission(|| self.sweep(req)),
             ("POST", "/shutdown") => {
                 let body = Json::obj(vec![
                     ("ok", Json::Bool(true)),
@@ -189,6 +231,45 @@ impl Service {
             _ => Response::error(404, "no such endpoint"),
         };
         (response, Control::Continue)
+    }
+
+    /// Runs an engine-heavy endpoint under the in-flight limit,
+    /// shedding with `503` + `Retry-After` when it is exceeded. The
+    /// slot is released on unwind too (injected handler faults must not
+    /// leak admission capacity).
+    fn with_admission(&self, run: impl FnOnce() -> Response) -> Response {
+        let max = self.opts.max_inflight;
+        if max == 0 {
+            return run();
+        }
+        if self.inflight.fetch_add(1, Ordering::SeqCst) >= max {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::error(503, "server overloaded: engine in-flight limit reached")
+                .header("Retry-After", "1");
+        }
+        struct Release<'a>(&'a AtomicUsize);
+        impl Drop for Release<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let _slot = Release(&self.inflight);
+        run()
+    }
+
+    /// The engine options for one request: the service's tuning plus a
+    /// fresh wall-clock [`Budget`] when a deadline is configured.
+    fn request_contact(&self) -> ContactOptions {
+        match self.opts.deadline {
+            Some(limit) => self.opts.sweep.contact.with_budget(Budget::new(limit)),
+            None => self.opts.sweep.contact,
+        }
+    }
+
+    /// Requests shed by the in-flight limit so far.
+    pub fn shed_requests(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     fn stats_response(&self) -> Response {
@@ -223,6 +304,21 @@ impl Service {
                     (
                         "reference_lowerings",
                         Json::Num(self.reference_lowerings() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "admission",
+                Json::obj(vec![
+                    ("max_inflight", Json::Num(self.opts.max_inflight as f64)),
+                    (
+                        "inflight",
+                        Json::Num(self.inflight.load(Ordering::SeqCst) as f64),
+                    ),
+                    ("shed", Json::Num(self.shed_requests() as f64)),
+                    (
+                        "deadline_ms",
+                        Json::Num(self.opts.deadline.map_or(0.0, |d| d.as_secs_f64() * 1e3)),
                     ),
                 ]),
             ),
@@ -324,16 +420,29 @@ impl Service {
     /// whether the outcome came from the cache.
     fn answer(&self, scenario: &Scenario) -> (SweepRecord, rvz_experiments::Canonical, bool) {
         let canonical = scenario.canonicalize(self.opts.cache_grid);
+        let contact = self.request_contact();
         let (outcome, hit) = if self.opts.no_cache {
             // The A/B baseline bypasses the result cache *and* the
             // compiled-program path: every request runs the cursor
             // engine from scratch, so the loadtest speedup measures the
             // whole caching+compilation stack against the bare engine.
-            (self.simulate(&canonical.scenario), false)
+            (self.simulate(&canonical.scenario, &contact), false)
         } else {
-            self.cache.get_or_compute(canonical.key, || {
-                self.simulate_with_key(&canonical.scenario, Some(canonical.key))
-            })
+            self.cache.get_or_compute_if(
+                canonical.key,
+                || {
+                    if let Some(f) = &self.faults {
+                        if f.fires(FaultSite::CacheFail) {
+                            panic!("injected fault: cache compute failure");
+                        }
+                    }
+                    self.simulate_with_key(&canonical.scenario, Some(canonical.key), &contact)
+                },
+                // A deadline outcome reflects this request's wall
+                // clock, not the scenario: caching it would serve a
+                // timeout to future requests that had time to finish.
+                |outcome| !matches!(outcome, SimOutcome::Deadline { .. }),
+            )
         };
         let record = SweepRecord {
             scenario: *scenario,
@@ -343,8 +452,8 @@ impl Service {
         (record, canonical, hit)
     }
 
-    fn simulate(&self, canonical: &Scenario) -> SimOutcome {
-        self.simulate_with_key(canonical, None)
+    fn simulate(&self, canonical: &Scenario, contact: &ContactOptions) -> SimOutcome {
+        self.simulate_with_key(canonical, None, contact)
     }
 
     /// Simulates the canonical representative: through the cached
@@ -356,10 +465,19 @@ impl Service {
         &self,
         canonical: &Scenario,
         key: Option<rvz_experiments::CacheKey>,
+        contact: &ContactOptions,
     ) -> SimOutcome {
+        if let Some(f) = &self.faults {
+            if f.fires(FaultSite::EngineDelay) {
+                // Injected engine latency: the request spends extra
+                // wall clock inside "the engine" (drives deadline and
+                // overload paths deterministically in tests).
+                std::thread::sleep(f.delay());
+            }
+        }
         if let Some(key) = key {
             if self.compile_pieces > 0 {
-                if let Some(outcome) = self.simulate_compiled(canonical, key) {
+                if let Some(outcome) = self.simulate_compiled(canonical, key, contact) {
                     return outcome;
                 }
             }
@@ -368,6 +486,7 @@ impl Service {
         // executor never lowers on the service's behalf.
         let single = SweepOptions {
             threads: 1,
+            contact: *contact,
             ..self.opts.sweep
         };
         run_sweep(std::slice::from_ref(canonical), &single)[0].outcome
@@ -386,6 +505,7 @@ impl Service {
         &self,
         canonical: &Scenario,
         key: rvz_experiments::CacheKey,
+        contact: &ContactOptions,
     ) -> Option<SimOutcome> {
         let reference = Arc::clone(self.reference_for(canonical.algorithm).as_ref()?);
         let mut scratch = EngineScratch::new();
@@ -393,12 +513,13 @@ impl Service {
             // Identical key ⟹ identical canonical scenario ⟹ the
             // frozen depth suffices (it was materialized by this very
             // query); the refusal branch below only fires after an
-            // options change or a shallow budget, and stays sound.
+            // options change, a shallow budget, or an earlier
+            // deadline-truncated stream, and stays sound.
             if let Some(outcome) = try_first_contact_programs(
                 &reference,
                 &partner,
                 canonical.visibility,
-                &self.opts.sweep.contact,
+                contact,
                 &mut scratch,
             ) {
                 self.programs.record(1, 0);
@@ -413,6 +534,7 @@ impl Service {
                 &rvz_core::WaitAndSearch,
                 &instance,
                 key,
+                contact,
                 &mut scratch,
             ),
             Algorithm::UniversalSearch => self.lazy_partner_query(
@@ -420,6 +542,7 @@ impl Service {
                 &rvz_search::UniversalSearch,
                 &instance,
                 key,
+                contact,
                 &mut scratch,
             ),
         }
@@ -437,19 +560,15 @@ impl Service {
         algorithm: &T,
         instance: &rvz_model::RendezvousInstance,
         key: rvz_experiments::CacheKey,
+        contact: &ContactOptions,
         scratch: &mut EngineScratch,
     ) -> Option<SimOutcome> {
         let partner = instance
             .attributes()
             .frame_warp(algorithm, instance.offset());
         let lazy = rvz_trajectory::LazyProgram::new(&partner, self.compile_options());
-        let outcome = try_first_contact_programs(
-            reference,
-            &lazy,
-            instance.visibility(),
-            &self.opts.sweep.contact,
-            scratch,
-        );
+        let outcome =
+            try_first_contact_programs(reference, &lazy, instance.visibility(), contact, scratch);
         // Freeze whatever depth the query reached — resolved or refused
         // — so the next miss on this orbit starts from a baked handle
         // instead of re-streaming.
@@ -567,6 +686,7 @@ impl Service {
         if !self.opts.no_cache {
             self.cache.record(hits, misses);
         }
+        let contact = self.request_contact();
         if !missing.is_empty() {
             // Resolve representatives through the service's own compiled
             // path first (the per-process reference and the partner
@@ -578,7 +698,7 @@ impl Service {
             let mut computed: Vec<Option<SimOutcome>> = vec![None; missing.len()];
             if !self.opts.no_cache && self.compile_pieces > 0 {
                 for (key, &j) in &missing_index {
-                    computed[j] = self.simulate_compiled(&missing[j], *key);
+                    computed[j] = self.simulate_compiled(&missing[j], *key, &contact);
                 }
             }
             let leftover: Vec<Scenario> = missing
@@ -593,14 +713,20 @@ impl Service {
             if !leftover.is_empty() {
                 // opts.sweep.compile_pieces is zeroed at construction:
                 // the executor runs leftovers on the cursor path.
-                for record in run_sweep(&leftover, &self.opts.sweep) {
+                let sweep = SweepOptions {
+                    contact,
+                    ..self.opts.sweep
+                };
+                for record in run_sweep(&leftover, &sweep) {
                     computed[record.scenario.id as usize] = Some(record.outcome);
                 }
             }
             let computed: Vec<SimOutcome> =
                 computed.into_iter().map(|o| o.expect("resolved")).collect();
             for (key, &j) in &missing_index {
-                if !self.opts.no_cache {
+                // Deadline outcomes are wall-clock artifacts of this
+                // request; never let them answer future queries.
+                if !self.opts.no_cache && !matches!(computed[j], SimOutcome::Deadline { .. }) {
                     self.cache.insert(*key, computed[j]);
                 }
             }
@@ -635,6 +761,7 @@ impl Service {
                     ("contacts", Json::Num(summary.contacts as f64)),
                     ("horizons", Json::Num(summary.horizons as f64)),
                     ("step_budgets", Json::Num(summary.step_budgets as f64)),
+                    ("deadlines", Json::Num(summary.deadlines as f64)),
                     ("consistent", Json::Num(summary.consistent as f64)),
                 ]),
             ),
@@ -925,6 +1052,82 @@ mod tests {
         assert_eq!(flow, Control::Shutdown);
         assert!(resp.close);
         assert!(resp.body.contains("\"shutting_down\":true"));
+    }
+
+    #[test]
+    fn deadline_outcomes_surface_and_are_never_cached() {
+        // A zero budget expires before the first check boundary. The
+        // scenario is the fully symmetric (infeasible) twin with a huge
+        // horizon and pruning off, so every engine path has to *step*
+        // its way forward — past the 1024-step check — rather than
+        // resolving from envelopes or compiled strides.
+        let options = || {
+            let mut opts = test_options();
+            opts.sweep.contact.prune = false;
+            opts.sweep.contact.horizon = 1e9;
+            opts
+        };
+        let mut opts = options();
+        opts.deadline = Some(std::time::Duration::ZERO);
+        let svc = Service::new(opts);
+        let body = r#"{"speed":1,"distance":0.9,"visibility":0.25}"#;
+        let (resp, _) = svc.handle(&request("POST", "/first-contact", body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(
+            resp.body.contains("\"outcome\":\"deadline\""),
+            "{}",
+            resp.body
+        );
+        assert_eq!(header(&resp, "X-Rvz-Cache"), "miss");
+        // A deadline artifact must not answer the next request.
+        let (again, _) = svc.handle(&request("POST", "/first-contact", body));
+        assert_eq!(header(&again, "X-Rvz-Cache"), "miss", "deadline was cached");
+        assert_eq!(svc.cache_stats().entries, 0);
+
+        // The same scenario without a deadline runs to its step budget
+        // (no deadline token) and caches normally.
+        let healthy = Service::new(options());
+        let (resp, _) = healthy.handle(&request("POST", "/first-contact", body));
+        assert!(
+            !resp.body.contains("\"outcome\":\"deadline\""),
+            "{}",
+            resp.body
+        );
+        assert_eq!(healthy.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn inflight_limit_sheds_with_503_and_retry_after() {
+        use crate::faults::FaultPlan;
+        let mut opts = test_options();
+        opts.max_inflight = 1;
+        opts.no_cache = true;
+        // Every engine run sleeps 200ms, guaranteeing overlap.
+        opts.faults = Some(FaultPlan {
+            seed: 1,
+            delay_rate: 1.0,
+            delay_ms: 200,
+            ..FaultPlan::default()
+        });
+        let svc = std::sync::Arc::new(Service::new(opts));
+        let body = r#"{"speed":0.5,"distance":0.9,"visibility":0.25}"#;
+        let bg = {
+            let svc = std::sync::Arc::clone(&svc);
+            std::thread::spawn(move || {
+                let (resp, _) = svc.handle(&request("POST", "/first-contact", body));
+                resp.status
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let (resp, _) = svc.handle(&request("POST", "/first-contact", body));
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert_eq!(header(&resp, "Retry-After"), "1");
+        assert!(resp.body.contains("in-flight"));
+        assert_eq!(bg.join().unwrap(), 200, "the admitted request completes");
+        assert_eq!(svc.shed_requests(), 1);
+        // The slot was released: a fresh request is admitted again.
+        let (resp, _) = svc.handle(&request("POST", "/first-contact", body));
+        assert_eq!(resp.status, 200);
     }
 
     fn header<'a>(resp: &'a Response, name: &str) -> &'a str {

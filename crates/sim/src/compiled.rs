@@ -221,6 +221,15 @@ pub fn try_first_contact_programs<A: ProgramView + ?Sized, B: ProgramView + ?Siz
                 steps: opts.max_steps,
             };
         }
+        if let Some(budget) = &opts.budget {
+            if budget.fires_at(steps) {
+                break SimOutcome::Deadline {
+                    time: t,
+                    min_distance,
+                    steps,
+                };
+            }
+        }
 
         // The certificate ladder, identical to the cursor engine's.
         let conservative = if rel_speed > 0.0 {

@@ -59,6 +59,80 @@ use rvz_geometry::Vec2;
 use rvz_trajectory::monotone::{Cursor, MonotoneTrajectory, Motion, Probe};
 use rvz_trajectory::Trajectory;
 use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A cooperative wall-clock budget for one first-contact query (or one
+/// batch of queries sharing the same deadline).
+///
+/// The engines check the clock every [`Budget::check_every`] advancement
+/// steps; when the budget's `limit` has elapsed since construction they
+/// return [`SimOutcome::Deadline`] instead of continuing. The check can
+/// only cause an early return — it never perturbs the stepping
+/// arithmetic — so a budget that never fires (e.g. `Duration::MAX`)
+/// yields bit-identical outcomes to running with no budget at all.
+///
+/// The deadline is absolute: cloning the `Budget` into per-pair or
+/// per-worker option structs shares the original deadline, which is what
+/// a per-request server deadline wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    started: Instant,
+    limit: Duration,
+    check_every: u64,
+}
+
+impl Budget {
+    /// Steps between wall-clock checks when not overridden: cheap enough
+    /// to bound deadline overrun tightly, rare enough to keep
+    /// `Instant::now` off the per-step hot path.
+    pub const DEFAULT_CHECK_EVERY: u64 = 1024;
+
+    /// A budget expiring `limit` after *now*.
+    ///
+    /// `Duration::MAX` is a valid, never-expiring budget (exactly
+    /// equivalent to no budget).
+    pub fn new(limit: Duration) -> Budget {
+        Budget {
+            started: Instant::now(),
+            limit,
+            check_every: Budget::DEFAULT_CHECK_EVERY,
+        }
+    }
+
+    /// Sets the number of advancement steps between wall-clock checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately when `steps` is zero (eager validation, as for
+    /// [`ContactOptions::tolerance`]).
+    pub fn check_every(mut self, steps: u64) -> Budget {
+        assert!(steps > 0, "budget check interval must be positive");
+        self.check_every = steps;
+        self
+    }
+
+    /// The configured check interval in steps.
+    pub fn check_interval(&self) -> u64 {
+        self.check_every
+    }
+
+    /// `true` once the wall-clock limit has elapsed.
+    pub fn exhausted(&self) -> bool {
+        self.started.elapsed() >= self.limit
+    }
+
+    /// Wall-clock time left before the deadline (zero once exhausted).
+    pub fn remaining(&self) -> Duration {
+        self.limit.saturating_sub(self.started.elapsed())
+    }
+
+    /// `(steps, budget)` gate shared by every engine loop: `true` when
+    /// this step lands on a check boundary and the deadline has passed.
+    #[inline]
+    pub(crate) fn fires_at(&self, steps: u64) -> bool {
+        steps.is_multiple_of(self.check_every) && self.exhausted()
+    }
+}
 
 /// Tuning for [`first_contact`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +157,10 @@ pub struct ContactOptions {
     /// over-approximations — but `Horizon` outcomes may observe their
     /// `min_distance` at a different (sparser) set of sample times.
     pub prune: bool,
+    /// Optional wall-clock budget; when it expires the engines surface
+    /// [`SimOutcome::Deadline`] instead of running to the horizon or
+    /// step budget. `None` (the default) never checks the clock.
+    pub budget: Option<Budget>,
 }
 
 impl Default for ContactOptions {
@@ -92,6 +170,7 @@ impl Default for ContactOptions {
             horizon: 1e9,
             max_steps: 50_000_000,
             prune: true,
+            budget: None,
         }
     }
 }
@@ -148,6 +227,13 @@ impl ContactOptions {
         self
     }
 
+    /// Attaches a wall-clock [`Budget`]; the engines surface
+    /// [`SimOutcome::Deadline`] once it expires.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     pub(crate) fn validate(&self) {
         assert!(
             self.tolerance > 0.0 && self.tolerance.is_finite(),
@@ -195,6 +281,17 @@ pub enum SimOutcome {
         /// Advancement steps used (the configured budget).
         steps: u64,
     },
+    /// The wall-clock [`Budget`] expired before the query resolved
+    /// (cooperative cancellation — e.g. a per-request server deadline).
+    Deadline {
+        /// Simulated time reached when the deadline fired.
+        time: f64,
+        /// The smallest distance observed at any step.
+        min_distance: f64,
+        /// Advancement steps used (a multiple of the budget's check
+        /// interval: the clock is only consulted on check boundaries).
+        steps: u64,
+    },
 }
 
 impl SimOutcome {
@@ -216,18 +313,21 @@ impl SimOutcome {
         match *self {
             SimOutcome::Contact { steps, .. }
             | SimOutcome::Horizon { steps, .. }
-            | SimOutcome::StepBudget { steps, .. } => steps,
+            | SimOutcome::StepBudget { steps, .. }
+            | SimOutcome::Deadline { steps, .. } => steps,
         }
     }
 
     /// The outcome's stable classification label
-    /// (`"contact"` / `"horizon"` / `"step-budget"`), as used by the
-    /// engine-equivalence tests and the `BENCH_engine.json` schema.
+    /// (`"contact"` / `"horizon"` / `"step-budget"` / `"deadline"`), as
+    /// used by the engine-equivalence tests and the `BENCH_engine.json`
+    /// schema.
     pub fn classification(&self) -> &'static str {
         match self {
             SimOutcome::Contact { .. } => "contact",
             SimOutcome::Horizon { .. } => "horizon",
             SimOutcome::StepBudget { .. } => "step-budget",
+            SimOutcome::Deadline { .. } => "deadline",
         }
     }
 }
@@ -252,6 +352,13 @@ impl fmt::Display for SimOutcome {
                 steps,
             } => {
                 write!(f, "step budget exhausted at t={time:.3} (min distance {min_distance:.6}, {steps} steps)")
+            }
+            SimOutcome::Deadline {
+                time,
+                min_distance,
+                steps,
+            } => {
+                write!(f, "deadline exceeded at t={time:.3} (min distance {min_distance:.6}, {steps} steps)")
             }
         }
     }
@@ -402,6 +509,18 @@ where
                 },
                 stats,
             );
+        }
+        if let Some(budget) = &opts.budget {
+            if budget.fires_at(steps) {
+                return (
+                    SimOutcome::Deadline {
+                        time: t,
+                        min_distance,
+                        steps,
+                    },
+                    stats,
+                );
+            }
         }
 
         // The conservative certificate holds regardless of piece shape:
@@ -882,6 +1001,15 @@ where
                 steps: opts.max_steps,
             };
         }
+        if let Some(budget) = &opts.budget {
+            if budget.fires_at(steps) {
+                return SimOutcome::Deadline {
+                    time: t,
+                    min_distance,
+                    steps,
+                };
+            }
+        }
         let gap = d - radius;
         let step = if rel_speed > 0.0 {
             gap / rel_speed
@@ -1242,6 +1370,33 @@ mod tests {
     }
 
     #[test]
+    fn expired_budget_fires_on_the_first_check_boundary() {
+        // Parallel motion never contacts, so without the budget the
+        // engine would run to the 1e9 horizon. An already-expired budget
+        // with a 4-step check interval must stop both engines at exactly
+        // step 4 — the first check boundary.
+        let a = FnTrajectory::new(|t| Vec2::new(t, 0.0), 1.0);
+        let b = FnTrajectory::new(|t| Vec2::new(t, 5.0), 1.0);
+        let opts =
+            ContactOptions::default().with_budget(Budget::new(Duration::ZERO).check_every(4));
+        for out in [
+            first_contact(&a, &b, 1.0, &opts),
+            first_contact_generic(&a, &b, 1.0, &opts),
+        ] {
+            match out {
+                SimOutcome::Deadline { steps, .. } => assert_eq!(steps, 4),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "check interval must be positive")]
+    fn zero_check_interval_rejected() {
+        let _ = Budget::new(Duration::from_millis(1)).check_every(0);
+    }
+
+    #[test]
     fn outcome_display() {
         let c = SimOutcome::Contact {
             time: 1.0,
@@ -1257,5 +1412,13 @@ mod tests {
         };
         assert!(h.to_string().contains("no contact"));
         assert_eq!(h.steps(), 3);
+        let d = SimOutcome::Deadline {
+            time: 7.0,
+            min_distance: 2.0,
+            steps: 4096,
+        };
+        assert!(d.to_string().contains("deadline exceeded"));
+        assert_eq!(d.classification(), "deadline");
+        assert_eq!(d.steps(), 4096);
     }
 }

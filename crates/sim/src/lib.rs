@@ -72,7 +72,7 @@ pub use batch::{
 pub use compiled::{first_contact_programs, try_first_contact_programs, EngineScratch};
 pub use engine::{
     first_contact, first_contact_cursors, first_contact_cursors_instrumented,
-    first_contact_generic, ContactOptions, EngineStats, SimOutcome,
+    first_contact_generic, Budget, ContactOptions, EngineStats, SimOutcome,
 };
 pub use multi::{
     first_simultaneous_gathering, first_simultaneous_gathering_homogeneous,

@@ -31,6 +31,11 @@ use rvz_trajectory::{CompiledProgram, Cursor, MonotoneDyn, MonotoneTrajectory, T
 /// automatically for every [`MonotoneTrajectory`]), so each pair runs
 /// on the engine's cursor fast path via boxed cursors.
 ///
+/// A wall-clock [`Budget`](crate::Budget) in `opts` is shared by every
+/// pair (the deadline is absolute): once it expires, remaining pairs
+/// resolve to `None` almost immediately instead of running to their
+/// horizons, exactly like a pair whose query ends at the horizon.
+///
 /// # Panics
 ///
 /// Panics when fewer than two robots are supplied (or on invalid
@@ -288,6 +293,15 @@ fn gathering_loop(
                 min_distance: min_diameter,
                 steps: opts.max_steps,
             };
+        }
+        if let Some(budget) = &opts.budget {
+            if budget.fires_at(steps) {
+                return SimOutcome::Deadline {
+                    time: t,
+                    min_distance: min_diameter,
+                    steps,
+                };
+            }
         }
         if closing_bound == 0.0 {
             return SimOutcome::Horizon {

@@ -273,13 +273,19 @@ cursor engine ever takes more steps than the generic loop.",
             ("horizon-rounds", true),
             ("no-prune", false),
             ("compile-budget", true),
+            ("deadline-ms", true),
+            ("max-inflight", true),
+            ("queue-depth", true),
+            ("drain-ms", true),
+            ("faults", true),
         ],
         usage: "\
 USAGE:
   rvz serve [--addr A] [--port P] [--workers N] [--cache-capacity N]
             [--cache-grid G] [--no-cache] [--sweep-threads N]
             [--max-steps M] [--horizon-rounds K] [--no-prune]
-            [--compile-budget P]
+            [--compile-budget P] [--deadline-ms D] [--max-inflight N]
+            [--queue-depth N] [--drain-ms D] [--faults SPEC]
 
 Serve feasibility/first-contact/sweep queries over HTTP/1.1 with a
 sharded LRU cache keyed by each scenario's attribute-symmetry orbit.
@@ -287,6 +293,16 @@ sharded LRU cache keyed by each scenario's attribute-symmetry orbit.
 the canonicalization step, snapped to a power of two (default 2^-30;
 0 = bit-exact keys); --no-cache simulates every request (the loadtest
 baseline). Engine flags mirror `rvz sweep`. Stop with POST /shutdown.
+
+Overload controls: --deadline-ms caps each request's engine wall clock
+(outcome \"deadline\", never cached; default: none), --max-inflight
+bounds concurrent engine runs (excess shed with 503 + Retry-After;
+default: unlimited), --queue-depth bounds accepted-but-unserved
+connections (overflow shed with 503; default 1024), --drain-ms is the
+graceful-shutdown drain deadline (default 5000). --faults takes a
+deterministic seeded fault-injection spec `key=value,...` (keys: seed,
+worker_panic, handler_panic, cache_fail, conn_reset, delay_rate,
+delay_ms, limit) — tests/CI only.
 
 ENDPOINTS:
   GET  /feasibility?v=&tau=&phi=&chi=   Theorem 4 verdict + orbit
@@ -304,18 +320,26 @@ ENDPOINTS:
             ("requests", true),
             ("families", true),
             ("out", true),
+            ("timeout-ms", true),
+            ("check-overload", false),
         ],
         usage: "\
 USAGE:
   rvz loadtest [--quick] [--clients N] [--requests N] [--families N]
-               [--out PATH]
+               [--out PATH] [--timeout-ms T] [--check-overload]
 
-Closed-loop loadtest of the serve stack on a symmetric workload: spawns
-an in-process server per arm (cached, then --no-cache), drives N
-clients issuing /first-contact queries over keep-alive connections, and
-reports throughput and latency percentiles plus the cached-vs-uncached
-speedup. Writes the machine-readable report to PATH (default
-BENCH_serve.json). --requests is per client per arm.",
+Loadtest of the serve stack. First the closed loop on a symmetric
+workload: an in-process server per arm (cached, then --no-cache), N
+clients issuing /first-contact queries over keep-alive connections,
+throughput/latency percentiles and the cached-vs-uncached speedup.
+Then the open loop: one-shot requests offered at 1x and 2x the
+measured no-cache capacity against an admission-controlled server,
+reporting offered vs accepted rate, 503 shed rate, and accepted p50/p99
+per arm. Writes the machine-readable schema-v2 report to PATH (default
+BENCH_serve.json). --requests is per client per arm; --timeout-ms sets
+the client connect/read timeouts; --check-overload exits nonzero
+unless the 2x arm sheds without collapsing (nonzero 503s, nonzero
+accepted, accepted p99 within 5x of the 1x arm's).",
         run: cmd_loadtest,
     },
     CommandSpec {
@@ -325,16 +349,18 @@ BENCH_serve.json). --requests is per client per arm.",
             ("path", true),
             ("method", true),
             ("body", true),
+            ("timeout-ms", true),
         ],
         usage: "\
 USAGE:
   rvz client --addr HOST:PORT --path /endpoint [--method GET|POST]
-             [--body JSON]
+             [--body JSON] [--timeout-ms T]
 
 One-shot HTTP client for a running `rvz serve`: sends a single request
 and prints the status, the X-Rvz-Cache header (hit/miss/bypass) when
 present, and the response body. The method defaults to GET without a
-body and POST with one.",
+body and POST with one. --timeout-ms bounds both the connect and the
+read (default: connect 5000, read 30000).",
         run: cmd_client,
     },
     CommandSpec {
@@ -400,6 +426,23 @@ fn get_usize(opts: &Flags, key: &str, default: usize) -> Result<usize, String> {
             .parse::<usize>()
             .map_err(|_| format!("`--{key}` expects an integer, got `{v}`")),
         None => Ok(default),
+    }
+}
+
+/// `--timeout-ms`, validated eagerly: zero is rejected by name so a
+/// misconfigured run fails before any socket is opened.
+fn get_timeout_ms(opts: &Flags) -> Result<Option<u64>, String> {
+    match opts.get("timeout-ms") {
+        None => Ok(None),
+        Some(v) => {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("`--timeout-ms` expects an integer, got `{v}`"))?;
+            if ms == 0 {
+                return Err("`--timeout-ms` must be positive (milliseconds)".into());
+            }
+            Ok(Some(ms))
+        }
     }
 }
 
@@ -861,25 +904,55 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         "cache-grid",
         Some(plane_rendezvous::experiments::DEFAULT_GRID),
     )?;
+    let deadline = match opts.get("deadline-ms") {
+        None => None,
+        Some(v) => {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("`--deadline-ms` expects an integer, got `{v}`"))?;
+            if ms == 0 {
+                return Err("`--deadline-ms` must be positive (milliseconds)".into());
+            }
+            Some(std::time::Duration::from_millis(ms))
+        }
+    };
+    let faults = match opts.get("faults") {
+        None => None,
+        Some(spec) => Some(
+            plane_rendezvous::server::FaultPlan::parse(spec)
+                .map_err(|e| format!("`--faults`: {e}"))?,
+        ),
+    };
     let service_opts = ServiceOptions {
         cache_capacity: get_usize(opts, "cache-capacity", 65_536)?.max(1),
         cache_grid,
         no_cache: opts.contains_key("no-cache"),
         sweep: sweep_options(opts, "sweep-threads")?,
+        deadline,
+        max_inflight: get_usize(opts, "max-inflight", 0)?,
+        faults,
         ..ServiceOptions::default()
     };
     let no_cache = service_opts.no_cache;
-    let server = plane_rendezvous::server::spawn(
+    let server_opts = plane_rendezvous::server::ServerOptions {
+        workers,
+        queue_depth: get_usize(opts, "queue-depth", 1024)?.max(1),
+        drain: std::time::Duration::from_millis(get_usize(opts, "drain-ms", 5_000)? as u64),
+        faults,
+    };
+    let server = plane_rendezvous::server::spawn_with(
         &format!("{addr}:{port}"),
         Service::new(service_opts),
-        workers,
+        &server_opts,
     )
     .map_err(|e| format!("cannot bind {addr}:{port}: {e}"))?;
     println!("rvz serve listening on {}", server.addr());
     println!(
-        "workers = {workers}, cache = {}, grid = {}",
+        "workers = {workers}, cache = {}, grid = {}, queue = {}, deadline = {}",
         if no_cache { "off" } else { "on" },
         plane_rendezvous::experiments::snap_grid(cache_grid),
+        server_opts.queue_depth,
+        deadline.map_or("none".to_string(), |d| format!("{} ms", d.as_millis())),
     );
     println!(
         "stop with: rvz client --addr {} --path /shutdown --method POST",
@@ -888,18 +961,25 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     // Make the banner visible to parent processes (CI scrapes the port)
     // even when stdout is a pipe.
     std::io::stdout().flush().ok();
-    server.join();
-    println!("rvz serve: shut down cleanly");
+    if server.join() {
+        println!("rvz serve: shut down cleanly");
+    } else {
+        println!("rvz serve: drain deadline expired, detached stalled workers");
+    }
     Ok(())
 }
 
 fn cmd_loadtest(opts: &Flags) -> Result<(), String> {
-    use plane_rendezvous::bench::serve::{render_json, render_table, run_loadtest, LoadtestConfig};
+    use plane_rendezvous::bench::serve::{
+        check_overload, render_json, render_overload_table, render_table, run_loadtest,
+        run_overload, LoadtestConfig,
+    };
     let defaults = LoadtestConfig::new(opts.contains_key("quick"));
     let cfg = LoadtestConfig {
         clients: get_usize(opts, "clients", defaults.clients)?.max(1),
         requests_per_client: get_usize(opts, "requests", defaults.requests_per_client)?.max(1),
         families: get_usize(opts, "families", defaults.families)?.max(1),
+        timeout_ms: get_timeout_ms(opts)?.unwrap_or(defaults.timeout_ms),
         ..defaults
     };
     let path = opts
@@ -916,12 +996,29 @@ fn cmd_loadtest(opts: &Flags) -> Result<(), String> {
     let start = Instant::now();
     let (arms, speedup) = run_loadtest(&cfg);
     print!("{}", render_table(&arms, speedup));
-    std::fs::write(path, render_json(&arms, speedup, &cfg))
+    // The open loop is calibrated against the engine-bound capacity:
+    // the closed-loop no-cache throughput measured moments ago.
+    let base_rps = arms
+        .iter()
+        .find(|a| a.name == "no-cache")
+        .map(|a| a.rps)
+        .ok_or("closed loop did not produce a no-cache arm")?;
+    println!(
+        "open-loop overload: offering 1× and 2× of {base_rps:.0} r/s for {} ms per arm ...",
+        cfg.overload_duration_ms
+    );
+    let overload = run_overload(&cfg, base_rps);
+    print!("{}", render_overload_table(&overload));
+    std::fs::write(path, render_json(&arms, speedup, &overload, &cfg))
         .map_err(|e| format!("cannot write `{path}`: {e}"))?;
     println!(
         "wrote {path}  ({:.2} s total)",
         start.elapsed().as_secs_f64()
     );
+    if opts.contains_key("check-overload") {
+        check_overload(&overload).map_err(|e| format!("overload check failed: {e}"))?;
+        println!("overload check passed: shed-not-collapse holds at 2×");
+    }
     Ok(())
 }
 
@@ -935,8 +1032,15 @@ fn cmd_client(opts: &Flags) -> Result<(), String> {
         .map(String::as_str)
         .unwrap_or(default_method)
         .to_ascii_uppercase();
-    let response = plane_rendezvous::server::request(addr, &method, path, body)
-        .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    let client_opts = match get_timeout_ms(opts)? {
+        Some(ms) => {
+            plane_rendezvous::server::ClientOptions::uniform(std::time::Duration::from_millis(ms))
+        }
+        None => plane_rendezvous::server::ClientOptions::default(),
+    };
+    let response =
+        plane_rendezvous::server::client::request_with(addr, &method, path, body, &client_opts)
+            .map_err(|e| format!("request to {addr} failed: {e}"))?;
     println!("HTTP {}", response.status);
     if let Some(cache) = response.header("x-rvz-cache") {
         println!("X-Rvz-Cache: {cache}");

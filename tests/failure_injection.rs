@@ -119,6 +119,101 @@ fn bound_calculators_reject_out_of_domain_parameters() {
 }
 
 #[test]
+fn all_four_engine_paths_surface_deadline_precisely() {
+    use plane_rendezvous::sim::{
+        first_contact_cursors, try_first_contact_programs, Budget, EngineScratch,
+    };
+    use plane_rendezvous::trajectory::{Compile, CompileOptions, LazyProgram};
+    use std::time::Duration;
+
+    // An already-expired budget checked every 4 steps: every path must
+    // stop at exactly its first check boundary — `steps == 4` — and
+    // report Deadline, not Horizon/StepBudget/hang.
+    let attrs = RobotAttributes::new(0.8, 1.1, 0.3, Chirality::Consistent);
+    let partner = attrs.frame_warp(UniversalSearch, Vec2::new(1.5, 0.9));
+    let horizon = times::rounds_total(3);
+    let radius = 0.05;
+    let opts = ContactOptions::with_horizon(horizon)
+        .tolerance(1e-9)
+        .with_budget(Budget::new(Duration::ZERO).check_every(4));
+
+    let assert_deadline = |label: &str, out: SimOutcome| match out {
+        SimOutcome::Deadline { steps, time, .. } => {
+            assert_eq!(
+                steps, 4,
+                "{label}: deadline must fire at the check boundary"
+            );
+            assert!(time >= 0.0 && time <= horizon, "{label}: time {time}");
+        }
+        other => panic!("{label}: expected Deadline, got {other}"),
+    };
+
+    assert_deadline(
+        "generic",
+        first_contact_generic(&UniversalSearch, &partner, radius, &opts),
+    );
+    assert_deadline(
+        "cursor",
+        first_contact_cursors(
+            &mut *UniversalSearch.dyn_cursor(),
+            &mut *partner.dyn_cursor(),
+            radius,
+            &opts,
+        ),
+    );
+
+    let copts = CompileOptions::to_horizon(horizon).max_pieces(1 << 18);
+    let ea = UniversalSearch.compile(&copts).expect("reference compiles");
+    let eb = partner.compile(&copts).expect("warped partner compiles");
+    let mut scratch = EngineScratch::new();
+    assert_deadline(
+        "compiled-eager",
+        try_first_contact_programs(&ea, &eb, radius, &opts, &mut scratch)
+            .expect("deadline is a definitive outcome, not a coverage refusal"),
+    );
+
+    let la = LazyProgram::new(&UniversalSearch, copts);
+    let lb = LazyProgram::new(&partner, copts);
+    assert_deadline(
+        "compiled-lazy",
+        try_first_contact_programs(&la, &lb, radius, &opts, &mut scratch)
+            .expect("deadline is a definitive outcome, not a coverage refusal"),
+    );
+}
+
+#[test]
+fn unlimited_budget_is_bit_identical_to_no_budget() {
+    use plane_rendezvous::experiments::{
+        latin_hypercube, record_to_json, run_sweep, SampleSpace, SweepOptions,
+    };
+    use plane_rendezvous::sim::Budget;
+    use std::time::Duration;
+
+    // `Duration::MAX` never expires, so the budget checks are dead
+    // branches: the sweep output must be byte-for-byte the same JSON as
+    // a run with no budget at all — same outcomes, times, step counts.
+    let scenarios = latin_hypercube(&SampleSpace::default(), 24, 0xC0FFEE);
+    let base = SweepOptions {
+        threads: 1,
+        ..SweepOptions::default()
+    };
+    let with_budget = SweepOptions {
+        contact: base.contact.with_budget(Budget::new(Duration::MAX)),
+        ..base
+    };
+    let plain = run_sweep(&scenarios, &base);
+    let budgeted = run_sweep(&scenarios, &with_budget);
+    assert_eq!(plain.len(), budgeted.len());
+    for (p, b) in plain.iter().zip(budgeted.iter()) {
+        assert_eq!(
+            record_to_json(p).render(),
+            record_to_json(b).render(),
+            "an unlimited budget must not perturb the record"
+        );
+    }
+}
+
+#[test]
 fn zero_tolerance_rejected_but_small_tolerance_works() {
     let a = FnTrajectory::new(|t| Vec2::new(t, 0.0), 1.0);
     let b = FnTrajectory::new(|_| Vec2::new(5.0, 0.0), 0.0);

@@ -154,9 +154,19 @@ fn loadtest_quick_writes_the_bench_artifact() {
     let parsed = plane_rendezvous::experiments::json::parse(json.trim()).unwrap();
     assert_eq!(
         parsed.get("schema").and_then(|s| s.as_str()),
-        Some("rvz-bench-serve/v1")
+        Some("rvz-bench-serve/v2")
     );
     assert!(parsed.get("speedup").and_then(|s| s.as_f64()).unwrap() > 0.0);
+    // The open-loop overload phase must be part of the artifact.
+    let overload = parsed
+        .get("overload")
+        .expect("v2 carries an overload object");
+    let arms = overload.get("arms").and_then(|a| a.as_array()).unwrap();
+    assert_eq!(arms.len(), 2, "1x and 2x arms");
+    for arm in arms {
+        assert!(arm.get("shed_rate").and_then(|s| s.as_f64()).is_some());
+        assert!(arm.get("accepted_latency_us").is_some());
+    }
 }
 
 #[test]
