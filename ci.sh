@@ -111,6 +111,86 @@ wait "$SERVE_PID"
 grep -q "shut down cleanly" "$SERVE_LOG"
 rm -f "$SERVE_LOG"
 
+echo "==> durability smoke (SIGKILL serve -> warm start; SIGKILL sweep -> bit-identical resume)"
+DUR_DIR="$(mktemp -d -t rvz_durability_smoke.XXXXXX)"
+# --- serve: kill the process outright and warm-start from its snapshot.
+SNAP="$DUR_DIR/cache.snap"
+SERVE_LOG="$DUR_DIR/serve1.log"
+"$RVZ" serve --port 0 --workers 2 --snapshot "$SNAP" --snapshot-interval-s 1 \
+    > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^rvz serve listening on //p' "$SERVE_LOG" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "durable serve did not start"; cat "$SERVE_LOG"; exit 1; }
+FIRST="$("$RVZ" client --addr "$ADDR" --path /first-contact \
+    --body '{"speed":0.5,"distance":0.9,"visibility":0.25}')"
+echo "$FIRST" | grep -q 'X-Rvz-Cache: miss'
+# Wait for a periodic snapshot that already carries the cached entry,
+# then SIGKILL mid-flight (no drain, no final snapshot — the periodic
+# write must carry the state).
+SNAP_OK=""
+for _ in $(seq 1 100); do
+    if "$RVZ" client --addr "$ADDR" --path /stats \
+        | grep -q '"persisted_entries":[1-9]'; then SNAP_OK=1; break; fi
+    sleep 0.1
+done
+[ -n "$SNAP_OK" ] || { echo "no periodic snapshot captured the entry"; exit 1; }
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_LOG2="$DUR_DIR/serve2.log"
+"$RVZ" serve --port 0 --workers 2 --snapshot "$SNAP" --snapshot-interval-s 1 \
+    > "$SERVE_LOG2" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^rvz serve listening on //p' "$SERVE_LOG2" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted serve did not start"; cat "$SERVE_LOG2"; exit 1; }
+# The restore must be warm (or salvaged if the kill raced the writer —
+# never a refusal to boot), and the previously-cached orbit must answer
+# byte-identically as a hit, without an engine run.
+grep -Eq 'restore: (warm|salvaged)' "$SERVE_LOG2"
+AGAIN="$("$RVZ" client --addr "$ADDR" --path /first-contact \
+    --body '{"speed":0.5,"distance":0.9,"visibility":0.25}')"
+echo "$AGAIN" | grep -q 'X-Rvz-Cache: hit'
+[ "$(echo "$FIRST" | tail -n 1)" = "$(echo "$AGAIN" | tail -n 1)" ] \
+    || { echo "warm-start answer diverged from the computed one"; exit 1; }
+"$RVZ" client --addr "$ADDR" --path /stats | grep -q '"durability"'
+"$RVZ" client --addr "$ADDR" --path /shutdown --method POST >/dev/null
+wait "$SERVE_PID"
+# --- sweep: kill mid-checkpoint, resume, demand bit-identical artifacts.
+SWEEP_FLAGS="--speeds 0.5,0.6,0.7,0.8,0.9,1.0 --clocks 0.6,1.0 --phis 0,1.5
+    --chis +1 --distances 0.9 --r 0.25 --max-steps 20000 --horizon-rounds 6"
+# shellcheck disable=SC2086
+"$RVZ" sweep $SWEEP_FLAGS --threads 1 --out "$DUR_DIR/reference" >/dev/null
+# shellcheck disable=SC2086
+"$RVZ" sweep $SWEEP_FLAGS --threads 2 --out "$DUR_DIR/resumed" \
+    --checkpoint "$DUR_DIR/sweep.ckpt" >/dev/null 2>&1 &
+SWEEP_PID=$!
+for _ in $(seq 1 200); do
+    [ -s "$DUR_DIR/sweep.ckpt" ] && break
+    kill -0 "$SWEEP_PID" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "$SWEEP_PID" 2>/dev/null || true
+wait "$SWEEP_PID" 2>/dev/null || true
+# shellcheck disable=SC2086
+"$RVZ" sweep $SWEEP_FLAGS --threads 4 --out "$DUR_DIR/resumed" \
+    --checkpoint "$DUR_DIR/sweep.ckpt" --resume > "$DUR_DIR/resume.log"
+grep -q 'checkpoint:' "$DUR_DIR/resume.log" \
+    || { echo "resumed sweep did not report checkpoint stats"; exit 1; }
+cmp "$DUR_DIR/reference.jsonl" "$DUR_DIR/resumed.jsonl" \
+    || { echo "resumed sweep JSONL diverged from the uninterrupted run"; exit 1; }
+cmp "$DUR_DIR/reference.csv" "$DUR_DIR/resumed.csv" \
+    || { echo "resumed sweep CSV diverged from the uninterrupted run"; exit 1; }
+rm -rf "$DUR_DIR"
+
 echo "==> rvz loadtest --quick --check-overload (smoke: schema v2 artifact, shed-not-collapse at 2x)"
 SERVE_BENCH="$(mktemp -t bench_serve_smoke.XXXXXX.json)"
 # --check-overload makes the binary itself fail unless the 2x arm sheds

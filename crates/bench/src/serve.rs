@@ -38,6 +38,10 @@ pub struct LoadtestConfig {
     pub overload_duration_ms: u64,
     /// Client connect/read timeout (`--timeout-ms`), in milliseconds.
     pub timeout_ms: u64,
+    /// `503` retries per closed-loop request (`--retries`). The
+    /// overload arms never retry — they exist to *measure* shedding,
+    /// and a retrying generator would hide it.
+    pub retries: u32,
 }
 
 impl LoadtestConfig {
@@ -51,6 +55,7 @@ impl LoadtestConfig {
                 families: 4,
                 overload_duration_ms: 400,
                 timeout_ms: 30_000,
+                retries: 0,
             }
         } else {
             LoadtestConfig {
@@ -60,6 +65,7 @@ impl LoadtestConfig {
                 families: 8,
                 overload_duration_ms: 1_500,
                 timeout_ms: 30_000,
+                retries: 0,
             }
         }
     }
@@ -211,15 +217,34 @@ pub fn run_arm(name: &'static str, no_cache: bool, cfg: &LoadtestConfig) -> ArmR
                 scope.spawn(move || {
                     let mut conn = HttpClient::connect_with(addr, &cfg.client_options())
                         .expect("loadtest client connects");
+                    // Per-client jitter stream so synchronized retries
+                    // de-correlate.
+                    let policy = client::RetryPolicy {
+                        seed: client as u64,
+                        ..client::RetryPolicy::with_retries(cfg.retries)
+                    };
                     let mut lat = Vec::with_capacity(cfg.requests_per_client);
                     for j in 0..cfg.requests_per_client {
                         // Interleave clients across the family list so
                         // the symmetric structure is visible early.
                         let body = &bodies[(client + j * cfg.clients) % bodies.len()];
                         let t0 = Instant::now();
-                        let resp = conn
+                        let mut resp = conn
                             .request("POST", "/first-contact", Some(body))
                             .expect("loadtest request succeeds");
+                        for attempt in 0..policy.retries {
+                            if resp.status != 503 {
+                                break;
+                            }
+                            // The server closes shed connections.
+                            let hint = resp.header("retry-after").and_then(|v| v.parse().ok());
+                            std::thread::sleep(policy.delay(attempt, hint));
+                            conn = HttpClient::connect_with(addr, &cfg.client_options())
+                                .expect("loadtest client reconnects");
+                            resp = conn
+                                .request("POST", "/first-contact", Some(body))
+                                .expect("loadtest retry succeeds");
+                        }
                         lat.push(t0.elapsed().as_secs_f64() * 1e6);
                         assert_eq!(resp.status, 200, "loadtest got: {}", resp.body);
                     }

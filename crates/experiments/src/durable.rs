@@ -1,0 +1,675 @@
+//! Crash-safe file primitives with deterministic disk-fault injection.
+//!
+//! Everything the workspace persists — the serve cache snapshot, the
+//! sweep checkpoint journal and its manifest — goes through the two
+//! wrappers here, so every durability claim in the crash matrix
+//! (ARCHITECTURE.md, "Durability and crash recovery") is exercised by
+//! the same injected faults in tests and CI:
+//!
+//! * [`DurableFile`] — whole-file atomic replace: write to a sibling
+//!   temp file, `fsync`, then atomically rename over the destination.
+//!   A crash (or injected fault) at any point leaves either the old
+//!   file or the new file, never a mix; a stale temp file is ignored by
+//!   readers and cleaned up by the next successful commit.
+//! * [`JournalFile`] — append-only journal: records are appended and
+//!   periodically `fsync`ed. A crash can tear the final record; readers
+//!   salvage the valid prefix (each record carries its own CRC).
+//!
+//! ## Fault injection
+//!
+//! [`DiskFaults`] mirrors the serve stack's `FaultState` discipline
+//! exactly: four seeded sites ([`DiskFaultSite`]) with per-site split
+//! [`SplitMix64`] decision streams, the same `rate` + `limit` grammar,
+//! and zero cost when off (an `Option<Arc<DiskFaults>>` that is `None`
+//! in production costs one pointer-null check per I/O operation).
+//!
+//! The CRC-32 (IEEE) implementation lives here too — both the snapshot
+//! segment format and the checkpoint journal frame their records with
+//! it.
+
+use crate::rng::SplitMix64;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `data`.
+///
+/// The classic byte-at-a-time table implementation; the table is built
+/// on first use and shared for the process lifetime.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// The FNV-1a 64-bit offset basis — seed value for [`fnv1a64`] chains.
+pub const FNV_OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// One step of a chained FNV-1a 64-bit digest: folds `bytes` into
+/// `hash`. Used for the content fingerprints that pin a checkpoint or
+/// snapshot to the configuration that produced it.
+pub fn fnv1a64(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Where a disk fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultSite {
+    /// A write persists only a prefix of the buffer, then errors — the
+    /// torn-record case an appended journal must salvage around.
+    ShortWrite,
+    /// The atomic rename of a [`DurableFile`] commit fails: the temp
+    /// file is left behind and the destination keeps its old contents.
+    TornRename,
+    /// A read returns the file's bytes with one flipped — the case the
+    /// per-record CRC exists to catch.
+    ReadCorrupt,
+    /// `fsync` reports failure: the caller must not assume durability
+    /// for anything written since the last successful sync.
+    FsyncFail,
+}
+
+const SITE_COUNT: usize = 4;
+
+/// Per-site salt so split streams never collide across sites (same
+/// construction as the serve stack's in-process fault sites).
+const SITE_SALT: [u64; SITE_COUNT] = [
+    0x5348_4F52_5457_5254, // "SHORTWRT"
+    0x544F_524E_5245_4E4D, // "TORNRENM"
+    0x5245_4144_434F_5252, // "READCORR"
+    0x4653_594E_4346_4149, // "FSYNCFAI"
+];
+
+/// The seeded disk-fault plan: rates in `[0, 1]` per site, a shared
+/// seed, and an optional cap on total injections per site.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DiskFaultPlan {
+    /// Seed for every site's decision stream.
+    pub seed: u64,
+    /// Rate of [`DiskFaultSite::ShortWrite`].
+    pub short_write: f64,
+    /// Rate of [`DiskFaultSite::TornRename`].
+    pub torn_rename: f64,
+    /// Rate of [`DiskFaultSite::ReadCorrupt`].
+    pub read_corrupt: f64,
+    /// Rate of [`DiskFaultSite::FsyncFail`].
+    pub fsync_fail: f64,
+    /// Maximum injections per site (`0` = unlimited).
+    pub limit: u64,
+}
+
+impl DiskFaultPlan {
+    /// Parses a `key=value[,key=value...]` spec, e.g.
+    /// `seed=42,short_write=0.5,fsync_fail=1,limit=2`.
+    ///
+    /// Keys: `seed`, `short_write`, `torn_rename`, `read_corrupt`,
+    /// `fsync_fail`, `limit`. Rates must lie in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending clause and key.
+    pub fn parse(spec: &str) -> Result<DiskFaultPlan, String> {
+        let mut plan = DiskFaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let clause = part.trim();
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec clause `{clause}` is not `key=value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            plan.apply(key, value)
+                .map_err(|e| format!("in fault spec clause `{clause}`: {e}"))?;
+        }
+        Ok(plan)
+    }
+
+    /// Applies one parsed `key=value` pair; the seam that lets the
+    /// serve stack's richer `--faults` grammar delegate its disk
+    /// clauses here without re-stating the keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the key (no clause context — callers
+    /// add their own).
+    pub fn apply(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let int = || -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("key `{key}` expects an integer, got `{value}`"))
+        };
+        let rate = || -> Result<f64, String> {
+            let r: f64 = value
+                .parse()
+                .map_err(|_| format!("key `{key}` expects a number, got `{value}`"))?;
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("rate for site `{key}` must be in [0, 1], got {r}"));
+            }
+            Ok(r)
+        };
+        match key {
+            "seed" => self.seed = int()?,
+            "short_write" => self.short_write = rate()?,
+            "torn_rename" => self.torn_rename = rate()?,
+            "read_corrupt" => self.read_corrupt = rate()?,
+            "fsync_fail" => self.fsync_fail = rate()?,
+            "limit" => self.limit = int()?,
+            _ => {
+                return Err(format!(
+                    "unknown key `{key}` (expected seed, short_write, torn_rename, \
+                     read_corrupt, fsync_fail, limit)"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when at least one site can fire.
+    pub fn is_active(&self) -> bool {
+        self.short_write > 0.0
+            || self.torn_rename > 0.0
+            || self.read_corrupt > 0.0
+            || self.fsync_fail > 0.0
+    }
+
+    fn rate(&self, site: DiskFaultSite) -> f64 {
+        match site {
+            DiskFaultSite::ShortWrite => self.short_write,
+            DiskFaultSite::TornRename => self.torn_rename,
+            DiskFaultSite::ReadCorrupt => self.read_corrupt,
+            DiskFaultSite::FsyncFail => self.fsync_fail,
+        }
+    }
+}
+
+/// Runtime disk-fault state: the plan plus per-site decision/injection
+/// counters (shared via `Arc` between the snapshot writer, the journal
+/// and readers).
+pub struct DiskFaults {
+    plan: DiskFaultPlan,
+    decisions: [AtomicU64; SITE_COUNT],
+    injected: [AtomicU64; SITE_COUNT],
+}
+
+impl DiskFaults {
+    /// Builds the runtime state for a plan.
+    pub fn new(plan: DiskFaultPlan) -> DiskFaults {
+        DiskFaults {
+            plan,
+            decisions: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Decides (deterministically per site-visit index) whether this
+    /// visit to `site` injects a fault, honoring the plan's `limit`.
+    pub fn fires(&self, site: DiskFaultSite) -> bool {
+        let rate = self.plan.rate(site);
+        if rate <= 0.0 {
+            return false;
+        }
+        let n = self.decisions[site as usize].fetch_add(1, Ordering::Relaxed);
+        if SplitMix64::new(self.plan.seed ^ SITE_SALT[site as usize])
+            .split(n)
+            .next_f64()
+            >= rate
+        {
+            return false;
+        }
+        if self.plan.limit > 0 {
+            // Reserve one slot under the cap; give it back on overrun.
+            if self.injected[site as usize].fetch_add(1, Ordering::Relaxed) >= self.plan.limit {
+                self.injected[site as usize].fetch_sub(1, Ordering::Relaxed);
+                return false;
+            }
+        } else {
+            self.injected[site as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// How many faults have been injected at `site`.
+    pub fn injected(&self, site: DiskFaultSite) -> u64 {
+        self.injected[site as usize].load(Ordering::Relaxed)
+    }
+}
+
+fn injected_error(what: &str) -> io::Error {
+    io::Error::other(format!("injected disk fault: {what}"))
+}
+
+/// Writes `buf`, honoring an injected [`DiskFaultSite::ShortWrite`]:
+/// under the fault only the first half of the buffer lands before the
+/// error surfaces — the on-disk state a real torn write leaves.
+fn write_all_faulty(
+    file: &mut File,
+    buf: &[u8],
+    faults: Option<&Arc<DiskFaults>>,
+) -> io::Result<()> {
+    if let Some(f) = faults {
+        if f.fires(DiskFaultSite::ShortWrite) {
+            file.write_all(&buf[..buf.len() / 2])?;
+            return Err(injected_error("short write"));
+        }
+    }
+    file.write_all(buf)
+}
+
+/// `fsync`s `file`, honoring an injected [`DiskFaultSite::FsyncFail`].
+fn sync_faulty(file: &File, faults: Option<&Arc<DiskFaults>>) -> io::Result<()> {
+    if let Some(f) = faults {
+        if f.fires(DiskFaultSite::FsyncFail) {
+            return Err(injected_error("fsync failure"));
+        }
+    }
+    file.sync_all()
+}
+
+/// The sibling temp path a [`DurableFile`] stages its contents in.
+fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Whole-file atomic replace: stage in a sibling temp file, `fsync`,
+/// rename over the destination.
+///
+/// Until [`DurableFile::commit`] succeeds, the destination keeps its
+/// previous contents (or stays absent); an uncommitted wrapper removes
+/// its temp file on drop, and a temp file orphaned by a crash is
+/// harmless — readers never look at it and the next commit replaces it.
+pub struct DurableFile {
+    final_path: PathBuf,
+    tmp_path: PathBuf,
+    file: Option<File>,
+    faults: Option<Arc<DiskFaults>>,
+}
+
+impl DurableFile {
+    /// Stages a new file destined for `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates temp-file creation failure.
+    pub fn create(path: &Path, faults: Option<Arc<DiskFaults>>) -> io::Result<DurableFile> {
+        let tmp_path = temp_path(path);
+        let file = File::create(&tmp_path)?;
+        Ok(DurableFile {
+            final_path: path.to_path_buf(),
+            tmp_path,
+            file: Some(file),
+            faults,
+        })
+    }
+
+    /// Appends `buf` to the staged contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failure (including an injected short write,
+    /// which leaves a torn prefix in the temp file).
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let file = self.file.as_mut().expect("write after commit");
+        write_all_faulty(file, buf, self.faults.as_ref())
+    }
+
+    /// Durably publishes the staged contents: `fsync` the temp file,
+    /// atomically rename it over the destination.
+    ///
+    /// # Errors
+    ///
+    /// On any failure (including injected fsync/rename faults) the
+    /// destination is untouched and the temp file is removed.
+    pub fn commit(mut self) -> io::Result<()> {
+        let file = self.file.take().expect("commit twice");
+        let result = (|| {
+            sync_faulty(&file, self.faults.as_ref())?;
+            drop(file);
+            if let Some(f) = &self.faults {
+                if f.fires(DiskFaultSite::TornRename) {
+                    return Err(injected_error("torn rename"));
+                }
+            }
+            std::fs::rename(&self.tmp_path, &self.final_path)
+        })();
+        if result.is_ok() {
+            // Publishing the rename itself: sync the directory so the
+            // new name survives a crash (best-effort — not all
+            // platforms allow opening directories).
+            if let Some(dir) = self.final_path.parent() {
+                if let Ok(d) = File::open(if dir.as_os_str().is_empty() {
+                    Path::new(".")
+                } else {
+                    dir
+                }) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        result
+    }
+}
+
+impl Drop for DurableFile {
+    fn drop(&mut self) {
+        if self.file.is_some() {
+            // Uncommitted (error or early drop): leave no debris. A
+            // crash skips this, which is fine — readers ignore temps.
+            self.file = None;
+            let _ = std::fs::remove_file(&self.tmp_path);
+        }
+    }
+}
+
+/// Reads a whole file, honoring an injected
+/// [`DiskFaultSite::ReadCorrupt`]: under the fault one deterministic
+/// byte of the returned buffer is flipped (the caller's CRC framing is
+/// expected to catch it).
+///
+/// # Errors
+///
+/// Propagates open/read failure.
+pub fn read_file_faulty(path: &Path, faults: Option<&Arc<DiskFaults>>) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    if let Some(f) = faults {
+        if !buf.is_empty() && f.fires(DiskFaultSite::ReadCorrupt) {
+            let n = f.injected(DiskFaultSite::ReadCorrupt);
+            let pos = SplitMix64::new(f.plan.seed ^ SITE_SALT[DiskFaultSite::ReadCorrupt as usize])
+                .split(n)
+                .next_u64() as usize
+                % buf.len();
+            buf[pos] ^= 0x40;
+        }
+    }
+    Ok(buf)
+}
+
+/// Append-only journal file with periodic durability.
+///
+/// Appends go straight to the file (no hidden buffering beyond the
+/// OS); [`JournalFile::sync`] makes everything appended so far durable.
+/// Record framing (CRC per record) is the caller's job — this type owns
+/// the fault-injected transport only.
+pub struct JournalFile {
+    file: File,
+    faults: Option<Arc<DiskFaults>>,
+}
+
+impl JournalFile {
+    /// Opens `path` for appending, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open failure.
+    pub fn append_to(path: &Path, faults: Option<Arc<DiskFaults>>) -> io::Result<JournalFile> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JournalFile { file, faults })
+    }
+
+    /// Appends one buffer (callers frame records so a torn tail is
+    /// detectable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failure (including an injected short write —
+    /// the journal then ends in a torn record until the next append).
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        write_all_faulty(&mut self.file, buf, self.faults.as_ref())
+    }
+
+    /// Makes every append so far durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `fsync` failure (including injected): the caller must
+    /// treat everything since the last successful sync as volatile.
+    pub fn sync(&mut self) -> io::Result<()> {
+        sync_faulty(&self.file, self.faults.as_ref())
+    }
+
+    /// The current journal length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates seek failure.
+    pub fn len(&mut self) -> io::Result<u64> {
+        self.file.seek(io::SeekFrom::End(0))
+    }
+
+    /// `true` when the journal holds no bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates seek failure.
+    pub fn is_empty(&mut self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// Truncates `path` to `len` bytes — how a resumer discards a torn
+/// journal tail before appending fresh records after it.
+///
+/// # Errors
+///
+/// Propagates open/truncate failure.
+pub fn truncate_file(path: &Path, len: u64) -> io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(len)?;
+    file.sync_all()
+}
+
+/// Removes the stale temp sibling a crashed [`DurableFile`] commit may
+/// have left next to `path` (harmless but untidy). Missing temp is not
+/// an error.
+pub fn remove_stale_temp(path: &Path) {
+    let _ = std::fs::remove_file(temp_path(path));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rvz-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector plus edge cases.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn commit_is_atomic_and_cleans_the_temp() {
+        let dir = tmp_dir("commit");
+        let path = dir.join("data.bin");
+        std::fs::write(&path, b"old").unwrap();
+        let mut f = DurableFile::create(&path, None).unwrap();
+        f.write_all(b"new contents").unwrap();
+        // Before commit the destination still holds the old bytes.
+        assert_eq!(std::fs::read(&path).unwrap(), b"old");
+        f.commit().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        assert!(!temp_path(&path).exists(), "temp removed by the rename");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropped_without_commit_leaves_old_file_and_no_temp() {
+        let dir = tmp_dir("drop");
+        let path = dir.join("data.bin");
+        std::fs::write(&path, b"old").unwrap();
+        {
+            let mut f = DurableFile::create(&path, None).unwrap();
+            f.write_all(b"half-baked").unwrap();
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"old");
+        assert!(!temp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_rename_fault_keeps_the_old_file() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("data.bin");
+        std::fs::write(&path, b"old").unwrap();
+        let faults = Arc::new(DiskFaults::new(DiskFaultPlan {
+            seed: 7,
+            torn_rename: 1.0,
+            limit: 1,
+            ..DiskFaultPlan::default()
+        }));
+        let mut f = DurableFile::create(&path, Some(Arc::clone(&faults))).unwrap();
+        f.write_all(b"new").unwrap();
+        let err = f.commit().unwrap_err();
+        assert!(err.to_string().contains("torn rename"), "{err}");
+        assert_eq!(std::fs::read(&path).unwrap(), b"old");
+        assert_eq!(faults.injected(DiskFaultSite::TornRename), 1);
+        // The limit spent, the next commit goes through.
+        let mut f = DurableFile::create(&path, Some(faults)).unwrap();
+        f.write_all(b"new").unwrap();
+        f.commit().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_write_tears_the_buffer_midway() {
+        let dir = tmp_dir("short");
+        let path = dir.join("journal.log");
+        let faults = Arc::new(DiskFaults::new(DiskFaultPlan {
+            seed: 1,
+            short_write: 1.0,
+            limit: 1,
+            ..DiskFaultPlan::default()
+        }));
+        let mut j = JournalFile::append_to(&path, Some(faults)).unwrap();
+        let err = j.write_all(b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        assert_eq!(std::fs::read(&path).unwrap(), b"01234", "half landed");
+        // Limit spent: the next append is whole.
+        j.write_all(b"AB").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"01234AB");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_corruption_flips_exactly_one_byte_deterministically() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("data.bin");
+        let payload = vec![0u8; 64];
+        std::fs::write(&path, &payload).unwrap();
+        let plan = DiskFaultPlan {
+            seed: 42,
+            read_corrupt: 1.0,
+            ..DiskFaultPlan::default()
+        };
+        let a = read_file_faulty(&path, Some(&Arc::new(DiskFaults::new(plan)))).unwrap();
+        let b = read_file_faulty(&path, Some(&Arc::new(DiskFaults::new(plan)))).unwrap();
+        assert_eq!(a, b, "same seed, same corruption");
+        let flipped: Vec<usize> = a
+            .iter()
+            .zip(&payload)
+            .enumerate()
+            .filter(|(_, (x, y))| x != y)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(flipped.len(), 1, "exactly one byte flipped");
+        assert_ne!(crc32(&a), crc32(&payload), "CRC catches it");
+        let clean = read_file_faulty(&path, None).unwrap();
+        assert_eq!(clean, payload);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_failure_surfaces_and_counts() {
+        let dir = tmp_dir("fsync");
+        let path = dir.join("journal.log");
+        let faults = Arc::new(DiskFaults::new(DiskFaultPlan {
+            seed: 3,
+            fsync_fail: 1.0,
+            limit: 1,
+            ..DiskFaultPlan::default()
+        }));
+        let mut j = JournalFile::append_to(&path, Some(Arc::clone(&faults))).unwrap();
+        j.write_all(b"record").unwrap();
+        assert!(j.sync().unwrap_err().to_string().contains("fsync"));
+        assert_eq!(faults.injected(DiskFaultSite::FsyncFail), 1);
+        j.sync().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_round_trips_and_names_bad_clauses() {
+        let plan = DiskFaultPlan::parse(
+            "seed=9, short_write=0.25, torn_rename=1, read_corrupt=0.5, fsync_fail=0.75, limit=2",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.short_write, 0.25);
+        assert_eq!(plan.torn_rename, 1.0);
+        assert_eq!(plan.read_corrupt, 0.5);
+        assert_eq!(plan.fsync_fail, 0.75);
+        assert_eq!(plan.limit, 2);
+        assert!(plan.is_active());
+        assert!(!DiskFaultPlan::default().is_active());
+        for (spec, needle) in [
+            ("bogus=1", "unknown key `bogus`"),
+            (
+                "short_write=2",
+                "rate for site `short_write` must be in [0, 1]",
+            ),
+            ("short_write", "clause `short_write` is not `key=value`"),
+            ("seed=x", "in fault spec clause `seed=x`"),
+        ] {
+            let err = DiskFaultPlan::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "spec {spec:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn zero_rate_sites_never_fire() {
+        let f = DiskFaults::new(DiskFaultPlan {
+            seed: 5,
+            short_write: 1.0,
+            ..DiskFaultPlan::default()
+        });
+        for _ in 0..16 {
+            assert!(!f.fires(DiskFaultSite::FsyncFail));
+            assert!(!f.fires(DiskFaultSite::TornRename));
+        }
+        assert!(f.fires(DiskFaultSite::ShortWrite));
+    }
+}

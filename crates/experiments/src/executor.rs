@@ -267,43 +267,76 @@ fn run_one(scenario: &Scenario, opts: &ContactOptions, state: &mut WorkerState) 
 /// Panics when a worker thread panics (a scenario produced a non-finite
 /// position, which the trajectory invariants exclude).
 pub fn run_sweep(scenarios: &[Scenario], opts: &SweepOptions) -> Vec<SweepRecord> {
+    run_sweep_with(scenarios, opts, |_, _| {})
+}
+
+/// [`run_sweep`] with a completion callback: `on_record(i, record)` runs
+/// on the calling thread once for every scenario, as soon as its record
+/// exists.
+///
+/// The callback sees records in **completion order**, which depends on
+/// the schedule; only the returned vector is merged back into scenario
+/// order. This is the seam the sweep checkpoint journal hangs off —
+/// records are journaled the moment they complete, independent of where
+/// the batch is in scenario order, and the resume path re-sorts by id.
+///
+/// # Panics
+///
+/// As for [`run_sweep`].
+pub fn run_sweep_with(
+    scenarios: &[Scenario],
+    opts: &SweepOptions,
+    mut on_record: impl FnMut(usize, &SweepRecord),
+) -> Vec<SweepRecord> {
     let threads = opts.effective_threads().min(scenarios.len()).max(1);
     if threads == 1 {
         let mut state = WorkerState::new(opts);
         return scenarios
             .iter()
-            .map(|s| run_one(s, &opts.contact, &mut state))
+            .enumerate()
+            .map(|(i, s)| {
+                let record = run_one(s, &opts.contact, &mut state);
+                on_record(i, &record);
+                record
+            })
             .collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let mut buffers: Vec<Vec<(usize, SweepRecord)>> = Vec::new();
+    let mut out: Vec<Option<SweepRecord>> = vec![None; scenarios.len()];
     std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, SweepRecord)>();
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let cursor = &cursor;
+                let tx = tx.clone();
                 scope.spawn(move || {
                     let mut state = WorkerState::new(opts);
-                    let mut local = Vec::with_capacity(scenarios.len() / threads + 1);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(scenario) = scenarios.get(i) else {
-                            return local;
+                            return;
                         };
-                        local.push((i, run_one(scenario, &opts.contact, &mut state)));
+                        let record = run_one(scenario, &opts.contact, &mut state);
+                        if tx.send((i, record)).is_err() {
+                            return;
+                        }
                     }
                 })
             })
             .collect();
+        drop(tx);
+        // The receive loop ends when every worker has dropped its
+        // sender; a panicked worker surfaces at the joins below.
+        for (i, record) in rx {
+            on_record(i, &record);
+            out[i] = Some(record);
+        }
         for h in handles {
-            buffers.push(h.join().expect("sweep worker panicked"));
+            h.join().expect("sweep worker panicked");
         }
     });
 
-    let mut out: Vec<Option<SweepRecord>> = vec![None; scenarios.len()];
-    for (i, record) in buffers.into_iter().flatten() {
-        out[i] = Some(record);
-    }
     out.into_iter()
         .map(|r| r.expect("every scenario index was claimed exactly once"))
         .collect()
@@ -488,6 +521,34 @@ mod tests {
                 assert!((ta - tb).abs() <= 1e-6 * (1.0 + tb.abs()), "{ta} vs {tb}");
             }
             assert_eq!(a.consistent(), b.consistent());
+        }
+    }
+
+    #[test]
+    fn callback_sees_every_record_exactly_once_any_thread_count() {
+        let scenarios = small_grid();
+        let reference = run_sweep(
+            &scenarios,
+            &SweepOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for threads in [1, 4] {
+            let mut seen = vec![0usize; scenarios.len()];
+            let records = run_sweep_with(
+                &scenarios,
+                &SweepOptions {
+                    threads,
+                    ..Default::default()
+                },
+                |i, r| {
+                    seen[i] += 1;
+                    assert_eq!(r.scenario.id, i as u64, "callback index matches record");
+                },
+            );
+            assert!(seen.iter().all(|&c| c == 1), "threads={threads}: {seen:?}");
+            assert_eq!(records, reference, "threads={threads}");
         }
     }
 

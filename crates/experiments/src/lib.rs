@@ -20,6 +20,13 @@
 //! * [`canonicalize`] / [`orbit_key`] — symmetry canonicalization: the
 //!   role-swap gauge and the full attribute quotient that key the
 //!   `rvz serve` result cache (see [`canonical`]);
+//! * [`run_sweep_checkpointed`] / [`Checkpoint`] — crash-safe sweep
+//!   resume: completed records are journaled as CRC-framed JSONL and a
+//!   restarted sweep recomputes only what is missing, reproducing the
+//!   uninterrupted artifact bit-for-bit (see [`checkpoint`]);
+//! * [`durable`] — the atomic-replace / append-journal file primitives
+//!   with seeded disk-fault injection shared by the checkpoint and the
+//!   `rvz serve` cache snapshot;
 //! * [`json`] — the dependency-free JSON value model shared by the
 //!   sinks and the serving layer's wire format.
 //!
@@ -49,6 +56,8 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod canonical;
+pub mod checkpoint;
+pub mod durable;
 pub mod executor;
 pub mod json;
 pub mod report;
@@ -59,8 +68,16 @@ pub use canonical::{
     canonicalize, orbit_key, role_swap, snap_grid, CacheKey, Canonical, OrbitKey, OutcomeTransform,
     DEFAULT_GRID,
 };
+pub use checkpoint::{
+    run_sweep_checkpointed, sweep_fingerprint, Checkpoint, CheckpointStats, ResumeInfo,
+    CHECKPOINT_VERSION,
+};
+pub use durable::{
+    crc32, read_file_faulty, DiskFaultPlan, DiskFaultSite, DiskFaults, DurableFile, JournalFile,
+};
 pub use executor::{
-    run_sweep, run_sweep_deduped, run_sweep_deduped_default, DedupStats, SweepOptions, SweepRecord,
+    run_sweep, run_sweep_deduped, run_sweep_deduped_default, run_sweep_with, DedupStats,
+    SweepOptions, SweepRecord,
 };
 pub use json::Json;
 pub use report::{

@@ -303,6 +303,31 @@ impl<V: Clone> ResultCache<V> {
         (value, false)
     }
 
+    /// Exports every resident entry in recency order: least- to
+    /// most-recently-used within each shard, shards in index order.
+    ///
+    /// Re-inserting the entries in this exact order into an equally
+    /// configured cache reproduces every shard's LRU list (keys land on
+    /// their shard by [`CacheKey::mix`], and within a shard the last
+    /// insert is the most recent) — the property the snapshot
+    /// save→load fidelity tests assert. Pending single-flight claims
+    /// live outside the node slab and are excluded by construction;
+    /// counters are not part of the export (they describe this
+    /// process's history, not the cache contents).
+    pub fn export(&self) -> Vec<(CacheKey, V)> {
+        let mut out = Vec::new();
+        for (lock, _) in &self.shards {
+            let shard = lock.lock().expect("cache shard poisoned");
+            let mut i = shard.tail;
+            while i != NIL {
+                let node = &shard.nodes[i as usize];
+                out.push((node.key, node.value.clone()));
+                i = node.prev;
+            }
+        }
+        out
+    }
+
     /// A consistent snapshot of the counters plus resident-entry count.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -412,6 +437,68 @@ mod tests {
             assert_eq!(h.join().unwrap(), 7);
         }
         assert_eq!(computed.load(Ordering::SeqCst), 1, "engine ran once");
+    }
+
+    #[test]
+    fn export_preserves_recency_and_reimport_reproduces_eviction_order() {
+        // Single shard so the recency order is globally observable.
+        let cache = ResultCache::new(4, 1);
+        let ks = keys(5);
+        for (i, k) in ks.iter().enumerate().take(4) {
+            cache.insert(*k, i as u64);
+        }
+        // Refresh k0: eviction order becomes k1, k2, k3, k0.
+        assert_eq!(cache.get(&ks[0]), Some(0));
+        let exported = cache.export();
+        assert_eq!(
+            exported.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![1, 2, 3, 0],
+            "export walks least- to most-recent"
+        );
+
+        // Re-import into a fresh cache and push one more key: the same
+        // entry (k1, the stalest) must fall out.
+        let restored = ResultCache::new(4, 1);
+        for (k, v) in exported {
+            restored.insert(k, v);
+        }
+        restored.insert(ks[4], 4u64);
+        assert_eq!(restored.get(&ks[1]), None, "k1 was the LRU on both sides");
+        for (i, k) in ks.iter().enumerate() {
+            if i != 1 {
+                assert_eq!(restored.get(k), Some(i as u64), "key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn export_skips_inflight_single_flight_claims() {
+        let cache = Arc::new(ResultCache::new(16, 1));
+        let ks = keys(2);
+        cache.insert(ks[0], 1u64);
+        let started = Arc::new(std::sync::Barrier::new(2));
+        let worker = {
+            let cache = Arc::clone(&cache);
+            let started = Arc::clone(&started);
+            let key = ks[1];
+            std::thread::spawn(move || {
+                cache.get_or_compute(key, || {
+                    started.wait();
+                    // Hold the claim open while the main thread exports.
+                    std::thread::sleep(std::time::Duration::from_millis(60));
+                    2u64
+                })
+            })
+        };
+        started.wait();
+        let exported = cache.export();
+        assert_eq!(
+            exported.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![ks[0]],
+            "a pending claim is not an entry and must never be exported"
+        );
+        assert_eq!(worker.join().unwrap(), (2, false));
+        assert_eq!(cache.export().len(), 2, "after completion it is");
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! those, driven by a single [`FaultPlan`] — a seed plus per-site
 //! rates — so a failing run reproduces from its seed alone.
 //!
+//! The durable-state layer adds four **disk** sites (short write, torn
+//! rename, read corruption, fsync failure) whose machinery lives in
+//! [`rvz_experiments::durable`] so the sweep checkpoint shares it; here
+//! they ride the same spec grammar (`short_write=…`, `torn_rename=…`,
+//! `read_corrupt=…`, `fsync_fail=…`, sharing `seed` and `limit`) and
+//! surface through [`FaultState::disk`].
+//!
 //! ## Zero cost when off
 //!
 //! Every injection point is guarded by an `Option<Arc<FaultState>>`
@@ -24,8 +31,9 @@
 //! depends on arrival order; single-threaded drivers — the CI suite —
 //! are fully deterministic end to end.)
 
-use rvz_experiments::SplitMix64;
+use rvz_experiments::{DiskFaultPlan, DiskFaults, SplitMix64};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Where a fault can be injected.
@@ -77,6 +85,11 @@ pub struct FaultPlan {
     pub delay_rate: f64,
     /// Injected engine latency per [`FaultSite::EngineDelay`] firing.
     pub delay_ms: u64,
+    /// Disk-fault sites (`short_write`, `torn_rename`, `read_corrupt`,
+    /// `fsync_fail`), hitting the snapshot/journal I/O paths through
+    /// [`rvz_experiments::durable`]. Shares this plan's `seed` and
+    /// `limit`.
+    pub disk: DiskFaultPlan,
     /// Maximum injections per site (`0` = unlimited).
     pub limit: u64,
 }
@@ -91,6 +104,7 @@ impl Default for FaultPlan {
             conn_reset: 0.0,
             delay_rate: 0.0,
             delay_ms: 0,
+            disk: DiskFaultPlan::default(),
             limit: 0,
         }
     }
@@ -100,61 +114,83 @@ impl FaultPlan {
     /// Parses a `key=value[,key=value...]` spec, e.g.
     /// `seed=42,handler_panic=0.1,delay_rate=0.2,delay_ms=5,limit=3`.
     ///
-    /// Keys: `seed`, `worker_panic`, `handler_panic`, `cache_fail`,
-    /// `conn_reset`, `delay_rate`, `delay_ms`, `limit`. Rates must lie
-    /// in `[0, 1]`; unknown keys are rejected eagerly.
+    /// In-process site keys: `seed`, `worker_panic`, `handler_panic`,
+    /// `cache_fail`, `conn_reset`, `delay_rate`, `delay_ms`, `limit`.
+    /// Disk site keys (see [`rvz_experiments::DiskFaultSite`]):
+    /// `short_write`, `torn_rename`, `read_corrupt`, `fsync_fail` —
+    /// sharing the same `seed` and `limit`. Rates must lie in `[0, 1]`;
+    /// unknown keys are rejected eagerly.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending key.
+    /// Returns a message naming the offending clause and key, e.g.
+    /// `in fault spec clause `worker_panic=2`: fault spec key
+    /// `worker_panic` must be in [0, 1], got 2`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
-            let (key, value) = part
+            let clause = part.trim();
+            let (key, value) = clause
                 .split_once('=')
-                .ok_or_else(|| format!("fault spec entry `{part}` is not `key=value`"))?;
+                .ok_or_else(|| format!("fault spec clause `{clause}` is not `key=value`"))?;
             let (key, value) = (key.trim(), value.trim());
-            let int = || -> Result<u64, String> {
-                value.parse::<u64>().map_err(|_| {
-                    format!("fault spec key `{key}` expects an integer, got `{value}`")
-                })
-            };
-            let rate = || -> Result<f64, String> {
-                let r: f64 = value.parse().map_err(|_| {
-                    format!("fault spec key `{key}` expects a number, got `{value}`")
-                })?;
-                if !(0.0..=1.0).contains(&r) {
-                    return Err(format!("fault spec key `{key}` must be in [0, 1], got {r}"));
-                }
-                Ok(r)
-            };
-            match key {
-                "seed" => plan.seed = int()?,
-                "worker_panic" => plan.worker_panic = rate()?,
-                "handler_panic" => plan.handler_panic = rate()?,
-                "cache_fail" => plan.cache_fail = rate()?,
-                "conn_reset" => plan.conn_reset = rate()?,
-                "delay_rate" => plan.delay_rate = rate()?,
-                "delay_ms" => plan.delay_ms = int()?,
-                "limit" => plan.limit = int()?,
-                _ => {
-                    return Err(format!(
-                        "unknown fault spec key `{key}` (expected seed, worker_panic, \
-                         handler_panic, cache_fail, conn_reset, delay_rate, delay_ms, limit)"
-                    ))
-                }
-            }
+            plan.apply(key, value)
+                .map_err(|e| format!("in fault spec clause `{clause}`: {e}"))?;
         }
+        plan.disk.seed = plan.seed;
+        plan.disk.limit = plan.limit;
         Ok(plan)
     }
 
-    /// `true` when at least one site can fire.
+    fn apply(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let int = || -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("fault spec key `{key}` expects an integer, got `{value}`"))
+        };
+        let rate = || -> Result<f64, String> {
+            let r: f64 = value
+                .parse()
+                .map_err(|_| format!("fault spec key `{key}` expects a number, got `{value}`"))?;
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("fault spec key `{key}` must be in [0, 1], got {r}"));
+            }
+            Ok(r)
+        };
+        match key {
+            "seed" => self.seed = int()?,
+            "worker_panic" => self.worker_panic = rate()?,
+            "handler_panic" => self.handler_panic = rate()?,
+            "cache_fail" => self.cache_fail = rate()?,
+            "conn_reset" => self.conn_reset = rate()?,
+            "delay_rate" => self.delay_rate = rate()?,
+            "delay_ms" => self.delay_ms = int()?,
+            "limit" => self.limit = int()?,
+            "short_write" | "torn_rename" | "read_corrupt" | "fsync_fail" => {
+                // Disk sites live in the shared durable layer; its
+                // parser validates the rate, and `parse` copies the
+                // plan-wide seed/limit over afterwards.
+                self.disk.apply(key, value)?;
+            }
+            _ => {
+                return Err(format!(
+                    "unknown fault spec key `{key}` (expected seed, worker_panic, \
+                     handler_panic, cache_fail, conn_reset, delay_rate, delay_ms, \
+                     short_write, torn_rename, read_corrupt, fsync_fail, limit)"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when at least one site (in-process or disk) can fire.
     pub fn is_active(&self) -> bool {
         self.worker_panic > 0.0
             || self.handler_panic > 0.0
             || self.cache_fail > 0.0
             || self.conn_reset > 0.0
             || self.delay_rate > 0.0
+            || self.disk.is_active()
     }
 
     fn rate(&self, site: FaultSite) -> f64 {
@@ -174,16 +210,31 @@ pub struct FaultState {
     plan: FaultPlan,
     decisions: [AtomicU64; SITE_COUNT],
     injected: [AtomicU64; SITE_COUNT],
+    /// Disk-site runtime state (`None` when no disk rate is set), shared
+    /// with every [`rvz_experiments::DurableFile`]/journal the process
+    /// opens.
+    disk: Option<Arc<DiskFaults>>,
 }
 
 impl FaultState {
     /// Builds the runtime state for a plan.
     pub fn new(plan: FaultPlan) -> FaultState {
         FaultState {
+            disk: plan
+                .disk
+                .is_active()
+                .then(|| Arc::new(DiskFaults::new(plan.disk))),
             plan,
             decisions: std::array::from_fn(|_| AtomicU64::new(0)),
             injected: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    /// The shared disk-fault state, for threading into the durable I/O
+    /// layer (`None` when no disk site is armed — the zero-cost-off
+    /// discipline carries through).
+    pub fn disk(&self) -> Option<Arc<DiskFaults>> {
+        self.disk.clone()
     }
 
     /// Decides (deterministically per site-visit index) whether this
@@ -256,10 +307,42 @@ mod tests {
             ("seed=abc", "expects an integer"),
             ("handler_panic", "not `key=value`"),
             ("delay_ms=1.5", "expects an integer"),
+            ("short_write=7", "must be in [0, 1]"),
         ] {
             let err = FaultPlan::parse(spec).unwrap_err();
             assert!(err.contains(needle), "spec {spec:?} -> {err}");
         }
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_clause() {
+        // A multi-clause spec must point at the clause that failed, not
+        // just the key (clauses can repeat keys or hold typos).
+        let err = FaultPlan::parse("seed=1, handler_panic=0.5, conn_reset=1.5").unwrap_err();
+        assert!(
+            err.contains("in fault spec clause `conn_reset=1.5`"),
+            "{err}"
+        );
+        assert!(err.contains("`conn_reset` must be in [0, 1]"), "{err}");
+        let err = FaultPlan::parse("seed=1,read_corrupt=nope").unwrap_err();
+        assert!(err.contains("clause `read_corrupt=nope`"), "{err}");
+    }
+
+    #[test]
+    fn disk_sites_share_seed_and_limit_and_arm_the_state() {
+        let plan = FaultPlan::parse("seed=9,fsync_fail=1,short_write=0.5,limit=3").unwrap();
+        assert!(plan.is_active());
+        assert_eq!(plan.disk.seed, 9, "disk sites draw from the plan seed");
+        assert_eq!(plan.disk.limit, 3, "and honor the shared limit");
+        assert_eq!(plan.disk.fsync_fail, 1.0);
+        assert_eq!(plan.disk.short_write, 0.5);
+        let state = FaultState::new(plan);
+        let disk = state.disk().expect("disk rates arm the shared state");
+        assert!(disk.fires(rvz_experiments::DiskFaultSite::FsyncFail));
+
+        // No disk rates: the durable layer sees `None` and pays nothing.
+        let state = FaultState::new(FaultPlan::parse("seed=9,handler_panic=1").unwrap());
+        assert!(state.disk().is_none());
     }
 
     #[test]

@@ -34,7 +34,8 @@
 //! queue, workers, load shedding, graceful drain), [`client`] (the
 //! blocking client used by `rvz client`, the CI smoke and
 //! `rvz loadtest`), [`faults`] (deterministic seeded fault injection
-//! for the overload/panic-isolation test suite).
+//! for the overload/panic-isolation test suite), [`snapshot`]
+//! (crash-safe cache snapshots for warm restarts).
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -44,10 +45,15 @@ pub mod faults;
 pub mod http;
 pub mod server;
 pub mod service;
+pub mod snapshot;
 
 pub use cache::{CacheStats, ResultCache};
-pub use client::{request, ClientOptions, ClientResponse, HttpClient};
+pub use client::{request, ClientOptions, ClientResponse, HttpClient, RetryPolicy};
 pub use faults::{FaultPlan, FaultSite, FaultState};
 pub use http::{Request, Response};
 pub use server::{spawn, spawn_with, ServerHandle, ServerOptions};
 pub use service::{Control, Service, ServiceOptions};
+pub use snapshot::{
+    engine_fingerprint, read_snapshot, write_snapshot, RestoreOutcome, SnapshotData,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

@@ -27,6 +27,9 @@
 use crate::cache::{CacheStats, ResultCache};
 use crate::faults::{FaultPlan, FaultSite, FaultState};
 use crate::http::{Request, Response};
+use crate::snapshot::{
+    engine_fingerprint, read_snapshot, write_snapshot, RestoreOutcome, SnapshotData,
+};
 use rvz_experiments::{
     breaker_token, orbit_key, record_to_json, run_sweep, scenario_from_json, Algorithm, Json,
     Scenario, Summary, SweepOptions, SweepRecord, DEFAULT_GRID,
@@ -34,9 +37,10 @@ use rvz_experiments::{
 use rvz_model::{feasibility, Chirality, RobotAttributes};
 use rvz_sim::{try_first_contact_programs, Budget, ContactOptions, EngineScratch, SimOutcome};
 use rvz_trajectory::{Compile, CompileOptions, CompiledProgram};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// A lowered program shared between the program cache and in-flight
 /// queries.
@@ -147,6 +151,26 @@ pub struct Service {
     shed: AtomicU64,
     /// Fault-injection state, built from `opts.faults` (`None` off).
     faults: Option<Arc<FaultState>>,
+    /// Durability observability (restore outcome, snapshot-write
+    /// bookkeeping); `None` inside until snapshots are used.
+    durability: Mutex<Durability>,
+}
+
+/// Snapshot/restore bookkeeping behind [`Service::durability`], fed by
+/// [`Service::restore_from`] and [`Service::write_snapshot_to`] and
+/// reported under `/stats` → `durability`.
+#[derive(Debug, Default)]
+struct Durability {
+    /// `Some` once a boot-time restore was attempted.
+    restore: Option<RestoreOutcome>,
+    /// When the last successful snapshot write finished.
+    last_snapshot: Option<Instant>,
+    /// Entries persisted by the last successful snapshot write.
+    persisted_entries: usize,
+    /// Successful snapshot writes.
+    writes: u64,
+    /// Failed snapshot writes (the previous snapshot stays intact).
+    write_failures: u64,
 }
 
 impl Service {
@@ -172,7 +196,95 @@ impl Service {
             inflight: AtomicUsize::new(0),
             shed: AtomicU64::new(0),
             faults,
+            durability: Mutex::new(Durability::default()),
         }
+    }
+
+    /// The engine-configuration digest pinning this service's cached
+    /// bytes: a snapshot restores only under an identical fingerprint
+    /// (see [`crate::snapshot`]).
+    pub fn engine_fingerprint(&self) -> u64 {
+        engine_fingerprint(
+            self.opts.cache_grid,
+            &self.opts.sweep.contact,
+            self.compile_pieces,
+        )
+    }
+
+    /// Captures the current cache state for a snapshot: result entries
+    /// and program orbit keys, each in per-shard recency order.
+    /// In-flight single-flight claims and deadline outcomes are never
+    /// included (claims are not values; deadlines are never cached).
+    pub fn snapshot_data(&self) -> SnapshotData {
+        SnapshotData {
+            results: self.cache.export(),
+            program_keys: self
+                .programs
+                .export()
+                .into_iter()
+                .map(|(key, _)| key)
+                .collect(),
+        }
+    }
+
+    /// Restores caches from the snapshot at `path` (if any), degrading
+    /// gracefully: corrupt or mismatched snapshots cold-start. Returns
+    /// the outcome; it is also kept for `/stats` and the boot banner.
+    ///
+    /// Program entries are restored as *placeholders* (`None`): the
+    /// first miss on the orbit re-streams the partner program, while
+    /// the cache's entry count and recency order match the snapshotted
+    /// process exactly.
+    pub fn restore_from(&self, path: &Path) -> RestoreOutcome {
+        let disk = self.faults.as_ref().and_then(|f| f.disk());
+        let (data, outcome) = read_snapshot(path, self.engine_fingerprint(), disk.as_ref());
+        for (key, value) in data.results {
+            self.cache.insert(key, value);
+        }
+        for key in data.program_keys {
+            self.programs.insert(key, None);
+        }
+        let mut d = self.durability.lock().expect("durability poisoned");
+        d.restore = Some(outcome.clone());
+        outcome
+    }
+
+    /// Writes a snapshot of the current cache state to `path` (durable:
+    /// temp + fsync + atomic rename). On failure the previous snapshot
+    /// is left intact and the failure is counted, never propagated to
+    /// request handling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error (including injected disk faults) for the
+    /// caller's log line.
+    pub fn write_snapshot_to(&self, path: &Path) -> std::io::Result<usize> {
+        let data = self.snapshot_data();
+        let entries = data.results.len() + data.program_keys.len();
+        let disk = self.faults.as_ref().and_then(|f| f.disk());
+        let result = write_snapshot(path, self.engine_fingerprint(), &data, disk);
+        let mut d = self.durability.lock().expect("durability poisoned");
+        match result {
+            Ok(()) => {
+                d.last_snapshot = Some(Instant::now());
+                d.persisted_entries = entries;
+                d.writes += 1;
+                Ok(entries)
+            }
+            Err(e) => {
+                d.write_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// The last boot-restore outcome, if a restore was attempted.
+    pub fn restore_outcome(&self) -> Option<RestoreOutcome> {
+        self.durability
+            .lock()
+            .expect("durability poisoned")
+            .restore
+            .clone()
     }
 
     /// The configured options.
@@ -322,9 +434,37 @@ impl Service {
                     ),
                 ]),
             ),
+            ("durability", self.durability_json()),
         ])
         .render();
         Response::ok(body)
+    }
+
+    /// The `/stats` → `durability` object: whether snapshots are in
+    /// use, how the boot restore went (`cold|warm|salvaged {n}`), how
+    /// stale the last snapshot is, and write bookkeeping.
+    fn durability_json(&self) -> Json {
+        let d = self.durability.lock().expect("durability poisoned");
+        let restore = match &d.restore {
+            None => Json::Str("none".to_string()),
+            Some(outcome) => Json::Str(outcome.label()),
+        };
+        let restored = d.restore.as_ref().map_or(0, |o| o.entries());
+        Json::obj(vec![
+            ("enabled", Json::Bool(d.restore.is_some())),
+            ("restore", restore),
+            ("restored_entries", Json::Num(restored as f64)),
+            (
+                "snapshot_age_s",
+                match d.last_snapshot {
+                    None => Json::Num(-1.0),
+                    Some(at) => Json::Num(at.elapsed().as_secs_f64()),
+                },
+            ),
+            ("persisted_entries", Json::Num(d.persisted_entries as f64)),
+            ("writes", Json::Num(d.writes as f64)),
+            ("write_failures", Json::Num(d.write_failures as f64)),
+        ])
     }
 
     fn feasibility_from_query(&self, req: &Request) -> Response {
@@ -1136,5 +1276,141 @@ mod tests {
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
             .unwrap_or("")
+    }
+
+    #[test]
+    fn snapshot_restore_serves_byte_identical_hits_without_engine_runs() {
+        let dir = std::env::temp_dir().join(format!("rvz-svc-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap");
+
+        // A horizon the reference lowering covers, so the compiled
+        // path engages and the program cache fills alongside results.
+        let program_options = || ServiceOptions {
+            sweep: SweepOptions {
+                threads: 1,
+                contact: rvz_sim::ContactOptions {
+                    horizon: rvz_search::times::rounds_total(4),
+                    max_steps: 100_000,
+                    ..rvz_sim::ContactOptions::default()
+                },
+                ..SweepOptions::default()
+            },
+            ..ServiceOptions::default()
+        };
+        let svc = Service::new(program_options());
+        let bodies: Vec<String> = [0.5f64, 0.625, 0.75]
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"algorithm\":\"alg4\",\"speed\":{v},\"distance\":0.9,\"visibility\":0.25}}"
+                )
+            })
+            .collect();
+        let mut answers = Vec::new();
+        for body in &bodies {
+            let (resp, _) = svc.handle(&request("POST", "/first-contact", body));
+            assert_eq!(resp.status, 200);
+            assert_eq!(header(&resp, "X-Rvz-Cache"), "miss");
+            answers.push(resp.body);
+        }
+        assert_eq!(svc.program_stats().entries, 3, "partners were cached");
+        let entries = svc.write_snapshot_to(&path).unwrap();
+        assert_eq!(
+            entries,
+            svc.cache_stats().entries + svc.program_stats().entries
+        );
+
+        // A fresh process: restore must be warm, and every previously
+        // answered query must come back byte-identical as a cache hit
+        // with zero engine runs (misses stay 0).
+        let restored = Service::new(program_options());
+        let outcome = restored.restore_from(&path);
+        assert!(matches!(outcome, RestoreOutcome::Warm { .. }), "{outcome}");
+        assert_eq!(restored.cache_stats().entries, svc.cache_stats().entries);
+        assert_eq!(
+            restored.program_stats().entries,
+            svc.program_stats().entries,
+            "program orbit keys restore as placeholders"
+        );
+        for (body, expected) in bodies.iter().zip(&answers) {
+            let (resp, _) = restored.handle(&request("POST", "/first-contact", body));
+            assert_eq!(
+                &resp.body, expected,
+                "restore is byte-identical to recompute"
+            );
+            assert_eq!(header(&resp, "X-Rvz-Cache"), "hit");
+        }
+        assert_eq!(
+            restored.cache_stats().misses,
+            0,
+            "no engine ran after restore"
+        );
+
+        let (stats, _) = restored.handle(&request("GET", "/stats", ""));
+        assert!(
+            stats.body.contains("\"restore\":\"warm\""),
+            "{}",
+            stats.body
+        );
+        assert!(
+            stats.body.contains("\"restored_entries\":6"),
+            "{}",
+            stats.body
+        );
+
+        // A service under *different* engine options must refuse the
+        // snapshot (cold) rather than serve non-reproducible bytes.
+        let mut skewed = program_options();
+        skewed.sweep.contact.max_steps += 1;
+        let cold = Service::new(skewed);
+        let outcome = cold.restore_from(&path);
+        assert!(matches!(outcome, RestoreOutcome::Cold { .. }), "{outcome}");
+        assert_eq!(cold.cache_stats().entries, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_eviction_order_across_processes() {
+        let dir = std::env::temp_dir().join(format!("rvz-svc-lru-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap");
+
+        // A tiny single-shard cache so recency is observable through
+        // eviction.
+        let mut opts = test_options();
+        opts.cache_capacity = 3;
+        opts.cache_shards = 1;
+        let svc = Service::new(opts);
+        let body = |v: f64| format!("{{\"speed\":{v},\"distance\":0.9,\"visibility\":0.25}}");
+        for v in [0.5, 0.625, 0.75] {
+            svc.handle(&request("POST", "/first-contact", &body(v)));
+        }
+        // Refresh the oldest entry so it is MRU at snapshot time.
+        svc.handle(&request("POST", "/first-contact", &body(0.5)));
+        svc.write_snapshot_to(&path).unwrap();
+
+        let mut opts = test_options();
+        opts.cache_capacity = 3;
+        opts.cache_shards = 1;
+        let restored = Service::new(opts);
+        restored.restore_from(&path);
+        // A new insert must evict the restored LRU (0.625), not the
+        // refreshed 0.5: recency order survived the round trip.
+        restored.handle(&request("POST", "/first-contact", &body(0.875)));
+        let (resp, _) = restored.handle(&request("POST", "/first-contact", &body(0.5)));
+        assert_eq!(header(&resp, "X-Rvz-Cache"), "hit", "MRU survived");
+        let (resp, _) = restored.handle(&request("POST", "/first-contact", &body(0.625)));
+        assert_eq!(header(&resp, "X-Rvz-Cache"), "miss", "LRU was evicted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_report_durability_defaults_when_snapshots_are_off() {
+        let svc = service();
+        let (resp, _) = svc.handle(&request("GET", "/stats", ""));
+        assert!(resp.body.contains("\"durability\""), "{}", resp.body);
+        assert!(resp.body.contains("\"restore\":\"none\""), "{}", resp.body);
+        assert!(resp.body.contains("\"snapshot_age_s\":-1"), "{}", resp.body);
     }
 }

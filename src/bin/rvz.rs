@@ -194,6 +194,9 @@ Closed-form bounds: Theorem 1/2, and Lemma 13's k* when tau ≠ 1.",
             ("compile-budget", true),
             ("dedup-orbits", false),
             ("out", true),
+            ("checkpoint", true),
+            ("resume", false),
+            ("faults", true),
         ],
         usage: "\
 USAGE:
@@ -201,6 +204,7 @@ USAGE:
             [--bearings L] [--r R] [--algos L] [--lhs N] [--seed S]
             [--threads N] [--max-steps M] [--horizon-rounds K] [--no-prune]
             [--compile-budget P] [--dedup-orbits] [--out PREFIX]
+            [--checkpoint PATH] [--resume] [--faults SPEC]
 
 Run a parallel scenario sweep (grid by default, Latin-hypercube sample
 with --lhs N) and write PREFIX.jsonl + PREFIX.csv. List flags (L) take
@@ -210,7 +214,17 @@ the same classification). --compile-budget caps the compiled fast
 path's piece arena per trajectory (0 keeps everything on the cursor
 path). --dedup-orbits collapses role-swap symmetric scenarios through
 the exact canonical orbit before running, simulates one representative
-per orbit, and maps outcomes back through the orbit transform.",
+per orbit, and maps outcomes back through the orbit transform.
+
+Checkpointing: --checkpoint PATH journals each finished record (CRC
+per line, fsync'd manifest) so a killed sweep can continue with
+--resume, which replays the journal's valid prefix and computes only
+what is missing — the artifacts are bit-identical to an uninterrupted
+run, independent of --threads and of where the kill landed. A journal
+from a different sweep (flags or scenario set changed) is refused.
+--faults injects deterministic seeded disk faults into the checkpoint
+I/O (keys: seed, short_write, torn_rename, read_corrupt, fsync_fail,
+limit) — tests/CI only.",
         run: cmd_sweep,
     },
     CommandSpec {
@@ -278,6 +292,8 @@ cursor engine ever takes more steps than the generic loop.",
             ("queue-depth", true),
             ("drain-ms", true),
             ("faults", true),
+            ("snapshot", true),
+            ("snapshot-interval-s", true),
         ],
         usage: "\
 USAGE:
@@ -286,6 +302,7 @@ USAGE:
             [--max-steps M] [--horizon-rounds K] [--no-prune]
             [--compile-budget P] [--deadline-ms D] [--max-inflight N]
             [--queue-depth N] [--drain-ms D] [--faults SPEC]
+            [--snapshot PATH] [--snapshot-interval-s S]
 
 Serve feasibility/first-contact/sweep queries over HTTP/1.1 with a
 sharded LRU cache keyed by each scenario's attribute-symmetry orbit.
@@ -302,7 +319,16 @@ connections (overflow shed with 503; default 1024), --drain-ms is the
 graceful-shutdown drain deadline (default 5000). --faults takes a
 deterministic seeded fault-injection spec `key=value,...` (keys: seed,
 worker_panic, handler_panic, cache_fail, conn_reset, delay_rate,
-delay_ms, limit) — tests/CI only.
+delay_ms, short_write, torn_rename, read_corrupt, fsync_fail, limit)
+— tests/CI only.
+
+Durability: --snapshot PATH warm-starts the cache from a crash-safe
+snapshot at boot (torn/corrupt/version-skewed files degrade to a
+salvaged prefix or a cold start, never a refusal to boot), rewrites it
+every --snapshot-interval-s seconds (default 30; temp + fsync + atomic
+rename, a kill can never destroy the previous snapshot), and once more
+on graceful drain. The restore outcome (cold|warm|salvaged n) is in
+the boot banner and GET /stats.
 
 ENDPOINTS:
   GET  /feasibility?v=&tau=&phi=&chi=   Theorem 4 verdict + orbit
@@ -322,11 +348,13 @@ ENDPOINTS:
             ("out", true),
             ("timeout-ms", true),
             ("check-overload", false),
+            ("retries", true),
         ],
         usage: "\
 USAGE:
   rvz loadtest [--quick] [--clients N] [--requests N] [--families N]
                [--out PATH] [--timeout-ms T] [--check-overload]
+               [--retries N]
 
 Loadtest of the serve stack. First the closed loop on a symmetric
 workload: an in-process server per arm (cached, then --no-cache), N
@@ -339,7 +367,10 @@ per arm. Writes the machine-readable schema-v2 report to PATH (default
 BENCH_serve.json). --requests is per client per arm; --timeout-ms sets
 the client connect/read timeouts; --check-overload exits nonzero
 unless the 2x arm sheds without collapsing (nonzero 503s, nonzero
-accepted, accepted p99 within 5x of the 1x arm's).",
+accepted, accepted p99 within 5x of the 1x arm's). --retries lets each
+closed-loop client retry 503s with capped jittered backoff honoring
+Retry-After (default 0; the overload arms never retry — they measure
+shedding).",
         run: cmd_loadtest,
     },
     CommandSpec {
@@ -350,17 +381,21 @@ accepted, accepted p99 within 5x of the 1x arm's).",
             ("method", true),
             ("body", true),
             ("timeout-ms", true),
+            ("retries", true),
         ],
         usage: "\
 USAGE:
   rvz client --addr HOST:PORT --path /endpoint [--method GET|POST]
-             [--body JSON] [--timeout-ms T]
+             [--body JSON] [--timeout-ms T] [--retries N]
 
 One-shot HTTP client for a running `rvz serve`: sends a single request
 and prints the status, the X-Rvz-Cache header (hit/miss/bypass) when
 present, and the response body. The method defaults to GET without a
 body and POST with one. --timeout-ms bounds both the connect and the
-read (default: connect 5000, read 30000).",
+read (default: connect 5000, read 30000). --retries N retries `503
+Retry-After` sheds up to N times with capped jittered backoff,
+sleeping at least the server's Retry-After hint (default 0: fail
+fast).",
         run: cmd_client,
     },
     CommandSpec {
@@ -713,13 +748,46 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
 
     let sweep_opts = sweep_options(opts, "threads")?;
 
+    let checkpoint = opts.get("checkpoint").map(std::path::PathBuf::from);
+    if opts.contains_key("resume") && checkpoint.is_none() {
+        return Err("`--resume` needs `--checkpoint PATH` (there is nothing to resume)".into());
+    }
+    if opts.contains_key("faults") && checkpoint.is_none() {
+        return Err("`--faults` only applies to checkpoint I/O; pass `--checkpoint PATH`".into());
+    }
+    if checkpoint.is_some() && opts.contains_key("dedup-orbits") {
+        // The journal records scenario rows one-to-one; the dedup path
+        // computes representatives, so its work units do not match.
+        return Err("`--checkpoint` and `--dedup-orbits` cannot be combined".into());
+    }
+    let disk_faults = match opts.get("faults") {
+        None => None,
+        Some(spec) => {
+            let plan = plane_rendezvous::experiments::DiskFaultPlan::parse(spec)
+                .map_err(|e| format!("`--faults`: {e}"))?;
+            plan.is_active()
+                .then(|| std::sync::Arc::new(plane_rendezvous::experiments::DiskFaults::new(plan)))
+        }
+    };
+
     println!(
         "sweeping {} scenarios on {} threads ...",
         scenarios.len(),
         sweep_opts.effective_threads()
     );
     let start = Instant::now();
-    let (records, dedup) = if opts.contains_key("dedup-orbits") {
+    let mut checkpoint_stats = None;
+    let (records, dedup) = if let Some(path) = &checkpoint {
+        let (records, stats) = plane_rendezvous::experiments::run_sweep_checkpointed(
+            &scenarios,
+            &sweep_opts,
+            path,
+            opts.contains_key("resume"),
+            disk_faults,
+        )?;
+        checkpoint_stats = Some(stats);
+        (records, None)
+    } else if opts.contains_key("dedup-orbits") {
         let (records, stats) =
             plane_rendezvous::experiments::run_sweep_deduped_default(&scenarios, &sweep_opts);
         (records, Some(stats))
@@ -739,6 +807,19 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
             stats.scenarios,
             stats.representatives,
             stats.ratio()
+        );
+    }
+    if let Some(stats) = checkpoint_stats {
+        println!(
+            "checkpoint: {} resumed, {} computed, {} torn lines dropped{}",
+            stats.resumed,
+            stats.computed,
+            stats.dropped,
+            if stats.sync_failures > 0 {
+                format!(", {} sync failures", stats.sync_failures)
+            } else {
+                String::new()
+            }
         );
     }
     println!(
@@ -940,12 +1021,19 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         drain: std::time::Duration::from_millis(get_usize(opts, "drain-ms", 5_000)? as u64),
         faults,
     };
-    let server = plane_rendezvous::server::spawn_with(
-        &format!("{addr}:{port}"),
-        Service::new(service_opts),
-        &server_opts,
-    )
-    .map_err(|e| format!("cannot bind {addr}:{port}: {e}"))?;
+    let snapshot_path = opts.get("snapshot").map(std::path::PathBuf::from);
+    let snapshot_interval = get_usize(opts, "snapshot-interval-s", 30)?.max(1) as u64;
+
+    let service = Service::new(service_opts);
+    // Restore before the listener exists: the first accepted request
+    // already sees the warm cache.
+    let restore = snapshot_path
+        .as_ref()
+        .map(|path| service.restore_from(path));
+
+    let server =
+        plane_rendezvous::server::spawn_with(&format!("{addr}:{port}"), service, &server_opts)
+            .map_err(|e| format!("cannot bind {addr}:{port}: {e}"))?;
     println!("rvz serve listening on {}", server.addr());
     println!(
         "workers = {workers}, cache = {}, grid = {}, queue = {}, deadline = {}",
@@ -954,6 +1042,12 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         server_opts.queue_depth,
         deadline.map_or("none".to_string(), |d| format!("{} ms", d.as_millis())),
     );
+    if let (Some(path), Some(outcome)) = (&snapshot_path, &restore) {
+        println!(
+            "snapshot: {} every {snapshot_interval} s, restore: {outcome}",
+            path.display()
+        );
+    }
     println!(
         "stop with: rvz client --addr {} --path /shutdown --method POST",
         server.addr()
@@ -961,7 +1055,45 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     // Make the banner visible to parent processes (CI scrapes the port)
     // even when stdout is a pipe.
     std::io::stdout().flush().ok();
-    if server.join() {
+
+    // Periodic snapshots: a plain thread woken by interval timeout or
+    // by the stop sender at drain time (mpsc doubles as the stop flag).
+    let snapshotter = snapshot_path.as_ref().map(|path| {
+        let service = std::sync::Arc::clone(server.service());
+        let path = path.clone();
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || loop {
+            match stop_rx.recv_timeout(std::time::Duration::from_secs(snapshot_interval)) {
+                Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            }
+            if let Err(e) = service.write_snapshot_to(&path) {
+                // Non-fatal by design: the previous snapshot is intact
+                // and every entry is recomputable.
+                eprintln!("rvz serve: snapshot write failed: {e}");
+            }
+        });
+        (stop_tx, handle)
+    });
+
+    let service = std::sync::Arc::clone(server.service());
+    let clean = server.join();
+    if let Some((stop_tx, handle)) = snapshotter {
+        stop_tx.send(()).ok();
+        handle.join().ok();
+    }
+    // One final snapshot after drain, so a graceful stop always leaves
+    // the freshest cache on disk.
+    if let Some(path) = &snapshot_path {
+        match service.write_snapshot_to(path) {
+            Ok(entries) => println!(
+                "rvz serve: final snapshot wrote {entries} entries to {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("rvz serve: final snapshot failed: {e}"),
+        }
+    }
+    if clean {
         println!("rvz serve: shut down cleanly");
     } else {
         println!("rvz serve: drain deadline expired, detached stalled workers");
@@ -980,6 +1112,7 @@ fn cmd_loadtest(opts: &Flags) -> Result<(), String> {
         requests_per_client: get_usize(opts, "requests", defaults.requests_per_client)?.max(1),
         families: get_usize(opts, "families", defaults.families)?.max(1),
         timeout_ms: get_timeout_ms(opts)?.unwrap_or(defaults.timeout_ms),
+        retries: get_u32(opts, "retries", defaults.retries)?,
         ..defaults
     };
     let path = opts
@@ -1038,9 +1171,16 @@ fn cmd_client(opts: &Flags) -> Result<(), String> {
         }
         None => plane_rendezvous::server::ClientOptions::default(),
     };
-    let response =
-        plane_rendezvous::server::client::request_with(addr, &method, path, body, &client_opts)
-            .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    let policy = plane_rendezvous::server::RetryPolicy::with_retries(get_u32(opts, "retries", 0)?);
+    let response = plane_rendezvous::server::client::request_with_retry(
+        addr,
+        &method,
+        path,
+        body,
+        &client_opts,
+        &policy,
+    )
+    .map_err(|e| format!("request to {addr} failed: {e}"))?;
     println!("HTTP {}", response.status);
     if let Some(cache) = response.header("x-rvz-cache") {
         println!("X-Rvz-Cache: {cache}");
