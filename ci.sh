@@ -73,6 +73,23 @@ if grep -qE '"allocs_per_query": [1-9][0-9]*, "speedup"' "$BENCH_SMOKE"; then
 fi
 rm -f "$BENCH_SMOKE"
 
+echo "==> telemetry overhead gate (deterministic bench fields identical with --no-metrics)"
+# Recording is observation-only: flipping the global kill switch must
+# not change a single engine decision. Timing fields differ run to run,
+# so compare every deterministic field of the two reports.
+BENCH_ON="$(mktemp -t bench_metrics_on.XXXXXX.json)"
+BENCH_OFF="$(mktemp -t bench_metrics_off.XXXXXX.json)"
+cargo run --release --quiet --bin rvz -- bench-engine --quick --out "$BENCH_ON" >/dev/null
+cargo run --release --quiet --bin rvz -- bench-engine --quick --no-metrics --out "$BENCH_OFF" >/dev/null
+for key in steps pruned_intervals envelope_queries allocs_per_query pieces outcome; do
+    ON_VALUES="$(grep -o "\"$key\": [^,}]*" "$BENCH_ON")"
+    OFF_VALUES="$(grep -o "\"$key\": [^,}]*" "$BENCH_OFF")"
+    [ -n "$ON_VALUES" ] || { echo "bench report carries no \"$key\" fields"; exit 1; }
+    [ "$ON_VALUES" = "$OFF_VALUES" ] \
+        || { echo "telemetry changed deterministic field \"$key\""; exit 1; }
+done
+rm -f "$BENCH_ON" "$BENCH_OFF"
+
 echo "==> serve fault-injection suite (pinned seed: poison recovery, panic isolation, shedding, drain)"
 # Every plan in the suite pins seed=42 (or 7) with rate-1.0 + limit
 # sites, so the injected faults are exactly the first `limit` visits —
@@ -96,8 +113,9 @@ done
 "$RVZ" client --addr "$ADDR" --path '/feasibility?tau=0.5' | grep -q '"breaker":"clocks"'
 # A first-contact query misses; its role-swap twin (v -> 1/v, d and r
 # scaled by v·tau, bearing + pi) must hit the same canonical entry.
-"$RVZ" client --addr "$ADDR" --path /first-contact \
-    --body '{"speed":0.5,"distance":0.9,"visibility":0.25}' | grep -q 'X-Rvz-Cache: miss'
+FC_METRICS_ON="$("$RVZ" client --addr "$ADDR" --path /first-contact \
+    --body '{"speed":0.5,"distance":0.9,"visibility":0.25}')"
+echo "$FC_METRICS_ON" | grep -q 'X-Rvz-Cache: miss'
 "$RVZ" client --addr "$ADDR" --path /first-contact \
     --body '{"speed":2,"distance":1.8,"visibility":0.5,"bearing":4.188790204786391}' \
     | grep -q 'X-Rvz-Cache: hit'
@@ -105,10 +123,63 @@ done
 "$RVZ" client --addr "$ADDR" --path /sweep \
     --body '{"scenarios":[{"speed":0.5,"distance":0.9,"visibility":0.25},{"time_unit":0.6,"distance":0.9,"visibility":0.25}]}' \
     | grep -q '"consistent":2'
+# Every response carries a 16-hex-digit trace ID.
+"$RVZ" client --addr "$ADDR" --path /healthz \
+    | grep -Eq '^X-Rvz-Trace: [0-9a-f]{16}$'
+# /metrics serves the Prometheus exposition with every family present
+# from the first scrape (preregistration), faults and sheds included.
+METRICS_SCRAPE="$("$RVZ" client --addr "$ADDR" --path /metrics)"
+for family in rvz_requests_total rvz_responses_total rvz_request_duration_us \
+    rvz_cache_requests_total rvz_engine_queries_total rvz_engine_outcomes_total \
+    rvz_faults_injected_total rvz_shed_total rvz_uptime_seconds rvz_inflight; do
+    echo "$METRICS_SCRAPE" | grep -q "$family" \
+        || { echo "metrics scrape missing $family"; exit 1; }
+done
+# The engine counters moved: the twin queries above ran exactly one
+# engine query through the cache-miss path.
+echo "$METRICS_SCRAPE" | grep -q 'rvz_cache_requests_total{outcome="hit"} [1-9]' \
+    || { echo "cache-hit counter did not move"; exit 1; }
+# The flight recorder serves recent spans as JSON.
+"$RVZ" client --addr "$ADDR" --path '/trace/recent?n=4' | grep -q '"events":'
+# /stats carries uptime, the build fingerprint, and the shed-cause split.
+STATS="$("$RVZ" client --addr "$ADDR" --path /stats)"
+echo "$STATS" | grep -q '"uptime_s":' || { echo "stats missing uptime_s"; exit 1; }
+echo "$STATS" | grep -q '"engine_fingerprint":' || { echo "stats missing build"; exit 1; }
+echo "$STATS" | grep -q '"shed_by_cause"' || { echo "stats missing shed_by_cause"; exit 1; }
 # Graceful shutdown: the serve process exits cleanly on its own.
 "$RVZ" client --addr "$ADDR" --path /shutdown --method POST | grep -q '"shutting_down":true'
 wait "$SERVE_PID"
 grep -q "shut down cleanly" "$SERVE_LOG"
+rm -f "$SERVE_LOG"
+
+echo "==> serve --no-metrics arm (observability hidden, wire bytes identical)"
+SERVE_LOG="$(mktemp -t rvz_serve_nometrics.XXXXXX.log)"
+"$RVZ" serve --port 0 --workers 2 --no-metrics > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^rvz serve listening on //p' "$SERVE_LOG" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "no-metrics serve did not start"; cat "$SERVE_LOG"; exit 1; }
+grep -q 'metrics = off' "$SERVE_LOG"
+# The observability endpoints answer 404 exactly like unknown paths
+# (the client exits nonzero on any 4xx/5xx).
+if "$RVZ" client --addr "$ADDR" --path /metrics >/dev/null 2>&1; then
+    echo "--no-metrics must hide /metrics"; exit 1
+fi
+if "$RVZ" client --addr "$ADDR" --path /trace/recent >/dev/null 2>&1; then
+    echo "--no-metrics must hide /trace/recent"; exit 1
+fi
+# The same first-contact query produces byte-identical result JSON.
+FC_METRICS_OFF="$("$RVZ" client --addr "$ADDR" --path /first-contact \
+    --body '{"speed":0.5,"distance":0.9,"visibility":0.25}')"
+echo "$FC_METRICS_OFF" | grep -q 'X-Rvz-Cache: miss'
+[ "$(echo "$FC_METRICS_ON" | tail -n 1)" = "$(echo "$FC_METRICS_OFF" | tail -n 1)" ] \
+    || { echo "--no-metrics changed the result bytes"; exit 1; }
+"$RVZ" client --addr "$ADDR" --path /shutdown --method POST >/dev/null
+wait "$SERVE_PID"
 rm -f "$SERVE_LOG"
 
 echo "==> durability smoke (SIGKILL serve -> warm start; SIGKILL sweep -> bit-identical resume)"
@@ -191,25 +262,28 @@ cmp "$DUR_DIR/reference.csv" "$DUR_DIR/resumed.csv" \
     || { echo "resumed sweep CSV diverged from the uninterrupted run"; exit 1; }
 rm -rf "$DUR_DIR"
 
-echo "==> rvz loadtest --quick --check-overload (smoke: schema v2 artifact, shed-not-collapse at 2x)"
+echo "==> rvz loadtest --quick --check-overload (smoke: schema v3 artifact, shed-not-collapse at 2x)"
 SERVE_BENCH="$(mktemp -t bench_serve_smoke.XXXXXX.json)"
 # --check-overload makes the binary itself fail unless the 2x arm sheds
 # explicitly (nonzero 503s), keeps accepting, and holds the accepted
 # p99 within 5x of the 1x arm's — shed-not-collapse, with no hang
 # (the closed loop and both open-loop arms are time-bounded).
 "$RVZ" loadtest --quick --check-overload --out "$SERVE_BENCH" >/dev/null
-grep -q '"schema":"rvz-bench-serve/v2"' "$SERVE_BENCH"
+grep -q '"schema":"rvz-bench-serve/v3"' "$SERVE_BENCH"
 grep -q '"name":"cached"' "$SERVE_BENCH"
 grep -q '"name":"no-cache"' "$SERVE_BENCH"
 grep -q '"speedup":' "$SERVE_BENCH"
+grep -q '"latency_histogram":' "$SERVE_BENCH"
+grep -q '"buckets":' "$SERVE_BENCH"
 grep -q '"overload":' "$SERVE_BENCH"
 grep -q '"offered_rps":' "$SERVE_BENCH"
 grep -q '"shed_rate":' "$SERVE_BENCH"
 grep -q '"accepted_latency_us":' "$SERVE_BENCH"
 grep -q '"multiplier":2' "$SERVE_BENCH"
 rm -f "$SERVE_BENCH"
-# The committed artifact must be schema v2 as well.
-grep -q '"schema":"rvz-bench-serve/v2"' BENCH_serve.json
+# The committed artifact must be schema v3 as well, histograms included.
+grep -q '"schema":"rvz-bench-serve/v3"' BENCH_serve.json
+grep -q '"latency_histogram":' BENCH_serve.json
 grep -q '"overload":' BENCH_serve.json
 
 echo "CI OK"

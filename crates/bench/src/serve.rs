@@ -18,6 +18,7 @@
 //! the measured window, not before it.
 
 use rvz_experiments::{percentile, Json};
+use rvz_obs::HistogramSnapshot;
 use rvz_server::{client, ClientOptions, HttpClient, ServerOptions, Service, ServiceOptions};
 use rvz_sim::ContactOptions;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,6 +110,10 @@ pub struct ArmReport {
     pub rps: f64,
     /// Client-observed per-request latency `[p50, p90, p99, max]` in µs.
     pub latency_us: [f64; 4],
+    /// The full client-observed latency distribution (µs, log-linear
+    /// buckets) — percentiles summarize it, the histogram keeps the
+    /// whole shape for offline comparison across runs.
+    pub latency_histogram: HistogramSnapshot,
     /// Cache hits observed by the server.
     pub hits: u64,
     /// Cache misses (engine runs) observed by the server.
@@ -276,6 +281,7 @@ pub fn run_arm(name: &'static str, no_cache: bool, cfg: &LoadtestConfig) -> ArmR
             pct(99.0),
             *latencies.last().expect("non-empty"),
         ],
+        latency_histogram: HistogramSnapshot::from_values(latencies.iter().map(|&l| l as u64)),
         hits: stats.hits,
         misses: stats.misses,
     }
@@ -575,8 +581,9 @@ pub fn render_overload_table(report: &OverloadReport) -> String {
     )
 }
 
-/// The machine-readable `BENCH_serve.json` document (schema v2: the v1
-/// closed-loop arms plus the open-loop `overload` object).
+/// The machine-readable `BENCH_serve.json` document (schema v3: the v2
+/// closed-loop arms and open-loop `overload` object, plus each arm's
+/// full latency histogram as `(bucket_upper_us, count)` pairs).
 pub fn render_json(
     arms: &[ArmReport],
     speedup: f64,
@@ -596,6 +603,27 @@ pub fn render_json(
                     ("p90", Json::Num(arm.latency_us[1].round())),
                     ("p99", Json::Num(arm.latency_us[2].round())),
                     ("max", Json::Num(arm.latency_us[3].round())),
+                ]),
+            ),
+            (
+                "latency_histogram",
+                Json::obj(vec![
+                    ("count", Json::Num(arm.latency_histogram.count as f64)),
+                    (
+                        "buckets",
+                        Json::Arr(
+                            arm.latency_histogram
+                                .nonzero()
+                                .into_iter()
+                                .map(|(upper, count)| {
+                                    Json::Arr(vec![
+                                        Json::Num(upper as f64),
+                                        Json::Num(count as f64),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             (
@@ -630,7 +658,7 @@ pub fn render_json(
         ])
     };
     let doc = Json::obj(vec![
-        ("schema", Json::Str("rvz-bench-serve/v2".to_string())),
+        ("schema", Json::Str("rvz-bench-serve/v3".to_string())),
         (
             "mode",
             Json::Str(if cfg.quick { "quick" } else { "full" }.to_string()),
@@ -739,6 +767,7 @@ mod tests {
             wall_s: 0.5,
             rps: 200.0,
             latency_us: [10.0, 20.0, 30.0, 40.0],
+            latency_histogram: HistogramSnapshot::from_values([10, 20, 30, 40]),
             hits: 92,
             misses: 8,
         };
@@ -759,13 +788,30 @@ mod tests {
         let parsed = rvz_experiments::json::parse(json.trim()).unwrap();
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
-            Some("rvz-bench-serve/v2")
+            Some("rvz-bench-serve/v3")
         );
         assert_eq!(parsed.get("speedup").and_then(Json::as_f64), Some(12.5));
         assert_eq!(
             parsed.get("arms").and_then(Json::as_array).map(|a| a.len()),
             Some(2)
         );
+        let hist = parsed.get("arms").and_then(Json::as_array).unwrap()[0]
+            .get("latency_histogram")
+            .expect("v3 arms carry the full latency histogram");
+        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(4.0));
+        let buckets = hist.get("buckets").and_then(Json::as_array).unwrap();
+        assert!(!buckets.is_empty());
+        // Each bucket is an [upper_bound_us, count] pair; the total of
+        // the counts matches the histogram count.
+        let total: f64 = buckets
+            .iter()
+            .map(|b| {
+                let pair = b.as_array().expect("bucket pair");
+                assert_eq!(pair.len(), 2);
+                pair[1].as_f64().expect("count")
+            })
+            .sum();
+        assert_eq!(total, 4.0);
         let over = parsed.get("overload").expect("v2 carries overload");
         assert_eq!(over.get("base_rps").and_then(Json::as_f64), Some(100.0));
         let over_arms = over.get("arms").and_then(Json::as_array).unwrap();

@@ -102,6 +102,34 @@ fn manifest_path(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
+/// The sibling flight-recorder dump (`<path>.trace.jsonl`).
+fn trace_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".trace.jsonl");
+    path.with_file_name(name)
+}
+
+/// Dumps the in-memory flight recorder next to the journal, newest span
+/// first — a post-mortem sample of what the workers were doing at the
+/// last checkpoint. Best-effort and observation-only: the file is
+/// rewritten whole at each sync, never read back, and failure to write
+/// it does not count against the checkpoint.
+fn dump_flight_recorder(path: &Path) {
+    let events = rvz_obs::recent(rvz_obs::RING_CAPACITY);
+    if events.is_empty() {
+        return;
+    }
+    let mut text = String::new();
+    for e in &events {
+        text.push_str(&format!(
+            "{{\"span\":\"{}\",\"trace\":\"{:016x}\",\"start_us\":{},\"dur_us\":{},\
+             \"thread\":{},\"depth\":{}}}\n",
+            e.name, e.trace_id, e.start_us, e.dur_us, e.thread, e.depth,
+        ));
+    }
+    let _ = std::fs::write(trace_path(path), text);
+}
+
 /// Records salvaged from an existing journal, keyed by scenario index.
 pub type SalvagedRecords = Vec<(usize, SweepRecord)>;
 
@@ -212,6 +240,7 @@ impl Checkpoint {
 
     fn sync_and_publish(&mut self) {
         self.since_sync = 0;
+        dump_flight_recorder(&self.path);
         if self.journal.sync().is_err() {
             self.sync_failures += 1;
             return;
@@ -430,6 +459,27 @@ mod tests {
         let (second, s2) = run_sweep_checkpointed(&scenarios, &opts, &path, true, None).unwrap();
         assert_eq!(second, plain);
         assert_eq!((s2.resumed, s2.computed), (scenarios.len(), 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_sync_dumps_the_flight_recorder() {
+        let dir = tmp_dir("flightrec");
+        let path = dir.join("sweep.ckpt");
+        let scenarios = batch();
+        let opts = quick_opts();
+        run_sweep_checkpointed(&scenarios, &opts, &path, false, None).unwrap();
+        // Each scenario opened a "scenario" span, so the final sync
+        // had events to dump (unless another test disabled recording,
+        // which nothing in this crate does).
+        let text = std::fs::read_to_string(trace_path(&path)).expect("trace dump written");
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(
+                line.starts_with("{\"span\":\"") && line.ends_with('}'),
+                "malformed trace line: {line}"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -213,6 +213,40 @@ pub struct DiskFaults {
     injected: [AtomicU64; SITE_COUNT],
 }
 
+/// The `rvz_faults_injected_total{site=…}` counter for a disk site
+/// (one macro call site per label value so each handle caches
+/// independently).
+fn injected_metric(site: DiskFaultSite) -> &'static rvz_obs::Counter {
+    use rvz_obs::counter;
+    match site {
+        DiskFaultSite::ShortWrite => {
+            counter!("rvz_faults_injected_total", "site" => "short_write")
+        }
+        DiskFaultSite::TornRename => {
+            counter!("rvz_faults_injected_total", "site" => "torn_rename")
+        }
+        DiskFaultSite::ReadCorrupt => {
+            counter!("rvz_faults_injected_total", "site" => "read_corrupt")
+        }
+        DiskFaultSite::FsyncFail => {
+            counter!("rvz_faults_injected_total", "site" => "fsync_fail")
+        }
+    }
+}
+
+/// Touches the four disk-site `rvz_faults_injected_total` counters so
+/// a fresh `/metrics` scrape lists the family before any fault fires.
+pub fn preregister_fault_metrics() {
+    for site in [
+        DiskFaultSite::ShortWrite,
+        DiskFaultSite::TornRename,
+        DiskFaultSite::ReadCorrupt,
+        DiskFaultSite::FsyncFail,
+    ] {
+        let _ = injected_metric(site);
+    }
+}
+
 impl DiskFaults {
     /// Builds the runtime state for a plan.
     pub fn new(plan: DiskFaultPlan) -> DiskFaults {
@@ -247,6 +281,7 @@ impl DiskFaults {
         } else {
             self.injected[site as usize].fetch_add(1, Ordering::Relaxed);
         }
+        injected_metric(site).inc();
         true
     }
 
@@ -657,6 +692,24 @@ mod tests {
             let err = DiskFaultPlan::parse(spec).unwrap_err();
             assert!(err.contains(needle), "spec {spec:?} -> {err}");
         }
+    }
+
+    #[test]
+    fn injected_faults_bump_the_global_site_counter() {
+        // Process-global counter shared with concurrent tests: assert a
+        // lower bound on the delta, not an exact value.
+        let before = injected_metric(DiskFaultSite::TornRename).get();
+        let faults = DiskFaults::new(DiskFaultPlan {
+            seed: 7,
+            torn_rename: 1.0,
+            limit: 2,
+            ..DiskFaultPlan::default()
+        });
+        assert!(faults.fires(DiskFaultSite::TornRename));
+        assert!(faults.fires(DiskFaultSite::TornRename));
+        assert!(!faults.fires(DiskFaultSite::TornRename), "limit spent");
+        assert!(injected_metric(DiskFaultSite::TornRename).get() >= before + 2);
+        assert_eq!(faults.injected(DiskFaultSite::TornRename), 2);
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub struct SweepOptions {
     /// reference cannot cover the horizon — deep schedules hold Θ(4ᵏ)
     /// segments per round — the whole batch stays on the cursor path.
     pub compile_pieces: usize,
+    /// Emit a stderr progress line about once a second while the sweep
+    /// runs (`rvz sweep --heartbeat`). Observation-only: the line goes
+    /// to stderr, never into the artifact, and the field is excluded
+    /// from the checkpoint fingerprint.
+    pub heartbeat: bool,
 }
 
 impl Default for SweepOptions {
@@ -77,6 +82,7 @@ impl Default for SweepOptions {
                 ..ContactOptions::default()
             },
             compile_pieces: 32_768,
+            heartbeat: false,
         }
     }
 }
@@ -224,7 +230,13 @@ impl WorkerState {
 
 /// Runs one scenario: the compiled fast path when it applies, the
 /// monotone-cursor path otherwise.
+///
+/// Each scenario is one `"scenario"` span in the flight recorder and
+/// one sample in the `rvz_sweep_scenario_us` histogram — the per-worker
+/// cost profile `/metrics` and the checkpoint trace dump read.
 fn run_one(scenario: &Scenario, opts: &ContactOptions, state: &mut WorkerState) -> SweepRecord {
+    rvz_obs::span!("scenario");
+    let started = std::time::Instant::now();
     let instance = scenario
         .instance()
         .expect("generators only produce valid scenarios");
@@ -236,10 +248,54 @@ fn run_one(scenario: &Scenario, opts: &ContactOptions, state: &mut WorkerState) 
                 simulate_rendezvous_by_ref(&UniversalSearch, &instance, opts)
             }
         });
+    rvz_obs::histogram!("rvz_sweep_scenario_us").observe(started.elapsed().as_micros() as u64);
     SweepRecord {
         scenario: *scenario,
         feasibility: feasibility(instance.attributes()),
         outcome,
+    }
+}
+
+/// Stderr progress heartbeat: one line roughly per second, plus a final
+/// line when the batch completes. Never touches stdout or the records.
+struct Heartbeat {
+    enabled: bool,
+    total: usize,
+    done: usize,
+    started: std::time::Instant,
+    last: std::time::Instant,
+}
+
+impl Heartbeat {
+    fn new(total: usize, enabled: bool) -> Heartbeat {
+        let now = std::time::Instant::now();
+        Heartbeat {
+            enabled,
+            total,
+            done: 0,
+            started: now,
+            last: now,
+        }
+    }
+
+    fn tick(&mut self) {
+        self.done += 1;
+        if !self.enabled {
+            return;
+        }
+        let finished = self.done == self.total;
+        if !finished && self.last.elapsed() < std::time::Duration::from_secs(1) {
+            return;
+        }
+        self.last = std::time::Instant::now();
+        let secs = self.started.elapsed().as_secs_f64();
+        eprintln!(
+            "rvz-sweep: {}/{} scenarios ({:.1}/s, {:.1}s elapsed)",
+            self.done,
+            self.total,
+            self.done as f64 / secs.max(1e-9),
+            secs,
+        );
     }
 }
 
@@ -289,6 +345,7 @@ pub fn run_sweep_with(
     mut on_record: impl FnMut(usize, &SweepRecord),
 ) -> Vec<SweepRecord> {
     let threads = opts.effective_threads().min(scenarios.len()).max(1);
+    let mut heartbeat = Heartbeat::new(scenarios.len(), opts.heartbeat);
     if threads == 1 {
         let mut state = WorkerState::new(opts);
         return scenarios
@@ -296,6 +353,7 @@ pub fn run_sweep_with(
             .enumerate()
             .map(|(i, s)| {
                 let record = run_one(s, &opts.contact, &mut state);
+                heartbeat.tick();
                 on_record(i, &record);
                 record
             })
@@ -329,6 +387,7 @@ pub fn run_sweep_with(
         // The receive loop ends when every worker has dropped its
         // sender; a panicked worker surfaces at the joins below.
         for (i, record) in rx {
+            heartbeat.tick();
             on_record(i, &record);
             out[i] = Some(record);
         }

@@ -1,0 +1,101 @@
+//! Hand-rolled Prometheus text exposition (format version 0.0.4).
+//!
+//! The output is deterministic: entries render sorted by name, then by
+//! label set, with one `# TYPE` line per family. Histograms emit
+//! cumulative `_bucket{le="…"}` series over the non-empty buckets plus
+//! the mandatory `le="+Inf"`, then `_sum` and `_count`. Values are
+//! integers (our metrics count events and microseconds), so no float
+//! formatting ambiguity exists.
+
+use crate::metrics::{bucket_upper_bound, registry, Metric};
+use std::fmt::Write as _;
+
+/// Renders one `name{labels}` prefix; `extra` appends a final label
+/// (used for the histogram `le`).
+fn series(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &[(&str, &str)],
+    extra: Option<(&str, &str)>,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    let total = labels.len() + usize::from(extra.is_some());
+    if total > 0 {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels.iter().copied().chain(extra) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            // Label values in our metrics are static identifiers; escape
+            // anyway so the output is valid for any registered value.
+            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = write!(out, "{k}=\"{escaped}\"");
+        }
+        out.push('}');
+    }
+    out.push(' ');
+}
+
+/// Renders the whole registry as Prometheus text exposition v0.0.4.
+pub fn render() -> String {
+    let entries = registry()
+        .entries
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by(|&a, &b| {
+        entries[a]
+            .name
+            .cmp(entries[b].name)
+            .then_with(|| entries[a].labels.cmp(&entries[b].labels))
+    });
+
+    let mut out = String::new();
+    let mut last_name = "";
+    for i in order {
+        let e = &entries[i];
+        if e.name != last_name {
+            let kind = match &e.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {kind}", e.name);
+            last_name = e.name;
+        }
+        match &e.metric {
+            Metric::Counter(c) => {
+                series(&mut out, e.name, "", &e.labels, None);
+                let _ = writeln!(out, "{}", c.get());
+            }
+            Metric::Gauge(g) => {
+                series(&mut out, e.name, "", &e.labels, None);
+                let _ = writeln!(out, "{}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let snap = h.snapshot();
+                let mut cumulative = 0u64;
+                for (i, &c) in snap.buckets.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    cumulative += c;
+                    let le = bucket_upper_bound(i).to_string();
+                    series(&mut out, e.name, "_bucket", &e.labels, Some(("le", &le)));
+                    let _ = writeln!(out, "{cumulative}");
+                }
+                series(&mut out, e.name, "_bucket", &e.labels, Some(("le", "+Inf")));
+                let _ = writeln!(out, "{}", snap.count);
+                series(&mut out, e.name, "_sum", &e.labels, None);
+                let _ = writeln!(out, "{}", snap.sum);
+                series(&mut out, e.name, "_count", &e.labels, None);
+                let _ = writeln!(out, "{}", snap.count);
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,126 @@
+//! # rvz-obs
+//!
+//! Zero-dependency observability core for the plane-rendezvous stack:
+//!
+//! * [`metrics`] — lock-free [`Counter`]s (cache-line-sharded),
+//!   [`Gauge`]s and fixed-bucket log-linear [`Histogram`]s in a global
+//!   [`Registry`]; handles are `&'static` and the [`counter!`],
+//!   [`gauge!`] and [`histogram!`] macros cache them per call site, so
+//!   steady-state recording is a few relaxed atomics and **zero
+//!   allocations** (the engine's allocation gate runs with recording
+//!   live).
+//! * [`span`](mod@span) — `span!("lower")` opens a scope guard whose drop records
+//!   the duration, with a thread-local nesting stack and a per-thread
+//!   trace id for request correlation.
+//! * [`recorder`] — a bounded in-memory ring ("flight recorder") of the
+//!   most recent [`TraceEvent`]s, served by `GET /trace/recent` and
+//!   dumped beside sweep checkpoints.
+//! * [`expo`] — hand-rolled Prometheus text exposition v0.0.4 behind
+//!   `GET /metrics`.
+//!
+//! The whole crate honors one process-wide kill switch
+//! ([`set_enabled`]`(false)`, wired to `--no-metrics`): recording
+//! becomes a single relaxed load and the observed program's outputs are
+//! byte-identical either way — recording is observation-only by
+//! construction (no metric value ever feeds back into control flow).
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod expo;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use expo::render;
+pub use metrics::{
+    bucket_index, bucket_upper_bound, enabled, registry, set_enabled, Counter, Gauge, Histogram,
+    HistogramSnapshot, Registry, BUCKETS,
+};
+pub use recorder::{recent, TraceEvent, RING_CAPACITY};
+pub use span::{enter, now_us, set_trace_id, thread_ord, trace_id, SpanGuard, MAX_DEPTH};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The kill-switch test flips process-global state; serialize every
+    /// test in this module against it.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn counter_macro_caches_one_handle() {
+        let _guard = serial();
+        let a = counter!("obs_unit_test_total");
+        a.inc();
+        let b = counter!("obs_unit_test_total");
+        assert!(std::ptr::eq(a, b));
+        assert!(a.get() >= 1);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct() {
+        let _guard = serial();
+        let a = registry().counter("obs_unit_labeled_total", &[("site", "a")]);
+        let b = registry().counter("obs_unit_labeled_total", &[("site", "b")]);
+        assert!(!std::ptr::eq(a, b));
+        a.add(3);
+        b.add(5);
+        assert!(a.get() >= 3 && b.get() >= 5);
+    }
+
+    #[test]
+    fn spans_record_into_the_ring() {
+        let _guard = serial();
+        set_trace_id(0xfeed);
+        {
+            span!("obs_unit_outer");
+            span!("obs_unit_inner");
+        }
+        set_trace_id(0);
+        let events = recent(RING_CAPACITY);
+        let inner = events
+            .iter()
+            .find(|e| e.name == "obs_unit_inner")
+            .expect("inner span recorded");
+        assert_eq!(inner.trace_id, 0xfeed);
+        assert_eq!(inner.depth, 1);
+        assert!(events.iter().any(|e| e.name == "obs_unit_outer"));
+    }
+
+    #[test]
+    fn kill_switch_stops_recording() {
+        let _guard = serial();
+        let c = counter!("obs_unit_kill_total");
+        set_enabled(false);
+        c.inc();
+        {
+            span!("obs_unit_killed_span");
+        }
+        set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert!(!recent(RING_CAPACITY)
+            .iter()
+            .any(|e| e.name == "obs_unit_killed_span"));
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn render_emits_type_lines_and_values() {
+        let _guard = serial();
+        counter!("obs_unit_render_total").add(7);
+        registry().gauge("obs_unit_render_gauge", &[]).set(-3);
+        histogram!("obs_unit_render_us").observe(100);
+        let text = render();
+        assert!(text.contains("# TYPE obs_unit_render_total counter"));
+        assert!(text.contains("# TYPE obs_unit_render_gauge gauge"));
+        assert!(text.contains("obs_unit_render_gauge -3"));
+        assert!(text.contains("# TYPE obs_unit_render_us histogram"));
+        assert!(text.contains("obs_unit_render_us_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("obs_unit_render_us_count"));
+    }
+}

@@ -1,0 +1,114 @@
+//! The span API: `span!("lower")` opens a guard whose drop records the
+//! span's duration into the flight recorder ring.
+//!
+//! Spans nest through a thread-local stack of fixed depth — entering a
+//! span pushes its name, dropping pops it — so every recorded event
+//! carries its nesting depth and threads never contend. The stack is a
+//! fixed array (no allocation); spans deeper than [`MAX_DEPTH`] are
+//! still timed but recorded at the capped depth.
+//!
+//! Each thread also carries a *trace id* (set per request by the
+//! server, zero elsewhere) that is stamped onto every event the thread
+//! records, correlating engine spans with the `X-Rvz-Trace` response
+//! header and the slow-query log.
+
+use crate::metrics::enabled;
+use crate::recorder::{self, TraceEvent};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Maximum tracked span nesting per thread.
+pub const MAX_DEPTH: usize = 16;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    static TRACE_ID: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ORD: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+/// Microseconds since the process-wide observation epoch (first use).
+pub fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// A small dense id for the calling thread (assignment order).
+pub fn thread_ord() -> u32 {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    THREAD_ORD.with(|t| {
+        if t.get() == u32::MAX {
+            t.set(NEXT.fetch_add(1, Ordering::Relaxed) as u32);
+        }
+        t.get()
+    })
+}
+
+/// Stamps the calling thread's trace id (0 clears it). Events recorded
+/// by this thread carry the id until it is reset.
+pub fn set_trace_id(id: u64) {
+    TRACE_ID.with(|t| t.set(id));
+}
+
+/// The calling thread's current trace id (0 when none).
+pub fn trace_id() -> u64 {
+    TRACE_ID.with(|t| t.get())
+}
+
+/// An open span; dropping it records the duration. Construct through
+/// [`enter`] or the [`span!`](crate::span!) macro.
+pub struct SpanGuard {
+    name: &'static str,
+    start_us: u64,
+    /// `false` when recording was disabled at entry: the drop is free.
+    active: bool,
+}
+
+/// Opens a span named `name`; the returned guard records a
+/// [`TraceEvent`] when dropped.
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            name,
+            start_us: 0,
+            active: false,
+        };
+    }
+    DEPTH.with(|d| d.set(d.get().saturating_add(1).min(MAX_DEPTH)));
+    SpanGuard {
+        name,
+        start_us: now_us(),
+        active: true,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let depth = DEPTH.with(|d| {
+            let depth = d.get().saturating_sub(1);
+            d.set(depth);
+            depth
+        });
+        recorder::push(TraceEvent {
+            name: self.name,
+            trace_id: trace_id(),
+            start_us: self.start_us,
+            dur_us: now_us().saturating_sub(self.start_us),
+            thread: thread_ord(),
+            depth: depth as u8,
+        });
+    }
+}
+
+/// Opens a span for the rest of the enclosing scope:
+/// `span!("lower");` — the guard drops (and records) at scope exit.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _obs_span_guard = $crate::span::enter($name);
+    };
+}

@@ -1,0 +1,277 @@
+//! Property tests for the metrics core: histogram bucket boundaries,
+//! merge associativity, concurrent counter reconciliation, and
+//! line-by-line validity of the Prometheus exposition output.
+//!
+//! The workspace vendors no property-testing crate, so the tests drive
+//! a seeded SplitMix64 generator over wide value ranges instead — the
+//! failures (if any) reproduce exactly.
+
+use rvz_obs::{
+    bucket_index, bucket_upper_bound, counter, histogram, registry, render, HistogramSnapshot,
+    BUCKETS,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// SplitMix64: the workspace's standard seeded generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn bucket_boundaries_cover_u64_exactly() {
+    // Bucket upper bounds are strictly increasing and end at u64::MAX.
+    for i in 1..BUCKETS {
+        assert!(
+            bucket_upper_bound(i - 1) < bucket_upper_bound(i),
+            "bounds not increasing at {i}"
+        );
+    }
+    assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+
+    // Every value lands in the unique bucket whose bound brackets it.
+    let check = |v: u64| {
+        let i = bucket_index(v);
+        assert!(
+            v <= bucket_upper_bound(i),
+            "{v} above its bucket bound {}",
+            bucket_upper_bound(i)
+        );
+        if i > 0 {
+            assert!(
+                v > bucket_upper_bound(i - 1),
+                "{v} at or below the previous bound {}",
+                bucket_upper_bound(i - 1)
+            );
+        }
+        // Relative bucketing error is bounded at 25%.
+        if v >= 4 {
+            let bound = bucket_upper_bound(i) as f64;
+            assert!(
+                bound <= 1.25 * v as f64 + 1.0,
+                "bucket bound {bound} overshoots {v} by more than 25%"
+            );
+        }
+    };
+    // Exhaustive over the small range, seeded-random over the rest.
+    for v in 0..65_536u64 {
+        check(v);
+    }
+    let mut state = 0x0b5e_55ed_c0ff_ee00u64;
+    for _ in 0..200_000 {
+        check(splitmix64(&mut state));
+    }
+    // Exact powers of two and their neighbors at every octave.
+    for o in 2..64 {
+        let p = 1u64 << o;
+        for v in [p - 1, p, p + 1, p + (p >> 2), p + (p >> 1)] {
+            check(v);
+        }
+    }
+    check(u64::MAX);
+}
+
+#[test]
+fn bucket_index_is_monotone() {
+    let mut state = 0x5eed_5eed_5eed_5eedu64;
+    for _ in 0..100_000 {
+        let a = splitmix64(&mut state);
+        let b = splitmix64(&mut state);
+        let (lo, hi) = (a.min(b), a.max(b));
+        assert!(
+            bucket_index(lo) <= bucket_index(hi),
+            "bucket_index not monotone: {lo} -> {}, {hi} -> {}",
+            bucket_index(lo),
+            bucket_index(hi)
+        );
+    }
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let sample = |seed: u64, n: usize| {
+        let mut state = seed;
+        HistogramSnapshot::from_values((0..n).map(|_| splitmix64(&mut state) >> 32))
+    };
+    for seed in 0..32u64 {
+        let a = sample(seed * 3 + 1, 257);
+        let b = sample(seed * 3 + 2, 129);
+        let c = sample(seed * 3 + 3, 511);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge not associative at seed {seed}");
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge not commutative at seed {seed}");
+
+        // The merge preserved every observation.
+        assert_eq!(left.count, a.count + b.count + c.count);
+        assert_eq!(left.buckets.iter().sum::<u64>(), left.count);
+    }
+}
+
+#[test]
+fn percentiles_bracket_the_true_order_statistics() {
+    let mut state = 0xdead_beef_dead_beefu64;
+    let mut values: Vec<u64> = (0..10_000).map(|_| splitmix64(&mut state) >> 20).collect();
+    let snap = HistogramSnapshot::from_values(values.iter().copied());
+    values.sort_unstable();
+    for p in [50.0, 90.0, 99.0, 100.0] {
+        let est = snap.percentile(p).expect("non-empty");
+        let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize - 1;
+        let truth = values[rank];
+        // The estimate is the bucket's upper bound: at least the true
+        // order statistic, and within the 25% bucketing error above it.
+        assert!(est >= truth, "p{p}: estimate {est} below true {truth}");
+        assert!(
+            est as f64 <= 1.25 * truth as f64 + 4.0,
+            "p{p}: estimate {est} overshoots true {truth}"
+        );
+    }
+    assert_eq!(HistogramSnapshot::default().percentile(50.0), None);
+}
+
+#[test]
+fn concurrent_counters_reconcile_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let c = counter!("obs_prop_concurrent_total");
+    let h = histogram!("obs_prop_concurrent_us");
+    let observed_sum = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let observed_sum = &observed_sum;
+            scope.spawn(move || {
+                let mut state = t as u64 + 1;
+                let mut local_sum = 0u64;
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                    let v = splitmix64(&mut state) % 1_000_000;
+                    h.observe(v);
+                    local_sum += v;
+                }
+                observed_sum.fetch_add(local_sum, Ordering::Relaxed);
+            });
+        }
+    });
+    // Every increment from every thread is visible after the join:
+    // sharding must lose nothing.
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(snap.sum, observed_sum.into_inner());
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+}
+
+/// A line-by-line validator for the subset of Prometheus text
+/// exposition v0.0.4 we emit: `# TYPE name kind` comments and
+/// `name{labels} value` samples.
+fn validate_exposition(text: &str) {
+    let ident = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !s.starts_with(|c: char| c.is_ascii_digit())
+    };
+    let mut typed: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        assert!(!line.is_empty(), "line {ln}: empty line");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("TYPE has a name");
+            let kind = parts.next().expect("TYPE has a kind");
+            assert!(parts.next().is_none(), "line {ln}: trailing TYPE tokens");
+            assert!(ident(name), "line {ln}: bad family name {name:?}");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "line {ln}: bad kind {kind:?}"
+            );
+            assert!(
+                typed.insert(name, kind).is_none(),
+                "line {ln}: duplicate TYPE for {name}"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "line {ln}: unexpected comment");
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest.strip_suffix('}').expect("balanced label braces");
+                (name, Some(labels))
+            }
+            None => (series, None),
+        };
+        assert!(ident(name), "line {ln}: bad metric name {name:?}");
+        if let Some(labels) = labels {
+            for pair in labels.split(',') {
+                let (k, v) = pair.split_once('=').expect("label is k=v");
+                assert!(ident(k), "line {ln}: bad label name {k:?}");
+                assert!(
+                    v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                    "line {ln}: unquoted label value {v:?}"
+                );
+            }
+        }
+        // Our values are integers (counts and microseconds).
+        assert!(
+            value.parse::<i64>().is_ok(),
+            "line {ln}: non-numeric value {value:?}"
+        );
+        // Every sample belongs to a declared family (histograms via
+        // their _bucket/_sum/_count suffixes).
+        let family_declared = typed.contains_key(name)
+            || [("_bucket"), ("_sum"), ("_count")].iter().any(|s| {
+                name.strip_suffix(s)
+                    .is_some_and(|base| typed.get(base) == Some(&"histogram"))
+            });
+        assert!(family_declared, "line {ln}: sample {name} has no TYPE");
+    }
+}
+
+#[test]
+fn exposition_output_is_valid_line_by_line() {
+    counter!("obs_prop_expo_total").add(42);
+    registry()
+        .counter("obs_prop_expo_labeled_total", &[("site", "short_write")])
+        .add(3);
+    registry().gauge("obs_prop_expo_inflight", &[]).set(7);
+    let h = histogram!("obs_prop_expo_latency_us");
+    for v in [0, 1, 5, 100, 10_000, 1_000_000] {
+        h.observe(v);
+    }
+    let text = render();
+    assert!(text.contains("obs_prop_expo_total 42"));
+    assert!(text.contains("obs_prop_expo_labeled_total{site=\"short_write\"} 3"));
+    assert!(text.contains("obs_prop_expo_latency_us_count 6"));
+    validate_exposition(&text);
+
+    // Histogram buckets are cumulative and end at count.
+    let mut last = 0u64;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("obs_prop_expo_latency_us_bucket{le=\"") {
+            let value: u64 = rest
+                .rsplit_once(' ')
+                .expect("bucket value")
+                .1
+                .parse()
+                .expect("numeric bucket");
+            assert!(value >= last, "buckets not cumulative");
+            last = value;
+        }
+    }
+    assert_eq!(last, 6, "+Inf bucket equals count");
+}

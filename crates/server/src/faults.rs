@@ -204,6 +204,43 @@ impl FaultPlan {
     }
 }
 
+/// The `rvz_faults_injected_total{site=…}` counter for an in-process
+/// site (one macro call site per label value so each handle caches
+/// independently; the disk sites count themselves inside
+/// [`rvz_experiments::durable`]).
+fn injected_metric(site: FaultSite) -> &'static rvz_obs::Counter {
+    use rvz_obs::counter;
+    match site {
+        FaultSite::WorkerPanic => {
+            counter!("rvz_faults_injected_total", "site" => "worker_panic")
+        }
+        FaultSite::HandlerPanic => {
+            counter!("rvz_faults_injected_total", "site" => "handler_panic")
+        }
+        FaultSite::CacheFail => counter!("rvz_faults_injected_total", "site" => "cache_fail"),
+        FaultSite::ConnReset => counter!("rvz_faults_injected_total", "site" => "conn_reset"),
+        FaultSite::EngineDelay => {
+            counter!("rvz_faults_injected_total", "site" => "engine_delay")
+        }
+    }
+}
+
+/// Touches all nine `rvz_faults_injected_total{site=…}` counters (five
+/// in-process, four disk) so a fresh `/metrics` scrape lists the family
+/// before any fault fires.
+pub(crate) fn preregister_injected_metrics() {
+    for site in [
+        FaultSite::WorkerPanic,
+        FaultSite::HandlerPanic,
+        FaultSite::CacheFail,
+        FaultSite::ConnReset,
+        FaultSite::EngineDelay,
+    ] {
+        let _ = injected_metric(site);
+    }
+    rvz_experiments::durable::preregister_fault_metrics();
+}
+
 /// Runtime fault state: the plan plus per-site decision/injection
 /// counters (shared across the worker pool via `Arc`).
 pub struct FaultState {
@@ -261,6 +298,7 @@ impl FaultState {
         } else {
             self.injected[site as usize].fetch_add(1, Ordering::Relaxed);
         }
+        injected_metric(site).inc();
         true
     }
 

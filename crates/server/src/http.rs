@@ -247,8 +247,11 @@ fn percent_decode(s: &str) -> String {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// The body (always JSON in this service).
+    /// The body (JSON everywhere except the `/metrics` exposition).
     pub body: String,
+    /// The `Content-Type` value (JSON unless built via
+    /// [`Response::ok_text`]).
+    pub content_type: &'static str,
     /// Extra `name: value` headers (e.g. the cache marker).
     pub extra_headers: Vec<(String, String)>,
     /// Whether to advertise `Connection: close`.
@@ -261,8 +264,18 @@ impl Response {
         Response {
             status: 200,
             body,
+            content_type: "application/json",
             extra_headers: Vec::new(),
             close: false,
+        }
+    }
+
+    /// A 200 response with a plain-text body under an explicit content
+    /// type (the Prometheus exposition on `/metrics`).
+    pub fn ok_text(body: String, content_type: &'static str) -> Response {
+        Response {
+            content_type,
+            ..Response::ok(body)
         }
     }
 
@@ -276,6 +289,7 @@ impl Response {
         Response {
             status,
             body,
+            content_type: "application/json",
             extra_headers: Vec::new(),
             close: false,
         }
@@ -288,8 +302,8 @@ impl Response {
         self
     }
 
-    /// Serializes the response onto the stream (status line, fixed
-    /// `Content-Type: application/json`, `Content-Length`, extras).
+    /// Serializes the response onto the stream (status line,
+    /// `Content-Type`, `Content-Length`, extras).
     ///
     /// # Errors
     ///
@@ -307,9 +321,10 @@ impl Response {
         };
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             reason,
+            self.content_type,
             self.body.len()
         )?;
         for (name, value) in &self.extra_headers {

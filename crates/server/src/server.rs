@@ -176,6 +176,9 @@ pub fn spawn_with(
     let shutdown = Arc::new(AtomicBool::new(false));
     let shed = Arc::new(AtomicU64::new(0));
     let queued = Arc::new(AtomicUsize::new(0));
+    // Let `/stats` and `/metrics` read the accept-queue depth and the
+    // queue-shed count without plumbing the handle into the service.
+    service.attach_server_gauges(Arc::clone(&queued), Arc::clone(&shed));
     let workers = opts.workers.max(1);
     let queue_depth = opts.queue_depth.max(1);
     let faults = opts
@@ -244,6 +247,7 @@ pub fn spawn_with(
                         if queued.fetch_add(1, Ordering::SeqCst) >= queue_depth {
                             queued.fetch_sub(1, Ordering::SeqCst);
                             shed.fetch_add(1, Ordering::Relaxed);
+                            rvz_obs::counter!("rvz_shed_total", "cause" => "queue").inc();
                             shed_connection(stream);
                             continue;
                         }

@@ -99,6 +99,17 @@ pub struct ServiceOptions {
     /// Deterministic fault injection (tests/CI only; `None` in
     /// production costs one null check per site).
     pub faults: Option<FaultPlan>,
+    /// Disables the observability surface: `/metrics` and
+    /// `/trace/recent` answer 404 exactly like unknown endpoints, and
+    /// service-level counters stop recording. Response bodies and every
+    /// other header are byte-identical either way (`X-Rvz-Trace` is
+    /// always attached — its sequence is deterministic, not sampled).
+    pub no_metrics: bool,
+    /// Structured slow-query log threshold: requests whose total
+    /// handling time reaches this many milliseconds emit one JSONL line
+    /// on stderr (trace ID, endpoint, status, canonical orbit digest,
+    /// engine path/steps, cache outcome). `None` disables the log.
+    pub slow_log_ms: Option<u64>,
 }
 
 impl Default for ServiceOptions {
@@ -112,6 +123,8 @@ impl Default for ServiceOptions {
             deadline: None,
             max_inflight: 0,
             faults: None,
+            no_metrics: false,
+            slow_log_ms: None,
         }
     }
 }
@@ -149,6 +162,20 @@ pub struct Service {
     inflight: AtomicUsize,
     /// Requests shed by the in-flight limit (503s).
     shed: AtomicU64,
+    /// Requests whose engine work hit the wall-clock deadline.
+    deadline_outcomes: AtomicU64,
+    /// When this service was constructed (`/stats` uptime).
+    start: Instant,
+    /// Deterministic trace-ID sequence for requests that arrive without
+    /// an `X-Rvz-Trace` header. A counter, not a clock or RNG, so two
+    /// services fed the same request sequence emit identical headers —
+    /// the wire byte-identity the `--no-metrics` gate is tested against.
+    trace_seq: AtomicU64,
+    /// The accept loop's live queue depth, attached by the server at
+    /// spawn (absent for a bare in-process service).
+    server_queued: OnceLock<Arc<AtomicUsize>>,
+    /// Connections shed at the accept queue, attached alongside.
+    server_shed: OnceLock<Arc<AtomicU64>>,
     /// Fault-injection state, built from `opts.faults` (`None` off).
     faults: Option<Arc<FaultState>>,
     /// Durability observability (restore outcome, snapshot-write
@@ -185,6 +212,7 @@ impl Service {
             .faults
             .filter(|p| p.is_active())
             .map(|p| Arc::new(FaultState::new(p)));
+        preregister_metrics();
         Service {
             cache: ResultCache::new(opts.cache_capacity, opts.cache_shards),
             programs: ResultCache::new(opts.cache_capacity, opts.cache_shards),
@@ -195,9 +223,22 @@ impl Service {
             requests: AtomicU64::new(0),
             inflight: AtomicUsize::new(0),
             shed: AtomicU64::new(0),
+            deadline_outcomes: AtomicU64::new(0),
+            start: Instant::now(),
+            trace_seq: AtomicU64::new(1),
+            server_queued: OnceLock::new(),
+            server_shed: OnceLock::new(),
             faults,
             durability: Mutex::new(Durability::default()),
         }
+    }
+
+    /// Attaches the accept loop's live queue-depth and shed counters so
+    /// `/stats` and `/metrics` can report them. Idempotent — the first
+    /// attachment wins (one service, one server).
+    pub fn attach_server_gauges(&self, queued: Arc<AtomicUsize>, shed: Arc<AtomicU64>) {
+        let _ = self.server_queued.set(queued);
+        let _ = self.server_shed.set(shed);
     }
 
     /// The engine-configuration digest pinning this service's cached
@@ -307,21 +348,69 @@ impl Service {
         self.reference_lowerings.load(Ordering::Relaxed)
     }
 
-    /// Dispatches one request.
+    /// Handles one request: trace-ID stamping, dispatch, then request
+    /// metrics and the slow-query log.
+    ///
+    /// Every response carries an `X-Rvz-Trace` header — echoed from the
+    /// client's `X-Rvz-Trace` when it parses as 16 hex digits, drawn
+    /// from a deterministic per-service sequence otherwise — so the
+    /// wire bytes do not depend on whether metrics are enabled.
     ///
     /// May panic under injected faults ([`FaultSite::HandlerPanic`]);
     /// the connection loop isolates that panic to a `500` for this
     /// request.
     pub fn handle(&self, req: &Request) -> (Response, Control) {
+        let started = Instant::now();
+        let trace = self.trace_id_for(req);
+        rvz_obs::set_trace_id(trace);
+        rvz_sim::telemetry::clear_last();
+        LAST_ORBIT.with(|o| o.set(None));
+        rvz_obs::span!("request");
+        let (response, control) = self.dispatch(req);
+        let response = response.header("X-Rvz-Trace", &format!("{trace:016x}"));
+        let elapsed = started.elapsed();
+        if !self.opts.no_metrics {
+            record_request_metrics(&response, elapsed);
+        }
+        if let Some(limit) = self.opts.slow_log_ms {
+            if elapsed.as_millis() as u64 >= limit {
+                slow_log(req, &response, trace, elapsed);
+            }
+        }
+        (response, control)
+    }
+
+    /// The trace ID for one request: the client's (16 hex digits)
+    /// echoed, or the next value of the deterministic sequence.
+    fn trace_id_for(&self, req: &Request) -> u64 {
+        if let Some(raw) = req.headers.get("x-rvz-trace") {
+            if raw.trim().len() == 16 {
+                if let Ok(n) = u64::from_str_radix(raw.trim(), 16) {
+                    return n;
+                }
+            }
+        }
+        self.trace_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Endpoint dispatch (the body of [`Service::handle`] minus the
+    /// per-request observability wrapper).
+    fn dispatch(&self, req: &Request) -> (Response, Control) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if let Some(f) = &self.faults {
             if f.fires(FaultSite::HandlerPanic) {
                 panic!("injected fault: request handler panic");
             }
         }
+        let metrics_on = !self.opts.no_metrics;
         let response = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Response::ok(Json::obj(vec![("ok", Json::Bool(true))]).render()),
             ("GET", "/stats") => self.stats_response(),
+            ("GET", "/metrics") if metrics_on => self.metrics_response(),
+            ("GET", "/trace/recent") if metrics_on => trace_recent_response(req),
+            (_, "/metrics" | "/trace/recent") if metrics_on => {
+                Response::error(405, "method not allowed for this endpoint")
+            }
             ("GET", "/feasibility") => self.feasibility_from_query(req),
             ("POST", "/feasibility") => self.feasibility_from_body(req),
             ("POST", "/first-contact") => self.with_admission(|| self.first_contact(req)),
@@ -340,6 +429,9 @@ impl Service {
                 _,
                 "/healthz" | "/stats" | "/feasibility" | "/first-contact" | "/sweep" | "/shutdown",
             ) => Response::error(405, "method not allowed for this endpoint"),
+            // Includes /metrics and /trace/recent under --no-metrics:
+            // the observability surface disappears indistinguishably
+            // from an endpoint that never existed.
             _ => Response::error(404, "no such endpoint"),
         };
         (response, Control::Continue)
@@ -357,6 +449,9 @@ impl Service {
         if self.inflight.fetch_add(1, Ordering::SeqCst) >= max {
             self.inflight.fetch_sub(1, Ordering::SeqCst);
             self.shed.fetch_add(1, Ordering::Relaxed);
+            if !self.opts.no_metrics {
+                rvz_obs::counter!("rvz_shed_total", "cause" => "max_inflight").inc();
+            }
             return Response::error(503, "server overloaded: engine in-flight limit reached")
                 .header("Retry-After", "1");
         }
@@ -391,6 +486,17 @@ impl Service {
             (
                 "requests",
                 Json::Num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            ("uptime_s", Json::Num(self.start.elapsed().as_secs_f64())),
+            (
+                "build",
+                Json::obj(vec![
+                    ("version", Json::Str(env!("CARGO_PKG_VERSION").to_string())),
+                    (
+                        "engine_fingerprint",
+                        Json::Str(format!("{:016x}", self.engine_fingerprint())),
+                    ),
+                ]),
             ),
             (
                 "cache",
@@ -429,6 +535,32 @@ impl Service {
                     ),
                     ("shed", Json::Num(self.shed_requests() as f64)),
                     (
+                        "queue_depth",
+                        Json::Num(
+                            self.server_queued
+                                .get()
+                                .map_or(-1.0, |q| q.load(Ordering::Relaxed) as f64),
+                        ),
+                    ),
+                    (
+                        "shed_by_cause",
+                        Json::obj(vec![
+                            (
+                                "queue",
+                                Json::Num(
+                                    self.server_shed
+                                        .get()
+                                        .map_or(0.0, |s| s.load(Ordering::Relaxed) as f64),
+                                ),
+                            ),
+                            ("max_inflight", Json::Num(self.shed_requests() as f64)),
+                            (
+                                "deadline",
+                                Json::Num(self.deadline_outcomes.load(Ordering::Relaxed) as f64),
+                            ),
+                        ]),
+                    ),
+                    (
                         "deadline_ms",
                         Json::Num(self.opts.deadline.map_or(0.0, |d| d.as_secs_f64() * 1e3)),
                     ),
@@ -438,6 +570,29 @@ impl Service {
         ])
         .render();
         Response::ok(body)
+    }
+
+    /// `GET /metrics`: the full registry as Prometheus text exposition
+    /// (format v0.0.4). Point-in-time gauges — uptime, in-flight and
+    /// queue depth, cache sizes — are written at scrape time; counters
+    /// and histograms accumulate as requests flow.
+    fn metrics_response(&self) -> Response {
+        use rvz_obs::gauge;
+        gauge!("rvz_uptime_seconds").set(self.start.elapsed().as_secs() as i64);
+        gauge!("rvz_inflight").set(self.inflight.load(Ordering::SeqCst) as i64);
+        gauge!("rvz_cache_entries").set(self.cache.stats().entries as i64);
+        gauge!("rvz_program_cache_entries").set(self.programs.stats().entries as i64);
+        gauge!("rvz_queue_depth").set(
+            self.server_queued
+                .get()
+                .map_or(0, |q| q.load(Ordering::Relaxed)) as i64,
+        );
+        gauge!("rvz_shed_connections").set(
+            self.server_shed
+                .get()
+                .map_or(0, |s| s.load(Ordering::Relaxed)) as i64,
+        );
+        Response::ok_text(rvz_obs::render(), "text/plain; version=0.0.4")
     }
 
     /// The `/stats` → `durability` object: whether snapshots are in
@@ -589,7 +744,26 @@ impl Service {
             feasibility: feasibility(&scenario.attributes()),
             outcome: canonical.transform.apply(outcome),
         };
+        LAST_ORBIT.with(|o| o.set(Some(orbit_digest(&canonical.key))));
+        if matches!(record.outcome, SimOutcome::Deadline { .. }) {
+            self.count_deadlines(1);
+        }
+        if !self.opts.no_metrics {
+            cache_counter(self.opts.no_cache, hit).inc();
+        }
         (record, canonical, hit)
+    }
+
+    /// Counts wall-clock deadline outcomes (the third shed cause in
+    /// `/stats` → `admission.shed_by_cause`).
+    fn count_deadlines(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.deadline_outcomes.fetch_add(n, Ordering::Relaxed);
+        if !self.opts.no_metrics {
+            rvz_obs::counter!("rvz_shed_total", "cause" => "deadline").add(n);
+        }
     }
 
     fn simulate(&self, canonical: &Scenario, contact: &ContactOptions) -> SimOutcome {
@@ -825,6 +999,12 @@ impl Service {
         let misses = missing.len() as u64;
         if !self.opts.no_cache {
             self.cache.record(hits, misses);
+            if !self.opts.no_metrics {
+                cache_counter(false, true).add(hits);
+                cache_counter(false, false).add(misses);
+            }
+        } else if !self.opts.no_metrics {
+            cache_counter(true, false).add(scenarios.len() as u64);
         }
         let contact = self.request_contact();
         if !missing.is_empty() {
@@ -889,6 +1069,7 @@ impl Service {
             })
             .collect();
         let summary = Summary::from_records(&records);
+        self.count_deadlines(summary.deadlines as u64);
         let body = Json::obj(vec![
             (
                 "records",
@@ -909,6 +1090,152 @@ impl Service {
         .render();
         Response::ok(body).header("X-Rvz-Cache", &format!("hits={hits};misses={misses}"))
     }
+}
+
+thread_local! {
+    /// The canonical-orbit digest of this thread's most recent
+    /// [`Service::answer`] call, for the slow-query log (cache hits
+    /// have no engine telemetry, but they do have an orbit).
+    static LAST_ORBIT: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// FNV-1a digest of a canonical cache key — a compact, stable orbit
+/// identifier for log lines (the full key is six f64 bit patterns).
+fn orbit_digest(key: &rvz_experiments::CacheKey) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let fold = |h: u64, w: u64| -> u64 {
+        let mut h = h ^ w;
+        for _ in 0..8 {
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    };
+    h = fold(
+        h,
+        matches!(key.algorithm, Algorithm::UniversalSearch) as u64,
+    );
+    h = fold(h, matches!(key.chirality, Chirality::Mirrored) as u64);
+    for &w in &key.bits {
+        h = fold(h, w);
+    }
+    h
+}
+
+/// Per-request counters and the latency histogram (called once per
+/// [`Service::handle`] unless the service runs with `no_metrics`).
+fn record_request_metrics(resp: &Response, elapsed: Duration) {
+    use rvz_obs::{counter, histogram};
+    counter!("rvz_requests_total").inc();
+    status_counter(resp.status).inc();
+    histogram!("rvz_request_duration_us").observe(elapsed.as_micros() as u64);
+}
+
+/// The `rvz_responses_total{status=…}` counter for a status code (one
+/// macro call site per label value so each handle caches
+/// independently).
+fn status_counter(status: u16) -> &'static rvz_obs::Counter {
+    use rvz_obs::counter;
+    match status {
+        200 => counter!("rvz_responses_total", "status" => "200"),
+        400 => counter!("rvz_responses_total", "status" => "400"),
+        404 => counter!("rvz_responses_total", "status" => "404"),
+        405 => counter!("rvz_responses_total", "status" => "405"),
+        413 => counter!("rvz_responses_total", "status" => "413"),
+        500 => counter!("rvz_responses_total", "status" => "500"),
+        503 => counter!("rvz_responses_total", "status" => "503"),
+        _ => counter!("rvz_responses_total", "status" => "other"),
+    }
+}
+
+/// The `rvz_cache_requests_total{outcome=…}` counter matching
+/// [`cache_marker`]'s labels.
+fn cache_counter(no_cache: bool, hit: bool) -> &'static rvz_obs::Counter {
+    use rvz_obs::counter;
+    match (no_cache, hit) {
+        (true, _) => counter!("rvz_cache_requests_total", "outcome" => "bypass"),
+        (false, true) => counter!("rvz_cache_requests_total", "outcome" => "hit"),
+        (false, false) => counter!("rvz_cache_requests_total", "outcome" => "miss"),
+    }
+}
+
+/// Touches every metric family the service can emit so a `/metrics`
+/// scrape lists them all from the first request — CI greps for family
+/// names before it has driven any faults or engine paths.
+fn preregister_metrics() {
+    use rvz_obs::{counter, histogram};
+    let _ = counter!("rvz_requests_total");
+    let _ = histogram!("rvz_request_duration_us");
+    for status in [200, 400, 404, 405, 413, 500, 503, 0] {
+        let _ = status_counter(status);
+    }
+    let _ = cache_counter(true, false);
+    let _ = cache_counter(false, true);
+    let _ = cache_counter(false, false);
+    let _ = counter!("rvz_shed_total", "cause" => "queue");
+    let _ = counter!("rvz_shed_total", "cause" => "max_inflight");
+    let _ = counter!("rvz_shed_total", "cause" => "deadline");
+    crate::faults::preregister_injected_metrics();
+    rvz_sim::telemetry::preregister_metrics();
+}
+
+/// `GET /trace/recent`: the flight-recorder ring as JSON, newest span
+/// first (`?n=` caps the count, default 64).
+fn trace_recent_response(req: &Request) -> Response {
+    let max = req
+        .query_value("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(64)
+        .min(rvz_obs::RING_CAPACITY);
+    let events: Vec<Json> = rvz_obs::recent(max)
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("span", Json::Str(e.name.to_string())),
+                ("trace", Json::Str(format!("{:016x}", e.trace_id))),
+                ("start_us", Json::Num(e.start_us as f64)),
+                ("dur_us", Json::Num(e.dur_us as f64)),
+                ("thread", Json::Num(f64::from(e.thread))),
+                ("depth", Json::Num(f64::from(e.depth))),
+            ])
+        })
+        .collect();
+    Response::ok(Json::obj(vec![("events", Json::Arr(events))]).render())
+}
+
+/// One structured JSONL line on stderr for a request that crossed the
+/// slow-query threshold: trace ID, endpoint, status, total time, cache
+/// outcome, the canonical orbit digest, and the engine work profile
+/// when an engine ran.
+fn slow_log(req: &Request, resp: &Response, trace: u64, elapsed: Duration) {
+    let cache = resp
+        .extra_headers
+        .iter()
+        .find(|(n, _)| n == "X-Rvz-Cache")
+        .map_or("-", |(_, v)| v.as_str());
+    let mut line = format!(
+        "{{\"slow_query\":true,\"trace\":\"{trace:016x}\",\"method\":\"{}\",\"path\":\"{}\",\
+         \"status\":{},\"total_ms\":{:.3},\"cache\":\"{cache}\"",
+        req.method,
+        req.path,
+        resp.status,
+        elapsed.as_secs_f64() * 1e3,
+    );
+    if let Some(orbit) = LAST_ORBIT.with(|o| o.get()) {
+        line.push_str(&format!(",\"orbit\":\"{orbit:016x}\""));
+    }
+    if let Some(t) = rvz_sim::telemetry::last() {
+        line.push_str(&format!(
+            ",\"engine_path\":\"{}\",\"engine_outcome\":\"{}\",\"steps\":{},\
+             \"envelope_queries\":{},\"pruned_intervals\":{}",
+            t.path.label(),
+            t.outcome,
+            t.steps,
+            t.envelope_queries,
+            t.pruned_intervals,
+        ));
+    }
+    line.push('}');
+    eprintln!("{line}");
 }
 
 fn cache_marker(no_cache: bool, hit: bool) -> &'static str {
@@ -1412,5 +1739,125 @@ mod tests {
         assert!(resp.body.contains("\"durability\""), "{}", resp.body);
         assert!(resp.body.contains("\"restore\":\"none\""), "{}", resp.body);
         assert!(resp.body.contains("\"snapshot_age_s\":-1"), "{}", resp.body);
+    }
+
+    #[test]
+    fn stats_report_uptime_build_and_shed_causes() {
+        let svc = service();
+        let (resp, _) = svc.handle(&request("GET", "/stats", ""));
+        assert!(resp.body.contains("\"uptime_s\""), "{}", resp.body);
+        assert!(resp.body.contains("\"build\""), "{}", resp.body);
+        assert!(
+            resp.body.contains("\"engine_fingerprint\""),
+            "{}",
+            resp.body
+        );
+        assert!(resp.body.contains("\"queue_depth\":-1"), "{}", resp.body);
+        assert!(resp.body.contains("\"shed_by_cause\""), "{}", resp.body);
+    }
+
+    #[test]
+    fn every_response_carries_a_trace_id_and_echoes_the_clients() {
+        let svc = service();
+        let (resp, _) = svc.handle(&request("GET", "/healthz", ""));
+        let trace = header(&resp, "X-Rvz-Trace");
+        assert_eq!(trace.len(), 16, "trace ID is 16 hex digits: {trace}");
+        assert!(trace.chars().all(|c| c.is_ascii_hexdigit()));
+
+        // A well-formed client trace ID is echoed verbatim.
+        let mut req = request("GET", "/healthz", "");
+        req.headers
+            .insert("x-rvz-trace".to_string(), "00000000deadbeef".to_string());
+        let (resp, _) = svc.handle(&req);
+        assert_eq!(header(&resp, "X-Rvz-Trace"), "00000000deadbeef");
+
+        // A malformed one falls back to the deterministic sequence.
+        let mut req = request("GET", "/healthz", "");
+        req.headers
+            .insert("x-rvz-trace".to_string(), "not-a-trace".to_string());
+        let (resp, _) = svc.handle(&req);
+        assert_ne!(header(&resp, "X-Rvz-Trace"), "not-a-trace");
+        assert_eq!(header(&resp, "X-Rvz-Trace").len(), 16);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_the_exposition() {
+        let svc = service();
+        let body = r#"{"speed":0.5,"distance":0.9,"visibility":0.25}"#;
+        let (resp, _) = svc.handle(&request("POST", "/first-contact", body));
+        assert_eq!(resp.status, 200);
+        let (scrape, _) = svc.handle(&request("GET", "/metrics", ""));
+        assert_eq!(scrape.status, 200, "{}", scrape.body);
+        assert_eq!(scrape.content_type, "text/plain; version=0.0.4");
+        // Every family the service can emit is present from the first
+        // scrape (preregistered), even those with zero increments.
+        for family in [
+            "# TYPE rvz_requests_total counter",
+            "# TYPE rvz_request_duration_us histogram",
+            "rvz_responses_total{status=\"200\"}",
+            "rvz_cache_requests_total{outcome=\"miss\"}",
+            "rvz_engine_queries_total",
+            "rvz_faults_injected_total",
+            "rvz_shed_total{cause=\"max_inflight\"}",
+        ] {
+            assert!(scrape.body.contains(family), "scrape missing {family}");
+        }
+        // Method guard: the observability endpoints are GET-only.
+        let (resp, _) = svc.handle(&request("POST", "/metrics", ""));
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn trace_recent_serves_the_flight_recorder() {
+        let svc = service();
+        // The handle() wrapper records a "request" span per request.
+        let (resp, _) = svc.handle(&request("GET", "/healthz", ""));
+        assert_eq!(resp.status, 200);
+        let (resp, _) = svc.handle(&request("GET", "/trace/recent?n=5", ""));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = rvz_experiments::json::parse(&resp.body).unwrap();
+        let events = parsed
+            .get("events")
+            .and_then(Json::as_array)
+            .expect("events array");
+        assert!(events.len() <= 5, "?n= caps the event count");
+        assert!(!events.is_empty(), "the healthz request recorded a span");
+        for e in events {
+            for key in ["span", "trace", "start_us", "dur_us", "thread", "depth"] {
+                assert!(e.get(key).is_some(), "event missing {key}: {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_metrics_responses_are_byte_identical_and_endpoints_hidden() {
+        let on = Service::new(test_options());
+        let off = Service::new(ServiceOptions {
+            no_metrics: true,
+            ..test_options()
+        });
+        let body = r#"{"speed":0.5,"distance":0.9,"visibility":0.25}"#;
+        // Identical request sequences: every byte of every response —
+        // body, status, and headers including X-Rvz-Trace — agrees.
+        for req in [
+            request("POST", "/first-contact", body),
+            request("POST", "/first-contact", body),
+            request("GET", "/feasibility?tau=0.5", ""),
+            request("GET", "/healthz", ""),
+        ] {
+            let (a, _) = on.handle(&req);
+            let (b, _) = off.handle(&req);
+            assert_eq!(a.status, b.status, "{}", req.path);
+            assert_eq!(a.body, b.body, "{}", req.path);
+            assert_eq!(a.extra_headers, b.extra_headers, "{}", req.path);
+        }
+        // The observability endpoints answer exactly like unknown paths.
+        let (unknown, _) = off.handle(&request("GET", "/no-such-endpoint", ""));
+        for path in ["/metrics", "/trace/recent"] {
+            let (hidden, _) = off.handle(&request("GET", path, ""));
+            assert_eq!(hidden.status, 404, "{path}");
+            assert_eq!(hidden.body, unknown.body, "{path}");
+            assert_eq!(hidden.content_type, unknown.content_type, "{path}");
+        }
     }
 }

@@ -46,6 +46,42 @@ fn health_stats_and_feasibility_over_the_wire() {
 }
 
 #[test]
+fn metrics_scrape_and_trace_ids_over_the_wire() {
+    let server = start(2);
+    let addr = server.addr().to_string();
+
+    let resp = client::request(&addr, "GET", "/feasibility?tau=0.5", None).unwrap();
+    assert_eq!(resp.status, 200);
+    let trace = resp
+        .header("x-rvz-trace")
+        .expect("every response is traced");
+    assert_eq!(trace.len(), 16, "trace: {trace}");
+    assert!(trace.chars().all(|c| c.is_ascii_hexdigit()));
+
+    let scrape = client::request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(scrape.status, 200);
+    assert_eq!(
+        scrape.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    for family in [
+        "rvz_requests_total",
+        "rvz_request_duration_us",
+        "rvz_cache_requests_total",
+        "rvz_engine_queries_total",
+        "rvz_uptime_seconds",
+    ] {
+        assert!(scrape.body.contains(family), "scrape missing {family}");
+    }
+
+    let traces = client::request(&addr, "GET", "/trace/recent?n=8", None).unwrap();
+    assert_eq!(traces.status, 200);
+    assert!(traces.body.contains("\"events\":"), "{}", traces.body);
+
+    server.shutdown();
+}
+
+#[test]
 fn keep_alive_connections_serve_many_requests() {
     let server = start(2);
     let mut conn = HttpClient::connect(&server.addr().to_string()).unwrap();

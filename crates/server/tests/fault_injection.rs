@@ -261,6 +261,51 @@ fn drain_deadline_detaches_a_wedged_worker_instead_of_hanging() {
 }
 
 #[test]
+fn injected_faults_bump_their_site_counters() {
+    use rvz_obs::counter;
+    // The counters are process-global and other tests in this binary
+    // inject faults concurrently, so assert deltas with `>=`.
+    let handler_before = counter!("rvz_faults_injected_total", "site" => "handler_panic").get();
+    let reset_before = counter!("rvz_faults_injected_total", "site" => "conn_reset").get();
+
+    let server = start(
+        ServiceOptions {
+            faults: Some(one_site("handler_panic", 3)),
+            ..service_options()
+        },
+        &ServerOptions {
+            workers: 1,
+            faults: Some(one_site("conn_reset", 1)),
+            ..ServerOptions::default()
+        },
+    );
+    let addr = server.addr().to_string();
+    let mut failures = 0;
+    for _ in 0..8 {
+        match client::request(&addr, "GET", "/healthz", None) {
+            Ok(resp) if resp.status == 500 => failures += 1, // handler panic
+            Ok(resp) => assert_eq!(resp.status, 200),
+            Err(_) => failures += 1, // injected reset
+        }
+    }
+    // 3 panics + 1 reset, but the reset can land on an already-panicked
+    // request (one client-visible failure, two injections).
+    assert!((3..=4).contains(&failures), "got {failures} failures");
+    assert!(server.shutdown());
+
+    let handler_after = counter!("rvz_faults_injected_total", "site" => "handler_panic").get();
+    let reset_after = counter!("rvz_faults_injected_total", "site" => "conn_reset").get();
+    assert!(
+        handler_after >= handler_before + 3,
+        "handler_panic injections must be counted: {handler_before} -> {handler_after}"
+    );
+    assert!(
+        reset_after > reset_before,
+        "conn_reset injections must be counted: {reset_before} -> {reset_after}"
+    );
+}
+
+#[test]
 fn clean_shutdown_reports_a_clean_drain() {
     let server = start(service_options(), &ServerOptions::default());
     let addr = server.addr().to_string();

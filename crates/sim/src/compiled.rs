@@ -153,6 +153,25 @@ pub fn try_first_contact_programs<A: ProgramView + ?Sized, B: ProgramView + ?Siz
     opts: &ContactOptions,
     scratch: &mut EngineScratch,
 ) -> Option<SimOutcome> {
+    let path = if a.is_streaming() || b.is_streaming() {
+        crate::telemetry::EnginePath::CompiledLazy
+    } else {
+        crate::telemetry::EnginePath::CompiledEager
+    };
+    let out = try_first_contact_programs_impl(a, b, radius, opts, scratch);
+    crate::telemetry::record(path, out.as_ref(), scratch.stats);
+    out
+}
+
+/// The compiled ladder proper (telemetry recorded by the public wrapper
+/// above).
+fn try_first_contact_programs_impl<A: ProgramView + ?Sized, B: ProgramView + ?Sized>(
+    a: &A,
+    b: &B,
+    radius: f64,
+    opts: &ContactOptions,
+    scratch: &mut EngineScratch,
+) -> Option<SimOutcome> {
     opts.validate();
     assert!(
         radius > 0.0 && radius.is_finite(),
@@ -308,6 +327,11 @@ pub fn try_first_contact_programs<A: ProgramView + ?Sized, B: ProgramView + ?Siz
                 }
             }
         };
+        if exact_root {
+            stats.analytic_steps += 1;
+        } else {
+            stats.conservative_steps += 1;
+        }
         let floor = 4.0 * f64::EPSILON * (1.0 + t.abs());
         let base = step.max(floor);
         let mut t_next = t + base;

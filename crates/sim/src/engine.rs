@@ -400,6 +400,12 @@ pub struct EngineStats {
     /// Individual `envelope(t0, t1)` queries issued (two per tested
     /// interval — one per cursor).
     pub envelope_queries: u64,
+    /// Steps advanced by an exact analytic root (affine quadratic or
+    /// cosine-law crossing): the ladder's certificates 1–2.
+    pub analytic_steps: u64,
+    /// Steps advanced by the conservative / piece-boundary certificates
+    /// (3–4) — the remainder of the ladder.
+    pub conservative_steps: u64,
 }
 
 /// The cursor-level engine behind [`first_contact`].
@@ -432,6 +438,23 @@ where
 ///
 /// As for [`first_contact`].
 pub fn first_contact_cursors_instrumented<A, B>(
+    a: &mut A,
+    b: &mut B,
+    radius: f64,
+    opts: &ContactOptions,
+) -> (SimOutcome, EngineStats)
+where
+    A: Cursor + ?Sized,
+    B: Cursor + ?Sized,
+{
+    let (out, stats) = cursors_instrumented_impl(a, b, radius, opts);
+    crate::telemetry::record(crate::telemetry::EnginePath::Cursor, Some(&out), stats);
+    (out, stats)
+}
+
+/// The cursor engine loop proper (telemetry recorded by the public
+/// wrapper above).
+fn cursors_instrumented_impl<A, B>(
     a: &mut A,
     b: &mut B,
     radius: f64,
@@ -640,6 +663,11 @@ where
                 }
             }
         };
+        if exact_root {
+            stats.analytic_steps += 1;
+        } else {
+            stats.conservative_steps += 1;
+        }
         // Progress floor: a few ulps of the current time.
         let floor = 4.0 * f64::EPSILON * (1.0 + t.abs());
         let base = step.max(floor);
@@ -949,6 +977,24 @@ fn segment_point_distance(p: Vec2, v: Vec2, ub: f64, c: Vec2) -> f64 {
 ///
 /// Panics on invalid options or a non-positive `radius`.
 pub fn first_contact_generic<A, B>(a: &A, b: &B, radius: f64, opts: &ContactOptions) -> SimOutcome
+where
+    A: Trajectory + ?Sized,
+    B: Trajectory + ?Sized,
+{
+    let out = first_contact_generic_impl(a, b, radius, opts);
+    // Every generic step is a conservative advance; the path has no
+    // analytic or pruning machinery to attribute work to.
+    let stats = EngineStats {
+        conservative_steps: out.steps(),
+        ..EngineStats::default()
+    };
+    crate::telemetry::record(crate::telemetry::EnginePath::Generic, Some(&out), stats);
+    out
+}
+
+/// The conservative-advancement loop proper (telemetry recorded by the
+/// public wrapper above).
+fn first_contact_generic_impl<A, B>(a: &A, b: &B, radius: f64, opts: &ContactOptions) -> SimOutcome
 where
     A: Trajectory + ?Sized,
     B: Trajectory + ?Sized,
@@ -1359,14 +1405,22 @@ mod tests {
         assert!(!out.is_contact());
         assert!(stats.envelope_queries > 0);
         assert!(stats.pruned_intervals > 0);
-        // With pruning off the same query reports zero envelope work.
-        let (_, silent) = first_contact_cursors_instrumented(
+        // The step-choice counters partition the advancement steps.
+        assert_eq!(stats.analytic_steps + stats.conservative_steps, out.steps());
+        // With pruning off the same query reports zero envelope work
+        // (the step-choice counters still account for every step).
+        let (silent_out, silent) = first_contact_cursors_instrumented(
             &mut a.cursor(),
             &mut b.cursor(),
             0.5,
             &opts.prune(false),
         );
-        assert_eq!(silent, EngineStats::default());
+        assert_eq!(silent.envelope_queries, 0);
+        assert_eq!(silent.pruned_intervals, 0);
+        assert_eq!(
+            silent.analytic_steps + silent.conservative_steps,
+            silent_out.steps()
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod engine;
 pub mod multi;
 pub mod runners;
 pub mod stationary;
+pub mod telemetry;
 pub mod trace;
 pub mod verify;
 
@@ -81,5 +82,6 @@ pub use multi::{
 };
 pub use runners::{simulate_rendezvous, simulate_search};
 pub use stationary::Stationary;
+pub use telemetry::{EnginePath, EngineTelemetry};
 pub use trace::DistanceTrace;
 pub use verify::first_contact_brute;

@@ -294,6 +294,7 @@ fn pull(state: &mut LazyState<'_>, opts: &CompileOptions) {
                 });
                 return;
             }
+            rvz_obs::counter!("rvz_streamed_pieces_total").inc();
             let pieces_cap = state.pieces.capacity();
             let starts_cap = state.starts.capacity();
             state.pieces.push(piece);
@@ -443,6 +444,10 @@ impl ProgramView for LazyProgram<'_> {
         let state = self.state.borrow();
         let i = state.marks.partition_point(|&m| m <= t);
         state.marks.get(i).copied()
+    }
+
+    fn is_streaming(&self) -> bool {
+        true
     }
 }
 

@@ -728,6 +728,14 @@ pub trait ProgramView {
 
     /// The first round mark strictly after `t`, if any.
     fn next_mark_after(&self, t: f64) -> Option<f64>;
+
+    /// `true` for views that materialize pieces on demand (the lazy
+    /// program). Purely observational — engine telemetry uses it to
+    /// attribute a query to the eager or streaming compiled path; it
+    /// must never influence the answer.
+    fn is_streaming(&self) -> bool {
+        false
+    }
 }
 
 macro_rules! forward_program_view {
@@ -753,6 +761,9 @@ macro_rules! forward_program_view {
             }
             fn next_mark_after(&self, t: f64) -> Option<f64> {
                 (**self).next_mark_after(t)
+            }
+            fn is_streaming(&self) -> bool {
+                (**self).is_streaming()
             }
         }
     )*};
@@ -1129,19 +1140,22 @@ pub fn lower_program<T: Compile + ?Sized>(
     source: &T,
     opts: &CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
+    rvz_obs::span!("lower");
     let marks = source.round_marks(opts.horizon);
     let handler = opts.approx_tolerance.map(|eps| CurvedApprox {
         position: Box::new(move |t| source.position(t)) as Box<dyn Fn(f64) -> Vec2 + '_>,
         bound: Box::new(move |a, b| source.chord_error_bound(a, b)),
         eps,
     });
-    lower_impl(
+    let program = lower_impl(
         &mut *source.dyn_cursor(),
         source.speed_bound(),
         marks,
         opts,
         handler,
-    )
+    )?;
+    rvz_obs::counter!("rvz_lowered_pieces_total").add(program.pieces().len() as u64);
+    Ok(program)
 }
 
 /// The cursor-only lowering loop: walk a cursor piece by piece and bake

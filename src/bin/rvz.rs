@@ -197,6 +197,7 @@ Closed-form bounds: Theorem 1/2, and Lemma 13's k* when tau ≠ 1.",
             ("checkpoint", true),
             ("resume", false),
             ("faults", true),
+            ("heartbeat", false),
         ],
         usage: "\
 USAGE:
@@ -204,7 +205,7 @@ USAGE:
             [--bearings L] [--r R] [--algos L] [--lhs N] [--seed S]
             [--threads N] [--max-steps M] [--horizon-rounds K] [--no-prune]
             [--compile-budget P] [--dedup-orbits] [--out PREFIX]
-            [--checkpoint PATH] [--resume] [--faults SPEC]
+            [--checkpoint PATH] [--resume] [--faults SPEC] [--heartbeat]
 
 Run a parallel scenario sweep (grid by default, Latin-hypercube sample
 with --lhs N) and write PREFIX.jsonl + PREFIX.csv. List flags (L) take
@@ -224,7 +225,11 @@ run, independent of --threads and of where the kill landed. A journal
 from a different sweep (flags or scenario set changed) is refused.
 --faults injects deterministic seeded disk faults into the checkpoint
 I/O (keys: seed, short_write, torn_rename, read_corrupt, fsync_fail,
-limit) — tests/CI only.",
+limit) — tests/CI only.
+
+--heartbeat prints a progress line to stderr about once a second
+(done/total, rate, elapsed). Observation-only: artifacts and
+checkpoints are byte-identical with it on or off.",
         run: cmd_sweep,
     },
     CommandSpec {
@@ -258,11 +263,13 @@ every cell by simulation. Raise --horizon-rounds (default 9) and
             ("quick", false),
             ("no-prune", false),
             ("enforce-steps", false),
+            ("no-metrics", false),
             ("out", true),
         ],
         usage: "\
 USAGE:
-  rvz bench-engine [--quick] [--no-prune] [--enforce-steps] [--out PATH]
+  rvz bench-engine [--quick] [--no-prune] [--enforce-steps]
+                   [--no-metrics] [--out PATH]
 
 Benchmark the first-contact engine (seed conservative loop vs the
 monotone-cursor fast path with swept-envelope pruning) on the canonical
@@ -270,7 +277,10 @@ case set; print the comparison table (incl. pruned intervals and
 envelope queries) and write the machine-readable report to PATH
 (default BENCH_engine.json). --quick runs a sub-second smoke variant
 for CI; --no-prune A/Bs the pruning layer; --enforce-steps fails if the
-cursor engine ever takes more steps than the generic loop.",
+cursor engine ever takes more steps than the generic loop.
+--no-metrics flips the global telemetry kill switch before measuring —
+CI diffs the deterministic report fields against a metrics-on run to
+prove recording never changes an outcome.",
         run: cmd_bench_engine,
     },
     CommandSpec {
@@ -294,6 +304,8 @@ cursor engine ever takes more steps than the generic loop.",
             ("faults", true),
             ("snapshot", true),
             ("snapshot-interval-s", true),
+            ("no-metrics", false),
+            ("slow-log-ms", true),
         ],
         usage: "\
 USAGE:
@@ -303,6 +315,7 @@ USAGE:
             [--compile-budget P] [--deadline-ms D] [--max-inflight N]
             [--queue-depth N] [--drain-ms D] [--faults SPEC]
             [--snapshot PATH] [--snapshot-interval-s S]
+            [--no-metrics] [--slow-log-ms T]
 
 Serve feasibility/first-contact/sweep queries over HTTP/1.1 with a
 sharded LRU cache keyed by each scenario's attribute-symmetry orbit.
@@ -330,11 +343,24 @@ rename, a kill can never destroy the previous snapshot), and once more
 on graceful drain. The restore outcome (cold|warm|salvaged n) is in
 the boot banner and GET /stats.
 
+Observability: every response carries an X-Rvz-Trace ID (echoed from
+the request's X-Rvz-Trace header when it is 16 hex digits, otherwise
+assigned from a deterministic sequence). GET /metrics serves the
+Prometheus text exposition (request/cache/engine/fault counters and
+latency histograms); GET /trace/recent serves the span flight
+recorder as JSON (?n= caps the count). --slow-log-ms T logs one JSON
+line to stderr for every request at or above T milliseconds (trace,
+endpoint, status, cache outcome, orbit, engine work profile).
+--no-metrics disables all metric recording and makes /metrics and
+/trace/recent answer 404 like any unknown endpoint — result bodies
+and headers are byte-identical either way.
+
 ENDPOINTS:
   GET  /feasibility?v=&tau=&phi=&chi=   Theorem 4 verdict + orbit
   POST /feasibility                     same, scenario JSON body
   POST /first-contact                   engine outcome for one scenario
   POST /sweep                           {\"scenarios\": [...]} batch
+  GET  /metrics | GET /trace/recent     observability (unless --no-metrics)
   GET  /stats | GET /healthz | POST /shutdown",
         run: cmd_serve,
     },
@@ -389,8 +415,8 @@ USAGE:
              [--body JSON] [--timeout-ms T] [--retries N]
 
 One-shot HTTP client for a running `rvz serve`: sends a single request
-and prints the status, the X-Rvz-Cache header (hit/miss/bypass) when
-present, and the response body. The method defaults to GET without a
+and prints the status, the X-Rvz-Cache (hit/miss/bypass) and
+X-Rvz-Trace headers when present, and the response body. The method defaults to GET without a
 body and POST with one. --timeout-ms bounds both the connect and the
 read (default: connect 5000, read 30000). --retries N retries `503
 Retry-After` sheds up to N times with capped jittered backoff,
@@ -746,7 +772,8 @@ fn cmd_sweep(opts: &Flags) -> Result<(), String> {
         grid.build()
     };
 
-    let sweep_opts = sweep_options(opts, "threads")?;
+    let mut sweep_opts = sweep_options(opts, "threads")?;
+    sweep_opts.heartbeat = opts.contains_key("heartbeat");
 
     let checkpoint = opts.get("checkpoint").map(std::path::PathBuf::from);
     if opts.contains_key("resume") && checkpoint.is_none() {
@@ -836,6 +863,9 @@ fn cmd_bench_engine(opts: &Flags) -> Result<(), String> {
     };
     let quick = opts.contains_key("quick");
     let prune = !opts.contains_key("no-prune");
+    if opts.contains_key("no-metrics") {
+        plane_rendezvous::obs::set_enabled(false);
+    }
     let path = opts
         .get("out")
         .map(String::as_str)
@@ -1004,6 +1034,19 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
                 .map_err(|e| format!("`--faults`: {e}"))?,
         ),
     };
+    let slow_log_ms = match opts.get("slow-log-ms") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("`--slow-log-ms` expects an integer, got `{v}`"))?,
+        ),
+    };
+    let no_metrics = opts.contains_key("no-metrics");
+    if no_metrics {
+        // Kill switch: every counter add, histogram observe, and span
+        // record in the process becomes a no-op.
+        plane_rendezvous::obs::set_enabled(false);
+    }
     let service_opts = ServiceOptions {
         cache_capacity: get_usize(opts, "cache-capacity", 65_536)?.max(1),
         cache_grid,
@@ -1012,6 +1055,8 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         deadline,
         max_inflight: get_usize(opts, "max-inflight", 0)?,
         faults,
+        no_metrics,
+        slow_log_ms,
         ..ServiceOptions::default()
     };
     let no_cache = service_opts.no_cache;
@@ -1036,11 +1081,12 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
             .map_err(|e| format!("cannot bind {addr}:{port}: {e}"))?;
     println!("rvz serve listening on {}", server.addr());
     println!(
-        "workers = {workers}, cache = {}, grid = {}, queue = {}, deadline = {}",
+        "workers = {workers}, cache = {}, grid = {}, queue = {}, deadline = {}, metrics = {}",
         if no_cache { "off" } else { "on" },
         plane_rendezvous::experiments::snap_grid(cache_grid),
         server_opts.queue_depth,
         deadline.map_or("none".to_string(), |d| format!("{} ms", d.as_millis())),
+        if no_metrics { "off" } else { "on" },
     );
     if let (Some(path), Some(outcome)) = (&snapshot_path, &restore) {
         println!(
@@ -1184,6 +1230,9 @@ fn cmd_client(opts: &Flags) -> Result<(), String> {
     println!("HTTP {}", response.status);
     if let Some(cache) = response.header("x-rvz-cache") {
         println!("X-Rvz-Cache: {cache}");
+    }
+    if let Some(trace) = response.header("x-rvz-trace") {
+        println!("X-Rvz-Trace: {trace}");
     }
     println!("{}", response.body);
     if response.status >= 400 {

@@ -19,6 +19,7 @@
 //! |---|---|
 //! | [`geometry`] | vectors, matrices, QR factorization |
 //! | [`numerics`] | Lambert W, root finding, dyadic helpers |
+//! | [`obs`] | zero-dependency metrics registry, spans, and the flight recorder |
 //! | [`trajectory`] | segments, paths, frame warps, the `Trajectory` trait |
 //! | [`model`] | robot attributes, instances, the Theorem 4 predicate |
 //! | [`search`] | Algorithms 1–4 (Section 2) with closed-form indexing |
@@ -57,6 +58,7 @@ pub use rvz_experiments as experiments;
 pub use rvz_geometry as geometry;
 pub use rvz_model as model;
 pub use rvz_numerics as numerics;
+pub use rvz_obs as obs;
 pub use rvz_search as search;
 pub use rvz_server as server;
 pub use rvz_sim as sim;

@@ -154,13 +154,25 @@ fn loadtest_quick_writes_the_bench_artifact() {
     let parsed = plane_rendezvous::experiments::json::parse(json.trim()).unwrap();
     assert_eq!(
         parsed.get("schema").and_then(|s| s.as_str()),
-        Some("rvz-bench-serve/v2")
+        Some("rvz-bench-serve/v3")
     );
     assert!(parsed.get("speedup").and_then(|s| s.as_f64()).unwrap() > 0.0);
+    // v3: each closed-loop arm carries its full latency distribution.
+    for arm in parsed.get("arms").and_then(|a| a.as_array()).unwrap() {
+        let hist = arm
+            .get("latency_histogram")
+            .expect("v3 arms carry a latency histogram");
+        assert!(hist.get("count").and_then(|c| c.as_f64()).unwrap() > 0.0);
+        assert!(!hist
+            .get("buckets")
+            .and_then(|b| b.as_array())
+            .unwrap()
+            .is_empty());
+    }
     // The open-loop overload phase must be part of the artifact.
     let overload = parsed
         .get("overload")
-        .expect("v2 carries an overload object");
+        .expect("the artifact carries an overload object");
     let arms = overload.get("arms").and_then(|a| a.as_array()).unwrap();
     assert_eq!(arms.len(), 2, "1x and 2x arms");
     for arm in arms {
