@@ -30,20 +30,22 @@ cargo fmt --check
 echo "==> compiled-engine allocation gate (zero heap allocations per query)"
 cargo test --release --quiet -p rvz-sim --test alloc_gate
 
-echo "==> differential fuzz (fixed seed budget: four engine paths agree)"
+echo "==> differential fuzz (fixed seed budget: five engine paths agree)"
 # The seeded harness in tests/differential_fuzz.rs runs the generic,
-# cursor, compiled-eager, and compiled-lazy paths on random scenario x
-# trajectory-stack draws and requires agreement within the certified
-# tolerance. The budget and seed are pinned so CI is deterministic.
+# cursor, compiled-eager, compiled-lazy, and SoA lane-kernel paths on
+# random scenario x trajectory-stack draws and requires agreement
+# within the certified tolerance. The budget and seed are pinned so CI
+# is deterministic.
 RVZ_FUZZ_CASES=24 RVZ_FUZZ_SEED=3134984190 \
     cargo test --release --quiet --test differential_fuzz
 
-echo "==> rvz bench-engine --quick --enforce-steps (smoke: schema v4 intact, no step regressions)"
+echo "==> rvz bench-engine --quick --enforce-steps (smoke: schema v5 intact, no step regressions)"
 BENCH_SMOKE="$(mktemp -t bench_engine_smoke.XXXXXX.json)"
 # --enforce-steps fails the run if the cursor engine takes more
 # advancement steps than the seed conservative loop on any case.
 cargo run --release --quiet --bin rvz -- bench-engine --quick --enforce-steps --out "$BENCH_SMOKE" >/dev/null
-grep -q '"schema": "rvz-bench-engine/v4"' "$BENCH_SMOKE"
+grep -q '"schema": "rvz-bench-engine/v5"' "$BENCH_SMOKE"
+grep -q '"lane_width":' "$BENCH_SMOKE"
 grep -q '"cases":' "$BENCH_SMOKE"
 grep -q '"batches":' "$BENCH_SMOKE"
 grep -q '"pruned_intervals":' "$BENCH_SMOKE"
@@ -53,6 +55,10 @@ grep -q '"approx_eps":' "$BENCH_SMOKE"
 grep -q '"compile_ns_per_query":' "$BENCH_SMOKE"
 grep -q '"pieces":' "$BENCH_SMOKE"
 grep -q '"allocs_per_query":' "$BENCH_SMOKE"
+grep -q '"lane_chunks":' "$BENCH_SMOKE"
+grep -q '"soa_ns_per_query":' "$BENCH_SMOKE"
+grep -q '"soa_speedup":' "$BENCH_SMOKE"
+grep -q '"name": "swarm_many_vs_many"' "$BENCH_SMOKE"
 # Certified chords mean every case — the spiral included — now carries
 # a compiled sample: no escape-hatch nulls in the smoke artifact or in
 # the committed full-mode report.
@@ -62,16 +68,48 @@ fi
 if grep -q '"compiled": null' BENCH_engine.json; then
     echo "committed BENCH_engine.json contains a null compiled sample"; exit 1
 fi
-grep -q '"schema": "rvz-bench-engine/v4"' BENCH_engine.json
+grep -q '"schema": "rvz-bench-engine/v5"' BENCH_engine.json
+grep -q '"lane_width":' BENCH_engine.json
+grep -q '"soa_ns_per_query":' BENCH_engine.json
 # The compiled fast path must report zero allocations per query on
 # every batch workload (the batch rows are the only lines where
 # allocs_per_query is adjacent to speedup, so this cannot be satisfied
-# by the always-zero generic samples).
+# by the always-zero generic samples). The SoA arm is held to the same
+# zero-allocation bar.
 grep -q '"allocs_per_query": 0, "speedup"' "$BENCH_SMOKE"
 if grep -qE '"allocs_per_query": [1-9][0-9]*, "speedup"' "$BENCH_SMOKE"; then
     echo "compiled batch workload reported nonzero allocations"; exit 1
 fi
+if grep -qE '"soa_allocs_per_query": [1-9][0-9]*' "$BENCH_SMOKE"; then
+    echo "SoA batch workload reported nonzero allocations"; exit 1
+fi
+# The SoA kernel must never lose to the scalar compiled loop on the
+# quick batch workloads (a 10% grace bound absorbs timer noise; a real
+# regression — the lane gate mispricing chunks — overshoots it).
+check_soa_not_slower() {
+    awk '
+        /"soa_ns_per_query"/ && /"compiled_ns_per_query"/ {
+            c = $0; sub(/.*"compiled_ns_per_query": /, "", c); sub(/[,}].*/, "", c)
+            s = $0; sub(/.*"soa_ns_per_query": /, "", s); sub(/[,}].*/, "", s)
+            n += 1
+            if (s + 0 > (c + 0) * 1.10) { print "SoA slower than scalar: " $0; bad += 1 }
+        }
+        END { if (n == 0) { print "no batch rows found"; exit 1 }; exit bad > 0 }
+    ' "$1"
+}
+check_soa_not_slower "$BENCH_SMOKE"
 rm -f "$BENCH_SMOKE"
+
+echo "==> two-arm bench smoke (-C target-cpu=native vs baseline: SoA never slower than scalar)"
+# The lane kernel leans on autovectorization: measure both a baseline
+# build and a -C target-cpu=native build rather than assuming. Each arm
+# must hold the SoA-never-slower bound on the quick batch workloads.
+BENCH_NATIVE="$(mktemp -t bench_engine_native.XXXXXX.json)"
+RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/ci-native \
+    cargo run --release --quiet --bin rvz -- bench-engine --quick --out "$BENCH_NATIVE" >/dev/null
+grep -q '"schema": "rvz-bench-engine/v5"' "$BENCH_NATIVE"
+check_soa_not_slower "$BENCH_NATIVE"
+rm -f "$BENCH_NATIVE"
 
 echo "==> telemetry overhead gate (deterministic bench fields identical with --no-metrics)"
 # Recording is observation-only: flipping the global kill switch must
@@ -81,7 +119,8 @@ BENCH_ON="$(mktemp -t bench_metrics_on.XXXXXX.json)"
 BENCH_OFF="$(mktemp -t bench_metrics_off.XXXXXX.json)"
 cargo run --release --quiet --bin rvz -- bench-engine --quick --out "$BENCH_ON" >/dev/null
 cargo run --release --quiet --bin rvz -- bench-engine --quick --no-metrics --out "$BENCH_OFF" >/dev/null
-for key in steps pruned_intervals envelope_queries allocs_per_query pieces outcome; do
+for key in steps pruned_intervals envelope_queries allocs_per_query pieces outcome \
+    lane_chunks lane_intervals; do
     ON_VALUES="$(grep -o "\"$key\": [^,}]*" "$BENCH_ON")"
     OFF_VALUES="$(grep -o "\"$key\": [^,}]*" "$BENCH_OFF")"
     [ -n "$ON_VALUES" ] || { echo "bench report carries no \"$key\" fields"; exit 1; }
@@ -131,6 +170,7 @@ echo "$FC_METRICS_ON" | grep -q 'X-Rvz-Cache: miss'
 METRICS_SCRAPE="$("$RVZ" client --addr "$ADDR" --path /metrics)"
 for family in rvz_requests_total rvz_responses_total rvz_request_duration_us \
     rvz_cache_requests_total rvz_engine_queries_total rvz_engine_outcomes_total \
+    rvz_engine_kernel_dispatch_total rvz_engine_kernel_lanes_active \
     rvz_faults_injected_total rvz_shed_total rvz_uptime_seconds rvz_inflight; do
     echo "$METRICS_SCRAPE" | grep -q "$family" \
         || { echo "metrics scrape missing $family"; exit 1; }

@@ -36,10 +36,12 @@ use rvz_model::RobotAttributes;
 use rvz_search::UniversalSearch;
 use rvz_sim::{
     first_contact_cursors_instrumented, first_contact_generic, pairwise_meetings,
-    pairwise_meetings_programs, simulate_rendezvous_by_ref, ContactOptions, EngineScratch,
-    EngineStats, SimOutcome,
+    pairwise_meetings_programs, simulate_rendezvous_by_ref, sweep_contacts_soa, ContactOptions,
+    EngineScratch, EngineStats, SimOutcome, KERNEL_LANES,
 };
-use rvz_trajectory::{Compile, CompileOptions, CompiledProgram, MonotoneDyn, PathBuilder};
+use rvz_trajectory::{
+    Compile, CompileOptions, CompiledProgram, MonotoneDyn, PathBuilder, ProgramSoA,
+};
 use std::time::Instant;
 
 /// Default piece budget for per-case lowering attempts: generous enough
@@ -80,16 +82,24 @@ impl EngineCase {
         first_contact_generic(&*self.a, &*self.b, self.radius, &self.opts)
     }
 
-    /// Runs the monotone-cursor engine (through boxed cursors, as the
-    /// heterogeneous swarm path does), returning the pruning-layer work
-    /// counters alongside the outcome.
+    /// Runs the monotone-cursor engine through
+    /// [`MonotoneDyn::with_cursor`]'s scoped stack cursors (the
+    /// heterogeneous swarm path since the SoA PR — virtual dispatch per
+    /// probe, zero allocation per query), returning the pruning-layer
+    /// work counters alongside the outcome.
     pub fn run_cursor(&self) -> (SimOutcome, EngineStats) {
-        first_contact_cursors_instrumented(
-            &mut self.a.dyn_cursor(),
-            &mut self.b.dyn_cursor(),
-            self.radius,
-            &self.opts,
-        )
+        let mut out = None;
+        self.a.with_cursor(&mut |ca| {
+            self.b.with_cursor(&mut |cb| {
+                out = Some(first_contact_cursors_instrumented(
+                    ca,
+                    cb,
+                    self.radius,
+                    &self.opts,
+                ));
+            });
+        });
+        out.expect("with_cursor always invokes its closure")
     }
 
     /// The case's lowering options: horizon and piece budget plus the
@@ -312,6 +322,21 @@ pub struct CompiledSample {
     pub pieces: u64,
 }
 
+/// The SoA lane kernel's sample: the kernel-vs-scalar comparison row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoaSample {
+    /// Query-time sample (arena build excluded, reported alongside).
+    pub sample: EngineSample,
+    /// Nanoseconds to build both arenas from the already-lowered
+    /// programs (`ProgramSoA::from_program` — the extra cost the SoA
+    /// path pays over the compiled path on a cold cache).
+    pub build_ns: f64,
+    /// Lane chunks evaluated per query.
+    pub lane_chunks: u64,
+    /// Whole merged intervals certified or localized by lane chunks.
+    pub lane_intervals: u64,
+}
+
 /// The measured comparison for one case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseMeasurement {
@@ -328,6 +353,9 @@ pub struct CaseMeasurement {
     /// The compiled engine's sample, when the pair lowers under the
     /// budget (null for curved trajectories and over-budget horizons).
     pub compiled: Option<CompiledSample>,
+    /// The SoA lane kernel's sample, measured whenever the compiled
+    /// sample exists (arenas are built from the same programs).
+    pub soa: Option<SoaSample>,
 }
 
 impl CaseMeasurement {
@@ -342,6 +370,23 @@ impl CaseMeasurement {
         self.compiled
             .as_ref()
             .map(|c| self.cursor.ns_per_run / c.sample.ns_per_run)
+    }
+
+    /// Wall-clock speedup of the lane kernel over the cursor engine
+    /// (query time only), when measured.
+    pub fn soa_speedup(&self) -> Option<f64> {
+        self.soa
+            .as_ref()
+            .map(|s| self.cursor.ns_per_run / s.sample.ns_per_run)
+    }
+
+    /// Kernel-vs-scalar ratio: scalar compiled ns over lane-kernel ns
+    /// (> 1 means the kernel is faster on this case).
+    pub fn kernel_vs_scalar(&self) -> Option<f64> {
+        match (&self.compiled, &self.soa) {
+            (Some(c), Some(s)) => Some(c.sample.ns_per_run / s.sample.ns_per_run),
+            _ => None,
+        }
     }
 }
 
@@ -383,6 +428,7 @@ pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
         "engines disagree on `{}`",
         case.name
     );
+    let mut soa = None;
     let compiled = {
         // Time the eager lowering alone; the resolvability probe below
         // is a full engine query and must not inflate the compile cost.
@@ -445,6 +491,45 @@ pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
             lb.drive_to(resolved);
             let compile_lazy_ns = lazy_start.elapsed().as_nanos() as f64;
             std::hint::black_box((&la, &lb));
+
+            // The lane-kernel row over arenas built from the same
+            // programs — the kernel-vs-scalar comparison on identical
+            // work.
+            let build_start = Instant::now();
+            let sa = ProgramSoA::from_program(&a);
+            let sb = ProgramSoA::from_program(&b);
+            let build_ns = build_start.elapsed().as_nanos() as f64;
+            let mut lane_chunks = 0;
+            let mut lane_intervals = 0;
+            let soa_sample = sample(
+                || {
+                    let out = rvz_sim::try_first_contact_soa(
+                        &sa,
+                        &sb,
+                        case.radius,
+                        &case.opts,
+                        &mut scratch,
+                    )
+                    .expect("arena coverage equals program coverage");
+                    let stats = scratch.last_stats();
+                    lane_chunks = stats.lane_chunks;
+                    lane_intervals = stats.lane_intervals;
+                    (out, stats)
+                },
+                iters,
+            );
+            assert_eq!(
+                soa_sample.outcome, cursor.outcome,
+                "SoA kernel disagrees on `{}`",
+                case.name
+            );
+            soa = Some(SoaSample {
+                sample: soa_sample,
+                build_ns,
+                lane_chunks,
+                lane_intervals,
+            });
+
             CompiledSample {
                 sample: s,
                 compile_eager_ns,
@@ -461,6 +546,7 @@ pub fn measure_case(case: &EngineCase, iters: u32) -> CaseMeasurement {
         generic,
         cursor,
         compiled,
+        soa,
     }
 }
 
@@ -517,6 +603,11 @@ pub struct BatchMeasurement {
     /// zero-allocation claim; 0 also when the allocator is absent — the
     /// `alloc_gate` test provides the positive control).
     pub allocs_per_query: u64,
+    /// SoA lane-kernel nanoseconds per query **including** the
+    /// amortized lowering and arena-build cost.
+    pub soa_ns_per_query: f64,
+    /// SoA-path allocation calls per query after warmup.
+    pub soa_allocs_per_query: u64,
 }
 
 impl BatchMeasurement {
@@ -524,6 +615,12 @@ impl BatchMeasurement {
     /// lowering amortized.
     pub fn speedup(&self) -> f64 {
         self.cursor_ns_per_query / self.compiled_ns_per_query
+    }
+
+    /// Batch throughput speedup of the SoA lane kernel over the cursor
+    /// path, with lowering and arena builds amortized.
+    pub fn soa_speedup(&self) -> f64 {
+        self.cursor_ns_per_query / self.soa_ns_per_query
     }
 }
 
@@ -547,7 +644,7 @@ pub fn measure_warm_batch(quick: bool) -> BatchMeasurement {
     let rounds = if quick { 3 } else { 4 };
     let horizon = rvz_search::times::rounds_total(rounds);
     let opts = ContactOptions::with_horizon(horizon);
-    let reps: u64 = if quick { 32 } else { 96 };
+    let reps: u64 = if quick { 32 } else { 256 };
     let speeds = [0.5, 0.6, 0.75, 0.9, 1.1, 1.25];
     let instances: Vec<rvz_model::RendezvousInstance> = speeds
         .iter()
@@ -561,7 +658,7 @@ pub fn measure_warm_batch(quick: bool) -> BatchMeasurement {
         })
         .collect();
     let queries = reps * instances.len() as u64;
-    let iters = if quick { 3 } else { 5 };
+    let iters = if quick { 3 } else { 13 };
 
     // Cursor arm: cursors rebuilt per query (the status quo).
     let run_cursor = || {
@@ -576,7 +673,6 @@ pub fn measure_warm_batch(quick: bool) -> BatchMeasurement {
         let inst = &instances[0];
         std::hint::black_box(simulate_rendezvous_by_ref(&UniversalSearch, inst, &opts));
     });
-    let cursor_total = best_ns(run_cursor, iters);
 
     // Compiled arm: lower once, query many times.
     let copts = CompileOptions::to_horizon(horizon).max_pieces(CASE_PIECE_BUDGET);
@@ -616,10 +712,50 @@ pub fn measure_warm_batch(quick: bool) -> BatchMeasurement {
             &mut scratch,
         ));
     });
-    let compiled_total = best_ns(|| run_compiled(&mut scratch), iters);
 
-    // Cross-check: both arms classify every scenario identically.
-    for (inst, partner) in instances.iter().zip(&partners) {
+    // SoA arm: the same lower-once programs converted to arenas once,
+    // queried through the lane kernel (the serve stack's batch route).
+    let build_start = Instant::now();
+    let soa_reference = ProgramSoA::from_program(&reference);
+    let soa_partners: Vec<ProgramSoA> = partners.iter().map(ProgramSoA::from_program).collect();
+    let arena_ns = build_start.elapsed().as_nanos() as f64;
+    let run_soa = |scratch: &mut EngineScratch| {
+        for _ in 0..reps {
+            for (inst, partner) in instances.iter().zip(&soa_partners) {
+                std::hint::black_box(rvz_sim::first_contact_soa(
+                    &soa_reference,
+                    partner,
+                    inst.visibility(),
+                    &opts,
+                    scratch,
+                ));
+            }
+        }
+    };
+    run_soa(&mut scratch); // warm-up
+    let (_, soa_allocs) = crate::alloc::count(|| {
+        std::hint::black_box(rvz_sim::first_contact_soa(
+            &soa_reference,
+            &soa_partners[0],
+            instances[0].visibility(),
+            &opts,
+            &mut scratch,
+        ));
+    });
+
+    // Interleaved rounds: one cursor/compiled/SoA sample per round, so
+    // transient machine interference lands on every arm instead of
+    // skewing whichever arm happened to be measured during the spike.
+    let (mut cursor_total, mut compiled_total, mut soa_total) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..iters {
+        cursor_total = cursor_total.min(best_ns(&run_cursor, 1));
+        compiled_total = compiled_total.min(best_ns(|| run_compiled(&mut scratch), 1));
+        soa_total = soa_total.min(best_ns(|| run_soa(&mut scratch), 1));
+    }
+
+    // Cross-check: all three arms classify every scenario identically.
+    for (inst, (partner, arena)) in instances.iter().zip(partners.iter().zip(&soa_partners)) {
         let cursor_out = simulate_rendezvous_by_ref(&UniversalSearch, inst, &opts);
         let compiled_out = rvz_sim::first_contact_programs(
             &reference,
@@ -628,10 +764,23 @@ pub fn measure_warm_batch(quick: bool) -> BatchMeasurement {
             &opts,
             &mut scratch,
         );
+        let soa_out = rvz_sim::first_contact_soa(
+            &soa_reference,
+            arena,
+            inst.visibility(),
+            &opts,
+            &mut scratch,
+        );
         assert_eq!(
             cursor_out.classification(),
             compiled_out.classification(),
             "warm batch arms disagree at v = {}",
+            inst.attributes().speed()
+        );
+        assert_eq!(
+            compiled_out.classification(),
+            soa_out.classification(),
+            "warm batch SoA arm disagrees at v = {}",
             inst.attributes().speed()
         );
     }
@@ -647,6 +796,8 @@ pub fn measure_warm_batch(quick: bool) -> BatchMeasurement {
         compile_ns_per_query: compile_ns / queries as f64,
         pieces,
         allocs_per_query: allocs,
+        soa_ns_per_query: (soa_total + compile_ns + arena_ns) / queries as f64,
+        soa_allocs_per_query: soa_allocs,
     }
 }
 
@@ -669,7 +820,7 @@ pub fn measure_swarm_batch(quick: bool) -> BatchMeasurement {
         })
         .collect();
     let queries = (radii.len() * n * (n - 1) / 2) as u64;
-    let iters = if quick { 3 } else { 5 };
+    let iters = if quick { 3 } else { 13 };
 
     let dyn_refs: Vec<&dyn MonotoneDyn> = robots.iter().map(|r| r as &dyn MonotoneDyn).collect();
     let run_cursor = || {
@@ -679,7 +830,6 @@ pub fn measure_swarm_batch(quick: bool) -> BatchMeasurement {
     };
     run_cursor();
     let (_, cursor_allocs_total) = crate::alloc::count(run_cursor);
-    let cursor_total = best_ns(run_cursor, iters);
 
     let copts = CompileOptions::to_horizon(horizon).max_pieces(CASE_PIECE_BUDGET);
     let compile_start = Instant::now();
@@ -709,17 +859,56 @@ pub fn measure_swarm_batch(quick: bool) -> BatchMeasurement {
             &mut scratch,
         ));
     });
-    let compiled_total = best_ns(|| run_compiled(&mut scratch), iters);
+
+    // SoA arm: arenas built once, the whole radius grid resolved in one
+    // sweep — per-robot window tables built once, one gap profile per
+    // pair prices every radius, and the surviving radii share a single
+    // multi-threshold ladder run per pair.
+    let build_start = Instant::now();
+    let arenas: Vec<ProgramSoA> = programs.iter().map(ProgramSoA::from_program).collect();
+    let arena_ns = build_start.elapsed().as_nanos() as f64;
+    let run_soa = |scratch: &mut EngineScratch| {
+        std::hint::black_box(rvz_sim::pairwise_sweep_soa(&arenas, &radii, &opts, scratch));
+    };
+    run_soa(&mut scratch);
+    let (_, soa_allocs) = crate::alloc::count(|| {
+        std::hint::black_box(rvz_sim::first_contact_soa(
+            &arenas[0],
+            &arenas[1],
+            radii[0],
+            &opts,
+            &mut scratch,
+        ));
+    });
+
+    // Interleaved rounds (see `measure_warm_batch`).
+    let (mut cursor_total, mut compiled_total, mut soa_total) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..iters {
+        cursor_total = cursor_total.min(best_ns(&run_cursor, 1));
+        compiled_total = compiled_total.min(best_ns(|| run_compiled(&mut scratch), 1));
+        soa_total = soa_total.min(best_ns(|| run_soa(&mut scratch), 1));
+    }
 
     let cursor_table = pairwise_meetings(&dyn_refs, radii[0], &opts);
-    let compiled_table = pairwise_meetings_programs(&programs, radii[0], &opts, &mut scratch);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            assert_eq!(
-                cursor_table[i][j].is_some(),
-                compiled_table[i][j].is_some(),
-                "swarm arms disagree on pair ({i}, {j})"
-            );
+    let sweep_tables = rvz_sim::pairwise_sweep_soa(&arenas, &radii, &opts, &mut scratch);
+    for (r, &radius) in radii.iter().enumerate() {
+        let compiled_table = pairwise_meetings_programs(&programs, radius, &opts, &mut scratch);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if r == 0 {
+                    assert_eq!(
+                        cursor_table[i][j].is_some(),
+                        compiled_table[i][j].is_some(),
+                        "swarm arms disagree on pair ({i}, {j})"
+                    );
+                }
+                assert_eq!(
+                    compiled_table[i][j].is_some(),
+                    sweep_tables[r][i][j].is_some(),
+                    "swarm SoA sweep disagrees on pair ({i}, {j}) at radius {radius}"
+                );
+            }
         }
     }
 
@@ -735,12 +924,156 @@ pub fn measure_swarm_batch(quick: bool) -> BatchMeasurement {
         compile_ns_per_query: compile_ns / queries as f64,
         pieces,
         allocs_per_query: allocs,
+        soa_ns_per_query: (soa_total + compile_ns + arena_ns) / queries as f64,
+        soa_allocs_per_query: soa_allocs,
     }
 }
 
-/// Both batch workloads.
+/// The many-vs-many batch: one reference program against `n` partners
+/// over a radius grid — the `/sweep` shape, where the SoA arm streams
+/// the shared reference arena once through
+/// [`sweep_contacts_soa`] (window tables built once, reused for every
+/// `(radius, partner)` cell) while the scalar arms pay each query from
+/// scratch.
+pub fn measure_many_vs_many_batch(quick: bool) -> BatchMeasurement {
+    let horizon = rvz_search::times::rounds_total(3);
+    let opts = ContactOptions::with_horizon(horizon);
+    // A feasibility-map-density radius grid: wide enough that the SoA
+    // arm's one-table-build-one-ladder-run amortization is the story,
+    // exactly as `/sweep` requests run it.
+    let radii = [
+        0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1, 0.11, 0.12, 0.135, 0.15,
+    ];
+    let n = if quick { 10 } else { 18 };
+    // Half the partners start within reach, half far outside the search
+    // envelope — the far half is what the window prefilter earns its
+    // keep on, exactly as in a feasibility-map sweep.
+    let partners_src: Vec<_> = (0..n)
+        .map(|i| {
+            let angle = std::f64::consts::TAU * i as f64 / n as f64;
+            let dist = if i % 2 == 0 { 1.2 } else { 40.0 };
+            RobotAttributes::reference()
+                .with_speed(0.5 + 0.07 * i as f64)
+                .frame_warp(UniversalSearch, Vec2::from_polar(dist, angle))
+        })
+        .collect();
+    let queries = (radii.len() * n) as u64;
+    let iters = if quick { 3 } else { 13 };
+
+    // Cursor arm: scoped stack cursors per query, as `pairwise_meetings`
+    // runs them.
+    let reference_robot = UniversalSearch;
+    let run_cursor = || {
+        for radius in radii {
+            for partner in &partners_src {
+                std::hint::black_box(rvz_sim::first_contact_dyn(
+                    &reference_robot,
+                    partner,
+                    radius,
+                    &opts,
+                ));
+            }
+        }
+    };
+    run_cursor();
+    let (_, cursor_allocs_total) = crate::alloc::count(run_cursor);
+
+    // Compiled arm: per-pair scalar ladder over lowered programs.
+    let copts = CompileOptions::to_horizon(horizon).max_pieces(CASE_PIECE_BUDGET);
+    let compile_start = Instant::now();
+    let reference = UniversalSearch.compile(&copts).expect("covers the horizon");
+    let programs: Vec<CompiledProgram> = partners_src
+        .iter()
+        .map(|r| r.compile(&copts).expect("covers the horizon"))
+        .collect();
+    let compile_ns = compile_start.elapsed().as_nanos() as f64;
+    let pieces = (reference.pieces().len()
+        + programs.iter().map(|p| p.pieces().len()).sum::<usize>()) as u64;
+    let mut scratch = EngineScratch::new();
+    let run_compiled = |scratch: &mut EngineScratch| {
+        for radius in radii {
+            for program in &programs {
+                std::hint::black_box(rvz_sim::first_contact_programs(
+                    &reference, program, radius, &opts, scratch,
+                ));
+            }
+        }
+    };
+    run_compiled(&mut scratch);
+    let (_, allocs) = crate::alloc::count(|| {
+        std::hint::black_box(rvz_sim::first_contact_programs(
+            &reference,
+            &programs[0],
+            radii[0],
+            &opts,
+            &mut scratch,
+        ));
+    });
+
+    // SoA arm: the whole grid in one streaming call.
+    let build_start = Instant::now();
+    let soa_reference = ProgramSoA::from_program(&reference);
+    let arenas: Vec<ProgramSoA> = programs.iter().map(ProgramSoA::from_program).collect();
+    let arena_ns = build_start.elapsed().as_nanos() as f64;
+    let run_soa = |scratch: &mut EngineScratch| {
+        std::hint::black_box(sweep_contacts_soa(
+            &soa_reference,
+            &arenas,
+            &radii,
+            &opts,
+            scratch,
+        ));
+    };
+    run_soa(&mut scratch);
+    let (_, soa_allocs_total) = crate::alloc::count(|| run_soa(&mut scratch));
+
+    // Interleaved rounds (see `measure_warm_batch`).
+    let (mut cursor_total, mut compiled_total, mut soa_total) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..iters {
+        cursor_total = cursor_total.min(best_ns(&run_cursor, 1));
+        compiled_total = compiled_total.min(best_ns(|| run_compiled(&mut scratch), 1));
+        soa_total = soa_total.min(best_ns(|| run_soa(&mut scratch), 1));
+    }
+
+    // Cross-check every cell: classification agreement across arms.
+    let sweep = sweep_contacts_soa(&soa_reference, &arenas, &radii, &opts, &mut scratch);
+    for (r, &radius) in radii.iter().enumerate() {
+        for (k, program) in programs.iter().enumerate() {
+            let scalar =
+                rvz_sim::first_contact_programs(&reference, program, radius, &opts, &mut scratch);
+            let soa_out = sweep[r][k].as_ref().expect("covered arenas resolve");
+            assert_eq!(
+                scalar.classification(),
+                soa_out.classification(),
+                "many-vs-many arms disagree at radius {radius}, partner {k}"
+            );
+        }
+    }
+
+    BatchMeasurement {
+        name: "swarm_many_vs_many",
+        description: "one Algorithm 4 reference vs 10+ partners over a radius grid (/sweep shape)",
+        queries,
+        cursor_ns_per_query: cursor_total / queries as f64,
+        cursor_allocs_per_query: cursor_allocs_total / queries,
+        compiled_ns_per_query: (compiled_total + compile_ns) / queries as f64,
+        compile_ns,
+        compile_ns_per_query: compile_ns / queries as f64,
+        pieces,
+        allocs_per_query: allocs,
+        soa_ns_per_query: (soa_total + compile_ns + arena_ns) / queries as f64,
+        soa_allocs_per_query: soa_allocs_total / queries,
+    }
+}
+
+/// All batch workloads.
 pub fn measure_batches(quick: bool) -> Vec<BatchMeasurement> {
-    vec![measure_warm_batch(quick), measure_swarm_batch(quick)]
+    vec![
+        measure_warm_batch(quick),
+        measure_swarm_batch(quick),
+        measure_many_vs_many_batch(quick),
+    ]
 }
 
 // ------------------------------------------------------------------
@@ -777,6 +1110,22 @@ fn json_compiled(compiled: &Option<CompiledSample>) -> String {
     }
 }
 
+fn json_soa(soa: &Option<SoaSample>) -> String {
+    match soa {
+        None => "null".to_string(),
+        Some(s) => format!(
+            "{{\"ns_per_run\": {:.0}, \"steps\": {}, \"build_ns\": {:.0}, \"lane_chunks\": {}, \"lane_intervals\": {}, \"allocs_per_query\": {}, \"outcome\": \"{}\"}}",
+            s.sample.ns_per_run,
+            s.sample.steps,
+            s.build_ns,
+            s.lane_chunks,
+            s.lane_intervals,
+            s.sample.allocs_per_query,
+            s.sample.outcome
+        ),
+    }
+}
+
 fn json_batch(b: &BatchMeasurement) -> String {
     format!(
         concat!(
@@ -784,7 +1133,9 @@ fn json_batch(b: &BatchMeasurement) -> String {
             "\"cursor_ns_per_query\": {:.0}, \"cursor_allocs_per_query\": {}, ",
             "\"compiled_ns_per_query\": {:.0}, \"compile_ns\": {:.0}, ",
             "\"compile_ns_per_query\": {:.0}, \"pieces\": {}, ",
-            "\"allocs_per_query\": {}, \"speedup\": {:.2}}}"
+            "\"allocs_per_query\": {}, \"speedup\": {:.2}, ",
+            "\"soa_ns_per_query\": {:.0}, \"soa_allocs_per_query\": {}, ",
+            "\"soa_speedup\": {:.2}}}"
         ),
         b.name,
         b.description,
@@ -797,13 +1148,17 @@ fn json_batch(b: &BatchMeasurement) -> String {
         b.pieces,
         b.allocs_per_query,
         b.speedup(),
+        b.soa_ns_per_query,
+        b.soa_allocs_per_query,
+        b.soa_speedup(),
     )
 }
 
 /// Renders the measurements as the `BENCH_engine.json` document
-/// (schema v4: per-case eager/lazy compile costs and certified ε
-/// alongside the compiled samples, plus the batch workloads with the
-/// amortized per-query lowering tax).
+/// (schema v5: the v4 per-case eager/lazy compile costs and certified
+/// ε, plus the SoA lane-kernel rows — per-case `soa` samples with
+/// arena build cost and lane counters, per-batch `soa_ns_per_query`
+/// throughput, and the top-level `lane_width`).
 ///
 /// Hand-rolled JSON (the workspace is dependency-free); the schema is
 /// versioned so future PRs can extend it without breaking consumers.
@@ -813,21 +1168,23 @@ pub fn render_json(
     quick: bool,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rvz-bench-engine/v4\",\n");
+    out.push_str("  \"schema\": \"rvz-bench-engine/v5\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
     ));
+    out.push_str(&format!("  \"lane_width\": {KERNEL_LANES},\n"));
     out.push_str("  \"cases\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"description\": \"{}\", \"iters\": {}, \"generic\": {}, \"cursor\": {}, \"compiled\": {}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"description\": \"{}\", \"iters\": {}, \"generic\": {}, \"cursor\": {}, \"compiled\": {}, \"soa\": {}, \"speedup\": {:.2}}}{}\n",
             m.name,
             m.description,
             m.iters,
             json_sample(&m.generic),
             json_sample(&m.cursor),
             json_compiled(&m.compiled),
+            json_soa(&m.soa),
             m.speedup(),
             if i + 1 == measurements.len() { "" } else { "," }
         ));
@@ -879,7 +1236,14 @@ pub fn batch_acceptance_speedup(batches: &[BatchMeasurement]) -> f64 {
 pub fn batch_summary(batches: &[BatchMeasurement]) -> String {
     let detail: Vec<String> = batches
         .iter()
-        .map(|b| format!("{} {:.2}x", b.name, b.speedup()))
+        .map(|b| {
+            format!(
+                "{} {:.2}x (soa {:.2}x)",
+                b.name,
+                b.speedup(),
+                b.soa_speedup()
+            )
+        })
         .collect();
     format!(
         "sweep/batch workload speedup: {:.2}x (target: >= 2x; {})",
@@ -902,6 +1266,8 @@ pub fn render_table(measurements: &[CaseMeasurement]) -> String {
         "env queries",
         "compiled ns",
         "pieces",
+        "soa ns",
+        "chunks",
         "allocs",
         "speedup",
     ]);
@@ -914,6 +1280,13 @@ pub fn render_table(measurements: &[CaseMeasurement]) -> String {
             ),
             None => ("-".into(), "-".into(), "-".into()),
         };
+        let (soa_ns, chunks) = match &m.soa {
+            Some(s) => (
+                format!("{:.0}", s.sample.ns_per_run),
+                s.lane_chunks.to_string(),
+            ),
+            None => ("-".into(), "-".into()),
+        };
         table.row_owned(vec![
             m.name.to_string(),
             m.generic.outcome.to_string(),
@@ -925,6 +1298,8 @@ pub fn render_table(measurements: &[CaseMeasurement]) -> String {
             m.cursor.envelope_queries.to_string(),
             compiled_ns,
             pieces,
+            soa_ns,
+            chunks,
             allocs,
             format!("{:.2}x", m.speedup()),
         ]);
@@ -939,10 +1314,12 @@ pub fn render_batch_table(batches: &[BatchMeasurement]) -> String {
         "queries",
         "cursor ns/q",
         "compiled ns/q",
+        "soa ns/q",
         "compile ns",
         "pieces",
         "allocs/q",
         "speedup",
+        "soa speedup",
     ]);
     for b in batches {
         table.row_owned(vec![
@@ -950,10 +1327,12 @@ pub fn render_batch_table(batches: &[BatchMeasurement]) -> String {
             b.queries.to_string(),
             format!("{:.0}", b.cursor_ns_per_query),
             format!("{:.0}", b.compiled_ns_per_query),
+            format!("{:.0}", b.soa_ns_per_query),
             format!("{:.0}", b.compile_ns),
             b.pieces.to_string(),
             b.allocs_per_query.to_string(),
             format!("{:.2}x", b.speedup()),
+            format!("{:.2}x", b.soa_speedup()),
         ]);
     }
     table.render()
@@ -1027,12 +1406,21 @@ mod tests {
 
     #[test]
     fn batch_workloads_run_and_cross_check() {
-        for b in measure_batches(true) {
+        let batches = measure_batches(true);
+        assert_eq!(batches.len(), 3);
+        for b in &batches {
             assert!(b.queries > 0);
             assert!(b.cursor_ns_per_query > 0.0 && b.compiled_ns_per_query > 0.0);
+            assert!(b.soa_ns_per_query > 0.0, "{} has no SoA arm", b.name);
             assert!(b.pieces > 0);
             assert!(b.speedup().is_finite());
+            assert!(b.soa_speedup().is_finite());
+            // The alloc satellites: the steady-state per-query loops
+            // stay off the heap on every arm.
+            assert_eq!(b.allocs_per_query, 0, "{} compiled arm allocates", b.name);
+            assert_eq!(b.soa_allocs_per_query, 0, "{} SoA arm allocates", b.name);
         }
+        assert!(batches.iter().any(|b| b.name == "swarm_many_vs_many"));
     }
 
     #[test]
@@ -1076,6 +1464,20 @@ mod tests {
                     approx_eps: 2e-6,
                     pieces: 42,
                 }),
+                soa: Some(SoaSample {
+                    sample: EngineSample {
+                        ns_per_run: 1.0,
+                        steps: 1,
+                        queries: 4,
+                        outcome: "contact",
+                        pruned_intervals: 3,
+                        envelope_queries: 8,
+                        allocs_per_query: 0,
+                    },
+                    build_ns: 77.0,
+                    lane_chunks: 3,
+                    lane_intervals: 19,
+                }),
             },
             CaseMeasurement {
                 name: "curved",
@@ -1084,6 +1486,7 @@ mod tests {
                 generic: sample,
                 cursor: sample,
                 compiled: None,
+                soa: None,
             },
         ];
         let batches = vec![BatchMeasurement {
@@ -1097,9 +1500,12 @@ mod tests {
             compile_ns_per_query: 104.0,
             pieces: 1234,
             allocs_per_query: 0,
+            soa_ns_per_query: 250.0,
+            soa_allocs_per_query: 0,
         }];
         let json = render_json(&measurements, &batches, true);
-        assert!(json.contains("\"schema\": \"rvz-bench-engine/v4\""));
+        assert!(json.contains("\"schema\": \"rvz-bench-engine/v5\""));
+        assert!(json.contains(&format!("\"lane_width\": {KERNEL_LANES}")));
         assert!(json.contains("\"compile_eager_ns\": 100"));
         assert!(json.contains("\"compile_lazy_ns\": 25"));
         assert!(json.contains("\"approx_eps\": 2e-6"));
@@ -1107,8 +1513,14 @@ mod tests {
         assert!(json.contains("\"pieces\": 42"));
         assert!(json.contains("\"allocs_per_query\": 0"));
         assert!(json.contains("\"compiled\": null"));
+        assert!(json.contains("\"soa\": null"));
+        assert!(json.contains("\"build_ns\": 77"));
+        assert!(json.contains("\"lane_chunks\": 3"));
+        assert!(json.contains("\"lane_intervals\": 19"));
         assert!(json.contains("\"batches\""));
         assert!(json.contains("\"speedup\": 2.50"));
+        assert!(json.contains("\"soa_ns_per_query\": 250"));
+        assert!(json.contains("\"soa_speedup\": 4.00"));
         assert!(json.contains("\"mode\": \"quick\""));
         assert_eq!(
             json.matches('{').count(),
@@ -1128,5 +1540,6 @@ mod tests {
         let batch_table = render_batch_table(&batches);
         assert!(batch_table.contains("warm_batch_universal"));
         assert!(batch_table.contains("swarm_pairwise"));
+        assert!(batch_table.contains("swarm_many_vs_many"));
     }
 }

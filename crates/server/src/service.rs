@@ -35,8 +35,11 @@ use rvz_experiments::{
     Scenario, Summary, SweepOptions, SweepRecord, DEFAULT_GRID,
 };
 use rvz_model::{feasibility, Chirality, RobotAttributes};
-use rvz_sim::{try_first_contact_programs, Budget, ContactOptions, EngineScratch, SimOutcome};
-use rvz_trajectory::{Compile, CompileOptions, CompiledProgram};
+use rvz_sim::{
+    first_contact_batch_soa, try_first_contact_programs, Budget, ContactOptions, EngineScratch,
+    SimOutcome,
+};
+use rvz_trajectory::{Compile, CompileOptions, CompiledProgram, ProgramSoA};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -69,20 +72,19 @@ pub struct ServiceOptions {
     /// lowered **at most once per algorithm for the process lifetime**
     /// — including the negative result, so a horizon too deep for the
     /// budget is probed exactly once and every later query skips
-    /// straight to the cursor path. Each orbit's frame-warped
-    /// **partner** is *streamed* on a miss — a
-    /// [`rvz_trajectory::LazyProgram`] materializes pieces only as far
-    /// as the query advances — then frozen into an eager handle and
-    /// cached under the same canonical key as its result, so warm
-    /// misses replay on the frozen prefix without touching the stream;
-    /// since the partner cache shares the result cache's capacity and
-    /// access pattern, a partner is evicted no later than its result —
-    /// a fresh miss on an evicted orbit re-streams the partner (to the
-    /// same depth, hence byte-identical replies) but never re-lowers
-    /// the reference (the dominant cost). The service owns all
-    /// lowering itself: the executor's own compiled path is disabled
-    /// at construction so no per-request worker ever re-lowers a
-    /// reference.
+    /// straight to the cursor path — and its SoA arena (feeding the
+    /// lane/batch kernels) is built from it exactly once more. Each
+    /// orbit's frame-warped **partner** is lowered eagerly on a miss,
+    /// to the full budget-capped depth, and cached under the same
+    /// canonical key as its result, so warm misses replay on the
+    /// cached handle; since the partner cache shares the result
+    /// cache's capacity and access pattern, a partner is evicted no
+    /// later than its result — a fresh miss on an evicted orbit
+    /// re-lowers the partner (to the same depth, hence byte-identical
+    /// replies) but never re-lowers the reference (the dominant cost).
+    /// The service owns all lowering itself: the executor's own
+    /// compiled path is disabled at construction so no per-request
+    /// worker ever re-lowers a reference.
     pub sweep: SweepOptions,
     /// Per-request wall-clock deadline for engine work. Each request
     /// gets a fresh [`Budget`] starting at dispatch; an exhausted one
@@ -146,14 +148,17 @@ pub struct Service {
     /// is zeroed so executor fallbacks never lower independently).
     compile_pieces: usize,
     cache: ResultCache<SimOutcome>,
-    /// Partner-program cache: one frozen frame-warped prefix (the
-    /// lazy stream's materialized span, or a remembered refusal) per
-    /// canonical orbit, keyed like the result cache.
+    /// Partner-program cache: one frame-warped partner program at full
+    /// (piece-budget-capped) coverage — or a remembered lowering
+    /// refusal — per canonical orbit, keyed like the result cache.
     programs: ResultCache<Option<SharedProgram>>,
     /// Reference programs, one per [`Algorithm`]: a pure function of
     /// the algorithm and the service horizon, lowered at most once for
     /// the process lifetime.
     reference: [OnceLock<Option<SharedProgram>>; 2],
+    /// SoA arenas of the reference programs, built at most once per
+    /// algorithm and shared by the lane/batch kernels across requests.
+    reference_soa: [OnceLock<Option<Arc<ProgramSoA>>>; 2],
     /// How many reference lowerings actually ran (observability: stays
     /// at ≤ 2 no matter how many orbits stream through).
     reference_lowerings: AtomicU64,
@@ -217,6 +222,7 @@ impl Service {
             cache: ResultCache::new(opts.cache_capacity, opts.cache_shards),
             programs: ResultCache::new(opts.cache_capacity, opts.cache_shards),
             reference: [OnceLock::new(), OnceLock::new()],
+            reference_soa: [OnceLock::new(), OnceLock::new()],
             reference_lowerings: AtomicU64::new(0),
             compile_pieces,
             opts,
@@ -806,15 +812,24 @@ impl Service {
         run_sweep(std::slice::from_ref(canonical), &single)[0].outcome
     }
 
-    /// The compiled fast path: the cached reference against a
-    /// **streaming** partner. A partner-cache hit replays the query on
-    /// the frozen handle (bit-identical to the run that produced it —
-    /// the handle keeps its full mark list precisely so the replay
-    /// seeds identical pruning windows); a miss runs the query on a
-    /// [`LazyProgram`](rvz_trajectory::LazyProgram) that materializes
-    /// pieces only as deep as the query advances, then freezes that
-    /// depth into a shareable `Send + Sync` handle for later misses of
-    /// the same orbit. `None` hands the query to the cursor path.
+    /// The compiled fast path: the cached reference against the
+    /// orbit's partner program, resolved **kernel-first**. The query
+    /// runs as a one-element [`first_contact_batch_soa`] batch — the
+    /// *same* entry point `/sweep` groups route through, so a
+    /// representative produces identical bytes whether it arrives
+    /// alone or inside a batch (the batch kernel's per-pair decisions,
+    /// including the window-table disproof, are independent of the
+    /// other batch members). A kernel refusal (the advancement outran
+    /// the piece-budget-capped coverage) falls back to the scalar
+    /// ladder over the same pieces, and `None` hands the query to the
+    /// cursor executor.
+    ///
+    /// The partner handle always holds the orbit's *full*
+    /// (budget-capped) lowering — [`Self::partner_program`] upgrades
+    /// anything shallower — so which engine resolves a representative
+    /// is a pure function of the scenario and the engine options,
+    /// never of cache history: the determinism contract holds for
+    /// every cached byte.
     fn simulate_compiled(
         &self,
         canonical: &Scenario,
@@ -822,72 +837,136 @@ impl Service {
         contact: &ContactOptions,
     ) -> Option<SimOutcome> {
         let reference = Arc::clone(self.reference_for(canonical.algorithm).as_ref()?);
+        let partner = self.partner_program(canonical, key)?;
         let mut scratch = EngineScratch::new();
-        if let Some(partner) = self.programs.probe(&key).flatten() {
-            // Identical key ⟹ identical canonical scenario ⟹ the
-            // frozen depth suffices (it was materialized by this very
-            // query); the refusal branch below only fires after an
-            // options change, a shallow budget, or an earlier
-            // deadline-truncated stream, and stays sound.
-            if let Some(outcome) = try_first_contact_programs(
-                &reference,
-                &partner,
+        if let Some(arena) = self.reference_soa_for(canonical.algorithm) {
+            let partner_arena = ProgramSoA::from_program(&partner);
+            if let Some(outcome) = first_contact_batch_soa(
+                &arena,
+                std::slice::from_ref(&partner_arena),
                 canonical.visibility,
                 contact,
                 &mut scratch,
-            ) {
-                self.programs.record(1, 0);
+            )
+            .pop()
+            .flatten()
+            {
                 return Some(outcome);
+            }
+        }
+        try_first_contact_programs(
+            &reference,
+            &partner,
+            canonical.visibility,
+            contact,
+            &mut scratch,
+        )
+    }
+
+    /// Routes a `/sweep` miss batch through the SoA batch kernel: all
+    /// representatives sharing an algorithm and a visibility radius
+    /// resolve in one [`first_contact_batch_soa`] call that streams
+    /// the shared reference arena once (window tables disprove
+    /// far-infeasible cells without touching their pieces). Cells the
+    /// kernel refuses stay `None` for the per-representative ladder,
+    /// which resolves them identically by construction.
+    fn batch_compiled(
+        &self,
+        missing: &[Scenario],
+        missing_index: &std::collections::HashMap<rvz_experiments::CacheKey, usize>,
+        contact: &ContactOptions,
+        computed: &mut [Option<SimOutcome>],
+    ) {
+        let mut groups: std::collections::HashMap<(usize, u64), (Vec<usize>, Vec<ProgramSoA>)> =
+            std::collections::HashMap::new();
+        for (key, &j) in missing_index {
+            let rep = &missing[j];
+            let slot = match rep.algorithm {
+                Algorithm::WaitAndSearch => 0,
+                Algorithm::UniversalSearch => 1,
+            };
+            if self.reference_soa_for(rep.algorithm).is_none() {
+                continue;
+            }
+            let Some(partner) = self.partner_program(rep, *key) else {
+                continue;
+            };
+            let (indices, partners) = groups.entry((slot, rep.visibility.to_bits())).or_default();
+            indices.push(j);
+            partners.push(ProgramSoA::from_program(&partner));
+        }
+        let mut scratch = EngineScratch::new();
+        for ((slot, radius_bits), (indices, partners)) in &groups {
+            let algorithm = if *slot == 0 {
+                Algorithm::WaitAndSearch
+            } else {
+                Algorithm::UniversalSearch
+            };
+            let arena = self
+                .reference_soa_for(algorithm)
+                .expect("grouped only under a built arena");
+            let outcomes = first_contact_batch_soa(
+                &arena,
+                partners,
+                f64::from_bits(*radius_bits),
+                contact,
+                &mut scratch,
+            );
+            for (&j, outcome) in indices.iter().zip(outcomes) {
+                computed[j] = outcome;
+            }
+        }
+    }
+
+    /// The orbit's partner program at full (piece-budget-capped)
+    /// coverage. A cached handle is replayed when it either covers the
+    /// horizon or already spent the whole piece budget (eager lowering
+    /// is deterministic, so such a handle is byte-for-byte what a
+    /// fresh lowering would produce); anything shallower — absent, or
+    /// a pre-upgrade query-depth freeze — is lowered eagerly and
+    /// upgrades the cache slot. A remembered lowering refusal stays a
+    /// hit and keeps handing the orbit to the cursor path.
+    ///
+    /// Unlike `get_or_compute`, concurrent misses of one orbit may
+    /// both lower (the last insert wins the slot); both produce the
+    /// same handle, so responses stay pure.
+    fn partner_program(
+        &self,
+        canonical: &Scenario,
+        key: rvz_experiments::CacheKey,
+    ) -> Option<SharedProgram> {
+        let horizon = self.opts.sweep.contact.horizon;
+        if let Some(slot) = self.programs.probe(&key) {
+            match slot {
+                Some(partner)
+                    if partner.covers(horizon) || partner.pieces().len() >= self.compile_pieces =>
+                {
+                    self.programs.record(1, 0);
+                    return Some(partner);
+                }
+                Some(_) => {} // shallow handle: fall through and upgrade
+                None => {
+                    self.programs.record(1, 0);
+                    return None;
+                }
             }
         }
         self.programs.record(0, 1);
         let instance = canonical.instance().ok()?;
-        match canonical.algorithm {
-            Algorithm::WaitAndSearch => self.lazy_partner_query(
-                &reference,
-                &rvz_core::WaitAndSearch,
-                &instance,
-                key,
-                contact,
-                &mut scratch,
-            ),
-            Algorithm::UniversalSearch => self.lazy_partner_query(
-                &reference,
-                &rvz_search::UniversalSearch,
-                &instance,
-                key,
-                contact,
-                &mut scratch,
-            ),
-        }
-    }
-
-    /// Runs one query against a freshly streamed partner and caches the
-    /// frozen materialized depth under the orbit's key.
-    ///
-    /// Unlike `get_or_compute`, concurrent misses of one orbit may both
-    /// stream (the last freeze wins the cache slot); both produce the
-    /// same frozen handle and the same outcome, so responses stay pure.
-    fn lazy_partner_query<T: Compile + rvz_trajectory::MonotoneTrajectory>(
-        &self,
-        reference: &CompiledProgram,
-        algorithm: &T,
-        instance: &rvz_model::RendezvousInstance,
-        key: rvz_experiments::CacheKey,
-        contact: &ContactOptions,
-        scratch: &mut EngineScratch,
-    ) -> Option<SimOutcome> {
-        let partner = instance
-            .attributes()
-            .frame_warp(algorithm, instance.offset());
-        let lazy = rvz_trajectory::LazyProgram::new(&partner, self.compile_options());
-        let outcome =
-            try_first_contact_programs(reference, &lazy, instance.visibility(), contact, scratch);
-        // Freeze whatever depth the query reached — resolved or refused
-        // — so the next miss on this orbit starts from a baked handle
-        // instead of re-streaming.
-        self.programs.insert(key, Some(Arc::new(lazy.freeze())));
-        outcome
+        let copts = self.compile_options();
+        let compiled = match canonical.algorithm {
+            Algorithm::WaitAndSearch => instance
+                .attributes()
+                .frame_warp(rvz_core::WaitAndSearch, instance.offset())
+                .compile(&copts),
+            Algorithm::UniversalSearch => instance
+                .attributes()
+                .frame_warp(rvz_search::UniversalSearch, instance.offset())
+                .compile(&copts),
+        };
+        let shared = compiled.ok().map(Arc::new);
+        self.programs.insert(key, shared.clone());
+        shared
     }
 
     fn compile_options(&self) -> CompileOptions {
@@ -915,6 +994,23 @@ impl Service {
                 .filter(|p| p.covers(self.opts.sweep.contact.horizon))
                 .map(Arc::new)
         })
+    }
+
+    /// The reference program's SoA arena, built at most once per
+    /// algorithm (a pure function of the reference program) and shared
+    /// by the lane kernel and the `/sweep` batch kernel.
+    fn reference_soa_for(&self, algorithm: Algorithm) -> Option<Arc<ProgramSoA>> {
+        let slot = match algorithm {
+            Algorithm::WaitAndSearch => 0,
+            Algorithm::UniversalSearch => 1,
+        };
+        self.reference_soa[slot]
+            .get_or_init(|| {
+                self.reference_for(algorithm)
+                    .as_ref()
+                    .map(|p| Arc::new(ProgramSoA::from_program(p)))
+            })
+            .clone()
     }
 
     fn first_contact(&self, req: &Request) -> Response {
@@ -1015,10 +1111,20 @@ impl Service {
             // executor with its own lowering disabled — the executor
             // would otherwise rebuild (and, at deep horizons, discard) a
             // reference per worker per request.
+            //
+            // Representatives sharing an algorithm and a visibility
+            // radius route through the SoA **batch kernel** in one
+            // streaming pass over the shared reference arena (window
+            // tables disprove far-infeasible cells wholesale); kernel
+            // refusals and leftovers fall back to the per-representative
+            // ladder below, which resolves identically by construction.
             let mut computed: Vec<Option<SimOutcome>> = vec![None; missing.len()];
             if !self.opts.no_cache && self.compile_pieces > 0 {
+                self.batch_compiled(&missing, &missing_index, &contact, &mut computed);
                 for (key, &j) in &missing_index {
-                    computed[j] = self.simulate_compiled(&missing[j], *key, &contact);
+                    if computed[j].is_none() {
+                        computed[j] = self.simulate_compiled(&missing[j], *key, &contact);
+                    }
                 }
             }
             let leftover: Vec<Scenario> = missing
@@ -1417,6 +1523,38 @@ mod tests {
         let (resp2, _) = svc.handle(&request("POST", "/sweep", body));
         assert_eq!(resp2.body, resp.body);
         assert_eq!(header(&resp2, "X-Rvz-Cache"), "hits=3;misses=0");
+    }
+
+    #[test]
+    fn sweep_bytes_match_across_batch_and_single_resolution() {
+        // The determinism contract across the batch-kernel routing: a
+        // representative must produce identical bytes whether it
+        // resolves inside a `/sweep` group, as a singleton batch via
+        // `/first-contact`, or replays from the cache afterwards. The
+        // far scenario exercises the window-table disproof; the near
+        // ones the lane kernel proper.
+        let body = r#"{"scenarios":[
+            {"speed":0.5,"distance":0.9,"visibility":0.25},
+            {"speed":0.75,"distance":1.2,"visibility":0.3},
+            {"speed":0.6,"distance":400.0,"visibility":0.25}
+        ]}"#;
+        let cold = service();
+        let (via_batch, _) = cold.handle(&request("POST", "/sweep", body));
+        assert_eq!(via_batch.status, 200, "{}", via_batch.body);
+
+        let warm = service();
+        for single in [
+            r#"{"speed":0.5,"distance":0.9,"visibility":0.25}"#,
+            r#"{"speed":0.6,"distance":400.0,"visibility":0.25}"#,
+        ] {
+            let (resp, _) = warm.handle(&request("POST", "/first-contact", single));
+            assert_eq!(resp.status, 200, "{}", resp.body);
+        }
+        // This sweep mixes cache hits (seeded by the single-query
+        // path) with one genuine batch-kernel miss.
+        let (mixed, _) = warm.handle(&request("POST", "/sweep", body));
+        assert_eq!(header(&mixed, "X-Rvz-Cache"), "hits=2;misses=1");
+        assert_eq!(via_batch.body, mixed.body);
     }
 
     #[test]

@@ -62,7 +62,7 @@ use rvz_trajectory::{Motion, ProgramView};
 #[derive(Debug, Clone, Default)]
 pub struct EngineScratch {
     /// Pruning-layer work counters of the most recent query.
-    stats: EngineStats,
+    pub(crate) stats: EngineStats,
     /// Swarm position buffer (gathering queries).
     positions: Vec<Vec2>,
     /// Swarm piece-index buffer (gathering queries).

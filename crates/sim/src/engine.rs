@@ -56,7 +56,7 @@
 //! as before; the horizon endpoint is always sampled.
 
 use rvz_geometry::Vec2;
-use rvz_trajectory::monotone::{Cursor, MonotoneTrajectory, Motion, Probe};
+use rvz_trajectory::monotone::{Cursor, MonotoneDyn, MonotoneTrajectory, Motion, Probe};
 use rvz_trajectory::Trajectory;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -385,6 +385,34 @@ where
     first_contact_cursors(&mut a.cursor(), &mut b.cursor(), radius, opts)
 }
 
+/// [`first_contact`] for type-erased robots: the heterogeneous-swarm
+/// entry point.
+///
+/// Runs the cursor fast path through [`MonotoneDyn::with_cursor`]'s
+/// scoped stack cursors instead of `dyn_cursor()`'s boxed ones, so a
+/// query performs **zero** heap allocations (the allocation gate in
+/// `tests/alloc_gate.rs` holds this path to the same standard as the
+/// compiled engine). Virtual dispatch per probe remains — callers with
+/// concrete types keep [`first_contact`].
+///
+/// # Panics
+///
+/// As for [`first_contact`].
+pub fn first_contact_dyn(
+    a: &dyn MonotoneDyn,
+    b: &dyn MonotoneDyn,
+    radius: f64,
+    opts: &ContactOptions,
+) -> SimOutcome {
+    let mut out = None;
+    a.with_cursor(&mut |ca| {
+        b.with_cursor(&mut |cb| {
+            out = Some(first_contact_cursors(ca, cb, radius, opts));
+        });
+    });
+    out.expect("with_cursor always invokes its closure")
+}
+
 /// Work counters for the cursor engine, reported by
 /// [`first_contact_cursors_instrumented`].
 ///
@@ -406,6 +434,13 @@ pub struct EngineStats {
     /// Steps advanced by the conservative / piece-boundary certificates
     /// (3–4) — the remainder of the ladder.
     pub conservative_steps: u64,
+    /// Lane-kernel chunks evaluated (each chunk is up to
+    /// [`crate::kernel::KERNEL_LANES`] merged affine intervals minimized
+    /// branch-free in one pass). Zero on the scalar paths.
+    pub lane_chunks: u64,
+    /// Whole intervals certified (or localized) by lane chunks — the
+    /// kernel's share of the total steps. Zero on the scalar paths.
+    pub lane_intervals: u64,
 }
 
 /// The cursor-level engine behind [`first_contact`].

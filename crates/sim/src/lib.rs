@@ -59,6 +59,7 @@
 pub mod batch;
 pub mod compiled;
 pub mod engine;
+pub mod kernel;
 pub mod multi;
 pub mod runners;
 pub mod stationary;
@@ -72,13 +73,15 @@ pub use batch::{
 };
 pub use compiled::{first_contact_programs, try_first_contact_programs, EngineScratch};
 pub use engine::{
-    first_contact, first_contact_cursors, first_contact_cursors_instrumented,
+    first_contact, first_contact_cursors, first_contact_cursors_instrumented, first_contact_dyn,
     first_contact_generic, Budget, ContactOptions, EngineStats, SimOutcome,
 };
+pub use kernel::{first_contact_soa, sweep_first_contact_soa, try_first_contact_soa, KERNEL_LANES};
 pub use multi::{
-    first_simultaneous_gathering, first_simultaneous_gathering_homogeneous,
-    first_simultaneous_gathering_programs, pairwise_meetings, pairwise_meetings_homogeneous,
-    pairwise_meetings_programs,
+    first_contact_batch_soa, first_simultaneous_gathering,
+    first_simultaneous_gathering_homogeneous, first_simultaneous_gathering_programs,
+    pairwise_meetings, pairwise_meetings_homogeneous, pairwise_meetings_programs,
+    pairwise_meetings_soa, pairwise_sweep_soa, sweep_contacts_soa, SWEEP_WINDOWS,
 };
 pub use runners::{simulate_rendezvous, simulate_search};
 pub use stationary::Stationary;

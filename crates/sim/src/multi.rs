@@ -17,9 +17,12 @@
 //! precisely why the paper leaves it open.
 
 use crate::compiled::{first_contact_programs, EngineScratch};
-use crate::engine::{first_contact_cursors, ContactOptions, SimOutcome};
-use rvz_geometry::Vec2;
-use rvz_trajectory::{CompiledProgram, Cursor, MonotoneDyn, MonotoneTrajectory, Trajectory};
+use crate::engine::{first_contact_cursors, ContactOptions, EngineStats, SimOutcome};
+use crate::kernel::{sweep_first_contact_soa, try_first_contact_soa};
+use rvz_geometry::{Aabb, Vec2};
+use rvz_trajectory::{
+    CompiledProgram, Cursor, MonotoneDyn, MonotoneTrajectory, ProgramSoA, ProgramView, Trajectory,
+};
 
 /// First-contact times for every unordered pair in a swarm.
 ///
@@ -29,7 +32,9 @@ use rvz_trajectory::{CompiledProgram, Cursor, MonotoneDyn, MonotoneTrajectory, T
 ///
 /// The robots are taken as [`MonotoneDyn`] trait objects (implemented
 /// automatically for every [`MonotoneTrajectory`]), so each pair runs
-/// on the engine's cursor fast path via boxed cursors.
+/// on the engine's cursor fast path through
+/// [`first_contact_dyn`](crate::first_contact_dyn)'s scoped stack
+/// cursors — no per-pair boxing.
 ///
 /// A wall-clock [`Budget`](crate::Budget) in `opts` is shared by every
 /// pair (the deadline is absolute): once it expires, remaining pairs
@@ -50,12 +55,7 @@ pub fn pairwise_meetings(
     let mut table = vec![vec![None; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let outcome = first_contact_cursors(
-                &mut robots[i].dyn_cursor(),
-                &mut robots[j].dyn_cursor(),
-                radius,
-                opts,
-            );
+            let outcome = crate::engine::first_contact_dyn(robots[i], robots[j], radius, opts);
             table[i][j] = outcome.contact_time();
         }
     }
@@ -120,6 +120,340 @@ pub fn pairwise_meetings_programs(
         }
     }
     table
+}
+
+/// Envelope windows per robot in the batch prefilter: coarse enough
+/// that the tables stay cache-resident for realistic swarms, fine
+/// enough that separated pairs are disproved without touching the
+/// kernel. Radius-independent — a sweep builds them once and reuses
+/// them for every radius.
+pub const SWEEP_WINDOWS: usize = 64;
+
+/// Fills `out` with `SWEEP_WINDOWS` conservative envelope boxes
+/// partitioning `[0, horizon]` for one arena.
+fn window_boxes(soa: &ProgramSoA, horizon: f64, out: &mut Vec<Aabb>) {
+    let dt = horizon / SWEEP_WINDOWS as f64;
+    for w in 0..SWEEP_WINDOWS {
+        let t0 = w as f64 * dt;
+        let t1 = if w + 1 == SWEEP_WINDOWS {
+            horizon
+        } else {
+            (w + 1) as f64 * dt
+        };
+        out.push(soa.envelope_box_impl(t0, t1));
+    }
+}
+
+/// A pair's window-gap profile `(min_gap, argmin)`: the smallest
+/// envelope gap over the windows and the window attaining it. The pair
+/// is disproved for every threshold below `min_gap` — the profile is
+/// radius-independent, so a radius sweep prices all its thresholds
+/// from one scan.
+fn window_gap_profile(a: &[Aabb], b: &[Aabb]) -> (f64, usize) {
+    let mut min_gap = f64::INFINITY;
+    let mut argmin = 0;
+    for (w, (ba, bb)) in a.iter().zip(b).enumerate() {
+        let g = ba.gap(bb);
+        if g < min_gap {
+            min_gap = g;
+            argmin = w;
+        }
+    }
+    (min_gap, argmin)
+}
+
+/// The `Horizon` outcome for a window-disproved pair: the observed
+/// minimum is an actual probed distance at the closest-approach
+/// window's midpoint (never an envelope gap, which would understate
+/// it), and the disproof is recorded in telemetry as a lane-kernel
+/// query answered purely by envelope pruning.
+fn disproved_outcome(a: &ProgramSoA, b: &ProgramSoA, argmin: usize, horizon: f64) -> SimOutcome {
+    let dt = horizon / SWEEP_WINDOWS as f64;
+    let mid = ((argmin as f64 + 0.5) * dt).min(horizon);
+    let (mut ia, mut ib) = (0_usize, 0_usize);
+    let pa = ProgramView::probe_from(a, &mut ia, mid);
+    let pb = ProgramView::probe_from(b, &mut ib, mid);
+    let outcome = SimOutcome::Horizon {
+        min_distance: pa.position.distance(pb.position),
+        min_distance_time: mid,
+        steps: 1,
+    };
+    let stats = EngineStats {
+        envelope_queries: 2 * SWEEP_WINDOWS as u64,
+        pruned_intervals: SWEEP_WINDOWS as u64,
+        ..EngineStats::default()
+    };
+    crate::telemetry::record(
+        crate::telemetry::EnginePath::CompiledSoA,
+        Some(&outcome),
+        stats,
+    );
+    outcome
+}
+
+/// One reference arena against many partners on the lane kernel, with
+/// a shared window-envelope prefilter: the reference's envelope table
+/// is built **once** and each partner either falls to a whole-pair
+/// disproof (one gap profile, no kernel run) or runs
+/// [`try_first_contact_soa`].
+///
+/// Entry `k` is `None` exactly when partner `k`'s query was refused
+/// (truncated coverage) — callers fall back per partner, as the serve
+/// stack does.
+///
+/// # Panics
+///
+/// On invalid options/radius, as in [`crate::first_contact`].
+pub fn first_contact_batch_soa(
+    reference: &ProgramSoA,
+    partners: &[ProgramSoA],
+    radius: f64,
+    opts: &ContactOptions,
+    scratch: &mut EngineScratch,
+) -> Vec<Option<SimOutcome>> {
+    sweep_contacts_soa(reference, partners, &[radius], opts, scratch)
+        .pop()
+        .expect("one radius in, one row out")
+}
+
+/// [`first_contact_batch_soa`] over a radius grid: window tables are
+/// radius-independent, so one table build serves every `(radius,
+/// partner)` cell, one gap-profile scan prices every threshold, and
+/// the radii the prefilter cannot disprove resolve in a **single**
+/// multi-threshold ladder run per partner
+/// ([`sweep_first_contact_soa`])
+/// instead of one kernel run per `(radius, partner)` cell. Row `r` of
+/// the result is the batch outcome vector for `radii[r]`.
+///
+/// # Panics
+///
+/// As for [`first_contact_batch_soa`]; additionally when `radii` is
+/// empty.
+pub fn sweep_contacts_soa(
+    reference: &ProgramSoA,
+    partners: &[ProgramSoA],
+    radii: &[f64],
+    opts: &ContactOptions,
+    scratch: &mut EngineScratch,
+) -> Vec<Vec<Option<SimOutcome>>> {
+    assert!(!radii.is_empty(), "need at least one radius");
+    let prefilter = opts.horizon.is_finite() && reference.covers(opts.horizon);
+    let mut ref_table = Vec::with_capacity(SWEEP_WINDOWS);
+    if prefilter {
+        window_boxes(reference, opts.horizon, &mut ref_table);
+    }
+    // The sweep ladder wants its thresholds ascending; the output rows
+    // keep the caller's radius order.
+    let mut order: Vec<usize> = (0..radii.len()).collect();
+    order.sort_by(|&x, &y| radii[x].total_cmp(&radii[y]));
+    let mut partner_table = Vec::with_capacity(SWEEP_WINDOWS);
+    let mut kernel_radii: Vec<f64> = Vec::with_capacity(radii.len());
+    let mut kernel_rows: Vec<usize> = Vec::with_capacity(radii.len());
+    let mut sweep_out: Vec<SimOutcome> = Vec::with_capacity(radii.len());
+    let mut out = vec![Vec::with_capacity(partners.len()); radii.len()];
+    for partner in partners {
+        let pair_prefilter = prefilter && partner.covers(opts.horizon);
+        if !pair_prefilter {
+            // Truncated or unbounded queries stay on the per-radius
+            // path so refusals land per cell, exactly as a caller loop
+            // over [`try_first_contact_soa`] would produce them.
+            for (r, &radius) in radii.iter().enumerate() {
+                out[r].push(try_first_contact_soa(
+                    reference, partner, radius, opts, scratch,
+                ));
+            }
+            continue;
+        }
+        partner_table.clear();
+        window_boxes(partner, opts.horizon, &mut partner_table);
+        let (min_gap, argmin) = window_gap_profile(&ref_table, &partner_table);
+        let slot = out[0].len();
+        for row in out.iter_mut() {
+            row.push(None);
+        }
+        kernel_radii.clear();
+        kernel_rows.clear();
+        let approx = reference.approx_eps() + partner.approx_eps();
+        for &r in &order {
+            if min_gap > radii[r] + opts.tolerance + approx {
+                out[r][slot] = Some(disproved_outcome(reference, partner, argmin, opts.horizon));
+            } else {
+                kernel_rows.push(r);
+                kernel_radii.push(radii[r]);
+            }
+        }
+        match kernel_rows.len() {
+            0 => {}
+            // A single surviving radius takes the plain kernel — the
+            // serve stack's single-query path, byte for byte.
+            1 => {
+                out[kernel_rows[0]][slot] =
+                    try_first_contact_soa(reference, partner, kernel_radii[0], opts, scratch);
+            }
+            _ => {
+                sweep_first_contact_soa(
+                    reference,
+                    partner,
+                    &kernel_radii,
+                    opts,
+                    scratch,
+                    &mut sweep_out,
+                );
+                for (&r, outcome) in kernel_rows.iter().zip(&sweep_out) {
+                    out[r][slot] = Some(*outcome);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// [`pairwise_meetings_programs`] over SoA arenas on the lane kernel:
+/// each robot's window-envelope row is built once and every pair runs
+/// the gap prefilter before the kernel, so a spread-out swarm costs
+/// `Θ(n²)` box comparisons plus kernel time only on the pairs that
+/// genuinely approach.
+///
+/// # Panics
+///
+/// Panics when fewer than two arenas are supplied or when any arena
+/// does not cover `opts.horizon`.
+pub fn pairwise_meetings_soa(
+    arenas: &[ProgramSoA],
+    radius: f64,
+    opts: &ContactOptions,
+    scratch: &mut EngineScratch,
+) -> Vec<Vec<Option<f64>>> {
+    assert!(arenas.len() >= 2, "need at least two robots");
+    assert!(
+        arenas.iter().all(|a| a.covers(opts.horizon)),
+        "every arena must cover the horizon {}",
+        opts.horizon
+    );
+    let n = arenas.len();
+    let prefilter = opts.horizon.is_finite();
+    let mut tables = Vec::with_capacity(if prefilter { n * SWEEP_WINDOWS } else { 0 });
+    if prefilter {
+        for arena in arenas {
+            window_boxes(arena, opts.horizon, &mut tables);
+        }
+    }
+    let mut table = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if prefilter {
+                let wi = &tables[i * SWEEP_WINDOWS..(i + 1) * SWEEP_WINDOWS];
+                let wj = &tables[j * SWEEP_WINDOWS..(j + 1) * SWEEP_WINDOWS];
+                let threshold =
+                    radius + opts.tolerance + arenas[i].approx_eps() + arenas[j].approx_eps();
+                let (min_gap, argmin) = window_gap_profile(wi, wj);
+                if min_gap > threshold {
+                    disproved_outcome(&arenas[i], &arenas[j], argmin, opts.horizon);
+                    continue;
+                }
+            }
+            let outcome = try_first_contact_soa(&arenas[i], &arenas[j], radius, opts, scratch)
+                .expect("covered arenas always resolve");
+            table[i][j] = outcome.contact_time();
+        }
+    }
+    table
+}
+
+/// [`pairwise_meetings_soa`] over a radius grid: per-robot window
+/// tables are built **once**, each pair's gap profile prices every
+/// threshold from one scan, and the radii that survive the prefilter
+/// resolve in one multi-threshold ladder run per pair
+/// ([`sweep_first_contact_soa`]) —
+/// `Θ(n)` table builds and at most `n(n−1)/2` kernel runs for the
+/// whole `radii × pairs` grid. Entry `[r][i][j]` (for `i < j`) is the
+/// contact time of pair `(i, j)` at `radii[r]`, as
+/// [`pairwise_meetings_soa`] would report it.
+///
+/// # Panics
+///
+/// As for [`pairwise_meetings_soa`]; additionally when `radii` is
+/// empty.
+pub fn pairwise_sweep_soa(
+    arenas: &[ProgramSoA],
+    radii: &[f64],
+    opts: &ContactOptions,
+    scratch: &mut EngineScratch,
+) -> Vec<Vec<Vec<Option<f64>>>> {
+    assert!(arenas.len() >= 2, "need at least two robots");
+    assert!(!radii.is_empty(), "need at least one radius");
+    assert!(
+        arenas.iter().all(|a| a.covers(opts.horizon)),
+        "every arena must cover the horizon {}",
+        opts.horizon
+    );
+    let n = arenas.len();
+    let prefilter = opts.horizon.is_finite();
+    let mut tables = Vec::with_capacity(if prefilter { n * SWEEP_WINDOWS } else { 0 });
+    if prefilter {
+        for arena in arenas {
+            window_boxes(arena, opts.horizon, &mut tables);
+        }
+    }
+    let mut order: Vec<usize> = (0..radii.len()).collect();
+    order.sort_by(|&x, &y| radii[x].total_cmp(&radii[y]));
+    let mut kernel_radii: Vec<f64> = Vec::with_capacity(radii.len());
+    let mut kernel_rows: Vec<usize> = Vec::with_capacity(radii.len());
+    let mut sweep_out: Vec<SimOutcome> = Vec::with_capacity(radii.len());
+    let mut out = vec![vec![vec![None; n]; n]; radii.len()];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            kernel_radii.clear();
+            kernel_rows.clear();
+            if prefilter {
+                let wi = &tables[i * SWEEP_WINDOWS..(i + 1) * SWEEP_WINDOWS];
+                let wj = &tables[j * SWEEP_WINDOWS..(j + 1) * SWEEP_WINDOWS];
+                let (min_gap, argmin) = window_gap_profile(wi, wj);
+                let approx = arenas[i].approx_eps() + arenas[j].approx_eps();
+                for &r in &order {
+                    if min_gap > radii[r] + opts.tolerance + approx {
+                        // Telemetry parity with the per-radius path: each
+                        // disproved cell is a recorded envelope answer.
+                        disproved_outcome(&arenas[i], &arenas[j], argmin, opts.horizon);
+                    } else {
+                        kernel_rows.push(r);
+                        kernel_radii.push(radii[r]);
+                    }
+                }
+            } else {
+                kernel_rows.extend(order.iter().copied());
+                kernel_radii.extend(order.iter().map(|&r| radii[r]));
+            }
+            match kernel_rows.len() {
+                0 => {}
+                1 => {
+                    let outcome = try_first_contact_soa(
+                        &arenas[i],
+                        &arenas[j],
+                        kernel_radii[0],
+                        opts,
+                        scratch,
+                    )
+                    .expect("covered arenas always resolve");
+                    out[kernel_rows[0]][i][j] = outcome.contact_time();
+                }
+                _ => {
+                    sweep_first_contact_soa(
+                        &arenas[i],
+                        &arenas[j],
+                        &kernel_radii,
+                        opts,
+                        scratch,
+                        &mut sweep_out,
+                    );
+                    for (&r, outcome) in kernel_rows.iter().zip(&sweep_out) {
+                        out[r][i][j] = outcome.contact_time();
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 /// [`first_simultaneous_gathering`] over compiled programs: the diameter
@@ -460,6 +794,201 @@ mod tests {
             cursor_gather.is_contact(),
             "{compiled_gather} vs {cursor_gather}"
         );
+    }
+
+    #[test]
+    fn soa_swarm_matches_program_swarm() {
+        use rvz_search::UniversalSearch;
+        use rvz_trajectory::{Compile, CompileOptions};
+        let horizon = rvz_search::times::rounds_total(3);
+        let opts = ContactOptions::with_horizon(horizon);
+        let robots: Vec<_> = (0..4)
+            .map(|i| {
+                let angle = std::f64::consts::TAU * i as f64 / 4.0;
+                rvz_model::RobotAttributes::reference()
+                    .with_speed(0.5 + 0.2 * i as f64)
+                    .frame_warp(UniversalSearch, Vec2::from_polar(1.0, angle))
+            })
+            .collect();
+        let programs: Vec<_> = robots
+            .iter()
+            .map(|r| r.compile(&CompileOptions::to_horizon(horizon)).unwrap())
+            .collect();
+        let arenas: Vec<_> = programs.iter().map(ProgramSoA::from_program).collect();
+        let mut scratch = crate::EngineScratch::new();
+        let compiled = pairwise_meetings_programs(&programs, 0.2, &opts, &mut scratch);
+        let soa = pairwise_meetings_soa(&arenas, 0.2, &opts, &mut scratch);
+        let mut contacts = 0;
+        for i in 0..robots.len() {
+            for j in (i + 1)..robots.len() {
+                assert_eq!(
+                    soa[i][j].is_some(),
+                    compiled[i][j].is_some(),
+                    "pair ({i}, {j}) disagrees"
+                );
+                if let (Some(ts), Some(tc)) = (soa[i][j], compiled[i][j]) {
+                    contacts += 1;
+                    assert!((ts - tc).abs() < 1e-6 * (1.0 + tc), "{ts} vs {tc}");
+                }
+            }
+        }
+        assert!(contacts > 0, "the swarm must exercise the contact branch");
+    }
+
+    #[test]
+    fn sweep_pairwise_matches_per_radius_tables() {
+        use rvz_search::UniversalSearch;
+        use rvz_trajectory::{Compile, CompileOptions};
+        let horizon = rvz_search::times::rounds_total(3);
+        let opts = ContactOptions::with_horizon(horizon);
+        let arenas: Vec<_> = (0..4)
+            .map(|i| {
+                let angle = std::f64::consts::TAU * i as f64 / 4.0;
+                ProgramSoA::from_program(
+                    &rvz_model::RobotAttributes::reference()
+                        .with_speed(0.5 + 0.2 * i as f64)
+                        .frame_warp(UniversalSearch, Vec2::from_polar(1.0, angle))
+                        .compile(&CompileOptions::to_horizon(horizon))
+                        .unwrap(),
+                )
+            })
+            .collect();
+        // Deliberately unsorted: the sweep must map ladder rows back to
+        // the caller's radius order.
+        let radii = [0.2, 0.05, 0.5];
+        let mut scratch = crate::EngineScratch::new();
+        let sweep = pairwise_sweep_soa(&arenas, &radii, &opts, &mut scratch);
+        assert_eq!(sweep.len(), radii.len());
+        let mut contacts = 0;
+        for (r, &radius) in radii.iter().enumerate() {
+            let single = pairwise_meetings_soa(&arenas, radius, &opts, &mut scratch);
+            for i in 0..arenas.len() {
+                for j in (i + 1)..arenas.len() {
+                    assert_eq!(
+                        sweep[r][i][j].is_some(),
+                        single[i][j].is_some(),
+                        "radius {radius}, pair ({i}, {j})"
+                    );
+                    if let (Some(ts), Some(tp)) = (sweep[r][i][j], single[i][j]) {
+                        contacts += 1;
+                        assert!(
+                            (ts - tp).abs() < 1e-6 * (1.0 + tp),
+                            "radius {radius}, pair ({i}, {j}): {ts} vs {tp}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(contacts > 0, "the grid must exercise the contact branch");
+    }
+
+    #[test]
+    fn batch_soa_matches_per_pair_kernel_and_prefilters_far_partners() {
+        use rvz_search::UniversalSearch;
+        use rvz_trajectory::{Compile, CompileOptions};
+        let horizon = rvz_search::times::rounds_total(3);
+        let opts = ContactOptions::with_horizon(horizon);
+        let reference = ProgramSoA::from_program(
+            &UniversalSearch
+                .compile(&CompileOptions::to_horizon(horizon))
+                .unwrap(),
+        );
+        // Two reachable partners and one parked far outside every round
+        // envelope (the prefilter must disprove it without a kernel run).
+        let mut partners: Vec<ProgramSoA> = (0..2)
+            .map(|i| {
+                ProgramSoA::from_program(
+                    &rvz_model::RobotAttributes::reference()
+                        .with_speed(0.6 + 0.3 * i as f64)
+                        .frame_warp(UniversalSearch, Vec2::new(0.5 + i as f64, 0.5))
+                        .compile(&CompileOptions::to_horizon(horizon))
+                        .unwrap(),
+                )
+            })
+            .collect();
+        partners.push(ProgramSoA::from_program(
+            &crate::Stationary::new(Vec2::new(1e6, 1e6))
+                .compile(&CompileOptions::to_horizon(horizon))
+                .unwrap(),
+        ));
+        let mut scratch = crate::EngineScratch::new();
+        let batch = first_contact_batch_soa(&reference, &partners, 0.2, &opts, &mut scratch);
+        assert_eq!(batch.len(), partners.len());
+        for (k, partner) in partners.iter().enumerate() {
+            let per_pair = try_first_contact_soa(&reference, partner, 0.2, &opts, &mut scratch)
+                .expect("covered");
+            let batched = batch[k].as_ref().expect("covered");
+            assert_eq!(
+                batched.classification(),
+                per_pair.classification(),
+                "partner {k}"
+            );
+            if let (Some(tb), Some(tp)) = (batched.contact_time(), per_pair.contact_time()) {
+                assert!(
+                    (tb - tp).abs() < 1e-9 * (1.0 + tp),
+                    "partner {k}: {tb} vs {tp}"
+                );
+            }
+        }
+        // The parked partner is a Horizon disproof with a faithful
+        // (probed, not envelope-gap) observed distance.
+        match batch[2].as_ref().unwrap() {
+            SimOutcome::Horizon { min_distance, .. } => {
+                assert!(*min_distance > 1e5, "observed {min_distance}");
+            }
+            other => panic!("parked partner met the reference? {other:?}"),
+        }
+
+        // A radius sweep reuses the same tables and stays consistent
+        // with the single-radius batch on every cell.
+        let radii = [0.1, 0.2, 0.4];
+        let sweep = sweep_contacts_soa(&reference, &partners, &radii, &opts, &mut scratch);
+        assert_eq!(sweep.len(), radii.len());
+        for (r, &radius) in radii.iter().enumerate() {
+            let single =
+                first_contact_batch_soa(&reference, &partners, radius, &opts, &mut scratch);
+            for k in 0..partners.len() {
+                assert_eq!(
+                    sweep[r][k].as_ref().map(SimOutcome::classification),
+                    single[k].as_ref().map(SimOutcome::classification),
+                    "radius {radius}, partner {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_soa_refuses_truncated_partners_individually() {
+        use rvz_trajectory::{Compile, CompileOptions, PathBuilder};
+        let horizon = 50.0;
+        let opts = ContactOptions::with_horizon(horizon);
+        let reference = ProgramSoA::from_program(
+            &crate::Stationary::new(Vec2::ZERO)
+                .compile(&CompileOptions::to_horizon(horizon))
+                .unwrap(),
+        );
+        let covered = ProgramSoA::from_program(
+            &PathBuilder::at(Vec2::new(5.0, 0.0))
+                .line_to(Vec2::ZERO)
+                .build()
+                .compile(&CompileOptions::to_horizon(horizon))
+                .unwrap(),
+        );
+        // Truncated: compiled only to t = 3, asked about t ≤ 50, and the
+        // contact would happen after the covered span ends.
+        let truncated = ProgramSoA::from_program(
+            &PathBuilder::at(Vec2::new(40.0, 0.0))
+                .line_to(Vec2::ZERO)
+                .wait(100.0)
+                .build()
+                .compile(&CompileOptions::to_horizon(3.0))
+                .unwrap(),
+        );
+        let mut scratch = crate::EngineScratch::new();
+        let batch =
+            first_contact_batch_soa(&reference, &[covered, truncated], 1.0, &opts, &mut scratch);
+        assert!(batch[0].is_some(), "covered partner must resolve");
+        assert_eq!(batch[1], None, "truncated partner must refuse");
     }
 
     #[test]

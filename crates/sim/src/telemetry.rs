@@ -30,6 +30,10 @@ pub enum EnginePath {
     CompiledEager,
     /// The compiled engine with at least one streaming (lazy) view.
     CompiledLazy,
+    /// The lane kernel over structure-of-arrays arenas
+    /// (`rvz_sim::kernel`), including the many-vs-many batch entry
+    /// points.
+    CompiledSoA,
 }
 
 impl EnginePath {
@@ -40,6 +44,7 @@ impl EnginePath {
             EnginePath::Cursor => "cursor",
             EnginePath::CompiledEager => "compiled-eager",
             EnginePath::CompiledLazy => "compiled-lazy",
+            EnginePath::CompiledSoA => "compiled-soa",
         }
     }
 }
@@ -64,6 +69,10 @@ pub struct EngineTelemetry {
     pub analytic_steps: u64,
     /// Steps advanced by the conservative / piece-boundary certificate.
     pub conservative_steps: u64,
+    /// Lane-kernel chunks evaluated (zero on scalar paths).
+    pub lane_chunks: u64,
+    /// Whole intervals certified or localized by lane chunks.
+    pub lane_intervals: u64,
 }
 
 thread_local! {
@@ -101,6 +110,24 @@ fn path_counters(path: EnginePath) -> (&'static Counter, &'static Counter) {
             counter!("rvz_engine_queries_total", "path" => "compiled-lazy"),
             counter!("rvz_engine_steps_total", "path" => "compiled-lazy"),
         ),
+        EnginePath::CompiledSoA => (
+            counter!("rvz_engine_queries_total", "path" => "compiled-soa"),
+            counter!("rvz_engine_steps_total", "path" => "compiled-soa"),
+        ),
+    }
+}
+
+/// Kernel-vs-scalar dispatch counters: which implementation a compiled
+/// query was answered by (`soa` = the lane kernel, `scalar` = the
+/// per-piece ladder). A lane-kernel query that *contains* scalar
+/// fallback intervals (circular pieces) still counts once as `soa` —
+/// dispatch is per query, lane utilization is the
+/// `rvz_engine_kernel_lanes_active` counter.
+fn dispatch_counter(soa: bool) -> &'static Counter {
+    if soa {
+        counter!("rvz_engine_kernel_dispatch_total", "kernel" => "soa")
+    } else {
+        counter!("rvz_engine_kernel_dispatch_total", "kernel" => "scalar")
     }
 }
 
@@ -128,6 +155,8 @@ pub(crate) fn record(path: EnginePath, outcome: Option<&SimOutcome>, stats: Engi
         pruned_intervals: stats.pruned_intervals,
         analytic_steps: stats.analytic_steps,
         conservative_steps: stats.conservative_steps,
+        lane_chunks: stats.lane_chunks,
+        lane_intervals: stats.lane_intervals,
     };
     LAST.with(|l| l.set(Some(telemetry)));
     if !rvz_obs::enabled() {
@@ -141,6 +170,17 @@ pub(crate) fn record(path: EnginePath, outcome: Option<&SimOutcome>, stats: Engi
     counter!("rvz_engine_pruned_intervals_total").add(stats.pruned_intervals);
     counter!("rvz_engine_steps_analytic_total").add(stats.analytic_steps);
     counter!("rvz_engine_steps_conservative_total").add(stats.conservative_steps);
+    match path {
+        EnginePath::CompiledEager | EnginePath::CompiledLazy => {
+            dispatch_counter(false).inc();
+        }
+        EnginePath::CompiledSoA => {
+            dispatch_counter(true).inc();
+            counter!("rvz_engine_kernel_chunks_total").add(stats.lane_chunks);
+            counter!("rvz_engine_kernel_lanes_active").add(stats.lane_intervals);
+        }
+        EnginePath::Generic | EnginePath::Cursor => {}
+    }
 }
 
 /// Touches every engine metric family so `/metrics` lists them all
@@ -151,16 +191,21 @@ pub fn preregister_metrics() {
         EnginePath::Cursor,
         EnginePath::CompiledEager,
         EnginePath::CompiledLazy,
+        EnginePath::CompiledSoA,
     ] {
         let _ = path_counters(path);
     }
     for outcome in ["contact", "horizon", "step-budget", "deadline", "refused"] {
         let _ = outcome_counter(outcome);
     }
+    let _ = dispatch_counter(false);
+    let _ = dispatch_counter(true);
     let _ = counter!("rvz_engine_envelope_queries_total");
     let _ = counter!("rvz_engine_pruned_intervals_total");
     let _ = counter!("rvz_engine_steps_analytic_total");
     let _ = counter!("rvz_engine_steps_conservative_total");
+    let _ = counter!("rvz_engine_kernel_chunks_total");
+    let _ = counter!("rvz_engine_kernel_lanes_active");
     let _ = counter!("rvz_engine_compile_ns_total");
 }
 
@@ -198,5 +243,6 @@ mod tests {
         assert_eq!(EnginePath::Cursor.label(), "cursor");
         assert_eq!(EnginePath::CompiledEager.label(), "compiled-eager");
         assert_eq!(EnginePath::CompiledLazy.label(), "compiled-lazy");
+        assert_eq!(EnginePath::CompiledSoA.label(), "compiled-soa");
     }
 }

@@ -1,11 +1,13 @@
-//! The zero-allocation gate on the compiled engine.
+//! The zero-allocation gate on the engine's steady-state query paths.
 //!
 //! Registers a counting global allocator for this test binary and
-//! proves that, after a warm-up query, the compiled fast path —
-//! [`first_contact_programs`] and the program-swarm gathering loop —
-//! performs **zero** heap allocations per query. A positive control
-//! (an explicit allocation observed by the counter) guards against the
-//! vacuous pass where the allocator silently failed to register.
+//! proves that, after a warm-up query, the compiled fast path
+//! ([`first_contact_programs`] and the program-swarm gathering loop),
+//! the type-erased cursor path ([`first_contact_dyn`]'s scoped stack
+//! cursors), and the SoA lane kernel ([`first_contact_soa`]) perform
+//! **zero** heap allocations per query. A positive control (an explicit
+//! allocation observed by the counter) guards against the vacuous pass
+//! where the allocator silently failed to register.
 //!
 //! Single-threaded by construction: the counter is process-wide, so
 //! this binary holds exactly these serial tests.
@@ -14,9 +16,10 @@ use rvz_geometry::Vec2;
 use rvz_model::RobotAttributes;
 use rvz_search::UniversalSearch;
 use rvz_sim::{
-    first_contact_programs, first_simultaneous_gathering_programs, ContactOptions, EngineScratch,
+    first_contact_dyn, first_contact_programs, first_contact_soa,
+    first_simultaneous_gathering_programs, ContactOptions, EngineScratch,
 };
-use rvz_trajectory::{Compile, CompileOptions, CompiledProgram};
+use rvz_trajectory::{Compile, CompileOptions, CompiledProgram, MonotoneDyn, ProgramSoA};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -127,4 +130,59 @@ fn compiled_queries_allocate_nothing_after_warmup() {
         ));
     });
     assert_eq!(gather, 0, "gathering allocated {gather} times after warmup");
+}
+
+#[test]
+fn cursor_dyn_queries_allocate_nothing() {
+    let (_, control) = allocs(|| std::hint::black_box(vec![0_u8; 4096]));
+    assert!(control > 0, "counting allocator is not registered");
+
+    let horizon = rvz_search::times::rounds_total(3);
+    let opts = ContactOptions::with_horizon(horizon);
+    let a = UniversalSearch;
+    let b = RobotAttributes::reference()
+        .with_speed(0.7)
+        .frame_warp(UniversalSearch, Vec2::new(1.5, -0.5));
+    let da: &dyn MonotoneDyn = &a;
+    let db: &dyn MonotoneDyn = &b;
+
+    first_contact_dyn(da, db, 0.1, &opts);
+    let during = min_allocs(|| {
+        std::hint::black_box(first_contact_dyn(da, db, 0.1, &opts));
+    });
+    assert_eq!(during, 0, "dyn cursor queries allocated {during} times");
+}
+
+#[test]
+fn soa_kernel_queries_allocate_nothing_after_warmup() {
+    let (_, control) = allocs(|| std::hint::black_box(vec![0_u8; 4096]));
+    assert!(control > 0, "counting allocator is not registered");
+
+    let horizon = rvz_search::times::rounds_total(3);
+    let opts = ContactOptions::with_horizon(horizon);
+    let arenas: Vec<ProgramSoA> = swarm(4, horizon)
+        .iter()
+        .map(ProgramSoA::from_program)
+        .collect();
+    let mut scratch = EngineScratch::new();
+
+    for i in 0..arenas.len() {
+        for j in (i + 1)..arenas.len() {
+            first_contact_soa(&arenas[i], &arenas[j], 0.1, &opts, &mut scratch);
+        }
+    }
+    let during = min_allocs(|| {
+        for i in 0..arenas.len() {
+            for j in (i + 1)..arenas.len() {
+                std::hint::black_box(first_contact_soa(
+                    &arenas[i],
+                    &arenas[j],
+                    0.1,
+                    &opts,
+                    &mut scratch,
+                ));
+            }
+        }
+    });
+    assert_eq!(during, 0, "SoA kernel queries allocated {during} times");
 }

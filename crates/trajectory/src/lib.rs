@@ -64,6 +64,7 @@ pub mod monotone;
 pub mod path;
 pub mod program;
 pub mod segment;
+pub mod soa;
 pub mod warp;
 
 pub use cursor::StreamCursor;
@@ -79,6 +80,7 @@ pub use program::{
     Piece, ProgramCursor, ProgramView,
 };
 pub use segment::Segment;
+pub use soa::{CircularLaw, ProgramSoA};
 pub use warp::FrameWarp;
 
 use rvz_geometry::Vec2;

@@ -276,11 +276,27 @@ impl<T: MonotoneTrajectory + ?Sized> MonotoneTrajectory for Box<T> {
 pub trait MonotoneDyn: Trajectory {
     /// A fresh boxed cursor positioned at time `0`.
     fn dyn_cursor(&self) -> Box<dyn Cursor + '_>;
+
+    /// Scoped access to a fresh cursor **without** the box: the cursor
+    /// lives on the callee's stack and is handed to `f` by unsized
+    /// reference. This is the allocation-free twin of
+    /// [`MonotoneDyn::dyn_cursor`] — the blanket impl for
+    /// [`MonotoneTrajectory`] types never touches the heap, so query
+    /// loops (`rvz-sim`'s pairwise meetings, the bench cursor arm) stay
+    /// at zero allocations per query. The default body falls back to
+    /// the boxed cursor for hand-rolled `MonotoneDyn` impls.
+    fn with_cursor(&self, f: &mut dyn FnMut(&mut dyn Cursor)) {
+        f(&mut *self.dyn_cursor());
+    }
 }
 
 impl<T: MonotoneTrajectory> MonotoneDyn for T {
     fn dyn_cursor(&self) -> Box<dyn Cursor + '_> {
         Box::new(self.cursor())
+    }
+
+    fn with_cursor(&self, f: &mut dyn FnMut(&mut dyn Cursor)) {
+        f(&mut self.cursor());
     }
 }
 

@@ -435,6 +435,13 @@ impl CompiledProgram {
         &self.marks
     }
 
+    /// The baked envelope tree and its leaf offset, for transposers
+    /// that keep the piece set (and hence the leaf boxes) identical —
+    /// cloning the baked tree skips re-deriving every arc-chunk disk.
+    pub(crate) fn baked_tree(&self) -> (&[Aabb], usize) {
+        (&self.tree, self.size)
+    }
+
     /// `true` when every query in `[0, t]` is answerable exactly: the
     /// arena reaches `t`, or the trajectory rests before it.
     pub fn covers(&self, t: f64) -> bool {
@@ -537,23 +544,45 @@ impl CompiledProgram {
 
     /// Union of the piece boxes in the inclusive index range `[l, r]`.
     fn tree_query(&self, l: usize, r: usize) -> Aabb {
-        let mut l = l + self.size;
-        let mut r = r + self.size + 1;
-        let mut acc = Aabb::EMPTY;
-        while l < r {
-            if l & 1 == 1 {
-                acc = acc.union(&self.tree[l]);
-                l += 1;
-            }
-            if r & 1 == 1 {
-                r -= 1;
-                acc = acc.union(&self.tree[r]);
-            }
-            l >>= 1;
-            r >>= 1;
-        }
-        acc
+        tree_range_union(&self.tree, self.size, l, r)
     }
+}
+
+/// Bakes the flattened binary union tree over per-piece bounding boxes
+/// (leaves at `size + i`, parents the union of their children). Shared
+/// by [`assemble_program`] and the SoA arena so both lay the tree out
+/// identically.
+pub(crate) fn bake_tree(boxes: impl ExactSizeIterator<Item = Aabb>) -> (Vec<Aabb>, usize) {
+    let size = boxes.len().next_power_of_two().max(1);
+    let mut tree = vec![Aabb::EMPTY; 2 * size];
+    for (i, b) in boxes.enumerate() {
+        tree[size + i] = b;
+    }
+    for i in (1..size).rev() {
+        tree[i] = tree[2 * i].union(&tree[2 * i + 1]);
+    }
+    (tree, size)
+}
+
+/// Union over the inclusive leaf range `[l, r]` of a baked tree:
+/// iterative segment-tree walk, every union four branchless min/max ops.
+pub(crate) fn tree_range_union(tree: &[Aabb], size: usize, l: usize, r: usize) -> Aabb {
+    let mut l = l + size;
+    let mut r = r + size + 1;
+    let mut acc = Aabb::EMPTY;
+    while l < r {
+        if l & 1 == 1 {
+            acc = acc.union(&tree[l]);
+            l += 1;
+        }
+        if r & 1 == 1 {
+            r -= 1;
+            acc = acc.union(&tree[r]);
+        }
+        l >>= 1;
+        r >>= 1;
+    }
+    acc
 }
 
 /// The shared indexed probe walk over a piece arena: a short linear walk
@@ -1235,14 +1264,7 @@ pub(crate) fn assemble_program(
     let approx_eps = pieces.iter().fold(0.0_f64, |acc, p| acc.max(p.eps));
 
     // Bake the envelope tree.
-    let size = pieces.len().next_power_of_two().max(1);
-    let mut tree = vec![Aabb::EMPTY; 2 * size];
-    for (i, piece) in pieces.iter().enumerate() {
-        tree[size + i] = piece.bounding_box();
-    }
-    for i in (1..size).rev() {
-        tree[i] = tree[2 * i].union(&tree[2 * i + 1]);
-    }
+    let (tree, size) = bake_tree(pieces.iter().map(Piece::bounding_box));
 
     // Keep only in-cutoff, strictly increasing marks.
     let cutoff = mark_end.unwrap_or(end_time);

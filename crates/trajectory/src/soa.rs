@@ -1,0 +1,700 @@
+//! Structure-of-arrays piece arena: the lane-kernel view of a program.
+//!
+//! The AoS [`Piece`] arena interleaves every
+//! field of every piece (48 bytes apiece), so a kernel that only needs
+//! start times and velocities drags the rest of the struct through the
+//! cache and defeats autovectorization. [`ProgramSoA`] stores the same
+//! arena as parallel `t0/t1/pos0x/pos0y/vx/vy/eps` arrays: the affine
+//! distance-certificate kernels in `rvz_sim` stream four to eight
+//! pieces per loop iteration out of contiguous `f64` lanes, and the
+//! compiler vectorizes the branch-free inner loop on its own (measured,
+//! not assumed — see `BENCH_engine.json`).
+//!
+//! Circular pieces are the cold minority (arc moves appear only in a
+//! few schedules); they park their law in a **side table** indexed by a
+//! `u32` sentinel column, so the hot affine lanes stay dense. Lane
+//! kernels test `circ[i] == AFFINE` (a plain integer compare) and fall
+//! back to the scalar cosine-law ladder for the rare circular interval.
+//!
+//! A `ProgramSoA` is built from any [`ProgramView`] — the eager
+//! [`CompiledProgram`] copies its arena field-for-field (bit-identical
+//! probes), and a lazy view is drained through the same
+//! extend-and-check walk the engine uses, appending in chunks so a
+//! streamed arena materializes exactly once. The SoA arena is itself a
+//! [`ProgramView`] (it bakes the same envelope tree), so every scalar
+//! engine entry point runs on it unchanged; that equivalence is the
+//! bit-for-bit gate in `tests/engine_equivalence.rs`.
+
+use crate::monotone::{Motion, Probe};
+use crate::program::{bake_tree, grow_box, tree_range_union, CompiledProgram, Piece, ProgramView};
+use rvz_geometry::{Aabb, Vec2};
+
+/// Sentinel in the circular-index column marking an affine lane.
+pub const AFFINE: u32 = u32::MAX;
+
+/// The side-table entry for a circular piece: the circle and the phase
+/// at the piece's `t0` (the same anchoring as [`Motion::Circular`] in
+/// the AoS arena).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircularLaw {
+    /// Circle center.
+    pub center: Vec2,
+    /// Circle radius.
+    pub radius: f64,
+    /// Signed angular velocity (rad per time unit).
+    pub angular_velocity: f64,
+    /// Phase at the piece's start time.
+    pub angle: f64,
+}
+
+/// Pieces appended per growth step when draining a lazy view: matches
+/// the lazy arena's own materialization chunk so a streamed build does
+/// one `reserve` per chunk the source materializes.
+const APPEND_CHUNK: usize = 256;
+
+/// A compiled piece arena in structure-of-arrays layout.
+///
+/// Semantically identical to the [`CompiledProgram`] it was built from:
+/// same pieces, same rest/coverage rules, same envelope tree, same
+/// round marks. Only the memory layout differs — parallel arrays for
+/// the hot fields, a side table for the cold circular laws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSoA {
+    t0: Vec<f64>,
+    t1: Vec<f64>,
+    pos0x: Vec<f64>,
+    pos0y: Vec<f64>,
+    /// Velocity lanes; zero for circular pieces (their law lives in the
+    /// side table).
+    vx: Vec<f64>,
+    vy: Vec<f64>,
+    eps: Vec<f64>,
+    /// [`AFFINE`] for affine lanes, else an index into `circles`.
+    circ: Vec<u32>,
+    circles: Vec<CircularLaw>,
+    /// Baked envelope tree, laid out exactly as the eager program's.
+    tree: Vec<Aabb>,
+    size: usize,
+    end_time: f64,
+    rest: Option<Vec2>,
+    speed_bound: f64,
+    marks: Vec<f64>,
+    approx_eps: f64,
+}
+
+impl ProgramSoA {
+    /// Transposes an eager program's arena field-for-field. Per-piece
+    /// `eps` and circular phases are copied exactly, so probes on the
+    /// SoA arena are bit-identical to the source program's.
+    pub fn from_program(program: &CompiledProgram) -> Self {
+        let mut b = Builder::with_capacity(program.pieces().len());
+        for piece in program.pieces() {
+            b.push(piece);
+        }
+        // The piece set is copied field-for-field, so the leaf boxes —
+        // and therefore the whole baked tree — are identical to the
+        // source program's. Cloning it skips re-deriving every
+        // arc-chunk disk, which dominates transposition cost on
+        // circular-heavy programs.
+        let (tree, size) = program.baked_tree();
+        b.finish_with_tree(
+            tree.to_vec(),
+            size,
+            program.rest(),
+            program.speed_bound(),
+            program.round_marks().to_vec(),
+            program.approx_eps(),
+        )
+    }
+
+    /// Drains any [`ProgramView`] into an SoA arena covering
+    /// `[0, horizon]` (or to the view's coverage boundary, whichever
+    /// comes first — truncated views yield truncated arenas, exactly
+    /// like the eager lowering).
+    ///
+    /// Lazy views materialize through their own extend-and-check
+    /// [`ProgramView::covers`]; the walk appends in
+    /// `APPEND_CHUNK`-piece reservations so a streamed arena is
+    /// transposed as it materializes rather than after a full copy.
+    /// Per-piece error bounds are not observable through a probe, so
+    /// every piece carries the view-wide [`ProgramView::approx_eps`] —
+    /// looser per-piece envelopes than [`ProgramSoA::from_program`],
+    /// but the same program-wide bound, so engine thresholds are
+    /// unchanged.
+    pub fn from_view<V: ProgramView + ?Sized>(view: &V, horizon: f64) -> Self {
+        assert!(
+            horizon > 0.0 && horizon.is_finite(),
+            "SoA build horizon must be positive and finite, got {horizon}"
+        );
+        let eps = view.approx_eps();
+        let mut b = Builder::with_capacity(APPEND_CHUNK);
+        let mut rest = None;
+        let mut t = 0.0_f64;
+        let mut index = 0usize;
+        let mut stalls = 0u32;
+        while t < horizon {
+            if !view.covers(t) {
+                break; // truncated source: keep the covered prefix
+            }
+            if b.t0.len() == b.t0.capacity() {
+                b.reserve(APPEND_CHUNK);
+            }
+            let p = view.probe_from(&mut index, t);
+            if p.piece_end == f64::INFINITY {
+                if let Motion::Affine { velocity } = p.motion {
+                    if velocity == Vec2::ZERO {
+                        rest = Some(p.position);
+                        break;
+                    }
+                }
+                // Infinite moving piece: close the arena at the horizon,
+                // as the lowering stream does.
+                b.push(&Piece {
+                    t0: t,
+                    t1: horizon,
+                    pos0: p.position,
+                    motion: p.motion,
+                    eps,
+                });
+                break;
+            }
+            if p.piece_end <= t {
+                // Ulp-skewed boundary (see the lowering stream's stall
+                // nudges); a view that keeps stalling gets truncated
+                // rather than looping forever.
+                stalls += 1;
+                if stalls > 4 {
+                    break;
+                }
+                t = t.next_up();
+                continue;
+            }
+            stalls = 0;
+            b.push(&Piece {
+                t0: t,
+                t1: p.piece_end.min(horizon),
+                pos0: p.position,
+                motion: p.motion,
+                eps,
+            });
+            t = p.piece_end;
+        }
+        // Marks are exposed only as a successor query; walk them out.
+        let mut marks = Vec::new();
+        let mut m = 0.0_f64;
+        while let Some(next) = view.next_mark_after(m) {
+            if next > horizon {
+                break;
+            }
+            marks.push(next);
+            m = next;
+        }
+        b.finish(rest, view.speed_bound(), marks, eps)
+    }
+
+    /// Number of pieces in the arena.
+    pub fn len(&self) -> usize {
+        self.t0.len()
+    }
+
+    /// `true` for a rest-only (or empty) arena.
+    pub fn is_empty(&self) -> bool {
+        self.t0.is_empty()
+    }
+
+    /// Piece start times (the dense binary-search index).
+    #[inline]
+    pub fn t0s(&self) -> &[f64] {
+        &self.t0
+    }
+
+    /// Piece end times.
+    #[inline]
+    pub fn t1s(&self) -> &[f64] {
+        &self.t1
+    }
+
+    /// Start-position x lane.
+    #[inline]
+    pub fn pos0xs(&self) -> &[f64] {
+        &self.pos0x
+    }
+
+    /// Start-position y lane.
+    #[inline]
+    pub fn pos0ys(&self) -> &[f64] {
+        &self.pos0y
+    }
+
+    /// Velocity x lane (zero on circular pieces).
+    #[inline]
+    pub fn vxs(&self) -> &[f64] {
+        &self.vx
+    }
+
+    /// Velocity y lane (zero on circular pieces).
+    #[inline]
+    pub fn vys(&self) -> &[f64] {
+        &self.vy
+    }
+
+    /// Per-piece certified error bounds.
+    #[inline]
+    pub fn epss(&self) -> &[f64] {
+        &self.eps
+    }
+
+    /// The circular sentinel column ([`AFFINE`] on affine lanes).
+    #[inline]
+    pub fn circ_column(&self) -> &[u32] {
+        &self.circ
+    }
+
+    /// `true` when piece `i` is an affine lane.
+    #[inline]
+    pub fn is_affine(&self, i: usize) -> bool {
+        self.circ[i] == AFFINE
+    }
+
+    /// The side-table law of circular piece `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when piece `i` is affine.
+    #[inline]
+    pub fn circle(&self, i: usize) -> &CircularLaw {
+        &self.circles[self.circ[i] as usize]
+    }
+
+    /// Reconstructs piece `i` as an AoS [`Piece`] (the scalar-ladder
+    /// and test view of a lane).
+    #[inline]
+    pub fn piece(&self, i: usize) -> Piece {
+        let motion = if self.circ[i] == AFFINE {
+            Motion::Affine {
+                velocity: Vec2::new(self.vx[i], self.vy[i]),
+            }
+        } else {
+            let c = &self.circles[self.circ[i] as usize];
+            Motion::Circular {
+                center: c.center,
+                radius: c.radius,
+                angular_velocity: c.angular_velocity,
+                angle: c.angle,
+            }
+        };
+        Piece {
+            t0: self.t0[i],
+            t1: self.t1[i],
+            pos0: Vec2::new(self.pos0x[i], self.pos0y[i]),
+            motion,
+            eps: self.eps[i],
+        }
+    }
+
+    /// Time covered by the arena.
+    pub fn end_time(&self) -> f64 {
+        self.end_time
+    }
+
+    /// The rest position, when the source finishes within the arena.
+    pub fn rest(&self) -> Option<Vec2> {
+        self.rest
+    }
+
+    /// The recorded round marks.
+    pub fn round_marks(&self) -> &[f64] {
+        &self.marks
+    }
+
+    /// Index of the piece containing `t` (clamped like
+    /// [`CompiledProgram::piece_index_at`]).
+    pub fn piece_index_at(&self, t: f64) -> usize {
+        self.t0
+            .partition_point(|&s| s <= t)
+            .saturating_sub(1)
+            .min(self.t0.len().saturating_sub(1))
+    }
+
+    /// [`CompiledProgram::envelope_box`], lane edition: identical tree
+    /// layout, identical chunk math, so the box is bit-identical to the
+    /// source program's on the same query.
+    pub fn envelope_box_impl(&self, t0: f64, t1: f64) -> Aabb {
+        let t1 = t1.max(t0);
+        if self.t0.is_empty() {
+            return Aabb::point(self.rest.unwrap_or(Vec2::ZERO));
+        }
+        if let Some(p) = self.rest {
+            if t0 >= self.end_time {
+                return Aabb::point(p);
+            }
+            return self.envelope_within(t0, t1.min(self.end_time));
+        }
+        if t0 >= self.end_time {
+            let anchor = self.piece(self.len() - 1).position_at(self.end_time);
+            return grow_box(Aabb::point(anchor), self.speed_bound, t1 - self.end_time);
+        }
+        if t1 > self.end_time {
+            let base = self.envelope_within(t0, self.end_time);
+            return grow_box(base, self.speed_bound, t1 - self.end_time);
+        }
+        self.envelope_within(t0, t1)
+    }
+
+    fn envelope_within(&self, t0: f64, t1: f64) -> Aabb {
+        let i0 = self.piece_index_at(t0);
+        let i1 = self.piece_index_at(t1);
+        let p0 = self.piece(i0);
+        let first = p0.chunk_box(t0, t1.min(p0.t1));
+        if i0 == i1 {
+            return first;
+        }
+        let p1 = self.piece(i1);
+        let last = p1.chunk_box(p1.t0, t1);
+        let mut acc = first.union(&last);
+        if i1 > i0 + 1 {
+            acc = acc.union(&tree_range_union(&self.tree, self.size, i0 + 1, i1 - 1));
+        }
+        acc
+    }
+}
+
+impl ProgramView for ProgramSoA {
+    fn speed_bound(&self) -> f64 {
+        self.speed_bound
+    }
+
+    fn approx_eps(&self) -> f64 {
+        self.approx_eps
+    }
+
+    fn covers(&self, t: f64) -> bool {
+        self.rest.is_some() || t <= self.end_time
+    }
+
+    fn covered_end(&self) -> f64 {
+        self.end_time
+    }
+
+    /// The indexed probe walk of [`CompiledProgram::probe_from`] over
+    /// the transposed arrays: same hop/gallop structure, pieces
+    /// reconstructed on the fly, so probes are bit-identical to the
+    /// source program's.
+    #[inline]
+    fn probe_from(&self, index: &mut usize, t: f64) -> Probe {
+        let n = self.t1.len();
+        let mut i = *index;
+        let mut hops = 0;
+        while i < n && t >= self.t1[i] {
+            i += 1;
+            hops += 1;
+            if hops == 8 && i < n && t >= self.t1[i] {
+                i += self.t0[i..].partition_point(|&s| s <= t);
+                i = i.saturating_sub(1).max(*index);
+                while i < n && t >= self.t1[i] {
+                    i += 1;
+                }
+                break;
+            }
+        }
+        *index = i;
+        if i == n {
+            debug_assert!(
+                self.rest.is_some() || t <= self.end_time * (1.0 + 16.0 * f64::EPSILON),
+                "probe at t={t} beyond the covered span {}",
+                self.end_time
+            );
+            return match self.rest {
+                Some(p) => Probe::resting(p),
+                None => self.piece(n - 1).probe_at(t.min(self.end_time)),
+            };
+        }
+        if self.circ[i] == AFFINE {
+            // Hot path: the affine probe straight off the columns —
+            // the same `pos0 + velocity * u` the AoS piece computes,
+            // without reconstructing the struct (and without touching
+            // the `eps` column a probe never reports).
+            let u = t - self.t0[i];
+            let velocity = Vec2::new(self.vx[i], self.vy[i]);
+            return Probe {
+                position: Vec2::new(self.pos0x[i], self.pos0y[i]) + velocity * u,
+                piece_end: self.t1[i],
+                motion: Motion::Affine { velocity },
+            };
+        }
+        self.piece(i).probe_at(t)
+    }
+
+    fn envelope_box(&self, t0: f64, t1: f64) -> Aabb {
+        self.envelope_box_impl(t0, t1)
+    }
+
+    fn next_mark_after(&self, t: f64) -> Option<f64> {
+        let i = self.marks.partition_point(|&m| m <= t);
+        self.marks.get(i).copied()
+    }
+}
+
+/// Column-push builder shared by both constructors.
+struct Builder {
+    t0: Vec<f64>,
+    t1: Vec<f64>,
+    pos0x: Vec<f64>,
+    pos0y: Vec<f64>,
+    vx: Vec<f64>,
+    vy: Vec<f64>,
+    eps: Vec<f64>,
+    circ: Vec<u32>,
+    circles: Vec<CircularLaw>,
+}
+
+impl Builder {
+    fn with_capacity(n: usize) -> Self {
+        Builder {
+            t0: Vec::with_capacity(n),
+            t1: Vec::with_capacity(n),
+            pos0x: Vec::with_capacity(n),
+            pos0y: Vec::with_capacity(n),
+            vx: Vec::with_capacity(n),
+            vy: Vec::with_capacity(n),
+            eps: Vec::with_capacity(n),
+            circ: Vec::with_capacity(n),
+            circles: Vec::new(),
+        }
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.t0.reserve(n);
+        self.t1.reserve(n);
+        self.pos0x.reserve(n);
+        self.pos0y.reserve(n);
+        self.vx.reserve(n);
+        self.vy.reserve(n);
+        self.eps.reserve(n);
+        self.circ.reserve(n);
+    }
+
+    fn push(&mut self, piece: &Piece) {
+        self.t0.push(piece.t0);
+        self.t1.push(piece.t1);
+        self.pos0x.push(piece.pos0.x);
+        self.pos0y.push(piece.pos0.y);
+        self.eps.push(piece.eps);
+        match piece.motion {
+            Motion::Affine { velocity } => {
+                self.vx.push(velocity.x);
+                self.vy.push(velocity.y);
+                self.circ.push(AFFINE);
+            }
+            Motion::Circular {
+                center,
+                radius,
+                angular_velocity,
+                angle,
+            } => {
+                assert!(
+                    self.circles.len() < AFFINE as usize,
+                    "circular side table overflow"
+                );
+                self.vx.push(0.0);
+                self.vy.push(0.0);
+                self.circ.push(self.circles.len() as u32);
+                self.circles.push(CircularLaw {
+                    center,
+                    radius,
+                    angular_velocity,
+                    angle,
+                });
+            }
+            Motion::Curved => {
+                unreachable!("compiled arenas never hold curved pieces")
+            }
+        }
+    }
+
+    fn finish(
+        self,
+        rest: Option<Vec2>,
+        speed_bound: f64,
+        marks: Vec<f64>,
+        approx_eps: f64,
+    ) -> ProgramSoA {
+        let (tree, size) = bake_tree((0..self.t0.len()).map(|i| {
+            Piece {
+                t0: self.t0[i],
+                t1: self.t1[i],
+                pos0: Vec2::new(self.pos0x[i], self.pos0y[i]),
+                motion: if self.circ[i] == AFFINE {
+                    Motion::Affine {
+                        velocity: Vec2::new(self.vx[i], self.vy[i]),
+                    }
+                } else {
+                    let c = &self.circles[self.circ[i] as usize];
+                    Motion::Circular {
+                        center: c.center,
+                        radius: c.radius,
+                        angular_velocity: c.angular_velocity,
+                        angle: c.angle,
+                    }
+                },
+                eps: self.eps[i],
+            }
+            .bounding_box()
+        }));
+        self.finish_with_tree(tree, size, rest, speed_bound, marks, approx_eps)
+    }
+
+    fn finish_with_tree(
+        self,
+        tree: Vec<Aabb>,
+        size: usize,
+        rest: Option<Vec2>,
+        speed_bound: f64,
+        marks: Vec<f64>,
+        approx_eps: f64,
+    ) -> ProgramSoA {
+        let end_time = self.t1.last().copied().unwrap_or(0.0);
+        let mut marks: Vec<f64> = marks
+            .into_iter()
+            .filter(|&m| m.is_finite() && m > 0.0)
+            .collect();
+        marks.sort_by(f64::total_cmp);
+        marks.dedup();
+        ProgramSoA {
+            t0: self.t0,
+            t1: self.t1,
+            pos0x: self.pos0x,
+            pos0y: self.pos0y,
+            vx: self.vx,
+            vy: self.vy,
+            eps: self.eps,
+            circ: self.circ,
+            circles: self.circles,
+            tree,
+            size,
+            end_time,
+            rest,
+            speed_bound,
+            marks,
+            approx_eps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Compile, CompileOptions};
+    use crate::PathBuilder;
+
+    fn sample_path() -> crate::Path {
+        PathBuilder::at(Vec2::ZERO)
+            .line_to(Vec2::new(3.0, 0.0))
+            .wait(1.5)
+            .full_circle(Vec2::new(3.0, 2.0))
+            .line_to(Vec2::new(-1.0, 4.0))
+            .build()
+    }
+
+    #[test]
+    fn from_program_probes_bit_identical() {
+        let p = sample_path();
+        let program = p.compile(&CompileOptions::to_horizon(1e3)).unwrap();
+        let soa = ProgramSoA::from_program(&program);
+        assert_eq!(soa.len(), program.pieces().len());
+        assert_eq!(soa.end_time(), program.end_time());
+        assert_eq!(soa.rest(), program.rest());
+        assert_eq!(soa.round_marks(), program.round_marks());
+        let horizon = p.duration() + 2.0;
+        let (mut ia, mut ib) = (0usize, 0usize);
+        for i in 0..=4096 {
+            let t = horizon * i as f64 / 4096.0;
+            let a = program.probe_from(&mut ia, t);
+            let b = soa.probe_from(&mut ib, t);
+            assert_eq!(a.position, b.position, "t={t}");
+            assert_eq!(a.piece_end, b.piece_end, "t={t}");
+            assert_eq!(a.motion, b.motion, "t={t}");
+        }
+    }
+
+    #[test]
+    fn from_program_envelopes_bit_identical() {
+        let p = sample_path();
+        let program = p.compile(&CompileOptions::to_horizon(1e3)).unwrap();
+        let soa = ProgramSoA::from_program(&program);
+        let horizon = p.duration() + 2.0;
+        for w in 0..61 {
+            let t0 = horizon * w as f64 / 61.0;
+            for span in [0.0, 0.03, 0.9, 4.2, horizon, f64::INFINITY] {
+                let a = program.envelope_box(t0, t0 + span);
+                let b = soa.envelope_box_impl(t0, t0 + span);
+                assert_eq!(a, b, "window [{t0}, {}]", t0 + span);
+            }
+        }
+    }
+
+    #[test]
+    fn pieces_reconstruct_exactly() {
+        let p = sample_path();
+        let program = p.compile(&CompileOptions::to_horizon(1e3)).unwrap();
+        let soa = ProgramSoA::from_program(&program);
+        for (i, piece) in program.pieces().iter().enumerate() {
+            assert_eq!(soa.piece(i), *piece, "piece {i}");
+        }
+        // The arc landed in the side table; straight legs did not.
+        assert!(soa.circ_column().iter().any(|&c| c != AFFINE));
+        assert!(soa.circ_column().contains(&AFFINE));
+    }
+
+    #[test]
+    fn from_view_matches_from_program_on_eager_sources() {
+        let p = sample_path();
+        let program = p.compile(&CompileOptions::to_horizon(1e3)).unwrap();
+        let direct = ProgramSoA::from_program(&program);
+        let walked = ProgramSoA::from_view(&program, 1e3);
+        assert_eq!(walked.len(), direct.len());
+        assert_eq!(walked.rest(), direct.rest());
+        assert_eq!(walked.round_marks(), direct.round_marks());
+        for i in 0..direct.len() {
+            assert_eq!(walked.piece(i), direct.piece(i), "piece {i}");
+        }
+    }
+
+    #[test]
+    fn from_view_drains_lazy_sources() {
+        use crate::lazy::LazyProgram;
+        let p = sample_path();
+        let opts = CompileOptions::to_horizon(64.0);
+        let lazy = LazyProgram::new(&p, opts);
+        let soa = ProgramSoA::from_view(&lazy, 64.0);
+        let eager = p.compile(&opts).unwrap();
+        assert_eq!(soa.len(), eager.pieces().len());
+        for i in 0..soa.len() {
+            let a = soa.piece(i);
+            let b = eager.pieces()[i];
+            assert_eq!(a.t0, b.t0, "piece {i}");
+            assert_eq!(a.t1, b.t1, "piece {i}");
+            assert_eq!(a.pos0, b.pos0, "piece {i}");
+            assert_eq!(a.motion, b.motion, "piece {i}");
+        }
+        assert_eq!(soa.rest(), eager.rest());
+    }
+
+    #[test]
+    fn rest_only_arena_is_well_formed() {
+        let p = PathBuilder::at(Vec2::new(2.0, -1.0)).build();
+        let program = p.compile(&CompileOptions::to_horizon(5.0)).unwrap();
+        let soa = ProgramSoA::from_program(&program);
+        assert_eq!(soa.is_empty(), program.pieces().is_empty());
+        assert!(soa.covers(1e9));
+        let (mut i, mut j) = (0usize, 0usize);
+        assert_eq!(
+            soa.probe_from(&mut i, 3.0).position,
+            program.probe_from(&mut j, 3.0).position
+        );
+        assert_eq!(
+            soa.envelope_box_impl(0.0, 10.0),
+            program.envelope_box(0.0, 10.0)
+        );
+    }
+}

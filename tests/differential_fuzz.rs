@@ -1,4 +1,4 @@
-//! Differential fuzzing of the four first-contact engine paths.
+//! Differential fuzzing of the five first-contact engine paths.
 //!
 //! A seeded generator draws random rendezvous scenarios — attribute
 //! frames, offsets, radii — crossed with trajectory stacks (plain
@@ -8,9 +8,11 @@
 //! 1. the seed conservative-advancement loop (`first_contact_generic`),
 //! 2. the monotone-cursor engine (`first_contact_cursors`),
 //! 3. the compiled engine over **eager** programs,
-//! 4. the compiled engine over **streaming** [`LazyProgram`] views.
+//! 4. the compiled engine over **streaming** [`LazyProgram`] views,
+//! 5. the SoA lane kernel (`try_first_contact_soa`) over arenas built
+//!    from the eager programs.
 //!
-//! All four must agree within the certified tolerance: identical
+//! All five must agree within the certified tolerance: identical
 //! classifications with contact times in a slack band scaled by the
 //! folded approximation bound, or a contact/horizon split only inside
 //! the `radius ± (tolerance + 2ε)` band that the ε-folding soundness
@@ -27,8 +29,10 @@
 
 use plane_rendezvous::baselines::ArchimedeanSpiral;
 use plane_rendezvous::prelude::*;
-use plane_rendezvous::sim::{first_contact_cursors, try_first_contact_programs, EngineScratch};
-use plane_rendezvous::trajectory::{ClockDrift, Compile, CompileOptions, LazyProgram};
+use plane_rendezvous::sim::{
+    first_contact_cursors, try_first_contact_programs, try_first_contact_soa, EngineScratch,
+};
+use plane_rendezvous::trajectory::{ClockDrift, Compile, CompileOptions, LazyProgram, ProgramSoA};
 
 /// Pointwise tolerance requested for curved spans; exact stacks ignore
 /// it and report a realized ε of zero.
@@ -234,6 +238,22 @@ fn run_case(case: &FuzzCase) -> Result<bool, String> {
     };
     if let Some(why) = agrees(&generic, &eager, case.radius, eps_total) {
         return Err(format!("generic vs compiled-eager: {why}"));
+    }
+
+    // The lane kernel over arenas built from the same eager programs:
+    // arena probes are bit-identical to program probes, so the kernel
+    // shares the eager arms' certified band.
+    let sa = ProgramSoA::from_program(&ea);
+    let sb = ProgramSoA::from_program(&eb);
+    let soa = match try_first_contact_soa(&sa, &sb, case.radius, &opts, &mut scratch) {
+        Some(out) => out,
+        None => return Ok(false),
+    };
+    if let Some(why) = agrees(&generic, &soa, case.radius, eps_total) {
+        return Err(format!("generic vs soa-kernel: {why}"));
+    }
+    if let Some(why) = agrees(&eager, &soa, case.radius, eps_total) {
+        return Err(format!("compiled-eager vs soa-kernel: {why}"));
     }
 
     let la = LazyProgram::new(&*a, copts);

@@ -323,6 +323,247 @@ fn compiled_and_cursor_engines_classify_identically() {
     );
 }
 
+/// The SoA arena under the **scalar** ladder vs the eager program under
+/// the same ladder: bit-for-bit identical outcomes.
+///
+/// `ProgramSoA::from_program` carries the exact `f64` columns of the
+/// source program's pieces and rebakes the identical envelope tree, and
+/// the scalar ladder is deterministic over `ProgramView` probes — so
+/// this is an `assert_eq!` on the whole `SimOutcome`, not a tolerance
+/// comparison. (The *lane* kernel is gated separately below: its chunk
+/// entries anchor at exact piece start times where the scalar ladder
+/// arrives via accumulated sums, which legitimately differ by ulps.)
+#[test]
+fn soa_arena_is_bit_identical_under_the_scalar_ladder() {
+    use plane_rendezvous::sim::{try_first_contact_programs, EngineScratch};
+    use plane_rendezvous::trajectory::{Compile, CompileOptions, ProgramSoA};
+
+    let space = SampleSpace {
+        visibility: 0.2,
+        algorithms: vec![Algorithm::WaitAndSearch, Algorithm::UniversalSearch],
+        ..Default::default()
+    };
+    let scenarios = latin_hypercube(&space, 32, 0xC0DE);
+    let opts = ContactOptions {
+        tolerance: 1e-9,
+        horizon: plane_rendezvous::core::completion_time(4),
+        max_steps: 5_000_000,
+        ..ContactOptions::default()
+    };
+    let copts = CompileOptions::to_horizon(opts.horizon).max_pieces(1 << 17);
+    let ref_ws = WaitAndSearch.compile(&copts).expect("alg7 rounds <= 4 fit");
+    let ref_us = UniversalSearch.compile(&copts).expect("truncation allowed");
+    let soa_ws = ProgramSoA::from_program(&ref_ws);
+    let soa_us = ProgramSoA::from_program(&ref_us);
+    let mut scratch = EngineScratch::new();
+    let mut resolved = 0_usize;
+    for scenario in &scenarios {
+        let instance = scenario.instance().expect("valid scenario");
+        let (reference, soa_ref, partner) = match scenario.algorithm {
+            Algorithm::WaitAndSearch => {
+                let Ok(partner) = plane_rendezvous::sim::compile_rendezvous_partner(
+                    &WaitAndSearch,
+                    &instance,
+                    &copts,
+                ) else {
+                    continue;
+                };
+                (&ref_ws, &soa_ws, partner)
+            }
+            Algorithm::UniversalSearch => {
+                let Ok(partner) = plane_rendezvous::sim::compile_rendezvous_partner(
+                    &UniversalSearch,
+                    &instance,
+                    &copts,
+                ) else {
+                    continue;
+                };
+                (&ref_us, &soa_us, partner)
+            }
+        };
+        let soa_partner = ProgramSoA::from_program(&partner);
+        let eager = try_first_contact_programs(
+            reference,
+            &partner,
+            instance.visibility(),
+            &opts,
+            &mut scratch,
+        );
+        let over_soa = try_first_contact_programs(
+            soa_ref,
+            &soa_partner,
+            instance.visibility(),
+            &opts,
+            &mut scratch,
+        );
+        assert_eq!(
+            over_soa, eager,
+            "scalar ladder diverged between arena and program ({scenario:?})"
+        );
+        resolved += eager.is_some() as usize;
+    }
+    assert!(resolved >= scenarios.len() / 2, "only {resolved} resolved");
+}
+
+/// The lane kernel vs the scalar compiled ladder over the Latin
+/// hypercube: identical classifications, contact times within the
+/// engines' shared declaration slack, refusals in lockstep.
+#[test]
+fn lane_kernel_and_scalar_ladder_classify_identically() {
+    use plane_rendezvous::sim::{try_first_contact_programs, try_first_contact_soa, EngineScratch};
+    use plane_rendezvous::trajectory::{Compile, CompileOptions, ProgramSoA};
+
+    let space = SampleSpace {
+        visibility: 0.2,
+        algorithms: vec![Algorithm::WaitAndSearch, Algorithm::UniversalSearch],
+        ..Default::default()
+    };
+    let scenarios = latin_hypercube(&space, 32, 0xC0DE);
+    let opts = ContactOptions {
+        tolerance: 1e-9,
+        horizon: plane_rendezvous::core::completion_time(4),
+        max_steps: 5_000_000,
+        ..ContactOptions::default()
+    };
+    let copts = CompileOptions::to_horizon(opts.horizon).max_pieces(1 << 17);
+    let ref_ws = WaitAndSearch.compile(&copts).expect("alg7 rounds <= 4 fit");
+    let ref_us = UniversalSearch.compile(&copts).expect("truncation allowed");
+    let soa_ws = ProgramSoA::from_program(&ref_ws);
+    let soa_us = ProgramSoA::from_program(&ref_us);
+    let mut scratch = EngineScratch::new();
+    let mut resolved = 0_usize;
+    for scenario in &scenarios {
+        let instance = scenario.instance().expect("valid scenario");
+        let (reference, soa_ref, partner) = match scenario.algorithm {
+            Algorithm::WaitAndSearch => {
+                let Ok(partner) = plane_rendezvous::sim::compile_rendezvous_partner(
+                    &WaitAndSearch,
+                    &instance,
+                    &copts,
+                ) else {
+                    continue;
+                };
+                (&ref_ws, &soa_ws, partner)
+            }
+            Algorithm::UniversalSearch => {
+                let Ok(partner) = plane_rendezvous::sim::compile_rendezvous_partner(
+                    &UniversalSearch,
+                    &instance,
+                    &copts,
+                ) else {
+                    continue;
+                };
+                (&ref_us, &soa_us, partner)
+            }
+        };
+        let soa_partner = ProgramSoA::from_program(&partner);
+        let scalar = try_first_contact_programs(
+            reference,
+            &partner,
+            instance.visibility(),
+            &opts,
+            &mut scratch,
+        );
+        let kernel = try_first_contact_soa(
+            soa_ref,
+            &soa_partner,
+            instance.visibility(),
+            &opts,
+            &mut scratch,
+        );
+        match (&scalar, &kernel) {
+            (None, None) => continue,
+            (Some(s), Some(k)) => {
+                resolved += 1;
+                assert_eq!(
+                    k.classification(),
+                    s.classification(),
+                    "scenario {scenario:?}: kernel {k} vs scalar {s}"
+                );
+                if let (Some(tk), Some(ts)) = (k.contact_time(), s.contact_time()) {
+                    let slack = opts.tolerance * 10.0 + 1e-9 * ts.abs() + 1e-6;
+                    assert!(
+                        (tk - ts).abs() <= slack,
+                        "contact times diverge: {tk} vs {ts} ({scenario:?})"
+                    );
+                }
+            }
+            (s, k) => panic!("refusals diverged on {scenario:?}: scalar {s:?} vs kernel {k:?}"),
+        }
+    }
+    assert!(resolved >= scenarios.len() / 2, "only {resolved} resolved");
+}
+
+/// The many-vs-many batch entry against the per-pair scalar ladder: the
+/// window-table prefilter and shared-arena streaming must not change a
+/// single verdict.
+#[test]
+fn batch_kernel_matches_per_pair_scalar_ladder() {
+    use plane_rendezvous::sim::{
+        first_contact_batch_soa, try_first_contact_programs, EngineScratch,
+    };
+    use plane_rendezvous::trajectory::{Compile, CompileOptions, ProgramSoA};
+
+    let space = SampleSpace {
+        visibility: 0.2,
+        algorithms: vec![Algorithm::UniversalSearch],
+        ..Default::default()
+    };
+    let scenarios = latin_hypercube(&space, 24, 0xBA7C);
+    let opts = ContactOptions {
+        tolerance: 1e-9,
+        horizon: plane_rendezvous::core::completion_time(4),
+        max_steps: 5_000_000,
+        ..ContactOptions::default()
+    };
+    let copts = CompileOptions::to_horizon(opts.horizon).max_pieces(1 << 17);
+    let reference = UniversalSearch.compile(&copts).expect("covers");
+    let soa_reference = ProgramSoA::from_program(&reference);
+    let mut partners = Vec::new();
+    let mut programs = Vec::new();
+    let mut visibilities = Vec::new();
+    for scenario in &scenarios {
+        let instance = scenario.instance().expect("valid scenario");
+        if let Ok(partner) =
+            plane_rendezvous::sim::compile_rendezvous_partner(&UniversalSearch, &instance, &copts)
+        {
+            partners.push(ProgramSoA::from_program(&partner));
+            programs.push(partner);
+            visibilities.push(instance.visibility());
+        }
+    }
+    assert!(partners.len() >= scenarios.len() / 2, "too few partners");
+    // One shared visibility for the batch call (the grid holds it fixed).
+    let radius = visibilities[0];
+    assert!(visibilities.iter().all(|&v| v == radius));
+    let mut scratch = EngineScratch::new();
+    let batch = first_contact_batch_soa(&soa_reference, &partners, radius, &opts, &mut scratch);
+    let mut contacts = 0_usize;
+    for (k, partner) in programs.iter().enumerate() {
+        let scalar = try_first_contact_programs(&reference, partner, radius, &opts, &mut scratch);
+        match (&batch[k], &scalar) {
+            (None, None) => continue,
+            (Some(b), Some(s)) => {
+                assert_eq!(
+                    b.classification(),
+                    s.classification(),
+                    "partner {k}: batch {b} vs scalar {s}"
+                );
+                if let (Some(tb), Some(ts)) = (b.contact_time(), s.contact_time()) {
+                    contacts += 1;
+                    let slack = opts.tolerance * 10.0 + 1e-9 * ts.abs() + 1e-6;
+                    assert!(
+                        (tb - ts).abs() <= slack,
+                        "partner {k}: contact {tb} vs {ts}"
+                    );
+                }
+            }
+            (b, s) => panic!("partner {k}: refusals diverged: batch {b:?} vs scalar {s:?}"),
+        }
+    }
+    assert!(contacts >= 5, "only {contacts} batch contacts sampled");
+}
+
 /// The full sweep executor with pruning on vs off: feasible records are
 /// identical, infeasible records stay (strictly) consistent in both
 /// modes.
